@@ -1,0 +1,1135 @@
+//! Two-pass text assembler.
+//!
+//! The accepted syntax is Intel-flavoured:
+//!
+//! ```text
+//! ; string reverse: ptr in [esp+4] after the call
+//! reverse:
+//!     mov ecx, [esp+4]     ; s
+//!     mov esi, ecx
+//! scan:
+//!     mov eax, byte [esi]  ; strlen loop
+//!     cmp eax, 0
+//!     je  found
+//!     inc esi
+//!     jmp scan
+//! found:
+//!     ret
+//! data:
+//!     .dd 0, pointer_to_label
+//!     .asciz "hello"
+//! ```
+//!
+//! Labels used as immediates or memory displacements produce absolute
+//! relocations in the output [`Object`]; branch targets are resolved as
+//! `rel32` displacements by the underlying [`CodeBuilder`].
+
+use crate::isa::{AluOp, Cond, Insn, Mem, Reg, SegReg, Src};
+use crate::obj::{CodeBuilder, ObjError, Object, Reloc, RelocKind};
+
+/// An assembly error, with the 1-based source line that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ObjError> for AsmError {
+    fn from(e: ObjError) -> AsmError {
+        AsmError {
+            line: 0,
+            msg: e.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Str(String),
+    Colon,
+    Comma,
+    LBracket,
+    RBracket,
+    Plus,
+    Minus,
+}
+
+fn tokenize(line: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ';' => break,
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ':' => {
+                chars.next();
+                toks.push(Tok::Colon);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            '[' => {
+                chars.next();
+                toks.push(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                toks.push(Tok::RBracket);
+            }
+            '+' => {
+                chars.next();
+                toks.push(Tok::Plus);
+            }
+            '-' => {
+                chars.next();
+                toks.push(Tok::Minus);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('0') => s.push('\0'),
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            other => return Err(format!("bad escape {other:?}")),
+                        },
+                        Some(c) => s.push(c),
+                        None => return Err("unterminated string".into()),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v = parse_number(&s).ok_or_else(|| format!("bad number `{s}`"))?;
+                toks.push(Tok::Num(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_number(s: &str) -> Option<i64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn reg_of(name: &str) -> Option<Reg> {
+    Reg::ALL.iter().copied().find(|r| r.name() == name)
+}
+
+fn segreg_of(name: &str) -> Option<SegReg> {
+    SegReg::ALL.iter().copied().find(|s| s.name() == name)
+}
+
+fn aluop_of(name: &str) -> Option<AluOp> {
+    AluOp::ALL.iter().copied().find(|o| o.name() == name)
+}
+
+fn cond_of(mnemonic: &str) -> Option<Cond> {
+    let suffix = mnemonic.strip_prefix('j')?;
+    Cond::ALL.iter().copied().find(|c| c.name() == suffix)
+}
+
+/// Access width of a memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Width {
+    Byte,
+    Word,
+    Dword,
+}
+
+/// A parsed operand.
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    Reg(Reg),
+    SegReg(SegReg),
+    Imm(i64),
+    /// A label used as an absolute immediate.
+    ImmSym(String, i32),
+    Mem(Width, Mem),
+    /// A memory operand whose displacement is `sym + addend`.
+    MemSym(Width, Option<SegReg>, String, i32),
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            got => Err(format!("expected {t:?}, got {got:?}")),
+        }
+    }
+
+    fn signed_number(&mut self) -> Result<i64, String> {
+        match self.next() {
+            Some(Tok::Num(v)) => Ok(*v),
+            Some(Tok::Minus) => match self.next() {
+                Some(Tok::Num(v)) => Ok(-*v),
+                got => Err(format!("expected number after `-`, got {got:?}")),
+            },
+            got => Err(format!("expected number, got {got:?}")),
+        }
+    }
+
+    /// Parses one operand.
+    fn operand(&mut self) -> Result<Operand, String> {
+        match self.peek().cloned() {
+            Some(Tok::Num(_)) | Some(Tok::Minus) => Ok(Operand::Imm(self.signed_number()?)),
+            Some(Tok::LBracket) => self.mem_operand(Width::Dword, None),
+            Some(Tok::Ident(id)) => {
+                // Width keyword, register, segment register, seg override, or
+                // a label immediate.
+                let width = match id.as_str() {
+                    "byte" => Some(Width::Byte),
+                    "word" => Some(Width::Word),
+                    "dword" => Some(Width::Dword),
+                    _ => None,
+                };
+                if let Some(w) = width {
+                    self.next();
+                    // Optional segment override before the bracket.
+                    let seg = self.try_seg_override()?;
+                    return self.mem_operand(w, seg);
+                }
+                if let Some(r) = reg_of(&id) {
+                    self.next();
+                    return Ok(Operand::Reg(r));
+                }
+                if let Some(s) = segreg_of(&id) {
+                    self.next();
+                    if self.peek() == Some(&Tok::Colon) {
+                        self.next();
+                        self.expect(&Tok::LBracket)
+                            .map_err(|_| "segment override must be followed by `[`".to_string())?;
+                        self.pos -= 1;
+                        return self.mem_operand(Width::Dword, Some(s));
+                    }
+                    return Ok(Operand::SegReg(s));
+                }
+                self.next();
+                let mut addend = 0i32;
+                if self.peek() == Some(&Tok::Plus) {
+                    self.next();
+                    addend = self.signed_number()? as i32;
+                }
+                Ok(Operand::ImmSym(id, addend))
+            }
+            got => Err(format!("expected operand, got {got:?}")),
+        }
+    }
+
+    fn try_seg_override(&mut self) -> Result<Option<SegReg>, String> {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if let Some(s) = segreg_of(id) {
+                if self.toks.get(self.pos + 1) == Some(&Tok::Colon) {
+                    self.next();
+                    self.next();
+                    return Ok(Some(s));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Parses `[...]` after any width keyword / segment override.
+    fn mem_operand(&mut self, width: Width, seg: Option<SegReg>) -> Result<Operand, String> {
+        self.expect(&Tok::LBracket)?;
+        // Forms: [reg], [reg+n], [reg-n], [n], [sym], [sym+n].
+        let op = match self.next().cloned() {
+            Some(Tok::Ident(id)) => {
+                if let Some(base) = reg_of(&id) {
+                    let disp = match self.peek() {
+                        Some(Tok::Plus) => {
+                            self.next();
+                            self.signed_number()?
+                        }
+                        Some(Tok::Minus) => {
+                            self.next();
+                            -self.signed_number()?
+                        }
+                        _ => 0,
+                    };
+                    Operand::Mem(
+                        width,
+                        Mem {
+                            seg,
+                            base: Some(base),
+                            disp: disp as i32,
+                        },
+                    )
+                } else {
+                    let addend = if self.peek() == Some(&Tok::Plus) {
+                        self.next();
+                        self.signed_number()? as i32
+                    } else {
+                        0
+                    };
+                    Operand::MemSym(width, seg, id, addend)
+                }
+            }
+            Some(Tok::Num(n)) => Operand::Mem(
+                width,
+                Mem {
+                    seg,
+                    base: None,
+                    disp: n as i32,
+                },
+            ),
+            got => return Err(format!("bad memory operand: {got:?}")),
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(op)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.toks.len()
+    }
+}
+
+/// The assembler.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    builder: CodeBuilder,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Assembles `source`, returning a relocatable [`Object`].
+    pub fn assemble(source: &str) -> Result<Object, AsmError> {
+        let mut asm = Assembler::new();
+        for (i, line) in source.lines().enumerate() {
+            asm.line(line)
+                .map_err(|msg| AsmError { line: i + 1, msg })?;
+        }
+        asm.builder.finish().map_err(AsmError::from)
+    }
+
+    /// Emits one instruction with a memory operand whose displacement is a
+    /// symbol, recording the relocation at the right field offset.
+    fn emit_mem_sym(&mut self, insn: Insn, sym: &str, addend: i32) {
+        let start = self.builder.here();
+        self.builder.emit(insn);
+        // `Store*`/`CmpM` put the displacement right after the opcode and
+        // mem-flags bytes; in every other encoding it is trailing.
+        let offset = match insn {
+            Insn::Store(..) | Insn::StoreB(..) | Insn::StoreW(..) | Insn::CmpM(..) => start + 2,
+            _ => self.builder.here() - 4,
+        };
+        self.push_reloc(offset, sym, addend);
+    }
+
+    fn push_reloc(&mut self, offset: u32, sym: &str, addend: i32) {
+        // CodeBuilder has no public raw-reloc API on purpose; reuse its
+        // trailing helper when possible, otherwise synthesize via store path.
+        self.builder.raw_reloc(Reloc {
+            offset,
+            sym: sym.to_string(),
+            addend,
+            kind: RelocKind::Abs32,
+        });
+    }
+
+    fn line(&mut self, line: &str) -> Result<(), String> {
+        let toks = tokenize(line)?;
+        if toks.is_empty() {
+            return Ok(());
+        }
+        let mut p = Parser {
+            toks: &toks,
+            pos: 0,
+        };
+
+        // Label definition(s): `name:`.
+        while let (Some(Tok::Ident(name)), Some(Tok::Colon)) =
+            (p.toks.get(p.pos), p.toks.get(p.pos + 1))
+        {
+            // Not a label if this is a seg override like `ds:[`.
+            if segreg_of(name).is_some() && p.toks.get(p.pos + 2) == Some(&Tok::LBracket) {
+                break;
+            }
+            let name = name.clone();
+            p.pos += 2;
+            self.builder.label(&name).map_err(|e| e.to_string())?;
+        }
+        if p.done() {
+            return Ok(());
+        }
+
+        let mnemonic = match p.next() {
+            Some(Tok::Ident(m)) => m.clone(),
+            got => return Err(format!("expected mnemonic, got {got:?}")),
+        };
+
+        if mnemonic.starts_with('.') {
+            return self.directive(&mnemonic, &mut p);
+        }
+        self.instruction(&mnemonic, &mut p)?;
+        if !p.done() {
+            return Err(format!("trailing tokens after `{mnemonic}`"));
+        }
+        Ok(())
+    }
+
+    fn directive(&mut self, name: &str, p: &mut Parser<'_>) -> Result<(), String> {
+        match name {
+            ".db" | ".dw" | ".dd" => loop {
+                match p.peek().cloned() {
+                    Some(Tok::Ident(sym)) => {
+                        p.next();
+                        if name != ".dd" {
+                            return Err("symbol data requires .dd".into());
+                        }
+                        self.builder.dword_label(&sym, 0);
+                    }
+                    _ => {
+                        let v = p.signed_number()?;
+                        match name {
+                            ".db" => {
+                                self.builder.bytes(&[(v as i64 & 0xFF) as u8]);
+                            }
+                            ".dw" => {
+                                self.builder.bytes(&(v as u16).to_le_bytes());
+                            }
+                            _ => {
+                                self.builder.dword(v as u32);
+                            }
+                        }
+                    }
+                }
+                if p.peek() == Some(&Tok::Comma) {
+                    p.next();
+                } else if p.done() {
+                    return Ok(());
+                } else {
+                    return Err("expected `,` in data list".into());
+                }
+            },
+            ".space" => {
+                let n = p.signed_number()?;
+                if n < 0 {
+                    return Err(".space takes a non-negative size".into());
+                }
+                self.builder.space(n as usize);
+                Ok(())
+            }
+            ".align" => {
+                let n = p.signed_number()?;
+                if n <= 0 || (n as u64 & (n as u64 - 1)) != 0 {
+                    return Err(".align takes a power of two".into());
+                }
+                self.builder.align(n as usize);
+                Ok(())
+            }
+            ".equ" => match p.next() {
+                Some(Tok::Ident(name)) => {
+                    let name = name.clone();
+                    p.expect(&Tok::Comma)?;
+                    let v = p.signed_number()?;
+                    self.builder
+                        .equ(&name, v as u32)
+                        .map_err(|e| e.to_string())?;
+                    Ok(())
+                }
+                got => Err(format!(".equ expects a name, got {got:?}")),
+            },
+            ".asciz" => match p.next() {
+                Some(Tok::Str(s)) => {
+                    let mut data = s.clone().into_bytes();
+                    data.push(0);
+                    self.builder.bytes(&data);
+                    Ok(())
+                }
+                got => Err(format!(".asciz expects a string, got {got:?}")),
+            },
+            other => Err(format!("unknown directive `{other}`")),
+        }
+    }
+
+    fn src_of(&mut self, op: &Operand) -> Result<Src, String> {
+        match op {
+            Operand::Reg(r) => Ok(Src::Reg(*r)),
+            Operand::Imm(v) => Ok(Src::Imm(*v as i32)),
+            other => Err(format!("expected register or immediate, got {other:?}")),
+        }
+    }
+
+    fn instruction(&mut self, m: &str, p: &mut Parser<'_>) -> Result<(), String> {
+        match m {
+            "nop" => {
+                self.builder.emit(Insn::Nop);
+            }
+            "hlt" => {
+                self.builder.emit(Insn::Hlt);
+            }
+            "iret" => {
+                self.builder.emit(Insn::Iret);
+            }
+            "rdtsc" => {
+                self.builder.emit(Insn::Rdtsc);
+            }
+            "ret" => {
+                if p.done() {
+                    self.builder.emit(Insn::Ret);
+                } else {
+                    let n = p.signed_number()?;
+                    self.builder.emit(Insn::RetN(n as u16));
+                }
+            }
+            "lret" => {
+                if p.done() {
+                    self.builder.emit(Insn::Lret);
+                } else {
+                    let n = p.signed_number()?;
+                    self.builder.emit(Insn::LretN(n as u16));
+                }
+            }
+            "int" => {
+                let n = p.signed_number()?;
+                self.builder.emit(Insn::Int(n as u8));
+            }
+            "mov" => {
+                let dst = p.operand()?;
+                p.expect(&Tok::Comma)?;
+                let src = p.operand()?;
+                self.mov(dst, src)?;
+            }
+            "lea" => {
+                let dst = p.operand()?;
+                p.expect(&Tok::Comma)?;
+                let src = p.operand()?;
+                match (dst, src) {
+                    (Operand::Reg(r), Operand::Mem(Width::Dword, mem)) => {
+                        self.builder.emit(Insn::Lea(r, mem));
+                    }
+                    (Operand::Reg(r), Operand::MemSym(Width::Dword, seg, sym, add)) => {
+                        self.emit_mem_sym(
+                            Insn::Lea(
+                                r,
+                                Mem {
+                                    seg,
+                                    base: None,
+                                    disp: 0,
+                                },
+                            ),
+                            &sym,
+                            add,
+                        );
+                    }
+                    other => return Err(format!("bad lea operands: {other:?}")),
+                }
+            }
+            "push" => {
+                let op = p.operand()?;
+                match op {
+                    Operand::Reg(r) => {
+                        self.builder.emit(Insn::Push(Src::Reg(r)));
+                    }
+                    Operand::Imm(v) => {
+                        self.builder.emit(Insn::Push(Src::Imm(v as i32)));
+                    }
+                    Operand::ImmSym(sym, add) => {
+                        self.builder.push_label(&sym);
+                        if add != 0 {
+                            return Err("push label+off unsupported".into());
+                        }
+                    }
+                    Operand::SegReg(s) => {
+                        self.builder.emit(Insn::PushSeg(s));
+                    }
+                    Operand::Mem(Width::Dword, mem) => {
+                        self.builder.emit(Insn::PushM(mem));
+                    }
+                    Operand::MemSym(Width::Dword, seg, sym, add) => {
+                        self.emit_mem_sym(
+                            Insn::PushM(Mem {
+                                seg,
+                                base: None,
+                                disp: 0,
+                            }),
+                            &sym,
+                            add,
+                        );
+                    }
+                    other => return Err(format!("bad push operand: {other:?}")),
+                }
+            }
+            "pop" => {
+                let op = p.operand()?;
+                match op {
+                    Operand::Reg(r) => {
+                        self.builder.emit(Insn::Pop(r));
+                    }
+                    Operand::SegReg(s) => {
+                        self.builder.emit(Insn::PopSeg(s));
+                    }
+                    Operand::Mem(Width::Dword, mem) => {
+                        self.builder.emit(Insn::PopM(mem));
+                    }
+                    Operand::MemSym(Width::Dword, seg, sym, add) => {
+                        self.emit_mem_sym(
+                            Insn::PopM(Mem {
+                                seg,
+                                base: None,
+                                disp: 0,
+                            }),
+                            &sym,
+                            add,
+                        );
+                    }
+                    other => return Err(format!("bad pop operand: {other:?}")),
+                }
+            }
+            "neg" | "not" | "inc" | "dec" => {
+                let op = p.operand()?;
+                let r = match op {
+                    Operand::Reg(r) => r,
+                    other => return Err(format!("{m} expects a register, got {other:?}")),
+                };
+                self.builder.emit(match m {
+                    "neg" => Insn::Neg(r),
+                    "not" => Insn::Not(r),
+                    "inc" => Insn::Inc(r),
+                    _ => Insn::Dec(r),
+                });
+            }
+            "cmp" => {
+                let a = p.operand()?;
+                p.expect(&Tok::Comma)?;
+                let b = p.operand()?;
+                match (a, b) {
+                    (Operand::Reg(r), b) => {
+                        match b {
+                            Operand::ImmSym(sym, add) => {
+                                // cmp reg, label — trailing imm field.
+                                self.builder.emit(Insn::Cmp(r, Src::Imm(0)));
+                                let off = self.builder.here() - 4;
+                                self.push_reloc(off, &sym, add);
+                            }
+                            b => {
+                                let s = self.src_of(&b)?;
+                                self.builder.emit(Insn::Cmp(r, s));
+                            }
+                        }
+                    }
+                    (Operand::Mem(Width::Dword, mem), b) => {
+                        let s = self.src_of(&b)?;
+                        self.builder.emit(Insn::CmpM(mem, s));
+                    }
+                    (Operand::MemSym(Width::Dword, seg, sym, add), b) => {
+                        let s = self.src_of(&b)?;
+                        self.emit_mem_sym(
+                            Insn::CmpM(
+                                Mem {
+                                    seg,
+                                    base: None,
+                                    disp: 0,
+                                },
+                                s,
+                            ),
+                            &sym,
+                            add,
+                        );
+                    }
+                    other => return Err(format!("bad cmp operands: {other:?}")),
+                }
+            }
+            "test" => {
+                let a = p.operand()?;
+                p.expect(&Tok::Comma)?;
+                let b = p.operand()?;
+                match a {
+                    Operand::Reg(r) => {
+                        let s = self.src_of(&b)?;
+                        self.builder.emit(Insn::Test(r, s));
+                    }
+                    other => return Err(format!("test expects a register, got {other:?}")),
+                }
+            }
+            "jmp" => {
+                let op = p.operand()?;
+                match op {
+                    Operand::ImmSym(sym, 0) => {
+                        self.builder.jmp_label(&sym);
+                    }
+                    Operand::Reg(r) => {
+                        self.builder.emit(Insn::JmpReg(r));
+                    }
+                    Operand::Mem(Width::Dword, mem) => {
+                        self.builder.emit(Insn::JmpM(mem));
+                    }
+                    Operand::MemSym(Width::Dword, seg, sym, add) => {
+                        self.emit_mem_sym(
+                            Insn::JmpM(Mem {
+                                seg,
+                                base: None,
+                                disp: 0,
+                            }),
+                            &sym,
+                            add,
+                        );
+                    }
+                    other => return Err(format!("bad jmp target: {other:?}")),
+                }
+            }
+            "call" => {
+                let op = p.operand()?;
+                match op {
+                    Operand::ImmSym(sym, 0) => {
+                        self.builder.call_label(&sym);
+                    }
+                    Operand::Reg(r) => {
+                        self.builder.emit(Insn::CallReg(r));
+                    }
+                    Operand::Mem(Width::Dword, mem) => {
+                        self.builder.emit(Insn::CallM(mem));
+                    }
+                    Operand::MemSym(Width::Dword, seg, sym, add) => {
+                        self.emit_mem_sym(
+                            Insn::CallM(Mem {
+                                seg,
+                                base: None,
+                                disp: 0,
+                            }),
+                            &sym,
+                            add,
+                        );
+                    }
+                    other => return Err(format!("bad call target: {other:?}")),
+                }
+            }
+            "lcall" => {
+                let sel = p.signed_number()? as u16;
+                p.expect(&Tok::Comma)?;
+                let op = p.operand()?;
+                match op {
+                    Operand::Imm(off) => {
+                        self.builder.emit(Insn::Lcall(sel, off as u32));
+                    }
+                    Operand::ImmSym(sym, 0) => {
+                        self.builder.lcall_label(sel, &sym);
+                    }
+                    other => return Err(format!("bad lcall target: {other:?}")),
+                }
+            }
+            _ => {
+                if let Some(cond) = cond_of(m) {
+                    let op = p.operand()?;
+                    match op {
+                        Operand::ImmSym(sym, 0) => {
+                            self.builder.jcc_label(cond, &sym);
+                        }
+                        other => return Err(format!("bad branch target: {other:?}")),
+                    }
+                } else if let Some(alu) = aluop_of(m) {
+                    let dst = p.operand()?;
+                    p.expect(&Tok::Comma)?;
+                    let src = p.operand()?;
+                    let r = match dst {
+                        Operand::Reg(r) => r,
+                        other => return Err(format!("{m} expects a register, got {other:?}")),
+                    };
+                    match src {
+                        Operand::Mem(Width::Dword, mem) => {
+                            self.builder.emit(Insn::AluM(alu, r, mem));
+                        }
+                        Operand::MemSym(Width::Dword, seg, sym, add) => {
+                            self.emit_mem_sym(
+                                Insn::AluM(
+                                    alu,
+                                    r,
+                                    Mem {
+                                        seg,
+                                        base: None,
+                                        disp: 0,
+                                    },
+                                ),
+                                &sym,
+                                add,
+                            );
+                        }
+                        Operand::ImmSym(sym, add) => {
+                            self.builder.emit(Insn::Alu(alu, r, Src::Imm(0)));
+                            let off = self.builder.here() - 4;
+                            self.push_reloc(off, &sym, add);
+                        }
+                        other => {
+                            let s = self.src_of(&other)?;
+                            self.builder.emit(Insn::Alu(alu, r, s));
+                        }
+                    }
+                } else {
+                    return Err(format!("unknown mnemonic `{m}`"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches the many forms of `mov`.
+    fn mov(&mut self, dst: Operand, src: Operand) -> Result<(), String> {
+        match (dst, src) {
+            (Operand::Reg(d), Operand::Reg(s)) => {
+                self.builder.emit(Insn::Mov(d, Src::Reg(s)));
+            }
+            (Operand::Reg(d), Operand::Imm(v)) => {
+                self.builder.emit(Insn::Mov(d, Src::Imm(v as i32)));
+            }
+            (Operand::Reg(d), Operand::ImmSym(sym, add)) => {
+                self.builder.emit(Insn::Mov(d, Src::Imm(0)));
+                let off = self.builder.here() - 4;
+                self.push_reloc(off, &sym, add);
+            }
+            (Operand::Reg(d), Operand::SegReg(s)) => {
+                self.builder.emit(Insn::MovFromSeg(d, s));
+            }
+            (Operand::SegReg(d), Operand::Reg(s)) => {
+                self.builder.emit(Insn::MovToSeg(d, s));
+            }
+            (Operand::Reg(d), Operand::Mem(w, mem)) => {
+                self.builder.emit(match w {
+                    Width::Byte => Insn::LoadB(d, mem),
+                    Width::Word => Insn::LoadW(d, mem),
+                    Width::Dword => Insn::Load(d, mem),
+                });
+            }
+            (Operand::Reg(d), Operand::MemSym(w, seg, sym, add)) => {
+                let mem = Mem {
+                    seg,
+                    base: None,
+                    disp: 0,
+                };
+                let insn = match w {
+                    Width::Byte => Insn::LoadB(d, mem),
+                    Width::Word => Insn::LoadW(d, mem),
+                    Width::Dword => Insn::Load(d, mem),
+                };
+                self.emit_mem_sym(insn, &sym, add);
+            }
+            (Operand::Mem(w, mem), Operand::Reg(s)) => {
+                self.builder.emit(match w {
+                    Width::Byte => Insn::StoreB(mem, s),
+                    Width::Word => Insn::StoreW(mem, s),
+                    Width::Dword => Insn::Store(mem, Src::Reg(s)),
+                });
+            }
+            (Operand::Mem(Width::Dword, mem), Operand::Imm(v)) => {
+                self.builder.emit(Insn::Store(mem, Src::Imm(v as i32)));
+            }
+            (Operand::MemSym(w, seg, sym, add), Operand::Reg(s)) => {
+                let mem = Mem {
+                    seg,
+                    base: None,
+                    disp: 0,
+                };
+                let insn = match w {
+                    Width::Byte => Insn::StoreB(mem, s),
+                    Width::Word => Insn::StoreW(mem, s),
+                    Width::Dword => Insn::Store(mem, Src::Reg(s)),
+                };
+                self.emit_mem_sym(insn, &sym, add);
+            }
+            (Operand::MemSym(Width::Dword, seg, sym, add), Operand::Imm(v)) => {
+                self.emit_mem_sym(
+                    Insn::Store(
+                        Mem {
+                            seg,
+                            base: None,
+                            disp: 0,
+                        },
+                        Src::Imm(v as i32),
+                    ),
+                    &sym,
+                    add,
+                );
+            }
+            other => return Err(format!("unsupported mov form: {other:?}")),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode_program;
+    use crate::isa::Reg::*;
+    use std::collections::BTreeMap;
+
+    fn asm(src: &str) -> Object {
+        Assembler::assemble(src).expect("assembly failed")
+    }
+
+    fn insns(src: &str) -> Vec<Insn> {
+        decode_program(&asm(src).link(0, &BTreeMap::new()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn basic_instructions() {
+        let got = insns(
+            "  mov eax, 5\n\
+             \tmov ebx, eax ; copy\n\
+             ; full-line comment\n\
+             \tadd eax, 0x10\n\
+             \tret\n",
+        );
+        assert_eq!(
+            got,
+            vec![
+                Insn::Mov(Eax, Src::Imm(5)),
+                Insn::Mov(Ebx, Src::Reg(Eax)),
+                Insn::Alu(AluOp::Add, Eax, Src::Imm(0x10)),
+                Insn::Ret,
+            ]
+        );
+    }
+
+    #[test]
+    fn memory_forms() {
+        let got = insns(
+            "  mov eax, [ebp+8]\n\
+             \tmov [ebp-4], eax\n\
+             \tmov ecx, byte [esi]\n\
+             \tmov byte [edi], ecx\n\
+             \tmov edx, word [esi+2]\n\
+             \tmov es:[ebx], eax\n\
+             \tmov eax, [0x1000]\n\
+             \tpush dword [esp+4]\n\
+             \tpop dword [0x2000]\n",
+        );
+        assert_eq!(
+            got,
+            vec![
+                Insn::Load(Eax, Mem::based(Ebp, 8)),
+                Insn::Store(Mem::based(Ebp, -4), Src::Reg(Eax)),
+                Insn::LoadB(Ecx, Mem::based(Esi, 0)),
+                Insn::StoreB(Mem::based(Edi, 0), Ecx),
+                Insn::LoadW(Edx, Mem::based(Esi, 2)),
+                Insn::Store(Mem::based(Ebx, 0).with_seg(SegReg::Es), Src::Reg(Eax)),
+                Insn::Load(Eax, Mem::abs(0x1000)),
+                Insn::PushM(Mem::based(Esp, 4)),
+                Insn::PopM(Mem::abs(0x2000)),
+            ]
+        );
+    }
+
+    #[test]
+    fn segment_register_moves() {
+        let got = insns("mov ds, eax\nmov ebx, cs\npush ss\npop es\n");
+        assert_eq!(
+            got,
+            vec![
+                Insn::MovToSeg(SegReg::Ds, Eax),
+                Insn::MovFromSeg(Ebx, SegReg::Cs),
+                Insn::PushSeg(SegReg::Ss),
+                Insn::PopSeg(SegReg::Es),
+            ]
+        );
+    }
+
+    #[test]
+    fn loop_with_labels() {
+        let got = insns(
+            "start:\n\
+             \tmov ecx, 10\n\
+             loop_top:\n\
+             \tdec ecx\n\
+             \tcmp ecx, 0\n\
+             \tjne loop_top\n\
+             \tret\n",
+        );
+        assert_eq!(got[0], Insn::Mov(Ecx, Src::Imm(10)));
+        assert_eq!(got[1], Insn::Dec(Ecx));
+        // jne back over dec(2) + cmp(7) + jcc(6) = -15.
+        assert_eq!(got[3], Insn::Jcc(Cond::Ne, -15));
+    }
+
+    #[test]
+    fn call_and_far_transfer() {
+        let got = insns(
+            "main:\n\
+             \tcall f\n\
+             \tlcall 0x1B, 0\n\
+             \tlret 4\n\
+             \tint 0x80\n\
+             f:\n\
+             \tret\n",
+        );
+        // `f` sits after lcall(7) + lret n(3) + int(2) = 12 bytes past the call.
+        assert_eq!(got[0], Insn::Call(12));
+        assert_eq!(got[1], Insn::Lcall(0x1B, 0));
+        assert_eq!(got[2], Insn::LretN(4));
+        assert_eq!(got[3], Insn::Int(0x80));
+        assert_eq!(got[4], Insn::Ret);
+    }
+
+    #[test]
+    fn symbolic_data_and_immediates() {
+        let obj = asm("entry:\n\
+             \tmov eax, msg\n\
+             \tmov ebx, [counter]\n\
+             \tmov [counter], ebx\n\
+             \tret\n\
+             counter:\n\
+             \t.dd 7\n\
+             msg:\n\
+             \t.asciz \"hi\"\n");
+        let base = 0x8000;
+        let image = obj.link(base, &BTreeMap::new()).unwrap();
+        let counter = obj.symbol("counter").unwrap();
+        let msg = obj.symbol("msg").unwrap();
+        let code = decode_program(&image[..counter as usize]).unwrap();
+        assert_eq!(code[0], Insn::Mov(Eax, Src::Imm((base + msg) as i32)));
+        assert_eq!(code[1], Insn::Load(Ebx, Mem::abs(base + counter)));
+        assert_eq!(
+            code[2],
+            Insn::Store(Mem::abs(base + counter), Src::Reg(Ebx))
+        );
+        assert_eq!(&image[msg as usize..], b"hi\0");
+        assert_eq!(
+            &image[counter as usize..counter as usize + 4],
+            &7u32.to_le_bytes()
+        );
+    }
+
+    #[test]
+    fn directives() {
+        let obj = asm(".db 1, 2, 0xFF\n\
+             .dw 0x1234\n\
+             .align 8\n\
+             tail:\n\
+             .space 3\n\
+             .dd 0xDEADBEEF\n");
+        assert_eq!(obj.symbol("tail"), Some(8));
+        assert_eq!(&obj.bytes[0..3], &[1, 2, 0xFF]);
+        assert_eq!(&obj.bytes[3..5], &[0x34, 0x12]);
+        assert_eq!(&obj.bytes[11..15], &0xDEADBEEFu32.to_le_bytes());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Assembler::assemble("nop\nbogus eax\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_branch_target_becomes_import() {
+        let obj = Assembler::assemble("call helper\nret\n").unwrap();
+        assert_eq!(obj.undefined_symbols(), vec!["helper"]);
+        assert!(obj.link(0, &BTreeMap::new()).is_err(), "needs externs");
+    }
+
+    #[test]
+    fn alu_with_memory_source() {
+        let got = insns("add eax, [ebx+4]\nxor ecx, edx\nimul eax, 3\n");
+        assert_eq!(
+            got,
+            vec![
+                Insn::AluM(AluOp::Add, Eax, Mem::based(Ebx, 4)),
+                Insn::Alu(AluOp::Xor, Ecx, Src::Reg(Edx)),
+                Insn::Alu(AluOp::Imul, Eax, Src::Imm(3)),
+            ]
+        );
+    }
+}
+
+#[cfg(test)]
+mod equ_tests {
+    use super::*;
+    use crate::encode::decode_program;
+    use crate::isa::Reg::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn equ_constants_resolve_without_base_shift() {
+        let obj = Assembler::assemble(
+            ".equ SYS_EXIT, 1\n\
+             .equ CONSOLE, 0x2000\n\
+             _start:\n\
+             mov eax, SYS_EXIT\n\
+             mov ebx, [CONSOLE]\n\
+             int 0x80\n",
+        )
+        .unwrap();
+        // The constant must not move with the load base.
+        for base in [0u32, 0x8000] {
+            let image = obj.link(base, &BTreeMap::new()).unwrap();
+            let insns = decode_program(&image).unwrap();
+            assert_eq!(insns[0], Insn::Mov(Eax, Src::Imm(1)));
+            assert_eq!(insns[1], Insn::Load(Ebx, Mem::abs(0x2000)));
+        }
+        assert!(obj.undefined_symbols().is_empty());
+    }
+
+    #[test]
+    fn equ_name_collisions_are_errors() {
+        assert!(Assembler::assemble(".equ X, 1\n.equ X, 2\n").is_err());
+        assert!(Assembler::assemble("X:\nnop\n.equ X, 2\n").is_err());
+        assert!(Assembler::assemble(".equ X, 2\nX:\nnop\n").is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Disassembler: renders encoded instructions back to assembler-like text.
+//!
+//! Primarily a debugging aid; the integration tests also use it to produce
+//! readable failure messages when a simulated extension faults.
+
+use crate::encode::{decode, DecodeError};
+use crate::isa::Insn;
+
+/// Renders one instruction as text.
+pub fn format_insn(insn: &Insn) -> String {
+    match *insn {
+        Insn::Nop => "nop".into(),
+        Insn::Hlt => "hlt".into(),
+        Insn::Mov(r, s) => format!("mov {r}, {s}"),
+        Insn::Load(r, m) => format!("mov {r}, {m}"),
+        Insn::Store(m, s) => format!("mov {m}, {s}"),
+        Insn::LoadB(r, m) => format!("mov {r}, byte {m}"),
+        Insn::StoreB(m, r) => format!("mov byte {m}, {r}"),
+        Insn::LoadW(r, m) => format!("mov {r}, word {m}"),
+        Insn::StoreW(m, r) => format!("mov word {m}, {r}"),
+        Insn::MovToSeg(sr, r) => format!("mov {sr}, {r}"),
+        Insn::MovFromSeg(r, sr) => format!("mov {r}, {sr}"),
+        Insn::Lea(r, m) => format!("lea {r}, {m}"),
+        Insn::Push(s) => format!("push {s}"),
+        Insn::PushM(m) => format!("push dword {m}"),
+        Insn::PushSeg(sr) => format!("push {sr}"),
+        Insn::Pop(r) => format!("pop {r}"),
+        Insn::PopM(m) => format!("pop dword {m}"),
+        Insn::PopSeg(sr) => format!("pop {sr}"),
+        Insn::Alu(op, r, s) => format!("{} {r}, {s}", op.name()),
+        Insn::AluM(op, r, m) => format!("{} {r}, {m}", op.name()),
+        Insn::Neg(r) => format!("neg {r}"),
+        Insn::Not(r) => format!("not {r}"),
+        Insn::Inc(r) => format!("inc {r}"),
+        Insn::Dec(r) => format!("dec {r}"),
+        Insn::Cmp(r, s) => format!("cmp {r}, {s}"),
+        Insn::CmpM(m, s) => format!("cmp {m}, {s}"),
+        Insn::Test(r, s) => format!("test {r}, {s}"),
+        Insn::Jmp(rel) => format!("jmp {rel:+}"),
+        Insn::JmpReg(r) => format!("jmp {r}"),
+        Insn::JmpM(m) => format!("jmp dword {m}"),
+        Insn::Jcc(c, rel) => format!("j{} {rel:+}", c.name()),
+        Insn::Call(rel) => format!("call {rel:+}"),
+        Insn::CallReg(r) => format!("call {r}"),
+        Insn::CallM(m) => format!("call dword {m}"),
+        Insn::Ret => "ret".into(),
+        Insn::RetN(n) => format!("ret {n}"),
+        Insn::Lcall(sel, off) => format!("lcall {sel:#06x}, {off:#x}"),
+        Insn::Lret => "lret".into(),
+        Insn::LretN(n) => format!("lret {n}"),
+        Insn::Int(v) => format!("int {v:#04x}"),
+        Insn::Iret => "iret".into(),
+        Insn::Rdtsc => "rdtsc".into(),
+    }
+}
+
+/// One disassembled line: offset, instruction, and length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// Byte offset of the instruction.
+    pub offset: u32,
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Encoded length in bytes.
+    pub len: usize,
+}
+
+/// Disassembles a buffer into lines.
+pub fn disassemble(buf: &[u8]) -> Result<Vec<Line>, DecodeError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let (insn, len) = decode(&buf[pos..])?;
+        out.push(Line {
+            offset: pos as u32,
+            insn,
+            len,
+        });
+        pos += len;
+    }
+    Ok(out)
+}
+
+/// Disassembles a buffer to printable text, one instruction per line.
+pub fn disassemble_text(buf: &[u8], base: u32) -> Result<String, DecodeError> {
+    let mut s = String::new();
+    for line in disassemble(buf)? {
+        s.push_str(&format!(
+            "{:08x}:  {}\n",
+            base + line.offset,
+            format_insn(&line.insn)
+        ));
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::encode::encode_program;
+    use crate::isa::{Mem, Reg, SegReg, Src};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn formats_are_reparsable_by_the_assembler() {
+        // Everything the disassembler prints for non-branch instructions
+        // should assemble back to the same encoding.
+        let prog = vec![
+            Insn::Mov(Reg::Eax, Src::Imm(5)),
+            Insn::Load(Reg::Ebx, Mem::based(Reg::Ebp, 8)),
+            Insn::Store(Mem::based(Reg::Esp, -4), Src::Reg(Reg::Ecx)),
+            Insn::MovToSeg(SegReg::Ds, Reg::Eax),
+            Insn::Push(Src::Reg(Reg::Esi)),
+            Insn::Pop(Reg::Edi),
+            Insn::Ret,
+        ];
+        let text: String = prog
+            .iter()
+            .map(|i| format!("{}\n", format_insn(i)))
+            .collect();
+        let obj = Assembler::assemble(&text).unwrap();
+        assert_eq!(
+            obj.link(0, &BTreeMap::new()).unwrap(),
+            encode_program(&prog)
+        );
+    }
+
+    #[test]
+    fn disassemble_reports_offsets_and_lengths() {
+        let prog = vec![Insn::Nop, Insn::Mov(Reg::Eax, Src::Imm(1)), Insn::Ret];
+        let bytes = encode_program(&prog);
+        let lines = disassemble(&bytes).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].offset, 0);
+        assert_eq!(lines[1].offset, 1);
+        assert_eq!(lines[2].offset, 1 + lines[1].len as u32);
+        assert_eq!(lines.iter().map(|l| l.len).sum::<usize>(), bytes.len());
+    }
+
+    #[test]
+    fn text_output_contains_base_addresses() {
+        let bytes = encode_program(&[Insn::Nop]);
+        let text = disassemble_text(&bytes, 0x400).unwrap();
+        assert!(text.contains("00000400"));
+        assert!(text.contains("nop"));
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_props {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::encode::encode_program;
+    use crate::isa::{AluOp, Cond, Mem, Reg, SegReg, Src};
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..8).prop_map(|v| Reg::from_u8(v).unwrap())
+    }
+
+    fn arb_segreg() -> impl Strategy<Value = SegReg> {
+        (0u8..4).prop_map(|v| SegReg::from_u8(v).unwrap())
+    }
+
+    fn arb_mem() -> impl Strategy<Value = Mem> {
+        (
+            proptest::option::of(arb_segreg()),
+            proptest::option::of(arb_reg()),
+            -0x1000i32..0x1000,
+        )
+            .prop_map(|(seg, base, disp)| Mem { seg, base, disp })
+    }
+
+    /// Instructions whose printed form the assembler accepts verbatim
+    /// (branches print raw displacements, which the text syntax expresses
+    /// through labels instead, so they are excluded).
+    fn arb_printable() -> impl Strategy<Value = Insn> {
+        let alu = (0u8..9).prop_map(|v| AluOp::from_u8(v).unwrap());
+        let src = prop_oneof![
+            arb_reg().prop_map(Src::Reg),
+            (-0x10000i32..0x10000).prop_map(Src::Imm)
+        ];
+        prop_oneof![
+            Just(Insn::Nop),
+            Just(Insn::Hlt),
+            Just(Insn::Ret),
+            Just(Insn::Rdtsc),
+            (arb_reg(), src.clone()).prop_map(|(r, s)| Insn::Mov(r, s)),
+            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::Load(r, m)),
+            (arb_mem(), src.clone()).prop_map(|(m, s)| Insn::Store(m, s)),
+            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::LoadB(r, m)),
+            (arb_mem(), arb_reg()).prop_map(|(m, r)| Insn::StoreB(m, r)),
+            (
+                arb_segreg().prop_filter("cs unloadable", |s| *s != SegReg::Cs),
+                arb_reg()
+            )
+                .prop_map(|(s, r)| Insn::MovToSeg(s, r)),
+            (arb_reg(), arb_segreg()).prop_map(|(r, s)| Insn::MovFromSeg(r, s)),
+            (alu, arb_reg(), src).prop_map(|(o, r, s)| Insn::Alu(o, r, s)),
+            arb_reg().prop_map(Insn::Pop),
+            arb_reg().prop_map(|r| Insn::Push(Src::Reg(r))),
+            arb_segreg().prop_map(Insn::PushSeg),
+            arb_mem().prop_map(Insn::PushM),
+            arb_mem().prop_map(Insn::PopM),
+            (0u16..0x100).prop_map(Insn::RetN),
+            any::<u8>().prop_map(Insn::Int),
+            Just(Insn::Lret),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Disassembling then re-assembling reproduces the exact encoding
+        /// for every printable instruction.
+        #[test]
+        fn prop_disasm_asm_roundtrip(prog in proptest::collection::vec(arb_printable(), 1..16)) {
+            let bytes = encode_program(&prog);
+            let text: String = prog.iter().map(|i| format!("{}\n", format_insn(i))).collect();
+            let obj = Assembler::assemble(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+            let relinked = obj.link(0, &BTreeMap::new()).unwrap();
+            prop_assert_eq!(relinked, bytes, "{}", text);
+        }
+    }
+
+    /// The cond-suffix table stays in sync between formatter and parser.
+    #[test]
+    fn all_branch_mnemonics_parse() {
+        for c in Cond::ALL {
+            let src = format!("top:\nj{} top\n", c.name());
+            Assembler::assemble(&src).unwrap();
+        }
+    }
+}

@@ -1,0 +1,649 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! The encoding is a regular scheme — one opcode byte followed by
+//! fixed-layout operands — rather than genuine x86 machine code. Each
+//! instruction decodes to exactly the [`Insn`] that produced it, which the
+//! property tests in this module verify by round-tripping random
+//! instructions.
+
+use crate::isa::{AluOp, Cond, Insn, Mem, Reg, SegReg, Src};
+
+/// Errors produced while decoding an instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name an instruction.
+    BadOpcode(u8),
+    /// An operand field held an out-of-range value.
+    BadOperand,
+    /// The instruction was truncated by the end of the buffer.
+    Truncated,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode {b:#04x}"),
+            DecodeError::BadOperand => write!(f, "invalid operand encoding"),
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const NOP: u8 = 0x00;
+    pub const HLT: u8 = 0x01;
+    pub const MOV: u8 = 0x02;
+    pub const LOAD: u8 = 0x03;
+    pub const STORE: u8 = 0x04;
+    pub const LOADB: u8 = 0x05;
+    pub const STOREB: u8 = 0x06;
+    pub const LOADW: u8 = 0x07;
+    pub const STOREW: u8 = 0x08;
+    pub const MOV_TO_SEG: u8 = 0x09;
+    pub const MOV_FROM_SEG: u8 = 0x0A;
+    pub const LEA: u8 = 0x0B;
+    pub const PUSH: u8 = 0x0C;
+    pub const PUSHM: u8 = 0x0D;
+    pub const PUSHSEG: u8 = 0x0E;
+    pub const POP: u8 = 0x0F;
+    pub const POPM: u8 = 0x10;
+    pub const POPSEG: u8 = 0x11;
+    pub const ALU: u8 = 0x12;
+    pub const ALUM: u8 = 0x13;
+    pub const NEG: u8 = 0x14;
+    pub const NOT: u8 = 0x15;
+    pub const INC: u8 = 0x16;
+    pub const DEC: u8 = 0x17;
+    pub const CMP: u8 = 0x18;
+    pub const CMPM: u8 = 0x19;
+    pub const TEST: u8 = 0x1A;
+    pub const JMP: u8 = 0x1B;
+    pub const JMPREG: u8 = 0x1C;
+    pub const JCC: u8 = 0x1D;
+    pub const CALL: u8 = 0x1E;
+    pub const CALLREG: u8 = 0x1F;
+    pub const RET: u8 = 0x20;
+    pub const RETN: u8 = 0x21;
+    pub const LCALL: u8 = 0x22;
+    pub const LRET: u8 = 0x23;
+    pub const LRETN: u8 = 0x24;
+    pub const INT: u8 = 0x25;
+    pub const IRET: u8 = 0x26;
+    pub const RDTSC: u8 = 0x27;
+    pub const JMPM: u8 = 0x28;
+    pub const CALLM: u8 = 0x29;
+}
+
+const SRC_REG: u8 = 0;
+const SRC_IMM: u8 = 1;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_src(out: &mut Vec<u8>, s: Src) {
+    match s {
+        Src::Reg(r) => {
+            out.push(SRC_REG);
+            out.push(r as u8);
+        }
+        Src::Imm(v) => {
+            out.push(SRC_IMM);
+            put_u32(out, v as u32);
+        }
+    }
+}
+
+fn put_mem(out: &mut Vec<u8>, m: Mem) {
+    let mut flags = 0u8;
+    if let Some(b) = m.base {
+        flags |= 0x08 | (b as u8);
+    }
+    if let Some(s) = m.seg {
+        flags |= 0x40 | ((s as u8) << 4);
+    }
+    out.push(flags);
+    put_u32(out, m.disp as u32);
+}
+
+/// Appends the encoding of `insn` to `out` and returns its length in bytes.
+pub fn encode_into(insn: &Insn, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    match *insn {
+        Insn::Nop => out.push(op::NOP),
+        Insn::Hlt => out.push(op::HLT),
+        Insn::Mov(r, s) => {
+            out.push(op::MOV);
+            out.push(r as u8);
+            put_src(out, s);
+        }
+        Insn::Load(r, m) => {
+            out.push(op::LOAD);
+            out.push(r as u8);
+            put_mem(out, m);
+        }
+        Insn::Store(m, s) => {
+            out.push(op::STORE);
+            put_mem(out, m);
+            put_src(out, s);
+        }
+        Insn::LoadB(r, m) => {
+            out.push(op::LOADB);
+            out.push(r as u8);
+            put_mem(out, m);
+        }
+        Insn::StoreB(m, r) => {
+            out.push(op::STOREB);
+            put_mem(out, m);
+            out.push(r as u8);
+        }
+        Insn::LoadW(r, m) => {
+            out.push(op::LOADW);
+            out.push(r as u8);
+            put_mem(out, m);
+        }
+        Insn::StoreW(m, r) => {
+            out.push(op::STOREW);
+            put_mem(out, m);
+            out.push(r as u8);
+        }
+        Insn::MovToSeg(sr, r) => {
+            out.push(op::MOV_TO_SEG);
+            out.push(sr as u8);
+            out.push(r as u8);
+        }
+        Insn::MovFromSeg(r, sr) => {
+            out.push(op::MOV_FROM_SEG);
+            out.push(r as u8);
+            out.push(sr as u8);
+        }
+        Insn::Lea(r, m) => {
+            out.push(op::LEA);
+            out.push(r as u8);
+            put_mem(out, m);
+        }
+        Insn::Push(s) => {
+            out.push(op::PUSH);
+            put_src(out, s);
+        }
+        Insn::PushM(m) => {
+            out.push(op::PUSHM);
+            put_mem(out, m);
+        }
+        Insn::PushSeg(sr) => {
+            out.push(op::PUSHSEG);
+            out.push(sr as u8);
+        }
+        Insn::Pop(r) => {
+            out.push(op::POP);
+            out.push(r as u8);
+        }
+        Insn::PopM(m) => {
+            out.push(op::POPM);
+            put_mem(out, m);
+        }
+        Insn::PopSeg(sr) => {
+            out.push(op::POPSEG);
+            out.push(sr as u8);
+        }
+        Insn::Alu(o, r, s) => {
+            out.push(op::ALU);
+            out.push(o as u8);
+            out.push(r as u8);
+            put_src(out, s);
+        }
+        Insn::AluM(o, r, m) => {
+            out.push(op::ALUM);
+            out.push(o as u8);
+            out.push(r as u8);
+            put_mem(out, m);
+        }
+        Insn::Neg(r) => {
+            out.push(op::NEG);
+            out.push(r as u8);
+        }
+        Insn::Not(r) => {
+            out.push(op::NOT);
+            out.push(r as u8);
+        }
+        Insn::Inc(r) => {
+            out.push(op::INC);
+            out.push(r as u8);
+        }
+        Insn::Dec(r) => {
+            out.push(op::DEC);
+            out.push(r as u8);
+        }
+        Insn::Cmp(r, s) => {
+            out.push(op::CMP);
+            out.push(r as u8);
+            put_src(out, s);
+        }
+        Insn::CmpM(m, s) => {
+            out.push(op::CMPM);
+            put_mem(out, m);
+            put_src(out, s);
+        }
+        Insn::Test(r, s) => {
+            out.push(op::TEST);
+            out.push(r as u8);
+            put_src(out, s);
+        }
+        Insn::Jmp(rel) => {
+            out.push(op::JMP);
+            put_u32(out, rel as u32);
+        }
+        Insn::JmpReg(r) => {
+            out.push(op::JMPREG);
+            out.push(r as u8);
+        }
+        Insn::Jcc(c, rel) => {
+            out.push(op::JCC);
+            out.push(c as u8);
+            put_u32(out, rel as u32);
+        }
+        Insn::Call(rel) => {
+            out.push(op::CALL);
+            put_u32(out, rel as u32);
+        }
+        Insn::CallReg(r) => {
+            out.push(op::CALLREG);
+            out.push(r as u8);
+        }
+        Insn::Ret => out.push(op::RET),
+        Insn::RetN(n) => {
+            out.push(op::RETN);
+            put_u16(out, n);
+        }
+        Insn::Lcall(sel, off) => {
+            out.push(op::LCALL);
+            put_u16(out, sel);
+            put_u32(out, off);
+        }
+        Insn::Lret => out.push(op::LRET),
+        Insn::LretN(n) => {
+            out.push(op::LRETN);
+            put_u16(out, n);
+        }
+        Insn::Int(v) => {
+            out.push(op::INT);
+            out.push(v);
+        }
+        Insn::Iret => out.push(op::IRET),
+        Insn::Rdtsc => out.push(op::RDTSC),
+        Insn::JmpM(m) => {
+            out.push(op::JMPM);
+            put_mem(out, m);
+        }
+        Insn::CallM(m) => {
+            out.push(op::CALLM);
+            put_mem(out, m);
+        }
+    }
+    out.len() - start
+}
+
+/// Encodes a single instruction into a fresh buffer.
+pub fn encode(insn: &Insn) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    encode_into(insn, &mut out);
+    out
+}
+
+/// Encodes a program (a straight-line instruction sequence).
+pub fn encode_program(insns: &[Insn]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(insns.len() * 6);
+    for i in insns {
+        encode_into(i, &mut out);
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let lo = self.u8()?;
+        let hi = self.u8()?;
+        Ok(u16::from_le_bytes([lo, hi]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b0 = self.u8()?;
+        let b1 = self.u8()?;
+        let b2 = self.u8()?;
+        let b3 = self.u8()?;
+        Ok(u32::from_le_bytes([b0, b1, b2, b3]))
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        Reg::from_u8(self.u8()?).ok_or(DecodeError::BadOperand)
+    }
+
+    fn segreg(&mut self) -> Result<SegReg, DecodeError> {
+        SegReg::from_u8(self.u8()?).ok_or(DecodeError::BadOperand)
+    }
+
+    fn src(&mut self) -> Result<Src, DecodeError> {
+        match self.u8()? {
+            SRC_REG => Ok(Src::Reg(self.reg()?)),
+            SRC_IMM => Ok(Src::Imm(self.u32()? as i32)),
+            _ => Err(DecodeError::BadOperand),
+        }
+    }
+
+    fn mem(&mut self) -> Result<Mem, DecodeError> {
+        let flags = self.u8()?;
+        if flags & 0x80 != 0 {
+            return Err(DecodeError::BadOperand);
+        }
+        let base = if flags & 0x08 != 0 {
+            Some(Reg::from_u8(flags & 0x07).ok_or(DecodeError::BadOperand)?)
+        } else if flags & 0x07 != 0 {
+            return Err(DecodeError::BadOperand);
+        } else {
+            None
+        };
+        let seg = if flags & 0x40 != 0 {
+            Some(SegReg::from_u8((flags >> 4) & 0x03).ok_or(DecodeError::BadOperand)?)
+        } else if flags & 0x30 != 0 {
+            return Err(DecodeError::BadOperand);
+        } else {
+            None
+        };
+        let disp = self.u32()? as i32;
+        Ok(Mem { seg, base, disp })
+    }
+}
+
+/// Decodes one instruction from the start of `buf`.
+///
+/// Returns the instruction and the number of bytes it occupied.
+pub fn decode(buf: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let opcode = c.u8()?;
+    let insn = match opcode {
+        op::NOP => Insn::Nop,
+        op::HLT => Insn::Hlt,
+        op::MOV => Insn::Mov(c.reg()?, c.src()?),
+        op::LOAD => Insn::Load(c.reg()?, c.mem()?),
+        op::STORE => Insn::Store(c.mem()?, c.src()?),
+        op::LOADB => Insn::LoadB(c.reg()?, c.mem()?),
+        op::STOREB => Insn::StoreB(c.mem()?, c.reg()?),
+        op::LOADW => Insn::LoadW(c.reg()?, c.mem()?),
+        op::STOREW => Insn::StoreW(c.mem()?, c.reg()?),
+        op::MOV_TO_SEG => Insn::MovToSeg(c.segreg()?, c.reg()?),
+        op::MOV_FROM_SEG => Insn::MovFromSeg(c.reg()?, c.segreg()?),
+        op::LEA => Insn::Lea(c.reg()?, c.mem()?),
+        op::PUSH => Insn::Push(c.src()?),
+        op::PUSHM => Insn::PushM(c.mem()?),
+        op::PUSHSEG => Insn::PushSeg(c.segreg()?),
+        op::POP => Insn::Pop(c.reg()?),
+        op::POPM => Insn::PopM(c.mem()?),
+        op::POPSEG => Insn::PopSeg(c.segreg()?),
+        op::ALU => {
+            let o = AluOp::from_u8(c.u8()?).ok_or(DecodeError::BadOperand)?;
+            Insn::Alu(o, c.reg()?, c.src()?)
+        }
+        op::ALUM => {
+            let o = AluOp::from_u8(c.u8()?).ok_or(DecodeError::BadOperand)?;
+            Insn::AluM(o, c.reg()?, c.mem()?)
+        }
+        op::NEG => Insn::Neg(c.reg()?),
+        op::NOT => Insn::Not(c.reg()?),
+        op::INC => Insn::Inc(c.reg()?),
+        op::DEC => Insn::Dec(c.reg()?),
+        op::CMP => Insn::Cmp(c.reg()?, c.src()?),
+        op::CMPM => Insn::CmpM(c.mem()?, c.src()?),
+        op::TEST => Insn::Test(c.reg()?, c.src()?),
+        op::JMP => Insn::Jmp(c.u32()? as i32),
+        op::JMPREG => Insn::JmpReg(c.reg()?),
+        op::JCC => {
+            let cond = Cond::from_u8(c.u8()?).ok_or(DecodeError::BadOperand)?;
+            Insn::Jcc(cond, c.u32()? as i32)
+        }
+        op::CALL => Insn::Call(c.u32()? as i32),
+        op::CALLREG => Insn::CallReg(c.reg()?),
+        op::RET => Insn::Ret,
+        op::RETN => Insn::RetN(c.u16()?),
+        op::LCALL => Insn::Lcall(c.u16()?, c.u32()?),
+        op::LRET => Insn::Lret,
+        op::LRETN => Insn::LretN(c.u16()?),
+        op::INT => Insn::Int(c.u8()?),
+        op::IRET => Insn::Iret,
+        op::RDTSC => Insn::Rdtsc,
+        op::JMPM => Insn::JmpM(c.mem()?),
+        op::CALLM => Insn::CallM(c.mem()?),
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((insn, c.pos))
+}
+
+/// Decodes an entire buffer into an instruction sequence.
+///
+/// Fails if any instruction is malformed or if the buffer ends mid
+/// instruction.
+pub fn decode_program(buf: &[u8]) -> Result<Vec<Insn>, DecodeError> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < buf.len() {
+        let (insn, len) = decode(&buf[pos..])?;
+        out.push(insn);
+        pos += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_insns() -> Vec<Insn> {
+        use crate::isa::Reg::*;
+        vec![
+            Insn::Nop,
+            Insn::Hlt,
+            Insn::Mov(Eax, Src::Imm(-5)),
+            Insn::Mov(Ebx, Src::Reg(Ecx)),
+            Insn::Load(Edx, Mem::based(Esp, 4)),
+            Insn::Store(Mem::abs(0x1000), Src::Reg(Eax)),
+            Insn::Store(Mem::based(Ebp, -8), Src::Imm(7)),
+            Insn::LoadB(Eax, Mem::based(Esi, 0)),
+            Insn::StoreB(Mem::based(Edi, 1), Ecx),
+            Insn::LoadW(Eax, Mem::based(Esi, 2)),
+            Insn::StoreW(Mem::based(Edi, 2), Ecx),
+            Insn::MovToSeg(SegReg::Ds, Eax),
+            Insn::MovFromSeg(Ebx, SegReg::Cs),
+            Insn::Lea(Eax, Mem::based(Ebx, 12).with_seg(SegReg::Es)),
+            Insn::Push(Src::Imm(0x23)),
+            Insn::PushM(Mem::based(Esp, 4)),
+            Insn::PushSeg(SegReg::Ss),
+            Insn::Pop(Eax),
+            Insn::PopM(Mem::abs(0x2000)),
+            Insn::PopSeg(SegReg::Es),
+            Insn::Alu(AluOp::Add, Eax, Src::Imm(1)),
+            Insn::Alu(AluOp::Imul, Ecx, Src::Reg(Edx)),
+            Insn::AluM(AluOp::Xor, Eax, Mem::based(Ebx, 4)),
+            Insn::Neg(Eax),
+            Insn::Not(Ebx),
+            Insn::Inc(Esi),
+            Insn::Dec(Edi),
+            Insn::Cmp(Eax, Src::Imm(0)),
+            Insn::CmpM(Mem::based(Eax, 0), Src::Imm(42)),
+            Insn::Test(Ebx, Src::Reg(Ebx)),
+            Insn::Jmp(-10),
+            Insn::JmpReg(Eax),
+            Insn::Jcc(Cond::Ne, 24),
+            Insn::Call(100),
+            Insn::CallReg(Edx),
+            Insn::Ret,
+            Insn::RetN(8),
+            Insn::Lcall(0x1B, 0xdead_beef),
+            Insn::Lret,
+            Insn::LretN(4),
+            Insn::Int(0x80),
+            Insn::Iret,
+            Insn::Rdtsc,
+            Insn::JmpM(Mem::abs(0x3000)),
+            Insn::CallM(Mem::based(Ebx, 8)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for insn in sample_insns() {
+            let bytes = encode(&insn);
+            let (back, len) = decode(&bytes).unwrap();
+            assert_eq!(back, insn);
+            assert_eq!(len, bytes.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_program() {
+        let prog = sample_insns();
+        let bytes = encode_program(&prog);
+        let back = decode_program(&bytes).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let bytes = encode(&Insn::Mov(Reg::Eax, Src::Imm(12345)));
+        for cut in 1..bytes.len() {
+            assert_eq!(decode(&bytes[..cut]).unwrap_err(), DecodeError::Truncated);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_is_an_error() {
+        assert_eq!(decode(&[0xFF]).unwrap_err(), DecodeError::BadOpcode(0xFF));
+    }
+
+    #[test]
+    fn empty_buffer_is_truncated() {
+        assert_eq!(decode(&[]).unwrap_err(), DecodeError::Truncated);
+    }
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..8).prop_map(|v| Reg::from_u8(v).unwrap())
+    }
+
+    fn arb_segreg() -> impl Strategy<Value = SegReg> {
+        (0u8..4).prop_map(|v| SegReg::from_u8(v).unwrap())
+    }
+
+    fn arb_src() -> impl Strategy<Value = Src> {
+        prop_oneof![
+            arb_reg().prop_map(Src::Reg),
+            any::<i32>().prop_map(Src::Imm)
+        ]
+    }
+
+    fn arb_mem() -> impl Strategy<Value = Mem> {
+        (
+            proptest::option::of(arb_segreg()),
+            proptest::option::of(arb_reg()),
+            any::<i32>(),
+        )
+            .prop_map(|(seg, base, disp)| Mem { seg, base, disp })
+    }
+
+    fn arb_insn() -> impl Strategy<Value = Insn> {
+        let alu = (0u8..9).prop_map(|v| AluOp::from_u8(v).unwrap());
+        let cond = (0u8..12).prop_map(|v| Cond::from_u8(v).unwrap());
+        prop_oneof![
+            Just(Insn::Nop),
+            Just(Insn::Hlt),
+            (arb_reg(), arb_src()).prop_map(|(r, s)| Insn::Mov(r, s)),
+            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::Load(r, m)),
+            (arb_mem(), arb_src()).prop_map(|(m, s)| Insn::Store(m, s)),
+            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::LoadB(r, m)),
+            (arb_mem(), arb_reg()).prop_map(|(m, r)| Insn::StoreB(m, r)),
+            (arb_segreg(), arb_reg()).prop_map(|(s, r)| Insn::MovToSeg(s, r)),
+            (arb_reg(), arb_segreg()).prop_map(|(r, s)| Insn::MovFromSeg(r, s)),
+            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::Lea(r, m)),
+            arb_src().prop_map(Insn::Push),
+            arb_mem().prop_map(Insn::PushM),
+            arb_segreg().prop_map(Insn::PushSeg),
+            arb_reg().prop_map(Insn::Pop),
+            arb_mem().prop_map(Insn::PopM),
+            arb_segreg().prop_map(Insn::PopSeg),
+            (alu.clone(), arb_reg(), arb_src()).prop_map(|(o, r, s)| Insn::Alu(o, r, s)),
+            (alu, arb_reg(), arb_mem()).prop_map(|(o, r, m)| Insn::AluM(o, r, m)),
+            (arb_reg(), arb_src()).prop_map(|(r, s)| Insn::Cmp(r, s)),
+            (arb_mem(), arb_src()).prop_map(|(m, s)| Insn::CmpM(m, s)),
+            any::<i32>().prop_map(Insn::Jmp),
+            (cond, any::<i32>()).prop_map(|(c, rel)| Insn::Jcc(c, rel)),
+            any::<i32>().prop_map(Insn::Call),
+            Just(Insn::Ret),
+            any::<u16>().prop_map(Insn::RetN),
+            (any::<u16>(), any::<u32>()).prop_map(|(s, o)| Insn::Lcall(s, o)),
+            Just(Insn::Lret),
+            any::<u16>().prop_map(Insn::LretN),
+            any::<u8>().prop_map(Insn::Int),
+            Just(Insn::Iret),
+            Just(Insn::Rdtsc),
+            arb_mem().prop_map(Insn::JmpM),
+            arb_mem().prop_map(Insn::CallM),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(insn in arb_insn()) {
+            let bytes = encode(&insn);
+            let (back, len) = decode(&bytes).unwrap();
+            prop_assert_eq!(back, insn);
+            prop_assert_eq!(len, bytes.len());
+        }
+
+        #[test]
+        fn prop_program_roundtrip(prog in proptest::collection::vec(arb_insn(), 0..64)) {
+            let bytes = encode_program(&prog);
+            let back = decode_program(&bytes).unwrap();
+            prop_assert_eq!(back, prog);
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        /// The decoder is total: arbitrary bytes either decode or return a
+        /// structured error — never panic, never read out of bounds.
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut pos = 0;
+            while pos < bytes.len() {
+                match decode(&bytes[pos..]) {
+                    Ok((_, len)) => {
+                        prop_assert!(len > 0 && pos + len <= bytes.len());
+                        pos += len;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}

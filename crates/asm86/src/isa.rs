@@ -1,0 +1,571 @@
+//! Instruction set definition.
+//!
+//! The simulator executes a 32-bit, x86-flavoured instruction set. The
+//! *semantics* of the control-transfer and privilege instructions
+//! (`lcall`, `lret`, `int`, `iret`, segment-register loads) follow the
+//! Intel architecture manual, because those are what the Palladium paper's
+//! protection mechanism is built from. The *encoding* is a simplified
+//! regular scheme (one opcode byte plus fixed-width operands, see
+//! [`mod@crate::encode`]) rather than real x86 machine code; this substitution
+//! is documented in `DESIGN.md`.
+
+use core::fmt;
+
+/// A general-purpose 32-bit register, in x86 numbering order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// Accumulator; also carries the 4-byte extension-call result.
+    Eax = 0,
+    /// Counter register.
+    Ecx = 1,
+    /// Data register.
+    Edx = 2,
+    /// Base register.
+    Ebx = 3,
+    /// Stack pointer.
+    Esp = 4,
+    /// Frame (base) pointer.
+    Ebp = 5,
+    /// Source index.
+    Esi = 6,
+    /// Destination index.
+    Edi = 7,
+}
+
+impl Reg {
+    /// All registers, in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esp,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// Decodes a register from its 3-bit encoding.
+    pub fn from_u8(v: u8) -> Option<Reg> {
+        Reg::ALL.get(v as usize).copied()
+    }
+
+    /// The register's canonical lower-case mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Ebx => "ebx",
+            Reg::Esp => "esp",
+            Reg::Ebp => "ebp",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A segment register.
+///
+/// `FS`/`GS` are omitted: the paper's mechanism only needs `CS`, `SS`, `DS`
+/// and one spare data segment (`ES`) for cross-segment kernel references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SegReg {
+    /// Extra data segment.
+    Es = 0,
+    /// Code segment; its RPL field is the current privilege level.
+    Cs = 1,
+    /// Stack segment.
+    Ss = 2,
+    /// Default data segment.
+    Ds = 3,
+}
+
+impl SegReg {
+    /// All segment registers, in encoding order.
+    pub const ALL: [SegReg; 4] = [SegReg::Es, SegReg::Cs, SegReg::Ss, SegReg::Ds];
+
+    /// Decodes a segment register from its 2-bit encoding.
+    pub fn from_u8(v: u8) -> Option<SegReg> {
+        SegReg::ALL.get(v as usize).copied()
+    }
+
+    /// The register's canonical lower-case mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            SegReg::Es => "es",
+            SegReg::Cs => "cs",
+            SegReg::Ss => "ss",
+            SegReg::Ds => "ds",
+        }
+    }
+}
+
+impl fmt::Display for SegReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A memory operand: `seg:[base + disp]`.
+///
+/// Without an explicit segment override the effective segment follows the
+/// x86 default rule: `SS` when the base register is `ESP` or `EBP`, `DS`
+/// otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    /// Optional segment override.
+    pub seg: Option<SegReg>,
+    /// Optional base register.
+    pub base: Option<Reg>,
+    /// Signed displacement added to the base.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// An absolute address with the default segment.
+    pub fn abs(disp: u32) -> Mem {
+        Mem {
+            seg: None,
+            base: None,
+            disp: disp as i32,
+        }
+    }
+
+    /// `[base + disp]` with the default segment.
+    pub fn based(base: Reg, disp: i32) -> Mem {
+        Mem {
+            seg: None,
+            base: Some(base),
+            disp,
+        }
+    }
+
+    /// Returns the same operand with an explicit segment override.
+    pub fn with_seg(mut self, seg: SegReg) -> Mem {
+        self.seg = Some(seg);
+        self
+    }
+
+    /// The segment this operand uses, applying the x86 default rule.
+    pub fn effective_seg(&self) -> SegReg {
+        if let Some(s) = self.seg {
+            return s;
+        }
+        match self.base {
+            Some(Reg::Esp) | Some(Reg::Ebp) => SegReg::Ss,
+            _ => SegReg::Ds,
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(s) = self.seg {
+            write!(f, "{s}:")?;
+        }
+        f.write_str("[")?;
+        match (self.base, self.disp) {
+            (Some(b), 0) => write!(f, "{b}")?,
+            (Some(b), d) if d > 0 => write!(f, "{b}+{d:#x}")?,
+            (Some(b), d) => write!(f, "{b}-{:#x}", (d as i64).unsigned_abs())?,
+            (None, d) => write!(f, "{:#x}", d as u32)?,
+        }
+        f.write_str("]")
+    }
+}
+
+/// A register-or-immediate source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// A register source.
+    Reg(Reg),
+    /// An immediate source.
+    Imm(i32),
+}
+
+impl From<Reg> for Src {
+    fn from(r: Reg) -> Src {
+        Src::Reg(r)
+    }
+}
+
+impl From<i32> for Src {
+    fn from(v: i32) -> Src {
+        Src::Imm(v)
+    }
+}
+
+impl From<u32> for Src {
+    fn from(v: u32) -> Src {
+        Src::Imm(v as i32)
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Reg(r) => write!(f, "{r}"),
+            Src::Imm(v) => write!(f, "{v:#x}"),
+        }
+    }
+}
+
+/// Binary ALU operations that write their destination register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Addition.
+    Add = 0,
+    /// Subtraction.
+    Sub = 1,
+    /// Bitwise AND.
+    And = 2,
+    /// Bitwise OR.
+    Or = 3,
+    /// Bitwise XOR.
+    Xor = 4,
+    /// Logical shift left.
+    Shl = 5,
+    /// Logical shift right.
+    Shr = 6,
+    /// Arithmetic shift right.
+    Sar = 7,
+    /// Signed multiply (truncating).
+    Imul = 8,
+}
+
+impl AluOp {
+    /// All ALU operations, in encoding order.
+    pub const ALL: [AluOp; 9] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Imul,
+    ];
+
+    /// Decodes an ALU operation from its 4-bit encoding.
+    pub fn from_u8(v: u8) -> Option<AluOp> {
+        AluOp::ALL.get(v as usize).copied()
+    }
+
+    /// The operation's canonical mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Imul => "imul",
+        }
+    }
+}
+
+/// Branch condition codes, matching the x86 `Jcc` family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`ZF`).
+    E = 0,
+    /// Not equal (`!ZF`).
+    Ne = 1,
+    /// Signed less (`SF != OF`).
+    L = 2,
+    /// Signed less-or-equal.
+    Le = 3,
+    /// Signed greater.
+    G = 4,
+    /// Signed greater-or-equal.
+    Ge = 5,
+    /// Unsigned below (`CF`).
+    B = 6,
+    /// Unsigned below-or-equal.
+    Be = 7,
+    /// Unsigned above.
+    A = 8,
+    /// Unsigned above-or-equal.
+    Ae = 9,
+    /// Sign set.
+    S = 10,
+    /// Sign clear.
+    Ns = 11,
+}
+
+impl Cond {
+    /// All condition codes, in encoding order.
+    pub const ALL: [Cond; 12] = [
+        Cond::E,
+        Cond::Ne,
+        Cond::L,
+        Cond::Le,
+        Cond::G,
+        Cond::Ge,
+        Cond::B,
+        Cond::Be,
+        Cond::A,
+        Cond::Ae,
+        Cond::S,
+        Cond::Ns,
+    ];
+
+    /// Decodes a condition from its 4-bit encoding.
+    pub fn from_u8(v: u8) -> Option<Cond> {
+        Cond::ALL.get(v as usize).copied()
+    }
+
+    /// The condition's mnemonic suffix (`e` in `je`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+        }
+    }
+}
+
+/// One decoded instruction.
+///
+/// Branch and call targets are *relative* displacements from the end of the
+/// instruction, exactly as in x86 `rel32` encodings; the assembler resolves
+/// labels to such displacements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// No operation.
+    Nop,
+    /// Halt: stops the simulated CPU (privileged; requires CPL 0).
+    Hlt,
+    /// `mov reg, reg/imm`.
+    Mov(Reg, Src),
+    /// 32-bit load: `mov reg, [mem]`.
+    Load(Reg, Mem),
+    /// 32-bit store: `mov [mem], reg/imm`.
+    Store(Mem, Src),
+    /// 8-bit load, zero-extended: `movzx reg, byte [mem]`.
+    LoadB(Reg, Mem),
+    /// 8-bit store of a register's low byte: `mov byte [mem], reg`.
+    StoreB(Mem, Reg),
+    /// 16-bit load, zero-extended: `movzx reg, word [mem]`.
+    LoadW(Reg, Mem),
+    /// 16-bit store of a register's low word: `mov word [mem], reg`.
+    StoreW(Mem, Reg),
+    /// Load a segment register: `mov sreg, reg` (checked descriptor load).
+    MovToSeg(SegReg, Reg),
+    /// Read a segment selector: `mov reg, sreg`.
+    MovFromSeg(Reg, SegReg),
+    /// Compute an effective address without touching memory.
+    Lea(Reg, Mem),
+    /// Push a register or immediate.
+    Push(Src),
+    /// Push a 32-bit value loaded from memory.
+    PushM(Mem),
+    /// Push a segment register's selector (as 32 bits).
+    PushSeg(SegReg),
+    /// Pop into a register.
+    Pop(Reg),
+    /// Pop into memory.
+    PopM(Mem),
+    /// Pop into a segment register (checked descriptor load).
+    PopSeg(SegReg),
+    /// Binary ALU operation on a register.
+    Alu(AluOp, Reg, Src),
+    /// ALU operation whose source is a 32-bit memory load.
+    AluM(AluOp, Reg, Mem),
+    /// Two's-complement negate.
+    Neg(Reg),
+    /// Bitwise complement.
+    Not(Reg),
+    /// Increment.
+    Inc(Reg),
+    /// Decrement.
+    Dec(Reg),
+    /// Compare register with register/immediate (sets flags only).
+    Cmp(Reg, Src),
+    /// Compare a 32-bit memory word with register/immediate.
+    CmpM(Mem, Src),
+    /// Bitwise test (sets flags only).
+    Test(Reg, Src),
+    /// Unconditional relative jump.
+    Jmp(i32),
+    /// Indirect jump through a register.
+    JmpReg(Reg),
+    /// Indirect jump through memory (`jmp [mem]`, as a PLT entry does).
+    JmpM(Mem),
+    /// Conditional relative jump.
+    Jcc(Cond, i32),
+    /// Near relative call.
+    Call(i32),
+    /// Near indirect call through a register.
+    CallReg(Reg),
+    /// Near indirect call through memory (`call [mem]`).
+    CallM(Mem),
+    /// Near return.
+    Ret,
+    /// Near return, releasing `n` bytes of arguments.
+    RetN(u16),
+    /// Far call: through a call gate or to a far code segment.
+    ///
+    /// If the selector names a call gate the offset is ignored, exactly as
+    /// on x86.
+    Lcall(u16, u32),
+    /// Far return.
+    Lret,
+    /// Far return, releasing `n` bytes of arguments.
+    LretN(u16),
+    /// Software interrupt through the IDT.
+    Int(u8),
+    /// Interrupt return.
+    Iret,
+    /// Read the CPU cycle counter into `EDX:EAX` (like `rdtsc`).
+    Rdtsc,
+}
+
+impl Insn {
+    /// True if the instruction can change the control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Insn::Jmp(_)
+                | Insn::JmpReg(_)
+                | Insn::JmpM(_)
+                | Insn::Jcc(..)
+                | Insn::Call(_)
+                | Insn::CallReg(_)
+                | Insn::CallM(_)
+                | Insn::Ret
+                | Insn::RetN(_)
+                | Insn::Lcall(..)
+                | Insn::Lret
+                | Insn::LretN(_)
+                | Insn::Int(_)
+                | Insn::Iret
+                | Insn::Hlt
+        )
+    }
+
+    /// True if the instruction reads or writes data memory.
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Insn::Load(..)
+                | Insn::Store(..)
+                | Insn::LoadB(..)
+                | Insn::StoreB(..)
+                | Insn::LoadW(..)
+                | Insn::StoreW(..)
+                | Insn::Push(_)
+                | Insn::PushM(_)
+                | Insn::PushSeg(_)
+                | Insn::Pop(_)
+                | Insn::PopM(_)
+                | Insn::PopSeg(_)
+                | Insn::AluM(..)
+                | Insn::CmpM(..)
+                | Insn::Call(_)
+                | Insn::CallReg(_)
+                | Insn::CallM(_)
+                | Insn::JmpM(_)
+                | Insn::Ret
+                | Insn::RetN(_)
+                | Insn::Lcall(..)
+                | Insn::Lret
+                | Insn::LretN(_)
+                | Insn::Int(_)
+                | Insn::Iret
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_u8(r as u8), Some(r));
+        }
+        assert_eq!(Reg::from_u8(8), None);
+    }
+
+    #[test]
+    fn segreg_roundtrip() {
+        for s in SegReg::ALL {
+            assert_eq!(SegReg::from_u8(s as u8), Some(s));
+        }
+        assert_eq!(SegReg::from_u8(4), None);
+    }
+
+    #[test]
+    fn aluop_roundtrip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(AluOp::from_u8(9), None);
+    }
+
+    #[test]
+    fn cond_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_u8(c as u8), Some(c));
+        }
+        assert_eq!(Cond::from_u8(12), None);
+    }
+
+    #[test]
+    fn mem_default_segment_follows_x86_rule() {
+        assert_eq!(Mem::based(Reg::Esp, 4).effective_seg(), SegReg::Ss);
+        assert_eq!(Mem::based(Reg::Ebp, -8).effective_seg(), SegReg::Ss);
+        assert_eq!(Mem::based(Reg::Eax, 0).effective_seg(), SegReg::Ds);
+        assert_eq!(Mem::abs(0x1000).effective_seg(), SegReg::Ds);
+        assert_eq!(
+            Mem::based(Reg::Esp, 0).with_seg(SegReg::Ds).effective_seg(),
+            SegReg::Ds
+        );
+    }
+
+    #[test]
+    fn control_and_memory_classification() {
+        assert!(Insn::Jmp(0).is_control());
+        assert!(Insn::Lcall(8, 0).is_control());
+        assert!(!Insn::Mov(Reg::Eax, Src::Imm(1)).is_control());
+        assert!(Insn::Push(Src::Reg(Reg::Eax)).touches_memory());
+        assert!(!Insn::Mov(Reg::Eax, Src::Reg(Reg::Ebx)).touches_memory());
+    }
+
+    #[test]
+    fn mem_display_formats() {
+        assert_eq!(Mem::based(Reg::Eax, 8).to_string(), "[eax+0x8]");
+        assert_eq!(Mem::based(Reg::Ebp, -4).to_string(), "[ebp-0x4]");
+        assert_eq!(Mem::abs(0x1234).to_string(), "[0x1234]");
+        assert_eq!(
+            Mem::based(Reg::Ebx, 0).with_seg(SegReg::Es).to_string(),
+            "es:[ebx]"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! `asm86` — the toolchain for the Palladium reproduction.
+//!
+//! This crate defines the 32-bit, x86-flavoured instruction set executed by
+//! the `x86sim` simulator, together with:
+//!
+//! * a binary [encoder/decoder](mod@crate::encode) with a regular (non-x86)
+//!   encoding,
+//! * a relocatable [object format and code builder](crate::obj), used by the
+//!   Palladium trampoline generator and the packet-filter compiler,
+//! * a two-pass [text assembler](crate::asm), and
+//! * a [disassembler](crate::disasm) for debugging.
+//!
+//! The control-transfer instructions (`lcall`, `lret`, `int`, `iret`) and
+//! segment-register loads follow Intel protected-mode semantics — they are
+//! the raw material of the paper's protection mechanism.
+//!
+//! # Examples
+//!
+//! ```
+//! use asm86::asm::Assembler;
+//! use asm86::encode::decode_program;
+//!
+//! let obj = Assembler::assemble(
+//!     "entry:\n\
+//!      \tmov eax, 41\n\
+//!      \tinc eax\n\
+//!      \tret\n",
+//! )
+//! .unwrap();
+//! let image = obj.link(0x1000, &Default::default()).unwrap();
+//! assert_eq!(decode_program(&image).unwrap().len(), 3);
+//! ```
+
+pub mod asm;
+pub mod disasm;
+pub mod encode;
+pub mod isa;
+pub mod obj;
+
+pub use asm::{AsmError, Assembler};
+pub use encode::{decode, decode_program, encode, encode_program, DecodeError};
+pub use isa::{AluOp, Cond, Insn, Mem, Reg, SegReg, Src};
+pub use obj::{CodeBuilder, ObjError, Object, Reloc, RelocKind};

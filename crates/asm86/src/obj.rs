@@ -1,0 +1,544 @@
+//! Object format and code builder.
+//!
+//! An [`Object`] is the output of the assembler or of programmatic code
+//! generation (e.g. the Palladium `Prepare`/`Transfer` trampolines): raw
+//! bytes, a symbol table, and absolute relocations that a loader applies
+//! once the image's base linear address and any external symbols are known.
+//!
+//! Relative (`rel32`) branches to labels inside the same object are
+//! resolved when the object is finalized, so an object's code is
+//! position-independent except where it takes the *absolute* address of a
+//! symbol — those sites get [`Reloc`] records, mirroring how `ld.so`
+//! relocates a shared library.
+
+use std::collections::BTreeMap;
+
+use crate::encode::encode_into;
+use crate::isa::{AluOp, Cond, Insn, Mem, Reg, Src};
+
+/// Kinds of relocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelocKind {
+    /// Patch a 32-bit little-endian absolute address.
+    Abs32,
+    /// Patch a 32-bit displacement relative to the end of the field
+    /// (`rel32` branch targets left unresolved at assembly time, e.g.
+    /// calls to imported functions).
+    Rel32,
+}
+
+/// One relocation: patch the 4 bytes at `offset` with the resolved address
+/// of `sym` plus `addend`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reloc {
+    /// Byte offset of the field inside the object.
+    pub offset: u32,
+    /// Symbol whose address is patched in.
+    pub sym: String,
+    /// Constant added to the symbol's address.
+    pub addend: i32,
+    /// Relocation kind.
+    pub kind: RelocKind,
+}
+
+/// Errors produced while building or linking an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjError {
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A `rel32` branch referenced a label never defined in this object.
+    UndefinedLabel(String),
+    /// Linking could not resolve a symbol internally or externally.
+    UnresolvedSymbol(String),
+    /// A relocation field fell outside the object.
+    BadReloc(u32),
+}
+
+impl core::fmt::Display for ObjError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ObjError::DuplicateLabel(s) => write!(f, "duplicate label `{s}`"),
+            ObjError::UndefinedLabel(s) => write!(f, "undefined label `{s}`"),
+            ObjError::UnresolvedSymbol(s) => write!(f, "unresolved symbol `{s}`"),
+            ObjError::BadReloc(o) => write!(f, "relocation at {o:#x} out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+/// A relocatable code/data image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Object {
+    /// The image bytes (code and data interleaved as emitted).
+    pub bytes: Vec<u8>,
+    /// Defined symbols: name to offset within the image.
+    pub symbols: BTreeMap<String, u32>,
+    /// Absolute constants (`.equ`): name to value, not shifted by the
+    /// load base.
+    pub abs_symbols: BTreeMap<String, u32>,
+    /// Unapplied absolute relocations.
+    pub relocs: Vec<Reloc>,
+}
+
+impl Object {
+    /// The image size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The offset of a defined symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Produces the loadable image for a given base address.
+    ///
+    /// Every relocation is resolved against this object's own symbol table
+    /// first (symbol address = `base + offset`), then against `externs`
+    /// (absolute addresses supplied by the loader, e.g. kernel-provided
+    /// shared-area addresses).
+    pub fn link(&self, base: u32, externs: &BTreeMap<String, u32>) -> Result<Vec<u8>, ObjError> {
+        let mut out = self.bytes.clone();
+        for r in &self.relocs {
+            let value = if let Some(off) = self.symbols.get(&r.sym) {
+                base.wrapping_add(*off)
+            } else if let Some(v) = self.abs_symbols.get(&r.sym) {
+                *v
+            } else if let Some(addr) = externs.get(&r.sym) {
+                *addr
+            } else {
+                return Err(ObjError::UnresolvedSymbol(r.sym.clone()));
+            };
+            let value = value.wrapping_add(r.addend as u32);
+            let o = r.offset as usize;
+            let field_end = base.wrapping_add(r.offset).wrapping_add(4);
+            let field = out.get_mut(o..o + 4).ok_or(ObjError::BadReloc(r.offset))?;
+            match r.kind {
+                RelocKind::Abs32 => field.copy_from_slice(&value.to_le_bytes()),
+                RelocKind::Rel32 => {
+                    let rel = value.wrapping_sub(field_end);
+                    field.copy_from_slice(&rel.to_le_bytes());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Names of symbols this object references but does not define.
+    pub fn undefined_symbols(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .relocs
+            .iter()
+            .filter(|r| {
+                !self.symbols.contains_key(&r.sym) && !self.abs_symbols.contains_key(&r.sym)
+            })
+            .map(|r| r.sym.as_str())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RelFixup {
+    /// Offset of the 4-byte rel32 field.
+    field: u32,
+    /// Target label.
+    label: String,
+}
+
+/// Incremental builder for an [`Object`].
+///
+/// Plain instructions are emitted with [`CodeBuilder::emit`]; branches to
+/// labels use the `*_label` helpers and are fixed up in
+/// [`CodeBuilder::finish`]. Helpers that take the absolute address of a
+/// symbol (`push_label`, `mov_label`, ...) emit [`Reloc`] records so the
+/// loader can place the image anywhere.
+#[derive(Debug, Default)]
+pub struct CodeBuilder {
+    bytes: Vec<u8>,
+    symbols: BTreeMap<String, u32>,
+    abs_symbols: BTreeMap<String, u32>,
+    relocs: Vec<Reloc>,
+    rel_fixups: Vec<RelFixup>,
+}
+
+impl CodeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> CodeBuilder {
+        CodeBuilder::default()
+    }
+
+    /// Current offset within the image.
+    pub fn here(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Defines `name` at the current offset.
+    pub fn label(&mut self, name: &str) -> Result<(), ObjError> {
+        let off = self.here();
+        if self.abs_symbols.contains_key(name)
+            || self.symbols.insert(name.to_string(), off).is_some()
+        {
+            return Err(ObjError::DuplicateLabel(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Defines an absolute constant (`.equ`), usable wherever a label is.
+    pub fn equ(&mut self, name: &str, value: u32) -> Result<(), ObjError> {
+        if self.symbols.contains_key(name)
+            || self.abs_symbols.insert(name.to_string(), value).is_some()
+        {
+            return Err(ObjError::DuplicateLabel(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Emits one fully-resolved instruction.
+    pub fn emit(&mut self, insn: Insn) -> &mut Self {
+        encode_into(&insn, &mut self.bytes);
+        self
+    }
+
+    /// Emits several fully-resolved instructions.
+    pub fn emit_all(&mut self, insns: &[Insn]) -> &mut Self {
+        for i in insns {
+            self.emit(*i);
+        }
+        self
+    }
+
+    fn emit_rel(&mut self, insn: Insn, label: &str) {
+        encode_into(&insn, &mut self.bytes);
+        // The rel32 field is the trailing 4 bytes of every relative-branch
+        // encoding (see `crate::encode`).
+        self.rel_fixups.push(RelFixup {
+            field: self.here() - 4,
+            label: label.to_string(),
+        });
+    }
+
+    fn abs_reloc_trailing(&mut self, sym: &str, addend: i32) {
+        self.relocs.push(Reloc {
+            offset: self.here() - 4,
+            sym: sym.to_string(),
+            addend,
+            kind: RelocKind::Abs32,
+        });
+    }
+
+    /// `call label` (near relative).
+    pub fn call_label(&mut self, label: &str) -> &mut Self {
+        self.emit_rel(Insn::Call(0), label);
+        self
+    }
+
+    /// `jmp label`.
+    pub fn jmp_label(&mut self, label: &str) -> &mut Self {
+        self.emit_rel(Insn::Jmp(0), label);
+        self
+    }
+
+    /// `jcc label`.
+    pub fn jcc_label(&mut self, cond: Cond, label: &str) -> &mut Self {
+        self.emit_rel(Insn::Jcc(cond, 0), label);
+        self
+    }
+
+    /// `lcall sel, label` — far call whose offset is the absolute address
+    /// of `label` (patched at link time).
+    pub fn lcall_label(&mut self, sel: u16, label: &str) -> &mut Self {
+        self.emit(Insn::Lcall(sel, 0));
+        self.abs_reloc_trailing(label, 0);
+        self
+    }
+
+    /// `mov reg, &label` — loads the absolute address of a symbol.
+    pub fn mov_label(&mut self, reg: Reg, label: &str) -> &mut Self {
+        self.emit(Insn::Mov(reg, Src::Imm(0)));
+        self.abs_reloc_trailing(label, 0);
+        self
+    }
+
+    /// `push &label` — pushes the absolute address of a symbol.
+    pub fn push_label(&mut self, label: &str) -> &mut Self {
+        self.emit(Insn::Push(Src::Imm(0)));
+        self.abs_reloc_trailing(label, 0);
+        self
+    }
+
+    /// `mov reg, [label + addend]` — 32-bit load from a symbol's address.
+    pub fn load_label(&mut self, reg: Reg, label: &str, addend: i32) -> &mut Self {
+        self.emit(Insn::Load(reg, Mem::abs(0)));
+        self.abs_reloc_trailing(label, addend);
+        self
+    }
+
+    /// `push dword [label]`.
+    pub fn pushm_label(&mut self, label: &str, addend: i32) -> &mut Self {
+        self.emit(Insn::PushM(Mem::abs(0)));
+        self.abs_reloc_trailing(label, addend);
+        self
+    }
+
+    /// `pop dword [label]`.
+    pub fn popm_label(&mut self, label: &str, addend: i32) -> &mut Self {
+        self.emit(Insn::PopM(Mem::abs(0)));
+        self.abs_reloc_trailing(label, addend);
+        self
+    }
+
+    /// `jmp dword [label]` — indirect jump through a memory slot.
+    pub fn jmpm_label(&mut self, label: &str, addend: i32) -> &mut Self {
+        self.emit(Insn::JmpM(Mem::abs(0)));
+        self.abs_reloc_trailing(label, addend);
+        self
+    }
+
+    /// `mov [label + addend], reg` — 32-bit store to a symbol's address.
+    ///
+    /// The displacement field is not trailing in a `Store` encoding, so the
+    /// relocation offset is computed explicitly.
+    pub fn store_label(&mut self, label: &str, addend: i32, reg: Reg) -> &mut Self {
+        let start = self.here();
+        self.emit(Insn::Store(Mem::abs(0), Src::Reg(reg)));
+        // Layout: opcode(1) + mem flags(1) + disp(4) + src tag(1) + reg(1).
+        self.relocs.push(Reloc {
+            offset: start + 2,
+            sym: label.to_string(),
+            addend,
+            kind: RelocKind::Abs32,
+        });
+        self
+    }
+
+    /// Records a relocation at an explicit offset.
+    ///
+    /// Used by the assembler for encodings whose address field is not
+    /// trailing; prefer the `*_label` helpers elsewhere.
+    pub fn raw_reloc(&mut self, reloc: Reloc) -> &mut Self {
+        self.relocs.push(reloc);
+        self
+    }
+
+    /// Emits raw bytes.
+    pub fn bytes(&mut self, data: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(data);
+        self
+    }
+
+    /// Emits a 32-bit little-endian constant.
+    pub fn dword(&mut self, v: u32) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Emits a 32-bit field holding the absolute address of `label`.
+    pub fn dword_label(&mut self, label: &str, addend: i32) -> &mut Self {
+        self.dword(0);
+        self.abs_reloc_trailing(label, addend);
+        self
+    }
+
+    /// Emits `n` zero bytes.
+    pub fn space(&mut self, n: usize) -> &mut Self {
+        self.bytes.resize(self.bytes.len() + n, 0);
+        self
+    }
+
+    /// Pads with zero bytes to the given power-of-two alignment.
+    pub fn align(&mut self, align: usize) -> &mut Self {
+        debug_assert!(align.is_power_of_two());
+        let rem = self.bytes.len() % align;
+        if rem != 0 {
+            self.space(align - rem);
+        }
+        self
+    }
+
+    /// Emits ALU shorthand: `op reg, src`.
+    pub fn alu(&mut self, op: AluOp, reg: Reg, src: impl Into<Src>) -> &mut Self {
+        self.emit(Insn::Alu(op, reg, src.into()))
+    }
+
+    /// Resolves internal `rel32` fixups and returns the object. Branches
+    /// to labels not defined in this object become [`RelocKind::Rel32`]
+    /// relocations, resolved at link time against external symbols (or
+    /// against symbols supplied by a later [`crate::obj`] merge).
+    pub fn finish(mut self) -> Result<Object, ObjError> {
+        for f in &self.rel_fixups {
+            match self.symbols.get(&f.label) {
+                Some(target) => {
+                    // rel32 is measured from the end of the instruction,
+                    // which is the end of the field itself.
+                    let rel = (*target as i64 - (f.field as i64 + 4)) as i32;
+                    let o = f.field as usize;
+                    self.bytes[o..o + 4].copy_from_slice(&rel.to_le_bytes());
+                }
+                None => {
+                    self.relocs.push(Reloc {
+                        offset: f.field,
+                        sym: f.label.clone(),
+                        addend: 0,
+                        kind: RelocKind::Rel32,
+                    });
+                }
+            }
+        }
+        Ok(Object {
+            bytes: self.bytes,
+            symbols: self.symbols,
+            abs_symbols: self.abs_symbols,
+            relocs: self.relocs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode_program;
+    use crate::isa::Reg::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut b = CodeBuilder::new();
+        b.label("start").unwrap();
+        b.emit(Insn::Mov(Eax, Src::Imm(0)));
+        b.jmp_label("end");
+        b.label("loop").unwrap();
+        b.emit(Insn::Inc(Eax));
+        b.label("end").unwrap();
+        b.jcc_label(Cond::Ne, "loop");
+        b.emit(Insn::Ret);
+        let obj = b.finish().unwrap();
+
+        let insns = decode_program(&obj.bytes).unwrap();
+        // mov(7) jmp(5) inc(2) jcc(6) ret(1)
+        // jmp at offset 7, field at 8, end 12; `end` label at 14 => rel 2.
+        assert_eq!(insns[1], Insn::Jmp(2));
+        // jcc at 14, end 20; `loop` at 12 => rel -8.
+        assert_eq!(insns[3], Insn::Jcc(Cond::Ne, -8));
+    }
+
+    #[test]
+    fn undefined_branch_becomes_rel32_reloc() {
+        let mut b = CodeBuilder::new();
+        b.jmp_label("imported");
+        let obj = b.finish().unwrap();
+        assert_eq!(obj.undefined_symbols(), vec!["imported"]);
+        // Unresolvable at link time without externs.
+        assert_eq!(
+            obj.link(0, &BTreeMap::new()).unwrap_err(),
+            ObjError::UnresolvedSymbol("imported".into())
+        );
+        // Resolves against an extern: jmp at base 0x1000, field at 0x1001,
+        // end 0x1005; target 0x2000 => rel 0xFFB.
+        let mut externs = BTreeMap::new();
+        externs.insert("imported".to_string(), 0x2000);
+        let image = obj.link(0x1000, &externs).unwrap();
+        let insns = crate::encode::decode_program(&image).unwrap();
+        assert_eq!(insns[0], Insn::Jmp(0xFFB));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut b = CodeBuilder::new();
+        b.label("x").unwrap();
+        assert_eq!(
+            b.label("x").unwrap_err(),
+            ObjError::DuplicateLabel("x".into())
+        );
+    }
+
+    #[test]
+    fn internal_abs_reloc_uses_base() {
+        let mut b = CodeBuilder::new();
+        b.mov_label(Eax, "data");
+        b.emit(Insn::Ret);
+        b.label("data").unwrap();
+        b.dword(0xCAFE_BABE);
+        let obj = b.finish().unwrap();
+        let data_off = obj.symbol("data").unwrap();
+
+        let image = obj.link(0x1000, &BTreeMap::new()).unwrap();
+        let insns = decode_program(&image[..data_off as usize]).unwrap();
+        assert_eq!(insns[0], Insn::Mov(Eax, Src::Imm(0x1000 + data_off as i32)));
+    }
+
+    #[test]
+    fn external_symbols_resolve_from_map() {
+        let mut b = CodeBuilder::new();
+        b.load_label(Ecx, "shared_area", 8);
+        b.emit(Insn::Ret);
+        let obj = b.finish().unwrap();
+        assert_eq!(obj.undefined_symbols(), vec!["shared_area"]);
+
+        let mut externs = BTreeMap::new();
+        externs.insert("shared_area".to_string(), 0x0800_0000);
+        let image = obj.link(0x4000, &externs).unwrap();
+        let insns = decode_program(&image).unwrap();
+        assert_eq!(insns[0], Insn::Load(Ecx, Mem::abs(0x0800_0008)));
+    }
+
+    #[test]
+    fn unresolved_symbol_errors_at_link() {
+        let mut b = CodeBuilder::new();
+        b.push_label("missing");
+        let obj = b.finish().unwrap();
+        assert_eq!(
+            obj.link(0, &BTreeMap::new()).unwrap_err(),
+            ObjError::UnresolvedSymbol("missing".into())
+        );
+    }
+
+    #[test]
+    fn store_label_patches_displacement_field() {
+        let mut b = CodeBuilder::new();
+        b.store_label("slot", 0, Ebx);
+        b.emit(Insn::Ret);
+        b.label("slot").unwrap();
+        b.dword(0);
+        let obj = b.finish().unwrap();
+        let slot = obj.symbol("slot").unwrap();
+        let image = obj.link(0x2000, &BTreeMap::new()).unwrap();
+        let insns = decode_program(&image[..slot as usize]).unwrap();
+        assert_eq!(
+            insns[0],
+            Insn::Store(Mem::abs(0x2000 + slot), Src::Reg(Ebx))
+        );
+    }
+
+    #[test]
+    fn align_and_space_pad_with_zeros() {
+        let mut b = CodeBuilder::new();
+        b.bytes(&[1, 2, 3]);
+        b.align(8);
+        b.label("here").unwrap();
+        b.space(4);
+        let obj = b.finish().unwrap();
+        assert_eq!(obj.symbol("here"), Some(8));
+        assert_eq!(obj.len(), 12);
+        assert_eq!(&obj.bytes[3..8], &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn link_is_idempotent_on_clone() {
+        let mut b = CodeBuilder::new();
+        b.mov_label(Eax, "d");
+        b.label("d").unwrap();
+        b.dword(9);
+        let obj = b.finish().unwrap();
+        let a = obj.link(0x100, &BTreeMap::new()).unwrap();
+        let c = obj.link(0x100, &BTreeMap::new()).unwrap();
+        assert_eq!(a, c);
+    }
+}

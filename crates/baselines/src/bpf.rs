@@ -1,0 +1,369 @@
+//! A classic BPF virtual machine (the paper's Figure 7 comparator).
+//!
+//! The Berkeley Packet Filter [McCanne & Jacobson '93] is the
+//! interpretation-based protection baseline of the paper: filter programs
+//! are bytecode for a small accumulator machine, validated and interpreted
+//! *inside the kernel*. This module provides:
+//!
+//! * the bytecode definition and an in-memory layout guest code can walk,
+//! * a host (Rust) reference interpreter, used for differential testing,
+//! * a validator (bounded jumps, no divide-by-zero by constant zero).
+//!
+//! The guest interpreter that actually reproduces Figure 7 — written in
+//! simulated assembly and run on the simulated CPU so interpretation
+//! overhead *emerges* — lives in [`crate::bpf_interp`].
+//!
+//! Deviation from historical BPF: instructions serialize to 16 bytes
+//! (`opcode, jt, jf, k`, each a little-endian u32) instead of 8, to keep
+//! the guest interpreter's address arithmetic simple; packet loads use
+//! network byte order (big-endian), exactly as real BPF's
+//! `EXTRACT_SHORT`/`EXTRACT_LONG` macros do.
+
+/// One BPF instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BpfInsn {
+    /// `ret k` — accept/return constant.
+    RetK(u32),
+    /// `ret a` — return the accumulator.
+    RetA,
+    /// `ld [k]` — A = 32-bit load from packet offset k.
+    LdAbsW(u32),
+    /// `ldh [k]` — A = 16-bit load (zero-extended).
+    LdAbsH(u32),
+    /// `ldb [k]` — A = 8-bit load (zero-extended).
+    LdAbsB(u32),
+    /// `ld #k` — A = k.
+    LdImm(u32),
+    /// `ldx #k` — X = k.
+    LdxImm(u32),
+    /// `ld [x+k]` — A = 32-bit load from packet offset X+k.
+    LdIndW(u32),
+    /// `jeq #k, jt, jf`.
+    Jeq(u32, u8, u8),
+    /// `jgt #k, jt, jf` (unsigned).
+    Jgt(u32, u8, u8),
+    /// `jge #k, jt, jf` (unsigned).
+    Jge(u32, u8, u8),
+    /// `jset #k, jt, jf` (A & k != 0).
+    Jset(u32, u8, u8),
+    /// `ja k` — unconditional forward jump.
+    Ja(u32),
+    /// `and #k`.
+    And(u32),
+    /// `or #k`.
+    Or(u32),
+    /// `add #k`.
+    Add(u32),
+    /// `sub #k`.
+    Sub(u32),
+    /// `lsh #k`.
+    Lsh(u32),
+    /// `rsh #k`.
+    Rsh(u32),
+    /// `tax` — X = A.
+    Tax,
+    /// `txa` — A = X.
+    Txa,
+}
+
+/// Numeric opcodes for the serialized form (shared with the guest
+/// interpreter — keep in sync with `bpf_interp`).
+pub mod opcode {
+    /// `ret k`.
+    pub const RET_K: u32 = 0;
+    /// `ret a`.
+    pub const RET_A: u32 = 1;
+    /// `ld [k]` (word).
+    pub const LD_ABS_W: u32 = 2;
+    /// `ldh [k]`.
+    pub const LD_ABS_H: u32 = 3;
+    /// `ldb [k]`.
+    pub const LD_ABS_B: u32 = 4;
+    /// `ld #k`.
+    pub const LD_IMM: u32 = 5;
+    /// `ldx #k`.
+    pub const LDX_IMM: u32 = 6;
+    /// `ld [x+k]`.
+    pub const LD_IND_W: u32 = 7;
+    /// `jeq`.
+    pub const JEQ: u32 = 8;
+    /// `jgt`.
+    pub const JGT: u32 = 9;
+    /// `jge`.
+    pub const JGE: u32 = 10;
+    /// `jset`.
+    pub const JSET: u32 = 11;
+    /// `ja`.
+    pub const JA: u32 = 12;
+    /// `and`.
+    pub const AND: u32 = 13;
+    /// `or`.
+    pub const OR: u32 = 14;
+    /// `add`.
+    pub const ADD: u32 = 15;
+    /// `sub`.
+    pub const SUB: u32 = 16;
+    /// `lsh`.
+    pub const LSH: u32 = 17;
+    /// `rsh`.
+    pub const RSH: u32 = 18;
+    /// `tax`.
+    pub const TAX: u32 = 19;
+    /// `txa`.
+    pub const TXA: u32 = 20;
+}
+
+/// Size of one serialized instruction.
+pub const BPF_INSN_SIZE: u32 = 16;
+
+impl BpfInsn {
+    /// Splits into the serialized (opcode, jt, jf, k) quadruple.
+    pub fn fields(&self) -> (u32, u32, u32, u32) {
+        use opcode::*;
+        match *self {
+            BpfInsn::RetK(k) => (RET_K, 0, 0, k),
+            BpfInsn::RetA => (RET_A, 0, 0, 0),
+            BpfInsn::LdAbsW(k) => (LD_ABS_W, 0, 0, k),
+            BpfInsn::LdAbsH(k) => (LD_ABS_H, 0, 0, k),
+            BpfInsn::LdAbsB(k) => (LD_ABS_B, 0, 0, k),
+            BpfInsn::LdImm(k) => (LD_IMM, 0, 0, k),
+            BpfInsn::LdxImm(k) => (LDX_IMM, 0, 0, k),
+            BpfInsn::LdIndW(k) => (LD_IND_W, 0, 0, k),
+            BpfInsn::Jeq(k, jt, jf) => (JEQ, jt as u32, jf as u32, k),
+            BpfInsn::Jgt(k, jt, jf) => (JGT, jt as u32, jf as u32, k),
+            BpfInsn::Jge(k, jt, jf) => (JGE, jt as u32, jf as u32, k),
+            BpfInsn::Jset(k, jt, jf) => (JSET, jt as u32, jf as u32, k),
+            BpfInsn::Ja(k) => (JA, 0, 0, k),
+            BpfInsn::And(k) => (AND, 0, 0, k),
+            BpfInsn::Or(k) => (OR, 0, 0, k),
+            BpfInsn::Add(k) => (ADD, 0, 0, k),
+            BpfInsn::Sub(k) => (SUB, 0, 0, k),
+            BpfInsn::Lsh(k) => (LSH, 0, 0, k),
+            BpfInsn::Rsh(k) => (RSH, 0, 0, k),
+            BpfInsn::Tax => (TAX, 0, 0, 0),
+            BpfInsn::Txa => (TXA, 0, 0, 0),
+        }
+    }
+
+    /// Serializes one instruction (16 bytes, little-endian fields).
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        let (op, jt, jf, k) = self.fields();
+        out.extend_from_slice(&op.to_le_bytes());
+        out.extend_from_slice(&jt.to_le_bytes());
+        out.extend_from_slice(&jf.to_le_bytes());
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+}
+
+/// Serializes a program for the guest interpreter.
+pub fn serialize(prog: &[BpfInsn]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(prog.len() * BPF_INSN_SIZE as usize);
+    for i in prog {
+        i.serialize_into(&mut out);
+    }
+    out
+}
+
+/// Validation errors (the kernel refuses to install invalid filters, as
+/// real BPF does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BpfError {
+    /// A jump leaves the program.
+    JumpOutOfRange(usize),
+    /// Fell off the end without a `ret`.
+    NoReturn,
+    /// Program empty or too long.
+    BadLength,
+    /// Packet load out of bounds at run time.
+    PacketBounds(u32),
+}
+
+impl core::fmt::Display for BpfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BpfError::JumpOutOfRange(pc) => write!(f, "jump out of range at insn {pc}"),
+            BpfError::NoReturn => write!(f, "program can fall off the end"),
+            BpfError::BadLength => write!(f, "bad program length"),
+            BpfError::PacketBounds(k) => write!(f, "packet load out of bounds at {k}"),
+        }
+    }
+}
+
+impl std::error::Error for BpfError {}
+
+/// Validates a program: all jumps must stay inside and the last reachable
+/// path must end in `ret`. (BPF jumps are forward-only, guaranteeing
+/// termination — the property the paper's interpretation baseline gets
+/// for free and Palladium must buy with its CPU-time limit.)
+pub fn validate(prog: &[BpfInsn]) -> Result<(), BpfError> {
+    if prog.is_empty() || prog.len() > 4096 {
+        return Err(BpfError::BadLength);
+    }
+    for (pc, insn) in prog.iter().enumerate() {
+        let (op, jt, jf, k) = insn.fields();
+        match op {
+            opcode::JEQ | opcode::JGT | opcode::JGE | opcode::JSET => {
+                if pc + 1 + jt as usize >= prog.len() || pc + 1 + jf as usize >= prog.len() {
+                    return Err(BpfError::JumpOutOfRange(pc));
+                }
+            }
+            opcode::JA => {
+                if pc + 1 + k as usize >= prog.len() {
+                    return Err(BpfError::JumpOutOfRange(pc));
+                }
+            }
+            _ => {}
+        }
+    }
+    match prog.last().unwrap() {
+        BpfInsn::RetA | BpfInsn::RetK(_) | BpfInsn::Ja(_) => Ok(()),
+        // Conservative: require the program to end with a return.
+        _ => Err(BpfError::NoReturn),
+    }
+}
+
+fn load(pkt: &[u8], off: u32, size: u32) -> Result<u32, BpfError> {
+    let off = off as usize;
+    let end = off + size as usize;
+    if end > pkt.len() {
+        return Err(BpfError::PacketBounds(off as u32));
+    }
+    // Network byte order, as BPF's EXTRACT macros.
+    let mut v = 0u32;
+    for i in 0..size as usize {
+        v = (v << 8) | pkt[off + i] as u32;
+    }
+    Ok(v)
+}
+
+/// The host reference interpreter. Returns the filter's value (non-zero =
+/// accept, matching BPF convention).
+pub fn run(prog: &[BpfInsn], pkt: &[u8]) -> Result<u32, BpfError> {
+    let mut a: u32 = 0;
+    let mut x: u32 = 0;
+    let mut pc = 0usize;
+    // Validation guarantees termination; belt-and-braces bound anyway.
+    for _ in 0..prog.len() + 1 {
+        let insn = prog.get(pc).ok_or(BpfError::JumpOutOfRange(pc))?;
+        pc += 1;
+        match *insn {
+            BpfInsn::RetK(k) => return Ok(k),
+            BpfInsn::RetA => return Ok(a),
+            BpfInsn::LdAbsW(k) => a = load(pkt, k, 4)?,
+            BpfInsn::LdAbsH(k) => a = load(pkt, k, 2)?,
+            BpfInsn::LdAbsB(k) => a = load(pkt, k, 1)?,
+            BpfInsn::LdImm(k) => a = k,
+            BpfInsn::LdxImm(k) => x = k,
+            BpfInsn::LdIndW(k) => a = load(pkt, x.wrapping_add(k), 4)?,
+            BpfInsn::Jeq(k, jt, jf) => pc += if a == k { jt as usize } else { jf as usize },
+            BpfInsn::Jgt(k, jt, jf) => pc += if a > k { jt as usize } else { jf as usize },
+            BpfInsn::Jge(k, jt, jf) => pc += if a >= k { jt as usize } else { jf as usize },
+            BpfInsn::Jset(k, jt, jf) => pc += if a & k != 0 { jt as usize } else { jf as usize },
+            BpfInsn::Ja(k) => pc += k as usize,
+            BpfInsn::And(k) => a &= k,
+            BpfInsn::Or(k) => a |= k,
+            BpfInsn::Add(k) => a = a.wrapping_add(k),
+            BpfInsn::Sub(k) => a = a.wrapping_sub(k),
+            BpfInsn::Lsh(k) => a = a.wrapping_shl(k),
+            BpfInsn::Rsh(k) => a = a.wrapping_shr(k),
+            BpfInsn::Tax => x = a,
+            BpfInsn::Txa => a = x,
+        }
+    }
+    Err(BpfError::NoReturn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_all_and_reject_all() {
+        assert_eq!(run(&[BpfInsn::RetK(u32::MAX)], &[]).unwrap(), u32::MAX);
+        assert_eq!(run(&[BpfInsn::RetK(0)], &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_term_filter() {
+        // Accept packets whose byte 9 (the IP protocol field) is 17 (UDP).
+        let prog = vec![
+            BpfInsn::LdAbsB(9),
+            BpfInsn::Jeq(17, 0, 1),
+            BpfInsn::RetK(1),
+            BpfInsn::RetK(0),
+        ];
+        validate(&prog).unwrap();
+        let mut pkt = vec![0u8; 20];
+        pkt[9] = 17;
+        assert_eq!(run(&prog, &pkt).unwrap(), 1);
+        pkt[9] = 6;
+        assert_eq!(run(&prog, &pkt).unwrap(), 0);
+    }
+
+    #[test]
+    fn loads_are_network_byte_order_and_bounded() {
+        let pkt = [0x11, 0x22, 0x33, 0x44];
+        let prog = vec![BpfInsn::LdAbsW(0), BpfInsn::RetA];
+        assert_eq!(run(&prog, &pkt).unwrap(), 0x1122_3344);
+        let prog = vec![BpfInsn::LdAbsH(2), BpfInsn::RetA];
+        assert_eq!(run(&prog, &pkt).unwrap(), 0x3344);
+        let prog = vec![BpfInsn::LdAbsW(2), BpfInsn::RetA];
+        assert_eq!(run(&prog, &pkt), Err(BpfError::PacketBounds(2)));
+    }
+
+    #[test]
+    fn arithmetic_and_index_register() {
+        let prog = vec![
+            BpfInsn::LdImm(10),
+            BpfInsn::Tax,
+            BpfInsn::LdImm(5),
+            BpfInsn::Add(2),
+            BpfInsn::Lsh(1), // (5+2)*2 = 14
+            BpfInsn::Txa,    // a = 10
+            BpfInsn::Sub(3),
+            BpfInsn::RetA, // 7
+        ];
+        assert_eq!(run(&prog, &[]).unwrap(), 7);
+    }
+
+    #[test]
+    fn jset_and_comparisons() {
+        let prog = |insn: BpfInsn| {
+            vec![
+                BpfInsn::LdImm(0b1010),
+                insn,
+                BpfInsn::RetK(100),
+                BpfInsn::RetK(200),
+            ]
+        };
+        assert_eq!(run(&prog(BpfInsn::Jset(0b0010, 0, 1)), &[]).unwrap(), 100);
+        assert_eq!(run(&prog(BpfInsn::Jset(0b0101, 0, 1)), &[]).unwrap(), 200);
+        assert_eq!(run(&prog(BpfInsn::Jgt(9, 0, 1)), &[]).unwrap(), 100);
+        assert_eq!(run(&prog(BpfInsn::Jge(10, 0, 1)), &[]).unwrap(), 100);
+        assert_eq!(run(&prog(BpfInsn::Jgt(10, 0, 1)), &[]).unwrap(), 200);
+    }
+
+    #[test]
+    fn validate_rejects_escaping_jumps() {
+        let prog = vec![BpfInsn::Jeq(1, 5, 0), BpfInsn::RetK(0)];
+        assert_eq!(validate(&prog), Err(BpfError::JumpOutOfRange(0)));
+        assert_eq!(validate(&[]), Err(BpfError::BadLength));
+        assert_eq!(validate(&[BpfInsn::LdImm(1)]), Err(BpfError::NoReturn));
+    }
+
+    #[test]
+    fn serialization_layout() {
+        let bytes = serialize(&[BpfInsn::Jeq(0xAABB, 2, 3)]);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(
+            u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+            opcode::JEQ
+        );
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 2);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 3);
+        assert_eq!(
+            u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+            0xAABB
+        );
+    }
+}

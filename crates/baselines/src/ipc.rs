@@ -1,0 +1,103 @@
+//! Fast-IPC comparators from §2.2 / §5.1: L4 and LRPC.
+//!
+//! These are published numbers the paper compares against, reproduced
+//! here as models so the micro-benchmark harness can print the same
+//! comparison rows:
+//!
+//! * **L4** achieved a 242-cycle request/reply IPC on a Pentium 166
+//!   (best case, register-only parameters) with **four**
+//!   protection-domain crossings;
+//! * **LRPC** took 125 µs for a null call on a C-VAX Firefly (vs 464 µs
+//!   conventional RPC), with two context switches and four crossings;
+//! * **Palladium** performs a protected call in 142 cycles with **two**
+//!   crossings and no context switch.
+
+/// One comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpcMechanism {
+    /// Mechanism name.
+    pub name: &'static str,
+    /// Request/reply cost in CPU cycles on its reference hardware.
+    pub cycles: u64,
+    /// Reference clock in MHz (for µs conversion).
+    pub clock_mhz: u32,
+    /// Protection-domain crossings per request/reply.
+    pub crossings: u32,
+    /// Context switches per request/reply.
+    pub context_switches: u32,
+}
+
+impl IpcMechanism {
+    /// Latency in microseconds on the mechanism's reference hardware.
+    pub fn latency_us(&self) -> f64 {
+        self.cycles as f64 / self.clock_mhz as f64
+    }
+}
+
+/// L4's best-case IPC (Liedtke et al., HotOS '97): 242 cycles on a
+/// Pentium 166.
+pub fn l4() -> IpcMechanism {
+    IpcMechanism {
+        name: "L4 IPC (P166, best case)",
+        cycles: 242,
+        clock_mhz: 166,
+        crossings: 4,
+        context_switches: 2,
+    }
+}
+
+/// LRPC (Bershad et al. '90): 125 µs null call on a C-VAX Firefly.
+/// The C-VAX ran at ~12.5 MHz, making this ~1,562 cycles.
+pub fn lrpc() -> IpcMechanism {
+    IpcMechanism {
+        name: "LRPC (C-VAX Firefly)",
+        cycles: 1_562,
+        clock_mhz: 12,
+        crossings: 4,
+        context_switches: 2,
+    }
+}
+
+/// Palladium's protected procedure call: 142 cycles on the Pentium 200,
+/// two crossings, no context switch (Table 1).
+pub fn palladium() -> IpcMechanism {
+    IpcMechanism {
+        name: "Palladium protected call (P200)",
+        cycles: 142,
+        clock_mhz: 200,
+        crossings: 2,
+        context_switches: 0,
+    }
+}
+
+/// The paper's headline comparison: Palladium beats L4's best case by
+/// about 100 cycles with half the crossings.
+pub fn palladium_vs_l4_cycle_gap() -> i64 {
+    l4().cycles as i64 - palladium().cycles as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_comparison_numbers() {
+        assert_eq!(l4().cycles, 242);
+        assert_eq!(palladium().cycles, 142);
+        assert_eq!(palladium_vs_l4_cycle_gap(), 100);
+    }
+
+    #[test]
+    fn palladium_halves_the_crossings() {
+        assert_eq!(palladium().crossings * 2, l4().crossings);
+        assert_eq!(palladium().context_switches, 0);
+    }
+
+    #[test]
+    fn latency_conversions() {
+        // L4: 242 / 166 ≈ 1.46 us, as the paper states.
+        assert!((l4().latency_us() - 1.46).abs() < 0.01);
+        // Palladium: 142 / 200 = 0.71 us, as the paper states.
+        assert!((palladium().latency_us() - 0.71).abs() < 0.001);
+    }
+}

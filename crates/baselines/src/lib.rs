@@ -1,0 +1,26 @@
+//! `baselines` — every comparator in the Palladium paper's evaluation.
+//!
+//! * [`bpf`] / [`bpf_interp`] — the Berkeley Packet Filter: bytecode,
+//!   validator, host reference interpreter, and the in-kernel interpreter
+//!   written in simulated assembly whose execution cost reproduces the
+//!   interpretation overhead of Figure 7.
+//! * [`sfi`] — a software-fault-isolation binary rewriter (write-protect
+//!   and read-write-protect), for the §2.3 per-instruction-overhead
+//!   comparison.
+//! * [`rpc`] — the intra-machine socket RPC cost model (Table 2's third
+//!   column).
+//! * [`ipc`] — the published L4/LRPC comparison points (§2.2, §5.1).
+//! * [`comparison`] — the §2.3 software-vs-hardware cost models and
+//!   break-even analysis.
+
+pub mod bpf;
+pub mod bpf_interp;
+pub mod comparison;
+pub mod ipc;
+pub mod rpc;
+pub mod sfi;
+
+pub use bpf::{BpfError, BpfInsn};
+pub use bpf_interp::BpfKernelInterp;
+pub use rpc::RpcCosts;
+pub use sfi::{Sandbox, SfiPolicy};

@@ -1,0 +1,366 @@
+//! Software fault isolation (the §2/§2.3 comparator).
+//!
+//! SFI [Wahbe et al. '93] sandboxes an extension by rewriting its binary:
+//! before every store (write protection) or every memory access
+//! (read-write protection), inserted instructions force the effective
+//! address into the extension's sandbox region. Cost is therefore
+//! *per-instruction-executed* — the opposite end of the trade-off from
+//! Palladium's one-time domain-crossing cost, which is the comparison the
+//! ablation benchmark quantifies.
+//!
+//! The sandbox region must be aligned to its (power-of-two) size so that
+//! masking + OR-ing the base yields an in-region address. Two registers
+//! are dedicated to the rewriter (`ESI` holds the scratch address, `EDI`
+//! is reserved for future use, as in the original scheme); rewritten code
+//! must not use them.
+
+use asm86::isa::{AluOp, Insn, Mem, Reg, Src};
+
+/// Protection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SfiPolicy {
+    /// Only stores are forced into the sandbox (the cheap variant).
+    WriteProtect,
+    /// Loads and stores are both forced.
+    ReadWriteProtect,
+}
+
+/// A sandbox region: `[base, base + size)`, `size` a power of two,
+/// `base` aligned to `size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sandbox {
+    /// Region base.
+    pub base: u32,
+    /// Region size (power of two).
+    pub size: u32,
+}
+
+/// Errors from the rewriter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SfiError {
+    /// The sandbox is not a power-of-two size or misaligned.
+    BadSandbox,
+    /// The code uses a register the rewriter reserves.
+    ReservedRegister(Reg),
+    /// An instruction kind the rewriter cannot sandbox (far transfers out
+    /// of the sandbox model).
+    Unsupported(&'static str),
+}
+
+impl core::fmt::Display for SfiError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SfiError::BadSandbox => write!(f, "sandbox must be size-aligned power of two"),
+            SfiError::ReservedRegister(r) => write!(f, "code uses reserved register {r}"),
+            SfiError::Unsupported(what) => write!(f, "cannot sandbox {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SfiError {}
+
+impl Sandbox {
+    /// Validates the region.
+    pub fn validate(&self) -> Result<(), SfiError> {
+        if !self.size.is_power_of_two() || self.base % self.size != 0 {
+            return Err(SfiError::BadSandbox);
+        }
+        Ok(())
+    }
+
+    /// The AND mask applied to offsets.
+    pub fn mask(&self) -> u32 {
+        self.size - 1
+    }
+
+    /// True if `addr` falls inside the region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.base + self.size
+    }
+}
+
+/// Dedicated scratch register for sandboxed effective addresses.
+pub const SCRATCH: Reg = Reg::Esi;
+
+/// Second reserved register (held for the scheme; unused by this
+/// rewriter).
+pub const RESERVED: Reg = Reg::Edi;
+
+fn uses_reserved(insn: &Insn) -> Option<Reg> {
+    // Conservative scan over operand registers.
+    let regs: Vec<Reg> = match *insn {
+        Insn::Mov(r, s) | Insn::Cmp(r, s) | Insn::Test(r, s) | Insn::Alu(_, r, s) => {
+            let mut v = vec![r];
+            if let Src::Reg(r2) = s {
+                v.push(r2);
+            }
+            v
+        }
+        Insn::Load(r, m)
+        | Insn::LoadB(r, m)
+        | Insn::LoadW(r, m)
+        | Insn::Lea(r, m)
+        | Insn::AluM(_, r, m) => {
+            let mut v = vec![r];
+            v.extend(m.base);
+            v
+        }
+        Insn::Store(m, s) | Insn::CmpM(m, s) => {
+            let mut v: Vec<Reg> = m.base.into_iter().collect();
+            if let Src::Reg(r2) = s {
+                v.push(r2);
+            }
+            v
+        }
+        Insn::StoreB(m, r) | Insn::StoreW(m, r) => {
+            let mut v = vec![r];
+            v.extend(m.base);
+            v
+        }
+        Insn::Push(Src::Reg(r)) | Insn::Pop(r) => vec![r],
+        Insn::PushM(m) | Insn::PopM(m) => m.base.into_iter().collect(),
+        Insn::Neg(r) | Insn::Not(r) | Insn::Inc(r) | Insn::Dec(r) => vec![r],
+        Insn::JmpReg(r) | Insn::CallReg(r) => vec![r],
+        Insn::JmpM(m) | Insn::CallM(m) => m.base.into_iter().collect(),
+        Insn::MovToSeg(_, r) | Insn::MovFromSeg(r, _) => vec![r],
+        _ => vec![],
+    };
+    regs.into_iter().find(|r| *r == SCRATCH || *r == RESERVED)
+}
+
+/// Emits the sandboxing prologue for a memory operand: computes the
+/// effective address into [`SCRATCH`], masks it into the region, and
+/// returns the replacement operand `[SCRATCH]`.
+fn sandbox_addr(out: &mut Vec<Insn>, m: Mem, sb: &Sandbox) -> Mem {
+    out.push(Insn::Lea(SCRATCH, m));
+    out.push(Insn::Alu(AluOp::And, SCRATCH, Src::Imm(sb.mask() as i32)));
+    out.push(Insn::Alu(AluOp::Or, SCRATCH, Src::Imm(sb.base as i32)));
+    Mem::based(SCRATCH, 0)
+}
+
+/// Statistics about a rewrite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SfiStats {
+    /// Instructions in the input.
+    pub input_insns: usize,
+    /// Instructions in the output.
+    pub output_insns: usize,
+    /// Memory operations that were sandboxed.
+    pub sandboxed_ops: usize,
+}
+
+/// Rewrites straight-line extension code to confine its memory accesses
+/// to the sandbox. Relative branches within the code are not supported by
+/// this simplified rewriter (the benchmark extensions are loop-free or
+/// use counted loops expressed with `Jcc`, whose displacements would need
+/// fixing up after insertion — the classic implementation patches them;
+/// here the caller provides branch-free bodies).
+pub fn rewrite(
+    code: &[Insn],
+    sb: &Sandbox,
+    policy: SfiPolicy,
+) -> Result<(Vec<Insn>, SfiStats), SfiError> {
+    sb.validate()?;
+    let mut out = Vec::with_capacity(code.len() * 2);
+    let mut stats = SfiStats {
+        input_insns: code.len(),
+        ..SfiStats::default()
+    };
+    let rw = policy == SfiPolicy::ReadWriteProtect;
+    for insn in code {
+        if matches!(insn, Insn::Jmp(_) | Insn::Jcc(..) | Insn::Call(_)) {
+            return Err(SfiError::Unsupported("relative branches"));
+        }
+        if matches!(
+            insn,
+            Insn::Lcall(..) | Insn::Lret | Insn::LretN(_) | Insn::Int(_)
+        ) {
+            return Err(SfiError::Unsupported("far transfers"));
+        }
+        if let Some(r) = uses_reserved(insn) {
+            return Err(SfiError::ReservedRegister(r));
+        }
+        match *insn {
+            Insn::Store(m, s) => {
+                let safe = sandbox_addr(&mut out, m, sb);
+                out.push(Insn::Store(safe, s));
+                stats.sandboxed_ops += 1;
+            }
+            Insn::StoreB(m, r) => {
+                let safe = sandbox_addr(&mut out, m, sb);
+                out.push(Insn::StoreB(safe, r));
+                stats.sandboxed_ops += 1;
+            }
+            Insn::StoreW(m, r) => {
+                let safe = sandbox_addr(&mut out, m, sb);
+                out.push(Insn::StoreW(safe, r));
+                stats.sandboxed_ops += 1;
+            }
+            Insn::PopM(m) => {
+                let safe = sandbox_addr(&mut out, m, sb);
+                out.push(Insn::PopM(safe));
+                stats.sandboxed_ops += 1;
+            }
+            Insn::Load(r, m) if rw => {
+                let safe = sandbox_addr(&mut out, m, sb);
+                out.push(Insn::Load(r, safe));
+                stats.sandboxed_ops += 1;
+            }
+            Insn::LoadB(r, m) if rw => {
+                let safe = sandbox_addr(&mut out, m, sb);
+                out.push(Insn::LoadB(r, safe));
+                stats.sandboxed_ops += 1;
+            }
+            Insn::LoadW(r, m) if rw => {
+                let safe = sandbox_addr(&mut out, m, sb);
+                out.push(Insn::LoadW(r, safe));
+                stats.sandboxed_ops += 1;
+            }
+            Insn::AluM(op, r, m) if rw => {
+                let safe = sandbox_addr(&mut out, m, sb);
+                out.push(Insn::AluM(op, r, safe));
+                stats.sandboxed_ops += 1;
+            }
+            // Indirect control transfers are masked into the sandbox too
+            // (code and data share the region in this simplified model).
+            Insn::JmpReg(r) => {
+                out.push(Insn::Mov(SCRATCH, Src::Reg(r)));
+                out.push(Insn::Alu(AluOp::And, SCRATCH, Src::Imm(sb.mask() as i32)));
+                out.push(Insn::Alu(AluOp::Or, SCRATCH, Src::Imm(sb.base as i32)));
+                out.push(Insn::JmpReg(SCRATCH));
+                stats.sandboxed_ops += 1;
+            }
+            other => out.push(other),
+        }
+    }
+    stats.output_insns = out.len();
+    Ok((out, stats))
+}
+
+/// The per-sandboxed-op overhead in measured cycles (lea + and + or).
+pub fn per_op_overhead_cycles() -> u64 {
+    use x86sim::cycles::measured_cost;
+    measured_cost(&Insn::Lea(SCRATCH, Mem::abs(0)))
+        + measured_cost(&Insn::Alu(AluOp::And, SCRATCH, Src::Imm(0)))
+        + measured_cost(&Insn::Alu(AluOp::Or, SCRATCH, Src::Imm(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb() -> Sandbox {
+        Sandbox {
+            base: 0x0010_0000,
+            size: 0x1_0000,
+        }
+    }
+
+    #[test]
+    fn sandbox_validation() {
+        assert!(sb().validate().is_ok());
+        assert_eq!(
+            Sandbox {
+                base: 0x1000,
+                size: 0x3000
+            }
+            .validate(),
+            Err(SfiError::BadSandbox)
+        );
+        assert_eq!(
+            Sandbox {
+                base: 0x800,
+                size: 0x1000
+            }
+            .validate(),
+            Err(SfiError::BadSandbox)
+        );
+    }
+
+    #[test]
+    fn stores_are_wrapped_loads_left_alone_under_write_protect() {
+        let code = vec![
+            Insn::Load(Reg::Eax, Mem::abs(0xDEAD_0000)),
+            Insn::Store(Mem::abs(0xDEAD_0000), Src::Reg(Reg::Eax)),
+        ];
+        let (out, stats) = rewrite(&code, &sb(), SfiPolicy::WriteProtect).unwrap();
+        assert_eq!(stats.sandboxed_ops, 1);
+        assert_eq!(out.len(), 1 + 4);
+        // The load is untouched; the store goes through the scratch reg.
+        assert_eq!(out[0], code[0]);
+        assert_eq!(
+            out[4],
+            Insn::Store(Mem::based(SCRATCH, 0), Src::Reg(Reg::Eax))
+        );
+    }
+
+    #[test]
+    fn read_write_protect_wraps_both() {
+        let code = vec![
+            Insn::Load(Reg::Eax, Mem::based(Reg::Ebx, 4)),
+            Insn::Store(Mem::based(Reg::Ebx, 8), Src::Reg(Reg::Eax)),
+        ];
+        let (_, stats) = rewrite(&code, &sb(), SfiPolicy::ReadWriteProtect).unwrap();
+        assert_eq!(stats.sandboxed_ops, 2);
+    }
+
+    #[test]
+    fn reserved_registers_are_rejected() {
+        let code = vec![Insn::Mov(Reg::Esi, Src::Imm(1))];
+        assert_eq!(
+            rewrite(&code, &sb(), SfiPolicy::WriteProtect).unwrap_err(),
+            SfiError::ReservedRegister(Reg::Esi)
+        );
+    }
+
+    #[test]
+    fn masked_address_always_lands_in_sandbox() {
+        // Algebraic property: (addr & mask) | base is in [base, base+size).
+        let s = sb();
+        for addr in [0u32, 0xFFFF_FFFF, 0xDEAD_BEEF, s.base, s.base + s.size] {
+            let forced = (addr & s.mask()) | s.base;
+            assert!(s.contains(forced), "addr {addr:#x} -> {forced:#x}");
+        }
+    }
+
+    #[test]
+    fn sandboxed_store_cannot_escape_on_the_machine() {
+        use asm86::encode::encode_program;
+        use asm86::isa::SegReg;
+        use x86sim::desc::{Descriptor, Selector};
+        use x86sim::machine::{Exit, Machine};
+
+        // Victim dword outside the sandbox at 0x0009_0000.
+        let s = sb();
+        let code = vec![
+            Insn::Mov(Reg::Eax, Src::Imm(0x41)),
+            Insn::Store(Mem::abs(0x0009_0000), Src::Reg(Reg::Eax)),
+            Insn::Hlt,
+        ];
+        let (safe, _) = rewrite(&code[..2], &s, SfiPolicy::WriteProtect).unwrap();
+        let mut prog = safe;
+        prog.push(Insn::Hlt);
+
+        let mut m = Machine::new();
+        let c = m.gdt.push(Descriptor::flat_code(0));
+        let d = m.gdt.push(Descriptor::flat_data(0));
+        m.mem.write_bytes(0x1000, &encode_program(&prog));
+        m.force_seg_from_table(SegReg::Cs, Selector::new(c, false, 0));
+        m.force_seg_from_table(SegReg::Ss, Selector::new(d, false, 0));
+        m.force_seg_from_table(SegReg::Ds, Selector::new(d, false, 0));
+        m.cpu.set_reg(Reg::Esp, 0x8000);
+        m.cpu.eip = 0x1000;
+        assert_eq!(m.run(100), Exit::Hlt);
+
+        assert_eq!(m.mem.read_u32(0x0009_0000), 0, "victim untouched");
+        // The write landed inside the sandbox instead.
+        let forced = (0x0009_0000u32 & s.mask()) | s.base;
+        assert_eq!(m.mem.read_u32(forced), 0x41);
+    }
+
+    #[test]
+    fn per_op_overhead_is_a_few_cycles() {
+        let o = per_op_overhead_cycles();
+        assert!((2..=6).contains(&o), "got {o}");
+    }
+}

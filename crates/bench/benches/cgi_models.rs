@@ -1,0 +1,44 @@
+//! Table 3 bench: regenerates the CGI throughput table, then times live
+//! request handling per execution model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webserver::{ExecModel, WebServer};
+
+fn print_table3() {
+    let (rows, pcall) = bench::measure_table3();
+    println!("\nTable 3 (requests/second):");
+    print!("  {:>9}", "Size");
+    for m in ExecModel::ALL {
+        print!(" {:>20}", m.name());
+    }
+    println!();
+    for r in &rows {
+        print!("  {:>8}B", r.size);
+        for v in r.rps {
+            print!(" {:>20.0}", v);
+        }
+        println!();
+    }
+    println!("  measured protected call: {pcall} cycles");
+    println!("  (paper @28B: 98 / 193 / 437 / 448 / 460)");
+}
+
+fn bench_live_requests(c: &mut Criterion) {
+    print_table3();
+
+    let mut s = WebServer::new().unwrap();
+    s.add_benchmark_files();
+    let req = webserver::http::get_request("/file1024");
+    let mut group = c.benchmark_group("live_request");
+    for model in [ExecModel::StaticFile, ExecModel::LibCgiProtected] {
+        group.bench_function(model.name(), |b| b.iter(|| s.handle(&req, model).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_live_requests
+}
+criterion_main!(benches);

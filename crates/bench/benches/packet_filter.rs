@@ -1,0 +1,50 @@
+//! Figure 7 bench: regenerates the filter-cost series, then times both
+//! mechanisms at four terms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfilter::{paper_conjunction, reference_packet, FilterBench};
+
+fn print_figure7() {
+    println!("\nFigure 7 (simulated cycles):");
+    println!(
+        "  {:>5} {:>8} {:>11} {:>7}",
+        "Terms", "BPF", "Palladium", "Ratio"
+    );
+    for p in bench::measure_figure7() {
+        println!(
+            "  {:>5} {:>8} {:>11} {:>6.2}x",
+            p.terms,
+            p.bpf_cycles,
+            p.palladium_cycles,
+            p.bpf_cycles as f64 / p.palladium_cycles as f64
+        );
+    }
+    println!("  (paper: >2x at 4 terms, BPF grows steeply, compiled nearly flat)");
+}
+
+fn bench_filters(c: &mut Criterion) {
+    print_figure7();
+
+    let f = paper_conjunction(4);
+    let pkt = reference_packet(64);
+    let mut bench = FilterBench::new().unwrap();
+    bench.install_compiled(&f).unwrap();
+    bench.run_compiled(&pkt).unwrap();
+    bench.run_bpf(&f, &pkt).unwrap();
+
+    let mut group = c.benchmark_group("filter_4_terms");
+    group.bench_function("palladium_compiled", |b| {
+        b.iter(|| bench.run_compiled(&pkt).unwrap())
+    });
+    group.bench_function("bpf_interpreted", |b| {
+        b.iter(|| bench.run_bpf(&f, &pkt).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_filters
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table 1 bench: regenerates the invocation-cost breakdown, then times
+//! how fast the host simulates protected calls (Criterion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use asm86::Assembler;
+use minikernel::Kernel;
+use palladium::user_ext::{DlOptions, ExtensibleApp};
+
+fn print_table1() {
+    let t = bench::measure_table1();
+    println!("\nTable 1 (simulated cycles): Inter/Intra/Hardware");
+    for r in &t.rows {
+        println!(
+            "  {:<22} {:>5} {:>5} {:>7.1}",
+            r.name, r.inter, r.intra, r.hardware
+        );
+    }
+    let (inter, intra, hw) = t.totals();
+    println!(
+        "  {:<22} {:>5} {:>5} {:>7.1}   (paper: 142 / 10 / 89)",
+        "Total", inter, intra, hw
+    );
+}
+
+fn bench_protected_call(c: &mut Criterion) {
+    print_table1();
+
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).unwrap();
+    let h = app
+        .seg_dlopen(
+            &mut k,
+            &Assembler::assemble("f:\nret\n").unwrap(),
+            DlOptions::default(),
+        )
+        .unwrap();
+    let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
+    app.call_extension(&mut k, prep, 0).unwrap();
+
+    c.bench_function("simulate_protected_call", |b| {
+        b.iter(|| app.call_extension(&mut k, prep, 0).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_protected_call
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 2 bench: regenerates the string-reverse comparison, then times
+//! the 256-byte protected reverse simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table2() {
+    println!("\nTable 2 (microseconds at the simulated 200 MHz):");
+    println!(
+        "  {:>5} {:>12} {:>11} {:>10}",
+        "Bytes", "Unprotected", "Palladium", "Linux RPC"
+    );
+    for r in bench::measure_table2() {
+        println!(
+            "  {:>5} {:>12.2} {:>11.2} {:>10.2}",
+            r.size, r.unprotected_us, r.palladium_us, r.rpc_us
+        );
+    }
+    println!("  (paper: 32B 2.20/2.79/349.19 ... 256B 15.22/15.97/423.33)");
+}
+
+fn bench_reverse(c: &mut Criterion) {
+    print_table2();
+    c.bench_function("measure_table2_full", |b| b.iter(bench::measure_table2));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reverse
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Prints the micro-measurements quoted in §5.1/§5.2.
+
+fn main() {
+    let m = bench::measure_micro();
+    println!("Micro-benchmarks (paper anchors in parentheses)");
+    println!(
+        "segment register load:     {} cycles measured, {:.1} documented (paper: 12 vs 2-3)",
+        m.seg_load_cycles, m.seg_load_documented
+    );
+    println!("PPL marking:");
+    for (pages, cycles) in &m.ppl_marking {
+        println!("  {pages:>3} pages: {cycles} cycles (paper: 3000-5000 + 45/page)");
+    }
+    println!(
+        "dlopen: {:.1} us, seg_dlopen: {:.1} us (paper: 400 vs 420)",
+        m.dlopen_us, m.seg_dlopen_us
+    );
+    println!(
+        "SIGSEGV detection-to-delivery: {} cycles (paper: 3,325)",
+        m.sigsegv_cycles
+    );
+    println!(
+        "kernel extension #GP processing: {} cycles (paper: 1,020)",
+        m.kext_abort_cycles
+    );
+    println!();
+    println!("IPC comparison (published numbers, §2.2/§5.1):");
+    println!(
+        "{:<36} {:>8} {:>10} {:>10} {:>9}",
+        "Mechanism", "Cycles", "us", "Crossings", "CtxSw"
+    );
+    for i in &m.ipc {
+        println!(
+            "{:<36} {:>8} {:>10.2} {:>10} {:>9}",
+            i.name,
+            i.cycles,
+            i.latency_us(),
+            i.crossings,
+            i.context_switches
+        );
+    }
+
+    println!();
+    println!("Protection-approach comparison (§2.3):");
+    println!(
+        "{:<36} {:>9} {:>14} {:>12}",
+        "Approach", "Crossing", "Slowdown", "Break-even"
+    );
+    for a in baselines::comparison::all() {
+        let be = baselines::comparison::break_even_work(&a)
+            .map(|w| format!("{w} cy work"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<36} {:>7}cy {:>6.2}x-{:.2}x {:>12}",
+            a.name, a.crossing_cycles, a.slowdown.0, a.slowdown.1, be
+        );
+    }
+}

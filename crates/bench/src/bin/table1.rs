@@ -1,0 +1,20 @@
+//! Prints Table 1: protected-call cost breakdown.
+
+fn main() {
+    let t = bench::measure_table1();
+    println!("Table 1: invocation cost, CPU cycles (Pentium 200 MHz model)");
+    println!(
+        "{:<22} {:>6} {:>6} {:>9}",
+        "Component", "Inter", "Intra", "Hardware"
+    );
+    for r in &t.rows {
+        println!(
+            "{:<22} {:>6} {:>6} {:>9.1}",
+            r.name, r.inter, r.intra, r.hardware
+        );
+    }
+    let (inter, intra, hw) = t.totals();
+    println!("{:<22} {:>6} {:>6} {:>9.1}", "Total Cost", inter, intra, hw);
+    println!();
+    println!("paper:                    142     10        89 (rows sum to 76)");
+}

@@ -1,0 +1,35 @@
+//! Prints Table 3: CGI execution-model throughput, plus a live spot check
+//! where requests are actually served (protected LibCGI calls really
+//! execute on the simulated CPU).
+
+use webserver::{run_live, ExecModel, WebServer};
+
+fn main() {
+    let (rows, pcall) = bench::measure_table3();
+    println!("Table 3: throughput, requests/second (1000 requests, concurrency 30)");
+    print!("{:>10}", "Size");
+    for m in ExecModel::ALL {
+        print!(" {:>20}", m.name());
+    }
+    println!();
+    for r in &rows {
+        print!("{:>9}B", r.size);
+        for v in r.rps {
+            print!(" {:>20.0}", v);
+        }
+        println!();
+    }
+    println!();
+    println!("measured protected LibCGI call: {pcall} cycles");
+    println!("paper @28B: 98 / 193 / 437 / 448 / 460;  @100KB: 33 / 52 / 57 / 57 / 57");
+
+    // Live spot check at 1 KB: 100 requests per model, actually served.
+    let mut s = WebServer::new().expect("server");
+    s.add_benchmark_files();
+    println!();
+    println!("live spot check (100 served requests each, 1 KB):");
+    for model in ExecModel::ALL {
+        let r = run_live(&mut s, model, "/file1024", 100, 9).expect("live");
+        println!("  {:<22} {:>7.0} req/s", model.name(), r.rps);
+    }
+}

@@ -1,0 +1,624 @@
+//! `bench` — harnesses that regenerate every table and figure of the
+//! paper's evaluation (§5).
+//!
+//! Each `measure_*` function returns structured results; the `table1`,
+//! `table2`, `table3`, `figure7` and `micro` binaries print them in the
+//! paper's format, and the Criterion-style benches exercise the same
+//! paths.
+
+use std::collections::BTreeMap;
+
+use asm86::encode::encode_program;
+use asm86::isa::{Insn, Mem, Reg, Src};
+use asm86::Assembler;
+use baselines::ipc;
+use baselines::rpc::RpcCosts;
+use minikernel::Kernel;
+use netfilter::{extended_conjunction, paper_conjunction, reference_packet, FilterBench};
+use palladium::trampoline::{self, PrepareParams, SaveSlots};
+use palladium::user_ext::{DlOptions, ExtensibleApp};
+use webserver::{run_ab, AbConfig, ExecModel, WebServer};
+use x86sim::cycles::{self, cycles_to_us, documented_cost, documented_event, Event};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Component name.
+    pub name: &'static str,
+    /// Measured protected-call cycles (Inter).
+    pub inter: u64,
+    /// Measured unprotected-call cycles (Intra).
+    pub intra: u64,
+    /// Architecture-manual cycles (Hardware).
+    pub hardware: f64,
+}
+
+/// Table 1: the protected-call cost breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// The four component rows.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Column totals (inter, intra, hardware).
+    pub fn totals(&self) -> (u64, u64, f64) {
+        self.rows.iter().fold((0, 0, 0.0), |acc, r| {
+            (acc.0 + r.inter, acc.1 + r.intra, acc.2 + r.hardware)
+        })
+    }
+}
+
+const PHASE_NAMES: [&str; 4] = [
+    "Setting up stack",
+    "Calling function",
+    "Returning to caller",
+    "Restoring state",
+];
+
+/// Byte length of the encoded `Prepare` body (everything before the
+/// `lret`).
+fn prepare_body_len() -> u32 {
+    let params = PrepareParams {
+        slots: SaveSlots {
+            sp_slot: 0,
+            bp_slot: 0,
+        },
+        arg_slot: 0,
+        ext_esp_slot: 0,
+        stack_sel: 0,
+        code_sel: 0,
+        transfer: 0,
+    };
+    let code = trampoline::prepare(params);
+    encode_program(&code[..code.len() - 1]).len() as u32
+}
+
+/// Measures the protected-call phases by stepping the simulated CPU
+/// through one warm Figure 6 round trip and attributing each
+/// instruction's cycles to its phase by EIP.
+fn measure_inter_phases() -> [u64; 4] {
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).expect("app");
+    let null = Assembler::assemble("null_fn:\nret\n").unwrap();
+    let h = app
+        .seg_dlopen(&mut k, &null, DlOptions::default())
+        .expect("dlopen");
+    let prep = app.seg_dlsym(&mut k, h, "null_fn").expect("dlsym");
+    // Warm the TLB and caches.
+    app.call_extension(&mut k, prep, 0).expect("warm call");
+
+    let (prep_addr, transfer) = app.trampoline_addrs(h, "null_fn").unwrap();
+    let gate = app.app_callgate_addr();
+    let ext_fn = app.dlsym(h, "null_fn").unwrap();
+    let lret_addr = prep_addr + prepare_body_len();
+
+    // A dedicated call site with a *direct* call, exactly like the
+    // compiler-generated call the paper times (the generic invoke stub
+    // calls through a register, one cycle dearer).
+    let site = Assembler::assemble(
+        "site:
+         push eax
+         call prepare
+         stop:
+         jmp stop
+",
+    )
+    .unwrap();
+    let mut externs = BTreeMap::new();
+    externs.insert("prepare".to_string(), prep);
+    let syms = app
+        .install_app_code_linked(&mut k, &site, &externs)
+        .expect("install call site");
+    let stub = syms["site"];
+    let stub_after_call = syms["stop"];
+    // Transfer layout: call rel32 (5) then lcall.
+    let transfer_lcall = transfer + 5;
+
+    k.switch_to(app.tid);
+    k.m.cpu.set_reg(Reg::Eax, 0);
+    k.m.cpu.eip = stub;
+
+    let mut phases = [0u64; 4];
+    for _ in 0..200 {
+        let eip = k.m.cpu.eip;
+        if eip == stub_after_call {
+            return phases;
+        }
+        let phase = if (stub..stub_after_call).contains(&eip) {
+            0 // caller's push + call
+        } else if (prep_addr..lret_addr).contains(&eip) {
+            0 // Prepare body
+        } else if eip == lret_addr {
+            1 // the lret into the extension segment
+        } else if eip == transfer {
+            1 // Transfer's local call
+        } else if eip == ext_fn {
+            2 // the extension function's ret
+        } else if eip == transfer_lcall {
+            2 // the lcall through AppCallGate's gate
+        } else if (gate..gate + 64).contains(&eip) {
+            3 // AppCallGate
+        } else {
+            panic!("unexpected EIP {eip:#x} during protected call");
+        };
+        let before = k.m.cycles();
+        assert!(k.m.step().is_none(), "protected call must not exit");
+        phases[phase] += k.m.cycles() - before;
+    }
+    panic!("protected call did not complete");
+}
+
+/// Measures the unprotected-call phases on a flat machine.
+fn measure_intra_phases() -> [u64; 4] {
+    use x86sim::desc::{Descriptor, Selector};
+    use x86sim::machine::{Exit, Machine};
+
+    let src = "\
+caller:
+    push eax        ; argument
+    call f
+    pop ecx         ; caller cleanup
+    hlt
+f:
+    push ebp        ; prologue
+    pop ebp         ; epilogue
+    ret
+";
+    let obj = Assembler::assemble(src).unwrap();
+    let image = obj.link(0x1000, &BTreeMap::new()).unwrap();
+    let mut m = Machine::new();
+    let c = m.gdt.push(Descriptor::flat_code(0));
+    let d = m.gdt.push(Descriptor::flat_data(0));
+    m.mem.write_bytes(0x1000, &image);
+    m.force_seg_from_table(asm86::isa::SegReg::Cs, Selector::new(c, false, 0));
+    m.force_seg_from_table(asm86::isa::SegReg::Ss, Selector::new(d, false, 0));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+
+    // Phase attribution by instruction role.
+    let f = 0x1000 + obj.symbol("f").unwrap();
+    let push_arg = 0x1000;
+    let call_site = push_arg + 3;
+    let pop_ecx = call_site + 5;
+    let hlt = pop_ecx + 2;
+    let push_ebp = f;
+    let pop_ebp = push_ebp + 3;
+    let ret = pop_ebp + 2;
+
+    let mut phases = [0u64; 4];
+    loop {
+        let eip = m.cpu.eip;
+        if eip == hlt {
+            return phases;
+        }
+        let phase = match eip {
+            e if e == push_arg || e == push_ebp => 0,
+            e if e == call_site => 1,
+            e if e == ret => 2,
+            e if e == pop_ebp || e == pop_ecx => 3,
+            other => panic!("unexpected EIP {other:#x}"),
+        };
+        let before = m.cycles();
+        match m.step() {
+            None => {}
+            Some(Exit::Hlt) => return phases,
+            Some(other) => panic!("unexpected exit {other:?}"),
+        }
+        phases[phase] += m.cycles() - before;
+    }
+}
+
+/// The analytic "Hardware" column: architecture-manual costs of the same
+/// sequences (fractional values reflect U/V pairing).
+fn hardware_phases() -> [f64; 4] {
+    let params = PrepareParams {
+        slots: SaveSlots {
+            sp_slot: 0,
+            bp_slot: 0,
+        },
+        arg_slot: 0,
+        ext_esp_slot: 0,
+        stack_sel: 0,
+        code_sel: 0,
+        transfer: 0,
+    };
+    let prep = trampoline::prepare(params);
+    let setup: f64 = prep[..prep.len() - 1].iter().map(documented_cost).sum();
+    let calling = documented_event(Event::FarRetOuter) + documented_cost(&Insn::Call(0));
+    let returning = documented_cost(&Insn::Ret) + documented_event(Event::GateCallInner);
+    let restoring =
+        2.0 * documented_cost(&Insn::Load(Reg::Esp, Mem::abs(0))) + documented_cost(&Insn::Ret);
+    [setup, calling, returning, restoring]
+}
+
+/// Regenerates Table 1.
+pub fn measure_table1() -> Table1 {
+    let inter = measure_inter_phases();
+    let intra = measure_intra_phases();
+    let hw = hardware_phases();
+    Table1 {
+        rows: (0..4)
+            .map(|i| Table1Row {
+                name: PHASE_NAMES[i],
+                inter: inter[i],
+                intra: intra[i],
+                hardware: hw[i],
+            })
+            .collect(),
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// String size in bytes.
+    pub size: u32,
+    /// Unprotected in-process call, microseconds.
+    pub unprotected_us: f64,
+    /// Palladium protected call, microseconds.
+    pub palladium_us: f64,
+    /// Linux socket RPC, microseconds.
+    pub rpc_us: f64,
+}
+
+const REVERSE_SRC: &str = "\
+; void reverse(char *s) — reverse a NUL-terminated string in place
+reverse:
+    mov ecx, [esp+4]
+    mov edx, ecx
+rev_scan:
+    mov eax, byte [edx]
+    cmp eax, 0
+    je rev_found
+    inc edx
+    jmp rev_scan
+rev_found:
+    dec edx
+rev_loop:
+    cmp ecx, edx
+    jae rev_done
+    mov eax, byte [ecx]
+    mov esi, byte [edx]
+    mov byte [ecx], esi
+    mov byte [edx], eax
+    inc ecx
+    dec edx
+    jmp rev_loop
+rev_done:
+    mov eax, 0
+    ret
+";
+
+/// Regenerates Table 2: the string-reverse service under the three
+/// mechanisms. The protected and unprotected versions run the *same*
+/// routine on the simulated CPU; the RPC column adds the modelled socket
+/// round trip to the same computation.
+pub fn measure_table2() -> Vec<Table2Row> {
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).expect("app");
+    let reverse = Assembler::assemble(REVERSE_SRC).unwrap();
+
+    // Protected: the routine as an extension.
+    let h = app
+        .seg_dlopen(&mut k, &reverse, DlOptions::default())
+        .expect("dlopen");
+    let prep = app.seg_dlsym(&mut k, h, "reverse").expect("dlsym");
+
+    // Unprotected: the same routine installed as plain application code,
+    // called through the same stub.
+    let app_syms = app.install_app_code(&mut k, &reverse).expect("install");
+    let app_reverse = app_syms["reverse"];
+
+    // Harness overhead: calling a null app function measures the stub +
+    // yield cost around the Table 1 "Intra" 10-cycle call.
+    let null = Assembler::assemble("nul:\nret\n").unwrap();
+    let null_syms = app.install_app_code(&mut k, &null).expect("install null");
+    let null_fn = null_syms["nul"];
+    app.call_app_function(&mut k, null_fn, 0).unwrap();
+    let c0 = k.m.cycles();
+    app.call_app_function(&mut k, null_fn, 0).unwrap();
+    let harness_overhead = (k.m.cycles() - c0).saturating_sub(10);
+
+    let shared = app.alloc_shared(&mut k, 1).expect("shared");
+    let rpc = RpcCosts::default();
+
+    let mut rows = Vec::new();
+    for size in [32u32, 64, 128, 256] {
+        let s: Vec<u8> = (0..size).map(|i| b'A' + (i % 26) as u8).collect();
+        let mut with_nul = s.clone();
+        with_nul.push(0);
+
+        let measure = |k: &mut Kernel, app: &mut ExtensibleApp, target: u32| -> u64 {
+            // Warm, then measure twice (the paper averages 100 runs; the
+            // simulator is deterministic, asserted below).
+            assert!(k.m.host_write(shared, &with_nul));
+            app.call_extension(k, target, shared).unwrap();
+            assert!(k.m.host_write(shared, &with_nul));
+            let a = k.m.cycles();
+            app.call_extension(k, target, shared).unwrap();
+            let b = k.m.cycles();
+            assert!(k.m.host_write(shared, &with_nul));
+            app.call_extension(k, target, shared).unwrap();
+            let c = k.m.cycles();
+            assert_eq!(b - a, c - b, "warm runs are deterministic");
+            (b - a).saturating_sub(harness_overhead)
+        };
+
+        let pd = measure(&mut k, &mut app, prep);
+        let un = measure(&mut k, &mut app, app_reverse);
+        // Sanity: an odd number of reversals leaves the string reversed.
+        let got = k.m.host_read(shared, size as usize);
+        let want: Vec<u8> = s.iter().rev().copied().collect();
+        assert_eq!(got, want, "string got reversed");
+
+        let rpc_cycles = rpc.round_trip_cycles(size as usize) + un;
+        rows.push(Table2Row {
+            size,
+            unprotected_us: cycles_to_us(un),
+            palladium_us: cycles_to_us(pd),
+            rpc_us: cycles_to_us(rpc_cycles),
+        });
+    }
+    rows
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Response size in bytes.
+    pub size: u32,
+    /// Throughput per model, in [`ExecModel::ALL`] order.
+    pub rps: [f64; 5],
+}
+
+/// Regenerates Table 3. Also returns the measured protected-call cycles
+/// the server observed at start-up.
+pub fn measure_table3() -> (Vec<Table3Row>, u64) {
+    let server = WebServer::new().expect("server");
+    let cfg = AbConfig::default();
+    let rows = [28u32, 1024, 10 * 1024, 100 * 1024]
+        .into_iter()
+        .map(|size| {
+            let mut rps = [0.0f64; 5];
+            for (i, model) in ExecModel::ALL.into_iter().enumerate() {
+                rps[i] = run_ab(&server, model, size, cfg).rps;
+            }
+            Table3Row { size, rps }
+        })
+        .collect();
+    (rows, server.protected_call_cycles)
+}
+
+/// One point of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Figure7Point {
+    /// Number of conjunction terms.
+    pub terms: usize,
+    /// BPF interpreter cycles.
+    pub bpf_cycles: u64,
+    /// Palladium compiled-extension cycles (including invocation).
+    pub palladium_cycles: u64,
+}
+
+/// Regenerates Figure 7: filter cost vs term count, all terms true.
+pub fn measure_figure7() -> Vec<Figure7Point> {
+    let pkt = reference_packet(64);
+    (0..=4)
+        .map(|terms| {
+            let f = paper_conjunction(terms);
+            let mut b = FilterBench::new().expect("bench");
+            b.install_compiled(&f).expect("install");
+            // Warm both paths.
+            b.run_compiled(&pkt).unwrap();
+            b.run_bpf(&f, &pkt).unwrap();
+            let pd = b.run_compiled(&pkt).unwrap();
+            let bpf = b.run_bpf(&f, &pkt).unwrap();
+            assert!(pd.accept && bpf.accept);
+            Figure7Point {
+                terms,
+                bpf_cycles: bpf.cycles,
+                palladium_cycles: pd.cycles,
+            }
+        })
+        .collect()
+}
+
+/// Extends Figure 7 past the paper's x-axis with payload-byte terms.
+pub fn measure_figure7_extended(term_counts: &[usize]) -> Vec<Figure7Point> {
+    let pkt = reference_packet(128);
+    term_counts
+        .iter()
+        .map(|&terms| {
+            let f = extended_conjunction(terms);
+            let mut b = FilterBench::new().expect("bench");
+            b.install_compiled(&f).expect("install");
+            b.run_compiled(&pkt).unwrap();
+            b.run_bpf(&f, &pkt).unwrap();
+            let pd = b.run_compiled(&pkt).unwrap();
+            let bpf = b.run_bpf(&f, &pkt).unwrap();
+            assert!(pd.accept && bpf.accept);
+            Figure7Point {
+                terms,
+                bpf_cycles: bpf.cycles,
+                palladium_cycles: pd.cycles,
+            }
+        })
+        .collect()
+}
+
+/// The §5.1/§5.2 micro-measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Micro {
+    /// Measured segment-register load, cycles (paper: 12).
+    pub seg_load_cycles: u64,
+    /// Documented segment-register load (paper: 2-3).
+    pub seg_load_documented: f64,
+    /// PPL marking cost for (pages, cycles) pairs (paper: startup +
+    /// 45/page).
+    pub ppl_marking: Vec<(u32, u64)>,
+    /// `dlopen` in microseconds (paper: 400).
+    pub dlopen_us: f64,
+    /// `seg_dlopen` in microseconds (paper: 420).
+    pub seg_dlopen_us: f64,
+    /// SIGSEGV detection-to-delivery, cycles (paper: 3,325).
+    pub sigsegv_cycles: u64,
+    /// Kernel-extension #GP processing, cycles (paper: 1,020).
+    pub kext_abort_cycles: u64,
+    /// The IPC comparison rows.
+    pub ipc: Vec<ipc::IpcMechanism>,
+}
+
+/// Runs a `mov ds, reg` on the machine and returns its cycle cost.
+fn measure_seg_load() -> u64 {
+    use x86sim::desc::{Descriptor, Selector};
+    use x86sim::machine::Machine;
+
+    let mut m = Machine::new();
+    let c = m.gdt.push(Descriptor::flat_code(0));
+    let d = m.gdt.push(Descriptor::flat_data(0));
+    let sel = Selector::new(d, false, 0);
+    let prog = encode_program(&[
+        Insn::Mov(Reg::Eax, Src::Imm(sel.0 as i32)),
+        Insn::MovToSeg(asm86::isa::SegReg::Ds, Reg::Eax),
+        Insn::Hlt,
+    ]);
+    m.mem.write_bytes(0x1000, &prog);
+    m.force_seg_from_table(asm86::isa::SegReg::Cs, Selector::new(c, false, 0));
+    m.force_seg_from_table(asm86::isa::SegReg::Ss, sel);
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+    assert!(m.step().is_none());
+    let before = m.cycles();
+    assert!(m.step().is_none());
+    m.cycles() - before
+}
+
+/// Measures dlopen-style costs by charging through the loader paths.
+fn measure_dlopen() -> (f64, f64) {
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).expect("app");
+    let lib = palladium::stdlib::libc_object();
+    let before = k.m.cycles();
+    app.load_shared_lib(&mut k, &lib).expect("dlopen");
+    let dlopen = k.m.cycles() - before;
+
+    let ext = Assembler::assemble("f:\nret\n").unwrap();
+    let before = k.m.cycles();
+    app.seg_dlopen(&mut k, &ext, DlOptions::default())
+        .expect("seg_dlopen");
+    let seg_dlopen = k.m.cycles() - before;
+    (cycles_to_us(dlopen), cycles_to_us(seg_dlopen))
+}
+
+/// Measures the SIGSEGV detection-to-delivery latency by making an
+/// extension touch application memory.
+fn measure_sigsegv() -> u64 {
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).expect("app");
+    let evil = Assembler::assemble(&format!(
+        "f:\nmov eax, 1\nmov [{}], eax\nret\n",
+        minikernel::USER_TEXT
+    ))
+    .unwrap();
+    let h = app
+        .seg_dlopen(&mut k, &evil, DlOptions::default())
+        .expect("dlopen");
+    let prep = app.seg_dlsym(&mut k, h, "f").expect("dlsym");
+    let before_faults = k.stats.faults;
+    let r = app.call_extension(&mut k, prep, 0);
+    assert!(r.is_err());
+    assert_eq!(k.stats.faults, before_faults + 1);
+    // Detection-to-delivery = hardware vectoring + handler + frame setup.
+    cycles::measured_event(Event::ExceptionDelivery)
+        + k.costs.pagefault_handler
+        + k.costs.signal_deliver
+}
+
+/// Regenerates the §5.1/§5.2 micro-measurements.
+pub fn measure_micro() -> Micro {
+    let k = Kernel::boot();
+    let ppl_marking = [1u32, 10, 32, 64]
+        .into_iter()
+        .map(|p| (p, k.costs.ppl_mark(p)))
+        .collect();
+    let (dlopen_us, seg_dlopen_us) = measure_dlopen();
+    Micro {
+        seg_load_cycles: measure_seg_load(),
+        seg_load_documented: documented_event(Event::SegLoad),
+        ppl_marking,
+        dlopen_us,
+        seg_dlopen_us,
+        sigsegv_cycles: measure_sigsegv(),
+        kext_abort_cycles: cycles::measured_event(Event::ExceptionDelivery) + k.costs.kext_abort,
+        ipc: vec![ipc::palladium(), ipc::l4(), ipc::lrpc()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_the_paper_exactly() {
+        let t = measure_table1();
+        let expected = [(26u64, 2u64), (34, 3), (75, 3), (7, 2)];
+        for (row, (inter, intra)) in t.rows.iter().zip(expected) {
+            assert_eq!(row.inter, inter, "{} (inter)", row.name);
+            assert_eq!(row.intra, intra, "{} (intra)", row.name);
+        }
+        let (inter, intra, hw) = t.totals();
+        assert_eq!(inter, 142, "paper's 142-cycle protected call");
+        assert_eq!(intra, 10, "paper's 10-cycle unprotected call");
+        // The paper prints 89 as the hardware total although its rows sum
+        // to 76; our analytic rows sum close to the row sum.
+        assert!((70.0..90.0).contains(&hw), "hardware total {hw}");
+    }
+
+    #[test]
+    fn table2_shape_matches_the_paper() {
+        let rows = measure_table2();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            // Palladium within roughly the 142-cycle delta (0.71us) of
+            // unprotected.
+            let delta = r.palladium_us - r.unprotected_us;
+            assert!(
+                (0.3..1.2).contains(&delta),
+                "{}-byte delta {delta:.2}us",
+                r.size
+            );
+            assert!(r.rpc_us > 10.0 * r.palladium_us);
+        }
+        // Within 30% of the paper's absolute values.
+        let paper = [(32u32, 2.20), (64, 4.06), (128, 7.78), (256, 15.22)];
+        for (r, (size, us)) in rows.iter().zip(paper) {
+            assert_eq!(r.size, size);
+            let err = (r.unprotected_us - us).abs() / us;
+            assert!(err < 0.30, "{size}B: got {:.2} vs {us}", r.unprotected_us);
+        }
+        assert!(rows[0].rpc_us / rows[0].unprotected_us > 100.0);
+    }
+
+    #[test]
+    fn figure7_crossover_and_factor() {
+        let pts = measure_figure7();
+        assert!(pts[0].bpf_cycles < pts[0].palladium_cycles);
+        assert!(pts[4].bpf_cycles >= 2 * pts[4].palladium_cycles);
+        for w in pts.windows(2) {
+            assert!(w[1].bpf_cycles > w[0].bpf_cycles);
+        }
+    }
+
+    #[test]
+    fn micro_matches_paper_constants() {
+        let m = measure_micro();
+        assert_eq!(m.seg_load_cycles, 12);
+        assert_eq!(m.sigsegv_cycles, 3_325);
+        assert_eq!(m.kext_abort_cycles, 1_020);
+        assert!((m.dlopen_us - 400.0).abs() < 40.0, "{}", m.dlopen_us);
+        assert!(m.seg_dlopen_us > m.dlopen_us);
+        let ten_pages = m.ppl_marking.iter().find(|(p, _)| *p == 10).unwrap().1;
+        assert!((3_450..=5_450).contains(&ten_pages));
+    }
+}

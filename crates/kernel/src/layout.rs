@@ -1,0 +1,174 @@
+//! Address-space layout and well-known selectors.
+//!
+//! Mirrors Figure 2 of the paper (the Linux 2.0 process layout): user
+//! space spans 0–3 GB, the kernel 3–4 GB. User text loads at the
+//! traditional `0x08048000`, shared libraries and extensions map into the
+//! middle of the user range, and the stack grows down from just under
+//! 3 GB.
+
+use x86sim::desc::Selector;
+
+/// Start of the kernel range (3 GB).
+pub const KERNEL_BASE: u32 = 0xC000_0000;
+
+/// Exclusive upper bound of user space (== [`KERNEL_BASE`]).
+pub const USER_LIMIT: u32 = KERNEL_BASE;
+
+/// Default load address of user text (Linux convention).
+pub const USER_TEXT: u32 = 0x0804_8000;
+
+/// Base of the region where shared libraries / user extensions are mapped.
+pub const SHARED_LIB_BASE: u32 = 0x4000_0000;
+
+/// Top of the user stack (grows down).
+pub const USER_STACK_TOP: u32 = 0xBFFF_0000;
+
+/// Pages eagerly mapped for a new user stack.
+pub const USER_STACK_PAGES: u32 = 16;
+
+/// Start of the kernel's dynamic virtual allocation region (modules,
+/// extension segments, kernel stacks).
+pub const KERNEL_VA_START: u32 = 0xD000_0000;
+
+/// End of the kernel dynamic region.
+pub const KERNEL_VA_END: u32 = 0xF000_0000;
+
+/// First physical frame handed to the allocator (low memory is left to
+/// fixed structures and debugging clarity).
+pub const PHYS_POOL_START: u32 = 0x0100_0000;
+
+/// Physical pool end (512 MB machine, as a comfortable superset of the
+/// paper's 64 MB testbed).
+pub const PHYS_POOL_END: u32 = 0x2000_0000;
+
+/// The fixed GDT selectors the kernel installs at boot.
+///
+/// Layout follows Linux: kernel code/data at ring 0, user code/data at
+/// ring 3, plus the two ring-2 segments Palladium adds for promoted
+/// extensible applications (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selectors {
+    /// Ring-0 flat code.
+    pub kcode: Selector,
+    /// Ring-0 flat data.
+    pub kdata: Selector,
+    /// Ring-3 user code (0–3 GB).
+    pub ucode: Selector,
+    /// Ring-3 user data/stack (0–3 GB).
+    pub udata: Selector,
+    /// Ring-2 code for promoted extensible applications (0–3 GB).
+    pub ucode2: Selector,
+    /// Ring-2 data/stack for promoted extensible applications (0–3 GB).
+    pub udata2: Selector,
+}
+
+/// Syscall vector (`int 0x80`, as on Linux).
+pub const SYSCALL_VECTOR: u8 = 0x80;
+
+/// Kernel-service vector for kernel extensions (§4.3's syscall-like
+/// interface between extension segments and the core kernel).
+pub const KSERVICE_VECTOR: u8 = 0x81;
+
+/// Vector user code executes to return from a signal handler.
+pub const SIGRETURN_VECTOR: u8 = 0x83;
+
+/// Vector the kernel-extension return stub uses to yield back to the
+/// (host) kernel after an extension invocation completes.
+pub const KEXT_DONE_VECTOR: u8 = 0x84;
+
+/// Vector the user-extension invoke stub executes (at SPL 2) when a
+/// protected extension call has returned to the application.
+pub const UEXT_DONE_VECTOR: u8 = 0x85;
+
+/// Vector the Palladium runtime's SIGSEGV handler executes (at SPL 2) to
+/// hand a faulting extension call back to the host application logic.
+pub const UEXT_FAULT_VECTOR: u8 = 0x86;
+
+/// Syscall numbers.
+pub mod sys {
+    /// `exit(code)`.
+    pub const EXIT: u32 = 1;
+    /// `fork()`.
+    pub const FORK: u32 = 2;
+    /// `waitpid(pid)` — non-blocking reap; returns the exit code or
+    /// -EAGAIN while the child runs.
+    pub const WAITPID: u32 = 7;
+    /// `write(fd, buf, len)` — fd 1 is the console.
+    pub const WRITE: u32 = 4;
+    /// `getpid()`.
+    pub const GETPID: u32 = 20;
+    /// `brk(addr)`.
+    pub const BRK: u32 = 45;
+    /// `sigaction(handler)` — simplified single-handler form.
+    pub const SIGACTION: u32 = 67;
+    /// `mmap(hint, len, prot)` — anonymous only.
+    pub const MMAP: u32 = 90;
+    /// `munmap(addr, len)`.
+    pub const MUNMAP: u32 = 91;
+    /// `mprotect(addr, len, prot)`.
+    pub const MPROTECT: u32 = 125;
+    /// `cycles()` — read the machine cycle counter (a gettimeofday
+    /// stand-in at 200 MHz).
+    pub const CYCLES: u32 = 13;
+    /// `msgsend(dest_tid, buf, len)` — copy a message into another task's
+    /// mailbox (the substrate for intra-machine RPC).
+    pub const MSGSEND: u32 = 210;
+    /// `msgrecv(buf, maxlen)` — dequeue a message; -EAGAIN when empty.
+    pub const MSGRECV: u32 = 211;
+    /// Palladium: promote to SPL 2 and mark writable pages PPL 0 (§4.4.2).
+    pub const INIT_PL: u32 = 200;
+    /// Palladium: expose pages to extensions by marking them PPL 1.
+    pub const SET_RANGE: u32 = 201;
+    /// Palladium: export an application service through a call gate.
+    pub const SET_CALL_GATE: u32 = 202;
+}
+
+/// Errno values returned (negated) by syscalls.
+pub mod errno {
+    /// Operation not permitted.
+    pub const EPERM: i32 = 1;
+    /// No such process / entity.
+    pub const ESRCH: i32 = 3;
+    /// Bad address.
+    pub const EFAULT: i32 = 14;
+    /// Invalid argument.
+    pub const EINVAL: i32 = 22;
+    /// Out of memory.
+    pub const ENOMEM: i32 = 12;
+    /// Try again (child still running).
+    pub const EAGAIN: i32 = 11;
+    /// No child processes.
+    pub const ECHILD: i32 = 10;
+    /// Function not implemented.
+    pub const ENOSYS: i32 = 38;
+}
+
+/// Memory protection request bits for `mmap`/`mprotect`.
+pub mod prot {
+    /// Readable.
+    pub const READ: u32 = 1;
+    /// Writable.
+    pub const WRITE: u32 = 2;
+    /// Executable (informational; x86-32 paging cannot enforce it).
+    pub const EXEC: u32 = 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_and_kernel_ranges_do_not_overlap() {
+        assert!(USER_TEXT < USER_LIMIT);
+        assert!(USER_STACK_TOP < USER_LIMIT);
+        assert!(SHARED_LIB_BASE < USER_STACK_TOP);
+        assert!(KERNEL_VA_START >= KERNEL_BASE);
+        assert!(KERNEL_VA_END > KERNEL_VA_START);
+    }
+
+    #[test]
+    fn phys_pool_is_page_aligned() {
+        assert_eq!(PHYS_POOL_START % 4096, 0);
+        assert_eq!(PHYS_POOL_END % 4096, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! `minikernel` — a miniature Linux-like kernel hosting the x86 simulator.
+//!
+//! Provides the substrate the Palladium paper assumes (Linux 2.0.34 with
+//! the modifications of §4.5.2):
+//!
+//! * processes with the Figure 2 address-space layout ([`layout`],
+//!   [`task`], [`vas`]),
+//! * syscall dispatch through an interrupt gate, including the
+//!   `taskSPL`-based rejection of direct syscalls from SPL 3 extension
+//!   code ([`kernel`]),
+//! * the Palladium syscalls `init_PL`, `set_range` and `set_call_gate`,
+//! * the modified `mmap` (writable pages of promoted apps become PPL 0),
+//! * `fork` inheritance and `exec` reset of segment/page privilege state,
+//! * a Palladium-aware page-fault handler with SIGSEGV delivery, and
+//! * a cycle cost model for kernel work, calibrated against the paper's
+//!   published numbers ([`costs`]).
+//!
+//! The kernel runs natively ("ring 0 is the host"); guest code — user
+//! programs and extensions — executes on the simulated CPU with full
+//! hardware protection checks.
+
+pub mod costs;
+pub mod kernel;
+pub mod layout;
+pub mod task;
+pub mod vas;
+
+pub use costs::KernelCosts;
+pub use kernel::{Budget, Kernel, KernelStats, Outcome, SpawnError, SIGSEGV};
+pub use layout::{Selectors, KERNEL_BASE, USER_LIMIT, USER_TEXT};
+pub use task::{Task, Tid};
+pub use vas::{AreaKind, Vas, VmArea};
+
+#[cfg(test)]
+mod tests;

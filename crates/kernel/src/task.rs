@@ -1,0 +1,89 @@
+//! The task (process) structure.
+
+use std::collections::VecDeque;
+
+use x86sim::desc::DescriptorTable;
+use x86sim::machine::Cpu;
+
+use crate::vas::Vas;
+
+/// Task identifier.
+pub type Tid = u32;
+
+/// Per-task state — the simulated analogue of Linux's `task_struct`, plus
+/// the `taskSPL` field Palladium adds (§4.5.2).
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// The task id (pid).
+    pub tid: Tid,
+    /// Parent pid.
+    pub parent: Option<Tid>,
+    /// Physical base of this task's page directory.
+    pub cr3: u32,
+    /// The paper's `taskSPL`: 3 for ordinary processes, 2 after `init_PL`.
+    ///
+    /// The kernel rejects direct system calls when `task_spl == 2` and the
+    /// calling code segment is at SPL 3 — that is what stops user-level
+    /// extensions from bypassing their hosting application.
+    pub task_spl: u8,
+    /// User-space mappings.
+    pub vas: Vas,
+    /// Saved CPU context while not running.
+    pub cpu: Cpu,
+    /// Top of the per-task kernel stack (loaded into TSS ring 0).
+    pub kstack_top: u32,
+    /// Top of the ring-2 gate-entry stack, allocated by `init_PL` (loaded
+    /// into TSS ring 2 so `lcall` through AppCallGate has a stack to push
+    /// the caller state onto).
+    pub ring2_stack_top: Option<u32>,
+    /// Registered SIGSEGV handler entry point, if any.
+    pub signal_handler: Option<u32>,
+    /// Context saved when a signal handler was entered (restored by
+    /// `sigreturn`).
+    pub saved_sigcontext: Option<Box<Cpu>>,
+    /// Exit status once the task has exited.
+    pub exit_code: Option<i32>,
+    /// Current program break (heap end).
+    pub brk: u32,
+    /// Per-process local descriptor table. Palladium's application call
+    /// gates live here (the paper: gates reside "in the GDT or LDT"), so
+    /// one process's gates are invisible to every other process.
+    pub ldt: DescriptorTable,
+    /// Incoming messages: (sender, payload). The substrate the RPC
+    /// comparator's client/server pairs exchange requests over.
+    pub mailbox: VecDeque<(Tid, Vec<u8>)>,
+}
+
+impl Task {
+    /// True if the task has exited.
+    pub fn is_zombie(&self) -> bool {
+        self.exit_code.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_task_defaults() {
+        let t = Task {
+            tid: 1,
+            parent: None,
+            cr3: 0x10_0000,
+            task_spl: 3,
+            vas: Vas::new(),
+            cpu: Cpu::default(),
+            kstack_top: 0,
+            ring2_stack_top: None,
+            signal_handler: None,
+            saved_sigcontext: None,
+            exit_code: None,
+            brk: 0,
+            ldt: DescriptorTable::new(),
+            mailbox: VecDeque::new(),
+        };
+        assert_eq!(t.task_spl, 3, "ordinary tasks start at SPL 3");
+        assert!(!t.is_zombie());
+    }
+}

@@ -1,0 +1,260 @@
+//! Virtual-address-space bookkeeping (`vm_area`-style).
+
+use crate::layout::{SHARED_LIB_BASE, USER_LIMIT};
+use x86sim::mem::{page_base, PAGE_SIZE};
+
+/// What a mapping is for — informational, used by fault reporting and by
+/// `init_PL` to decide which pages to demote to PPL 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AreaKind {
+    /// Program text/data/bss.
+    Image,
+    /// The heap (`brk` region).
+    Heap,
+    /// The stack.
+    Stack,
+    /// An anonymous `mmap`.
+    Anon,
+    /// A loaded shared library / user extension image.
+    SharedLib,
+    /// An extension's private stack or heap.
+    ExtensionPrivate,
+}
+
+/// One contiguous mapped region (page-aligned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmArea {
+    /// Inclusive page-aligned start.
+    pub start: u32,
+    /// Exclusive end.
+    pub end: u32,
+    /// Writable mapping.
+    pub writable: bool,
+    /// Purpose of the mapping.
+    pub kind: AreaKind,
+    /// Demand-paged: pages materialize on first touch, and their PPL is
+    /// decided *then* from the owning task's SPL — §4.5.2: "The actual
+    /// marking is performed at the page fault time."
+    pub demand: bool,
+}
+
+impl VmArea {
+    /// Number of pages in the area.
+    pub fn pages(&self) -> u32 {
+        (self.end - self.start) / PAGE_SIZE
+    }
+
+    /// True if `addr` falls inside the area.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.start <= addr && addr < self.end
+    }
+}
+
+/// The ordered set of areas of one task's user address space.
+#[derive(Debug, Clone, Default)]
+pub struct Vas {
+    areas: Vec<VmArea>,
+    /// Next address tried for hint-less `mmap`.
+    pub mmap_cursor: u32,
+}
+
+impl Vas {
+    /// An empty address space.
+    pub fn new() -> Vas {
+        Vas {
+            areas: Vec::new(),
+            mmap_cursor: SHARED_LIB_BASE,
+        }
+    }
+
+    /// All areas, in address order.
+    pub fn areas(&self) -> &[VmArea] {
+        &self.areas
+    }
+
+    /// Finds the area containing `addr`.
+    pub fn find(&self, addr: u32) -> Option<&VmArea> {
+        self.areas.iter().find(|a| a.contains(addr))
+    }
+
+    /// True if `[start, end)` overlaps an existing area.
+    pub fn overlaps(&self, start: u32, end: u32) -> bool {
+        self.areas.iter().any(|a| start < a.end && a.start < end)
+    }
+
+    /// Inserts an area; rejects overlap, misalignment, and ranges leaving
+    /// user space.
+    pub fn insert(&mut self, area: VmArea) -> Result<(), VasError> {
+        if area.start % PAGE_SIZE != 0 || area.end % PAGE_SIZE != 0 {
+            return Err(VasError::Misaligned);
+        }
+        if area.start >= area.end || area.end > USER_LIMIT {
+            return Err(VasError::OutOfRange);
+        }
+        if self.overlaps(area.start, area.end) {
+            return Err(VasError::Overlap);
+        }
+        let pos = self.areas.partition_point(|a| a.start < area.start);
+        self.areas.insert(pos, area);
+        Ok(())
+    }
+
+    /// Updates the writable flag of the area at index `pos` (mprotect of
+    /// a whole area).
+    pub fn set_writable(&mut self, pos: usize, writable: bool) {
+        self.areas[pos].writable = writable;
+    }
+
+    /// Removes the area starting at `start`, returning it.
+    pub fn remove(&mut self, start: u32) -> Option<VmArea> {
+        let idx = self.areas.iter().position(|a| a.start == start)?;
+        Some(self.areas.remove(idx))
+    }
+
+    /// Picks a free page-aligned range of `len` bytes for `mmap`,
+    /// advancing the cursor.
+    pub fn pick_free(&mut self, len: u32) -> Option<u32> {
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let mut candidate = page_base(self.mmap_cursor);
+        // Linear scan with wraparound protection; address spaces here are
+        // tiny (tens of areas).
+        for _ in 0..4096 {
+            let end = candidate.checked_add(len)?;
+            if end > USER_LIMIT {
+                return None;
+            }
+            if !self.overlaps(candidate, end) {
+                self.mmap_cursor = end;
+                return Some(candidate);
+            }
+            let blocker = self
+                .areas
+                .iter()
+                .filter(|a| candidate < a.end && a.start < end)
+                .map(|a| a.end)
+                .max()?;
+            candidate = blocker;
+        }
+        None
+    }
+
+    /// Iterates the page base addresses of every mapped page.
+    pub fn mapped_pages(&self) -> impl Iterator<Item = u32> + '_ {
+        self.areas
+            .iter()
+            .flat_map(|a| (a.start..a.end).step_by(PAGE_SIZE as usize))
+    }
+
+    /// Iterates page bases of writable mappings (what `init_PL` demotes).
+    pub fn writable_pages(&self) -> impl Iterator<Item = u32> + '_ {
+        self.areas
+            .iter()
+            .filter(|a| a.writable)
+            .flat_map(|a| (a.start..a.end).step_by(PAGE_SIZE as usize))
+    }
+
+    /// Total mapped pages.
+    pub fn total_pages(&self) -> u32 {
+        self.areas.iter().map(VmArea::pages).sum()
+    }
+}
+
+/// Errors from address-space operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VasError {
+    /// Range not page-aligned.
+    Misaligned,
+    /// Range empty or beyond user space.
+    OutOfRange,
+    /// Range overlaps an existing mapping.
+    Overlap,
+}
+
+impl core::fmt::Display for VasError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VasError::Misaligned => write!(f, "range not page-aligned"),
+            VasError::OutOfRange => write!(f, "range outside user space"),
+            VasError::Overlap => write!(f, "range overlaps existing mapping"),
+        }
+    }
+}
+
+impl std::error::Error for VasError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area(start: u32, end: u32, writable: bool) -> VmArea {
+        VmArea {
+            start,
+            end,
+            writable,
+            kind: AreaKind::Anon,
+            demand: false,
+        }
+    }
+
+    #[test]
+    fn insert_find_remove() {
+        let mut v = Vas::new();
+        v.insert(area(0x1000, 0x3000, true)).unwrap();
+        v.insert(area(0x5000, 0x6000, false)).unwrap();
+        assert!(v.find(0x1000).is_some());
+        assert!(v.find(0x2FFF).is_some());
+        assert!(v.find(0x3000).is_none());
+        assert_eq!(v.total_pages(), 3);
+        assert!(v.remove(0x1000).is_some());
+        assert!(v.find(0x2000).is_none());
+    }
+
+    #[test]
+    fn rejects_overlap_and_misalignment() {
+        let mut v = Vas::new();
+        v.insert(area(0x1000, 0x3000, true)).unwrap();
+        assert_eq!(v.insert(area(0x2000, 0x4000, true)), Err(VasError::Overlap));
+        assert_eq!(
+            v.insert(area(0x4100, 0x5000, true)),
+            Err(VasError::Misaligned)
+        );
+        assert_eq!(
+            v.insert(area(0xF000_0000, 0xF000_1000, true)),
+            Err(VasError::OutOfRange)
+        );
+        assert_eq!(
+            v.insert(area(0x5000, 0x5000, true)),
+            Err(VasError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn pick_free_skips_existing_areas() {
+        let mut v = Vas::new();
+        let a = v.pick_free(0x2000).unwrap();
+        v.insert(area(a, a + 0x2000, true)).unwrap();
+        let b = v.pick_free(0x1000).unwrap();
+        assert!(b >= a + 0x2000, "second pick avoids the first");
+        v.insert(area(b, b + 0x1000, true)).unwrap();
+        assert!(!v.overlaps(b + 0x1000, b + 0x2000));
+    }
+
+    #[test]
+    fn writable_pages_filters() {
+        let mut v = Vas::new();
+        v.insert(area(0x1000, 0x2000, true)).unwrap();
+        v.insert(area(0x2000, 0x4000, false)).unwrap();
+        assert_eq!(v.writable_pages().count(), 1);
+        assert_eq!(v.mapped_pages().count(), 3);
+    }
+
+    #[test]
+    fn areas_stay_sorted() {
+        let mut v = Vas::new();
+        v.insert(area(0x5000, 0x6000, true)).unwrap();
+        v.insert(area(0x1000, 0x2000, true)).unwrap();
+        v.insert(area(0x3000, 0x4000, true)).unwrap();
+        let starts: Vec<u32> = v.areas().iter().map(|a| a.start).collect();
+        assert_eq!(starts, vec![0x1000, 0x3000, 0x5000]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Disjunctive filters: OR-of-conjunctions, the natural extension of the
+//! paper's single conjunction (tcpdump expressions like
+//! `"udp or (tcp and dst port 80)"` compile to exactly this shape).
+//!
+//! Both backends support it: the compiler emits one basic block per
+//! clause falling through to the next on mismatch, and the BPF
+//! translation chains clause blocks with shared accept/reject tails.
+
+use asm86::{Assembler, Object};
+use baselines::bpf::BpfInsn;
+
+use crate::compile::SHARED_AREA_SIZE;
+use crate::expr::{Filter, Test, Width};
+use crate::tobpf::to_bpf;
+
+/// An OR of conjunctions (empty = reject everything; an empty clause
+/// accepts everything).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DnfFilter {
+    /// The clauses; any one matching accepts the packet.
+    pub clauses: Vec<Filter>,
+}
+
+impl DnfFilter {
+    /// A filter from one conjunction.
+    pub fn from_conjunction(f: Filter) -> DnfFilter {
+        DnfFilter { clauses: vec![f] }
+    }
+
+    /// Host-side reference evaluation.
+    pub fn eval(&self, pkt: &[u8]) -> bool {
+        self.clauses.iter().any(|c| c.eval(pkt))
+    }
+
+    /// Total number of terms across clauses.
+    pub fn total_terms(&self) -> usize {
+        self.clauses.iter().map(Filter::len).sum()
+    }
+}
+
+/// Compiles a DNF filter to a loadable kernel-extension module (same
+/// interface as [`crate::compile::compile`]).
+pub fn compile_dnf(f: &DnfFilter) -> Object {
+    let mut s = String::new();
+    s.push_str("filter:\n");
+
+    if f.clauses.is_empty() {
+        s.push_str("    mov eax, 0\n    ret\n");
+    } else {
+        let max_needed = f
+            .clauses
+            .iter()
+            .flat_map(|c| c.terms.iter())
+            .map(|t| t.offset + t.width.bytes())
+            .max()
+            .unwrap_or(0);
+        if max_needed > 0 {
+            s.push_str("    mov edx, [esp+4]\n");
+            s.push_str(&format!("    cmp edx, {max_needed}\n"));
+            s.push_str("    jb reject\n");
+        }
+        for (ci, clause) in f.clauses.iter().enumerate() {
+            s.push_str(&format!("clause{ci}:\n"));
+            let fail = if ci + 1 < f.clauses.len() {
+                format!("clause{}", ci + 1)
+            } else {
+                "reject".to_string()
+            };
+            for t in &clause.terms {
+                let (load, cons, mask) = match (t.width, t.test) {
+                    (Width::B1, Test::Eq(k)) => ("byte ", k, None),
+                    (Width::B2, Test::Eq(k)) => ("word ", (k as u16).swap_bytes() as u32, None),
+                    (Width::B4, Test::Eq(k)) => ("", k.swap_bytes(), None),
+                    (Width::B1, Test::Masked(m, k)) => ("byte ", k, Some(m)),
+                    (Width::B2, Test::Masked(m, k)) => (
+                        "word ",
+                        (k as u16).swap_bytes() as u32,
+                        Some((m as u16).swap_bytes() as u32),
+                    ),
+                    (Width::B4, Test::Masked(m, k)) => ("", k.swap_bytes(), Some(m.swap_bytes())),
+                    // Ordered tests compose bytes; reuse the conjunction
+                    // compiler's shape inline.
+                    (w, Test::Gt(k)) => {
+                        s.push_str(&format!("    mov eax, byte [shared_area+{}]\n", t.offset));
+                        for i in 1..w.bytes() {
+                            s.push_str("    shl eax, 8\n");
+                            s.push_str(&format!(
+                                "    mov ecx, byte [shared_area+{}]\n",
+                                t.offset + i
+                            ));
+                            s.push_str("    or eax, ecx\n");
+                        }
+                        s.push_str(&format!("    cmp eax, {k}\n"));
+                        s.push_str(&format!("    jbe {fail}\n"));
+                        continue;
+                    }
+                };
+                s.push_str(&format!("    mov eax, {load}[shared_area+{}]\n", t.offset));
+                if let Some(m) = mask {
+                    s.push_str(&format!("    and eax, {m}\n"));
+                }
+                s.push_str(&format!("    cmp eax, {cons}\n"));
+                s.push_str(&format!("    jne {fail}\n"));
+            }
+            s.push_str("    mov eax, 1\n    ret\n");
+        }
+        s.push_str("reject:\n    mov eax, 0\n    ret\n");
+    }
+    s.push_str("    .align 16\nshared_area:\n");
+    s.push_str(&format!("    .space {SHARED_AREA_SIZE}\n"));
+    s.push_str("shared_area_end:\n");
+    Assembler::assemble(&s).expect("generated DNF filter assembles")
+}
+
+/// Translates a DNF filter to BPF: clause blocks chained by failure
+/// edges, one shared accept and reject.
+pub fn dnf_to_bpf(f: &DnfFilter) -> Vec<BpfInsn> {
+    if f.clauses.is_empty() {
+        return vec![BpfInsn::RetK(0)];
+    }
+    if f.clauses.len() == 1 {
+        return to_bpf(&f.clauses[0]);
+    }
+    // Per clause: term instructions then `ja accept`. Failure edges jump
+    // to the next clause's first instruction; the last clause fails to
+    // reject.
+    let sizes: Vec<usize> = f
+        .clauses
+        .iter()
+        .map(|c| {
+            c.terms
+                .iter()
+                .map(|t| match t.test {
+                    Test::Masked(..) => 3,
+                    _ => 2,
+                })
+                .sum::<usize>()
+                + 1 // the ja accept
+        })
+        .collect();
+    let total: usize = sizes.iter().sum();
+    let accept = total;
+    let reject = total + 1;
+
+    let mut prog = Vec::with_capacity(total + 2);
+    let mut clause_start = 0usize;
+    for (clause, size) in f.clauses.iter().zip(&sizes) {
+        let next_clause = clause_start + size;
+        let fail_target = if next_clause < total {
+            next_clause
+        } else {
+            reject
+        };
+        let mut pos = clause_start;
+        for t in &clause.terms {
+            let load = match t.width {
+                Width::B1 => BpfInsn::LdAbsB(t.offset),
+                Width::B2 => BpfInsn::LdAbsH(t.offset),
+                Width::B4 => BpfInsn::LdAbsW(t.offset),
+            };
+            prog.push(load);
+            let term_size = match t.test {
+                Test::Masked(..) => 3,
+                _ => 2,
+            };
+            let jump_idx = pos + term_size - 1;
+            let jf = (fail_target - (jump_idx + 1)) as u8;
+            match t.test {
+                Test::Eq(k) => prog.push(BpfInsn::Jeq(k, 0, jf)),
+                Test::Gt(k) => prog.push(BpfInsn::Jgt(k, 0, jf)),
+                Test::Masked(m, k) => {
+                    prog.push(BpfInsn::And(m));
+                    prog.push(BpfInsn::Jeq(k, 0, jf));
+                }
+            }
+            pos += term_size;
+        }
+        // ja accept
+        prog.push(BpfInsn::Ja((accept - (pos + 1)) as u32));
+        clause_start = next_clause;
+    }
+    prog.push(BpfInsn::RetK(1));
+    prog.push(BpfInsn::RetK(0));
+    debug_assert!(baselines::bpf::validate(&prog).is_ok(), "{prog:?}");
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::terms;
+    use crate::packet::PacketSpec;
+    use baselines::bpf;
+
+    fn udp_or_tcp80() -> DnfFilter {
+        DnfFilter {
+            clauses: vec![
+                Filter {
+                    terms: vec![terms::ip_proto(17)],
+                },
+                Filter {
+                    terms: vec![terms::ip_proto(6), terms::dst_port(80)],
+                },
+            ],
+        }
+    }
+
+    fn pkt(proto: u8, dst_port: u16) -> Vec<u8> {
+        PacketSpec {
+            ip_proto: proto,
+            dst_port,
+            ..PacketSpec::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn reference_semantics() {
+        let f = udp_or_tcp80();
+        assert!(f.eval(&pkt(17, 9)));
+        assert!(f.eval(&pkt(6, 80)));
+        assert!(!f.eval(&pkt(6, 443)));
+        assert!(!f.eval(&pkt(1, 80)));
+        assert!(!DnfFilter::default().eval(&pkt(17, 9)), "empty DNF rejects");
+        assert_eq!(f.total_terms(), 3);
+    }
+
+    #[test]
+    fn bpf_translation_agrees() {
+        let f = udp_or_tcp80();
+        let prog = dnf_to_bpf(&f);
+        bpf::validate(&prog).unwrap();
+        for p in [pkt(17, 9), pkt(6, 80), pkt(6, 443), pkt(1, 80)] {
+            assert_eq!(bpf::run(&prog, &p).unwrap() != 0, f.eval(&p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_module_exports_interface() {
+        let o = compile_dnf(&udp_or_tcp80());
+        assert!(o.symbol("filter").is_some());
+        assert!(o.symbol("shared_area").is_some());
+        assert!(o.symbol("clause0").is_some());
+        assert!(o.symbol("clause1").is_some());
+    }
+
+    #[test]
+    fn compiled_dnf_runs_as_kernel_extension() {
+        use minikernel::Kernel;
+        use palladium::kernel_ext::KernelExtensions;
+
+        let f = udp_or_tcp80();
+        let obj = compile_dnf(&f);
+        let mut k = Kernel::boot();
+        let mut kx = KernelExtensions::new(&mut k).unwrap();
+        let seg = kx.create_segment(&mut k, 16).unwrap();
+        kx.insmod(&mut k, seg, "dnf", &obj, &["filter"]).unwrap();
+        let (area, _) = kx.shared_area_linear(seg).unwrap();
+
+        for p in [pkt(17, 9), pkt(6, 80), pkt(6, 443)] {
+            assert!(k.m.host_write(area, &p));
+            let v = kx.invoke(&mut k, seg, "filter", p.len() as u32).unwrap();
+            assert_eq!(v != 0, f.eval(&p));
+        }
+    }
+
+    #[test]
+    fn single_clause_dnf_equals_conjunction() {
+        let conj = Filter {
+            terms: vec![terms::ether_type(0x0800), terms::ip_proto(17)],
+        };
+        let dnf = DnfFilter::from_conjunction(conj.clone());
+        let prog_a = dnf_to_bpf(&dnf);
+        let prog_b = crate::tobpf::to_bpf(&conj);
+        assert_eq!(prog_a, prog_b);
+    }
+
+    #[test]
+    fn masked_clause_in_dnf() {
+        // 10/8 sources OR dst port 53.
+        let f = DnfFilter {
+            clauses: vec![
+                Filter {
+                    terms: vec![terms::ip_src_net(0x0A00_0000, 0xFF00_0000)],
+                },
+                Filter {
+                    terms: vec![terms::dst_port(53)],
+                },
+            ],
+        };
+        let prog = dnf_to_bpf(&f);
+        bpf::validate(&prog).unwrap();
+        let a = PacketSpec::default().build(); // src 10.0.0.1 -> clause 1
+        assert!(f.eval(&a));
+        assert_eq!(bpf::run(&prog, &a).unwrap(), 1);
+        let b = PacketSpec {
+            src_ip: 0x0101_0101,
+            dst_port: 53,
+            ..PacketSpec::default()
+        }
+        .build(); // clause 2
+        assert!(f.eval(&b));
+        assert_eq!(bpf::run(&prog, &b).unwrap(), 1);
+        let c = PacketSpec {
+            src_ip: 0x0101_0101,
+            dst_port: 54,
+            ..PacketSpec::default()
+        }
+        .build();
+        assert!(!f.eval(&c));
+        assert_eq!(bpf::run(&prog, &c).unwrap(), 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Packet-filter expressions: conjunctions of header tests.
+//!
+//! The paper's Figure 7 experiment runs "a filter rule consisting of a
+//! conjunction of multiple terms ... when all terms are true", with the
+//! number of terms on the x-axis. A [`Filter`] is exactly that: an AND of
+//! [`Term`]s, each testing one packet header field.
+
+/// Field width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// One byte.
+    B1,
+    /// Two bytes (network order).
+    B2,
+    /// Four bytes (network order).
+    B4,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+        }
+    }
+}
+
+/// The predicate applied to a field value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Test {
+    /// Field equals the value.
+    Eq(u32),
+    /// `(field & mask) == value`.
+    Masked(u32, u32),
+    /// Field is (unsigned) greater than the value.
+    Gt(u32),
+}
+
+/// One conjunction term: a test on the field at `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Term {
+    /// Byte offset within the packet.
+    pub offset: u32,
+    /// Field width.
+    pub width: Width,
+    /// The predicate.
+    pub test: Test,
+}
+
+impl Term {
+    /// Reads the (network-order) field value from a packet.
+    pub fn field_value(&self, pkt: &[u8]) -> Option<u32> {
+        let off = self.offset as usize;
+        let n = self.width.bytes() as usize;
+        if off + n > pkt.len() {
+            return None;
+        }
+        let mut v = 0u32;
+        for b in &pkt[off..off + n] {
+            v = (v << 8) | *b as u32;
+        }
+        Some(v)
+    }
+
+    /// Evaluates the term (out-of-bounds fields fail, as in BPF).
+    pub fn eval(&self, pkt: &[u8]) -> bool {
+        let Some(v) = self.field_value(pkt) else {
+            return false;
+        };
+        match self.test {
+            Test::Eq(k) => v == k,
+            Test::Masked(m, k) => v & m == k,
+            Test::Gt(k) => v > k,
+        }
+    }
+}
+
+/// A conjunction of terms (empty = accept everything).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Filter {
+    /// The terms, all of which must hold.
+    pub terms: Vec<Term>,
+}
+
+impl Filter {
+    /// The accept-all filter (zero terms).
+    pub fn accept_all() -> Filter {
+        Filter::default()
+    }
+
+    /// Host-side reference evaluation.
+    pub fn eval(&self, pkt: &[u8]) -> bool {
+        self.terms.iter().all(|t| t.eval(pkt))
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True for the accept-all filter.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Builders for common header tests (offsets from [`crate::packet`]).
+pub mod terms {
+    use super::{Term, Test, Width};
+    use crate::packet::offsets;
+
+    /// EtherType equals `v` (e.g. 0x0800 for IPv4).
+    pub fn ether_type(v: u16) -> Term {
+        Term {
+            offset: offsets::ETHER_TYPE,
+            width: Width::B2,
+            test: Test::Eq(v as u32),
+        }
+    }
+
+    /// IP protocol equals `v` (6 = TCP, 17 = UDP).
+    pub fn ip_proto(v: u8) -> Term {
+        Term {
+            offset: offsets::IP_PROTO,
+            width: Width::B1,
+            test: Test::Eq(v as u32),
+        }
+    }
+
+    /// IP source address equals `v`.
+    pub fn ip_src(v: u32) -> Term {
+        Term {
+            offset: offsets::IP_SRC,
+            width: Width::B4,
+            test: Test::Eq(v),
+        }
+    }
+
+    /// IP destination address equals `v`.
+    pub fn ip_dst(v: u32) -> Term {
+        Term {
+            offset: offsets::IP_DST,
+            width: Width::B4,
+            test: Test::Eq(v),
+        }
+    }
+
+    /// IP source on subnet `v/mask`.
+    pub fn ip_src_net(v: u32, mask: u32) -> Term {
+        Term {
+            offset: offsets::IP_SRC,
+            width: Width::B4,
+            test: Test::Masked(mask, v & mask),
+        }
+    }
+
+    /// Destination port equals `v`.
+    pub fn dst_port(v: u16) -> Term {
+        Term {
+            offset: offsets::DST_PORT,
+            width: Width::B2,
+            test: Test::Eq(v as u32),
+        }
+    }
+
+    /// Source port greater than `v` (an ephemeral-port style test).
+    pub fn src_port_gt(v: u16) -> Term {
+        Term {
+            offset: offsets::SRC_PORT,
+            width: Width::B2,
+            test: Test::Gt(v as u32),
+        }
+    }
+}
+
+/// The paper's n-term conjunction (0 ≤ n ≤ 4), built so that every term is
+/// true for [`crate::packet::reference_packet`]: EtherType == IPv4, then
+/// proto == UDP, then dst ip, then dst port.
+pub fn paper_conjunction(n: usize) -> Filter {
+    use terms::*;
+    let all = [
+        ether_type(0x0800),
+        ip_proto(17),
+        ip_dst(0x0A00_0002),
+        dst_port(5001),
+    ];
+    Filter {
+        terms: all[..n.min(4)].to_vec(),
+    }
+}
+
+/// An n-term conjunction for arbitrary n: the paper's four header terms
+/// followed by payload-byte tests (all true for
+/// [`crate::packet::reference_packet`]), for sweeps beyond Figure 7's
+/// x-axis.
+pub fn extended_conjunction(n: usize) -> Filter {
+    let mut f = paper_conjunction(n.min(4));
+    for i in 4..n {
+        let payload_index = (i - 4) as u32;
+        f.terms.push(Term {
+            offset: crate::packet::offsets::PAYLOAD + payload_index,
+            width: Width::B1,
+            test: Test::Eq(payload_index & 0xFF),
+        });
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::reference_packet;
+
+    #[test]
+    fn empty_filter_accepts_everything() {
+        assert!(Filter::accept_all().eval(&[]));
+        assert!(Filter::accept_all().eval(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn paper_conjunctions_hold_on_the_reference_packet() {
+        let pkt = reference_packet(64);
+        for n in 0..=4 {
+            let f = paper_conjunction(n);
+            assert_eq!(f.len(), n);
+            assert!(f.eval(&pkt), "{n}-term filter matches");
+        }
+    }
+
+    #[test]
+    fn each_term_discriminates() {
+        let pkt = reference_packet(64);
+        // Perturb each tested field and check the 4-term filter rejects.
+        for &(off, len) in &[(12usize, 2usize), (23, 1), (30, 4), (36, 2)] {
+            let mut bad = pkt.clone();
+            bad[off + len - 1] ^= 0xFF;
+            assert!(!paper_conjunction(4).eval(&bad), "field at {off} tested");
+        }
+    }
+
+    #[test]
+    fn masked_and_gt_tests() {
+        let pkt = reference_packet(64);
+        // 10.0.0.0/8 subnet match on the destination.
+        let t = terms::ip_src_net(0x0A00_0000, 0xFF00_0000);
+        // reference src is 10.0.0.1.
+        assert!(t.eval(&pkt));
+        let t = terms::src_port_gt(1024);
+        // reference src port is 40000.
+        assert!(t.eval(&pkt));
+        let t = terms::src_port_gt(50000);
+        assert!(!t.eval(&pkt));
+    }
+
+    #[test]
+    fn extended_conjunctions_hold_on_the_reference_packet() {
+        let pkt = reference_packet(128);
+        for n in [5usize, 8, 12] {
+            let f = extended_conjunction(n);
+            assert_eq!(f.len(), n);
+            assert!(f.eval(&pkt), "{n}-term filter matches");
+            // And each added term still discriminates.
+            let mut bad = pkt.clone();
+            bad[crate::packet::offsets::PAYLOAD as usize] ^= 0xFF;
+            assert!(!extended_conjunction(5).eval(&bad));
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_field_fails_closed() {
+        let t = terms::dst_port(80);
+        assert!(!t.eval(&[0u8; 10]));
+    }
+}

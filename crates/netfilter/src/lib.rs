@@ -1,0 +1,32 @@
+//! `netfilter` — the kernel-level extensible application of §5.2:
+//! a compiled packet filter loaded into the kernel as a Palladium
+//! extension, compared against the interpreted BPF baseline (Figure 7).
+//!
+//! * [`expr`] — filter expressions (conjunctions of header tests) with a
+//!   host reference evaluator.
+//! * [`packet`] — Ethernet/IPv4/UDP packet construction and traffic
+//!   generation.
+//! * [`compile`] — the filter compiler: expression → native module, with
+//!   compile-time byte-swapped constants (one load + compare per term).
+//! * [`tobpf`] — the tcpdump-style translation: expression → BPF
+//!   bytecode.
+//! * [`dnf`] — OR-of-conjunction filters, compiled and translated by both
+//!   backends.
+//! * [`router`] — the programmable router \[22] that motivated the kernel
+//!   mechanism, with the §4.3 asynchronous deferred-filtering path.
+//! * [`harness`] — the side-by-side measurement harness regenerating
+//!   Figure 7.
+
+pub mod compile;
+pub mod dnf;
+pub mod expr;
+pub mod harness;
+pub mod packet;
+pub mod router;
+pub mod tobpf;
+
+pub use dnf::DnfFilter;
+pub use expr::{extended_conjunction, paper_conjunction, Filter, Term, Test, Width};
+pub use harness::{FilterBench, FilterRun, HarnessError};
+pub use packet::{reference_packet, traffic, PacketSpec};
+pub use router::{Router, RouterStats, Verdict};

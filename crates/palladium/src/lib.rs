@@ -1,0 +1,51 @@
+//! `palladium` — the paper's primary contribution.
+//!
+//! Palladium enforces intra-address-space protection boundaries between a
+//! core program and its dynamically loaded extensions using the x86
+//! segmentation and paging hardware:
+//!
+//! * [`kernel_ext`] — the kernel-level mechanism (§4.3): extension
+//!   segments at SPL 1 inside the kernel address range, an Extension
+//!   Function Table, shared data areas, whitelisted kernel services, and
+//!   synchronous + asynchronous invocation with CPU-time limits.
+//! * [`user_ext`] — the user-level mechanism (§4.4): the extensible
+//!   application promotes itself to SPL 2 (`init_PL`), its writable pages
+//!   become PPL 0, and extensions run at SPL 3 in segments spanning the
+//!   *same* 0-3 GB range, so no pointer swizzling is needed; page-level
+//!   checks protect the app, segment-level checks protect the kernel.
+//! * [`trampoline`] — generation of the `Prepare`/`Transfer`/`AppCallGate`
+//!   sequences of Figure 6 that synthesize a protected downcall from
+//!   `lret` and a call-gate `lcall`.
+//! * [`dl`] — the `seg_dlopen`/`seg_dlsym`/`seg_dlclose` loading layer
+//!   with eager GOT/PLT resolution and a sealed, page-aligned GOT.
+//! * [`stdlib`] — a miniature libc (shared, PPL 1) plus the `xmalloc`
+//!   extension allocator.
+//! * [`guestlib`] — canned guest-side syscall wrappers (`exit`, `print`,
+//!   `send`/`recv`, ...) for hand-written guest programs.
+//! * [`protmem`] — the protected memory service sketched as on-going work
+//!   in §6.
+//! * [`mobile`] — the §6 mobile-code system: unverified compiled applets
+//!   confined by the hardware, with service allow-lists, quotas and
+//!   revocation.
+//! * [`segdb`] — the §6 segmentation-aware debugger: domain-labelled
+//!   trace symbolization and per-SPL cycle profiles.
+
+pub mod dl;
+pub mod guestlib;
+pub mod kernel_ext;
+pub mod mobile;
+pub mod protmem;
+pub mod segdb;
+pub mod shm;
+pub mod stdlib;
+pub mod trampoline;
+pub mod user_ext;
+
+pub use kernel_ext::{ExtSegmentId, KernelExtensions, KextError};
+pub use mobile::{AppletHost, AppletId, AppletOutcome, AppletQuota};
+pub use segdb::SegDb;
+pub use shm::{SharedArea, ShmError};
+pub use user_ext::{ExtCallError, ExtensibleApp, ExtensionHandle, PalError};
+
+#[cfg(test)]
+mod tests;

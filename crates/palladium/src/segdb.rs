@@ -1,0 +1,221 @@
+//! `segdb` — the segmentation-aware debugger sketched in §6.
+//!
+//! "Better programming tools for extensions programming are needed, in
+//! particular, segmentation-aware debuggers..."
+//!
+//! Ordinary debuggers assume one flat protection domain; when an
+//! extensible application traps, the interesting question is *which
+//! domain* each instruction ran in. `SegDb` symbolizes a machine
+//! [`x86sim::Trace`] against the loader's symbol maps and labels
+//! every record with its privilege level, producing an annotated
+//! disassembly and a per-domain cycle profile of the Figure 6 round trip.
+
+use std::collections::BTreeMap;
+
+use asm86::disasm::format_insn;
+use x86sim::trace::{Trace, TraceRecord};
+
+/// A named code region with its symbols.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Module name (e.g. `ext:reverse`, `app`, `trampoline`).
+    pub name: String,
+    /// Inclusive start address.
+    pub base: u32,
+    /// Exclusive end address.
+    pub end: u32,
+    /// Symbol table: address → name.
+    symbols: BTreeMap<u32, String>,
+}
+
+/// The debugger: a set of regions plus formatting.
+#[derive(Debug, Default)]
+pub struct SegDb {
+    regions: Vec<Region>,
+}
+
+impl SegDb {
+    /// An empty symbol database.
+    pub fn new() -> SegDb {
+        SegDb::default()
+    }
+
+    /// Registers a region with its symbols (absolute addresses).
+    pub fn add_region(
+        &mut self,
+        name: &str,
+        base: u32,
+        end: u32,
+        symbols: impl IntoIterator<Item = (String, u32)>,
+    ) {
+        let symbols = symbols.into_iter().map(|(s, a)| (a, s)).collect();
+        self.regions.push(Region {
+            name: name.to_string(),
+            base,
+            end,
+            symbols,
+        });
+    }
+
+    /// Symbolizes an address as `module!symbol+offset` (or `module+off`,
+    /// or raw hex when unknown).
+    pub fn symbolize(&self, addr: u32) -> String {
+        for r in &self.regions {
+            if addr < r.base || addr >= r.end {
+                continue;
+            }
+            // Nearest symbol at or below the address.
+            if let Some((sym_addr, name)) = r.symbols.range(..=addr).next_back() {
+                let off = addr - sym_addr;
+                return if off == 0 {
+                    format!("{}!{}", r.name, name)
+                } else {
+                    format!("{}!{}+{:#x}", r.name, name, off)
+                };
+            }
+            return format!("{}+{:#x}", r.name, addr - r.base);
+        }
+        format!("{addr:#010x}")
+    }
+
+    /// The privilege-domain label the paper uses for each ring.
+    pub fn domain(cpl: u8) -> &'static str {
+        match cpl {
+            0 => "SPL0/kernel",
+            1 => "SPL1/kext",
+            2 => "SPL2/app",
+            _ => "SPL3/ext",
+        }
+    }
+
+    /// Formats a trace as annotated, domain-labelled disassembly.
+    pub fn format_trace(&self, trace: &Trace) -> String {
+        let mut out = String::new();
+        let mut last_cpl = u8::MAX;
+        for r in trace.records() {
+            if r.cpl != last_cpl {
+                out.push_str(&format!(
+                    "---- {} (CS={:#06x}) ----\n",
+                    Self::domain(r.cpl),
+                    r.cs
+                ));
+                last_cpl = r.cpl;
+            }
+            out.push_str(&format!(
+                "  {:>28}  {}\n",
+                self.symbolize(r.eip),
+                format_insn(&r.insn)
+            ));
+        }
+        out
+    }
+
+    /// Cycles spent per privilege level across the trace (the cost of
+    /// each side of a protection-domain crossing).
+    pub fn domain_profile(trace: &Trace) -> BTreeMap<u8, u64> {
+        let mut profile = BTreeMap::new();
+        let mut prev_cycles = None;
+        for r in trace.records() {
+            let delta = match prev_cycles {
+                Some(p) => r.cycles - p,
+                None => 0,
+            };
+            *profile.entry(r.cpl).or_insert(0) += delta;
+            prev_cycles = Some(r.cycles);
+        }
+        profile
+    }
+
+    /// Counts protection-domain crossings (CPL changes) in the trace.
+    pub fn crossings(trace: &Trace) -> u32 {
+        let recs = trace.records();
+        recs.windows(2).filter(|w| w[0].cpl != w[1].cpl).count() as u32
+    }
+}
+
+/// Convenience: returns a [`TraceRecord`] iterator filtered to one domain.
+pub fn in_domain(trace: &Trace, cpl: u8) -> Vec<TraceRecord> {
+    trace
+        .records()
+        .into_iter()
+        .filter(|r| r.cpl == cpl)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user_ext::{DlOptions, ExtensibleApp};
+    use asm86::Assembler;
+    use minikernel::Kernel;
+
+    #[test]
+    fn symbolization_picks_nearest_symbol() {
+        let mut db = SegDb::new();
+        db.add_region(
+            "ext:demo",
+            0x4000_0000,
+            0x4000_1000,
+            vec![
+                ("entry".to_string(), 0x4000_0000),
+                ("helper".to_string(), 0x4000_0020),
+            ],
+        );
+        assert_eq!(db.symbolize(0x4000_0000), "ext:demo!entry");
+        assert_eq!(db.symbolize(0x4000_0005), "ext:demo!entry+0x5");
+        assert_eq!(db.symbolize(0x4000_0024), "ext:demo!helper+0x4");
+        assert_eq!(db.symbolize(0x5000_0000), "0x50000000");
+    }
+
+    #[test]
+    fn protected_call_trace_shows_both_domains_and_two_crossings() {
+        let mut k = Kernel::boot();
+        let mut app = ExtensibleApp::new(&mut k).unwrap();
+        let ext = Assembler::assemble("f:\nmov eax, [esp+4]\nadd eax, 1\nret\n").unwrap();
+        let h = app.seg_dlopen(&mut k, &ext, DlOptions::default()).unwrap();
+        let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
+        app.call_extension(&mut k, prep, 0).unwrap(); // warm
+
+        k.m.enable_trace(256);
+        assert_eq!(app.call_extension(&mut k, prep, 41).unwrap(), 42);
+        let trace = k.m.disable_trace().unwrap();
+
+        // The Figure 6 round trip: SPL 2 -> SPL 3 -> SPL 2 = exactly two
+        // crossings, as the paper contrasts with L4's four.
+        assert_eq!(SegDb::crossings(&trace), 2);
+        let profile = SegDb::domain_profile(&trace);
+        assert!(profile[&2] > 0, "cycles at SPL 2");
+        assert!(profile[&3] > 0, "cycles at SPL 3");
+        assert!(!profile.contains_key(&0), "the kernel never ran guest code");
+
+        // Annotated output names the extension function.
+        let mut db = SegDb::new();
+        let f_addr = app.dlsym(h, "f").unwrap();
+        db.add_region(
+            "ext:f",
+            f_addr,
+            f_addr + 64,
+            vec![("f".to_string(), f_addr)],
+        );
+        let text = db.format_trace(&trace);
+        assert!(text.contains("SPL3/ext"), "{text}");
+        assert!(text.contains("SPL2/app"));
+        assert!(text.contains("ext:f!f"));
+    }
+
+    #[test]
+    fn domain_filter() {
+        let mut k = Kernel::boot();
+        let mut app = ExtensibleApp::new(&mut k).unwrap();
+        let ext = Assembler::assemble("f:\nret\n").unwrap();
+        let h = app.seg_dlopen(&mut k, &ext, DlOptions::default()).unwrap();
+        let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
+        app.call_extension(&mut k, prep, 0).unwrap();
+        k.m.enable_trace(128);
+        app.call_extension(&mut k, prep, 0).unwrap();
+        let trace = k.m.disable_trace().unwrap();
+        // SPL 3 executed exactly: Transfer's call, the ret, the lcall.
+        let ext_insns = in_domain(&trace, 3);
+        assert_eq!(ext_insns.len(), 3, "{ext_insns:?}");
+    }
+}

@@ -1,0 +1,244 @@
+//! A miniature libc and the extension-side allocator.
+//!
+//! The paper's user-level design lets extensions call **non-buffering**
+//! library routines (`strcpy`, `strlen`, ...) directly, because those
+//! routines' code pages are shared at PPL 1 and they keep no internal
+//! state. **Buffering** routines (`fprintf`-style) must be exposed as
+//! application services instead, because their data areas stay at PPL 0.
+//!
+//! `xmalloc` allocates from the *extension's* heap (a bump allocator whose
+//! state lives in the extension's own writable PPL 1 page) — using plain
+//! `malloc` would try to grow the application's PPL 0 heap and fault.
+
+use asm86::{Assembler, Object};
+use minikernel::layout::sys;
+
+/// Assembly prelude of `.equ` constants for guest programmers: syscall
+/// numbers and the kernel-service numbers kernel extensions may use.
+/// Prepend to hand-written sources so magic numbers get names.
+pub fn prelude() -> String {
+    format!(
+        ".equ SYS_EXIT, {exit}
+.equ SYS_FORK, {fork}
+.equ SYS_WRITE, {write}
+.equ SYS_GETPID, {getpid}
+.equ SYS_WAITPID, {waitpid}
+.equ SYS_BRK, {brk}
+.equ SYS_MMAP, {mmap}
+.equ SYS_MUNMAP, {munmap}
+.equ SYS_CYCLES, {cycles}
+.equ SYS_INIT_PL, {init_pl}
+.equ SYS_SET_RANGE, {set_range}
+.equ SYS_SET_CALL_GATE, {set_call_gate}
+.equ KSVC_LOG, {ksvc_log}
+.equ KSVC_CYCLES, {ksvc_cycles}
+.equ KSVC_SHARED_SIZE, {ksvc_shared}
+",
+        exit = sys::EXIT,
+        fork = sys::FORK,
+        write = sys::WRITE,
+        getpid = sys::GETPID,
+        waitpid = sys::WAITPID,
+        brk = sys::BRK,
+        mmap = sys::MMAP,
+        munmap = sys::MUNMAP,
+        cycles = sys::CYCLES,
+        init_pl = sys::INIT_PL,
+        set_range = sys::SET_RANGE,
+        set_call_gate = sys::SET_CALL_GATE,
+        ksvc_log = crate::kernel_ext::kservice::LOG,
+        ksvc_cycles = crate::kernel_ext::kservice::CYCLES,
+        ksvc_shared = crate::kernel_ext::kservice::SHARED_SIZE,
+    )
+}
+
+/// Assembles the shared mini-libc (non-buffering routines only).
+///
+/// Exported symbols: `strlen`, `strcpy`, `memcpy`, `strrev`, `strcmp`.
+/// All follow cdecl: arguments on the stack, result in `eax`, `ecx`/`edx`
+/// caller-saved.
+pub fn libc_object() -> Object {
+    Assembler::assemble(
+        "\
+; size_t strlen(const char *s)
+strlen:
+    mov edx, [esp+4]
+    mov eax, 0
+strlen_loop:
+    mov ecx, byte [edx]
+    cmp ecx, 0
+    je strlen_done
+    inc eax
+    inc edx
+    jmp strlen_loop
+strlen_done:
+    ret
+
+; char *strcpy(char *dst, const char *src) — returns dst
+strcpy:
+    mov eax, [esp+4]
+    mov edx, [esp+8]
+    mov ecx, eax
+strcpy_loop:
+    mov esi, byte [edx]
+    mov byte [ecx], esi
+    cmp esi, 0
+    je strcpy_done
+    inc ecx
+    inc edx
+    jmp strcpy_loop
+strcpy_done:
+    ret
+
+; void *memcpy(void *dst, const void *src, size_t n) — returns dst
+memcpy:
+    mov eax, [esp+4]
+    mov edx, [esp+8]
+    mov ecx, [esp+12]
+    mov esi, eax
+memcpy_loop:
+    cmp ecx, 0
+    je memcpy_done
+    mov edi, byte [edx]
+    mov byte [esi], edi
+    inc esi
+    inc edx
+    dec ecx
+    jmp memcpy_loop
+memcpy_done:
+    ret
+
+; int strcmp(const char *a, const char *b)
+strcmp:
+    mov ecx, [esp+4]
+    mov edx, [esp+8]
+strcmp_loop:
+    mov eax, byte [ecx]
+    mov esi, byte [edx]
+    cmp eax, esi
+    jne strcmp_diff
+    cmp eax, 0
+    je strcmp_eq
+    inc ecx
+    inc edx
+    jmp strcmp_loop
+strcmp_diff:
+    sub eax, esi
+    ret
+strcmp_eq:
+    mov eax, 0
+    ret
+
+; void strrev(char *s, int len) — reverse in place
+strrev:
+    mov ecx, [esp+4]        ; i = s
+    mov edx, [esp+4]
+    add edx, [esp+8]
+    dec edx                 ; j = s + len - 1
+strrev_loop:
+    cmp ecx, edx
+    jae strrev_done
+    mov eax, byte [ecx]
+    mov esi, byte [edx]
+    mov byte [ecx], esi
+    mov byte [edx], eax
+    inc ecx
+    dec edx
+    jmp strrev_loop
+strrev_done:
+    ret
+",
+    )
+    .expect("libc assembles")
+}
+
+/// Assembles the `xmalloc` bump allocator, linked *into* each extension
+/// image so that its heap-cursor state (`xheap_next`, `xheap_end`) lives
+/// in the extension's own PPL 1 pages. The loader initializes the cursor
+/// to the extension heap's bounds. Returns null (0) when exhausted.
+pub fn xmalloc_object() -> Object {
+    Assembler::assemble(
+        "\
+; void *xmalloc(size_t n) — 8-byte aligned bump allocation
+xmalloc:
+    mov ecx, [esp+4]
+    add ecx, 7
+    mov edx, -8
+    and ecx, edx            ; round up to 8
+    mov eax, [xheap_next]
+    mov edx, eax
+    add edx, ecx
+    cmp [xheap_end], edx
+    jb xmalloc_oom
+    mov [xheap_next], edx
+    ret
+xmalloc_oom:
+    mov eax, 0
+    ret
+
+; current heap cursor (set by seg_dlopen)
+xheap_next:
+    .dd 0
+; heap limit (set by seg_dlopen)
+xheap_end:
+    .dd 0
+",
+    )
+    .expect("xmalloc assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libc_exports_expected_symbols() {
+        let o = libc_object();
+        for sym in ["strlen", "strcpy", "memcpy", "strcmp", "strrev"] {
+            assert!(o.symbol(sym).is_some(), "missing {sym}");
+        }
+        assert!(o.undefined_symbols().is_empty());
+    }
+
+    #[test]
+    fn xmalloc_exports_heap_slots() {
+        let o = xmalloc_object();
+        assert!(o.symbol("xmalloc").is_some());
+        assert!(o.symbol("xheap_next").is_some());
+        assert!(o.symbol("xheap_end").is_some());
+    }
+
+    #[test]
+    fn libc_links_standalone() {
+        let o = libc_object();
+        assert!(o.link(0x4000_0000, &Default::default()).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod prelude_tests {
+    use super::*;
+
+    #[test]
+    fn prelude_names_work_in_guest_programs() {
+        use minikernel::{Budget, Kernel, Outcome};
+        let src = format!(
+            "{}\n_start:\nmov eax, SYS_EXIT\nmov ebx, 42\nint 0x80\n",
+            prelude()
+        );
+        let obj = Assembler::assemble(&src).unwrap();
+        let mut k = Kernel::boot();
+        let tid = k.spawn(&obj, &Default::default()).unwrap();
+        k.switch_to(tid);
+        assert_eq!(k.run_current(Budget::Insns(100)), Outcome::Exited(42));
+    }
+
+    #[test]
+    fn prelude_constants_do_not_shift_with_base() {
+        let obj =
+            Assembler::assemble(&format!("{}\nf:\nmov eax, SYS_WRITE\nret\n", prelude())).unwrap();
+        let a = obj.link(0, &Default::default()).unwrap();
+        let b = obj.link(0x7000, &Default::default()).unwrap();
+        assert_eq!(a, b, "pure-constant code is position independent");
+    }
+}

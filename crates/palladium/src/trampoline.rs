@@ -1,0 +1,336 @@
+//! Generation of the Figure 6 control-transfer sequences.
+//!
+//! A logical *downcall* (privileged core → less-privileged extension) is
+//! synthesized from x86 primitives that only support upcalls:
+//!
+//! * **`Prepare`** (runs at the core's SPL): copies the 4-byte argument to
+//!   the extension stack, saves the core's ESP/EBP, builds a phantom
+//!   activation record (SS, ESP, CS, EIP of the extension side) and
+//!   executes `lret` — "returning" into code that never called it.
+//! * **`Transfer`** (runs at the extension's SPL): makes a plain near call
+//!   to the extension function, then comes back through a call gate.
+//! * **`AppCallGate`** (per application, at the core's SPL): restores the
+//!   saved ESP/EBP and executes a near `ret`, which lands directly at the
+//!   original call site.
+//!
+//! The same shape is used for kernel extensions (SPL 0 → SPL 1), with the
+//! return stub ending in `hlt` to yield back to the hosting kernel and
+//! with `Transfer` reloading DS — the 12-cycle segment-register load the
+//! paper measures — because kernel extensions live in a *different*
+//! segment.
+
+use asm86::isa::{Insn, Mem, Reg, Src};
+
+/// Addresses of the per-application save slots (must be PPL 0 so
+/// extensions cannot corrupt them).
+#[derive(Debug, Clone, Copy)]
+pub struct SaveSlots {
+    /// Where `Prepare` saves the application ESP.
+    pub sp_slot: u32,
+    /// Where `Prepare` saves the application EBP.
+    pub bp_slot: u32,
+}
+
+/// Parameters for generating one extension function's `Prepare` routine.
+#[derive(Debug, Clone, Copy)]
+pub struct PrepareParams {
+    /// Save slots shared by the application.
+    pub slots: SaveSlots,
+    /// Address (in the extension stack page) where the 4-byte argument is
+    /// deposited; equals the initial extension ESP, so the callee sees the
+    /// argument at `[esp+4]` after `Transfer`'s near call.
+    pub arg_slot: u32,
+    /// Address of the slot holding the extension stack pointer value
+    /// (pushed with `push dword [..]`, exactly as in Figure 6).
+    pub ext_esp_slot: u32,
+    /// Selector for the extension's stack segment (SS3 / SS1).
+    pub stack_sel: u16,
+    /// Selector for the extension's code segment (CS3 / CS1).
+    pub code_sel: u16,
+    /// Address (segment offset) of the matching `Transfer` routine.
+    pub transfer: u32,
+}
+
+/// Generates `Prepare` — Figure 6, left box.
+///
+/// Entered by a plain near `call` with the argument at `[esp+4]`.
+pub fn prepare(p: PrepareParams) -> Vec<Insn> {
+    vec![
+        // pushl 0x4(%esp); popl ExtensionStack — copy the argument to the
+        // extension's stack.
+        Insn::PushM(Mem::based(Reg::Esp, 4)),
+        Insn::PopM(Mem::abs(p.arg_slot)),
+        // movl %esp, SP2; movl %ebp, BP2.
+        Insn::Store(Mem::abs(p.slots.sp_slot), Src::Reg(Reg::Esp)),
+        Insn::Store(Mem::abs(p.slots.bp_slot), Src::Reg(Reg::Ebp)),
+        // Phantom activation record: SS, ESP, CS, EIP.
+        Insn::Push(Src::Imm(p.stack_sel as i32)),
+        Insn::PushM(Mem::abs(p.ext_esp_slot)),
+        Insn::Push(Src::Imm(p.code_sel as i32)),
+        Insn::Push(Src::Imm(p.transfer as i32)),
+        Insn::Lret,
+    ]
+}
+
+/// Parameters for generating one extension function's `Transfer` routine.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferParams {
+    /// Segment offset where this `Transfer` will be placed (needed to
+    /// compute the near-call displacement).
+    pub location: u32,
+    /// Segment offset of the extension function.
+    pub ext_fn: u32,
+    /// Call-gate selector for the return path (`AppCallGate` or the kernel
+    /// return gate).
+    pub gate_sel: u16,
+    /// If set, `Transfer` first loads DS with this selector — required for
+    /// kernel extensions, whose outward `lret` invalidated the privileged
+    /// DS (and costing the 12-cycle segment load the paper reports).
+    pub load_ds: Option<u16>,
+}
+
+/// Byte length of the `mov ecx, imm` + `mov ds, ecx` prologue.
+const LOAD_DS_LEN: u32 = 7 + 3;
+
+/// Byte length of an encoded near `call rel32`.
+const CALL_LEN: u32 = 5;
+
+/// Generates `Transfer` — Figure 6, right box.
+pub fn transfer(t: TransferParams) -> Vec<Insn> {
+    let mut code = Vec::with_capacity(4);
+    let mut call_site = t.location;
+    if let Some(sel) = t.load_ds {
+        code.push(Insn::Mov(Reg::Ecx, Src::Imm(sel as i32)));
+        code.push(Insn::MovToSeg(asm86::isa::SegReg::Ds, Reg::Ecx));
+        call_site += LOAD_DS_LEN;
+    }
+    // call ExtensionFunction (rel32 from the end of the call).
+    let rel = t.ext_fn.wrapping_sub(call_site + CALL_LEN) as i32;
+    code.push(Insn::Call(rel));
+    // lcall AppCallGateNum.
+    code.push(Insn::Lcall(t.gate_sel, 0));
+    code
+}
+
+/// Generates `AppCallGate` — the per-application return routine.
+pub fn app_callgate(slots: SaveSlots) -> Vec<Insn> {
+    vec![
+        Insn::Load(Reg::Esp, Mem::abs(slots.sp_slot)),
+        Insn::Load(Reg::Ebp, Mem::abs(slots.bp_slot)),
+        Insn::Ret,
+    ]
+}
+
+/// Generates the kernel-side return routine (`kret`): reload the flat
+/// kernel DS (the gate entry arrives with the extension's DS still
+/// loaded), restore the saved stack, and yield to the hosting kernel.
+pub fn kernel_ret(slots: SaveSlots, kdata_sel: u16) -> Vec<Insn> {
+    vec![
+        Insn::Mov(Reg::Ecx, Src::Imm(kdata_sel as i32)),
+        Insn::MovToSeg(asm86::isa::SegReg::Ds, Reg::Ecx),
+        Insn::Load(Reg::Esp, Mem::abs(slots.sp_slot)),
+        Insn::Load(Reg::Ebp, Mem::abs(slots.bp_slot)),
+        Insn::Hlt,
+    ]
+}
+
+/// Generates the kernel-side invoke stub: entered by the host with
+/// `eax` = argument and `ebx` = the segment's `kprepare` address; the
+/// near call gives `Prepare` the `[esp+4]` argument layout it expects.
+/// `kret` yields with `hlt` before the call ever returns.
+pub fn kernel_invoke_stub() -> Vec<Insn> {
+    vec![
+        Insn::Push(Src::Reg(Reg::Eax)),
+        Insn::CallReg(Reg::Ebx),
+        Insn::Hlt,
+    ]
+}
+
+/// Generates the application-side invoke stub: called by the hosting
+/// application logic with `eax` = argument and `ebx` = the `Prepare`
+/// address returned by `seg_dlsym`; yields to the host with the result in
+/// `eax`.
+pub fn invoke_stub(done_vector: u8) -> Vec<Insn> {
+    vec![
+        Insn::Push(Src::Reg(Reg::Eax)),
+        Insn::CallReg(Reg::Ebx),
+        Insn::Alu(asm86::isa::AluOp::Add, Reg::Esp, Src::Imm(4)),
+        Insn::Int(done_vector),
+        // If the host resumes us by accident, loop on the yield.
+        Insn::Jmp(-7),
+    ]
+}
+
+/// Generates the Palladium SIGSEGV trampoline the runtime registers as the
+/// application's signal handler: it immediately yields to the host, which
+/// aborts the offending extension call (§4.5.2).
+pub fn fault_stub(fault_vector: u8) -> Vec<Insn> {
+    vec![Insn::Int(fault_vector), Insn::Jmp(-7)]
+}
+
+/// Generates a `ServiceEntry` wrapper exporting an application service to
+/// extensions through a call gate (§4.5.1).
+///
+/// The inward `lcall` switched to the ring-2 gate stack; the wrapper
+/// switches back to the *extension's own stack* (legal — same segment
+/// base), so the service sees its arguments exactly where the extension
+/// pushed them and gcc-style parameter passing keeps working, with no
+/// cross-segment copying. The far return restores the extension's SS:ESP
+/// from the gate-stack frame.
+pub fn service_entry(location: u32, service_impl: u32) -> Vec<Insn> {
+    // Layout at entry (on the ring-2 gate stack):
+    //   [esp]    return EIP
+    //   [esp+4]  return CS
+    //   [esp+8]  extension ESP
+    //   [esp+12] extension SS
+    let mov_len: u32 = 4; // mov ebp, esp
+    let load_len: u32 = 7; // mov esp, [ebp+8]
+    let call_site = location + mov_len + load_len;
+    let rel = service_impl.wrapping_sub(call_site + CALL_LEN) as i32;
+    vec![
+        Insn::Mov(Reg::Ebp, Src::Reg(Reg::Esp)),
+        Insn::Load(Reg::Esp, Mem::based(Reg::Ebp, 8)),
+        Insn::Call(rel),
+        Insn::Mov(Reg::Esp, Src::Reg(Reg::Ebp)),
+        Insn::Lret,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm86::encode::encode_program;
+    use x86sim::cycles::{measured_cost, measured_event, Event};
+
+    fn params() -> PrepareParams {
+        PrepareParams {
+            slots: SaveSlots {
+                sp_slot: 0x1000,
+                bp_slot: 0x1004,
+            },
+            arg_slot: 0x5FFC,
+            ext_esp_slot: 0x1008,
+            stack_sel: 0x23,
+            code_sel: 0x1B,
+            transfer: 0x4000,
+        }
+    }
+
+    #[test]
+    fn prepare_matches_figure6_shape() {
+        let code = prepare(params());
+        assert_eq!(code.len(), 9, "8 instructions + lret, as in Figure 6");
+        assert!(matches!(code[0], Insn::PushM(_)));
+        assert!(matches!(code[1], Insn::PopM(_)));
+        assert_eq!(code[8], Insn::Lret);
+    }
+
+    #[test]
+    fn prepare_body_costs_22_cycles() {
+        // Together with the caller's push(1) + call(3), this gives the
+        // paper's 26-cycle "Setting up stack" row (Table 1).
+        let body: u64 = prepare(params())[..8].iter().map(measured_cost).sum();
+        assert_eq!(body, 22);
+    }
+
+    #[test]
+    fn transfer_computes_correct_displacement() {
+        let code = transfer(TransferParams {
+            location: 0x4000,
+            ext_fn: 0x4100,
+            gate_sel: 0x3B,
+            load_ds: None,
+        });
+        assert_eq!(code.len(), 2);
+        // call at 0x4000, ends at 0x4005, target 0x4100 => rel 0xFB.
+        assert_eq!(code[0], Insn::Call(0xFB));
+        assert_eq!(code[1], Insn::Lcall(0x3B, 0));
+        // Self-check the assumed encoding length.
+        assert_eq!(encode_program(&[code[0]]).len(), 5);
+    }
+
+    #[test]
+    fn kernel_transfer_reloads_ds() {
+        let code = transfer(TransferParams {
+            location: 0x100,
+            ext_fn: 0x200,
+            gate_sel: 0x43,
+            load_ds: Some(0x51),
+        });
+        assert_eq!(code.len(), 4);
+        assert!(matches!(code[1], Insn::MovToSeg(asm86::isa::SegReg::Ds, _)));
+        // Displacement accounts for the DS-load prologue.
+        let lens: usize = encode_program(&code[..2]).len();
+        assert_eq!(lens as u32, LOAD_DS_LEN);
+        assert_eq!(
+            code[2],
+            Insn::Call((0x200 - (0x100 + LOAD_DS_LEN + 5)) as i32)
+        );
+    }
+
+    #[test]
+    fn appcallgate_costs_7_cycles() {
+        let code = app_callgate(params().slots);
+        let total: u64 = code.iter().map(measured_cost).sum();
+        assert_eq!(total, 7, "Table 1 'Restoring state' row");
+    }
+
+    #[test]
+    fn full_protected_call_costs_142_cycles() {
+        // Reconstruct Table 1 analytically from the generated sequences:
+        // caller push+call, Prepare body, lret, Transfer call, null ext fn
+        // ret, gate lcall, AppCallGate.
+        let p = prepare(params());
+        let t = transfer(TransferParams {
+            location: 0,
+            ext_fn: 0x100,
+            gate_sel: 8,
+            load_ds: None,
+        });
+        let g = app_callgate(params().slots);
+
+        let caller = measured_cost(&Insn::Push(Src::Reg(Reg::Eax))) + measured_cost(&Insn::Call(0));
+        let prepare_body: u64 = p[..8].iter().map(measured_cost).sum();
+        let lret = measured_event(Event::FarRetOuter);
+        let transfer_call = measured_cost(&t[0]);
+        let ext_ret = measured_cost(&Insn::Ret);
+        let gate = measured_event(Event::GateCallInner);
+        let restore: u64 = g.iter().map(measured_cost).sum();
+
+        let total = caller + prepare_body + lret + transfer_call + ext_ret + gate + restore;
+        assert_eq!(total, 142);
+    }
+
+    #[test]
+    fn service_entry_round_trips_through_the_gate_stack() {
+        let code = service_entry(0x2000, 0x3000);
+        assert_eq!(code.len(), 5);
+        assert_eq!(code[4], Insn::Lret);
+        // Verify the assumed prologue encoding lengths.
+        assert_eq!(encode_program(&code[..2]).len(), 11);
+    }
+
+    #[test]
+    fn stubs_are_self_contained_loops() {
+        let inv = invoke_stub(0x85);
+        // The jmp must land exactly back on the int.
+        let pre: usize = encode_program(&inv[..3]).len();
+        let int_len = encode_program(&[inv[3]]).len();
+        let jmp_len = encode_program(&[inv[4]]).len();
+        let jmp_end = pre as i32 + int_len as i32 + jmp_len as i32;
+        if let Insn::Jmp(rel) = inv[4] {
+            assert_eq!(jmp_end + rel, pre as i32, "jmp lands on the int");
+        } else {
+            panic!("last insn must be jmp");
+        }
+
+        let fs = fault_stub(0x86);
+        let int_len = encode_program(&[fs[0]]).len();
+        let jmp_len = encode_program(&[fs[1]]).len();
+        assert_eq!(
+            (int_len + jmp_len) as i32 - 7,
+            0,
+            "fault stub loops on its int"
+        );
+    }
+}

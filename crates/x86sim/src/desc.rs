@@ -1,0 +1,465 @@
+//! Segment descriptors, selectors and descriptor tables (GDT/LDT).
+//!
+//! Descriptors are held in structured form for clarity, but they pack to
+//! and unpack from the genuine 8-byte x86 descriptor format (Figure 1 of
+//! the paper); round-trip tests pin the bit layout.
+
+use crate::fault::{Fault, FaultBuilder, FaultCause};
+
+/// A segment selector: `index << 3 | TI << 2 | RPL`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Selector(pub u16);
+
+impl Selector {
+    /// Builds a selector from parts.
+    pub fn new(index: u16, local: bool, rpl: u8) -> Selector {
+        Selector((index << 3) | ((local as u16) << 2) | (rpl as u16 & 3))
+    }
+
+    /// The descriptor-table index.
+    pub fn index(self) -> u16 {
+        self.0 >> 3
+    }
+
+    /// True if the selector references the LDT.
+    pub fn is_local(self) -> bool {
+        self.0 & 0x4 != 0
+    }
+
+    /// The requestor privilege level.
+    pub fn rpl(self) -> u8 {
+        (self.0 & 3) as u8
+    }
+
+    /// True for the null selector (index 0 in the GDT, any RPL).
+    pub fn is_null(self) -> bool {
+        self.0 & !0x3 == 0
+    }
+
+    /// Returns the selector with its RPL replaced.
+    pub fn with_rpl(self, rpl: u8) -> Selector {
+        Selector((self.0 & !0x3) | (rpl as u16 & 3))
+    }
+}
+
+impl From<u16> for Selector {
+    fn from(v: u16) -> Selector {
+        Selector(v)
+    }
+}
+
+/// A code segment descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeSeg {
+    /// Linear base address.
+    pub base: u32,
+    /// Limit in bytes (highest valid offset). Stored byte-granular; the
+    /// packer converts to page granularity when it exceeds 20 bits.
+    pub limit: u32,
+    /// Descriptor privilege level.
+    pub dpl: u8,
+    /// Readable (data reads through CS allowed).
+    pub readable: bool,
+    /// Conforming: callable from less privileged code without changing CPL.
+    pub conforming: bool,
+    /// Present bit.
+    pub present: bool,
+}
+
+/// A data segment descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataSeg {
+    /// Linear base address.
+    pub base: u32,
+    /// Limit in bytes (highest valid offset).
+    pub limit: u32,
+    /// Descriptor privilege level.
+    pub dpl: u8,
+    /// Writable.
+    pub writable: bool,
+    /// Expand-down: valid offsets are those *above* the limit.
+    pub expand_down: bool,
+    /// Present bit.
+    pub present: bool,
+}
+
+/// A call gate descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallGate {
+    /// Selector of the target code segment.
+    pub selector: Selector,
+    /// Entry point offset within the target segment.
+    pub offset: u32,
+    /// Minimum privilege required to call through the gate.
+    pub dpl: u8,
+    /// Number of 32-bit parameters copied across a stack switch.
+    pub param_count: u8,
+    /// Present bit.
+    pub present: bool,
+}
+
+/// One descriptor-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Descriptor {
+    /// The null descriptor (or an unused slot).
+    Null,
+    /// An executable segment.
+    Code(CodeSeg),
+    /// A data/stack segment.
+    Data(DataSeg),
+    /// A call gate.
+    Gate(CallGate),
+}
+
+impl Descriptor {
+    /// A flat 0..4GB code segment at the given DPL.
+    pub fn flat_code(dpl: u8) -> Descriptor {
+        Descriptor::Code(CodeSeg {
+            base: 0,
+            limit: u32::MAX,
+            dpl,
+            readable: true,
+            conforming: false,
+            present: true,
+        })
+    }
+
+    /// A flat 0..4GB data segment at the given DPL.
+    pub fn flat_data(dpl: u8) -> Descriptor {
+        Descriptor::Data(DataSeg {
+            base: 0,
+            limit: u32::MAX,
+            dpl,
+            writable: true,
+            expand_down: false,
+            present: true,
+        })
+    }
+
+    /// A code segment spanning `[base, base+size)`.
+    pub fn code(base: u32, size: u32, dpl: u8) -> Descriptor {
+        Descriptor::Code(CodeSeg {
+            base,
+            limit: size - 1,
+            dpl,
+            readable: true,
+            conforming: false,
+            present: true,
+        })
+    }
+
+    /// A writable data segment spanning `[base, base+size)`.
+    pub fn data(base: u32, size: u32, dpl: u8) -> Descriptor {
+        Descriptor::Data(DataSeg {
+            base,
+            limit: size - 1,
+            dpl,
+            writable: true,
+            expand_down: false,
+            present: true,
+        })
+    }
+
+    /// A call gate.
+    pub fn call_gate(target: Selector, offset: u32, dpl: u8) -> Descriptor {
+        Descriptor::Gate(CallGate {
+            selector: target,
+            offset,
+            dpl,
+            param_count: 0,
+            present: true,
+        })
+    }
+
+    /// The descriptor's DPL (0 for null).
+    pub fn dpl(&self) -> u8 {
+        match self {
+            Descriptor::Null => 0,
+            Descriptor::Code(c) => c.dpl,
+            Descriptor::Data(d) => d.dpl,
+            Descriptor::Gate(g) => g.dpl,
+        }
+    }
+
+    /// Packs into the 8-byte x86 descriptor format.
+    ///
+    /// Byte-granular limits above `0xFFFFF` are converted to 4 KB
+    /// granularity (the `G` bit), losing the low 12 bits exactly as real
+    /// hardware would.
+    pub fn pack(&self) -> u64 {
+        match *self {
+            Descriptor::Null => 0,
+            Descriptor::Code(c) => {
+                let type_bits = 0b1000 | ((c.conforming as u64) << 2) | ((c.readable as u64) << 1);
+                pack_segment(c.base, c.limit, c.dpl, c.present, type_bits)
+            }
+            Descriptor::Data(d) => {
+                let type_bits = ((d.expand_down as u64) << 2) | ((d.writable as u64) << 1);
+                pack_segment(d.base, d.limit, d.dpl, d.present, type_bits)
+            }
+            Descriptor::Gate(g) => {
+                let mut v = 0u64;
+                v |= (g.offset & 0xFFFF) as u64;
+                v |= (g.selector.0 as u64) << 16;
+                v |= (g.param_count as u64 & 0x1F) << 32;
+                v |= 0b01100 << 40; // type = 32-bit call gate (0xC)
+                v |= (g.dpl as u64 & 3) << 45;
+                v |= (g.present as u64) << 47;
+                v |= ((g.offset >> 16) as u64) << 48;
+                v
+            }
+        }
+    }
+
+    /// Unpacks from the 8-byte x86 descriptor format.
+    ///
+    /// Returns `None` for descriptor types the simulator does not model
+    /// (TSS, LDT, 16-bit gates, ...).
+    pub fn unpack(raw: u64) -> Option<Descriptor> {
+        if raw == 0 {
+            return Some(Descriptor::Null);
+        }
+        let s_bit = raw >> 44 & 1;
+        let present = raw >> 47 & 1 != 0;
+        let dpl = (raw >> 45 & 3) as u8;
+        if s_bit == 1 {
+            // Code or data segment.
+            let base = ((raw >> 16) & 0xFF_FFFF) as u32 | (((raw >> 56) & 0xFF) as u32) << 24;
+            let mut limit = (raw & 0xFFFF) as u32 | (((raw >> 48) & 0xF) as u32) << 16;
+            let g = raw >> 55 & 1 != 0;
+            if g {
+                limit = (limit << 12) | 0xFFF;
+            }
+            let type_bits = (raw >> 40) & 0xF;
+            if type_bits & 0b1000 != 0 {
+                Some(Descriptor::Code(CodeSeg {
+                    base,
+                    limit,
+                    dpl,
+                    readable: type_bits & 0b0010 != 0,
+                    conforming: type_bits & 0b0100 != 0,
+                    present,
+                }))
+            } else {
+                Some(Descriptor::Data(DataSeg {
+                    base,
+                    limit,
+                    dpl,
+                    writable: type_bits & 0b0010 != 0,
+                    expand_down: type_bits & 0b0100 != 0,
+                    present,
+                }))
+            }
+        } else {
+            let type_bits = (raw >> 40) & 0xF;
+            if type_bits != 0b1100 {
+                return None;
+            }
+            let offset = (raw & 0xFFFF) as u32 | (((raw >> 48) & 0xFFFF) as u32) << 16;
+            Some(Descriptor::Gate(CallGate {
+                selector: Selector((raw >> 16 & 0xFFFF) as u16),
+                offset,
+                dpl,
+                param_count: (raw >> 32 & 0x1F) as u8,
+                present,
+            }))
+        }
+    }
+}
+
+fn pack_segment(base: u32, limit: u32, dpl: u8, present: bool, type_bits: u64) -> u64 {
+    let (limit, g) = if limit > 0xFFFFF {
+        (limit >> 12, 1u64)
+    } else {
+        (limit, 0u64)
+    };
+    let mut v = 0u64;
+    v |= (limit & 0xFFFF) as u64;
+    v |= ((base & 0xFFFFFF) as u64) << 16;
+    v |= type_bits << 40;
+    v |= 1 << 44; // S = code/data
+    v |= (dpl as u64 & 3) << 45;
+    v |= (present as u64) << 47;
+    v |= (((limit >> 16) & 0xF) as u64) << 48;
+    v |= 1 << 54; // D = 32-bit
+    v |= g << 55;
+    v |= ((base >> 24) as u64) << 56;
+    v
+}
+
+/// A descriptor table (GDT or LDT).
+#[derive(Debug, Clone, Default)]
+pub struct DescriptorTable {
+    entries: Vec<Descriptor>,
+}
+
+impl DescriptorTable {
+    /// An empty table containing only the null descriptor.
+    pub fn new() -> DescriptorTable {
+        DescriptorTable {
+            entries: vec![Descriptor::Null],
+        }
+    }
+
+    /// Number of entries (including the null slot).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if only the null descriptor exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.len() <= 1
+    }
+
+    /// Appends a descriptor, returning its index.
+    pub fn push(&mut self, d: Descriptor) -> u16 {
+        self.entries.push(d);
+        (self.entries.len() - 1) as u16
+    }
+
+    /// Replaces the descriptor at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or is the null slot — the
+    /// hosting kernel controls table layout and never does this.
+    pub fn set(&mut self, index: u16, d: Descriptor) {
+        assert!(index != 0, "cannot replace the null descriptor");
+        self.entries[index as usize] = d;
+    }
+
+    /// Fetches the descriptor at `index`, if in range.
+    pub fn get(&self, index: u16) -> Option<&Descriptor> {
+        self.entries.get(index as usize)
+    }
+}
+
+/// Resolves a selector against the GDT/LDT pair, performing the
+/// out-of-range and null checks the hardware does.
+pub fn resolve(
+    gdt: &DescriptorTable,
+    ldt: Option<&DescriptorTable>,
+    sel: Selector,
+) -> Result<Descriptor, FaultBuilder> {
+    if sel.is_null() {
+        return Err(Fault::gp(sel.0, FaultCause::BadSelector(sel.0)));
+    }
+    let table = if sel.is_local() {
+        ldt.ok_or(Fault::gp(sel.0, FaultCause::BadSelector(sel.0)))?
+    } else {
+        gdt
+    };
+    match table.get(sel.index()) {
+        Some(Descriptor::Null) | None => Err(Fault::gp(sel.0, FaultCause::BadSelector(sel.0))),
+        Some(d) => Ok(*d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_fields() {
+        let s = Selector::new(5, true, 3);
+        assert_eq!(s.0, 5 << 3 | 0x4 | 3);
+        assert_eq!(s.index(), 5);
+        assert!(s.is_local());
+        assert_eq!(s.rpl(), 3);
+        assert!(!s.is_null());
+        assert!(Selector(0).is_null());
+        assert!(Selector(3).is_null(), "null selector ignores RPL");
+        assert_eq!(Selector(0x1B).with_rpl(0).0, 0x18);
+    }
+
+    #[test]
+    fn pack_unpack_code_segment() {
+        let d = Descriptor::Code(CodeSeg {
+            base: 0xC000_0000,
+            limit: 0xFFFFF,
+            dpl: 1,
+            readable: true,
+            conforming: false,
+            present: true,
+        });
+        assert_eq!(Descriptor::unpack(d.pack()), Some(d));
+    }
+
+    #[test]
+    fn pack_unpack_data_segment() {
+        let d = Descriptor::Data(DataSeg {
+            base: 0x1234_5000,
+            limit: 0x7FFF,
+            dpl: 3,
+            writable: true,
+            expand_down: false,
+            present: true,
+        });
+        assert_eq!(Descriptor::unpack(d.pack()), Some(d));
+    }
+
+    #[test]
+    fn pack_unpack_call_gate() {
+        let d = Descriptor::Gate(CallGate {
+            selector: Selector(0x10),
+            offset: 0xDEAD_BEEF,
+            dpl: 3,
+            param_count: 4,
+            present: true,
+        });
+        assert_eq!(Descriptor::unpack(d.pack()), Some(d));
+    }
+
+    #[test]
+    fn large_limits_become_page_granular() {
+        let d = Descriptor::flat_code(0);
+        // 4 GB limit survives the G-bit conversion exactly.
+        assert_eq!(Descriptor::unpack(d.pack()), Some(d));
+
+        // A large non-page-multiple limit loses its low 12 bits.
+        let d = Descriptor::Code(CodeSeg {
+            base: 0,
+            limit: 0x0012_3456,
+            dpl: 0,
+            readable: true,
+            conforming: false,
+            present: true,
+        });
+        match Descriptor::unpack(d.pack()) {
+            Some(Descriptor::Code(c)) => assert_eq!(c.limit, 0x0012_3FFF),
+            other => panic!("bad unpack: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_packs_to_zero() {
+        assert_eq!(Descriptor::Null.pack(), 0);
+        assert_eq!(Descriptor::unpack(0), Some(Descriptor::Null));
+    }
+
+    #[test]
+    fn table_resolution() {
+        let mut gdt = DescriptorTable::new();
+        let code = Descriptor::flat_code(0);
+        let idx = gdt.push(code);
+        let sel = Selector::new(idx, false, 0);
+        assert_eq!(resolve(&gdt, None, sel).unwrap(), code);
+
+        // Null selector faults.
+        assert!(resolve(&gdt, None, Selector(0)).is_err());
+        // Out of range faults.
+        assert!(resolve(&gdt, None, Selector::new(9, false, 0)).is_err());
+        // LDT reference without an LDT faults.
+        assert!(resolve(&gdt, None, Selector::new(1, true, 0)).is_err());
+    }
+
+    #[test]
+    fn ldt_resolution() {
+        let gdt = DescriptorTable::new();
+        let mut ldt = DescriptorTable::new();
+        let data = Descriptor::flat_data(3);
+        let idx = ldt.push(data);
+        let sel = Selector::new(idx, true, 3);
+        assert_eq!(resolve(&gdt, Some(&ldt), sel).unwrap(), data);
+    }
+}

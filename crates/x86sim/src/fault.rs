@@ -1,0 +1,259 @@
+//! The exception model.
+//!
+//! Protection violations detected by the simulated hardware surface as
+//! [`Fault`] values carrying the same information real x86 pushes for its
+//! exception handlers: the vector, an error code, and `CR2` for page
+//! faults. The hosting kernel turns these into SIGSEGV delivery or
+//! extension aborts exactly as §4.5.2 of the paper describes.
+
+use core::fmt;
+
+/// Exception vectors (the subset the protection architecture raises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vector {
+    /// #DE — divide error.
+    DivideError,
+    /// #UD — invalid opcode.
+    InvalidOpcode,
+    /// #NP — segment not present.
+    NotPresent,
+    /// #SS — stack-segment fault.
+    StackFault,
+    /// #GP — general protection.
+    GeneralProtection,
+    /// #PF — page fault.
+    PageFault,
+}
+
+impl Vector {
+    /// The x86 vector number.
+    pub fn number(self) -> u8 {
+        match self {
+            Vector::DivideError => 0,
+            Vector::InvalidOpcode => 6,
+            Vector::NotPresent => 11,
+            Vector::StackFault => 12,
+            Vector::GeneralProtection => 13,
+            Vector::PageFault => 14,
+        }
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Vector::DivideError => "#DE",
+            Vector::InvalidOpcode => "#UD",
+            Vector::NotPresent => "#NP",
+            Vector::StackFault => "#SS",
+            Vector::GeneralProtection => "#GP",
+            Vector::PageFault => "#PF",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Page-fault error-code bits (pushed by hardware on #PF).
+pub mod pf_err {
+    /// Set when the fault was a protection violation (clear: not present).
+    pub const PRESENT: u32 = 1 << 0;
+    /// Set when the access was a write.
+    pub const WRITE: u32 = 1 << 1;
+    /// Set when the access originated at CPL 3.
+    pub const USER: u32 = 1 << 2;
+}
+
+/// Why a fault was raised — a structured refinement of the error code,
+/// used by tests and by the kernel's Palladium-aware fault handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCause {
+    /// Segment limit exceeded.
+    LimitViolation {
+        /// Offset that was accessed.
+        offset: u32,
+        /// The segment's limit.
+        limit: u32,
+    },
+    /// Privilege check on a descriptor failed.
+    PrivilegeViolation {
+        /// Current privilege level at the time.
+        cpl: u8,
+        /// Requestor privilege level of the selector.
+        rpl: u8,
+        /// Descriptor privilege level.
+        dpl: u8,
+    },
+    /// Wrong descriptor type for the operation (e.g. writing a code
+    /// segment, loading SS with a read-only segment).
+    BadSegmentType,
+    /// A null or out-of-range selector was used.
+    BadSelector(u16),
+    /// Descriptor marked not-present.
+    SegmentNotPresent(u16),
+    /// Page-level violation; the error code distinguishes not-present from
+    /// protection.
+    Page {
+        /// Faulting linear address (CR2).
+        linear: u32,
+        /// #PF error code bits.
+        code: u32,
+    },
+    /// Executed a privileged instruction above CPL 0.
+    PrivilegedInstruction,
+    /// Undecodable instruction bytes.
+    BadInstruction,
+    /// Division by zero or overflow.
+    Arithmetic,
+    /// Attempted control transfer violating ring rules.
+    BadTransfer,
+}
+
+/// A delivered exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Which exception.
+    pub vector: Vector,
+    /// The hardware error code (selector index for #GP/#NP/#SS, page-fault
+    /// bits for #PF, 0 otherwise).
+    pub error_code: u32,
+    /// Faulting linear address for #PF.
+    pub cr2: Option<u32>,
+    /// Structured cause.
+    pub cause: FaultCause,
+    /// EIP of the faulting instruction.
+    pub eip: u32,
+    /// CS selector at the time of the fault.
+    pub cs: u16,
+    /// CPL at the time of the fault.
+    pub cpl: u8,
+}
+
+impl Fault {
+    /// Builds a #GP with a selector error code.
+    pub fn gp(sel: u16, cause: FaultCause) -> FaultBuilder {
+        FaultBuilder {
+            vector: Vector::GeneralProtection,
+            error_code: sel as u32 & !0x3,
+            cr2: None,
+            cause,
+        }
+    }
+
+    /// Builds a #SS.
+    pub fn ss(sel: u16, cause: FaultCause) -> FaultBuilder {
+        FaultBuilder {
+            vector: Vector::StackFault,
+            error_code: sel as u32 & !0x3,
+            cr2: None,
+            cause,
+        }
+    }
+
+    /// Builds a #PF.
+    pub fn pf(linear: u32, code: u32) -> FaultBuilder {
+        FaultBuilder {
+            vector: Vector::PageFault,
+            error_code: code,
+            cr2: Some(linear),
+            cause: FaultCause::Page { linear, code },
+        }
+    }
+
+    /// Builds a #UD.
+    pub fn ud(cause: FaultCause) -> FaultBuilder {
+        FaultBuilder {
+            vector: Vector::InvalidOpcode,
+            error_code: 0,
+            cr2: None,
+            cause,
+        }
+    }
+
+    /// Builds a #NP.
+    pub fn np(sel: u16) -> FaultBuilder {
+        FaultBuilder {
+            vector: Vector::NotPresent,
+            error_code: sel as u32 & !0x3,
+            cr2: None,
+            cause: FaultCause::SegmentNotPresent(sel),
+        }
+    }
+}
+
+/// A fault minus the CPU-context fields, which the machine fills in at the
+/// point of delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultBuilder {
+    /// Which exception.
+    pub vector: Vector,
+    /// Error code.
+    pub error_code: u32,
+    /// CR2 contents for #PF.
+    pub cr2: Option<u32>,
+    /// Structured cause.
+    pub cause: FaultCause,
+}
+
+impl FaultBuilder {
+    /// Attaches the CPU context, producing a deliverable [`Fault`].
+    pub fn at(self, eip: u32, cs: u16, cpl: u8) -> Fault {
+        Fault {
+            vector: self.vector,
+            error_code: self.error_code,
+            cr2: self.cr2,
+            cause: self.cause,
+            eip,
+            cs,
+            cpl,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} err={:#x} at {:04x}:{:08x} cpl={} ({:?})",
+            self.vector, self.error_code, self.cs, self.eip, self.cpl, self.cause
+        )?;
+        if let Some(cr2) = self.cr2 {
+            write!(f, " cr2={cr2:#010x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_numbers_match_x86() {
+        assert_eq!(Vector::GeneralProtection.number(), 13);
+        assert_eq!(Vector::PageFault.number(), 14);
+        assert_eq!(Vector::StackFault.number(), 12);
+        assert_eq!(Vector::InvalidOpcode.number(), 6);
+    }
+
+    #[test]
+    fn gp_error_code_masks_rpl() {
+        let f = Fault::gp(0x1B, FaultCause::BadSelector(0x1B)).at(0, 0x1B, 3);
+        assert_eq!(f.error_code, 0x18);
+    }
+
+    #[test]
+    fn pf_records_cr2() {
+        let f = Fault::pf(0xC000_0000, pf_err::PRESENT | pf_err::USER).at(0x100, 0x2B, 3);
+        assert_eq!(f.cr2, Some(0xC000_0000));
+        assert_eq!(f.error_code, 0b101);
+        assert_eq!(f.vector, Vector::PageFault);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = Fault::pf(0x1234, pf_err::WRITE).at(0x8048000, 0x23, 3);
+        let s = f.to_string();
+        assert!(s.contains("#PF"));
+        assert!(s.contains("cr2=0x00001234"));
+    }
+}

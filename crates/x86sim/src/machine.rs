@@ -1,0 +1,713 @@
+//! The assembled machine: CPU, MMU, descriptor tables, TSS and cycle
+//! counter.
+//!
+//! Every memory access performs the full protection pipeline of Figure 1
+//! of the paper: segment-register cache → limit check → segment rights
+//! check → linear address → TLB/page walk → page-level rights check.
+
+use asm86::decode;
+use asm86::isa::{Insn, Reg, SegReg};
+
+use crate::cycles::{self, Event};
+use crate::desc::{resolve, Descriptor, DescriptorTable, Selector};
+use crate::fault::{Fault, FaultBuilder, FaultCause};
+use crate::mem::PhysMem;
+use crate::paging::{Access, Mmu};
+use crate::trace::{Trace, TraceRecord};
+
+/// Longest possible instruction encoding, in bytes.
+pub const MAX_INSN_LEN: usize = 12;
+
+/// Arithmetic flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Carry.
+    pub cf: bool,
+    /// Zero.
+    pub zf: bool,
+    /// Sign.
+    pub sf: bool,
+    /// Overflow.
+    pub of: bool,
+}
+
+/// The hidden (cached) part of a segment register, as loaded from its
+/// descriptor — the "descriptor cache" real x86 keeps per segment register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegCache {
+    /// The visible selector.
+    pub selector: Selector,
+    /// False for a null/unloaded segment (any access faults).
+    pub valid: bool,
+    /// Segment base linear address.
+    pub base: u32,
+    /// Segment limit (highest valid offset for expand-up segments).
+    pub limit: u32,
+    /// Descriptor privilege level.
+    pub dpl: u8,
+    /// True for code segments.
+    pub code: bool,
+    /// Data writable (false for code).
+    pub writable: bool,
+    /// Readable (always true for data; the R bit for code).
+    pub readable: bool,
+    /// Expand-down data segment.
+    pub expand_down: bool,
+    /// Conforming code segment.
+    pub conforming: bool,
+}
+
+impl SegCache {
+    /// An invalid (null) segment cache.
+    pub fn invalid() -> SegCache {
+        SegCache {
+            selector: Selector(0),
+            valid: false,
+            base: 0,
+            limit: 0,
+            dpl: 0,
+            code: false,
+            writable: false,
+            readable: false,
+            expand_down: false,
+            conforming: false,
+        }
+    }
+
+    /// Builds a cache from a resolved descriptor.
+    pub fn from_descriptor(selector: Selector, d: &Descriptor) -> Option<SegCache> {
+        match d {
+            Descriptor::Code(c) => Some(SegCache {
+                selector,
+                valid: true,
+                base: c.base,
+                limit: c.limit,
+                dpl: c.dpl,
+                code: true,
+                writable: false,
+                readable: c.readable,
+                expand_down: false,
+                conforming: c.conforming,
+            }),
+            Descriptor::Data(d) => Some(SegCache {
+                selector,
+                valid: true,
+                base: d.base,
+                limit: d.limit,
+                dpl: d.dpl,
+                code: false,
+                writable: d.writable,
+                readable: true,
+                expand_down: d.expand_down,
+                conforming: false,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Limit check for an access of `size` bytes at `off`.
+    pub fn check_limit(&self, off: u32, size: u32) -> bool {
+        debug_assert!(size >= 1);
+        let end = match off.checked_add(size - 1) {
+            Some(e) => e,
+            None => return false,
+        };
+        if self.expand_down {
+            // Valid offsets lie strictly above the limit.
+            off > self.limit
+        } else {
+            end <= self.limit
+        }
+    }
+}
+
+/// The CPU register state.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers, indexed by [`Reg`].
+    pub regs: [u32; 8],
+    /// Instruction pointer (offset within CS).
+    pub eip: u32,
+    /// Arithmetic flags.
+    pub flags: Flags,
+    /// Segment registers with their descriptor caches, indexed by
+    /// [`SegReg`].
+    pub segs: [SegCache; 4],
+    /// Current privilege level.
+    pub cpl: u8,
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu {
+            regs: [0; 8],
+            eip: 0,
+            flags: Flags::default(),
+            segs: [SegCache::invalid(); 4],
+            cpl: 0,
+        }
+    }
+}
+
+impl Cpu {
+    /// Reads a general-purpose register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r as usize]
+    }
+
+    /// Writes a general-purpose register.
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs[r as usize] = v;
+    }
+
+    /// The segment cache for a segment register.
+    pub fn seg(&self, sr: SegReg) -> &SegCache {
+        &self.segs[sr as usize]
+    }
+
+    /// ESP shorthand.
+    pub fn esp(&self) -> u32 {
+        self.regs[Reg::Esp as usize]
+    }
+}
+
+/// An IDT entry. The hosting kernel runs natively, so every vector is a
+/// *host hook*: delivering through it suspends guest execution and returns
+/// control (and the vector number) to the host, which plays the role of
+/// the ring-0 handler. Gate DPL is still checked for software `int`
+/// exactly as the hardware would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdtGate {
+    /// Minimum privilege allowed to invoke this vector with `int`.
+    pub dpl: u8,
+}
+
+/// The per-task state the hardware consults on inward stack switches:
+/// one (SS, ESP) pair for each of rings 0-2, as in the x86 TSS. (Ring 3
+/// needs no slot; x86 never switches *to* ring 3 via a call.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tss {
+    /// `stack[r]` is the (SS selector, ESP) loaded when entering ring `r`.
+    pub stack: [(Selector, u32); 3],
+}
+
+/// Why `run` stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// `hlt` executed at CPL 0.
+    Hlt,
+    /// A software interrupt hit a host-hooked IDT vector.
+    IntHook(u8),
+    /// An exception was raised; the host kernel must handle it.
+    Fault(Fault),
+    /// The instruction budget was exhausted.
+    InsnLimit,
+    /// The cycle budget was exhausted (used for extension CPU limits).
+    CycleLimit,
+}
+
+/// The machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// CPU registers and segment caches.
+    pub cpu: Cpu,
+    /// Simulated physical memory.
+    pub mem: PhysMem,
+    /// Paging unit.
+    pub mmu: Mmu,
+    /// Global descriptor table.
+    pub gdt: DescriptorTable,
+    /// Current local descriptor table, if any.
+    pub ldt: Option<DescriptorTable>,
+    /// Interrupt descriptor table (host hooks).
+    pub idt: Vec<Option<IdtGate>>,
+    /// Task state segment (inner-ring stack pointers).
+    pub tss: Tss,
+    cycles: u64,
+    insns: u64,
+    trace: Option<Trace>,
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with empty tables and paging disabled.
+    pub fn new() -> Machine {
+        Machine {
+            cpu: Cpu::default(),
+            mem: PhysMem::new(),
+            mmu: Mmu::new(),
+            gdt: DescriptorTable::new(),
+            ldt: None,
+            idt: vec![None; 256],
+            tss: Tss::default(),
+            cycles: 0,
+            insns: 0,
+            trace: None,
+        }
+    }
+
+    /// Total cycles charged so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total instructions retired.
+    pub fn insns(&self) -> u64 {
+        self.insns
+    }
+
+    /// Charges raw cycles (used by the hosting kernel for modelled work).
+    pub fn charge(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Charges a hardware event.
+    pub fn charge_event(&mut self, ev: Event) {
+        self.cycles += cycles::measured_event(ev);
+    }
+
+    // ----- segment loading -------------------------------------------------
+
+    /// Loads a data segment register (`mov sreg, r`, `pop sreg`), with the
+    /// full descriptor privilege checks. Charges the segment-load cost.
+    pub fn load_data_seg(&mut self, sr: SegReg, sel: Selector) -> Result<(), FaultBuilder> {
+        self.charge_event(Event::SegLoad);
+        self.load_data_seg_nocharge(sr, sel)
+    }
+
+    /// As [`Machine::load_data_seg`] but without charging — used inside
+    /// far transfers whose event cost already includes the loads.
+    pub(crate) fn load_data_seg_nocharge(
+        &mut self,
+        sr: SegReg,
+        sel: Selector,
+    ) -> Result<(), FaultBuilder> {
+        match sr {
+            SegReg::Cs => {
+                // CS is only loadable by far control transfers.
+                return Err(Fault::ud(FaultCause::BadInstruction));
+            }
+            SegReg::Ss => {
+                if sel.is_null() {
+                    return Err(Fault::gp(sel.0, FaultCause::BadSelector(sel.0)));
+                }
+                let d = resolve(&self.gdt, self.ldt.as_ref(), sel)?;
+                let cache = SegCache::from_descriptor(sel, &d)
+                    .ok_or(Fault::gp(sel.0, FaultCause::BadSegmentType))?;
+                if cache.code || !cache.writable {
+                    return Err(Fault::gp(sel.0, FaultCause::BadSegmentType));
+                }
+                if sel.rpl() != self.cpu.cpl || cache.dpl != self.cpu.cpl {
+                    return Err(Fault::gp(
+                        sel.0,
+                        FaultCause::PrivilegeViolation {
+                            cpl: self.cpu.cpl,
+                            rpl: sel.rpl(),
+                            dpl: cache.dpl,
+                        },
+                    ));
+                }
+                if !self.descriptor_present(&d) {
+                    return Err(Fault::ss(sel.0, FaultCause::SegmentNotPresent(sel.0)));
+                }
+                self.cpu.segs[sr as usize] = cache;
+            }
+            SegReg::Ds | SegReg::Es => {
+                if sel.is_null() {
+                    // Null is loadable; any use faults later.
+                    self.cpu.segs[sr as usize] = SegCache::invalid();
+                    return Ok(());
+                }
+                let d = resolve(&self.gdt, self.ldt.as_ref(), sel)?;
+                let cache = SegCache::from_descriptor(sel, &d)
+                    .ok_or(Fault::gp(sel.0, FaultCause::BadSegmentType))?;
+                if cache.code && !cache.readable {
+                    return Err(Fault::gp(sel.0, FaultCause::BadSegmentType));
+                }
+                // Privilege: data and non-conforming readable code require
+                // DPL >= max(CPL, RPL); conforming code skips the check.
+                if !(cache.code && cache.conforming) {
+                    let eff = self.cpu.cpl.max(sel.rpl());
+                    if cache.dpl < eff {
+                        return Err(Fault::gp(
+                            sel.0,
+                            FaultCause::PrivilegeViolation {
+                                cpl: self.cpu.cpl,
+                                rpl: sel.rpl(),
+                                dpl: cache.dpl,
+                            },
+                        ));
+                    }
+                }
+                if !self.descriptor_present(&d) {
+                    return Err(Fault::np(sel.0));
+                }
+                self.cpu.segs[sr as usize] = cache;
+            }
+        }
+        Ok(())
+    }
+
+    fn descriptor_present(&self, d: &Descriptor) -> bool {
+        match d {
+            Descriptor::Null => false,
+            Descriptor::Code(c) => c.present,
+            Descriptor::Data(d) => d.present,
+            Descriptor::Gate(g) => g.present,
+        }
+    }
+
+    /// Host-side: force a segment cache without checks (used to establish
+    /// initial state, like a bootloader or kernel `iret` into a task).
+    pub fn force_seg(&mut self, sr: SegReg, sel: Selector, cache: SegCache) {
+        let mut cache = cache;
+        cache.selector = sel;
+        self.cpu.segs[sr as usize] = cache;
+        if sr == SegReg::Cs {
+            self.cpu.cpl = sel.rpl();
+        }
+    }
+
+    /// Host-side: resolve a selector and force-load it (asserting it is
+    /// valid). Convenience for kernels establishing contexts.
+    pub fn force_seg_from_table(&mut self, sr: SegReg, sel: Selector) {
+        let d = resolve(&self.gdt, self.ldt.as_ref(), sel).expect("bad selector");
+        let cache = SegCache::from_descriptor(sel, &d).expect("not a segment");
+        self.force_seg(sr, sel, cache);
+    }
+
+    // ----- logical memory access -------------------------------------------
+
+    /// Performs the segment-level checks for an access and returns the
+    /// linear address.
+    pub fn seg_check(
+        &self,
+        sr: SegReg,
+        off: u32,
+        size: u32,
+        write: bool,
+    ) -> Result<u32, FaultBuilder> {
+        let seg = self.cpu.seg(sr);
+        let stack = sr == SegReg::Ss;
+        let fault = |cause| {
+            if stack {
+                Fault::ss(0, cause)
+            } else {
+                Fault::gp(0, cause)
+            }
+        };
+        if !seg.valid {
+            return Err(fault(FaultCause::BadSelector(seg.selector.0)));
+        }
+        if !seg.check_limit(off, size) {
+            return Err(fault(FaultCause::LimitViolation {
+                offset: off,
+                limit: seg.limit,
+            }));
+        }
+        if write {
+            if seg.code || !seg.writable {
+                return Err(fault(FaultCause::BadSegmentType));
+            }
+        } else if !seg.readable {
+            return Err(fault(FaultCause::BadSegmentType));
+        }
+        Ok(seg.base.wrapping_add(off))
+    }
+
+    fn translate_data(&mut self, linear: u32, write: bool) -> Result<u32, FaultBuilder> {
+        let access = if write { Access::Write } else { Access::Read };
+        let user = self.cpu.cpl == 3;
+        let t = self.mmu.translate(&mut self.mem, linear, access, user)?;
+        if t.tlb_miss {
+            self.charge_event(Event::TlbMiss);
+        }
+        Ok(t.phys)
+    }
+
+    /// Reads `size` (1, 2 or 4) bytes through a segment.
+    pub fn read_data(&mut self, sr: SegReg, off: u32, size: u32) -> Result<u32, FaultBuilder> {
+        let linear = self.seg_check(sr, off, size, false)?;
+        self.read_linear(linear, size, false)
+    }
+
+    /// Writes `size` (1, 2 or 4) bytes through a segment.
+    pub fn write_data(
+        &mut self,
+        sr: SegReg,
+        off: u32,
+        size: u32,
+        value: u32,
+    ) -> Result<(), FaultBuilder> {
+        let linear = self.seg_check(sr, off, size, true)?;
+        self.write_linear(linear, size, value)
+    }
+
+    fn read_linear(&mut self, linear: u32, size: u32, _exec: bool) -> Result<u32, FaultBuilder> {
+        if (linear & 0xFFF) + size <= 0x1000 {
+            let phys = self.translate_data(linear, false)?;
+            Ok(match size {
+                1 => self.mem.read_u8(phys) as u32,
+                2 => self.mem.read_u16(phys) as u32,
+                _ => self.mem.read_u32(phys),
+            })
+        } else {
+            // Page-straddling access: translate byte-wise.
+            let mut v: u32 = 0;
+            for i in 0..size {
+                let phys = self.translate_data(linear + i, false)?;
+                v |= (self.mem.read_u8(phys) as u32) << (8 * i);
+            }
+            Ok(v)
+        }
+    }
+
+    fn write_linear(&mut self, linear: u32, size: u32, value: u32) -> Result<(), FaultBuilder> {
+        if (linear & 0xFFF) + size <= 0x1000 {
+            let phys = self.translate_data(linear, true)?;
+            match size {
+                1 => self.mem.write_u8(phys, value as u8),
+                2 => self.mem.write_u16(phys, value as u16),
+                _ => self.mem.write_u32(phys, value),
+            }
+        } else {
+            // Page-straddling store: translate every byte *before* writing
+            // any, so a fault on the second page cannot leave a partial
+            // store (restartable-instruction semantics).
+            let mut phys = [0u32; 4];
+            for i in 0..size {
+                phys[i as usize] = self.translate_data(linear + i, true)?;
+            }
+            for i in 0..size {
+                self.mem
+                    .write_u8(phys[i as usize], (value >> (8 * i)) as u8);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- stack helpers ----------------------------------------------------
+
+    /// Pushes a 32-bit value on the current stack.
+    pub fn push32(&mut self, v: u32) -> Result<(), FaultBuilder> {
+        let esp = self.cpu.esp().wrapping_sub(4);
+        self.write_data(SegReg::Ss, esp, 4, v)?;
+        self.cpu.set_reg(Reg::Esp, esp);
+        Ok(())
+    }
+
+    /// Pops a 32-bit value from the current stack.
+    pub fn pop32(&mut self) -> Result<u32, FaultBuilder> {
+        let esp = self.cpu.esp();
+        let v = self.read_data(SegReg::Ss, esp, 4)?;
+        self.cpu.set_reg(Reg::Esp, esp.wrapping_add(4));
+        Ok(v)
+    }
+
+    // ----- instruction fetch ------------------------------------------------
+
+    /// Fetches and decodes the instruction at CS:EIP.
+    pub fn fetch(&mut self) -> Result<(Insn, u32), FaultBuilder> {
+        let cs = *self.cpu.seg(SegReg::Cs);
+        if !cs.valid || !cs.code {
+            return Err(Fault::gp(cs.selector.0, FaultCause::BadSegmentType));
+        }
+        let eip = self.cpu.eip;
+        // Read up to MAX_INSN_LEN bytes, stopping at the segment limit.
+        let mut buf = [0u8; MAX_INSN_LEN];
+        let mut n = 0usize;
+        while n < MAX_INSN_LEN {
+            let off = eip.wrapping_add(n as u32);
+            if !cs.check_limit(off, 1) {
+                break;
+            }
+            let linear = cs.base.wrapping_add(off);
+            let phys = self.translate_fetch(linear)?;
+            buf[n] = self.mem.read_u8(phys);
+            n += 1;
+        }
+        if n == 0 {
+            return Err(Fault::gp(
+                0,
+                FaultCause::LimitViolation {
+                    offset: eip,
+                    limit: cs.limit,
+                },
+            ));
+        }
+        match decode(&buf[..n]) {
+            Ok((insn, len)) => Ok((insn, len as u32)),
+            Err(_) => Err(Fault::ud(FaultCause::BadInstruction)),
+        }
+    }
+
+    fn translate_fetch(&mut self, linear: u32) -> Result<u32, FaultBuilder> {
+        let user = self.cpu.cpl == 3;
+        let t = self
+            .mmu
+            .translate(&mut self.mem, linear, Access::Read, user)?;
+        if t.tlb_miss {
+            self.charge_event(Event::TlbMiss);
+        }
+        Ok(t.phys)
+    }
+
+    // ----- execution loop ---------------------------------------------------
+
+    /// Executes one instruction. `None` means "keep going".
+    pub fn step(&mut self) -> Option<Exit> {
+        let saved_eip = self.cpu.eip;
+        let cs_sel = self.cpu.seg(SegReg::Cs).selector.0;
+        let cpl = self.cpu.cpl;
+        match self.step_inner() {
+            Ok(exit) => exit,
+            Err(fb) => {
+                // Deliver the exception: restore the faulting EIP
+                // (instructions are restartable) and exit to the host
+                // kernel, charging the vectoring cost.
+                self.cpu.eip = saved_eip;
+                self.charge_event(Event::ExceptionDelivery);
+                Some(Exit::Fault(fb.at(saved_eip, cs_sel, cpl)))
+            }
+        }
+    }
+
+    fn step_inner(&mut self) -> Result<Option<Exit>, FaultBuilder> {
+        let (insn, len) = self.fetch()?;
+        self.insns += 1;
+        self.cycles += cycles::measured_cost(&insn);
+        // Attribute the instruction to the domain it *executed in* (far
+        // transfers change CPL as a side effect).
+        let eip = self.cpu.eip;
+        let cs = self.cpu.segs[SegReg::Cs as usize].selector.0;
+        let cpl = self.cpu.cpl;
+        let r = self.execute(insn, len);
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord {
+                cs,
+                cpl,
+                eip,
+                insn,
+                cycles: self.cycles,
+            });
+        }
+        r
+    }
+
+    /// Runs until an exit or until `max_insns` instructions retire.
+    pub fn run(&mut self, max_insns: u64) -> Exit {
+        for _ in 0..max_insns {
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+        Exit::InsnLimit
+    }
+
+    /// Runs until EIP reaches `breakpoint` (before executing it), an exit
+    /// occurs, or `max_insns` retire — the `segdb` breakpoint primitive.
+    pub fn run_to(&mut self, breakpoint: u32, max_insns: u64) -> Option<Exit> {
+        for _ in 0..max_insns {
+            if self.cpu.eip == breakpoint {
+                return None;
+            }
+            if let Some(exit) = self.step() {
+                return Some(exit);
+            }
+        }
+        Some(Exit::InsnLimit)
+    }
+
+    /// Runs until an exit or until the cycle counter passes `deadline`.
+    ///
+    /// This is the primitive behind the paper's extension CPU-time limit:
+    /// the kernel's timer interrupt is modelled as a deadline check.
+    pub fn run_until_cycles(&mut self, deadline: u64) -> Exit {
+        loop {
+            if self.cycles >= deadline {
+                return Exit::CycleLimit;
+            }
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+    }
+
+    /// Enables execution tracing, retaining the last `capacity` retired
+    /// instructions (for the segmentation-aware debugger of §6).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Disables tracing, returning what was collected.
+    pub fn disable_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Borrows the live trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Host-side: charge the cost of resuming the guest with `iret`.
+    ///
+    /// Called by the kernel when it returns control to guest code after a
+    /// host-hooked interrupt or exception.
+    pub fn charge_iret_resume(&mut self) {
+        self.charge_event(Event::IretResume);
+    }
+
+    // ----- host-side (supervisor) memory helpers ----------------------------
+
+    /// Reads bytes at a linear address, bypassing all protection (the
+    /// hosting ring-0 kernel's view). Does not charge cycles.
+    pub fn host_read(&self, linear: u32, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let l = linear.wrapping_add(i as u32);
+            out.push(match self.host_translate(l) {
+                Some(p) => self.mem.read_u8(p),
+                None => 0,
+            });
+        }
+        out
+    }
+
+    /// Writes bytes at a linear address, bypassing all protection.
+    ///
+    /// Returns `false` if any page was unmapped.
+    pub fn host_write(&mut self, linear: u32, data: &[u8]) -> bool {
+        for (i, b) in data.iter().enumerate() {
+            let l = linear.wrapping_add(i as u32);
+            match self.host_translate(l) {
+                Some(p) => self.mem.write_u8(p, *b),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Reads a u32 at a linear address (host view).
+    pub fn host_read_u32(&self, linear: u32) -> u32 {
+        let b = self.host_read(linear, 4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Writes a u32 at a linear address (host view).
+    pub fn host_write_u32(&mut self, linear: u32, v: u32) -> bool {
+        self.host_write(linear, &v.to_le_bytes())
+    }
+
+    fn host_translate(&self, linear: u32) -> Option<u32> {
+        if !self.mmu.enabled {
+            return Some(linear);
+        }
+        let pte_val = crate::paging::get_pte(&self.mem, self.mmu.cr3, linear)?;
+        Some((pte_val & crate::paging::pte::FRAME) | (linear & 0xFFF))
+    }
+}

@@ -1,0 +1,246 @@
+//! Sparse simulated physical memory and a physical frame allocator.
+//!
+//! The machine addresses a full 32-bit (4 GB) physical space; frames are
+//! allocated lazily so only touched pages cost host memory.
+
+use std::collections::HashMap;
+
+/// The page size, as on x86.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Mask selecting the offset within a page.
+pub const PAGE_MASK: u32 = PAGE_SIZE - 1;
+
+/// Rounds an address down to its page base.
+pub fn page_base(addr: u32) -> u32 {
+    addr & !PAGE_MASK
+}
+
+/// Rounds a size up to whole pages.
+pub fn pages_for(len: u32) -> u32 {
+    len.div_ceil(PAGE_SIZE)
+}
+
+/// Sparse physical memory: a map from frame number to 4 KB frames.
+///
+/// Reads from unbacked frames return zeros (like reading zero-initialized
+/// DRAM); writes allocate the frame on demand. The MMU layers *all*
+/// protection on top of this — physical memory itself performs no checks,
+/// exactly as on real hardware.
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    frames: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl PhysMem {
+    /// Creates an empty physical memory.
+    pub fn new() -> PhysMem {
+        PhysMem::default()
+    }
+
+    /// Number of frames actually backed by host memory.
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        self.frames
+            .entry(addr >> 12)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.frames.get(&(addr >> 12)) {
+            Some(f) => f[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        self.frame_mut(addr)[(addr & PAGE_MASK) as usize] = v;
+    }
+
+    /// Reads a 16-bit little-endian value (may straddle frames).
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a 16-bit little-endian value.
+    pub fn write_u16(&mut self, addr: u32, v: u16) {
+        let b = v.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr.wrapping_add(1), b[1]);
+    }
+
+    /// Reads a 32-bit little-endian value (may straddle frames).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a 32-bit little-endian value.
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let b = v.to_le_bytes();
+        for (i, byte) in b.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *byte);
+        }
+    }
+
+    /// Copies a byte slice into physical memory.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// Zero-fills a range.
+    pub fn zero(&mut self, addr: u32, len: u32) {
+        for i in 0..len {
+            self.write_u8(addr.wrapping_add(i), 0);
+        }
+    }
+}
+
+/// A bump allocator over physical frames.
+///
+/// The hosting kernel uses it to place page tables, code images and stacks
+/// in distinct frames; frames are never freed (the simulations are short
+/// lived and deterministic).
+#[derive(Debug, Clone)]
+pub struct FrameAlloc {
+    next: u32,
+    limit: u32,
+}
+
+impl FrameAlloc {
+    /// Creates an allocator handing out frames in `[start, limit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not page-aligned or empty.
+    pub fn new(start: u32, limit: u32) -> FrameAlloc {
+        assert_eq!(start & PAGE_MASK, 0, "start must be page-aligned");
+        assert_eq!(limit & PAGE_MASK, 0, "limit must be page-aligned");
+        assert!(start < limit, "empty frame range");
+        FrameAlloc { next: start, limit }
+    }
+
+    /// Allocates one frame, returning its physical base address.
+    pub fn alloc(&mut self) -> Option<u32> {
+        if self.next >= self.limit {
+            return None;
+        }
+        let f = self.next;
+        self.next += PAGE_SIZE;
+        Some(f)
+    }
+
+    /// Allocates `n` contiguous frames, returning the first base address.
+    pub fn alloc_contiguous(&mut self, n: u32) -> Option<u32> {
+        let bytes = n.checked_mul(PAGE_SIZE)?;
+        let end = self.next.checked_add(bytes)?;
+        if end > self.limit {
+            return None;
+        }
+        let f = self.next;
+        self.next = end;
+        Some(f)
+    }
+
+    /// Frames still available.
+    pub fn remaining(&self) -> u32 {
+        (self.limit - self.next) / PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbacked_memory_reads_zero() {
+        let m = PhysMem::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xFFFF_FFF0), 0);
+        assert_eq!(m.resident_frames(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut m = PhysMem::new();
+        m.write_u32(0x1000, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(0x1000), 0xDEAD_BEEF);
+        assert_eq!(m.read_u8(0x1000), 0xEF);
+        assert_eq!(m.read_u8(0x1003), 0xDE);
+        assert_eq!(m.resident_frames(), 1);
+    }
+
+    #[test]
+    fn values_straddle_frame_boundaries() {
+        let mut m = PhysMem::new();
+        m.write_u32(0x1FFE, 0x1122_3344);
+        assert_eq!(m.read_u32(0x1FFE), 0x1122_3344);
+        assert_eq!(m.read_u16(0x1FFF), 0x2233);
+        assert_eq!(m.resident_frames(), 2);
+    }
+
+    #[test]
+    fn bulk_copy_roundtrip() {
+        let mut m = PhysMem::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x2F80, &data);
+        assert_eq!(m.read_bytes(0x2F80, 256), data);
+        m.zero(0x2F80, 256);
+        assert!(m.read_bytes(0x2F80, 256).iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn frame_alloc_hands_out_distinct_frames() {
+        let mut fa = FrameAlloc::new(0x10_0000, 0x10_3000);
+        assert_eq!(fa.remaining(), 3);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(b, a + PAGE_SIZE);
+        assert_eq!(fa.remaining(), 1);
+        assert!(fa.alloc().is_some());
+        assert!(fa.alloc().is_none());
+    }
+
+    #[test]
+    fn contiguous_allocation_respects_limit() {
+        let mut fa = FrameAlloc::new(0, 0x4000);
+        assert!(fa.alloc_contiguous(5).is_none());
+        let base = fa.alloc_contiguous(4).unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(fa.remaining(), 0);
+    }
+
+    #[test]
+    fn page_helpers() {
+        assert_eq!(page_base(0x1234), 0x1000);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(4097), 2);
+        assert_eq!(pages_for(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn misaligned_frame_alloc_panics() {
+        let _ = FrameAlloc::new(0x100, 0x2000);
+    }
+}

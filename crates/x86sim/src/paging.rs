@@ -1,0 +1,578 @@
+//! Two-level page tables, the TLB, and page-level protection.
+//!
+//! Page tables live in *simulated physical memory*, in the genuine x86
+//! two-level format: CR3 points at a page directory of 1024 PDEs, each
+//! pointing at a page table of 1024 PTEs. Each access checks the Present,
+//! Read/Write and User/Supervisor bits; the U/S bit is the paper's "page
+//! privilege level" (PPL): `US=1` is PPL 1 (user-accessible), `US=0` is
+//! PPL 0 (supervisor only).
+//!
+//! Supervisor code (CPL 0-2) may read and write any present page
+//! regardless of `R/W`/`U/S`, matching the paper's statement that
+//! "programs executing at SPL 0 to 2 can access all pages" (CR0.WP = 0
+//! semantics, as on the i386 and on Linux 2.0's Pentium configuration).
+
+use std::collections::HashMap;
+
+use crate::fault::{pf_err, Fault, FaultBuilder};
+use crate::mem::{FrameAlloc, PhysMem, PAGE_MASK};
+
+/// PTE/PDE flag bits.
+pub mod pte {
+    /// Present.
+    pub const P: u32 = 1 << 0;
+    /// Writable (by user-mode code; supervisor ignores with WP=0).
+    pub const RW: u32 = 1 << 1;
+    /// User/Supervisor — the paper's PPL bit (set = PPL 1).
+    pub const US: u32 = 1 << 2;
+    /// Accessed (set by the walker).
+    pub const A: u32 = 1 << 5;
+    /// Dirty (set by the walker on write; PTE only).
+    pub const D: u32 = 1 << 6;
+
+    /// Mask of the frame address bits.
+    pub const FRAME: u32 = 0xFFFF_F000;
+}
+
+/// The kind of memory access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Data read (or instruction fetch: x86-32 has no execute bit).
+    Read,
+    /// Data write.
+    Write,
+}
+
+/// One cached translation.
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    frame: u32,
+    /// Combined user bit (PDE & PTE).
+    user: bool,
+    /// Combined writable bit (PDE & PTE).
+    writable: bool,
+    /// Dirty already set in the PTE.
+    dirty: bool,
+    /// Physical address of the PTE (to set D lazily).
+    pte_addr: u32,
+}
+
+/// Translation statistics, used by the cycle model and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit the TLB.
+    pub hits: u64,
+    /// Lookups that required a page walk.
+    pub misses: u64,
+    /// Explicit flushes (CR3 loads and kernel shootdowns).
+    pub flushes: u64,
+}
+
+/// The MMU: paging enable, CR3, and the TLB.
+#[derive(Debug, Default)]
+pub struct Mmu {
+    /// Physical base of the page directory.
+    pub cr3: u32,
+    /// Paging enable (CR0.PG).
+    pub enabled: bool,
+    tlb: HashMap<u32, TlbEntry>,
+    /// Statistics counters.
+    pub stats: TlbStats,
+}
+
+/// Result of a translation: physical address plus whether the TLB missed
+/// (the cycle model charges a page-walk penalty on misses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The physical address.
+    pub phys: u32,
+    /// True if a page walk was required.
+    pub tlb_miss: bool,
+}
+
+impl Mmu {
+    /// Creates an MMU with paging disabled.
+    pub fn new() -> Mmu {
+        Mmu::default()
+    }
+
+    /// Loads CR3, flushing the TLB as the hardware does on task switch.
+    pub fn set_cr3(&mut self, cr3: u32) {
+        self.cr3 = cr3 & pte::FRAME;
+        self.flush();
+    }
+
+    /// Flushes the entire TLB.
+    pub fn flush(&mut self) {
+        self.tlb.clear();
+        self.stats.flushes += 1;
+    }
+
+    /// Flushes one page's translation (like `invlpg`).
+    pub fn flush_page(&mut self, linear: u32) {
+        self.tlb.remove(&(linear >> 12));
+    }
+
+    /// Number of live TLB entries.
+    pub fn tlb_entries(&self) -> usize {
+        self.tlb.len()
+    }
+
+    /// Translates a linear address, enforcing page-level protection.
+    ///
+    /// `user` is true when the access originates at CPL 3; supervisor
+    /// accesses (CPL 0-2) bypass `R/W` and `U/S` checks per CR0.WP = 0.
+    pub fn translate(
+        &mut self,
+        mem: &mut PhysMem,
+        linear: u32,
+        access: Access,
+        user: bool,
+    ) -> Result<Translation, FaultBuilder> {
+        if !self.enabled {
+            return Ok(Translation {
+                phys: linear,
+                tlb_miss: false,
+            });
+        }
+        let vpn = linear >> 12;
+        let is_write = access == Access::Write;
+
+        if let Some(entry) = self.tlb.get(&vpn).copied() {
+            self.stats.hits += 1;
+            self.check_perms(entry.user, entry.writable, linear, is_write, user)?;
+            if is_write && !entry.dirty {
+                let pte_val = mem.read_u32(entry.pte_addr);
+                mem.write_u32(entry.pte_addr, pte_val | pte::D);
+                if let Some(e) = self.tlb.get_mut(&vpn) {
+                    e.dirty = true;
+                }
+            }
+            return Ok(Translation {
+                phys: entry.frame | (linear & PAGE_MASK),
+                tlb_miss: false,
+            });
+        }
+
+        self.stats.misses += 1;
+        let entry = self.walk(mem, linear, is_write, user)?;
+        self.check_perms(entry.user, entry.writable, linear, is_write, user)?;
+        self.tlb.insert(vpn, entry);
+        Ok(Translation {
+            phys: entry.frame | (linear & PAGE_MASK),
+            tlb_miss: true,
+        })
+    }
+
+    fn check_perms(
+        &self,
+        page_user: bool,
+        page_writable: bool,
+        linear: u32,
+        is_write: bool,
+        user: bool,
+    ) -> Result<(), FaultBuilder> {
+        if !user {
+            return Ok(());
+        }
+        let mut code = pf_err::PRESENT | pf_err::USER;
+        if is_write {
+            code |= pf_err::WRITE;
+        }
+        if !page_user {
+            return Err(Fault::pf(linear, code));
+        }
+        if is_write && !page_writable {
+            return Err(Fault::pf(linear, code));
+        }
+        Ok(())
+    }
+
+    fn walk(
+        &self,
+        mem: &mut PhysMem,
+        linear: u32,
+        is_write: bool,
+        user: bool,
+    ) -> Result<TlbEntry, FaultBuilder> {
+        let mut code = 0;
+        if is_write {
+            code |= pf_err::WRITE;
+        }
+        if user {
+            code |= pf_err::USER;
+        }
+
+        let pde_addr = self.cr3 + (linear >> 22) * 4;
+        let pde = mem.read_u32(pde_addr);
+        if pde & pte::P == 0 {
+            return Err(Fault::pf(linear, code));
+        }
+        let pt_base = pde & pte::FRAME;
+        let pte_addr = pt_base + ((linear >> 12) & 0x3FF) * 4;
+        let pte_val = mem.read_u32(pte_addr);
+        if pte_val & pte::P == 0 {
+            return Err(Fault::pf(linear, code));
+        }
+
+        // Set accessed bits; dirty on write.
+        mem.write_u32(pde_addr, pde | pte::A);
+        let mut new_pte = pte_val | pte::A;
+        if is_write {
+            new_pte |= pte::D;
+        }
+        if new_pte != pte_val {
+            mem.write_u32(pte_addr, new_pte);
+        }
+
+        Ok(TlbEntry {
+            frame: pte_val & pte::FRAME,
+            user: (pde & pte::US != 0) && (pte_val & pte::US != 0),
+            writable: (pde & pte::RW != 0) && (pte_val & pte::RW != 0),
+            dirty: new_pte & pte::D != 0,
+            pte_addr,
+        })
+    }
+}
+
+/// Maps `linear -> phys` in the page tables rooted at `cr3`, creating the
+/// page table for the region on demand from `fa`.
+///
+/// Page directories are created fully permissive (`P|RW|US`) so that the
+/// per-page PTE flags — where Palladium's PPL lives — are what govern.
+/// Returns `false` if a page-table frame could not be allocated.
+pub fn map_page(
+    mem: &mut PhysMem,
+    fa: &mut FrameAlloc,
+    cr3: u32,
+    linear: u32,
+    phys: u32,
+    flags: u32,
+) -> bool {
+    let pde_addr = cr3 + (linear >> 22) * 4;
+    let pde = mem.read_u32(pde_addr);
+    let pt_base = if pde & pte::P == 0 {
+        let Some(frame) = fa.alloc() else {
+            return false;
+        };
+        mem.zero(frame, crate::mem::PAGE_SIZE);
+        mem.write_u32(pde_addr, frame | pte::P | pte::RW | pte::US);
+        frame
+    } else {
+        pde & pte::FRAME
+    };
+    let pte_addr = pt_base + ((linear >> 12) & 0x3FF) * 4;
+    mem.write_u32(
+        pte_addr,
+        (phys & pte::FRAME) | (flags & !pte::FRAME) | pte::P,
+    );
+    true
+}
+
+/// Reads the PTE mapping `linear`, if present.
+pub fn get_pte(mem: &PhysMem, cr3: u32, linear: u32) -> Option<u32> {
+    let pde = mem.read_u32(cr3 + (linear >> 22) * 4);
+    if pde & pte::P == 0 {
+        return None;
+    }
+    let pte_val = mem.read_u32((pde & pte::FRAME) + ((linear >> 12) & 0x3FF) * 4);
+    if pte_val & pte::P == 0 {
+        None
+    } else {
+        Some(pte_val)
+    }
+}
+
+/// Rewrites the flag bits of the PTE mapping `linear`.
+///
+/// Returns `false` if the page is unmapped. Callers must flush the TLB (or
+/// the page) afterwards — exactly the shootdown real kernels perform.
+pub fn update_pte_flags(mem: &mut PhysMem, cr3: u32, linear: u32, set: u32, clear: u32) -> bool {
+    let pde = mem.read_u32(cr3 + (linear >> 22) * 4);
+    if pde & pte::P == 0 {
+        return false;
+    }
+    let pte_addr = (pde & pte::FRAME) + ((linear >> 12) & 0x3FF) * 4;
+    let v = mem.read_u32(pte_addr);
+    if v & pte::P == 0 {
+        return false;
+    }
+    mem.write_u32(pte_addr, (v | set) & !clear);
+    true
+}
+
+/// Unmaps `linear` (clears the PTE entirely).
+pub fn unmap_page(mem: &mut PhysMem, cr3: u32, linear: u32) -> bool {
+    let pde = mem.read_u32(cr3 + (linear >> 22) * 4);
+    if pde & pte::P == 0 {
+        return false;
+    }
+    let pte_addr = (pde & pte::FRAME) + ((linear >> 12) & 0x3FF) * 4;
+    if mem.read_u32(pte_addr) & pte::P == 0 {
+        return false;
+    }
+    mem.write_u32(pte_addr, 0);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultCause;
+
+    fn setup() -> (PhysMem, FrameAlloc, Mmu) {
+        let mem = PhysMem::new();
+        let mut fa = FrameAlloc::new(0x10_0000, 0x40_0000);
+        let mut mmu = Mmu::new();
+        let cr3 = fa.alloc().unwrap();
+        mmu.set_cr3(cr3);
+        mmu.enabled = true;
+        (mem, fa, mmu)
+    }
+
+    #[test]
+    fn identity_when_paging_disabled() {
+        let mut mem = PhysMem::new();
+        let mut mmu = Mmu::new();
+        let t = mmu
+            .translate(&mut mem, 0x1234, Access::Write, true)
+            .unwrap();
+        assert_eq!(t.phys, 0x1234);
+    }
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let frame = fa.alloc().unwrap();
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            mmu.cr3,
+            0x0804_8000,
+            frame,
+            pte::RW | pte::US
+        ));
+
+        let t = mmu
+            .translate(&mut mem, 0x0804_8123, Access::Read, true)
+            .unwrap();
+        assert_eq!(t.phys, frame | 0x123);
+        assert!(t.tlb_miss);
+
+        // Second access hits the TLB.
+        let t2 = mmu
+            .translate(&mut mem, 0x0804_8456, Access::Read, true)
+            .unwrap();
+        assert_eq!(t2.phys, frame | 0x456);
+        assert!(!t2.tlb_miss);
+        assert_eq!(mmu.stats.hits, 1);
+        assert_eq!(mmu.stats.misses, 1);
+    }
+
+    #[test]
+    fn unmapped_page_faults_not_present() {
+        let (mut mem, _fa, mut mmu) = setup();
+        let err = mmu
+            .translate(&mut mem, 0xDEAD_0000, Access::Read, true)
+            .unwrap_err();
+        match err.cause {
+            FaultCause::Page { code, .. } => {
+                assert_eq!(code & pf_err::PRESENT, 0, "not-present fault");
+                assert_ne!(code & pf_err::USER, 0);
+            }
+            other => panic!("wrong cause {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervisor_page_blocks_user_but_not_supervisor() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let frame = fa.alloc().unwrap();
+        // PPL 0 page: US clear.
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            mmu.cr3,
+            0xC000_0000,
+            frame,
+            pte::RW
+        ));
+
+        // User (CPL 3) access faults with a *protection* error code.
+        let err = mmu
+            .translate(&mut mem, 0xC000_0000, Access::Read, true)
+            .unwrap_err();
+        match err.cause {
+            FaultCause::Page { code, .. } => {
+                assert_ne!(code & pf_err::PRESENT, 0, "protection fault");
+            }
+            other => panic!("wrong cause {other:?}"),
+        }
+
+        // Supervisor access succeeds.
+        assert!(mmu
+            .translate(&mut mem, 0xC000_0000, Access::Write, false)
+            .is_ok());
+    }
+
+    #[test]
+    fn read_only_page_blocks_user_write_only() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let frame = fa.alloc().unwrap();
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            mmu.cr3,
+            0x4000_0000,
+            frame,
+            pte::US
+        ));
+
+        assert!(mmu
+            .translate(&mut mem, 0x4000_0000, Access::Read, true)
+            .is_ok());
+        let err = mmu
+            .translate(&mut mem, 0x4000_0000, Access::Write, true)
+            .unwrap_err();
+        match err.cause {
+            FaultCause::Page { code, .. } => {
+                assert_ne!(code & pf_err::WRITE, 0);
+            }
+            other => panic!("wrong cause {other:?}"),
+        }
+        // Supervisor write is allowed (WP = 0).
+        assert!(mmu
+            .translate(&mut mem, 0x4000_0000, Access::Write, false)
+            .is_ok());
+    }
+
+    #[test]
+    fn accessed_and_dirty_bits_are_maintained() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let frame = fa.alloc().unwrap();
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            mmu.cr3,
+            0x5000_0000,
+            frame,
+            pte::RW | pte::US
+        ));
+
+        mmu.translate(&mut mem, 0x5000_0000, Access::Read, true)
+            .unwrap();
+        let v = get_pte(&mem, mmu.cr3, 0x5000_0000).unwrap();
+        assert_ne!(v & pte::A, 0);
+        assert_eq!(v & pte::D, 0);
+
+        // Write through the TLB-cached entry still sets Dirty.
+        mmu.translate(&mut mem, 0x5000_0004, Access::Write, true)
+            .unwrap();
+        let v = get_pte(&mem, mmu.cr3, 0x5000_0000).unwrap();
+        assert_ne!(v & pte::D, 0);
+    }
+
+    #[test]
+    fn flag_update_plus_flush_changes_protection() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let frame = fa.alloc().unwrap();
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            mmu.cr3,
+            0x0700_0000,
+            frame,
+            pte::RW | pte::US
+        ));
+        mmu.translate(&mut mem, 0x0700_0000, Access::Read, true)
+            .unwrap();
+
+        // Revoke the user bit (PPL 1 -> PPL 0) — this is init_PL's core op.
+        assert!(update_pte_flags(&mut mem, mmu.cr3, 0x0700_0000, 0, pte::US));
+
+        // Stale TLB entry still allows access until the shootdown...
+        assert!(mmu
+            .translate(&mut mem, 0x0700_0000, Access::Read, true)
+            .is_ok());
+        // ...and the flush makes the new PPL take effect.
+        mmu.flush();
+        assert!(mmu
+            .translate(&mut mem, 0x0700_0000, Access::Read, true)
+            .is_err());
+    }
+
+    #[test]
+    fn unmap_then_access_faults() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let frame = fa.alloc().unwrap();
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            mmu.cr3,
+            0x0600_0000,
+            frame,
+            pte::RW | pte::US
+        ));
+        assert!(unmap_page(&mut mem, mmu.cr3, 0x0600_0000));
+        mmu.flush();
+        assert!(mmu
+            .translate(&mut mem, 0x0600_0000, Access::Read, true)
+            .is_err());
+        assert!(!unmap_page(&mut mem, mmu.cr3, 0x0600_0000));
+    }
+
+    #[test]
+    fn set_cr3_flushes_tlb() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let frame = fa.alloc().unwrap();
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            mmu.cr3,
+            0x0804_8000,
+            frame,
+            pte::US
+        ));
+        mmu.translate(&mut mem, 0x0804_8000, Access::Read, true)
+            .unwrap();
+        assert_eq!(mmu.tlb_entries(), 1);
+        let cr3 = mmu.cr3;
+        mmu.set_cr3(cr3);
+        assert_eq!(mmu.tlb_entries(), 0);
+    }
+
+    #[test]
+    fn distinct_address_spaces_translate_independently() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let cr3_a = mmu.cr3;
+        let cr3_b = fa.alloc().unwrap();
+        let fa_frame = fa.alloc().unwrap();
+        let fb_frame = fa.alloc().unwrap();
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            cr3_a,
+            0x0804_8000,
+            fa_frame,
+            pte::US
+        ));
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            cr3_b,
+            0x0804_8000,
+            fb_frame,
+            pte::US
+        ));
+
+        let ta = mmu
+            .translate(&mut mem, 0x0804_8000, Access::Read, true)
+            .unwrap();
+        assert_eq!(ta.phys, fa_frame);
+        mmu.set_cr3(cr3_b);
+        let tb = mmu
+            .translate(&mut mem, 0x0804_8000, Access::Read, true)
+            .unwrap();
+        assert_eq!(tb.phys, fb_frame);
+    }
+}

@@ -1,0 +1,1185 @@
+//! Machine-level tests: execution semantics, protection checks, and far
+//! control transfers.
+
+use asm86::Assembler;
+use std::collections::BTreeMap;
+
+use crate::desc::{Descriptor, Selector};
+use crate::fault::{FaultCause, Vector};
+use crate::machine::{Exit, Machine};
+use crate::paging::{map_page, pte};
+use asm86::isa::{Reg, SegReg};
+
+/// Builds a machine with flat ring-0 code/data/stack segments, the given
+/// program at linear `0x1000`, and a stack top at `0x8000`. Paging off.
+fn flat_machine(src: &str) -> Machine {
+    let mut m = Machine::new();
+    let code = m.gdt.push(Descriptor::flat_code(0));
+    let data = m.gdt.push(Descriptor::flat_data(0));
+    let obj = Assembler::assemble(src).expect("asm");
+    let image = obj.link(0x1000, &BTreeMap::new()).expect("link");
+    m.mem.write_bytes(0x1000, &image);
+
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code, false, 0));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data, false, 0));
+    m.force_seg_from_table(SegReg::Ds, Selector::new(data, false, 0));
+    m.cpu.eip = 0x1000;
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m
+}
+
+fn run_to_hlt(m: &mut Machine) {
+    match m.run(100_000) {
+        Exit::Hlt => {}
+        other => panic!("expected Hlt, got {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_halt() {
+    let mut m = flat_machine(
+        "mov eax, 6\n\
+         mov ebx, 7\n\
+         imul eax, ebx\n\
+         hlt\n",
+    );
+    run_to_hlt(&mut m);
+    assert_eq!(m.cpu.reg(Reg::Eax), 42);
+    assert!(m.cycles() > 0);
+    assert_eq!(m.insns(), 4);
+}
+
+#[test]
+fn memory_roundtrip_and_byte_ops() {
+    let mut m = flat_machine(
+        "mov eax, 0x11223344\n\
+         mov [0x2000], eax\n\
+         mov ebx, byte [0x2001]\n\
+         mov ecx, word [0x2002]\n\
+         hlt\n",
+    );
+    run_to_hlt(&mut m);
+    assert_eq!(m.cpu.reg(Reg::Ebx), 0x33);
+    assert_eq!(m.cpu.reg(Reg::Ecx), 0x1122);
+    assert_eq!(m.mem.read_u32(0x2000), 0x11223344);
+}
+
+#[test]
+fn stack_push_pop() {
+    let mut m = flat_machine(
+        "push 0xAA\n\
+         push 0xBB\n\
+         pop eax\n\
+         pop ebx\n\
+         hlt\n",
+    );
+    run_to_hlt(&mut m);
+    assert_eq!(m.cpu.reg(Reg::Eax), 0xBB);
+    assert_eq!(m.cpu.reg(Reg::Ebx), 0xAA);
+    assert_eq!(m.cpu.esp(), 0x8000);
+}
+
+#[test]
+fn loop_and_conditions() {
+    // Sum 1..=10.
+    let mut m = flat_machine(
+        "mov eax, 0\n\
+         mov ecx, 10\n\
+         top:\n\
+         add eax, ecx\n\
+         dec ecx\n\
+         cmp ecx, 0\n\
+         jne top\n\
+         hlt\n",
+    );
+    run_to_hlt(&mut m);
+    assert_eq!(m.cpu.reg(Reg::Eax), 55);
+}
+
+#[test]
+fn signed_and_unsigned_branches() {
+    let mut m = flat_machine(
+        "mov eax, -1\n\
+         cmp eax, 1\n\
+         jl signed_less\n\
+         mov ebx, 0\n\
+         hlt\n\
+         signed_less:\n\
+         mov ebx, 1\n\
+         cmp eax, 1\n\
+         ja unsigned_above\n\
+         hlt\n\
+         unsigned_above:\n\
+         mov ecx, 1\n\
+         hlt\n",
+    );
+    run_to_hlt(&mut m);
+    assert_eq!(m.cpu.reg(Reg::Ebx), 1, "-1 < 1 signed");
+    assert_eq!(m.cpu.reg(Reg::Ecx), 1, "0xFFFFFFFF > 1 unsigned");
+}
+
+#[test]
+fn call_and_ret() {
+    let mut m = flat_machine(
+        "push 5\n\
+         call double\n\
+         hlt\n\
+         double:\n\
+         mov eax, [esp+4]\n\
+         add eax, eax\n\
+         ret\n",
+    );
+    run_to_hlt(&mut m);
+    assert_eq!(m.cpu.reg(Reg::Eax), 10);
+}
+
+#[test]
+fn rdtsc_reads_cycle_counter() {
+    let mut m = flat_machine("rdtsc\nmov ebx, eax\nrdtsc\nsub eax, ebx\nhlt\n");
+    run_to_hlt(&mut m);
+    assert!(m.cpu.reg(Reg::Eax) > 0, "cycles advanced between rdtscs");
+}
+
+#[test]
+fn segment_limit_violation_faults() {
+    let mut m = Machine::new();
+    // Code segment of exactly one page; data segment of 16 bytes.
+    let code = m.gdt.push(Descriptor::code(0x1000, 0x1000, 0));
+    let data = m.gdt.push(Descriptor::data(0x2000, 16, 0));
+    let stack = m.gdt.push(Descriptor::flat_data(0));
+    let obj = Assembler::assemble(
+        "mov eax, [12]\n\
+         mov ebx, [13]\n\
+         hlt\n",
+    )
+    .unwrap();
+    let image = obj.link(0, &BTreeMap::new()).unwrap();
+    m.mem.write_bytes(0x1000, &image);
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code, false, 0));
+    m.force_seg_from_table(SegReg::Ds, Selector::new(data, false, 0));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(stack, false, 0));
+    m.cpu.set_reg(Reg::Esp, 0x9000);
+    m.cpu.eip = 0;
+
+    // First load: offsets 12..15 inclusive = within limit 15.
+    assert!(m.step().is_none());
+    // Second load: offsets 13..16 exceeds limit.
+    match m.step() {
+        Some(Exit::Fault(f)) => {
+            assert_eq!(f.vector, Vector::GeneralProtection);
+            assert!(matches!(f.cause, FaultCause::LimitViolation { .. }));
+        }
+        other => panic!("expected #GP, got {other:?}"),
+    }
+}
+
+#[test]
+fn write_to_code_segment_faults() {
+    let mut m = flat_machine("mov cs:[0x2000], eax\nhlt\n");
+    match m.run(10) {
+        Exit::Fault(f) => {
+            assert_eq!(f.vector, Vector::GeneralProtection);
+            assert_eq!(f.cause, FaultCause::BadSegmentType);
+        }
+        other => panic!("expected #GP, got {other:?}"),
+    }
+}
+
+#[test]
+fn hlt_is_privileged() {
+    // Run the same program at ring 3 — hlt must #GP.
+    let mut m = Machine::new();
+    let code = m.gdt.push(Descriptor::flat_code(3));
+    let data = m.gdt.push(Descriptor::flat_data(3));
+    let obj = Assembler::assemble("hlt\n").unwrap();
+    m.mem
+        .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code, false, 3));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data, false, 3));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+    assert_eq!(m.cpu.cpl, 3);
+    match m.run(10) {
+        Exit::Fault(f) => {
+            assert_eq!(f.vector, Vector::GeneralProtection);
+            assert_eq!(f.cause, FaultCause::PrivilegedInstruction);
+        }
+        other => panic!("expected #GP, got {other:?}"),
+    }
+}
+
+#[test]
+fn ring3_cannot_load_ring0_data_segment() {
+    let mut m = Machine::new();
+    let code3 = m.gdt.push(Descriptor::flat_code(3));
+    let data3 = m.gdt.push(Descriptor::flat_data(3));
+    let data0 = m.gdt.push(Descriptor::flat_data(0));
+    let obj = Assembler::assemble(
+        "mov ds, eax\n\
+         hlt\n",
+    )
+    .unwrap();
+    m.mem
+        .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code3, false, 3));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data3, false, 3));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu
+        .set_reg(Reg::Eax, Selector::new(data0, false, 3).0 as u32);
+    m.cpu.eip = 0x1000;
+    match m.run(10) {
+        Exit::Fault(f) => {
+            assert_eq!(f.vector, Vector::GeneralProtection);
+            assert!(matches!(f.cause, FaultCause::PrivilegeViolation { .. }));
+        }
+        other => panic!("expected #GP, got {other:?}"),
+    }
+}
+
+#[test]
+fn user_write_to_supervisor_page_faults() {
+    // Ring 3 flat segments but a PPL 0 page: the paging check must fire
+    // even though segmentation passes — the heart of the user-level
+    // Palladium mechanism.
+    let mut m = Machine::new();
+    let code3 = m.gdt.push(Descriptor::flat_code(3));
+    let data3 = m.gdt.push(Descriptor::flat_data(3));
+
+    let mut fa = crate::mem::FrameAlloc::new(0x10_0000, 0x20_0000);
+    let cr3 = fa.alloc().unwrap();
+    // Identity-map the code page and stack page as user; the target page
+    // as supervisor (PPL 0).
+    map_page(&mut m.mem, &mut fa, cr3, 0x1000, 0x1000, pte::RW | pte::US);
+    map_page(&mut m.mem, &mut fa, cr3, 0x7000, 0x7000, pte::RW | pte::US);
+    map_page(&mut m.mem, &mut fa, cr3, 0x5000, 0x5000, pte::RW);
+    m.mmu.set_cr3(cr3);
+    m.mmu.enabled = true;
+
+    let obj = Assembler::assemble(
+        "mov eax, 1\n\
+         mov [0x5000], eax\n\
+         hlt\n",
+    )
+    .unwrap();
+    m.mem
+        .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code3, false, 3));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data3, false, 3));
+    m.force_seg_from_table(SegReg::Ds, Selector::new(data3, false, 3));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+
+    match m.run(10) {
+        Exit::Fault(f) => {
+            assert_eq!(f.vector, Vector::PageFault);
+            assert_eq!(f.cr2, Some(0x5000));
+        }
+        other => panic!("expected #PF, got {other:?}"),
+    }
+    // The write never reached memory.
+    assert_eq!(m.mem.read_u32(0x5000), 0);
+}
+
+/// Builds the two-ring machine used by the gate tests: ring-2 "app" code
+/// and ring-3 "extension" code over the same flat range, a call gate from
+/// ring 3 into ring 2, and per-ring stacks via the TSS.
+fn two_ring_machine(app_src: &str, ext_src: &str) -> (Machine, u16, u16) {
+    let mut m = Machine::new();
+    let code2 = m.gdt.push(Descriptor::flat_code(2));
+    let data2 = m.gdt.push(Descriptor::flat_data(2));
+    let code3 = m.gdt.push(Descriptor::flat_code(3));
+    let data3 = m.gdt.push(Descriptor::flat_data(3));
+
+    let app = Assembler::assemble(app_src).expect("app asm");
+    let ext = Assembler::assemble(ext_src).expect("ext asm");
+    let mut externs = BTreeMap::new();
+    for (name, off) in &ext.symbols {
+        externs.insert(name.clone(), 0x4000 + off);
+    }
+    let app_img = app.link(0x1000, &externs).expect("app link");
+    let mut externs2 = BTreeMap::new();
+    for (name, off) in &app.symbols {
+        externs2.insert(name.clone(), 0x1000 + off);
+    }
+    let ext_img = ext.link(0x4000, &externs2).expect("ext link");
+    m.mem.write_bytes(0x1000, &app_img);
+    m.mem.write_bytes(0x4000, &ext_img);
+
+    // Ring-2 stack at 0x8000 (via TSS when entering ring 2).
+    m.tss.stack[2] = (Selector::new(data2, false, 2), 0x8000);
+
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code2, false, 2));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data2, false, 2));
+    m.force_seg_from_table(SegReg::Ds, Selector::new(data2, false, 2));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+
+    (
+        m,
+        Selector::new(code3, false, 3).0,
+        Selector::new(data3, false, 3).0,
+    )
+}
+
+#[test]
+fn figure6_downcall_and_gated_return() {
+    // A miniature of the paper's Figure 6: ring-2 code synthesizes a far
+    // return into ring-3 code; the ring-3 code lcalls back through a call
+    // gate. This is the exact lret/lcall pair Palladium times at 31+72
+    // cycles.
+    let app_src = "\
+entry:
+    ; Synthesize the phantom activation record: SS3, ESP3, CS3, EIP3.
+    push 0x23        ; ext stack selector (data3, RPL 3) — patched below
+    push 0x9000      ; ext stack pointer
+    push 0x1B        ; ext code selector (code3, RPL 3) — patched below
+    push transfer_target
+    lret
+back_in_app:
+    int 0x30         ; yield to the host
+app_gate_entry:
+    mov eax, 77
+    jmp back_in_app
+";
+    let ext_src = "\
+transfer_target:
+    mov ebx, 55
+    lcall 0x2B, 0    ; through the call gate (selector patched below)
+";
+    let (mut m, code3_sel, data3_sel) = two_ring_machine(app_src, ext_src);
+    m.idt[0x30] = Some(crate::machine::IdtGate { dpl: 3 });
+
+    // Create the call gate into app_gate_entry at ring 2, callable from 3.
+    let app_obj = Assembler::assemble(app_src).unwrap();
+    let gate_entry = 0x1000 + app_obj.symbol("app_gate_entry").unwrap();
+    let code2_sel = m.cpu.seg(SegReg::Cs).selector;
+    let gate_idx = m
+        .gdt
+        .push(Descriptor::call_gate(code2_sel.with_rpl(0), gate_entry, 3));
+    let gate_sel = Selector::new(gate_idx, false, 3);
+
+    // Patch the immediates the sources hard-coded: selectors depend on GDT
+    // layout, so rewrite the pushed values by editing memory directly.
+    // push 0x23 at 0x1000 (opcode 1 + tag 1 + imm). push imm encoding:
+    // [PUSH][SRC_IMM][imm32].
+    m.mem.write_u32(0x1002, data3_sel as u32);
+    m.mem.write_u32(0x100E, code3_sel as u32);
+    // The ext lcall selector: lcall encodes as [LCALL][sel16][off32] and
+    // sits right after "mov ebx, 55" (7 bytes) at 0x4000.
+    m.mem.write_u16(0x4008, gate_sel.0);
+
+    match m.run(100) {
+        Exit::IntHook(0x30) => {}
+        other => panic!("expected IntHook(0x30), got {other:?}"),
+    }
+    assert_eq!(m.cpu.reg(Reg::Ebx), 55, "extension ran");
+    assert_eq!(m.cpu.reg(Reg::Eax), 77, "gate entry ran");
+    assert_eq!(m.cpu.cpl, 2, "returned to ring 2");
+}
+
+#[test]
+fn lret_to_inner_ring_is_rejected() {
+    // Ring-3 code forging a far return "to ring 0" must fault.
+    let mut m = Machine::new();
+    let code3 = m.gdt.push(Descriptor::flat_code(3));
+    let data3 = m.gdt.push(Descriptor::flat_data(3));
+    let code0 = m.gdt.push(Descriptor::flat_code(0));
+    // Forge the frame lret expects: push CS first, EIP last (lret pops EIP
+    // then CS).
+    let forged = Assembler::assemble(&format!(
+        "push {}\n\
+         push 0x2000\n\
+         lret\n",
+        Selector::new(code0, false, 0).0
+    ))
+    .unwrap();
+    let img = forged.link(0x1000, &BTreeMap::new()).unwrap();
+    m.mem.write_bytes(0x1000, &img);
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code3, false, 3));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data3, false, 3));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+
+    match m.run(10) {
+        Exit::Fault(f) => {
+            assert_eq!(f.vector, Vector::GeneralProtection);
+        }
+        other => panic!("expected #GP, got {other:?}"),
+    }
+    assert_eq!(m.cpu.cpl, 3, "CPL unchanged");
+}
+
+#[test]
+fn gate_dpl_blocks_unprivileged_callers() {
+    // A gate with DPL 0 cannot be called from ring 3.
+    let mut m = Machine::new();
+    let code3 = m.gdt.push(Descriptor::flat_code(3));
+    let data3 = m.gdt.push(Descriptor::flat_data(3));
+    let code0 = m.gdt.push(Descriptor::flat_code(0));
+    let gate = m.gdt.push(Descriptor::call_gate(
+        Selector::new(code0, false, 0),
+        0x2000,
+        0,
+    ));
+    let obj = Assembler::assemble(&format!(
+        "lcall {}, 0\nhlt\n",
+        Selector::new(gate, false, 3).0
+    ))
+    .unwrap();
+    m.mem
+        .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code3, false, 3));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data3, false, 3));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+    match m.run(10) {
+        Exit::Fault(f) => {
+            assert_eq!(f.vector, Vector::GeneralProtection);
+            assert!(matches!(f.cause, FaultCause::PrivilegeViolation { .. }));
+        }
+        other => panic!("expected #GP, got {other:?}"),
+    }
+}
+
+#[test]
+fn inward_gate_call_switches_stacks_via_tss() {
+    // Ring 3 calls a ring-0 routine through a gate; the TSS supplies the
+    // ring-0 stack, and the old SS:ESP appear on it.
+    let mut m = Machine::new();
+    let code3 = m.gdt.push(Descriptor::flat_code(3));
+    let data3 = m.gdt.push(Descriptor::flat_data(3));
+    let code0 = m.gdt.push(Descriptor::flat_code(0));
+    let data0 = m.gdt.push(Descriptor::flat_data(0));
+    let gate = m.gdt.push(Descriptor::call_gate(
+        Selector::new(code0, false, 0),
+        0x3000,
+        3,
+    ));
+
+    let user = Assembler::assemble(&format!(
+        "lcall {}, 0\nmov edi, 1\nhlt\n",
+        Selector::new(gate, false, 3).0
+    ))
+    .unwrap();
+    m.mem
+        .write_bytes(0x1000, &user.link(0x1000, &BTreeMap::new()).unwrap());
+    let handler = Assembler::assemble("mov esi, 42\nlret\n").unwrap();
+    m.mem
+        .write_bytes(0x3000, &handler.link(0x3000, &BTreeMap::new()).unwrap());
+
+    m.tss.stack[0] = (Selector::new(data0, false, 0), 0xF000);
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code3, false, 3));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data3, false, 3));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+
+    // Step the lcall only, to inspect the switched stack.
+    assert!(m.step().is_none());
+    assert_eq!(m.cpu.cpl, 0);
+    assert_eq!(m.cpu.esp(), 0xF000 - 16, "SS, ESP, CS, EIP pushed");
+    let old_esp = m.mem.read_u32(0xF000 - 8);
+    assert_eq!(old_esp, 0x8000);
+
+    // Run to completion; the handler returns outward and the user code
+    // halts — which faults at ring 3, so expect #GP *after* edi is set...
+    // hlt is privileged, so check state at the fault instead.
+    match m.run(10) {
+        Exit::Fault(f) => {
+            assert_eq!(f.cause, FaultCause::PrivilegedInstruction);
+        }
+        other => panic!("expected fault on ring-3 hlt, got {other:?}"),
+    }
+    assert_eq!(m.cpu.reg(Reg::Esi), 42, "ring-0 routine ran");
+    assert_eq!(m.cpu.reg(Reg::Edi), 1, "control returned to ring 3");
+    assert_eq!(m.cpu.esp(), 0x8000, "outer stack restored");
+}
+
+#[test]
+fn int_hook_requires_gate_dpl() {
+    let mut m = Machine::new();
+    let code3 = m.gdt.push(Descriptor::flat_code(3));
+    let data3 = m.gdt.push(Descriptor::flat_data(3));
+    m.idt[0x80] = Some(crate::machine::IdtGate { dpl: 3 });
+    m.idt[0x81] = Some(crate::machine::IdtGate { dpl: 0 });
+
+    let obj = Assembler::assemble("int 0x80\nint 0x81\nhlt\n").unwrap();
+    m.mem
+        .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code3, false, 3));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data3, false, 3));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+
+    match m.run(10) {
+        Exit::IntHook(0x80) => {}
+        other => panic!("expected IntHook(0x80), got {other:?}"),
+    }
+    // Resume: the int 0x81 must #GP (gate DPL 0 < CPL 3).
+    match m.run(10) {
+        Exit::Fault(f) => {
+            assert_eq!(f.vector, Vector::GeneralProtection);
+        }
+        other => panic!("expected #GP, got {other:?}"),
+    }
+    // Unhooked vector also faults.
+    let mut m2 = flat_machine("int 0x40\nhlt\n");
+    match m2.run(10) {
+        Exit::Fault(f) => assert_eq!(f.vector, Vector::GeneralProtection),
+        other => panic!("expected #GP, got {other:?}"),
+    }
+}
+
+#[test]
+fn outward_return_invalidates_privileged_data_segments() {
+    // Ring-0 code loads DS with a ring-0 segment, then returns outward to
+    // ring 3: DS must be nulled so ring 3 cannot use the cached descriptor.
+    let mut m = Machine::new();
+    let code0 = m.gdt.push(Descriptor::flat_code(0));
+    let data0 = m.gdt.push(Descriptor::flat_data(0));
+    let code3 = m.gdt.push(Descriptor::flat_code(3));
+    let data3 = m.gdt.push(Descriptor::flat_data(3));
+
+    let ring0 = Assembler::assemble(&format!(
+        "mov eax, {}\n\
+         mov ds, eax\n\
+         push {}\n\
+         push 0x9000\n\
+         push {}\n\
+         push 0x3000\n\
+         lret\n",
+        Selector::new(data0, false, 0).0,
+        Selector::new(data3, false, 3).0,
+        Selector::new(code3, false, 3).0,
+    ))
+    .unwrap();
+    m.mem
+        .write_bytes(0x1000, &ring0.link(0x1000, &BTreeMap::new()).unwrap());
+    // Ring-3 code tries to read through DS.
+    let ring3 = Assembler::assemble("mov ebx, [0x2000]\nhlt\n").unwrap();
+    m.mem
+        .write_bytes(0x3000, &ring3.link(0x3000, &BTreeMap::new()).unwrap());
+
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code0, false, 0));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data0, false, 0));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+
+    match m.run(20) {
+        Exit::Fault(f) => {
+            assert_eq!(f.vector, Vector::GeneralProtection);
+            assert_eq!(f.cpl, 3);
+            assert!(
+                matches!(f.cause, FaultCause::BadSelector(_)),
+                "DS was invalidated on the outward return: {:?}",
+                f.cause
+            );
+        }
+        other => panic!("expected #GP through nulled DS, got {other:?}"),
+    }
+}
+
+#[test]
+fn cycle_budget_stops_runaway_code() {
+    let mut m = flat_machine("spin:\njmp spin\n");
+    let exit = m.run_until_cycles(1_000);
+    assert_eq!(exit, Exit::CycleLimit);
+    assert!(m.cycles() >= 1_000);
+}
+
+#[test]
+fn insn_budget_stops_runaway_code() {
+    let mut m = flat_machine("spin:\njmp spin\n");
+    assert_eq!(m.run(100), Exit::InsnLimit);
+    assert_eq!(m.insns(), 100);
+}
+
+#[test]
+fn undecodable_bytes_fault() {
+    let mut m = flat_machine("nop\nhlt\n");
+    m.mem.write_u8(0x1000, 0xFE); // invalid opcode
+    match m.run(10) {
+        Exit::Fault(f) => assert_eq!(f.vector, Vector::InvalidOpcode),
+        other => panic!("expected #UD, got {other:?}"),
+    }
+}
+
+#[test]
+fn host_helpers_bypass_protection() {
+    let mut m = Machine::new();
+    let mut fa = crate::mem::FrameAlloc::new(0x10_0000, 0x20_0000);
+    let cr3 = fa.alloc().unwrap();
+    map_page(&mut m.mem, &mut fa, cr3, 0x5000, 0x6000, pte::RW); // PPL 0
+    m.mmu.set_cr3(cr3);
+    m.mmu.enabled = true;
+
+    assert!(m.host_write_u32(0x5010, 0xFEED));
+    assert_eq!(m.host_read_u32(0x5010), 0xFEED);
+    assert_eq!(m.mem.read_u32(0x6010), 0xFEED, "went through the mapping");
+    assert!(!m.host_write_u32(0xDEAD_0000, 1), "unmapped fails");
+}
+
+#[test]
+fn tlb_miss_charges_cycles() {
+    let mut m = Machine::new();
+    let code0 = m.gdt.push(Descriptor::flat_code(0));
+    let data0 = m.gdt.push(Descriptor::flat_data(0));
+    let mut fa = crate::mem::FrameAlloc::new(0x10_0000, 0x20_0000);
+    let cr3 = fa.alloc().unwrap();
+    for page in [0x1000u32, 0x7000, 0x2000] {
+        map_page(&mut m.mem, &mut fa, cr3, page, page, pte::RW | pte::US);
+    }
+    m.mmu.set_cr3(cr3);
+    m.mmu.enabled = true;
+
+    let obj = Assembler::assemble("mov eax, [0x2000]\nmov ebx, [0x2004]\nhlt\n").unwrap();
+    m.mem
+        .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code0, false, 0));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data0, false, 0));
+    m.force_seg_from_table(SegReg::Ds, Selector::new(data0, false, 0));
+    m.cpu.set_reg(Reg::Esp, 0x7FF0);
+    m.cpu.eip = 0x1000;
+
+    run_to_hlt(&mut m);
+    // Two data pages + one code page walked once each.
+    assert_eq!(m.mmu.stats.misses, 2); // 0x2000 data + code page
+    assert!(m.mmu.stats.hits > 0);
+}
+
+mod properties {
+    use super::*;
+    use crate::desc::{CodeSeg, DataSeg};
+    use proptest::prelude::*;
+
+    fn arb_code_desc() -> impl Strategy<Value = Descriptor> {
+        (
+            any::<u32>(),
+            0u32..=0xFFFFF,
+            0u8..4,
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(base, limit, dpl, readable, conforming, present)| {
+                Descriptor::Code(CodeSeg {
+                    base,
+                    limit,
+                    dpl,
+                    readable,
+                    conforming,
+                    present,
+                })
+            })
+    }
+
+    fn arb_data_desc() -> impl Strategy<Value = Descriptor> {
+        (
+            any::<u32>(),
+            0u32..=0xFFFFF,
+            0u8..4,
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(base, limit, dpl, writable, expand_down, present)| {
+                Descriptor::Data(DataSeg {
+                    base,
+                    limit,
+                    dpl,
+                    writable,
+                    expand_down,
+                    present,
+                })
+            })
+    }
+
+    proptest! {
+        /// Descriptors with byte-granular limits survive the genuine
+        /// 8-byte x86 packing bit-exactly.
+        #[test]
+        fn prop_descriptor_pack_roundtrip(
+            d in prop_oneof![arb_code_desc(), arb_data_desc()],
+        ) {
+            prop_assert_eq!(Descriptor::unpack(d.pack()), Some(d));
+        }
+
+        /// Page-granular limits lose exactly their low 12 bits.
+        #[test]
+        fn prop_large_limit_granularity(limit in 0x10_0000u32..=u32::MAX) {
+            let d = Descriptor::Code(CodeSeg {
+                base: 0,
+                limit,
+                dpl: 0,
+                readable: true,
+                conforming: false,
+                present: true,
+            });
+            match Descriptor::unpack(d.pack()) {
+                Some(Descriptor::Code(c)) => prop_assert_eq!(c.limit, limit | 0xFFF),
+                other => return Err(TestCaseError::fail(format!("{other:?}"))),
+            }
+        }
+
+        /// ALU flag semantics agree with wide-arithmetic reference math.
+        #[test]
+        fn prop_add_sub_flags(a in any::<u32>(), b in any::<u32>()) {
+            let mut m = flat_machine("hlt\n");
+            // add
+            let r = {
+                m.cpu.set_reg(Reg::Eax, a);
+                m.execute(asm86::Insn::Alu(asm86::AluOp::Add, Reg::Eax, asm86::Src::Imm(b as i32)), 0)
+                    .unwrap();
+                m.cpu.reg(Reg::Eax)
+            };
+            prop_assert_eq!(r, a.wrapping_add(b));
+            prop_assert_eq!(m.cpu.flags.cf, (a as u64 + b as u64) > u32::MAX as u64);
+            prop_assert_eq!(m.cpu.flags.zf, r == 0);
+            prop_assert_eq!(m.cpu.flags.sf, (r as i32) < 0);
+            prop_assert_eq!(
+                m.cpu.flags.of,
+                (a as i32).checked_add(b as i32).is_none()
+            );
+            // sub (via cmp so the destination is untouched)
+            m.cpu.set_reg(Reg::Ecx, a);
+            m.execute(asm86::Insn::Cmp(Reg::Ecx, asm86::Src::Imm(b as i32)), 0)
+                .unwrap();
+            prop_assert_eq!(m.cpu.flags.cf, a < b);
+            prop_assert_eq!(m.cpu.flags.zf, a == b);
+            prop_assert_eq!(
+                m.cpu.flags.of,
+                (a as i32).checked_sub(b as i32).is_none()
+            );
+        }
+
+        /// Random arithmetic programs compute what reference Rust does.
+        #[test]
+        fn prop_straightline_arith_matches_host(
+            ops in proptest::collection::vec((0u8..6, any::<i32>()), 1..24),
+            start in any::<u32>(),
+        ) {
+            let mut expected = start;
+            let mut src = format!("mov eax, {}\n", start as i32);
+            for (op, v) in &ops {
+                let (mn, f): (&str, fn(u32, i32) -> u32) = match op {
+                    0 => ("add", |a, v| a.wrapping_add(v as u32)),
+                    1 => ("sub", |a, v| a.wrapping_sub(v as u32)),
+                    2 => ("and", |a, v| a & v as u32),
+                    3 => ("or", |a, v| a | v as u32),
+                    4 => ("xor", |a, v| a ^ v as u32),
+                    _ => ("imul", |a, v| (a as i32).wrapping_mul(v) as u32),
+                };
+                expected = f(expected, *v);
+                src.push_str(&format!("{mn} eax, {v}\n"));
+            }
+            src.push_str("hlt\n");
+            let mut m = flat_machine(&src);
+            run_to_hlt(&mut m);
+            prop_assert_eq!(m.cpu.reg(Reg::Eax), expected);
+        }
+    }
+}
+
+#[test]
+fn expand_down_segment_semantics() {
+    // An expand-down data segment permits offsets strictly *above* the
+    // limit — the x86 stack-segment idiom.
+    use crate::desc::DataSeg;
+    let mut m = Machine::new();
+    let code = m.gdt.push(Descriptor::flat_code(0));
+    let stack = m.gdt.push(Descriptor::flat_data(0));
+    let down = m.gdt.push(Descriptor::Data(DataSeg {
+        base: 0,
+        limit: 0xFFFF,
+        dpl: 0,
+        writable: true,
+        expand_down: true,
+        present: true,
+    }));
+    let obj = asm86::Assembler::assemble(
+        "mov eax, [0x10000]\n\
+         mov ebx, [0x8000]\n\
+         hlt\n",
+    )
+    .unwrap();
+    let image = obj
+        .link(0x1000, &std::collections::BTreeMap::new())
+        .unwrap();
+    m.mem.write_bytes(0x1000, &image);
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code, false, 0));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(stack, false, 0));
+    m.force_seg_from_table(SegReg::Ds, Selector::new(down, false, 0));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+
+    // 0x10000 > limit: allowed.
+    assert!(m.step().is_none(), "above-limit access allowed");
+    // 0x8000 <= limit: #GP.
+    match m.step() {
+        Some(Exit::Fault(f)) => {
+            assert_eq!(f.vector, Vector::GeneralProtection);
+            assert!(matches!(f.cause, FaultCause::LimitViolation { .. }));
+        }
+        other => panic!("expected #GP below the limit, got {other:?}"),
+    }
+}
+
+#[test]
+fn not_present_code_segment_faults_on_transfer() {
+    use crate::desc::CodeSeg;
+    let mut m = flat_machine("lcall 0, 0\nhlt\n");
+    let np = m.gdt.push(Descriptor::Code(CodeSeg {
+        base: 0,
+        limit: u32::MAX,
+        dpl: 0,
+        readable: true,
+        conforming: false,
+        present: false,
+    }));
+    // Patch the lcall selector (opcode at 0x1000, sel16 at 0x1001).
+    m.mem.write_u16(0x1001, Selector::new(np, false, 0).0);
+    match m.run(10) {
+        Exit::Fault(f) => assert_eq!(f.vector, Vector::NotPresent),
+        other => panic!("expected #NP, got {other:?}"),
+    }
+}
+
+#[test]
+fn conforming_code_keeps_caller_privilege() {
+    use crate::desc::CodeSeg;
+    // Ring 3 far-calls a conforming ring-0 segment: allowed, CPL stays 3.
+    let mut m = Machine::new();
+    let code3 = m.gdt.push(Descriptor::flat_code(3));
+    let data3 = m.gdt.push(Descriptor::flat_data(3));
+    let conf = m.gdt.push(Descriptor::Code(CodeSeg {
+        base: 0,
+        limit: u32::MAX,
+        dpl: 0,
+        readable: true,
+        conforming: true,
+        present: true,
+    }));
+    let user = asm86::Assembler::assemble(&format!(
+        "lcall {}, 0x3000\nspin:\njmp spin\n",
+        Selector::new(conf, false, 3).0
+    ))
+    .unwrap();
+    m.mem.write_bytes(
+        0x1000,
+        &user
+            .link(0x1000, &std::collections::BTreeMap::new())
+            .unwrap(),
+    );
+    let callee = asm86::Assembler::assemble("mov esi, 5\nlret\n").unwrap();
+    m.mem.write_bytes(
+        0x3000,
+        &callee
+            .link(0x3000, &std::collections::BTreeMap::new())
+            .unwrap(),
+    );
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code3, false, 3));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data3, false, 3));
+    m.cpu.set_reg(Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+
+    assert!(
+        m.step().is_none(),
+        "conforming far call allowed from ring 3"
+    );
+    assert_eq!(m.cpu.cpl, 3, "CPL unchanged by a conforming transfer");
+    assert!(m.step().is_none());
+    assert!(m.step().is_none(), "lret back");
+    assert_eq!(m.cpu.reg(Reg::Esi), 5);
+    assert_eq!(m.cpu.cpl, 3);
+}
+
+#[test]
+fn data_segment_load_privilege_matrix() {
+    // Exhaustive check of the x86 rule: a data segment is loadable iff
+    // DPL >= max(CPL, RPL). 4 CPLs x 4 RPLs x 4 DPLs = 64 combinations.
+    for cpl in 0u8..4 {
+        for rpl in 0u8..4 {
+            for dpl in 0u8..4 {
+                let mut m = Machine::new();
+                let code = m.gdt.push(Descriptor::flat_code(cpl));
+                let stack = m.gdt.push(Descriptor::flat_data(cpl));
+                let target = m.gdt.push(Descriptor::flat_data(dpl));
+                m.force_seg_from_table(SegReg::Cs, Selector::new(code, false, cpl));
+                m.force_seg_from_table(SegReg::Ss, Selector::new(stack, false, cpl));
+                m.cpu.set_reg(Reg::Esp, 0x8000);
+
+                let sel = Selector::new(target, false, rpl);
+                let r = m.load_data_seg(asm86::isa::SegReg::Ds, sel);
+                let allowed = dpl >= cpl.max(rpl);
+                assert_eq!(
+                    r.is_ok(),
+                    allowed,
+                    "cpl={cpl} rpl={rpl} dpl={dpl}: expected allowed={allowed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ss_load_requires_exact_privilege_match() {
+    // SS is stricter: RPL == CPL == DPL, writable data.
+    for cpl in 0u8..4 {
+        for rpl in 0u8..4 {
+            for dpl in 0u8..4 {
+                let mut m = Machine::new();
+                let code = m.gdt.push(Descriptor::flat_code(cpl));
+                let stack = m.gdt.push(Descriptor::flat_data(cpl));
+                let target = m.gdt.push(Descriptor::flat_data(dpl));
+                m.force_seg_from_table(SegReg::Cs, Selector::new(code, false, cpl));
+                m.force_seg_from_table(SegReg::Ss, Selector::new(stack, false, cpl));
+
+                let sel = Selector::new(target, false, rpl);
+                let r = m.load_data_seg(asm86::isa::SegReg::Ss, sel);
+                let allowed = rpl == cpl && dpl == cpl;
+                assert_eq!(r.is_ok(), allowed, "SS cpl={cpl} rpl={rpl} dpl={dpl}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_call_privilege_matrix() {
+    // lcall through a gate: allowed iff max(CPL, RPL) <= gate DPL and
+    // target code DPL <= CPL. Exercise with a ring-0 target across all
+    // callers and gate DPLs.
+    for cpl in 0u8..4 {
+        for gate_dpl in 0u8..4 {
+            for rpl in 0u8..4 {
+                let mut m = Machine::new();
+                let code = m.gdt.push(Descriptor::flat_code(cpl));
+                let data = m.gdt.push(Descriptor::flat_data(cpl));
+                let kcode = m.gdt.push(Descriptor::flat_code(0));
+                let kdata = m.gdt.push(Descriptor::flat_data(0));
+                let gate = m.gdt.push(Descriptor::call_gate(
+                    Selector::new(kcode, false, 0),
+                    0x3000,
+                    gate_dpl,
+                ));
+                m.tss.stack[0] = (Selector::new(kdata, false, 0), 0xF000);
+                m.force_seg_from_table(SegReg::Cs, Selector::new(code, false, cpl));
+                m.force_seg_from_table(SegReg::Ss, Selector::new(data, false, cpl));
+                m.cpu.set_reg(Reg::Esp, 0x8000);
+                m.cpu.eip = 0x1000;
+                m.mem.write_bytes(
+                    0x1000,
+                    &asm86::encode_program(&[asm86::Insn::Lcall(
+                        Selector::new(gate, false, rpl).0,
+                        0,
+                    )]),
+                );
+
+                let r = m.step();
+                let allowed = cpl.max(rpl) <= gate_dpl;
+                match (allowed, r) {
+                    (true, None) => {
+                        assert_eq!(m.cpu.cpl, 0, "entered ring 0");
+                    }
+                    (false, Some(Exit::Fault(f))) => {
+                        assert_eq!(f.vector, Vector::GeneralProtection);
+                    }
+                    (want, got) => {
+                        panic!(
+                            "cpl={cpl} rpl={rpl} gate={gate_dpl}: want allowed={want}, got {got:?}"
+                        )
+                    }
+                }
+            }
+        }
+    }
+}
+
+mod machine_fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Total machine: arbitrary bytes executed as ring-3 code always
+        /// produce a defined exit (fault/hook/limit), never a panic, and
+        /// never escalate privilege.
+        #[test]
+        fn prop_random_bytes_never_panic_or_escalate(
+            code in proptest::collection::vec(any::<u8>(), 1..256),
+            regs in proptest::array::uniform8(any::<u32>()),
+        ) {
+            let mut m = Machine::new();
+            let c3 = m.gdt.push(Descriptor::flat_code(3));
+            let d3 = m.gdt.push(Descriptor::flat_data(3));
+            let c0 = m.gdt.push(Descriptor::flat_code(0));
+            let d0 = m.gdt.push(Descriptor::flat_data(0));
+            // Tempting targets exist: a ring-0 code segment, a gate.
+            let _gate = m.gdt.push(Descriptor::call_gate(
+                Selector::new(c0, false, 0),
+                0x5000,
+                0, // DPL 0: unreachable from ring 3
+            ));
+            let _ = d0;
+            m.idt[0x80] = Some(crate::machine::IdtGate { dpl: 3 });
+            m.mem.write_bytes(0x1000, &code);
+            m.force_seg_from_table(SegReg::Cs, Selector::new(c3, false, 3));
+            m.force_seg_from_table(SegReg::Ss, Selector::new(d3, false, 3));
+            m.force_seg_from_table(SegReg::Ds, Selector::new(d3, false, 3));
+            let mut regs = regs;
+            regs[Reg::Esp as usize] = 0x9000;
+            m.cpu.regs = regs;
+            m.cpu.eip = 0x1000;
+
+            // Budgeted run: every step must leave CPL at 3 unless a legal
+            // gate was traversed — and no DPL-3 gate to inner rings exists.
+            for _ in 0..2000 {
+                match m.step() {
+                    None => {
+                        prop_assert_eq!(m.cpu.cpl, 3, "no privilege escalation");
+                    }
+                    Some(Exit::IntHook(0x80)) => {
+                        // Syscall hook: a host kernel would service it;
+                        // terminate the run here.
+                        break;
+                    }
+                    Some(Exit::Fault(_)) | Some(Exit::Hlt) => break,
+                    Some(other) => {
+                        return Err(TestCaseError::fail(format!("odd exit {other:?}")));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn straddling_store_is_atomic_across_a_fault() {
+    // A 4-byte store crossing into an unmapped page must fault without
+    // committing the bytes on the first (mapped) page.
+    let mut m = Machine::new();
+    let code0 = m.gdt.push(Descriptor::flat_code(0));
+    let data0 = m.gdt.push(Descriptor::flat_data(0));
+    let mut fa = crate::mem::FrameAlloc::new(0x10_0000, 0x20_0000);
+    let cr3 = fa.alloc().unwrap();
+    for page in [0x1000u32, 0x7000, 0x2000] {
+        map_page(&mut m.mem, &mut fa, cr3, page, page, pte::RW | pte::US);
+    }
+    // 0x3000 is NOT mapped; the store at 0x2FFE straddles into it.
+    m.mmu.set_cr3(cr3);
+    m.mmu.enabled = true;
+
+    let obj = Assembler::assemble(
+        "mov eax, 0x11223344\n\
+         mov [0x2FFE], eax\n\
+         hlt\n",
+    )
+    .unwrap();
+    m.mem
+        .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code0, false, 0));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data0, false, 0));
+    m.force_seg_from_table(SegReg::Ds, Selector::new(data0, false, 0));
+    m.cpu.set_reg(Reg::Esp, 0x7FF0);
+    m.cpu.eip = 0x1000;
+
+    match m.run(10) {
+        Exit::Fault(f) => assert_eq!(f.vector, Vector::PageFault),
+        other => panic!("expected #PF, got {other:?}"),
+    }
+    assert_eq!(
+        m.mem.read_u16(0x2FFE),
+        0,
+        "no partial bytes escaped the faulting store"
+    );
+}
+
+#[test]
+fn straddling_access_within_mapped_pages_works() {
+    let mut m = flat_machine(
+        "mov eax, 0xAABBCCDD\n\
+         mov [0x2FFE], eax\n\
+         mov ebx, [0x2FFE]\n\
+         hlt\n",
+    );
+    run_to_hlt(&mut m);
+    assert_eq!(m.cpu.reg(Reg::Ebx), 0xAABB_CCDD);
+}
+
+#[test]
+fn condition_codes_match_reference_predicates() {
+    // Exhaustive: every Jcc against every (a, b) in a small grid, checked
+    // against host-side signed/unsigned comparisons after `cmp a, b`.
+    use asm86::isa::Cond;
+    let samples: &[u32] = &[
+        0,
+        1,
+        2,
+        0x7FFF_FFFF,
+        0x8000_0000,
+        0x8000_0001,
+        0xFFFF_FFFE,
+        0xFFFF_FFFF,
+    ];
+    for &a in samples {
+        for &b in samples {
+            let mut m = flat_machine("hlt\n");
+            m.cpu.set_reg(Reg::Eax, a);
+            m.execute(asm86::Insn::Cmp(Reg::Eax, asm86::Src::Imm(b as i32)), 0)
+                .unwrap();
+            let f = m.cpu.flags;
+            let (sa, sb) = (a as i32, b as i32);
+            for c in Cond::ALL {
+                let cpu_taken = match c {
+                    Cond::E => f.zf,
+                    Cond::Ne => !f.zf,
+                    Cond::L => f.sf != f.of,
+                    Cond::Le => f.zf || f.sf != f.of,
+                    Cond::G => !f.zf && f.sf == f.of,
+                    Cond::Ge => f.sf == f.of,
+                    Cond::B => f.cf,
+                    Cond::Be => f.cf || f.zf,
+                    Cond::A => !f.cf && !f.zf,
+                    Cond::Ae => !f.cf,
+                    Cond::S => f.sf,
+                    Cond::Ns => !f.sf,
+                };
+                let want = match c {
+                    Cond::E => a == b,
+                    Cond::Ne => a != b,
+                    Cond::L => sa < sb,
+                    Cond::Le => sa <= sb,
+                    Cond::G => sa > sb,
+                    Cond::Ge => sa >= sb,
+                    Cond::B => a < b,
+                    Cond::Be => a <= b,
+                    Cond::A => a > b,
+                    Cond::Ae => a >= b,
+                    Cond::S => sa.wrapping_sub(sb) < 0,
+                    Cond::Ns => sa.wrapping_sub(sb) >= 0,
+                };
+                assert_eq!(
+                    cpu_taken, want,
+                    "cond {c:?} after cmp {a:#x}, {b:#x} (flags {f:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_to_stops_at_breakpoints() {
+    let mut m = flat_machine(
+        "mov eax, 1\n\
+         mov eax, 2\n\
+         bp:\n\
+         mov eax, 3\n\
+         hlt\n",
+    );
+    // mov = 7 bytes each; breakpoint at the third mov.
+    let bp = 0x1000 + 14;
+    assert_eq!(m.run_to(bp, 100), None, "stopped before executing bp");
+    assert_eq!(m.cpu.reg(Reg::Eax), 2, "two instructions executed");
+    assert_eq!(m.cpu.eip, bp);
+    // Continue to completion.
+    assert_eq!(m.run(10), Exit::Hlt);
+    assert_eq!(m.cpu.reg(Reg::Eax), 3);
+}

@@ -1,0 +1,126 @@
+//! Execution tracing: a bounded ring buffer of retired instructions.
+//!
+//! Off by default (zero overhead beyond a branch); enabled by debuggers
+//! and by the Palladium `segdb` tooling (§6 asks for "segmentation-aware
+//! debuggers" — the trace records the CS selector and CPL alongside each
+//! instruction, so a trace shows *which protection domain* executed what).
+
+use asm86::isa::Insn;
+
+/// One retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// CS selector at execution time.
+    pub cs: u16,
+    /// CPL at execution time.
+    pub cpl: u8,
+    /// EIP of the instruction.
+    pub eip: u32,
+    /// The instruction.
+    pub insn: Insn,
+    /// Machine cycle counter *after* the instruction retired.
+    pub cycles: u64,
+}
+
+/// A bounded execution trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    head: usize,
+    total: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining the most recent `capacity` records.
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            records: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, r: TraceRecord) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() < self.capacity {
+            self.records.push(r);
+        } else {
+            self.records[self.head] = r;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.records.len());
+        out.extend_from_slice(&self.records[self.head..]);
+        out.extend_from_slice(&self.records[..self.head]);
+        out
+    }
+
+    /// Total instructions observed (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm86::isa::{Reg, Src};
+
+    fn rec(eip: u32) -> TraceRecord {
+        TraceRecord {
+            cs: 0x1B,
+            cpl: 3,
+            eip,
+            insn: Insn::Mov(Reg::Eax, Src::Imm(0)),
+            cycles: eip as u64,
+        }
+    }
+
+    #[test]
+    fn retains_most_recent_in_order() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.push(rec(i));
+        }
+        let eips: Vec<u32> = t.records().iter().map(|r| r.eip).collect();
+        assert_eq!(eips, vec![2, 3, 4]);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_keeps_nothing() {
+        let mut t = Trace::new(0);
+        t.push(rec(1));
+        assert!(t.is_empty());
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let mut t = Trace::new(8);
+        t.push(rec(10));
+        t.push(rec(11));
+        let eips: Vec<u32> = t.records().iter().map(|r| r.eip).collect();
+        assert_eq!(eips, vec![10, 11]);
+    }
+}

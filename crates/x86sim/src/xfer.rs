@@ -1,0 +1,278 @@
+//! Far control transfers: `lcall`, `lret`, `int`, `iret`.
+//!
+//! These implement the x86 inter-privilege transfer rules — call gates,
+//! the TSS stack switch, and outward-return data-segment invalidation —
+//! which are exactly the hardware paths Palladium's `Prepare` /
+//! `Transfer` / `AppCallGate` sequences (Figure 6 of the paper) are
+//! built from.
+
+use asm86::isa::{Reg, SegReg};
+
+use crate::cycles::Event;
+use crate::desc::{resolve, CodeSeg, Descriptor, Selector};
+use crate::fault::{Fault, FaultBuilder, FaultCause};
+use crate::machine::{Exit, Machine, SegCache};
+
+impl Machine {
+    fn resolve_code(&self, sel: Selector) -> Result<CodeSeg, FaultBuilder> {
+        match resolve(&self.gdt, self.ldt.as_ref(), sel)? {
+            Descriptor::Code(c) => {
+                if !c.present {
+                    return Err(Fault::np(sel.0));
+                }
+                Ok(c)
+            }
+            _ => Err(Fault::gp(sel.0, FaultCause::BadSegmentType)),
+        }
+    }
+
+    fn cs_cache(&self, sel: Selector, c: &CodeSeg, cpl: u8) -> SegCache {
+        SegCache {
+            selector: sel.with_rpl(cpl),
+            valid: true,
+            base: c.base,
+            limit: c.limit,
+            dpl: c.dpl,
+            code: true,
+            writable: false,
+            readable: c.readable,
+            expand_down: false,
+            conforming: c.conforming,
+        }
+    }
+
+    /// `lcall sel, off` — far call, possibly through a call gate.
+    pub(crate) fn exec_lcall(
+        &mut self,
+        sel: Selector,
+        off: u32,
+        ret_eip: u32,
+    ) -> Result<(), FaultBuilder> {
+        let cpl = self.cpu.cpl;
+        let d = resolve(&self.gdt, self.ldt.as_ref(), sel)?;
+        match d {
+            Descriptor::Code(c) => {
+                if !c.present {
+                    return Err(Fault::np(sel.0));
+                }
+                // Direct far call: no privilege change is ever possible.
+                if c.conforming {
+                    if c.dpl > cpl {
+                        return Err(Fault::gp(
+                            sel.0,
+                            FaultCause::PrivilegeViolation {
+                                cpl,
+                                rpl: sel.rpl(),
+                                dpl: c.dpl,
+                            },
+                        ));
+                    }
+                } else if sel.rpl() > cpl || c.dpl != cpl {
+                    return Err(Fault::gp(
+                        sel.0,
+                        FaultCause::PrivilegeViolation {
+                            cpl,
+                            rpl: sel.rpl(),
+                            dpl: c.dpl,
+                        },
+                    ));
+                }
+                self.charge_event(Event::FarCallDirect);
+                let cs_sel = self.cpu.seg(SegReg::Cs).selector.0;
+                self.push32(cs_sel as u32)?;
+                self.push32(ret_eip)?;
+                self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(sel, &c, cpl);
+                self.cpu.eip = off;
+                Ok(())
+            }
+            Descriptor::Gate(g) => {
+                if !g.present {
+                    return Err(Fault::np(sel.0));
+                }
+                // Gate privilege: max(CPL, RPL) <= gate DPL.
+                if cpl.max(sel.rpl()) > g.dpl {
+                    return Err(Fault::gp(
+                        sel.0,
+                        FaultCause::PrivilegeViolation {
+                            cpl,
+                            rpl: sel.rpl(),
+                            dpl: g.dpl,
+                        },
+                    ));
+                }
+                let target = self.resolve_code(g.selector)?;
+                if target.dpl > cpl {
+                    return Err(Fault::gp(
+                        g.selector.0,
+                        FaultCause::PrivilegeViolation {
+                            cpl,
+                            rpl: g.selector.rpl(),
+                            dpl: target.dpl,
+                        },
+                    ));
+                }
+                if !target.conforming && target.dpl < cpl {
+                    self.gate_call_inner(g.selector, &target, g.offset, g.param_count, ret_eip)
+                } else {
+                    // Same-privilege gate call.
+                    self.charge_event(Event::GateCallSame);
+                    let cs_sel = self.cpu.seg(SegReg::Cs).selector.0;
+                    self.push32(cs_sel as u32)?;
+                    self.push32(ret_eip)?;
+                    self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(g.selector, &target, cpl);
+                    self.cpu.eip = g.offset;
+                    Ok(())
+                }
+            }
+            _ => Err(Fault::gp(sel.0, FaultCause::BadSegmentType)),
+        }
+    }
+
+    /// The inward (more-privileged) gate call with TSS stack switch.
+    fn gate_call_inner(
+        &mut self,
+        target_sel: Selector,
+        target: &CodeSeg,
+        entry: u32,
+        param_count: u8,
+        ret_eip: u32,
+    ) -> Result<(), FaultBuilder> {
+        self.charge_event(Event::GateCallInner);
+        let new_cpl = target.dpl;
+        let (new_ss_sel, new_esp) = self.tss.stack[new_cpl as usize];
+
+        // Validate the inner stack segment before any state changes.
+        let ss_desc = resolve(&self.gdt, self.ldt.as_ref(), new_ss_sel)?;
+        let ss_cache = SegCache::from_descriptor(new_ss_sel, &ss_desc)
+            .ok_or(Fault::ss(new_ss_sel.0, FaultCause::BadSegmentType))?;
+        if ss_cache.code || !ss_cache.writable || ss_cache.dpl != new_cpl {
+            return Err(Fault::ss(new_ss_sel.0, FaultCause::BadSegmentType));
+        }
+
+        // Copy the gate's parameters from the *old* stack before switching.
+        let mut params = Vec::with_capacity(param_count as usize);
+        for i in 0..param_count as u32 {
+            params.push(self.read_data(SegReg::Ss, self.cpu.esp().wrapping_add(4 * i), 4)?);
+        }
+
+        let old_ss = self.cpu.seg(SegReg::Ss).selector.0;
+        let old_esp = self.cpu.esp();
+        let old_cs = self.cpu.seg(SegReg::Cs).selector.0;
+
+        // Switch: the pushes below execute at the *new* CPL, so an inward
+        // call from SPL 3 can push onto a PPL 0 stack page.
+        self.cpu.cpl = new_cpl;
+        self.cpu.segs[SegReg::Ss as usize] = ss_cache;
+        self.cpu.set_reg(Reg::Esp, new_esp);
+
+        self.push32(old_ss as u32)?;
+        self.push32(old_esp)?;
+        for p in params.iter().rev() {
+            self.push32(*p)?;
+        }
+        self.push32(old_cs as u32)?;
+        self.push32(ret_eip)?;
+
+        self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(target_sel, target, new_cpl);
+        self.cpu.eip = entry;
+        Ok(())
+    }
+
+    /// `lret n` — far return, possibly outward to less privileged code.
+    pub(crate) fn exec_lret(&mut self, n: u32) -> Result<(), FaultBuilder> {
+        let cpl = self.cpu.cpl;
+        let ret_eip = self.pop32()?;
+        let ret_cs = Selector(self.pop32()? as u16);
+        let rpl = ret_cs.rpl();
+        if rpl < cpl {
+            return Err(Fault::gp(ret_cs.0, FaultCause::BadTransfer));
+        }
+        let target = self.resolve_code(ret_cs)?;
+        if target.conforming {
+            if target.dpl > rpl {
+                return Err(Fault::gp(ret_cs.0, FaultCause::BadTransfer));
+            }
+        } else if target.dpl != rpl {
+            return Err(Fault::gp(ret_cs.0, FaultCause::BadTransfer));
+        }
+
+        if rpl == cpl {
+            self.charge_event(Event::FarRetSame);
+            let esp = self.cpu.esp().wrapping_add(n);
+            self.cpu.set_reg(Reg::Esp, esp);
+            self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(ret_cs, &target, rpl);
+            self.cpu.eip = ret_eip;
+            return Ok(());
+        }
+
+        // Outward return: release parameters on the inner stack, then pop
+        // the outer SS:ESP that the inward transfer saved.
+        self.charge_event(Event::FarRetOuter);
+        let esp = self.cpu.esp().wrapping_add(n);
+        self.cpu.set_reg(Reg::Esp, esp);
+        let new_esp = self.pop32()?;
+        let new_ss = Selector(self.pop32()? as u16);
+
+        let ss_desc = resolve(&self.gdt, self.ldt.as_ref(), new_ss)?;
+        let ss_cache = SegCache::from_descriptor(new_ss, &ss_desc)
+            .ok_or(Fault::gp(new_ss.0, FaultCause::BadSegmentType))?;
+        if ss_cache.code || !ss_cache.writable || ss_cache.dpl != rpl {
+            return Err(Fault::gp(new_ss.0, FaultCause::BadSegmentType));
+        }
+
+        self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(ret_cs, &target, rpl);
+        self.cpu.cpl = rpl;
+        self.cpu.segs[SegReg::Ss as usize] = ss_cache;
+        self.cpu.set_reg(Reg::Esp, new_esp);
+        self.cpu.eip = ret_eip;
+        self.invalidate_inaccessible_data_segs();
+        Ok(())
+    }
+
+    /// On an outward transfer the hardware nulls DS/ES if they would be
+    /// accessible above the new CPL — preventing a returning outer ring
+    /// from inheriting privileged segment caches.
+    fn invalidate_inaccessible_data_segs(&mut self) {
+        let cpl = self.cpu.cpl;
+        for sr in [SegReg::Ds, SegReg::Es] {
+            let seg = &self.cpu.segs[sr as usize];
+            if seg.valid && !(seg.code && seg.conforming) && seg.dpl < cpl {
+                self.cpu.segs[sr as usize] = SegCache::invalid();
+            }
+        }
+    }
+
+    /// `int vec` — software interrupt. Every IDT vector is a host hook;
+    /// the gate's DPL check still applies (this is what stops SPL 3 code
+    /// invoking ring-0-only vectors).
+    pub(crate) fn exec_int(&mut self, vec: u8, next_eip: u32) -> Result<Exit, FaultBuilder> {
+        let gate = self.idt[vec as usize].ok_or(Fault::gp(
+            (vec as u16) * 8 + 2,
+            FaultCause::BadSelector(vec as u16),
+        ))?;
+        if self.cpu.cpl > gate.dpl {
+            return Err(Fault::gp(
+                (vec as u16) * 8 + 2,
+                FaultCause::PrivilegeViolation {
+                    cpl: self.cpu.cpl,
+                    rpl: 0,
+                    dpl: gate.dpl,
+                },
+            ));
+        }
+        self.charge_event(Event::IntGate);
+        // Leave the CPU at the resume point; the host kernel reads and
+        // writes register state directly while "in ring 0".
+        self.cpu.eip = next_eip;
+        Ok(Exit::IntHook(vec))
+    }
+
+    /// `iret` from guest code.
+    ///
+    /// Guest ring-0 code is never run in this system (the kernel is the
+    /// host), and the transfer stubs return with `lret`, so a guest `iret`
+    /// is rejected as a privileged instruction unless at CPL 0.
+    pub(crate) fn exec_iret(&mut self) -> Result<(), FaultBuilder> {
+        Err(Fault::gp(0, FaultCause::PrivilegedInstruction))
+    }
+}

@@ -1,0 +1,93 @@
+//! The §6 mobile-code system: "downloaded" compiled applets run without
+//! any verification — the hardware contains them — under service
+//! allow-lists, CPU/memory quotas, and three-strikes revocation.
+//!
+//! ```sh
+//! cargo run -p examples --bin mobile_applets
+//! ```
+
+use asm86::Assembler;
+use minikernel::Kernel;
+use palladium::mobile::{AppletHost, AppletOutcome, AppletQuota};
+
+fn main() {
+    let mut k = Kernel::boot();
+    let mut host = AppletHost::new(
+        &mut k,
+        AppletQuota {
+            memory_pages: 16,
+            cycles_per_call: 100_000,
+            max_strikes: 2,
+        },
+    )
+    .expect("host boots");
+    println!("applet host up: libc allow-list, 100k-cycle quota, 2 strikes\n");
+
+    // A well-behaved applet: computes a checksum over a string using the
+    // shared libc it is allowed to import.
+    let good = Assembler::assemble(
+        "applet_main:
+    push dword [esp+4]
+    call strlen
+    add esp, 4
+    imul eax, 31
+    ret
+",
+    )
+    .unwrap();
+    let good_id = host.admit(&mut k, "checksummer", &good).expect("admitted");
+    let shared = host_shared(&mut k, &mut host, b"hello applet\0");
+    match host.invoke(&mut k, good_id, shared) {
+        AppletOutcome::Done(v) => println!("checksummer({shared:#x}) = {v} (12 chars x 31)"),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A corrupted download is refused at admission (integrity, not
+    // safety).
+    let mut corrupt = Assembler::assemble("applet_main:\nret\n").unwrap();
+    corrupt.bytes[0] = 0xEE;
+    println!(
+        "corrupt download: {}",
+        host.admit(&mut k, "noise", &corrupt).unwrap_err()
+    );
+
+    // An applet importing an API outside the allow-list is refused.
+    let sneaky = Assembler::assemble("applet_main:\ncall format_disk\nret\n").unwrap();
+    println!(
+        "sneaky import:    {}",
+        host.admit(&mut k, "sneaky", &sneaky).unwrap_err()
+    );
+
+    // A hostile applet runs — and is contained, struck, and revoked.
+    let hostile = Assembler::assemble(&format!(
+        "applet_main:\nmov eax, 0x41\nmov [{}], eax\nret\n",
+        minikernel::USER_TEXT
+    ))
+    .unwrap();
+    let hostile_id = host.admit(&mut k, "hostile", &hostile).expect("admitted");
+    println!("\nhostile applet admitted (no verification needed!):");
+    for _ in 0..3 {
+        match host.invoke(&mut k, hostile_id, 0) {
+            AppletOutcome::Faulted { strikes, revoked } => {
+                println!("  contained by #PF — strike {strikes}, revoked: {revoked}");
+            }
+            AppletOutcome::Revoked => println!("  already revoked; pages pulled"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // The good applet — and the host — are unaffected.
+    match host.invoke(&mut k, good_id, shared) {
+        AppletOutcome::Done(v) => println!("\ncheck summer still works after the attack: {v}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    let (_, calls, strikes, revoked) = host.status(hostile_id);
+    println!("hostile final status: {calls} completed calls, {strikes} strikes, revoked={revoked}");
+}
+
+/// Puts a string into a shared area the applets can read.
+fn host_shared(k: &mut Kernel, host: &mut AppletHost, s: &[u8]) -> u32 {
+    let addr = host.alloc_shared(k, 1).expect("shared area");
+    assert!(k.m.host_write(addr, s));
+    addr
+}

@@ -1,0 +1,82 @@
+//! Quickstart: load an extension into a protected application, call it,
+//! and watch a misbehaving one get contained.
+//!
+//! ```sh
+//! cargo run -p examples --bin quickstart
+//! ```
+
+use asm86::Assembler;
+use minikernel::Kernel;
+use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
+
+fn main() {
+    // 1. Boot the simulated machine and kernel, and create an extensible
+    //    application: this runs init_PL, promoting the app to SPL 2 and
+    //    demoting its writable pages to PPL 0.
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).expect("boot extensible app");
+    println!("application promoted to SPL 2 (task {})", app.tid);
+
+    // 2. Write an extension in assembly and load it with seg_dlopen. Its
+    //    pages are mapped at PPL 1, visible to both sides.
+    let ext = Assembler::assemble(
+        "; u32 fib(u32 n) — iterative Fibonacci
+fib:
+    mov ecx, [esp+4]
+    mov eax, 0
+    mov edx, 1
+fib_loop:
+    cmp ecx, 0
+    je fib_done
+    mov ebx, eax
+    add ebx, edx
+    mov eax, edx
+    mov edx, ebx
+    dec ecx
+    jmp fib_loop
+fib_done:
+    ret
+",
+    )
+    .expect("extension assembles");
+    let h = app
+        .seg_dlopen(&mut k, &ext, DlOptions::default())
+        .expect("seg_dlopen");
+
+    // 3. seg_dlsym returns a pointer to the generated Prepare routine —
+    //    the only way in. Calling it runs the full Figure 6 sequence
+    //    (lret down to SPL 3, call gate back up) on the simulated CPU.
+    let fib = app.seg_dlsym(&mut k, h, "fib").expect("seg_dlsym");
+    for n in [0u32, 1, 10, 30] {
+        let before = k.m.cycles();
+        let v = app.call_extension(&mut k, fib, n).expect("protected call");
+        println!(
+            "fib({n:>2}) = {v:>6}   [{} simulated cycles]",
+            k.m.cycles() - before
+        );
+    }
+
+    // 4. A buggy extension that scribbles over the application is caught
+    //    by the paging hardware: SIGSEGV, call aborted, app lives on.
+    let evil = Assembler::assemble(&format!(
+        "evil:\nmov eax, 0x41414141\nmov [{}], eax\nret\n",
+        minikernel::USER_TEXT
+    ))
+    .unwrap();
+    let h2 = app.seg_dlopen(&mut k, &evil, DlOptions::default()).unwrap();
+    let evil_fn = app.seg_dlsym(&mut k, h2, "evil").unwrap();
+    match app.call_extension(&mut k, evil_fn, 0) {
+        Err(ExtCallError::Fault { sig, addr }) => {
+            println!("evil extension contained: signal {sig} at {addr:#010x}");
+        }
+        other => panic!("expected containment, got {other:?}"),
+    }
+
+    // 5. The application is unharmed and keeps working.
+    let v = app.call_extension(&mut k, fib, 12).unwrap();
+    println!("after the abort, fib(12) still works: {v}");
+    println!(
+        "totals: {} protected calls, {} aborted",
+        app.calls, app.aborted_calls
+    );
+}

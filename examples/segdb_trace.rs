@@ -1,0 +1,72 @@
+//! The segmentation-aware debugger (§6): trace one protected call and
+//! print a domain-labelled, symbolized disassembly plus the per-SPL
+//! cycle profile.
+//!
+//! ```sh
+//! cargo run -p examples --bin segdb_trace
+//! ```
+
+use asm86::Assembler;
+use minikernel::Kernel;
+use palladium::segdb::SegDb;
+use palladium::user_ext::{DlOptions, ExtensibleApp};
+
+fn main() {
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).expect("app");
+
+    let ext = Assembler::assemble(
+        "; sum of the first n integers
+sum_to:
+    mov ecx, [esp+4]
+    mov eax, 0
+sum_loop:
+    cmp ecx, 0
+    je sum_done
+    add eax, ecx
+    dec ecx
+    jmp sum_loop
+sum_done:
+    ret
+",
+    )
+    .unwrap();
+    let h = app.seg_dlopen(&mut k, &ext, DlOptions::default()).unwrap();
+    let f = app.seg_dlsym(&mut k, h, "sum_to").unwrap();
+    app.call_extension(&mut k, f, 3).unwrap(); // warm
+
+    // Trace one warm call.
+    k.m.enable_trace(512);
+    let r = app.call_extension(&mut k, f, 3).unwrap();
+    let trace = k.m.disable_trace().unwrap();
+    println!("sum_to(3) = {r}\n");
+
+    // Symbolize: the extension, its trampolines, and the app runtime.
+    let mut db = SegDb::new();
+    let sum_addr = app.dlsym(h, "sum_to").unwrap();
+    let obj_syms = ext
+        .symbols
+        .iter()
+        .map(|(s, off)| (s.clone(), sum_addr + off))
+        .collect::<Vec<_>>();
+    db.add_region("ext:sum", sum_addr, sum_addr + ext.len() as u32, obj_syms);
+    let (prep, transfer) = app.trampoline_addrs(h, "sum_to").unwrap();
+    db.add_region(
+        "trampoline",
+        prep.min(transfer) & !0xFFF,
+        (prep.max(transfer) | 0xFFF) + 1,
+        vec![
+            ("Prepare".to_string(), prep),
+            ("Transfer".to_string(), transfer),
+            ("AppCallGate".to_string(), app.app_callgate_addr()),
+            ("invoke_stub".to_string(), app.invoke_stub_addr()),
+        ],
+    );
+
+    println!("{}", db.format_trace(&trace));
+    println!("protection-domain crossings: {}", SegDb::crossings(&trace));
+    println!("cycles per domain:");
+    for (cpl, cycles) in SegDb::domain_profile(&trace) {
+        println!("  {:<12} {:>5} cycles", SegDb::domain(cpl), cycles);
+    }
+}

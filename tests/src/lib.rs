@@ -1,0 +1,11 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use asm86::{Assembler, Object};
+
+/// Assembles or panics with the source attached.
+pub fn asm(src: &str) -> Object {
+    match Assembler::assemble(src) {
+        Ok(o) => o,
+        Err(e) => panic!("assembly failed: {e}\n--- source ---\n{src}"),
+    }
+}

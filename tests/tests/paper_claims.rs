@@ -1,0 +1,212 @@
+//! The paper's headline claims, asserted end to end against the
+//! reproduction (the EXPERIMENTS.md index points here).
+
+use bench::{measure_figure7, measure_micro, measure_table1, measure_table2, measure_table3};
+use webserver::ExecModel;
+
+#[test]
+fn abstract_claim_protected_call_costs_142_cycles() {
+    // "a protected procedure call and return costs 142 CPU cycles on a
+    // Pentium 200MHz machine running Linux."
+    let (inter, intra, _) = measure_table1().totals();
+    assert_eq!(inter, 142);
+    assert_eq!(intra, 10);
+}
+
+#[test]
+fn table1_rows_match_exactly() {
+    let t = measure_table1();
+    let paper = [
+        ("Setting up stack", 26u64, 2u64, 5u64),
+        ("Calling function", 34, 3, 22),
+        ("Returning to caller", 75, 3, 44),
+        ("Restoring state", 7, 2, 5),
+    ];
+    for (row, (name, inter, intra, hw)) in t.rows.iter().zip(paper) {
+        assert_eq!(row.name, name);
+        assert_eq!(row.inter, inter, "{name} inter");
+        assert_eq!(row.intra, intra, "{name} intra");
+        // The hardware column is analytic; within a cycle of the paper's.
+        assert!(
+            (row.hardware - hw as f64).abs() <= 1.0,
+            "{name} hardware {} vs {hw}",
+            row.hardware
+        );
+    }
+}
+
+#[test]
+fn section51_palladium_beats_l4_by_100_cycles_with_half_the_crossings() {
+    use baselines::ipc;
+    assert_eq!(ipc::l4().cycles - ipc::palladium().cycles, 100);
+    assert_eq!(ipc::palladium().crossings, 2);
+    assert_eq!(ipc::l4().crossings, 4);
+}
+
+#[test]
+fn table2_constant_protection_delta_and_rpc_gap() {
+    let rows = measure_table2();
+    // "The performance difference between an unprotected procedure call
+    // and a Palladium's protected remains largely constant, about 118
+    // cycles" — ours is the full 142-cycle mechanism minus the shared
+    // call overhead; assert it is constant across sizes and in the
+    // 100-250 cycle band.
+    let deltas: Vec<f64> = rows
+        .iter()
+        .map(|r| (r.palladium_us - r.unprotected_us) * 200.0)
+        .collect();
+    for d in &deltas {
+        assert!((100.0..250.0).contains(d), "delta {d} cycles");
+    }
+    let spread = deltas
+        .iter()
+        .fold(0.0f64, |m, d| m.max((d - deltas[0]).abs()));
+    assert!(spread < 2.0, "constant across sizes (spread {spread})");
+
+    // "more than two orders of magnitude slower ... when the input size
+    // is 32 bytes" and "about 14 times slower" at 256 bytes.
+    assert!(rows[0].rpc_us / rows[0].palladium_us > 100.0);
+    let ratio256 = rows[3].rpc_us / rows[3].palladium_us;
+    assert!((8.0..40.0).contains(&ratio256), "got {ratio256}");
+}
+
+#[test]
+fn table3_claims() {
+    let (rows, _) = measure_table3();
+    let idx = |m: ExecModel| ExecModel::ALL.iter().position(|x| *x == m).unwrap();
+    for r in &rows {
+        let prot = r.rps[idx(ExecModel::LibCgiProtected)];
+        let unprot = r.rps[idx(ExecModel::LibCgiUnprotected)];
+        let stat = r.rps[idx(ExecModel::StaticFile)];
+        let fast = r.rps[idx(ExecModel::FastCgi)];
+        // "unprotected LibCGI and protected LibCGI are within 3% and 5%
+        // of the bound, respectively."
+        assert!(unprot / stat > 0.95, "{}: unprotected near bound", r.size);
+        assert!(prot / stat > 0.93, "{}: protected near bound", r.size);
+        // "In all cases, protected LibCGI performs within 4% of
+        // unprotected LibCGI."
+        assert!((unprot - prot) / unprot < 0.04, "{}: 4% claim", r.size);
+        // "protected LibCGI is at least twice as fast as FastCGI for
+        // data size smaller than 10 KBytes."
+        if r.size < 10 * 1024 {
+            assert!(prot >= 2.0 * fast, "{}: 2x FastCGI claim", r.size);
+        }
+    }
+}
+
+#[test]
+fn figure7_claims() {
+    let pts = measure_figure7();
+    // "Beyond a fixed invocation overhead, the performance overhead of
+    // the kernel-extension-based packet filter increases with a very
+    // small slope."
+    let pd_slope = (pts[4].palladium_cycles - pts[0].palladium_cycles) as f64 / 4.0;
+    assert!(pd_slope < 10.0, "compiled slope {pd_slope}");
+    // "BPF's interpretation overhead increases significantly."
+    let bpf_slope = (pts[4].bpf_cycles - pts[0].bpf_cycles) as f64 / 4.0;
+    assert!(bpf_slope > 50.0, "interpreted slope {bpf_slope}");
+    // "When the number of terms in the filter rule is 4, the
+    // extension-based packet filter is more than twice as fast."
+    assert!(pts[4].bpf_cycles >= 2 * pts[4].palladium_cycles);
+}
+
+#[test]
+fn section5_micro_claims() {
+    let m = measure_micro();
+    assert_eq!(m.seg_load_cycles, 12, "12-cycle segment load");
+    assert!(m.seg_load_documented <= 3.0, "manual says 2-3");
+    assert_eq!(m.sigsegv_cycles, 3_325, "SIGSEGV delivery");
+    assert_eq!(m.kext_abort_cycles, 1_020, "kernel-extension abort");
+    // "dlopen and seg_dlopen take 400 usec and 420 usec" — the marking
+    // cost is "completely overshadowed by the dynamic library open cost".
+    assert!((m.dlopen_us - 400.0).abs() < 40.0);
+    assert!((m.seg_dlopen_us - 420.0).abs() < 40.0);
+    let marking_share = (m.seg_dlopen_us - m.dlopen_us) / m.seg_dlopen_us;
+    assert!(
+        marking_share < 0.10,
+        "marking overshadowed: {marking_share}"
+    );
+}
+
+#[test]
+fn protection_overhead_is_independent_of_extension_work() {
+    // §2.3: "Hardware-based protection mechanisms do not incur
+    // per-instruction overhead... The cost of invoking an extension is
+    // typically a one-time cost associated with each protection-domain
+    // crossing." Measure (protected - unprotected) for extension bodies
+    // of widely varying size: the delta must be a constant.
+    use asm86::Assembler;
+    use minikernel::Kernel;
+    use palladium::user_ext::{DlOptions, ExtensibleApp};
+
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).unwrap();
+    let mut deltas = Vec::new();
+
+    for body_len in [1usize, 16, 128, 512] {
+        let mut src = String::from("work:\n");
+        for i in 0..body_len {
+            src.push_str(&format!("add eax, {i}\n"));
+        }
+        src.push_str("ret\n");
+        let obj = Assembler::assemble(&src).unwrap();
+
+        // Protected: as an extension.
+        let h = app.seg_dlopen(&mut k, &obj, DlOptions::default()).unwrap();
+        let prot = app.seg_dlsym(&mut k, h, "work").unwrap();
+        // Unprotected: same code as application-resident.
+        let unprot = app.install_app_code(&mut k, &obj).unwrap()["work"];
+
+        let warm = |k: &mut Kernel, app: &mut ExtensibleApp, f: u32| {
+            app.call_extension(k, f, 0).unwrap();
+            let a = k.m.cycles();
+            app.call_extension(k, f, 0).unwrap();
+            k.m.cycles() - a
+        };
+        let p = warm(&mut k, &mut app, prot);
+        let u = warm(&mut k, &mut app, unprot);
+        deltas.push(p - u);
+    }
+
+    // All deltas equal: the crossing is a one-time cost.
+    assert!(
+        deltas.windows(2).all(|w| w[0] == w[1]),
+        "constant crossing cost, got {deltas:?}"
+    );
+    // And it is the Figure 6 mechanism cost. (Table 1's 142 - 10 = 132
+    // compares against an unprotected callee with a frame prologue and
+    // caller cleanup; this harness uses a bare `ret` callee on both
+    // sides, leaving those 3 cycles in the delta.)
+    assert_eq!(deltas[0], 135, "the constant protection premium");
+}
+
+#[test]
+fn sfi_overhead_scales_with_work_unlike_palladium() {
+    // The other half of §2.3: software sandboxing taxes every memory
+    // operation, so its overhead grows with the body.
+    use asm86::isa::{Insn, Mem, Reg, Src};
+    use baselines::sfi::{rewrite, Sandbox, SfiPolicy};
+    use x86sim::cycles::measured_cost;
+
+    let sb = Sandbox {
+        base: 0x0010_0000,
+        size: 0x1_0000,
+    };
+    let cost = |insns: &[Insn]| -> u64 { insns.iter().map(measured_cost).sum() };
+    let mut overheads = Vec::new();
+    for n in [4usize, 32, 256] {
+        let mut body = Vec::new();
+        for i in 0..n {
+            body.push(Insn::Store(
+                Mem::abs(0x0010_0000 + 4 * i as u32),
+                Src::Reg(Reg::Eax),
+            ));
+        }
+        let (safe, _) = rewrite(&body, &sb, SfiPolicy::WriteProtect).unwrap();
+        overheads.push(cost(&safe) - cost(&body));
+    }
+    assert!(
+        overheads.windows(2).all(|w| w[1] > w[0] * 4),
+        "SFI tax grows with the body: {overheads:?}"
+    );
+}

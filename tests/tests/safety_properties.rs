@@ -1,0 +1,219 @@
+//! Property-based safety tests: the paper's protection guarantees hold
+//! for *adversarial, randomly generated* extensions, not just the
+//! hand-written ones.
+
+use proptest::prelude::*;
+
+use asm86::isa::{AluOp, Insn, Mem, Reg, Src};
+use asm86::obj::Object;
+use minikernel::{Kernel, USER_TEXT};
+use netfilter::{paper_conjunction, Filter, Term, Test as FTest, Width};
+use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(|v| Reg::from_u8(v).unwrap())
+}
+
+/// Addresses an adversarial extension might aim at: the application
+/// image, the kernel, the trampolines, its own region, wild values.
+fn arb_target() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        Just(USER_TEXT),
+        Just(USER_TEXT + 0x400),
+        Just(0xD000_0000u32),
+        Just(0xC000_0000u32),
+        Just(0xBFFE_8000u32),
+        0x4000_0000u32..0x4002_0000,
+        any::<u32>(),
+    ]
+}
+
+/// Random straight-line-ish extension code: moves, ALU, stack ops, loads
+/// and stores at adversarial addresses, the occasional syscall attempt.
+fn arb_ext_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_reg(), any::<i32>()).prop_map(|(r, v)| Insn::Mov(r, Src::Imm(v))),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Mov(a, Src::Reg(b))),
+        (arb_reg(), arb_target()).prop_map(|(r, t)| Insn::Load(r, Mem::abs(t))),
+        (arb_target(), arb_reg()).prop_map(|(t, r)| Insn::Store(Mem::abs(t), Src::Reg(r))),
+        (arb_reg(), arb_target()).prop_map(|(r, t)| Insn::LoadB(r, Mem::abs(t))),
+        (arb_target(), arb_reg()).prop_map(|(t, r)| Insn::StoreB(Mem::abs(t), r)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, v)| Insn::Alu(AluOp::Add, r, Src::Imm(v))),
+        (arb_reg(), any::<i32>()).prop_map(|(r, v)| Insn::Alu(AluOp::Xor, r, Src::Imm(v))),
+        arb_reg().prop_map(|r| Insn::Push(Src::Reg(r))),
+        arb_reg().prop_map(Insn::Pop),
+        Just(Insn::Int(0x80)),
+        Just(Insn::Int(0x81)),
+        Just(Insn::Hlt),
+        Just(Insn::Iret),
+        // Forged far transfers at interesting selectors.
+        (any::<u16>()).prop_map(|s| Insn::Lcall(s, 0)),
+        Just(Insn::Lret),
+    ]
+}
+
+fn ext_object(body: &[Insn]) -> Object {
+    let mut code = body.to_vec();
+    code.push(Insn::Ret);
+    let mut b = asm86::CodeBuilder::new();
+    b.label("entry").unwrap();
+    for i in &code {
+        b.emit(*i);
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// THE core claim: no randomly generated extension can modify
+    /// application memory, and the application survives whatever the
+    /// extension does.
+    #[test]
+    fn prop_random_extensions_are_contained(
+        body in proptest::collection::vec(arb_ext_insn(), 0..24),
+    ) {
+        let mut k = Kernel::boot();
+        k.extension_cycle_limit = 200_000;
+        let mut app = ExtensibleApp::new(&mut k).unwrap();
+        let h = app.seg_dlopen(&mut k, &ext_object(&body), DlOptions::default()).unwrap();
+        let f = app.seg_dlsym(&mut k, h, "entry").unwrap();
+
+        // Snapshot application-private memory (the image page).
+        let before_text = k.m.host_read(USER_TEXT, 4096);
+
+        let result = app.call_extension(&mut k, f, 0x1234_5678);
+
+        // Whatever happened, the app's memory is intact.
+        let after_text = k.m.host_read(USER_TEXT, 4096);
+        prop_assert_eq!(before_text, after_text, "application image untouched");
+
+        // And the outcome is one of the defined, recoverable ones.
+        match result {
+            Ok(_) | Err(ExtCallError::Fault { .. }) | Err(ExtCallError::TimeLimit) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("bad outcome: {other}"))),
+        }
+
+        // The application still works: load and run a known-good
+        // extension afterwards.
+        let h2 = app
+            .seg_dlopen(
+                &mut k,
+                &ext_object(&[Insn::Mov(Reg::Eax, Src::Imm(77))]),
+                DlOptions::default(),
+            )
+            .unwrap();
+        let ok = app.seg_dlsym(&mut k, h2, "entry").unwrap();
+        prop_assert_eq!(app.call_extension(&mut k, ok, 0).unwrap(), 77);
+    }
+
+    /// Kernel extensions: random code can never write kernel memory
+    /// outside its segment.
+    #[test]
+    fn prop_random_kernel_extensions_are_confined(
+        body in proptest::collection::vec(arb_ext_insn(), 0..20),
+    ) {
+        use palladium::kernel_ext::KernelExtensions;
+
+        let mut k = Kernel::boot();
+        k.extension_cycle_limit = 200_000;
+        let mut kx = KernelExtensions::new(&mut k).unwrap();
+        let seg = kx.create_segment(&mut k, 8).unwrap();
+        let obj = ext_object(&body);
+        kx.insmod(&mut k, seg, "rnd", &obj, &["entry"]).unwrap();
+
+        // Canary in kernel memory outside the segment.
+        let canary = k.alloc_kernel_pages(1).unwrap();
+        k.m.host_write_u32(canary, 0xC0FFEE);
+
+        let _ = kx.invoke(&mut k, seg, "entry", 7);
+
+        prop_assert_eq!(k.m.host_read_u32(canary), 0xC0FFEE, "kernel memory intact");
+    }
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    let width = prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4)];
+    let test = prop_oneof![
+        (0u32..0x100).prop_map(FTest::Eq),
+        (0u32..0x100, 0u32..0x100).prop_map(|(m, v)| FTest::Masked(m, v & m)),
+        (0u32..0x100).prop_map(FTest::Gt),
+    ];
+    (0u32..56, width, test).prop_map(|(offset, width, test)| Term {
+        offset,
+        width,
+        test,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Three-way agreement: the host expression evaluator, the BPF
+    /// translation (on the guest interpreter), and the compiled
+    /// extension all decide identically on random filters and packets.
+    #[test]
+    fn prop_filter_evaluators_agree(
+        terms in proptest::collection::vec(arb_term(), 0..4),
+        payload in proptest::collection::vec(any::<u8>(), 30..80),
+    ) {
+        let f = Filter { terms };
+        let mut b = netfilter::FilterBench::new().unwrap();
+        b.install_compiled(&f).unwrap();
+
+        // Build a packet with random payload bytes over real headers.
+        let mut pkt = netfilter::reference_packet(64);
+        for (dst, src) in pkt.iter_mut().zip(&payload) {
+            *dst ^= *src & 0x0F; // perturb, keeping it a plausible packet
+        }
+
+        let want = f.eval(&pkt);
+        let compiled = b.run_compiled(&pkt).unwrap();
+        let interp = b.run_bpf(&f, &pkt).unwrap();
+        prop_assert_eq!(compiled.accept, want, "compiled agrees");
+        prop_assert_eq!(interp.accept, want, "interpreter agrees");
+    }
+}
+
+#[test]
+fn sealed_got_property_over_all_extensions() {
+    // For every libc-importing extension, the GOT is read-only after
+    // load: a direct check on the PTE, complementing the behavioural
+    // test.
+    use x86sim::paging::{get_pte, pte};
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).unwrap();
+    app.load_libc(&mut k).unwrap();
+    for i in 0..4 {
+        let src = format!("f{i}:\ncall strlen\nret\n");
+        let h = app
+            .seg_dlopen(&mut k, &integration::asm(&src), DlOptions::default())
+            .unwrap();
+        let got = app.got_page(h).unwrap().expect("GOT");
+        let cr3 = k.task(app.tid).cr3;
+        let p = get_pte(&k.m.mem, cr3, got).unwrap();
+        assert_eq!(p & pte::RW, 0, "GOT {i} sealed");
+        assert_ne!(p & pte::US, 0, "GOT {i} readable by extensions");
+    }
+}
+
+#[test]
+fn figure7_shape_is_stable_across_packets() {
+    // The Figure 7 relationship is not an artifact of one packet.
+    for pkt in netfilter::traffic(5, 6, 1.0) {
+        let f = paper_conjunction(4);
+        let mut b = netfilter::FilterBench::new().unwrap();
+        b.install_compiled(&f).unwrap();
+        b.run_compiled(&pkt).unwrap();
+        b.run_bpf(&f, &pkt).unwrap();
+        let c = b.run_compiled(&pkt).unwrap();
+        let i = b.run_bpf(&f, &pkt).unwrap();
+        assert!(c.accept && i.accept);
+        assert!(
+            i.cycles >= 2 * c.cycles,
+            "bpf {} vs pd {}",
+            i.cycles,
+            c.cycles
+        );
+    }
+}

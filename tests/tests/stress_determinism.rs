@@ -1,0 +1,80 @@
+//! Stress and determinism: many extensions, many calls, interleaved
+//! faults — and the whole simulation reproduces cycle-exactly.
+
+use integration::asm;
+use minikernel::{Kernel, USER_TEXT};
+use palladium::segdb::SegDb;
+use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
+
+/// Runs a mixed workload and returns (final cycle counter, checksum of
+/// all results, aborted calls).
+fn mixed_workload(seed_calls: u32) -> (u64, u64, u64) {
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).unwrap();
+    app.load_libc(&mut k).unwrap();
+
+    // Five extensions with different characters.
+    let sources = [
+        "f:\nmov eax, [esp+4]\nadd eax, 3\nret\n",
+        "f:\nmov eax, [esp+4]\nimul eax, 7\nret\n",
+        "f:\nmov ecx, [esp+4]\nmov eax, 0\nl:\ncmp ecx, 0\nje d\nadd eax, ecx\ndec ecx\njmp l\nd:\nret\n",
+        // Faulty: pokes the app image.
+        &format!("f:\nmov eax, 1\nmov [{USER_TEXT}], eax\nret\n"),
+        // Slow but legal.
+        "f:\nmov ecx, 200\ns:\ndec ecx\ncmp ecx, 0\njne s\nmov eax, [esp+4]\nret\n",
+    ];
+    let mut preps = Vec::new();
+    for src in sources {
+        let h = app
+            .seg_dlopen(&mut k, &asm(src), DlOptions::default())
+            .unwrap();
+        preps.push(app.seg_dlsym(&mut k, h, "f").unwrap());
+    }
+
+    let mut checksum = 0u64;
+    for i in 0..seed_calls {
+        let which = (i % 5) as usize;
+        match app.call_extension(&mut k, preps[which], i) {
+            Ok(v) => checksum = checksum.wrapping_mul(31).wrapping_add(v as u64),
+            Err(ExtCallError::Fault { .. }) => checksum = checksum.wrapping_add(0xF),
+            Err(e) => panic!("unexpected failure at call {i}: {e}"),
+        }
+    }
+    (k.m.cycles(), checksum, app.aborted_calls)
+}
+
+#[test]
+fn four_hundred_mixed_calls_with_interleaved_faults() {
+    let (_, checksum, aborted) = mixed_workload(400);
+    // Every fifth call faults (the poking extension).
+    assert_eq!(aborted, 80);
+    assert_ne!(checksum, 0);
+}
+
+#[test]
+fn whole_simulation_is_cycle_deterministic() {
+    let a = mixed_workload(120);
+    let b = mixed_workload(120);
+    assert_eq!(a, b, "identical runs, identical cycles and results");
+}
+
+#[test]
+fn trace_profile_cross_validates_table1_domain_split() {
+    // Independent cross-check of Table 1: the per-domain cycle profile of
+    // a traced protected call must match the phase decomposition. The
+    // SPL 3 side executes exactly Transfer's call (3), the extension's
+    // ret (3) and the gate lcall (72) = 78 cycles.
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).unwrap();
+    let h = app
+        .seg_dlopen(&mut k, &asm("f:\nret\n"), DlOptions::default())
+        .unwrap();
+    let f = app.seg_dlsym(&mut k, h, "f").unwrap();
+    app.call_extension(&mut k, f, 0).unwrap();
+
+    k.m.enable_trace(128);
+    app.call_extension(&mut k, f, 0).unwrap();
+    let trace = k.m.disable_trace().unwrap();
+    let profile = SegDb::domain_profile(&trace);
+    assert_eq!(profile[&3], 78, "SPL 3 = call + ret + gate lcall");
+}
