@@ -450,7 +450,7 @@ impl Assembler {
                         let v = p.signed_number()?;
                         match name {
                             ".db" => {
-                                self.builder.bytes(&[(v as i64 & 0xFF) as u8]);
+                                self.builder.bytes(&[(v & 0xFF) as u8]);
                             }
                             ".dw" => {
                                 self.builder.bytes(&(v as u16).to_le_bytes());

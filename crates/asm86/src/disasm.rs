@@ -153,75 +153,94 @@ mod roundtrip_props {
     use crate::asm::Assembler;
     use crate::encode::encode_program;
     use crate::isa::{AluOp, Cond, Mem, Reg, SegReg, Src};
-    use proptest::prelude::*;
+    use seedrng::SeedRng;
     use std::collections::BTreeMap;
 
-    fn arb_reg() -> impl Strategy<Value = Reg> {
-        (0u8..8).prop_map(|v| Reg::from_u8(v).unwrap())
+    fn arb_reg(r: &mut SeedRng) -> Reg {
+        Reg::from_u8(r.gen_range(0, 8) as u8).unwrap()
     }
 
-    fn arb_segreg() -> impl Strategy<Value = SegReg> {
-        (0u8..4).prop_map(|v| SegReg::from_u8(v).unwrap())
+    fn arb_segreg(r: &mut SeedRng) -> SegReg {
+        SegReg::from_u8(r.gen_range(0, 4) as u8).unwrap()
     }
 
-    fn arb_mem() -> impl Strategy<Value = Mem> {
-        (
-            proptest::option::of(arb_segreg()),
-            proptest::option::of(arb_reg()),
-            -0x1000i32..0x1000,
-        )
-            .prop_map(|(seg, base, disp)| Mem { seg, base, disp })
+    fn arb_mem(r: &mut SeedRng) -> Mem {
+        Mem {
+            seg: if r.gen_bool(0.5) {
+                Some(arb_segreg(r))
+            } else {
+                None
+            },
+            base: if r.gen_bool(0.5) {
+                Some(arb_reg(r))
+            } else {
+                None
+            },
+            disp: r.gen_range(0, 0x2000) as i32 - 0x1000,
+        }
+    }
+
+    fn arb_src(r: &mut SeedRng) -> Src {
+        if r.gen_bool(0.5) {
+            Src::Reg(arb_reg(r))
+        } else {
+            Src::Imm(r.gen_range(0, 0x20000) as i32 - 0x10000)
+        }
     }
 
     /// Instructions whose printed form the assembler accepts verbatim
     /// (branches print raw displacements, which the text syntax expresses
     /// through labels instead, so they are excluded).
-    fn arb_printable() -> impl Strategy<Value = Insn> {
-        let alu = (0u8..9).prop_map(|v| AluOp::from_u8(v).unwrap());
-        let src = prop_oneof![
-            arb_reg().prop_map(Src::Reg),
-            (-0x10000i32..0x10000).prop_map(Src::Imm)
-        ];
-        prop_oneof![
-            Just(Insn::Nop),
-            Just(Insn::Hlt),
-            Just(Insn::Ret),
-            Just(Insn::Rdtsc),
-            (arb_reg(), src.clone()).prop_map(|(r, s)| Insn::Mov(r, s)),
-            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::Load(r, m)),
-            (arb_mem(), src.clone()).prop_map(|(m, s)| Insn::Store(m, s)),
-            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::LoadB(r, m)),
-            (arb_mem(), arb_reg()).prop_map(|(m, r)| Insn::StoreB(m, r)),
-            (
-                arb_segreg().prop_filter("cs unloadable", |s| *s != SegReg::Cs),
-                arb_reg()
-            )
-                .prop_map(|(s, r)| Insn::MovToSeg(s, r)),
-            (arb_reg(), arb_segreg()).prop_map(|(r, s)| Insn::MovFromSeg(r, s)),
-            (alu, arb_reg(), src).prop_map(|(o, r, s)| Insn::Alu(o, r, s)),
-            arb_reg().prop_map(Insn::Pop),
-            arb_reg().prop_map(|r| Insn::Push(Src::Reg(r))),
-            arb_segreg().prop_map(Insn::PushSeg),
-            arb_mem().prop_map(Insn::PushM),
-            arb_mem().prop_map(Insn::PopM),
-            (0u16..0x100).prop_map(Insn::RetN),
-            any::<u8>().prop_map(Insn::Int),
-            Just(Insn::Lret),
-        ]
+    fn arb_printable(r: &mut SeedRng) -> Insn {
+        match r.gen_range(0, 19) {
+            0 => Insn::Nop,
+            1 => Insn::Hlt,
+            2 => Insn::Ret,
+            3 => Insn::Rdtsc,
+            4 => Insn::Mov(arb_reg(r), arb_src(r)),
+            5 => Insn::Load(arb_reg(r), arb_mem(r)),
+            6 => Insn::Store(arb_mem(r), arb_src(r)),
+            7 => Insn::LoadB(arb_reg(r), arb_mem(r)),
+            8 => Insn::StoreB(arb_mem(r), arb_reg(r)),
+            9 => {
+                let mut s = arb_segreg(r);
+                if s == SegReg::Cs {
+                    s = SegReg::Ds; // cs is unloadable
+                }
+                Insn::MovToSeg(s, arb_reg(r))
+            }
+            10 => Insn::MovFromSeg(arb_reg(r), arb_segreg(r)),
+            11 => Insn::Alu(
+                AluOp::from_u8(r.gen_range(0, 9) as u8).unwrap(),
+                arb_reg(r),
+                arb_src(r),
+            ),
+            12 => Insn::Pop(arb_reg(r)),
+            13 => Insn::Push(Src::Reg(arb_reg(r))),
+            14 => Insn::PushSeg(arb_segreg(r)),
+            15 => Insn::PushM(arb_mem(r)),
+            16 => Insn::PopM(arb_mem(r)),
+            17 => Insn::RetN(r.gen_range(0, 0x100) as u16),
+            _ => Insn::Int(r.next_u32() as u8),
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        /// Disassembling then re-assembling reproduces the exact encoding
-        /// for every printable instruction.
-        #[test]
-        fn prop_disasm_asm_roundtrip(prog in proptest::collection::vec(arb_printable(), 1..16)) {
+    /// Disassembling then re-assembling reproduces the exact encoding
+    /// for every printable instruction.
+    #[test]
+    fn seeded_disasm_asm_roundtrip() {
+        let mut r = SeedRng::new(0xD15A);
+        for _ in 0..150 {
+            let n = 1 + r.gen_range(0, 15) as usize;
+            let prog: Vec<Insn> = (0..n).map(|_| arb_printable(&mut r)).collect();
             let bytes = encode_program(&prog);
-            let text: String = prog.iter().map(|i| format!("{}\n", format_insn(i))).collect();
-            let obj = Assembler::assemble(&text)
-                .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+            let text: String = prog
+                .iter()
+                .map(|i| format!("{}\n", format_insn(i)))
+                .collect();
+            let obj = Assembler::assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
             let relinked = obj.link(0, &BTreeMap::new()).unwrap();
-            prop_assert_eq!(relinked, bytes, "{}", text);
+            assert_eq!(relinked, bytes, "{text}");
         }
     }
 

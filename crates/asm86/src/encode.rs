@@ -452,7 +452,7 @@ pub fn decode_program(buf: &[u8]) -> Result<Vec<Insn>, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use seedrng::SeedRng;
 
     fn sample_insns() -> Vec<Insn> {
         use crate::isa::Reg::*;
@@ -541,84 +541,106 @@ mod tests {
         assert_eq!(decode(&[]).unwrap_err(), DecodeError::Truncated);
     }
 
-    fn arb_reg() -> impl Strategy<Value = Reg> {
-        (0u8..8).prop_map(|v| Reg::from_u8(v).unwrap())
+    fn arb_reg(r: &mut SeedRng) -> Reg {
+        Reg::from_u8(r.gen_range(0, 8) as u8).unwrap()
     }
 
-    fn arb_segreg() -> impl Strategy<Value = SegReg> {
-        (0u8..4).prop_map(|v| SegReg::from_u8(v).unwrap())
+    fn arb_segreg(r: &mut SeedRng) -> SegReg {
+        SegReg::from_u8(r.gen_range(0, 4) as u8).unwrap()
     }
 
-    fn arb_src() -> impl Strategy<Value = Src> {
-        prop_oneof![
-            arb_reg().prop_map(Src::Reg),
-            any::<i32>().prop_map(Src::Imm)
-        ]
+    fn arb_i32(r: &mut SeedRng) -> i32 {
+        r.next_u32() as i32
     }
 
-    fn arb_mem() -> impl Strategy<Value = Mem> {
-        (
-            proptest::option::of(arb_segreg()),
-            proptest::option::of(arb_reg()),
-            any::<i32>(),
-        )
-            .prop_map(|(seg, base, disp)| Mem { seg, base, disp })
+    fn arb_src(r: &mut SeedRng) -> Src {
+        if r.gen_bool(0.5) {
+            Src::Reg(arb_reg(r))
+        } else {
+            Src::Imm(arb_i32(r))
+        }
     }
 
-    fn arb_insn() -> impl Strategy<Value = Insn> {
-        let alu = (0u8..9).prop_map(|v| AluOp::from_u8(v).unwrap());
-        let cond = (0u8..12).prop_map(|v| Cond::from_u8(v).unwrap());
-        prop_oneof![
-            Just(Insn::Nop),
-            Just(Insn::Hlt),
-            (arb_reg(), arb_src()).prop_map(|(r, s)| Insn::Mov(r, s)),
-            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::Load(r, m)),
-            (arb_mem(), arb_src()).prop_map(|(m, s)| Insn::Store(m, s)),
-            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::LoadB(r, m)),
-            (arb_mem(), arb_reg()).prop_map(|(m, r)| Insn::StoreB(m, r)),
-            (arb_segreg(), arb_reg()).prop_map(|(s, r)| Insn::MovToSeg(s, r)),
-            (arb_reg(), arb_segreg()).prop_map(|(r, s)| Insn::MovFromSeg(r, s)),
-            (arb_reg(), arb_mem()).prop_map(|(r, m)| Insn::Lea(r, m)),
-            arb_src().prop_map(Insn::Push),
-            arb_mem().prop_map(Insn::PushM),
-            arb_segreg().prop_map(Insn::PushSeg),
-            arb_reg().prop_map(Insn::Pop),
-            arb_mem().prop_map(Insn::PopM),
-            arb_segreg().prop_map(Insn::PopSeg),
-            (alu.clone(), arb_reg(), arb_src()).prop_map(|(o, r, s)| Insn::Alu(o, r, s)),
-            (alu, arb_reg(), arb_mem()).prop_map(|(o, r, m)| Insn::AluM(o, r, m)),
-            (arb_reg(), arb_src()).prop_map(|(r, s)| Insn::Cmp(r, s)),
-            (arb_mem(), arb_src()).prop_map(|(m, s)| Insn::CmpM(m, s)),
-            any::<i32>().prop_map(Insn::Jmp),
-            (cond, any::<i32>()).prop_map(|(c, rel)| Insn::Jcc(c, rel)),
-            any::<i32>().prop_map(Insn::Call),
-            Just(Insn::Ret),
-            any::<u16>().prop_map(Insn::RetN),
-            (any::<u16>(), any::<u32>()).prop_map(|(s, o)| Insn::Lcall(s, o)),
-            Just(Insn::Lret),
-            any::<u16>().prop_map(Insn::LretN),
-            any::<u8>().prop_map(Insn::Int),
-            Just(Insn::Iret),
-            Just(Insn::Rdtsc),
-            arb_mem().prop_map(Insn::JmpM),
-            arb_mem().prop_map(Insn::CallM),
-        ]
+    fn arb_mem(r: &mut SeedRng) -> Mem {
+        Mem {
+            seg: if r.gen_bool(0.5) {
+                Some(arb_segreg(r))
+            } else {
+                None
+            },
+            base: if r.gen_bool(0.5) {
+                Some(arb_reg(r))
+            } else {
+                None
+            },
+            disp: arb_i32(r),
+        }
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(insn in arb_insn()) {
+    fn arb_insn(r: &mut SeedRng) -> Insn {
+        let alu = AluOp::from_u8(r.gen_range(0, 9) as u8).unwrap();
+        let cond = Cond::from_u8(r.gen_range(0, 12) as u8).unwrap();
+        match r.gen_range(0, 34) {
+            0 => Insn::Nop,
+            1 => Insn::Hlt,
+            2 => Insn::Mov(arb_reg(r), arb_src(r)),
+            3 => Insn::Load(arb_reg(r), arb_mem(r)),
+            4 => Insn::Store(arb_mem(r), arb_src(r)),
+            5 => Insn::LoadB(arb_reg(r), arb_mem(r)),
+            6 => Insn::StoreB(arb_mem(r), arb_reg(r)),
+            7 => Insn::MovToSeg(arb_segreg(r), arb_reg(r)),
+            8 => Insn::MovFromSeg(arb_reg(r), arb_segreg(r)),
+            9 => Insn::Lea(arb_reg(r), arb_mem(r)),
+            10 => Insn::Push(arb_src(r)),
+            11 => Insn::PushM(arb_mem(r)),
+            12 => Insn::PushSeg(arb_segreg(r)),
+            13 => Insn::Pop(arb_reg(r)),
+            14 => Insn::PopM(arb_mem(r)),
+            15 => Insn::PopSeg(arb_segreg(r)),
+            16 => Insn::Alu(alu, arb_reg(r), arb_src(r)),
+            17 => Insn::AluM(alu, arb_reg(r), arb_mem(r)),
+            18 => Insn::Cmp(arb_reg(r), arb_src(r)),
+            19 => Insn::CmpM(arb_mem(r), arb_src(r)),
+            20 => Insn::Jmp(arb_i32(r)),
+            21 => Insn::Jcc(cond, arb_i32(r)),
+            22 => Insn::Call(arb_i32(r)),
+            23 => Insn::Ret,
+            24 => Insn::RetN(r.next_u32() as u16),
+            25 => Insn::Lcall(r.next_u32() as u16, r.next_u32()),
+            26 => Insn::Lret,
+            27 => Insn::LretN(r.next_u32() as u16),
+            28 => Insn::Int(r.next_u32() as u8),
+            29 => Insn::Iret,
+            30 => Insn::Rdtsc,
+            31 => Insn::JmpM(arb_mem(r)),
+            32 => Insn::CallM(arb_mem(r)),
+            _ => Insn::Test(arb_reg(r), arb_src(r)),
+        }
+    }
+
+    /// Seeded exhaustive-ish roundtrip: every variant above survives
+    /// encode → decode bit-exactly, single and in programs.
+    #[test]
+    fn seeded_roundtrip() {
+        let mut r = SeedRng::new(0x86_86);
+        for _ in 0..2000 {
+            let insn = arb_insn(&mut r);
             let bytes = encode(&insn);
             let (back, len) = decode(&bytes).unwrap();
-            prop_assert_eq!(back, insn);
-            prop_assert_eq!(len, bytes.len());
+            assert_eq!(back, insn);
+            assert_eq!(len, bytes.len());
         }
+    }
 
-        #[test]
-        fn prop_program_roundtrip(prog in proptest::collection::vec(arb_insn(), 0..64)) {
+    #[test]
+    fn seeded_program_roundtrip() {
+        let mut r = SeedRng::new(0xCAFE);
+        for _ in 0..200 {
+            let n = r.gen_range(0, 64) as usize;
+            let prog: Vec<Insn> = (0..n).map(|_| arb_insn(&mut r)).collect();
             let bytes = encode_program(&prog);
             let back = decode_program(&bytes).unwrap();
-            prop_assert_eq!(back, prog);
+            assert_eq!(back, prog);
         }
     }
 }
@@ -626,19 +648,22 @@ mod tests {
 #[cfg(test)]
 mod fuzz {
     use super::*;
-    use proptest::prelude::*;
+    use seedrng::SeedRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-        /// The decoder is total: arbitrary bytes either decode or return a
-        /// structured error — never panic, never read out of bounds.
-        #[test]
-        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+    /// The decoder is total: arbitrary bytes either decode or return a
+    /// structured error — never panic, never read out of bounds.
+    #[test]
+    fn seeded_decode_never_panics() {
+        let mut r = SeedRng::new(0xF0_0D);
+        for _ in 0..4000 {
+            let n = r.gen_range(0, 64) as usize;
+            let mut bytes = vec![0u8; n];
+            r.fill_bytes(&mut bytes);
             let mut pos = 0;
             while pos < bytes.len() {
                 match decode(&bytes[pos..]) {
                     Ok((_, len)) => {
-                        prop_assert!(len > 0 && pos + len <= bytes.len());
+                        assert!(len > 0 && pos + len <= bytes.len());
                         pos += len;
                     }
                     Err(_) => break,

@@ -202,15 +202,13 @@ pub fn validate(prog: &[BpfInsn]) -> Result<(), BpfError> {
     for (pc, insn) in prog.iter().enumerate() {
         let (op, jt, jf, k) = insn.fields();
         match op {
-            opcode::JEQ | opcode::JGT | opcode::JGE | opcode::JSET => {
-                if pc + 1 + jt as usize >= prog.len() || pc + 1 + jf as usize >= prog.len() {
-                    return Err(BpfError::JumpOutOfRange(pc));
-                }
+            opcode::JEQ | opcode::JGT | opcode::JGE | opcode::JSET
+                if pc + 1 + jt as usize >= prog.len() || pc + 1 + jf as usize >= prog.len() =>
+            {
+                return Err(BpfError::JumpOutOfRange(pc));
             }
-            opcode::JA => {
-                if pc + 1 + k as usize >= prog.len() {
-                    return Err(BpfError::JumpOutOfRange(pc));
-                }
+            opcode::JA if pc + 1 + k as usize >= prog.len() => {
+                return Err(BpfError::JumpOutOfRange(pc));
             }
             _ => {}
         }

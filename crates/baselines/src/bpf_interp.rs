@@ -334,7 +334,9 @@ impl BpfKernelInterp {
         let image = obj
             .link(base, &Default::default())
             .expect("interpreter links");
-        k.kwrite(base, &image);
+        if !k.kwrite(base, &image) {
+            return Err(InterpError::OutOfMemory);
+        }
 
         let buf_size = 16 * 4096;
         let prog_buf = k
@@ -369,8 +371,9 @@ impl BpfKernelInterp {
             "program too large"
         );
         assert!(pkt.len() as u32 <= self.buf_size, "packet too large");
-        k.kwrite(self.prog_buf, &prog_bytes);
-        k.kwrite(self.pkt_buf, pkt);
+        if !k.kwrite(self.prog_buf, &prog_bytes) || !k.kwrite(self.pkt_buf, pkt) {
+            return Err(InterpError::Faulted("interpreter buffers unmapped".into()));
+        }
 
         let snapshot = k.m.cpu.clone();
         k.m.force_seg_from_table(asm86::isa::SegReg::Cs, k.sel.kcode);
@@ -398,7 +401,7 @@ impl BpfKernelInterp {
 mod tests {
     use super::*;
     use crate::bpf::{self, validate};
-    use proptest::prelude::*;
+    use seedrng::SeedRng;
 
     fn harness() -> (Kernel, BpfKernelInterp) {
         let mut k = Kernel::boot();
@@ -477,46 +480,47 @@ mod tests {
 
     /// Differential test: guest and host interpreters agree on random
     /// straight-line programs.
-    fn arb_insn(max_jump: u8) -> impl Strategy<Value = BpfInsn> {
-        let k = 0u32..64;
-        prop_oneof![
-            (0u32..16).prop_map(BpfInsn::LdAbsW),
-            (0u32..18).prop_map(BpfInsn::LdAbsH),
-            (0u32..20).prop_map(BpfInsn::LdAbsB),
-            k.clone().prop_map(BpfInsn::LdImm),
-            (0u32..8).prop_map(BpfInsn::LdxImm),
-            (k.clone(), 0..=max_jump, 0..=max_jump).prop_map(|(k, jt, jf)| BpfInsn::Jeq(k, jt, jf)),
-            (k.clone(), 0..=max_jump, 0..=max_jump).prop_map(|(k, jt, jf)| BpfInsn::Jgt(k, jt, jf)),
-            (k.clone(), 0..=max_jump, 0..=max_jump)
-                .prop_map(|(k, jt, jf)| BpfInsn::Jset(k, jt, jf)),
-            k.clone().prop_map(BpfInsn::And),
-            k.clone().prop_map(BpfInsn::Or),
-            k.clone().prop_map(BpfInsn::Add),
-            k.clone().prop_map(BpfInsn::Sub),
-            (0u32..31).prop_map(BpfInsn::Lsh),
-            (0u32..31).prop_map(BpfInsn::Rsh),
-            Just(BpfInsn::Tax),
-            Just(BpfInsn::Txa),
-        ]
+    fn arb_insn(r: &mut SeedRng) -> BpfInsn {
+        let k = r.gen_range(0, 64);
+        match r.gen_range(0, 16) {
+            0 => BpfInsn::LdAbsW(r.gen_range(0, 16)),
+            1 => BpfInsn::LdAbsH(r.gen_range(0, 18)),
+            2 => BpfInsn::LdAbsB(r.gen_range(0, 20)),
+            3 => BpfInsn::LdImm(k),
+            4 => BpfInsn::LdxImm(r.gen_range(0, 8)),
+            // Jumps stay 0/0 so the program is straight-line and always
+            // valid regardless of position.
+            5 => BpfInsn::Jeq(k, 0, 0),
+            6 => BpfInsn::Jgt(k, 0, 0),
+            7 => BpfInsn::Jset(k, 0, 0),
+            8 => BpfInsn::And(k),
+            9 => BpfInsn::Or(k),
+            10 => BpfInsn::Add(k),
+            11 => BpfInsn::Sub(k),
+            12 => BpfInsn::Lsh(r.gen_range(0, 31)),
+            13 => BpfInsn::Rsh(r.gen_range(0, 31)),
+            14 => BpfInsn::Tax,
+            _ => BpfInsn::Txa,
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-        #[test]
-        fn prop_guest_matches_host(
-            body in proptest::collection::vec(arb_insn(0), 1..12),
-            pkt in proptest::collection::vec(any::<u8>(), 24..40),
-        ) {
-            let mut prog = body;
+    #[test]
+    fn seeded_guest_matches_host() {
+        let mut r = SeedRng::new(0xB9F);
+        for _ in 0..48 {
+            let n = 1 + r.gen_range(0, 11) as usize;
+            let mut prog: Vec<BpfInsn> = (0..n).map(|_| arb_insn(&mut r)).collect();
             prog.push(BpfInsn::RetA);
-            // Jumps were constrained to 0/0 so the program is straight-line
-            // and always valid.
             validate(&prog).unwrap();
+
+            let plen = 24 + r.gen_range(0, 16) as usize;
+            let mut pkt = vec![0u8; plen];
+            r.fill_bytes(&mut pkt);
 
             let host = bpf::run(&prog, &pkt).unwrap();
             let (mut k, interp) = harness();
             let (guest, _) = interp.run(&mut k, &prog, &pkt).unwrap();
-            prop_assert_eq!(guest, host);
+            assert_eq!(guest, host);
         }
     }
 }

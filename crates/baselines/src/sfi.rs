@@ -62,7 +62,7 @@ impl std::error::Error for SfiError {}
 impl Sandbox {
     /// Validates the region.
     pub fn validate(&self) -> Result<(), SfiError> {
-        if !self.size.is_power_of_two() || self.base % self.size != 0 {
+        if !self.size.is_power_of_two() || !self.base.is_multiple_of(self.size) {
             return Err(SfiError::BadSandbox);
         }
         Ok(())
@@ -332,7 +332,7 @@ mod tests {
 
         // Victim dword outside the sandbox at 0x0009_0000.
         let s = sb();
-        let code = vec![
+        let code = [
             Insn::Mov(Reg::Eax, Src::Imm(0x41)),
             Insn::Store(Mem::abs(0x0009_0000), Src::Reg(Reg::Eax)),
             Insn::Hlt,

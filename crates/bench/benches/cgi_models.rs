@@ -1,8 +1,21 @@
 //! Table 3 bench: regenerates the CGI throughput table, then times live
 //! request handling per execution model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use webserver::{ExecModel, WebServer};
+
+/// Minimal timing harness (criterion is unavailable offline): runs the
+/// closure `iters` times after a short warmup and prints mean ns/iter.
+fn time_it<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_nanos() / iters as u128;
+    println!("  {name:<28} {per:>12} ns/iter");
+}
 
 fn print_table3() {
     let (rows, pcall) = bench::measure_table3();
@@ -23,22 +36,16 @@ fn print_table3() {
     println!("  (paper @28B: 98 / 193 / 437 / 448 / 460)");
 }
 
-fn bench_live_requests(c: &mut Criterion) {
+fn main() {
     print_table3();
 
     let mut s = WebServer::new().unwrap();
     s.add_benchmark_files();
     let req = webserver::http::get_request("/file1024");
-    let mut group = c.benchmark_group("live_request");
+    println!("\nhost time per live request:");
     for model in [ExecModel::StaticFile, ExecModel::LibCgiProtected] {
-        group.bench_function(model.name(), |b| b.iter(|| s.handle(&req, model).unwrap()));
+        time_it(model.name(), 20, || {
+            s.handle(&req, model).unwrap();
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_live_requests
-}
-criterion_main!(benches);

@@ -1,8 +1,21 @@
 //! Figure 7 bench: regenerates the filter-cost series, then times both
 //! mechanisms at four terms.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use netfilter::{paper_conjunction, reference_packet, FilterBench};
+
+/// Minimal timing harness (criterion is unavailable offline): runs the
+/// closure `iters` times after a short warmup and prints mean ns/iter.
+fn time_it<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_nanos() / iters as u128;
+    println!("  {name:<28} {per:>12} ns/iter");
+}
 
 fn print_figure7() {
     println!("\nFigure 7 (simulated cycles):");
@@ -22,7 +35,7 @@ fn print_figure7() {
     println!("  (paper: >2x at 4 terms, BPF grows steeply, compiled nearly flat)");
 }
 
-fn bench_filters(c: &mut Criterion) {
+fn main() {
     print_figure7();
 
     let f = paper_conjunction(4);
@@ -32,19 +45,11 @@ fn bench_filters(c: &mut Criterion) {
     bench.run_compiled(&pkt).unwrap();
     bench.run_bpf(&f, &pkt).unwrap();
 
-    let mut group = c.benchmark_group("filter_4_terms");
-    group.bench_function("palladium_compiled", |b| {
-        b.iter(|| bench.run_compiled(&pkt).unwrap())
+    println!("\nhost time per filter run (4 terms):");
+    time_it("palladium_compiled", 20, || {
+        bench.run_compiled(&pkt).unwrap();
     });
-    group.bench_function("bpf_interpreted", |b| {
-        b.iter(|| bench.run_bpf(&f, &pkt).unwrap())
+    time_it("bpf_interpreted", 20, || {
+        bench.run_bpf(&f, &pkt).unwrap();
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_filters
-}
-criterion_main!(benches);

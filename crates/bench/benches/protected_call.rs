@@ -1,11 +1,23 @@
 //! Table 1 bench: regenerates the invocation-cost breakdown, then times
 //! how fast the host simulates protected calls (Criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use asm86::Assembler;
 use minikernel::Kernel;
 use palladium::user_ext::{DlOptions, ExtensibleApp};
+
+/// Minimal timing harness (criterion is unavailable offline): runs the
+/// closure `iters` times after a short warmup and prints mean ns/iter.
+fn time_it<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_nanos() / iters as u128;
+    println!("  {name:<28} {per:>12} ns/iter");
+}
 
 fn print_table1() {
     let t = bench::measure_table1();
@@ -23,7 +35,7 @@ fn print_table1() {
     );
 }
 
-fn bench_protected_call(c: &mut Criterion) {
+fn main() {
     print_table1();
 
     let mut k = Kernel::boot();
@@ -38,14 +50,8 @@ fn bench_protected_call(c: &mut Criterion) {
     let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
     app.call_extension(&mut k, prep, 0).unwrap();
 
-    c.bench_function("simulate_protected_call", |b| {
-        b.iter(|| app.call_extension(&mut k, prep, 0).unwrap())
+    println!();
+    time_it("simulate_protected_call", 20, || {
+        app.call_extension(&mut k, prep, 0).unwrap();
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_protected_call
-}
-criterion_main!(benches);

@@ -1,7 +1,19 @@
 //! Table 2 bench: regenerates the string-reverse comparison, then times
 //! the 256-byte protected reverse simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+/// Minimal timing harness (criterion is unavailable offline): runs the
+/// closure `iters` times after a short warmup and prints mean ns/iter.
+fn time_it<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_nanos() / iters as u128;
+    println!("  {name:<28} {per:>12} ns/iter");
+}
 
 fn print_table2() {
     println!("\nTable 2 (microseconds at the simulated 200 MHz):");
@@ -18,14 +30,10 @@ fn print_table2() {
     println!("  (paper: 32B 2.20/2.79/349.19 ... 256B 15.22/15.97/423.33)");
 }
 
-fn bench_reverse(c: &mut Criterion) {
+fn main() {
     print_table2();
-    c.bench_function("measure_table2_full", |b| b.iter(bench::measure_table2));
+    println!();
+    time_it("measure_table2_full", 10, || {
+        bench::measure_table2();
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_reverse
-}
-criterion_main!(benches);

@@ -125,23 +125,18 @@ fn measure_inter_phases() -> [u64; 4] {
         if eip == stub_after_call {
             return phases;
         }
-        let phase = if (stub..stub_after_call).contains(&eip) {
-            0 // caller's push + call
-        } else if (prep_addr..lret_addr).contains(&eip) {
-            0 // Prepare body
-        } else if eip == lret_addr {
-            1 // the lret into the extension segment
-        } else if eip == transfer {
-            1 // Transfer's local call
-        } else if eip == ext_fn {
-            2 // the extension function's ret
-        } else if eip == transfer_lcall {
-            2 // the lcall through AppCallGate's gate
-        } else if (gate..gate + 64).contains(&eip) {
-            3 // AppCallGate
-        } else {
-            panic!("unexpected EIP {eip:#x} during protected call");
-        };
+        let phase =
+            if (stub..stub_after_call).contains(&eip) || (prep_addr..lret_addr).contains(&eip) {
+                0 // caller's push + call, then the Prepare body
+            } else if eip == lret_addr || eip == transfer {
+                1 // the lret into the extension segment + Transfer's local call
+            } else if eip == ext_fn || eip == transfer_lcall {
+                2 // the extension function's ret / the lcall through the gate
+            } else if (gate..gate + 64).contains(&eip) {
+                3 // AppCallGate
+            } else {
+                panic!("unexpected EIP {eip:#x} during protected call");
+            };
         let before = k.m.cycles();
         assert!(k.m.step().is_none(), "protected call must not exit");
         phases[phase] += k.m.cycles() - before;

@@ -1,0 +1,534 @@
+//! The seeded campaign driver.
+//!
+//! A campaign is a deterministic fuzzing loop: from one `u64` seed it
+//! derives every extension body, every corruption, every injection and
+//! every scheduling choice, so a failing step can be replayed exactly by
+//! re-running the seed. Steps are grouped into *episodes*, each on a
+//! freshly booted kernel (bounding state growth and making out-of-memory
+//! episodes possible); within an episode the kernel is long-lived so
+//! faults, quarantines and injections interact.
+//!
+//! After every step the [`StateOracle`](crate::oracle::StateOracle)
+//! re-checks the structural §6 invariants; at intervals the behavioural
+//! probes (fork/exec, syscall rejection, timer abort) run on scratch
+//! kernels. Any violation — including a host panic, which the driver
+//! catches — fails the audit.
+
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+
+use minikernel::Kernel;
+use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, KextError};
+use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp, PalError};
+use seedrng::SeedRng;
+use x86sim::mem::PAGE_SIZE;
+
+use crate::corrupt;
+use crate::gen;
+use crate::inject;
+use crate::oracle::{self, StateOracle};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; the entire campaign is a function of it.
+    pub seed: u64,
+    /// Total adversarial steps.
+    pub steps: u32,
+    /// Steps per episode (per freshly booted kernel).
+    pub episode_len: u32,
+    /// CPU-time limit per extension invocation (kept low so runaway
+    /// steps stay cheap).
+    pub cycle_limit: u64,
+    /// Run the behavioural probes every this many steps (0 = never).
+    pub probe_interval: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed: 1,
+            steps: 1_000,
+            episode_len: 25,
+            cycle_limit: 20_000,
+            probe_interval: 500,
+        }
+    }
+}
+
+/// One logged step. Same seed ⇒ identical event sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global step number.
+    pub step: u32,
+    /// What the driver did (stable tag).
+    pub action: String,
+    /// What happened (stable tag derived from the structured result).
+    pub outcome: String,
+}
+
+/// Campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Steps executed.
+    pub steps_run: u32,
+    /// The full deterministic event log.
+    pub events: Vec<Event>,
+    /// Outcome-tag histogram.
+    pub outcomes: BTreeMap<String, u64>,
+    /// Containment-invariant violations (must be empty for a passing
+    /// audit). Host panics are recorded here too.
+    pub violations: Vec<String>,
+    /// Automatic segment quarantines observed.
+    pub quarantines: u64,
+    /// Kernel-extension aborts observed.
+    pub kext_aborts: u64,
+    /// User-extension aborted calls observed.
+    pub uext_aborts: u64,
+    /// Behavioural probe rounds completed.
+    pub probes_run: u32,
+    /// Steps that panicked in the host and were caught.
+    pub host_panics: u32,
+}
+
+const CANARY: u32 = 0xC0FF_EE11;
+
+/// The per-episode world: one kernel hosting both extension mechanisms.
+struct Episode {
+    k: Kernel,
+    app: ExtensibleApp,
+    kx: KernelExtensions,
+    seg: ExtSegmentId,
+    oracle: StateOracle,
+    /// Prepared user extension entry points that loaded successfully.
+    user_pool: Vec<u32>,
+    /// The known-good extension (must keep returning 77).
+    benign_fn: u32,
+    /// Whether the current kernel segment has a registered `entry`.
+    kext_loaded: bool,
+    /// Sealed GOT page of the libc-importing probe extension, once
+    /// loaded (lazily, since it costs pages).
+    got_page: Option<u32>,
+    module_n: u32,
+}
+
+impl Episode {
+    /// Builds a fresh world. `pool_bytes` bounds physical memory for
+    /// out-of-memory episodes (`None` = the full default pool).
+    fn new(cfg: &CampaignConfig, pool_bytes: Option<u32>) -> Result<Episode, String> {
+        let mut k = match pool_bytes {
+            Some(b) => Kernel::boot_with_memory(b),
+            None => Kernel::boot(),
+        };
+        k.extension_cycle_limit = cfg.cycle_limit;
+        let mut app = ExtensibleApp::new(&mut k).map_err(|e| format!("app: {e}"))?;
+        let mut kx = KernelExtensions::new(&mut k).map_err(|e| format!("kx: {e}"))?;
+        let seg = kx
+            .create_segment(&mut k, 16)
+            .map_err(|e| format!("segment: {e}"))?;
+        let canary = k
+            .alloc_kernel_pages(1)
+            .map_err(|e| format!("canary: {e}"))?;
+        k.m.host_write_u32(canary, CANARY);
+        let oracle = StateOracle::new(&k, canary, CANARY);
+        let h = app
+            .seg_dlopen(&mut k, &gen::benign_object(77), DlOptions::default())
+            .map_err(|e| format!("benign: {e}"))?;
+        let benign_fn = app
+            .seg_dlsym(&mut k, h, "entry")
+            .map_err(|e| format!("benign sym: {e}"))?;
+        Ok(Episode {
+            k,
+            app,
+            kx,
+            seg,
+            oracle,
+            user_pool: Vec::new(),
+            benign_fn,
+            kext_loaded: false,
+            got_page: None,
+            module_n: 0,
+        })
+    }
+
+    fn cr3(&self) -> u32 {
+        self.k.task(self.app.tid).cr3
+    }
+
+    /// Replaces a quarantined/dead kernel segment with a fresh one.
+    fn ensure_segment(&mut self) -> Result<(), KextError> {
+        let s = self.kx.segment(self.seg);
+        let (quarantined, dead) = (s.quarantined, s.dead);
+        if quarantined || dead {
+            self.seg = self.kx.create_segment(&mut self.k, 16)?;
+            self.kext_loaded = false;
+        }
+        Ok(())
+    }
+
+    fn insmod_entry(&mut self, obj: &asm86::Object) -> Result<(), KextError> {
+        self.ensure_segment()?;
+        self.module_n += 1;
+        let name = format!("m{}", self.module_n);
+        match self
+            .kx
+            .insmod(&mut self.k, self.seg, &name, obj, &["entry"])
+        {
+            Ok(()) => {
+                self.kext_loaded = true;
+                Ok(())
+            }
+            Err(KextError::OutOfMemory) => {
+                // The bump loader filled the segment: roll to a new one
+                // and retry once.
+                self.seg = self.kx.create_segment(&mut self.k, 16)?;
+                self.kext_loaded = false;
+                let r = self
+                    .kx
+                    .insmod(&mut self.k, self.seg, &name, obj, &["entry"]);
+                if r.is_ok() {
+                    self.kext_loaded = true;
+                }
+                r
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn uext_outcome(r: &Result<u32, ExtCallError>) -> String {
+    match r {
+        Ok(_) => "uext-ok".into(),
+        Err(ExtCallError::Fault { cause, .. }) => {
+            format!("uext-fault:{}", cause.map(|c| c.tag()).unwrap_or("?"))
+        }
+        Err(ExtCallError::TimeLimit) => "uext-timelimit".into(),
+        Err(ExtCallError::Killed(_)) => "uext-killed".into(),
+    }
+}
+
+fn kext_outcome(r: &Result<u32, KextError>) -> String {
+    match r {
+        Ok(_) => "kext-ok".into(),
+        Err(KextError::Aborted(f)) => format!("kext-fault:{}", f.cause.tag()),
+        Err(KextError::TimeLimit) => "kext-timelimit".into(),
+        Err(KextError::Quarantined { .. }) => "kext-quarantined".into(),
+        Err(KextError::SegmentDead) => "kext-dead".into(),
+        Err(KextError::NoSuchFunction(_)) => "kext-nofunc".into(),
+        Err(KextError::OutOfMemory) => "kext-oom".into(),
+        Err(KextError::Link(_)) => "kext-link-err".into(),
+    }
+}
+
+fn dl_outcome(e: &PalError) -> String {
+    match e {
+        PalError::Spawn(_) => "dlopen-oom".into(),
+        PalError::Dl(_) | PalError::Link(_) => "dlopen-link-err".into(),
+        PalError::NoSymbol(_) => "dlopen-nosym".into(),
+        PalError::Kernel(..) => "dlopen-kernel-err".into(),
+        PalError::Closed => "dlopen-closed".into(),
+    }
+}
+
+/// One adversarial step. Returns the (action, outcome) tags.
+fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
+    match r.gen_range(0, 12) {
+        // --- adversarial SPL 3 extension: load and run -------------------
+        0..=2 => {
+            let obj = gen::user_ext_object(r);
+            match ep.app.seg_dlopen(&mut ep.k, &obj, DlOptions::default()) {
+                Ok(h) => match ep.app.seg_dlsym(&mut ep.k, h, "entry") {
+                    Ok(f) => {
+                        ep.user_pool.push(f);
+                        let res = ep.app.call_extension(&mut ep.k, f, r.next_u32());
+                        ("uext-new".into(), uext_outcome(&res))
+                    }
+                    Err(e) => ("uext-new".into(), dl_outcome(&e)),
+                },
+                Err(e) => ("uext-new".into(), dl_outcome(&e)),
+            }
+        }
+        // --- adversarial SPL 1 kernel extension --------------------------
+        3..=4 => {
+            let obj = gen::kernel_ext_object(r);
+            match ep.insmod_entry(&obj) {
+                Ok(()) => {
+                    let res = ep.kx.invoke(&mut ep.k, ep.seg, "entry", r.next_u32());
+                    ("kext-new".into(), kext_outcome(&res))
+                }
+                Err(e) => ("kext-new".into(), kext_outcome(&Err(e))),
+            }
+        }
+        // --- replay a previously loaded user extension -------------------
+        5 => match ep.user_pool.as_slice() {
+            [] => ("uext-replay".into(), "empty-pool".into()),
+            pool => {
+                let f = *r.choose(pool);
+                let res = ep.app.call_extension(&mut ep.k, f, r.next_u32());
+                ("uext-replay".into(), uext_outcome(&res))
+            }
+        },
+        // --- corrupted loader input --------------------------------------
+        6 => {
+            let (kind, obj) = corrupt::corrupted_object(r);
+            let action = format!("corrupt-{}", kind.tag());
+            if r.gen_bool(0.5) {
+                match ep.app.seg_dlopen(&mut ep.k, &obj, DlOptions::default()) {
+                    Ok(h) => match ep.app.seg_dlsym(&mut ep.k, h, "entry") {
+                        Ok(f) => {
+                            let res = ep.app.call_extension(&mut ep.k, f, 0);
+                            (action, uext_outcome(&res))
+                        }
+                        Err(e) => (action, dl_outcome(&e)),
+                    },
+                    Err(e) => (action, dl_outcome(&e)),
+                }
+            } else {
+                match ep.insmod_entry(&obj) {
+                    Ok(()) => {
+                        let res = ep.kx.invoke(&mut ep.k, ep.seg, "entry", 0);
+                        (action, kext_outcome(&res))
+                    }
+                    Err(e) => (action, kext_outcome(&Err(e))),
+                }
+            }
+        }
+        // --- GOT tamper ---------------------------------------------------
+        7 => {
+            if ep.got_page.is_none() {
+                // Lazily load a libc importer so there is a sealed GOT.
+                let got = ep.app.load_libc(&mut ep.k).ok().and_then(|_| {
+                    let probe = asm86::Assembler::assemble("entry:\ncall strlen\nret\n").unwrap();
+                    let h = ep
+                        .app
+                        .seg_dlopen(&mut ep.k, &probe, DlOptions::default())
+                        .ok()?;
+                    ep.app.got_page(h).ok().flatten()
+                });
+                if let Some(g) = got {
+                    ep.oracle.watch_got_page(g);
+                    ep.got_page = Some(g);
+                }
+            }
+            match ep.got_page {
+                None => ("got-tamper".into(), "no-got".into()),
+                Some(g) => {
+                    let target = g + r.gen_range(0, PAGE_SIZE) / 4 * 4;
+                    let obj = gen::store_to_object(target);
+                    match ep.app.seg_dlopen(&mut ep.k, &obj, DlOptions::default()) {
+                        Ok(h) => match ep.app.seg_dlsym(&mut ep.k, h, "entry") {
+                            Ok(f) => {
+                                let res = ep.app.call_extension(&mut ep.k, f, 0);
+                                ("got-tamper".into(), uext_outcome(&res))
+                            }
+                            Err(e) => ("got-tamper".into(), dl_outcome(&e)),
+                        },
+                        Err(e) => ("got-tamper".into(), dl_outcome(&e)),
+                    }
+                }
+            }
+        }
+        // --- descriptor injection: revoke, invoke, restore ----------------
+        8 => {
+            if !ep.kext_loaded {
+                return ("inject-descriptor".into(), "no-kext".into());
+            }
+            let s = ep.kx.segment(ep.seg);
+            let idx = if r.gen_bool(0.5) {
+                s.code_sel.index()
+            } else {
+                s.data_sel.index()
+            };
+            let was = inject::revoke_descriptor(&mut ep.k, idx);
+            let res = ep.kx.invoke(&mut ep.k, ep.seg, "entry", 1);
+            if let Some(p) = was {
+                inject::restore_descriptor(&mut ep.k, idx, p);
+            }
+            ("inject-descriptor".into(), kext_outcome(&res))
+        }
+        // --- PTE injection: unmap a segment page, invoke, restore ---------
+        9 => {
+            if !ep.kext_loaded {
+                return ("inject-pte".into(), "no-kext".into());
+            }
+            let s = ep.kx.segment(ep.seg);
+            let lin = s.base + r.gen_range(0, s.size / PAGE_SIZE) * PAGE_SIZE;
+            let cr3 = ep.cr3();
+            let revoked = inject::revoke_pte(&mut ep.k, cr3, lin);
+            let res = ep.kx.invoke(&mut ep.k, ep.seg, "entry", 2);
+            if revoked {
+                inject::restore_pte(&mut ep.k, cr3, lin);
+            }
+            ("inject-pte".into(), kext_outcome(&res))
+        }
+        // --- TLB drop: pure performance event; behaviour must not change --
+        10 => {
+            let dropped = inject::drop_tlb_entries(&mut ep.k, r);
+            let res = ep.app.call_extension(&mut ep.k, ep.benign_fn, 0);
+            let tag = match res {
+                Ok(77) => format!("tlb-drop-{}-ok", dropped.min(9)),
+                other => format!("tlb-drop-bad:{}", uext_outcome(&other)),
+            };
+            ("inject-tlb".into(), tag)
+        }
+        // --- async queue under fire ---------------------------------------
+        _ => {
+            if !ep.kext_loaded {
+                return ("kext-async".into(), "no-kext".into());
+            }
+            let n = 2 + r.gen_range(0, 3);
+            for i in 0..n {
+                ep.kx.queue_async(ep.seg, "entry", i);
+            }
+            let results = ep.kx.run_pending(&mut ep.k, ep.seg);
+            let tags: Vec<String> = results.iter().map(kext_outcome).collect();
+            ("kext-async".into(), tags.join(","))
+        }
+    }
+}
+
+/// Runs a campaign to completion.
+pub fn run(cfg: &CampaignConfig) -> CampaignReport {
+    let mut rng = SeedRng::new(cfg.seed);
+    let mut report = CampaignReport::default();
+    let mut episode: Option<Episode> = None;
+    let mut episode_idx = 0u32;
+
+    // Campaign steps run under catch_unwind: a host panic is the worst
+    // possible audit failure and must be recorded, not crash the driver.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    for stepno in 0..cfg.steps {
+        // Episode rollover.
+        if stepno % cfg.episode_len == 0 {
+            // Every sixth episode runs under memory pressure: a bounded
+            // pool, further squeezed below so allocation failures surface
+            // mid-campaign ("OOM at touch").
+            let oom = episode_idx % 6 == 5;
+            let pool = if oom { Some(4 * 1024 * 1024) } else { None };
+            match Episode::new(cfg, pool) {
+                Ok(mut ep) => {
+                    if oom {
+                        let keep = rng.gen_range(0, 48);
+                        inject::exhaust_frames(&mut ep.k, keep);
+                    }
+                    episode = Some(ep);
+                }
+                Err(e) => {
+                    // Setup can only fail under memory pressure; that is
+                    // itself a structured outcome, not a violation.
+                    report.events.push(Event {
+                        step: stepno,
+                        action: "episode-setup".into(),
+                        outcome: format!("failed:{e}"),
+                    });
+                    episode = None;
+                }
+            }
+            episode_idx += 1;
+        }
+
+        let Some(ep) = episode.as_mut() else {
+            *report
+                .outcomes
+                .entry("skipped-no-episode".into())
+                .or_insert(0) += 1;
+            report.steps_run += 1;
+            continue;
+        };
+
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            let (action, outcome) = step(ep, &mut rng);
+            let violations = ep.oracle.check(&ep.k, ep.cr3());
+            (action, outcome, violations)
+        }));
+        match caught {
+            Ok((action, outcome, violations)) => {
+                *report.outcomes.entry(outcome.clone()).or_insert(0) += 1;
+                report.events.push(Event {
+                    step: stepno,
+                    action,
+                    outcome,
+                });
+                for v in violations {
+                    report.violations.push(format!("step {stepno}: {v}"));
+                }
+            }
+            Err(_) => {
+                report.host_panics += 1;
+                report
+                    .violations
+                    .push(format!("step {stepno}: host panic caught"));
+                report.events.push(Event {
+                    step: stepno,
+                    action: "step".into(),
+                    outcome: "host-panic".into(),
+                });
+                // The half-mutated world is unusable; start fresh.
+                episode = None;
+            }
+        }
+        report.steps_run += 1;
+
+        // Behavioural probes on scratch kernels.
+        if cfg.probe_interval != 0 && (stepno + 1) % cfg.probe_interval == 0 {
+            for probe in [
+                oracle::probe_fork_exec as fn() -> Result<(), oracle::Violation>,
+                oracle::probe_syscall_rejection,
+            ] {
+                if let Err(v) = probe() {
+                    report.violations.push(format!("step {stepno}: {v}"));
+                }
+            }
+            if let Err(v) = oracle::probe_timer_abort(cfg.cycle_limit) {
+                report.violations.push(format!("step {stepno}: {v}"));
+            }
+            report.probes_run += 1;
+        }
+
+        // Roll up counters from the episode (it may be dropped at the
+        // next rollover).
+        if let Some(ep) = episode.as_ref() {
+            if stepno % cfg.episode_len == cfg.episode_len - 1 || stepno + 1 == cfg.steps {
+                report.quarantines += ep.kx.quarantines;
+                report.kext_aborts += ep.kx.aborts;
+                report.uext_aborts += ep.app.aborted_calls;
+            }
+        }
+    }
+
+    panic::set_hook(prev_hook);
+    report
+}
+
+/// A compact human-readable summary (used by the example binary).
+pub fn summarize(report: &CampaignReport) -> String {
+    use core::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "steps: {}  events: {}  probes: {}",
+        report.steps_run,
+        report.events.len(),
+        report.probes_run
+    );
+    let _ = writeln!(
+        s,
+        "quarantines: {}  kext aborts: {}  uext aborts: {}  host panics: {}",
+        report.quarantines, report.kext_aborts, report.uext_aborts, report.host_panics
+    );
+    let _ = writeln!(s, "outcomes:");
+    for (tag, n) in &report.outcomes {
+        let _ = writeln!(s, "  {tag:<28} {n}");
+    }
+    if report.violations.is_empty() {
+        let _ = writeln!(s, "containment: OK (0 violations)");
+    } else {
+        let _ = writeln!(s, "containment: {} VIOLATIONS", report.violations.len());
+        for v in &report.violations {
+            let _ = writeln!(s, "  {v}");
+        }
+    }
+    s
+}

@@ -1,0 +1,117 @@
+//! Corruption of loader inputs.
+//!
+//! The dynamic loaders (`seg_dlopen`, `insmod`) are attack surface: a
+//! hostile or damaged object file must produce a structured link error
+//! or a contained runtime fault — never a host panic and never code that
+//! escapes its domain. These generators produce the damaged inputs:
+//! truncated images, garbled instruction streams, and relocations whose
+//! resolved addresses overflow the extension's region.
+
+use asm86::{CodeBuilder, Object, Reloc, RelocKind};
+use seedrng::SeedRng;
+
+use crate::gen;
+
+/// How an object was damaged (stable tags for the event log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// The image is a prefix of a valid extension, cut mid-instruction.
+    Truncated,
+    /// Random bytes overwrote part of a valid extension image.
+    Garbled,
+    /// A relocation aims far outside the extension's address range.
+    RelocOverflow,
+    /// The "code" never was code: pure random bytes.
+    Garbage,
+}
+
+impl Corruption {
+    /// Stable tag for deterministic event logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Corruption::Truncated => "truncated",
+            Corruption::Garbled => "garbled",
+            Corruption::RelocOverflow => "reloc-overflow",
+            Corruption::Garbage => "garbage",
+        }
+    }
+}
+
+/// Wraps raw bytes as a loadable object exporting `entry` — how a
+/// damaged image re-enters the loader.
+fn bytes_object(data: &[u8]) -> Object {
+    let mut b = CodeBuilder::new();
+    b.label("entry").unwrap();
+    b.bytes(data);
+    b.finish().unwrap()
+}
+
+/// A randomly corrupted extension object plus how it was damaged. The
+/// loader may reject it (link error) or load it; if loaded, running it
+/// must stay contained like any other extension.
+pub fn corrupted_object(r: &mut SeedRng) -> (Corruption, Object) {
+    let kind = match r.gen_range(0, 4) {
+        0 => Corruption::Truncated,
+        1 => Corruption::Garbled,
+        2 => Corruption::RelocOverflow,
+        _ => Corruption::Garbage,
+    };
+    let obj = match kind {
+        Corruption::Truncated => {
+            let whole = gen::user_ext_object(r);
+            let image = whole.link(0, &Default::default()).unwrap_or_default();
+            let n = if image.is_empty() {
+                0
+            } else {
+                r.gen_range(0, image.len() as u32) as usize
+            };
+            bytes_object(&image[..n])
+        }
+        Corruption::Garbled => {
+            let whole = gen::user_ext_object(r);
+            let mut image = whole.link(0, &Default::default()).unwrap_or_default();
+            if image.is_empty() {
+                image = vec![0x90; 8];
+            }
+            for _ in 0..1 + r.gen_range(0, 6) {
+                let at = r.gen_range(0, image.len() as u32) as usize;
+                image[at] = r.next_u32() as u8;
+            }
+            bytes_object(&image)
+        }
+        Corruption::RelocOverflow => {
+            // An absolute-word relocation patched with an offset far past
+            // the end of the code: `entry` jumps through a pointer whose
+            // resolved value lands way outside the extension region.
+            let mut b = CodeBuilder::new();
+            b.label("entry").unwrap();
+            b.jmpm_label("slot", 0);
+            b.align(4);
+            b.label("slot").unwrap();
+            b.dword_label("entry", (0x1000_0000 + r.gen_range(0, 0x1000_0000)) as i32);
+            b.finish().unwrap()
+        }
+        Corruption::Garbage => {
+            let mut data = vec![0u8; 4 + r.gen_range(0, 60) as usize];
+            r.fill_bytes(&mut data);
+            bytes_object(&data)
+        }
+    };
+    (kind, obj)
+}
+
+/// An object carrying a relocation whose *site* (not just target) is out
+/// of range — the link step itself must reject it with a structured
+/// error rather than writing out of bounds.
+pub fn bad_reloc_site_object() -> Object {
+    let mut b = CodeBuilder::new();
+    b.label("entry").unwrap();
+    b.bytes(&[0x90, 0x90, 0x90, 0x90]);
+    b.raw_reloc(Reloc {
+        offset: 0xFFFF_FFF0,
+        sym: "entry".to_string(),
+        addend: 0,
+        kind: RelocKind::Abs32,
+    });
+    b.finish().unwrap()
+}

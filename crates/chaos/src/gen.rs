@@ -1,0 +1,166 @@
+//! Seeded generation of adversarial extensions.
+//!
+//! Every generator draws from a [`SeedRng`], so a campaign is a pure
+//! function of its seed: the same seed produces byte-identical extension
+//! objects, in the same order, on every run. The instruction mix is
+//! deliberately hostile — far transfers at forged selectors, segment
+//! register loads, accesses far outside any plausible limit, writes at
+//! PPL 0 pages, interrupt floods and runaway loops — because the
+//! containment argument is only as strong as the attacks thrown at it.
+
+use asm86::isa::{AluOp, Insn, Mem, Reg, SegReg, Src};
+use asm86::{CodeBuilder, Object};
+use minikernel::layout::{KERNEL_VA_START, SHARED_LIB_BASE};
+use minikernel::{KERNEL_BASE, USER_TEXT};
+use seedrng::SeedRng;
+
+/// A random general-purpose register.
+pub fn arb_reg(r: &mut SeedRng) -> Reg {
+    Reg::from_u8(r.gen_range(0, 8) as u8).unwrap()
+}
+
+/// A random data-capable segment register (never CS: `mov cs, r` is not
+/// encodable on real hardware either).
+pub fn arb_data_segreg(r: &mut SeedRng) -> SegReg {
+    match r.gen_range(0, 3) {
+        0 => SegReg::Es,
+        1 => SegReg::Ss,
+        _ => SegReg::Ds,
+    }
+}
+
+/// Addresses a hostile *user-level* (SPL 3) extension aims at: the
+/// application image (PPL 0), the kernel range, the application stack,
+/// its own region, wrap-around values, and wild pointers.
+pub fn hostile_user_target(r: &mut SeedRng) -> u32 {
+    match r.gen_range(0, 8) {
+        0 => USER_TEXT,
+        1 => USER_TEXT + r.gen_range(0, 0x1000),
+        2 => KERNEL_VA_START + r.gen_range(0, 0x10_0000),
+        3 => KERNEL_BASE + r.gen_range(0, 0x1000),
+        4 => 0xBFFE_8000 + r.gen_range(0, 0x8000),
+        5 => SHARED_LIB_BASE + r.gen_range(0, 0x4_0000),
+        6 => 0xFFFF_FF00 + r.gen_range(0, 0x100),
+        _ => r.next_u32(),
+    }
+}
+
+/// Offsets a hostile *kernel-level* (SPL 1) extension aims at. Kernel
+/// extension addresses are segment-relative, so "escape" attempts are
+/// offsets beyond any plausible segment limit, flat kernel addresses
+/// (interpreted against the segment base they overshoot the limit), and
+/// wrap-around values.
+pub fn hostile_kernel_target(r: &mut SeedRng) -> u32 {
+    match r.gen_range(0, 6) {
+        0 => 0x10_0000 + r.gen_range(0, 0x10_0000),
+        1 => KERNEL_VA_START,
+        2 => KERNEL_BASE,
+        3 => 0xFFFF_FFF0,
+        4 => 0x2_0000 + r.gen_range(0, 0x1000),
+        _ => r.next_u32(),
+    }
+}
+
+/// A forged selector: random index, random table bit, random RPL —
+/// sometimes near the well-known low GDT slots, sometimes wild.
+pub fn arb_selector(r: &mut SeedRng) -> u16 {
+    if r.gen_bool(0.5) {
+        // Low GDT indexes (kernel/user/gate descriptors live here).
+        (r.gen_range(0, 32) as u16) << 3 | r.gen_range(0, 4) as u16
+    } else {
+        r.next_u32() as u16
+    }
+}
+
+/// One adversarial instruction, with `target(r)` supplying hostile
+/// memory operands appropriate for the privilege level under attack.
+fn arb_insn(r: &mut SeedRng, target: fn(&mut SeedRng) -> u32) -> Insn {
+    match r.gen_range(0, 24) {
+        0 => Insn::Mov(arb_reg(r), Src::Imm(r.next_u32() as i32)),
+        1 => Insn::Mov(arb_reg(r), Src::Reg(arb_reg(r))),
+        2 => Insn::Load(arb_reg(r), Mem::abs(target(r))),
+        3 => Insn::Store(Mem::abs(target(r)), Src::Reg(arb_reg(r))),
+        4 => Insn::LoadB(arb_reg(r), Mem::abs(target(r))),
+        5 => Insn::StoreB(Mem::abs(target(r)), arb_reg(r)),
+        6 => Insn::StoreW(Mem::abs(target(r)), arb_reg(r)),
+        7 => Insn::Alu(AluOp::Add, arb_reg(r), Src::Imm(r.next_u32() as i32)),
+        8 => Insn::Alu(AluOp::Xor, arb_reg(r), Src::Imm(r.next_u32() as i32)),
+        9 => Insn::AluM(AluOp::Or, arb_reg(r), Mem::abs(target(r))),
+        10 => Insn::Push(Src::Reg(arb_reg(r))),
+        11 => Insn::Pop(arb_reg(r)),
+        12 => Insn::PushM(Mem::abs(target(r))),
+        // Segment-register loads: forged selectors into ES/SS/DS.
+        13 => Insn::Mov(Reg::Eax, Src::Imm(arb_selector(r) as i32)),
+        14 => Insn::MovToSeg(arb_data_segreg(r), Reg::Eax),
+        15 => Insn::PopSeg(arb_data_segreg(r)),
+        16 => Insn::PushSeg(arb_data_segreg(r)),
+        // Interrupt floods: the legitimate gates, the internal completion
+        // vectors (whose gate DPLs must reject this ring), and junk.
+        17 => Insn::Int(match r.gen_range(0, 8) {
+            0 => 0x80,
+            1 => 0x81,
+            2 => 0x83,
+            3 => 0x84,
+            4 => 0x85,
+            5 => 0x86,
+            _ => r.next_u32() as u8,
+        }),
+        // Forged far transfers.
+        18 => Insn::Lcall(arb_selector(r), r.gen_range(0, 0x1_0000)),
+        19 => Insn::Lret,
+        20 => Insn::Iret,
+        21 => Insn::Hlt,
+        22 => Insn::JmpReg(arb_reg(r)),
+        _ => Insn::Cmp(arb_reg(r), Src::Imm(r.next_u32() as i32)),
+    }
+}
+
+fn build(body: &[Insn], runaway: bool) -> Object {
+    let mut b = CodeBuilder::new();
+    b.label("entry").unwrap();
+    for i in body {
+        b.emit(*i);
+    }
+    if runaway {
+        b.label("spin").unwrap();
+        b.jmp_label("spin");
+    }
+    b.emit(Insn::Ret);
+    b.finish().unwrap()
+}
+
+/// A random adversarial SPL 3 extension object exporting `entry`.
+/// About one in eight is a runaway loop (exercising the §4.5.2 timer).
+pub fn user_ext_object(r: &mut SeedRng) -> Object {
+    let n = r.gen_range(0, 20) as usize;
+    let body: Vec<Insn> = (0..n).map(|_| arb_insn(r, hostile_user_target)).collect();
+    let runaway = r.gen_bool(0.125);
+    build(&body, runaway)
+}
+
+/// A random adversarial SPL 1 kernel extension object exporting `entry`.
+pub fn kernel_ext_object(r: &mut SeedRng) -> Object {
+    let n = r.gen_range(0, 16) as usize;
+    let body: Vec<Insn> = (0..n).map(|_| arb_insn(r, hostile_kernel_target)).collect();
+    let runaway = r.gen_bool(0.125);
+    build(&body, runaway)
+}
+
+/// An extension whose only job is to overwrite `addr` — used to attack
+/// sealed pages (the GOT) whose address is only known after load.
+pub fn store_to_object(addr: u32) -> Object {
+    build(
+        &[
+            Insn::Mov(Reg::Eax, Src::Imm(0x5EED_5EEDu32 as i32)),
+            Insn::Store(Mem::abs(addr), Src::Reg(Reg::Eax)),
+        ],
+        false,
+    )
+}
+
+/// A well-behaved extension returning `value` — the campaign's "known
+/// good" probe that the application must still be able to run after
+/// every adversarial step.
+pub fn benign_object(value: u32) -> Object {
+    build(&[Insn::Mov(Reg::Eax, Src::Imm(value as i32))], false)
+}

@@ -1,0 +1,35 @@
+//! `chaos` — adversarial fault injection and containment auditing.
+//!
+//! The Palladium reproduction's safety story (DESIGN.md §6) is a set of
+//! seven invariants that must hold for *any* extension behaviour, not
+//! just the behaviours the unit tests enumerate. This crate attacks the
+//! implementation and audits the invariants while doing so:
+//!
+//! * [`gen`] — seeded generation of adversarial SPL 1 / SPL 3
+//!   extensions: out-of-limit accesses, PPL 0 writes, forged far
+//!   transfers, segment-register loads, interrupt floods, runaways;
+//! * [`corrupt`] — damaged loader inputs: truncated and garbled images,
+//!   relocation overflows, raw garbage;
+//! * [`inject`] — machine-state mutation through the simulator's
+//!   injection hooks (descriptor present bits, PTE present bits, TLB
+//!   drops, frame exhaustion), always in the *revoking* direction so
+//!   containment stays assertable;
+//! * [`oracle`] — the §6 invariants as executable checks plus
+//!   behavioural probes (fork/exec privilege rules, syscall rejection,
+//!   timer aborts);
+//! * [`campaign`] — the deterministic driver: one seed, thousands of
+//!   steps, a structured event log, zero tolerated violations.
+//!
+//! Everything is reproducible: a campaign is a pure function of its
+//! [`CampaignConfig`], so `--seed 42` fails (or passes) identically on
+//! every machine.
+
+pub mod campaign;
+pub mod corrupt;
+pub mod gen;
+pub mod inject;
+pub mod oracle;
+
+pub use campaign::{run, CampaignConfig, CampaignReport, Event};
+pub use corrupt::Corruption;
+pub use oracle::{StateOracle, Violation};

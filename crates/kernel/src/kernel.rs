@@ -118,6 +118,12 @@ pub struct Kernel {
     /// CPU-time limit (cycles) for a single extension invocation (§4.5.2);
     /// enforced by the Palladium runtime via timer-interrupt checks.
     pub extension_cycle_limit: u64,
+    /// The most recent fault the kernel turned into a signal (not the
+    /// demand-paging faults it services transparently). Carries the full
+    /// structured [`FaultCause`], so runtimes that learn of an abort
+    /// through a guest trampoline (which can only pass two registers) can
+    /// still report *why* containment fired.
+    pub last_fault: Option<Fault>,
     tasks: BTreeMap<Tid, Task>,
     current: Option<Tid>,
     next_tid: Tid,
@@ -199,6 +205,7 @@ impl Kernel {
             console: Vec::new(),
             stats: KernelStats::default(),
             extension_cycle_limit: 10_000_000,
+            last_fault: None,
             tasks: BTreeMap::new(),
             current: None,
             next_tid: 1,
@@ -231,9 +238,13 @@ impl Kernel {
         Ok(base)
     }
 
-    /// Writes bytes into kernel virtual memory.
-    pub fn kwrite(&mut self, lin: u32, data: &[u8]) {
-        assert!(self.m.host_write(lin, data), "kwrite to unmapped kernel VA");
+    /// Writes bytes into kernel virtual memory. Returns false when any
+    /// byte falls on an unmapped kernel VA (e.g. a mapping revoked by
+    /// fault injection) — callers on module-load paths surface this as a
+    /// structured link error rather than panicking the host.
+    #[must_use]
+    pub fn kwrite(&mut self, lin: u32, data: &[u8]) -> bool {
+        self.m.host_write(lin, data)
     }
 
     /// Reads bytes from kernel virtual memory.
@@ -671,7 +682,7 @@ impl Kernel {
         let writable = prot_bits & prot::WRITE != 0;
         let mut vas = std::mem::take(&mut self.task_mut(tid).vas);
         let addr = if hint != 0 {
-            if hint % PAGE_SIZE != 0 {
+            if !hint.is_multiple_of(PAGE_SIZE) {
                 self.task_mut(tid).vas = vas;
                 return -errno::EINVAL;
             }
@@ -710,7 +721,7 @@ impl Kernel {
     }
 
     fn sys_munmap(&mut self, addr: u32, len: u32) -> i32 {
-        if addr % PAGE_SIZE != 0 || len == 0 {
+        if !addr.is_multiple_of(PAGE_SIZE) || len == 0 {
             return -errno::EINVAL;
         }
         let tid = self.current.unwrap();
@@ -754,13 +765,19 @@ impl Kernel {
             return -errno::EFAULT;
         }
         let me = self.current.unwrap();
-        let Some((_, data)) = self.task_mut(me).mailbox.pop_front() else {
+        let Some((sender, data)) = self.task_mut(me).mailbox.pop_front() else {
             return -errno::EAGAIN;
         };
         let n = data.len().min(maxlen as usize);
         // Kernel->user copy.
         self.m.charge(n as u64 / 4 + 120);
-        assert!(self.m.host_write(buf, &data[..n]));
+        if !self.m.host_write(buf, &data[..n]) {
+            // The buffer lies in an unmaterialized demand region (or was
+            // never mapped): a real kernel's copy-to-user would fault.
+            // Surface EFAULT and put the message back so it is not lost.
+            self.task_mut(me).mailbox.push_front((sender, data));
+            return -errno::EFAULT;
+        }
         n as i32
     }
 
@@ -783,7 +800,7 @@ impl Kernel {
     }
 
     fn sys_mprotect(&mut self, addr: u32, len: u32, prot_bits: u32) -> i32 {
-        if addr % PAGE_SIZE != 0 || len == 0 {
+        if !addr.is_multiple_of(PAGE_SIZE) || len == 0 {
             return -errno::EINVAL;
         }
         let end = match addr.checked_add(len.div_ceil(PAGE_SIZE) * PAGE_SIZE) {
@@ -880,7 +897,7 @@ impl Kernel {
         if self.task(tid).task_spl != 2 || cs_rpl > 2 {
             return -errno::EPERM;
         }
-        if addr % PAGE_SIZE != 0 || len == 0 {
+        if !addr.is_multiple_of(PAGE_SIZE) || len == 0 {
             return -errno::EINVAL;
         }
         let end = match addr.checked_add(len.div_ceil(PAGE_SIZE) * PAGE_SIZE) {
@@ -1056,16 +1073,17 @@ impl Kernel {
         self.stats.faults += 1;
         self.m.charge(self.costs.pagefault_handler);
 
-        if fault.vector == x86sim::Vector::PageFault
-            && fault.error_code & x86sim::fault::pf_err::PRESENT == 0
-        {
-            if let Some(addr) = fault.cr2 {
-                if self.demand_map(addr) {
-                    self.m.charge_iret_resume();
-                    return None; // restart the faulting instruction
-                }
+        // Dispatch on the structured cause, not just the vector: only a
+        // genuinely not-present page is a demand-paging candidate. A
+        // page-*protection* violation (P set: an extension wrote a PPL 0
+        // page) or any segment-level fault goes straight to delivery.
+        if let x86sim::fault::FaultCause::Page { linear, code } = fault.cause {
+            if code & x86sim::fault::pf_err::PRESENT == 0 && self.demand_map(linear) {
+                self.m.charge_iret_resume();
+                return None; // restart the faulting instruction
             }
         }
+        self.last_fault = Some(fault);
         self.deliver_signal(SIGSEGV, fault)
     }
 

@@ -153,22 +153,14 @@ pub mod prot {
     pub const EXEC: u32 = 4;
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn user_and_kernel_ranges_do_not_overlap() {
-        assert!(USER_TEXT < USER_LIMIT);
-        assert!(USER_STACK_TOP < USER_LIMIT);
-        assert!(SHARED_LIB_BASE < USER_STACK_TOP);
-        assert!(KERNEL_VA_START >= KERNEL_BASE);
-        assert!(KERNEL_VA_END > KERNEL_VA_START);
-    }
-
-    #[test]
-    fn phys_pool_is_page_aligned() {
-        assert_eq!(PHYS_POOL_START % 4096, 0);
-        assert_eq!(PHYS_POOL_END % 4096, 0);
-    }
-}
+// Compile-time layout checks: the user and kernel ranges must not
+// overlap, and the physical pool must be page-aligned.
+const _: () = {
+    assert!(USER_TEXT < USER_LIMIT);
+    assert!(USER_STACK_TOP < USER_LIMIT);
+    assert!(SHARED_LIB_BASE < USER_STACK_TOP);
+    assert!(KERNEL_VA_START >= KERNEL_BASE);
+    assert!(KERNEL_VA_END > KERNEL_VA_START);
+    assert!(PHYS_POOL_START.is_multiple_of(4096));
+    assert!(PHYS_POOL_END.is_multiple_of(4096));
+};

@@ -85,7 +85,7 @@ impl Vas {
     /// Inserts an area; rejects overlap, misalignment, and ranges leaving
     /// user space.
     pub fn insert(&mut self, area: VmArea) -> Result<(), VasError> {
-        if area.start % PAGE_SIZE != 0 || area.end % PAGE_SIZE != 0 {
+        if !area.start.is_multiple_of(PAGE_SIZE) || !area.end.is_multiple_of(PAGE_SIZE) {
             return Err(VasError::Misaligned);
         }
         if area.start >= area.end || area.end > USER_LIMIT {

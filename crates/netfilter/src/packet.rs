@@ -1,8 +1,7 @@
 //! Packet construction: Ethernet + IPv4 + UDP/TCP headers in network
 //! byte order, plus workload generators.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use seedrng::SeedRng;
 
 /// Header field offsets (Ethernet II framing).
 pub mod offsets {
@@ -99,20 +98,20 @@ pub fn reference_packet(total_len: usize) -> Vec<u8> {
 /// packets satisfy the 4-term reference conjunction, the rest vary in
 /// protocol, address or port.
 pub fn traffic(seed: u64, count: usize, match_ratio: f64) -> Vec<Vec<u8>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeedRng::new(seed);
     (0..count)
         .map(|_| {
             let mut spec = PacketSpec {
-                payload_len: rng.gen_range(0..400),
+                payload_len: rng.gen_range(0, 400) as usize,
                 ..PacketSpec::default()
             };
             if rng.gen_bool(1.0 - match_ratio) {
                 // Break one of the matched fields at random.
-                match rng.gen_range(0..4) {
+                match rng.gen_range(0, 4) {
                     0 => spec.ether_type = 0x0806, // ARP
                     1 => spec.ip_proto = 6,        // TCP
-                    2 => spec.dst_ip = rng.gen(),
-                    _ => spec.dst_port = rng.gen_range(1..5000),
+                    2 => spec.dst_ip = rng.next_u32(),
+                    _ => spec.dst_port = rng.gen_range(1, 5000) as u16,
                 }
             }
             spec.build()

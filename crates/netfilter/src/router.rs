@@ -117,6 +117,10 @@ impl Router {
     pub fn with_module(module: &Object) -> Result<Router, RouterError> {
         let mut k = Kernel::boot();
         let mut kx = KernelExtensions::new(&mut k).map_err(RouterError::Setup)?;
+        // A router fails closed: the first classifier fault quarantines
+        // the segment rather than giving it three strikes at the data
+        // path.
+        kx.quarantine_threshold = 1;
         let seg = kx.create_segment(&mut k, 16)?;
         kx.insmod(&mut k, seg, "classifier", module, &["filter"])?;
         let shared = kx
@@ -187,7 +191,8 @@ impl Router {
             }
             Err(KextError::Aborted(_))
             | Err(KextError::TimeLimit)
-            | Err(KextError::SegmentDead) => {
+            | Err(KextError::SegmentDead)
+            | Err(KextError::Quarantined { .. }) => {
                 self.stats.failed_closed += 1;
                 Ok(Verdict::FailedClosed)
             }

@@ -15,7 +15,7 @@
 //! primitive asynchronous request queue are supported, under the
 //! CPU-time limit of §4.5.2.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use asm86::encode::encode_program;
 use asm86::isa::Reg;
@@ -50,6 +50,13 @@ pub enum KextError {
     TimeLimit,
     /// The segment was marked dead by an earlier abort.
     SegmentDead,
+    /// The segment accumulated too many faults and was automatically
+    /// quarantined: its modules were unloaded, its descriptors revoked
+    /// and its Extension Function Table tombstoned.
+    Quarantined {
+        /// Fault count at the time of quarantine.
+        strikes: u32,
+    },
 }
 
 impl core::fmt::Display for KextError {
@@ -61,6 +68,9 @@ impl core::fmt::Display for KextError {
             KextError::Aborted(fault) => write!(f, "extension aborted: {fault}"),
             KextError::TimeLimit => write!(f, "extension exceeded its CPU-time limit"),
             KextError::SegmentDead => write!(f, "extension segment was aborted earlier"),
+            KextError::Quarantined { strikes } => {
+                write!(f, "extension segment quarantined after {strikes} faults")
+            }
         }
     }
 }
@@ -113,6 +123,15 @@ pub struct ExtSegment {
     pub modules: Vec<String>,
     /// The segment was aborted after a protection violation.
     pub dead: bool,
+    /// Faults (aborts, time-limit kills) accumulated by this segment.
+    pub strikes: u32,
+    /// The segment crossed [`KernelExtensions::quarantine_threshold`]
+    /// and was automatically quarantined.
+    pub quarantined: bool,
+    /// Names formerly in the Extension Function Table, tombstoned at
+    /// quarantine so late callers get a structured error rather than
+    /// `NoSuchFunction` (or, worse, a far call through a stale slot).
+    pub tombstones: BTreeSet<String>,
     /// Pending asynchronous requests (§4.3).
     pub queue: VecDeque<AsyncRequest>,
     /// Marked busy while draining the queue.
@@ -146,6 +165,13 @@ pub struct KernelExtensions {
     pub aborts: u64,
     /// Completed invocations.
     pub calls: u64,
+    /// Faults a segment may accumulate before it is automatically
+    /// quarantined (the generalization of the mobile-code host's
+    /// three-strikes rule). Routers and other fail-closed users may
+    /// lower it to 1 to restore abort-once semantics.
+    pub quarantine_threshold: u32,
+    /// Segments quarantined so far.
+    pub quarantines: u64,
 }
 
 impl KernelExtensions {
@@ -160,14 +186,18 @@ impl KernelExtensions {
         let kret_code = trampoline::kernel_ret(slots, k.sel.kdata.0);
         let kret_at = page + 16;
         let bytes = encode_program(&kret_code);
-        k.kwrite(kret_at, &bytes);
+        if !k.kwrite(kret_at, &bytes) {
+            return Err(KextError::OutOfMemory);
+        }
 
         let gate_idx = k.m.gdt.push(Descriptor::call_gate(k.sel.kcode, kret_at, 1));
         let kret_gate = Selector::new(gate_idx, false, 1);
 
         let invoke_stub = kret_at + bytes.len() as u32 + 16;
         let stub_bytes = encode_program(&trampoline::kernel_invoke_stub());
-        k.kwrite(invoke_stub, &stub_bytes);
+        if !k.kwrite(invoke_stub, &stub_bytes) {
+            return Err(KextError::OutOfMemory);
+        }
 
         let stack = k.alloc_kernel_pages(2)?;
         Ok(KernelExtensions {
@@ -178,6 +208,8 @@ impl KernelExtensions {
             invoke_stack_top: stack + 2 * PAGE_SIZE,
             aborts: 0,
             calls: 0,
+            quarantine_threshold: 3,
+            quarantines: 0,
         })
     }
 
@@ -218,7 +250,9 @@ impl KernelExtensions {
         let mut code = transfer_code;
         code[2] = asm86::isa::Insn::CallM(asm86::isa::Mem::abs(ktarget_off as i32 as u32));
         let bytes = encode_program(&code);
-        k.kwrite(base + ktransfer_off, &bytes);
+        if !k.kwrite(base + ktransfer_off, &bytes) {
+            return Err(KextError::OutOfMemory);
+        }
 
         let load_next = (ktransfer_off + bytes.len() as u32 + 15) & !15;
 
@@ -238,7 +272,9 @@ impl KernelExtensions {
         });
         let kprepare = kprepare_page + 16;
         let pbytes = encode_program(&prep_code);
-        k.kwrite(kprepare, &pbytes);
+        if !k.kwrite(kprepare, &pbytes) {
+            return Err(KextError::OutOfMemory);
+        }
 
         self.segments.push(ExtSegment {
             base,
@@ -249,6 +285,9 @@ impl KernelExtensions {
             shared_area: None,
             modules: Vec::new(),
             dead: false,
+            strikes: 0,
+            quarantined: false,
+            tombstones: BTreeSet::new(),
             queue: VecDeque::new(),
             busy: false,
             kprepare,
@@ -284,6 +323,11 @@ impl KernelExtensions {
         if seg.dead {
             return Err(KextError::SegmentDead);
         }
+        if seg.quarantined {
+            return Err(KextError::Quarantined {
+                strikes: seg.strikes,
+            });
+        }
         let at = seg.load_next;
         if at + obj.len() as u32 > seg.size {
             return Err(KextError::OutOfMemory);
@@ -292,7 +336,12 @@ impl KernelExtensions {
             .link(at, &BTreeMap::new())
             .map_err(|e| KextError::Link(e.to_string()))?;
         let base = seg.base;
-        k.kwrite(base + at, &image);
+        if !k.kwrite(base + at, &image) {
+            return Err(KextError::Link(format!(
+                "segment memory unmapped at {:#010x}",
+                base + at
+            )));
+        }
         seg.load_next = (at + image.len() as u32 + 15) & !15;
 
         for sym in exports {
@@ -339,6 +388,11 @@ impl KernelExtensions {
     ) -> Result<u32, KextError> {
         let (kprepare, target_linear, entry_off) = {
             let seg = &self.segments[id.0];
+            if seg.quarantined {
+                return Err(KextError::Quarantined {
+                    strikes: seg.strikes,
+                });
+            }
             if seg.dead {
                 return Err(KextError::SegmentDead);
             }
@@ -352,7 +406,9 @@ impl KernelExtensions {
 
         // Patch the per-invocation target slot (the kernel indexes its
         // Extension Function Table and dispatches, step 5 of Figure 4).
-        k.m.host_write_u32(target_linear, entry_off);
+        if !k.m.host_write_u32(target_linear, entry_off) {
+            return Err(KextError::OutOfMemory);
+        }
 
         // Enter the kprepare stub at ring 0 on the invocation stack.
         let snapshot = k.m.cpu.clone();
@@ -381,14 +437,12 @@ impl KernelExtensions {
                     // §5.2: aborting a misbehaving kernel extension costs
                     // ~1,020 cycles (vectoring + abort work).
                     k.m.charge(k.costs.kext_abort);
-                    self.aborts += 1;
-                    self.segments[id.0].dead = true;
+                    self.strike(k, id);
                     break Err(KextError::Aborted(fault));
                 }
                 Exit::CycleLimit => {
                     k.m.charge(k.costs.kext_abort);
-                    self.aborts += 1;
-                    self.segments[id.0].dead = true;
+                    self.strike(k, id);
                     break Err(KextError::TimeLimit);
                 }
                 Exit::IntHook(_) | Exit::InsnLimit => {
@@ -396,8 +450,7 @@ impl KernelExtensions {
                     // user syscall gate, which its gate DPL forbids anyway)
                     // is treated as misbehaviour and aborted.
                     k.m.charge(k.costs.kext_abort);
-                    self.aborts += 1;
-                    self.segments[id.0].dead = true;
+                    self.strike(k, id);
                     break Err(KextError::TimeLimit);
                 }
             }
@@ -416,18 +469,15 @@ impl KernelExtensions {
         let seg_base = self.segments[id.0].base;
         let seg_size = self.segments[id.0].size;
         let ret: u32 = match nr {
-            kservice::LOG => {
-                // Bytes are addressed segment-relative and bounds-checked
-                // against the segment limit, like any kernel copy-from-user.
-                if b.saturating_add(c) <= seg_size && c <= 4096 {
-                    let data = k.m.host_read(seg_base + b, c as usize);
-                    k.console.extend_from_slice(&data);
-                    k.m.charge(c as u64 / 4 + 20);
-                    c
-                } else {
-                    u32::MAX
-                }
+            // Bytes are addressed segment-relative and bounds-checked
+            // against the segment limit, like any kernel copy-from-user.
+            kservice::LOG if b.saturating_add(c) <= seg_size && c <= 4096 => {
+                let data = k.m.host_read(seg_base + b, c as usize);
+                k.console.extend_from_slice(&data);
+                k.m.charge(c as u64 / 4 + 20);
+                c
             }
+            kservice::LOG => u32::MAX,
             kservice::CYCLES => k.m.cycles() as u32,
             kservice::SHARED_SIZE => self.segments[id.0].shared_area.map(|(_, s)| s).unwrap_or(0),
             _ => u32::MAX,
@@ -468,20 +518,51 @@ impl KernelExtensions {
         true
     }
 
-    /// Destroys an extension segment, reclaiming what the paper's
-    /// prototype reclaims (§4.5.2: "reclaiming the system resources
-    /// previously allocated"): its descriptors are marked not-present so
-    /// any stale selector use faults, its queue is dropped, and it can
-    /// never be invoked again.
-    pub fn destroy_segment(&mut self, k: &mut Kernel, id: ExtSegmentId) {
+    /// Records one strike against a segment after an abort. Below the
+    /// quarantine threshold the segment stays usable — the abort already
+    /// unwound the misbehaving invocation and the segment's memory is
+    /// still protected by its limit, so the three-strikes policy of the
+    /// mobile-code host generalizes safely. At the threshold the segment
+    /// is quarantined.
+    fn strike(&mut self, k: &mut Kernel, id: ExtSegmentId) {
+        self.aborts += 1;
+        let threshold = self.quarantine_threshold;
         let seg = &mut self.segments[id.0];
+        seg.strikes += 1;
+        if seg.strikes >= threshold {
+            self.quarantine(k, id);
+        }
+    }
+
+    /// Quarantines a segment: every module is force-unloaded (`rmmod`),
+    /// each Extension Function Table entry is replaced by a tombstone so
+    /// pending callers get a structured error instead of a wild far call,
+    /// the shared area is withdrawn, and the SPL 1 descriptors are marked
+    /// not-present so any stale selector use faults in hardware.
+    pub fn quarantine(&mut self, k: &mut Kernel, id: ExtSegmentId) {
+        let seg = &mut self.segments[id.0];
+        if seg.quarantined {
+            return;
+        }
+        seg.quarantined = true;
         seg.dead = true;
+        let names: Vec<String> = seg.functions.keys().cloned().collect();
+        seg.tombstones.extend(names);
         seg.functions.clear();
-        seg.queue.clear();
+        seg.modules.clear();
+        seg.shared_area = None;
         seg.busy = false;
-        // Revoke the descriptors: loading or transferring through them
-        // now raises #NP/#GP.
-        for sel in [seg.code_sel, seg.data_sel] {
+        let (code_sel, data_sel) = (seg.code_sel, seg.data_sel);
+        Self::revoke_descriptors(k, code_sel, data_sel);
+        self.quarantines += 1;
+    }
+
+    /// Marks a segment's code and data descriptors not-present: loading
+    /// or transferring through them now raises #NP/#GP in the simulated
+    /// hardware, closing the window where a revoked selector is still
+    /// cached in software state somewhere.
+    fn revoke_descriptors(k: &mut Kernel, code_sel: Selector, data_sel: Selector) {
+        for sel in [code_sel, data_sel] {
             let idx = sel.index();
             if let Some(d) = k.m.gdt.get(idx).copied() {
                 let revoked = match d {
@@ -498,6 +579,23 @@ impl KernelExtensions {
                 k.m.gdt.set(idx, revoked);
             }
         }
+    }
+
+    /// Destroys an extension segment, reclaiming what the paper's
+    /// prototype reclaims (§4.5.2: "reclaiming the system resources
+    /// previously allocated"): its descriptors are marked not-present so
+    /// any stale selector use faults, and it can never be invoked again.
+    /// Requests still queued are *not* silently dropped — a later
+    /// [`run_pending`](Self::run_pending) drains them as structured
+    /// [`KextError::SegmentDead`] errors so every pending caller learns
+    /// its fate.
+    pub fn destroy_segment(&mut self, k: &mut Kernel, id: ExtSegmentId) {
+        let seg = &mut self.segments[id.0];
+        seg.dead = true;
+        seg.functions.clear();
+        seg.busy = false;
+        let (code_sel, data_sel) = (seg.code_sel, seg.data_sel);
+        Self::revoke_descriptors(k, code_sel, data_sel);
     }
 
     /// Removes and returns all pending asynchronous requests *without*
@@ -518,9 +616,18 @@ impl KernelExtensions {
         while let Some(req) = self.segments[id.0].queue.pop_front() {
             results.push(self.invoke(k, id, &req.func, req.arg));
             if self.segments[id.0].dead {
-                // Remaining requests fail fast.
+                // Remaining requests fail fast with a structured error:
+                // tombstoned EFT entries mean no pending caller is ever
+                // dispatched through a revoked descriptor.
+                let err = if self.segments[id.0].quarantined {
+                    KextError::Quarantined {
+                        strikes: self.segments[id.0].strikes,
+                    }
+                } else {
+                    KextError::SegmentDead
+                };
                 while self.segments[id.0].queue.pop_front().is_some() {
-                    results.push(Err(KextError::SegmentDead));
+                    results.push(Err(err.clone()));
                 }
                 break;
             }

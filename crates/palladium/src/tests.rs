@@ -95,9 +95,12 @@ fn extension_cannot_touch_application_memory() {
     let prep = app.seg_dlsym(&mut k, h, "evil").unwrap();
 
     match app.call_extension(&mut k, prep, 0) {
-        Err(ExtCallError::Fault { sig, addr }) => {
+        Err(ExtCallError::Fault { sig, addr, cause }) => {
             assert_eq!(sig, minikernel::SIGSEGV);
             assert_eq!(addr, USER_TEXT);
+            // Satellite check: the structured cause made it through the
+            // guest signal trampoline round-trip.
+            assert_eq!(cause.expect("cause recorded").tag(), "page-protection");
         }
         other => panic!("expected fault, got {other:?}"),
     }
@@ -485,10 +488,29 @@ fn kernel_extension_confined_by_segment_limit() {
     // §5.2: the abort path costs ~1,020 cycles on top of the partial run.
     assert!(k.m.cycles() - before >= 1_020);
     assert_eq!(kx.aborts, 1);
+    // One fault is a strike, not a death sentence: the segment stays
+    // usable until the quarantine threshold.
+    assert_eq!(kx.segment(seg).strikes, 1);
+    assert!(!kx.segment(seg).dead);
+    assert!(matches!(
+        kx.invoke(&mut k, seg, "esc", 0),
+        Err(KextError::Aborted(_))
+    ));
+    assert!(matches!(
+        kx.invoke(&mut k, seg, "esc", 0),
+        Err(KextError::Aborted(_))
+    ));
+    // Third strike: automatic quarantine — modules unloaded, EFT
+    // tombstoned, descriptors revoked.
+    assert_eq!(kx.aborts, 3);
+    assert!(kx.segment(seg).quarantined);
     assert!(kx.segment(seg).dead);
+    assert_eq!(kx.quarantines, 1);
+    assert!(kx.segment(seg).tombstones.contains("esc"));
+    assert!(kx.segment(seg).modules.is_empty());
     assert_eq!(
         kx.invoke(&mut k, seg, "esc", 0),
-        Err(KextError::SegmentDead)
+        Err(KextError::Quarantined { strikes: 3 })
     );
 }
 
@@ -584,6 +606,8 @@ fn kernel_extension_time_limit() {
     let mut k = Kernel::boot();
     k.extension_cycle_limit = 20_000;
     let mut kx = KernelExtensions::new(&mut k).unwrap();
+    // Abort-once semantics for this test: first strike quarantines.
+    kx.quarantine_threshold = 1;
     let seg = kx.create_segment(&mut k, 8).unwrap();
     kx.insmod(&mut k, seg, "loop", &obj("spin:\njmp spin\n"), &["spin"])
         .unwrap();

@@ -92,6 +92,10 @@ pub enum ExtCallError {
         sig: u8,
         /// Faulting address the handler observed.
         addr: u32,
+        /// The hardware-level cause behind the signal, recorded by the
+        /// kernel's fault dispatcher. `None` only for signals that did
+        /// not originate from a fault.
+        cause: Option<x86sim::fault::FaultCause>,
     },
     /// The extension exceeded its CPU-time limit (§4.5.2's timer check).
     TimeLimit,
@@ -103,8 +107,12 @@ pub enum ExtCallError {
 impl core::fmt::Display for ExtCallError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            ExtCallError::Fault { sig, addr } => {
-                write!(f, "extension fault: signal {sig} at {addr:#010x}")
+            ExtCallError::Fault { sig, addr, cause } => {
+                write!(f, "extension fault: signal {sig} at {addr:#010x}")?;
+                if let Some(c) = cause {
+                    write!(f, " ({})", c.tag())?;
+                }
+                Ok(())
             }
             ExtCallError::TimeLimit => write!(f, "extension exceeded its CPU-time limit"),
             ExtCallError::Killed(fault) => write!(f, "task killed: {fault}"),
@@ -553,10 +561,15 @@ impl ExtensibleApp {
                 // The SIGSEGV trampoline ran: eax = signal, ebx = address.
                 let sig = k.m.cpu.reg(Reg::Eax) as u8;
                 let addr = k.m.cpu.reg(Reg::Ebx);
+                // The guest trampoline only sees (signal, address); the
+                // structured cause rides along from the kernel's fault
+                // dispatcher so callers and audit oracles know *why*
+                // containment fired.
+                let cause = k.last_fault.take().map(|f| f.cause);
                 k.host_clear_sigcontext(self.tid);
                 k.m.cpu = snapshot;
                 self.aborted_calls += 1;
-                Err(ExtCallError::Fault { sig, addr })
+                Err(ExtCallError::Fault { sig, addr, cause })
             }
             Outcome::Budget => {
                 // §4.5.2: the timer expired; the kernel aborts the

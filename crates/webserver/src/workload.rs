@@ -2,8 +2,7 @@
 //! 1000 requests were sent to the Web server with up to 30 requests being
 //! serviced concurrently").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use seedrng::SeedRng;
 
 use crate::cgi::{ExecModel, ServerError, WebServer};
 use crate::http::get_request;
@@ -64,7 +63,7 @@ pub fn run_live(
     n: u32,
     seed: u64,
 ) -> Result<AbResult, ServerError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeedRng::new(seed);
     let start = server.k.m.cycles();
     let mut resp_bytes = 0u64;
     for _ in 0..n {

@@ -108,6 +108,32 @@ pub enum FaultCause {
     BadTransfer,
 }
 
+impl FaultCause {
+    /// A short, stable tag naming the cause — used by fault-injection
+    /// event logs (which must be byte-identical across replays of the
+    /// same seed) and by SIGSEGV-delivery traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultCause::LimitViolation { .. } => "limit",
+            FaultCause::PrivilegeViolation { .. } => "privilege",
+            FaultCause::BadSegmentType => "segtype",
+            FaultCause::BadSelector(_) => "selector",
+            FaultCause::SegmentNotPresent(_) => "not-present",
+            FaultCause::Page { code, .. } => {
+                if code & pf_err::PRESENT == 0 {
+                    "page-not-present"
+                } else {
+                    "page-protection"
+                }
+            }
+            FaultCause::PrivilegedInstruction => "priv-insn",
+            FaultCause::BadInstruction => "bad-insn",
+            FaultCause::Arithmetic => "arith",
+            FaultCause::BadTransfer => "transfer",
+        }
+    }
+}
+
 /// A delivered exception.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fault {

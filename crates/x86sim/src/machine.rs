@@ -710,4 +710,48 @@ impl Machine {
         let pte_val = crate::paging::get_pte(&self.mem, self.mmu.cr3, linear)?;
         Some((pte_val & crate::paging::pte::FRAME) | (linear & 0xFFF))
     }
+
+    // ----- fault-injection hooks ---------------------------------------------
+    //
+    // Campaign drivers (crates/chaos) mutate machine state between steps
+    // to probe the fault paths. All hooks move in the *revoking* direction
+    // only (present → not-present); granting access would invalidate the
+    // protection invariants the campaigns assert.
+
+    /// Sets the present bit of GDT descriptor `index` (code, data or
+    /// gate). Returns the previous present state, or `None` when the
+    /// index does not name a descriptor.
+    pub fn set_descriptor_present(&mut self, index: u16, present: bool) -> Option<bool> {
+        let d = self.gdt.get(index).copied()?;
+        let (was, updated) = match d {
+            Descriptor::Null => return None,
+            Descriptor::Code(mut c) => {
+                let was = c.present;
+                c.present = present;
+                (was, Descriptor::Code(c))
+            }
+            Descriptor::Data(mut dd) => {
+                let was = dd.present;
+                dd.present = present;
+                (was, Descriptor::Data(dd))
+            }
+            Descriptor::Gate(mut g) => {
+                let was = g.present;
+                g.present = present;
+                (was, Descriptor::Gate(g))
+            }
+        };
+        self.gdt.set(index, updated);
+        Some(was)
+    }
+
+    /// Present bit of GDT descriptor `index`, if it exists.
+    pub fn gdt_entry_present(&self, index: u16) -> Option<bool> {
+        Some(match self.gdt.get(index)? {
+            Descriptor::Null => return None,
+            Descriptor::Code(c) => c.present,
+            Descriptor::Data(d) => d.present,
+            Descriptor::Gate(g) => g.present,
+        })
+    }
 }

@@ -118,6 +118,15 @@ impl Mmu {
         self.tlb.len()
     }
 
+    /// Virtual page numbers currently cached, sorted (fault-injection
+    /// hook: campaigns pick a victim entry deterministically, so the
+    /// iteration order must not depend on the host hash seed).
+    pub fn tlb_vpns(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.tlb.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Translates a linear address, enforcing page-level protection.
     ///
     /// `user` is true when the access originates at CPL 3; supervisor

@@ -649,63 +649,51 @@ fn tlb_miss_charges_cycles() {
 mod properties {
     use super::*;
     use crate::desc::{CodeSeg, DataSeg};
-    use proptest::prelude::*;
+    use seedrng::SeedRng;
 
-    fn arb_code_desc() -> impl Strategy<Value = Descriptor> {
-        (
-            any::<u32>(),
-            0u32..=0xFFFFF,
-            0u8..4,
-            any::<bool>(),
-            any::<bool>(),
-            any::<bool>(),
-        )
-            .prop_map(|(base, limit, dpl, readable, conforming, present)| {
-                Descriptor::Code(CodeSeg {
-                    base,
-                    limit,
-                    dpl,
-                    readable,
-                    conforming,
-                    present,
-                })
-            })
+    fn arb_code_desc(r: &mut SeedRng) -> Descriptor {
+        Descriptor::Code(CodeSeg {
+            base: r.next_u32(),
+            limit: r.gen_range(0, 0x10_0000),
+            dpl: r.gen_range(0, 4) as u8,
+            readable: r.gen_bool(0.5),
+            conforming: r.gen_bool(0.5),
+            present: r.gen_bool(0.5),
+        })
     }
 
-    fn arb_data_desc() -> impl Strategy<Value = Descriptor> {
-        (
-            any::<u32>(),
-            0u32..=0xFFFFF,
-            0u8..4,
-            any::<bool>(),
-            any::<bool>(),
-            any::<bool>(),
-        )
-            .prop_map(|(base, limit, dpl, writable, expand_down, present)| {
-                Descriptor::Data(DataSeg {
-                    base,
-                    limit,
-                    dpl,
-                    writable,
-                    expand_down,
-                    present,
-                })
-            })
+    fn arb_data_desc(r: &mut SeedRng) -> Descriptor {
+        Descriptor::Data(DataSeg {
+            base: r.next_u32(),
+            limit: r.gen_range(0, 0x10_0000),
+            dpl: r.gen_range(0, 4) as u8,
+            writable: r.gen_bool(0.5),
+            expand_down: r.gen_bool(0.5),
+            present: r.gen_bool(0.5),
+        })
     }
 
-    proptest! {
-        /// Descriptors with byte-granular limits survive the genuine
-        /// 8-byte x86 packing bit-exactly.
-        #[test]
-        fn prop_descriptor_pack_roundtrip(
-            d in prop_oneof![arb_code_desc(), arb_data_desc()],
-        ) {
-            prop_assert_eq!(Descriptor::unpack(d.pack()), Some(d));
+    /// Descriptors with byte-granular limits survive the genuine
+    /// 8-byte x86 packing bit-exactly.
+    #[test]
+    fn seeded_descriptor_pack_roundtrip() {
+        let mut r = SeedRng::new(0xDE5C);
+        for _ in 0..2000 {
+            let d = if r.gen_bool(0.5) {
+                arb_code_desc(&mut r)
+            } else {
+                arb_data_desc(&mut r)
+            };
+            assert_eq!(Descriptor::unpack(d.pack()), Some(d));
         }
+    }
 
-        /// Page-granular limits lose exactly their low 12 bits.
-        #[test]
-        fn prop_large_limit_granularity(limit in 0x10_0000u32..=u32::MAX) {
+    /// Page-granular limits lose exactly their low 12 bits.
+    #[test]
+    fn seeded_large_limit_granularity() {
+        let mut r = SeedRng::new(0x11A1);
+        for _ in 0..500 {
+            let limit = r.gen_range_u64(0x10_0000, 1 << 32) as u32;
             let d = Descriptor::Code(CodeSeg {
                 base: 0,
                 limit,
@@ -715,52 +703,54 @@ mod properties {
                 present: true,
             });
             match Descriptor::unpack(d.pack()) {
-                Some(Descriptor::Code(c)) => prop_assert_eq!(c.limit, limit | 0xFFF),
-                other => return Err(TestCaseError::fail(format!("{other:?}"))),
+                Some(Descriptor::Code(c)) => assert_eq!(c.limit, limit | 0xFFF),
+                other => panic!("{other:?}"),
             }
         }
+    }
 
-        /// ALU flag semantics agree with wide-arithmetic reference math.
-        #[test]
-        fn prop_add_sub_flags(a in any::<u32>(), b in any::<u32>()) {
+    /// ALU flag semantics agree with wide-arithmetic reference math.
+    #[test]
+    fn seeded_add_sub_flags() {
+        let mut r = SeedRng::new(0xF1A6);
+        for _ in 0..500 {
+            let (a, b) = (r.next_u32(), r.next_u32());
             let mut m = flat_machine("hlt\n");
             // add
-            let r = {
-                m.cpu.set_reg(Reg::Eax, a);
-                m.execute(asm86::Insn::Alu(asm86::AluOp::Add, Reg::Eax, asm86::Src::Imm(b as i32)), 0)
-                    .unwrap();
-                m.cpu.reg(Reg::Eax)
-            };
-            prop_assert_eq!(r, a.wrapping_add(b));
-            prop_assert_eq!(m.cpu.flags.cf, (a as u64 + b as u64) > u32::MAX as u64);
-            prop_assert_eq!(m.cpu.flags.zf, r == 0);
-            prop_assert_eq!(m.cpu.flags.sf, (r as i32) < 0);
-            prop_assert_eq!(
-                m.cpu.flags.of,
-                (a as i32).checked_add(b as i32).is_none()
-            );
+            m.cpu.set_reg(Reg::Eax, a);
+            m.execute(
+                asm86::Insn::Alu(asm86::AluOp::Add, Reg::Eax, asm86::Src::Imm(b as i32)),
+                0,
+            )
+            .unwrap();
+            let v = m.cpu.reg(Reg::Eax);
+            assert_eq!(v, a.wrapping_add(b));
+            assert_eq!(m.cpu.flags.cf, (a as u64 + b as u64) > u32::MAX as u64);
+            assert_eq!(m.cpu.flags.zf, v == 0);
+            assert_eq!(m.cpu.flags.sf, (v as i32) < 0);
+            assert_eq!(m.cpu.flags.of, (a as i32).checked_add(b as i32).is_none());
             // sub (via cmp so the destination is untouched)
             m.cpu.set_reg(Reg::Ecx, a);
             m.execute(asm86::Insn::Cmp(Reg::Ecx, asm86::Src::Imm(b as i32)), 0)
                 .unwrap();
-            prop_assert_eq!(m.cpu.flags.cf, a < b);
-            prop_assert_eq!(m.cpu.flags.zf, a == b);
-            prop_assert_eq!(
-                m.cpu.flags.of,
-                (a as i32).checked_sub(b as i32).is_none()
-            );
+            assert_eq!(m.cpu.flags.cf, a < b);
+            assert_eq!(m.cpu.flags.zf, a == b);
+            assert_eq!(m.cpu.flags.of, (a as i32).checked_sub(b as i32).is_none());
         }
+    }
 
-        /// Random arithmetic programs compute what reference Rust does.
-        #[test]
-        fn prop_straightline_arith_matches_host(
-            ops in proptest::collection::vec((0u8..6, any::<i32>()), 1..24),
-            start in any::<u32>(),
-        ) {
+    /// Random arithmetic programs compute what reference Rust does.
+    #[test]
+    fn seeded_straightline_arith_matches_host() {
+        let mut r = SeedRng::new(0xA317);
+        for _ in 0..200 {
+            let start = r.next_u32();
+            let n = 1 + r.gen_range(0, 23) as usize;
             let mut expected = start;
             let mut src = format!("mov eax, {}\n", start as i32);
-            for (op, v) in &ops {
-                let (mn, f): (&str, fn(u32, i32) -> u32) = match op {
+            for _ in 0..n {
+                let v = r.next_u32() as i32;
+                let (mn, f): (&str, fn(u32, i32) -> u32) = match r.gen_range(0, 6) {
                     0 => ("add", |a, v| a.wrapping_add(v as u32)),
                     1 => ("sub", |a, v| a.wrapping_sub(v as u32)),
                     2 => ("and", |a, v| a & v as u32),
@@ -768,13 +758,13 @@ mod properties {
                     4 => ("xor", |a, v| a ^ v as u32),
                     _ => ("imul", |a, v| (a as i32).wrapping_mul(v) as u32),
                 };
-                expected = f(expected, *v);
+                expected = f(expected, v);
                 src.push_str(&format!("{mn} eax, {v}\n"));
             }
             src.push_str("hlt\n");
             let mut m = flat_machine(&src);
             run_to_hlt(&mut m);
-            prop_assert_eq!(m.cpu.reg(Reg::Eax), expected);
+            assert_eq!(m.cpu.reg(Reg::Eax), expected);
         }
     }
 }
@@ -995,18 +985,19 @@ fn gate_call_privilege_matrix() {
 
 mod machine_fuzz {
     use super::*;
-    use proptest::prelude::*;
+    use seedrng::SeedRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        /// Total machine: arbitrary bytes executed as ring-3 code always
-        /// produce a defined exit (fault/hook/limit), never a panic, and
-        /// never escalate privilege.
-        #[test]
-        fn prop_random_bytes_never_panic_or_escalate(
-            code in proptest::collection::vec(any::<u8>(), 1..256),
-            regs in proptest::array::uniform8(any::<u32>()),
-        ) {
+    /// Total machine: arbitrary bytes executed as ring-3 code always
+    /// produce a defined exit (fault/hook/limit), never a panic, and
+    /// never escalate privilege.
+    #[test]
+    fn seeded_random_bytes_never_panic_or_escalate() {
+        let mut r = SeedRng::new(0xBAD5);
+        for _ in 0..64 {
+            let n = 1 + r.gen_range(0, 255) as usize;
+            let mut code = vec![0u8; n];
+            r.fill_bytes(&mut code);
+
             let mut m = Machine::new();
             let c3 = m.gdt.push(Descriptor::flat_code(3));
             let d3 = m.gdt.push(Descriptor::flat_data(3));
@@ -1024,9 +1015,10 @@ mod machine_fuzz {
             m.force_seg_from_table(SegReg::Cs, Selector::new(c3, false, 3));
             m.force_seg_from_table(SegReg::Ss, Selector::new(d3, false, 3));
             m.force_seg_from_table(SegReg::Ds, Selector::new(d3, false, 3));
-            let mut regs = regs;
-            regs[Reg::Esp as usize] = 0x9000;
-            m.cpu.regs = regs;
+            for i in 0..8 {
+                m.cpu.regs[i] = r.next_u32();
+            }
+            m.cpu.regs[Reg::Esp as usize] = 0x9000;
             m.cpu.eip = 0x1000;
 
             // Budgeted run: every step must leave CPL at 3 unless a legal
@@ -1034,7 +1026,7 @@ mod machine_fuzz {
             for _ in 0..2000 {
                 match m.step() {
                     None => {
-                        prop_assert_eq!(m.cpu.cpl, 3, "no privilege escalation");
+                        assert_eq!(m.cpu.cpl, 3, "no privilege escalation");
                     }
                     Some(Exit::IntHook(0x80)) => {
                         // Syscall hook: a host kernel would service it;
@@ -1042,9 +1034,7 @@ mod machine_fuzz {
                         break;
                     }
                     Some(Exit::Fault(_)) | Some(Exit::Hlt) => break,
-                    Some(other) => {
-                        return Err(TestCaseError::fail(format!("odd exit {other:?}")));
-                    }
+                    Some(other) => panic!("odd exit {other:?}"),
                 }
             }
         }

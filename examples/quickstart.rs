@@ -66,8 +66,9 @@ fib_done:
     let h2 = app.seg_dlopen(&mut k, &evil, DlOptions::default()).unwrap();
     let evil_fn = app.seg_dlsym(&mut k, h2, "evil").unwrap();
     match app.call_extension(&mut k, evil_fn, 0) {
-        Err(ExtCallError::Fault { sig, addr }) => {
-            println!("evil extension contained: signal {sig} at {addr:#010x}");
+        Err(ExtCallError::Fault { sig, addr, cause }) => {
+            let why = cause.map(|c| c.tag()).unwrap_or("?");
+            println!("evil extension contained: signal {sig} at {addr:#010x} ({why})");
         }
         other => panic!("expected containment, got {other:?}"),
     }

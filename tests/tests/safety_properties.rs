@@ -1,8 +1,9 @@
-//! Property-based safety tests: the paper's protection guarantees hold
-//! for *adversarial, randomly generated* extensions, not just the
-//! hand-written ones.
+//! Seeded property tests: the paper's protection guarantees hold for
+//! *adversarial, randomly generated* extensions, not just the
+//! hand-written ones. All randomness flows from [`seedrng::SeedRng`] so
+//! every run (including failures) is reproducible from the literal seed.
 
-use proptest::prelude::*;
+use seedrng::SeedRng;
 
 use asm86::isa::{AluOp, Insn, Mem, Reg, Src};
 use asm86::obj::Object;
@@ -10,46 +11,46 @@ use minikernel::{Kernel, USER_TEXT};
 use netfilter::{paper_conjunction, Filter, Term, Test as FTest, Width};
 use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..8).prop_map(|v| Reg::from_u8(v).unwrap())
+fn arb_reg(r: &mut SeedRng) -> Reg {
+    Reg::from_u8(r.gen_range(0, 8) as u8).unwrap()
 }
 
 /// Addresses an adversarial extension might aim at: the application
 /// image, the kernel, the trampolines, its own region, wild values.
-fn arb_target() -> impl Strategy<Value = u32> {
-    prop_oneof![
-        Just(USER_TEXT),
-        Just(USER_TEXT + 0x400),
-        Just(0xD000_0000u32),
-        Just(0xC000_0000u32),
-        Just(0xBFFE_8000u32),
-        0x4000_0000u32..0x4002_0000,
-        any::<u32>(),
-    ]
+fn arb_target(r: &mut SeedRng) -> u32 {
+    match r.gen_range(0, 7) {
+        0 => USER_TEXT,
+        1 => USER_TEXT + 0x400,
+        2 => 0xD000_0000,
+        3 => 0xC000_0000,
+        4 => 0xBFFE_8000,
+        5 => 0x4000_0000 + r.gen_range(0, 0x2_0000),
+        _ => r.next_u32(),
+    }
 }
 
 /// Random straight-line-ish extension code: moves, ALU, stack ops, loads
 /// and stores at adversarial addresses, the occasional syscall attempt.
-fn arb_ext_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (arb_reg(), any::<i32>()).prop_map(|(r, v)| Insn::Mov(r, Src::Imm(v))),
-        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Mov(a, Src::Reg(b))),
-        (arb_reg(), arb_target()).prop_map(|(r, t)| Insn::Load(r, Mem::abs(t))),
-        (arb_target(), arb_reg()).prop_map(|(t, r)| Insn::Store(Mem::abs(t), Src::Reg(r))),
-        (arb_reg(), arb_target()).prop_map(|(r, t)| Insn::LoadB(r, Mem::abs(t))),
-        (arb_target(), arb_reg()).prop_map(|(t, r)| Insn::StoreB(Mem::abs(t), r)),
-        (arb_reg(), any::<i32>()).prop_map(|(r, v)| Insn::Alu(AluOp::Add, r, Src::Imm(v))),
-        (arb_reg(), any::<i32>()).prop_map(|(r, v)| Insn::Alu(AluOp::Xor, r, Src::Imm(v))),
-        arb_reg().prop_map(|r| Insn::Push(Src::Reg(r))),
-        arb_reg().prop_map(Insn::Pop),
-        Just(Insn::Int(0x80)),
-        Just(Insn::Int(0x81)),
-        Just(Insn::Hlt),
-        Just(Insn::Iret),
+fn arb_ext_insn(r: &mut SeedRng) -> Insn {
+    match r.gen_range(0, 16) {
+        0 => Insn::Mov(arb_reg(r), Src::Imm(r.next_u32() as i32)),
+        1 => Insn::Mov(arb_reg(r), Src::Reg(arb_reg(r))),
+        2 => Insn::Load(arb_reg(r), Mem::abs(arb_target(r))),
+        3 => Insn::Store(Mem::abs(arb_target(r)), Src::Reg(arb_reg(r))),
+        4 => Insn::LoadB(arb_reg(r), Mem::abs(arb_target(r))),
+        5 => Insn::StoreB(Mem::abs(arb_target(r)), arb_reg(r)),
+        6 => Insn::Alu(AluOp::Add, arb_reg(r), Src::Imm(r.next_u32() as i32)),
+        7 => Insn::Alu(AluOp::Xor, arb_reg(r), Src::Imm(r.next_u32() as i32)),
+        8 => Insn::Push(Src::Reg(arb_reg(r))),
+        9 => Insn::Pop(arb_reg(r)),
+        10 => Insn::Int(0x80),
+        11 => Insn::Int(0x81),
+        12 => Insn::Hlt,
+        13 => Insn::Iret,
         // Forged far transfers at interesting selectors.
-        (any::<u16>()).prop_map(|s| Insn::Lcall(s, 0)),
-        Just(Insn::Lret),
-    ]
+        14 => Insn::Lcall(r.next_u32() as u16, 0),
+        _ => Insn::Lret,
+    }
 }
 
 fn ext_object(body: &[Insn]) -> Object {
@@ -63,20 +64,22 @@ fn ext_object(body: &[Insn]) -> Object {
     b.finish().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// THE core claim: no randomly generated extension can modify
+/// application memory, and the application survives whatever the
+/// extension does.
+#[test]
+fn seeded_random_extensions_are_contained() {
+    let mut rng = SeedRng::new(0x5AFE_0001);
+    for _ in 0..40 {
+        let n = rng.gen_range(0, 24) as usize;
+        let body: Vec<Insn> = (0..n).map(|_| arb_ext_insn(&mut rng)).collect();
 
-    /// THE core claim: no randomly generated extension can modify
-    /// application memory, and the application survives whatever the
-    /// extension does.
-    #[test]
-    fn prop_random_extensions_are_contained(
-        body in proptest::collection::vec(arb_ext_insn(), 0..24),
-    ) {
         let mut k = Kernel::boot();
         k.extension_cycle_limit = 200_000;
         let mut app = ExtensibleApp::new(&mut k).unwrap();
-        let h = app.seg_dlopen(&mut k, &ext_object(&body), DlOptions::default()).unwrap();
+        let h = app
+            .seg_dlopen(&mut k, &ext_object(&body), DlOptions::default())
+            .unwrap();
         let f = app.seg_dlsym(&mut k, h, "entry").unwrap();
 
         // Snapshot application-private memory (the image page).
@@ -86,12 +89,12 @@ proptest! {
 
         // Whatever happened, the app's memory is intact.
         let after_text = k.m.host_read(USER_TEXT, 4096);
-        prop_assert_eq!(before_text, after_text, "application image untouched");
+        assert_eq!(before_text, after_text, "application image untouched");
 
         // And the outcome is one of the defined, recoverable ones.
         match result {
             Ok(_) | Err(ExtCallError::Fault { .. }) | Err(ExtCallError::TimeLimit) => {}
-            Err(other) => return Err(TestCaseError::fail(format!("bad outcome: {other}"))),
+            Err(other) => panic!("bad outcome: {other} for {body:?}"),
         }
 
         // The application still works: load and run a known-good
@@ -104,16 +107,20 @@ proptest! {
             )
             .unwrap();
         let ok = app.seg_dlsym(&mut k, h2, "entry").unwrap();
-        prop_assert_eq!(app.call_extension(&mut k, ok, 0).unwrap(), 77);
+        assert_eq!(app.call_extension(&mut k, ok, 0).unwrap(), 77);
     }
+}
 
-    /// Kernel extensions: random code can never write kernel memory
-    /// outside its segment.
-    #[test]
-    fn prop_random_kernel_extensions_are_confined(
-        body in proptest::collection::vec(arb_ext_insn(), 0..20),
-    ) {
-        use palladium::kernel_ext::KernelExtensions;
+/// Kernel extensions: random code can never write kernel memory
+/// outside its segment.
+#[test]
+fn seeded_random_kernel_extensions_are_confined() {
+    use palladium::kernel_ext::KernelExtensions;
+
+    let mut rng = SeedRng::new(0x5AFE_0002);
+    for _ in 0..40 {
+        let n = rng.gen_range(0, 20) as usize;
+        let body: Vec<Insn> = (0..n).map(|_| arb_ext_insn(&mut rng)).collect();
 
         let mut k = Kernel::boot();
         k.extension_cycle_limit = 200_000;
@@ -128,41 +135,50 @@ proptest! {
 
         let _ = kx.invoke(&mut k, seg, "entry", 7);
 
-        prop_assert_eq!(k.m.host_read_u32(canary), 0xC0FFEE, "kernel memory intact");
+        assert_eq!(k.m.host_read_u32(canary), 0xC0FFEE, "kernel memory intact");
     }
 }
 
-fn arb_term() -> impl Strategy<Value = Term> {
-    let width = prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4)];
-    let test = prop_oneof![
-        (0u32..0x100).prop_map(FTest::Eq),
-        (0u32..0x100, 0u32..0x100).prop_map(|(m, v)| FTest::Masked(m, v & m)),
-        (0u32..0x100).prop_map(FTest::Gt),
-    ];
-    (0u32..56, width, test).prop_map(|(offset, width, test)| Term {
-        offset,
+fn arb_term(r: &mut SeedRng) -> Term {
+    let width = match r.gen_range(0, 3) {
+        0 => Width::B1,
+        1 => Width::B2,
+        _ => Width::B4,
+    };
+    let test = match r.gen_range(0, 3) {
+        0 => FTest::Eq(r.gen_range(0, 0x100)),
+        1 => {
+            let m = r.gen_range(0, 0x100);
+            FTest::Masked(m, r.gen_range(0, 0x100) & m)
+        }
+        _ => FTest::Gt(r.gen_range(0, 0x100)),
+    };
+    Term {
+        offset: r.gen_range(0, 56),
         width,
         test,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Three-way agreement: the host expression evaluator, the BPF
-    /// translation (on the guest interpreter), and the compiled
-    /// extension all decide identically on random filters and packets.
-    #[test]
-    fn prop_filter_evaluators_agree(
-        terms in proptest::collection::vec(arb_term(), 0..4),
-        payload in proptest::collection::vec(any::<u8>(), 30..80),
-    ) {
-        let f = Filter { terms };
+/// Three-way agreement: the host expression evaluator, the BPF
+/// translation (on the guest interpreter), and the compiled
+/// extension all decide identically on random filters and packets.
+#[test]
+fn seeded_filter_evaluators_agree() {
+    let mut rng = SeedRng::new(0x5AFE_0003);
+    for _ in 0..12 {
+        let n = rng.gen_range(0, 4) as usize;
+        let f = Filter {
+            terms: (0..n).map(|_| arb_term(&mut rng)).collect(),
+        };
         let mut b = netfilter::FilterBench::new().unwrap();
         b.install_compiled(&f).unwrap();
 
         // Build a packet with random payload bytes over real headers.
         let mut pkt = netfilter::reference_packet(64);
+        let plen = 30 + rng.gen_range(0, 50) as usize;
+        let mut payload = vec![0u8; plen];
+        rng.fill_bytes(&mut payload);
         for (dst, src) in pkt.iter_mut().zip(&payload) {
             *dst ^= *src & 0x0F; // perturb, keeping it a plausible packet
         }
@@ -170,8 +186,8 @@ proptest! {
         let want = f.eval(&pkt);
         let compiled = b.run_compiled(&pkt).unwrap();
         let interp = b.run_bpf(&f, &pkt).unwrap();
-        prop_assert_eq!(compiled.accept, want, "compiled agrees");
-        prop_assert_eq!(interp.accept, want, "interpreter agrees");
+        assert_eq!(compiled.accept, want, "compiled agrees");
+        assert_eq!(interp.accept, want, "interpreter agrees");
     }
 }
 
