@@ -1,0 +1,86 @@
+//! Host simulation throughput: guest instructions per host second on the
+//! figure7, chaos and webserver workloads, with the predecode fast path
+//! on (fast) and off (baseline), written to `BENCH_sim_throughput.json`.
+//!
+//! Usage: `sim_throughput [--quick] [--out <path>]`
+
+use bench::ThroughputPoint;
+
+fn json_escape_free_number(v: f64) -> String {
+    // All values here are finite and positive; keep a stable format.
+    format!("{v:.6}")
+}
+
+fn to_json(pts: &[ThroughputPoint], quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"sim_throughput\",\n");
+    s.push_str("  \"unit\": \"guest_insns_per_host_sec\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"workloads\": [\n");
+    for (i, p) in pts.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"workload\": \"{}\",\n", p.workload));
+        s.push_str(&format!("      \"guest_insns\": {},\n", p.fast_insns));
+        s.push_str(&format!(
+            "      \"fast_secs\": {},\n",
+            json_escape_free_number(p.fast_secs)
+        ));
+        s.push_str(&format!(
+            "      \"fast_steps_per_sec\": {},\n",
+            json_escape_free_number(p.fast_ips())
+        ));
+        s.push_str(&format!(
+            "      \"baseline_secs\": {},\n",
+            json_escape_free_number(p.base_secs)
+        ));
+        s.push_str(&format!(
+            "      \"baseline_steps_per_sec\": {},\n",
+            json_escape_free_number(p.base_ips())
+        ));
+        s.push_str(&format!(
+            "      \"speedup\": {}\n",
+            json_escape_free_number(p.speedup())
+        ));
+        s.push_str(if i + 1 == pts.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
+
+    let scale = if quick { 1 } else { 5 };
+    let pts = bench::measure_sim_throughput(scale);
+
+    println!("Host simulation throughput (guest instructions / host second)");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>9}",
+        "Workload", "Insns", "Baseline/s", "Fast/s", "Speedup"
+    );
+    for p in &pts {
+        println!(
+            "{:>10} {:>12} {:>14.0} {:>14.0} {:>8.2}x",
+            p.workload,
+            p.fast_insns,
+            p.base_ips(),
+            p.fast_ips(),
+            p.speedup()
+        );
+    }
+
+    let json = to_json(&pts, quick);
+    std::fs::write(&out, json).expect("write benchmark JSON");
+    println!("\nwrote {out}");
+}

@@ -550,6 +550,160 @@ pub fn measure_micro() -> Micro {
     }
 }
 
+// ----- host simulation throughput (BENCH_sim_throughput.json) -------------
+
+/// One workload of the host-throughput benchmark: guest instructions per
+/// host second with the predecode fast path on (`fast`) and off (`base`,
+/// the byte-wise pre-change fetch kept as the in-tree baseline).
+///
+/// Simulated results are identical in both modes — only the host clock
+/// differs — so `speedup` is a pure host-performance number.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Workload tag: `figure7`, `chaos` or `webserver`.
+    pub workload: &'static str,
+    /// Guest instructions retired in the timed fast-path run.
+    pub fast_insns: u64,
+    /// Host seconds for the fast-path run.
+    pub fast_secs: f64,
+    /// Guest instructions retired in the timed baseline run.
+    pub base_insns: u64,
+    /// Host seconds for the baseline run.
+    pub base_secs: f64,
+}
+
+impl ThroughputPoint {
+    /// Fast-path host throughput, guest instructions per second.
+    pub fn fast_ips(&self) -> f64 {
+        self.fast_insns as f64 / self.fast_secs.max(1e-9)
+    }
+
+    /// Baseline host throughput, guest instructions per second.
+    pub fn base_ips(&self) -> f64 {
+        self.base_insns as f64 / self.base_secs.max(1e-9)
+    }
+
+    /// Host speedup of the fast path over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.fast_ips() / self.base_ips().max(1e-9)
+    }
+}
+
+/// Figure 7 packet-filter workload: repeated protected invocations of a
+/// compiled filter far past the figure's x-axis (an 80-term conjunction
+/// over a 128-byte packet — ~265 guest instructions of invocation path
+/// plus filter body per call, the same machinery the `figure7` binary
+/// measures in cycles).
+fn throughput_figure7(iters: u32, predecode: bool) -> (u64, f64) {
+    let mut b = FilterBench::new().expect("filter bench");
+    b.k.m.set_predecode(predecode);
+    b.install_compiled(&extended_conjunction(80))
+        .expect("install");
+    let pkt = reference_packet(128);
+    b.run_compiled(&pkt).expect("warm");
+    let insns0 = b.k.m.insns();
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        b.run_compiled(&pkt).expect("run");
+    }
+    (b.k.m.insns() - insns0, t.elapsed().as_secs_f64())
+}
+
+/// Chaos-campaign workload: a seeded adversarial campaign (probes off so
+/// only episode kernels — which honour the predecode flag — are timed).
+fn throughput_chaos(steps: u32, predecode: bool) -> (u64, f64) {
+    let cfg = chaos::campaign::CampaignConfig {
+        seed: 0xBE7C_4A05,
+        steps,
+        probe_interval: 0,
+        predecode,
+        ..chaos::campaign::CampaignConfig::default()
+    };
+    let t = std::time::Instant::now();
+    let report = chaos::campaign::run(&cfg);
+    (report.guest_insns, t.elapsed().as_secs_f64())
+}
+
+/// Table 3 web-server workload: live protected-CGI requests actually
+/// stepped through the simulator.
+fn throughput_webserver(iters: u32, predecode: bool) -> (u64, f64) {
+    let mut s = WebServer::new().expect("server");
+    s.k.m.set_predecode(predecode);
+    let cube = Assembler::assemble(
+        "cube:\n\
+         mov eax, [esp+4]\n\
+         imul eax, [esp+4]\n\
+         imul eax, [esp+4]\n\
+         ret\n",
+    )
+    .unwrap();
+    s.add_dynamic("/cube", &cube, "cube").expect("add_dynamic");
+    let req = webserver::http::get_request("/cube?n=7");
+    s.handle(&req, ExecModel::LibCgiProtected).expect("warm");
+    let insns0 = s.k.m.insns();
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        s.handle(&req, ExecModel::LibCgiProtected).expect("handle");
+    }
+    (s.k.m.insns() - insns0, t.elapsed().as_secs_f64())
+}
+
+/// Measures host steps/sec on the figure7, chaos and webserver workloads
+/// with explicit per-workload iteration counts (exposed for cheap tests;
+/// use [`measure_sim_throughput`] for the real benchmark).
+pub fn measure_sim_throughput_with(
+    figure7_iters: u32,
+    chaos_steps: u32,
+    webserver_iters: u32,
+) -> Vec<ThroughputPoint> {
+    type Runner = fn(u32, bool) -> (u64, f64);
+    let specs: [(&'static str, Runner, u32); 3] = [
+        ("figure7", throughput_figure7, figure7_iters),
+        ("chaos", throughput_chaos, chaos_steps),
+        ("webserver", throughput_webserver, webserver_iters),
+    ];
+    specs
+        .into_iter()
+        .map(|(workload, run, iters)| {
+            // Interleave fast and baseline batches and keep each mode's
+            // best time: host noise (scheduling, frequency drift) then
+            // hits both modes alike instead of biasing whichever mode
+            // happened to run during a slow spell. The guest instruction
+            // count is identical in every batch — the simulation is
+            // deterministic — so only the host clock varies. Several
+            // short batches beat one long one for this: the minimum
+            // converges on the unloaded-host time.
+            const ROUNDS: u32 = 14;
+            let mut fast = (0u64, f64::INFINITY);
+            let mut base = (0u64, f64::INFINITY);
+            for _ in 0..ROUNDS {
+                let f = run(iters, true);
+                if f.1 < fast.1 {
+                    fast = f;
+                }
+                let b = run(iters, false);
+                if b.1 < base.1 {
+                    base = b;
+                }
+            }
+            ThroughputPoint {
+                workload,
+                fast_insns: fast.0,
+                fast_secs: fast.1,
+                base_insns: base.0,
+                base_secs: base.1,
+            }
+        })
+        .collect()
+}
+
+/// Measures the host-throughput benchmark; `scale` multiplies the
+/// iteration counts (1 = the CI `--quick` run).
+pub fn measure_sim_throughput(scale: u32) -> Vec<ThroughputPoint> {
+    let s = scale.max(1);
+    measure_sim_throughput_with(1_000 * s, 400 * s, 200 * s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,6 +756,21 @@ mod tests {
         assert!(pts[4].bpf_cycles >= 2 * pts[4].palladium_cycles);
         for w in pts.windows(2) {
             assert!(w[1].bpf_cycles > w[0].bpf_cycles);
+        }
+    }
+
+    #[test]
+    fn throughput_bench_runs_all_workloads() {
+        let pts = measure_sim_throughput_with(50, 30, 10);
+        assert_eq!(pts.len(), 3);
+        let tags: Vec<_> = pts.iter().map(|p| p.workload).collect();
+        assert_eq!(tags, ["figure7", "chaos", "webserver"]);
+        for p in &pts {
+            // The simulated work is mode-independent; only host time may
+            // differ. (Speedup itself is wall-clock and not asserted.)
+            assert!(p.fast_insns > 0, "{}: no guest work", p.workload);
+            assert_eq!(p.fast_insns, p.base_insns, "{}", p.workload);
+            assert!(p.fast_ips() > 0.0 && p.base_ips() > 0.0);
         }
     }
 

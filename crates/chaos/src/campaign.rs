@@ -42,6 +42,11 @@ pub struct CampaignConfig {
     pub cycle_limit: u64,
     /// Run the behavioural probes every this many steps (0 = never).
     pub probe_interval: u32,
+    /// Enable the simulator's predecoded-instruction fast path in the
+    /// episode kernels. Host-performance knob only: the event log is
+    /// identical either way (asserted by the determinism tests); the
+    /// throughput benchmark flips it to measure the speedup.
+    pub predecode: bool,
 }
 
 impl Default for CampaignConfig {
@@ -52,6 +57,7 @@ impl Default for CampaignConfig {
             episode_len: 25,
             cycle_limit: 20_000,
             probe_interval: 500,
+            predecode: true,
         }
     }
 }
@@ -89,6 +95,9 @@ pub struct CampaignReport {
     pub probes_run: u32,
     /// Steps that panicked in the host and were caught.
     pub host_panics: u32,
+    /// Total guest instructions retired across all episodes (the
+    /// throughput benchmark's work metric).
+    pub guest_insns: u64,
 }
 
 const CANARY: u32 = 0xC0FF_EE11;
@@ -121,6 +130,7 @@ impl Episode {
             None => Kernel::boot(),
         };
         k.extension_cycle_limit = cfg.cycle_limit;
+        k.m.set_predecode(cfg.predecode);
         let mut app = ExtensibleApp::new(&mut k).map_err(|e| format!("app: {e}"))?;
         let mut kx = KernelExtensions::new(&mut k).map_err(|e| format!("kx: {e}"))?;
         let seg = kx
@@ -494,6 +504,7 @@ pub fn run(cfg: &CampaignConfig) -> CampaignReport {
                 report.quarantines += ep.kx.quarantines;
                 report.kext_aborts += ep.kx.aborts;
                 report.uext_aborts += ep.app.aborted_calls;
+                report.guest_insns += ep.k.m.insns();
             }
         }
     }

@@ -63,6 +63,25 @@ pub fn drop_tlb_entries(k: &mut Kernel, r: &mut SeedRng) -> usize {
     dropped
 }
 
+/// Overwrites one byte of already-loaded extension code at `linear` (in
+/// the *current* address space), returning the original byte for
+/// restoration, or `None` when the page is unmapped.
+///
+/// This is still a revoking-direction injection in the containment
+/// sense: corrupting an extension's own text can only change what the
+/// extension computes or make it fault (e.g. `0xFF` is an invalid
+/// opcode → #UD) — it grants no access the protection checks would deny.
+/// It also exercises the predecode-cache invariant: the host write goes
+/// through `PhysMem` and bumps the frame's store generation, so a stale
+/// cached decode of the corrupted instruction can never be served.
+pub fn corrupt_code_byte(k: &mut Kernel, linear: u32, byte: u8) -> Option<u8> {
+    let prev = k.m.host_read(linear, 1)[0];
+    if !k.m.host_write(linear, &[byte]) {
+        return None;
+    }
+    Some(prev)
+}
+
 /// Exhausts the physical frame pool, keeping at most `keep` frames
 /// available — subsequent `mmap`/`dlopen`/`insmod` traffic must surface
 /// structured out-of-memory errors, not panics. Returns the number of

@@ -8,6 +8,7 @@ use crate::fault::{Fault, FaultBuilder, FaultCause};
 use crate::machine::{Exit, Machine};
 
 impl Machine {
+    #[inline]
     fn src_value(&self, s: Src) -> u32 {
         match s {
             Src::Reg(r) => self.cpu.reg(r),
@@ -15,26 +16,31 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn effective_addr(&self, m: &Mem) -> (SegReg, u32) {
         let base = m.base.map(|r| self.cpu.reg(r)).unwrap_or(0);
         (m.effective_seg(), base.wrapping_add(m.disp as u32))
     }
 
+    #[inline]
     fn read_mem(&mut self, m: &Mem, size: u32) -> Result<u32, FaultBuilder> {
         let (sr, off) = self.effective_addr(m);
         self.read_data(sr, off, size)
     }
 
+    #[inline]
     fn write_mem(&mut self, m: &Mem, size: u32, v: u32) -> Result<(), FaultBuilder> {
         let (sr, off) = self.effective_addr(m);
         self.write_data(sr, off, size, v)
     }
 
+    #[inline]
     fn set_zs(&mut self, v: u32) {
         self.cpu.flags.zf = v == 0;
         self.cpu.flags.sf = (v as i32) < 0;
     }
 
+    #[inline]
     fn alu(&mut self, op: AluOp, dst: u32, src: u32) -> u32 {
         let f = &mut self.cpu.flags;
         let result = match op {
@@ -107,6 +113,7 @@ impl Machine {
         result
     }
 
+    #[inline]
     fn cond(&self, c: Cond) -> bool {
         let f = &self.cpu.flags;
         match c {

@@ -156,6 +156,7 @@ pub struct Fault {
 
 impl Fault {
     /// Builds a #GP with a selector error code.
+    #[cold]
     pub fn gp(sel: u16, cause: FaultCause) -> FaultBuilder {
         FaultBuilder {
             vector: Vector::GeneralProtection,
@@ -166,6 +167,7 @@ impl Fault {
     }
 
     /// Builds a #SS.
+    #[cold]
     pub fn ss(sel: u16, cause: FaultCause) -> FaultBuilder {
         FaultBuilder {
             vector: Vector::StackFault,
@@ -176,6 +178,7 @@ impl Fault {
     }
 
     /// Builds a #PF.
+    #[cold]
     pub fn pf(linear: u32, code: u32) -> FaultBuilder {
         FaultBuilder {
             vector: Vector::PageFault,
@@ -186,6 +189,7 @@ impl Fault {
     }
 
     /// Builds a #UD.
+    #[cold]
     pub fn ud(cause: FaultCause) -> FaultBuilder {
         FaultBuilder {
             vector: Vector::InvalidOpcode,
@@ -196,6 +200,7 @@ impl Fault {
     }
 
     /// Builds a #NP.
+    #[cold]
     pub fn np(sel: u16) -> FaultBuilder {
         FaultBuilder {
             vector: Vector::NotPresent,

@@ -31,6 +31,7 @@ pub mod fault;
 pub mod machine;
 pub mod mem;
 pub mod paging;
+pub mod predecode;
 pub mod trace;
 mod xfer;
 
@@ -43,4 +44,5 @@ pub use fault::{Fault, FaultCause, Vector};
 pub use machine::{Cpu, Exit, Flags, IdtGate, Machine, SegCache, Tss};
 pub use mem::{FrameAlloc, PhysMem, PAGE_SIZE};
 pub use paging::{pte, Access, Mmu};
+pub use predecode::PredecodeStats;
 pub use trace::{Trace, TraceRecord};

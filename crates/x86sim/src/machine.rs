@@ -5,14 +5,15 @@
 //! of the paper: segment-register cache → limit check → segment rights
 //! check → linear address → TLB/page walk → page-level rights check.
 
-use asm86::decode;
 use asm86::isa::{Insn, Reg, SegReg};
+use asm86::{decode, DecodeError};
 
 use crate::cycles::{self, Event};
 use crate::desc::{resolve, Descriptor, DescriptorTable, Selector};
 use crate::fault::{Fault, FaultBuilder, FaultCause};
-use crate::mem::PhysMem;
+use crate::mem::{PhysMem, PAGE_MASK, PAGE_SIZE};
 use crate::paging::{Access, Mmu};
+use crate::predecode::{InsnCache, PredecodeStats};
 use crate::trace::{Trace, TraceRecord};
 
 /// Longest possible instruction encoding, in bytes.
@@ -226,6 +227,78 @@ pub struct Machine {
     cycles: u64,
     insns: u64,
     trace: Option<Trace>,
+    icache: InsnCache,
+    predecode: bool,
+    /// One-entry translation memos: the last code page fetched and the
+    /// last data pages read and written, each valid while the TLB epoch
+    /// and privilege are unchanged (see [`PageMemo`]).
+    fetch_memo: PageMemo,
+    data_read_memo: PageMemo,
+    data_write_memo: PageMemo,
+}
+
+/// Sentinel slab slot for "frame not backed when the memo was filled".
+const NO_SLOT: u32 = u32::MAX;
+
+/// A one-entry memo of a page translation, standing in for a guaranteed
+/// TLB hit.
+///
+/// Re-translating the same linear page at the same privilege and access
+/// kind is a pure TLB hit with no architectural side effect: the TLB
+/// never evicts on its own, a hit checks the *cached* permission bits
+/// (which are frozen until a flush), and the dirty-bit update happens at
+/// most once per entry — any successful write-translate leaves the entry
+/// dirty, so later writes through the same entry do no PTE work. The memo
+/// therefore answers without consulting the MMU, revalidating against
+/// [`Mmu::epoch`], which advances on every flush — the only way a live
+/// TLB entry disappears or changes. Cycle accounting is unaffected
+/// because TLB hits charge nothing; TLB statistics are unaffected because
+/// memo hits are counted via [`Mmu::count_memo_hit`].
+///
+/// The memo also carries the frame's slab slot ([`NO_SLOT`] if the frame
+/// was unbacked at fill time) so repeat accesses read physical memory
+/// with one array index instead of a hash lookup. Slots are stable for a
+/// frame's whole lifetime, so the slot needs no revalidation of its own.
+///
+/// The memos are part of the host fast path gated by
+/// [`Machine::set_predecode`]: with predecode off every translation takes
+/// the original per-access MMU path, reproducing the pre-fast-path cost
+/// structure that the throughput benchmark uses as its baseline.
+#[derive(Debug, Clone, Copy)]
+struct PageMemo {
+    /// Linear page base; `u32::MAX` (never a page base) when invalid.
+    lin_page: u32,
+    phys_page: u32,
+    slot: u32,
+    user: bool,
+    epoch: u64,
+}
+
+impl PageMemo {
+    const INVALID: PageMemo = PageMemo {
+        lin_page: u32::MAX,
+        phys_page: 0,
+        slot: NO_SLOT,
+        user: false,
+        epoch: 0,
+    };
+
+    #[inline]
+    fn lookup(&self, page: u32, user: bool, epoch: u64) -> Option<(u32, u32)> {
+        (self.lin_page == page && self.user == user && self.epoch == epoch)
+            .then_some((self.phys_page, self.slot))
+    }
+
+    #[inline]
+    fn fill(&mut self, page: u32, phys_page: u32, slot: u32, user: bool, epoch: u64) {
+        *self = PageMemo {
+            lin_page: page,
+            phys_page,
+            slot,
+            user,
+            epoch,
+        };
+    }
 }
 
 impl Default for Machine {
@@ -248,7 +321,35 @@ impl Machine {
             cycles: 0,
             insns: 0,
             trace: None,
+            icache: InsnCache::new(),
+            predecode: true,
+            fetch_memo: PageMemo::INVALID,
+            data_read_memo: PageMemo::INVALID,
+            data_write_memo: PageMemo::INVALID,
         }
+    }
+
+    /// Enables or disables the predecoded-instruction fast path.
+    ///
+    /// This is a *host* performance knob: simulated semantics and cycle
+    /// accounting are identical either way (the determinism tests assert
+    /// it). Disabling clears the cache and falls back to the byte-wise
+    /// fetch, which the throughput benchmark uses as its baseline.
+    pub fn set_predecode(&mut self, on: bool) {
+        self.predecode = on;
+        if !on {
+            self.icache.clear();
+        }
+    }
+
+    /// Whether the predecode fast path is enabled.
+    pub fn predecode_enabled(&self) -> bool {
+        self.predecode
+    }
+
+    /// Host-side hit/miss counters of the predecode cache.
+    pub fn predecode_stats(&self) -> PredecodeStats {
+        self.icache.stats()
     }
 
     /// Total cycles charged so far.
@@ -385,6 +486,7 @@ impl Machine {
 
     /// Performs the segment-level checks for an access and returns the
     /// linear address.
+    #[inline]
     pub fn seg_check(
         &self,
         sr: SegReg,
@@ -420,6 +522,9 @@ impl Machine {
         Ok(seg.base.wrapping_add(off))
     }
 
+    /// Translates a data access on the original per-access MMU path (no
+    /// memo): the page-straddling paths and the `set_predecode(false)`
+    /// baseline use this.
     fn translate_data(&mut self, linear: u32, write: bool) -> Result<u32, FaultBuilder> {
         let access = if write { Access::Write } else { Access::Read };
         let user = self.cpu.cpl == 3;
@@ -430,13 +535,65 @@ impl Machine {
         Ok(t.phys)
     }
 
+    /// Translates a within-page data access, answering repeat same-page
+    /// accesses from the read/write memos and returning the frame's slab
+    /// slot ([`NO_SLOT`] when unbacked) for slot-direct physical access.
+    /// See [`PageMemo`] for the soundness argument. Gated on the
+    /// predecode flag so the benchmark baseline keeps the pre-fast-path
+    /// cost structure.
+    #[inline]
+    fn translate_data_slot(
+        &mut self,
+        linear: u32,
+        write: bool,
+    ) -> Result<(u32, u32), FaultBuilder> {
+        if !(self.mmu.enabled && self.predecode) {
+            return self.translate_data(linear, write).map(|p| (p, NO_SLOT));
+        }
+        let user = self.cpu.cpl == 3;
+        let page = linear & !PAGE_MASK;
+        let epoch = self.mmu.epoch();
+        let memo = if write {
+            &self.data_write_memo
+        } else {
+            &self.data_read_memo
+        };
+        if let Some((pp, slot)) = memo.lookup(page, user, epoch) {
+            self.mmu.count_memo_hit();
+            return Ok((pp | (linear & PAGE_MASK), slot));
+        }
+        let access = if write { Access::Write } else { Access::Read };
+        let t = self.mmu.translate(&mut self.mem, linear, access, user)?;
+        if t.tlb_miss {
+            self.charge_event(Event::TlbMiss);
+        }
+        let pp = t.phys & !PAGE_MASK;
+        let slot = if write {
+            // The store about to happen would back the frame anyway, so
+            // allocating it now changes nothing observable.
+            self.mem.ensure_frame_slot(pp)
+        } else {
+            self.mem.frame_slot(pp).unwrap_or(NO_SLOT)
+        };
+        if write {
+            // A successful write-translate leaves the TLB entry dirty and
+            // write rights imply read rights, so the page is also good
+            // for reads.
+            self.data_write_memo.fill(page, pp, slot, user, epoch);
+        }
+        self.data_read_memo.fill(page, pp, slot, user, epoch);
+        Ok((t.phys, slot))
+    }
+
     /// Reads `size` (1, 2 or 4) bytes through a segment.
+    #[inline]
     pub fn read_data(&mut self, sr: SegReg, off: u32, size: u32) -> Result<u32, FaultBuilder> {
         let linear = self.seg_check(sr, off, size, false)?;
         self.read_linear(linear, size, false)
     }
 
     /// Writes `size` (1, 2 or 4) bytes through a segment.
+    #[inline]
     pub fn write_data(
         &mut self,
         sr: SegReg,
@@ -448,28 +605,51 @@ impl Machine {
         self.write_linear(linear, size, value)
     }
 
+    #[inline]
     fn read_linear(&mut self, linear: u32, size: u32, _exec: bool) -> Result<u32, FaultBuilder> {
         if (linear & 0xFFF) + size <= 0x1000 {
-            let phys = self.translate_data(linear, false)?;
+            let (phys, slot) = self.translate_data_slot(linear, false)?;
+            if slot != NO_SLOT {
+                let off = phys & PAGE_MASK;
+                return Ok(match size {
+                    1 => self.mem.read_u8_slot(slot, off) as u32,
+                    2 => self.mem.read_u16_slot(slot, off) as u32,
+                    _ => self.mem.read_u32_slot(slot, off),
+                });
+            }
             Ok(match size {
                 1 => self.mem.read_u8(phys) as u32,
                 2 => self.mem.read_u16(phys) as u32,
                 _ => self.mem.read_u32(phys),
             })
         } else {
-            // Page-straddling access: translate byte-wise.
+            // Page-straddling access: translate byte-wise. The linear
+            // address may wrap past 0xFFFF_FFFF (an expand-down or
+            // high-based segment), matching `seg_check`'s wrapping
+            // arithmetic — the wrapped page then translates (or faults)
+            // like any other.
             let mut v: u32 = 0;
             for i in 0..size {
-                let phys = self.translate_data(linear + i, false)?;
+                let phys = self.translate_data(linear.wrapping_add(i), false)?;
                 v |= (self.mem.read_u8(phys) as u32) << (8 * i);
             }
             Ok(v)
         }
     }
 
+    #[inline]
     fn write_linear(&mut self, linear: u32, size: u32, value: u32) -> Result<(), FaultBuilder> {
         if (linear & 0xFFF) + size <= 0x1000 {
-            let phys = self.translate_data(linear, true)?;
+            let (phys, slot) = self.translate_data_slot(linear, true)?;
+            if slot != NO_SLOT {
+                let off = phys & PAGE_MASK;
+                match size {
+                    1 => self.mem.write_u8_slot(slot, off, value as u8),
+                    2 => self.mem.write_u16_slot(slot, off, value as u16),
+                    _ => self.mem.write_u32_slot(slot, off, value),
+                }
+                return Ok(());
+            }
             match size {
                 1 => self.mem.write_u8(phys, value as u8),
                 2 => self.mem.write_u16(phys, value as u16),
@@ -481,7 +661,7 @@ impl Machine {
             // store (restartable-instruction semantics).
             let mut phys = [0u32; 4];
             for i in 0..size {
-                phys[i as usize] = self.translate_data(linear + i, true)?;
+                phys[i as usize] = self.translate_data(linear.wrapping_add(i), true)?;
             }
             for i in 0..size {
                 self.mem
@@ -494,6 +674,7 @@ impl Machine {
     // ----- stack helpers ----------------------------------------------------
 
     /// Pushes a 32-bit value on the current stack.
+    #[inline]
     pub fn push32(&mut self, v: u32) -> Result<(), FaultBuilder> {
         let esp = self.cpu.esp().wrapping_sub(4);
         self.write_data(SegReg::Ss, esp, 4, v)?;
@@ -502,6 +683,7 @@ impl Machine {
     }
 
     /// Pops a 32-bit value from the current stack.
+    #[inline]
     pub fn pop32(&mut self) -> Result<u32, FaultBuilder> {
         let esp = self.cpu.esp();
         let v = self.read_data(SegReg::Ss, esp, 4)?;
@@ -512,26 +694,50 @@ impl Machine {
     // ----- instruction fetch ------------------------------------------------
 
     /// Fetches and decodes the instruction at CS:EIP.
-    pub fn fetch(&mut self) -> Result<(Insn, u32), FaultBuilder> {
+    ///
+    /// The prefetch window is at most [`MAX_INSN_LEN`] bytes, clipped by
+    /// the segment limit; translation happens **per page**, not per byte
+    /// (one walk for the window's first page, one more only when the
+    /// window crosses a page boundary — the same `Event::TlbMiss` charges
+    /// and A-bit side effects as a byte-wise walk, since every byte of a
+    /// page shares its translation). A translation fault on the *second*
+    /// page is deferred: the decoder runs on the bytes that are mapped,
+    /// and the #PF is raised only if the instruction actually needed the
+    /// missing bytes. Successful decodes are served from the predecode
+    /// cache on subsequent fetches (see [`crate::predecode`]).
+    ///
+    /// Returns `(insn, length, base cycle cost)` — the cost is
+    /// [`cycles::measured_cost`], memoized in the predecode cache so a
+    /// hit does not re-derive it.
+    pub fn fetch(&mut self) -> Result<(Insn, u32, u64), FaultBuilder> {
         let cs = *self.cpu.seg(SegReg::Cs);
         if !cs.valid || !cs.code {
             return Err(Fault::gp(cs.selector.0, FaultCause::BadSegmentType));
         }
         let eip = self.cpu.eip;
-        // Read up to MAX_INSN_LEN bytes, stopping at the segment limit.
-        let mut buf = [0u8; MAX_INSN_LEN];
-        let mut n = 0usize;
-        while n < MAX_INSN_LEN {
-            let off = eip.wrapping_add(n as u32);
-            if !cs.check_limit(off, 1) {
-                break;
+        // Bytes of the prefetch window the segment limit permits.
+        //
+        // For an expand-up segment (every genuine code descriptor) this is
+        // arithmetic: offsets `eip..=limit` are valid, and when `limit` is
+        // `u32::MAX` the window wraps through 0 and stays valid, exactly
+        // as the byte-by-byte `check_limit` probe would find. The probe
+        // loop remains for the force-loaded expand-down oddity.
+        let window = if !cs.expand_down {
+            if eip > cs.limit {
+                0
+            } else if cs.limit == u32::MAX {
+                MAX_INSN_LEN
+            } else {
+                ((cs.limit - eip + 1) as usize).min(MAX_INSN_LEN)
             }
-            let linear = cs.base.wrapping_add(off);
-            let phys = self.translate_fetch(linear)?;
-            buf[n] = self.mem.read_u8(phys);
-            n += 1;
-        }
-        if n == 0 {
+        } else {
+            let mut w = 0usize;
+            while w < MAX_INSN_LEN && cs.check_limit(eip.wrapping_add(w as u32), 1) {
+                w += 1;
+            }
+            w
+        };
+        if window == 0 {
             return Err(Fault::gp(
                 0,
                 FaultCause::LimitViolation {
@@ -540,10 +746,112 @@ impl Machine {
                 },
             ));
         }
+        let lin0 = cs.base.wrapping_add(eip);
+        if !self.predecode {
+            return self.fetch_bytewise(&cs, eip, window);
+        }
+
+        // Translate once per page touched by the permitted window. A
+        // fault on the first page is fatal (not even one byte can be
+        // fetched); a fault on the second is recorded and raised only if
+        // the decoder runs out of bytes.
+        let phys0 = self.translate_fetch_fast(lin0)?;
+        let page_rem = (PAGE_SIZE - (lin0 & PAGE_MASK)) as usize;
+        let n_lo = window.min(page_rem);
+        let mut hi_page: Option<u32> = None;
+        let mut pending: Option<FaultBuilder> = None;
+        if window > n_lo {
+            match self.translate_fetch(lin0.wrapping_add(n_lo as u32)) {
+                Ok(p) => hi_page = Some(p),
+                Err(fb) => pending = Some(fb),
+            }
+        }
+
+        if let Some(hit) = self.icache.lookup(&self.mem, phys0, window, hi_page) {
+            return Ok(hit);
+        }
+
+        let mut buf = [0u8; MAX_INSN_LEN];
+        copy_page_bytes(&self.mem, phys0, &mut buf[..n_lo]);
+        let mut n = n_lo;
+        if let Some(h) = hi_page {
+            copy_page_bytes(&self.mem, h, &mut buf[n_lo..window]);
+            n = window;
+        }
         match decode(&buf[..n]) {
-            Ok((insn, len)) => Ok((insn, len as u32)),
+            Ok((insn, len)) => {
+                self.icache
+                    .insert(&mut self.mem, phys0, insn, len as u32, hi_page);
+                Ok((insn, len as u32, cycles::measured_cost(&insn)))
+            }
+            Err(DecodeError::Truncated) if pending.is_some() => Err(pending.unwrap()),
             Err(_) => Err(Fault::ud(FaultCause::BadInstruction)),
         }
+    }
+
+    /// Byte-wise fetch: the pre-fast-path reference implementation, kept
+    /// as the benchmark baseline (`set_predecode(false)`). It reproduces
+    /// the original algorithm's cost structure — a `check_limit` probe,
+    /// a translation and a physical read *per prefetched byte* — with
+    /// semantics identical to the per-page path, including the deferred
+    /// page-boundary fault.
+    fn fetch_bytewise(
+        &mut self,
+        cs: &SegCache,
+        eip: u32,
+        window: usize,
+    ) -> Result<(Insn, u32, u64), FaultBuilder> {
+        let mut buf = [0u8; MAX_INSN_LEN];
+        let mut n = 0usize;
+        let mut pending: Option<FaultBuilder> = None;
+        while n < window {
+            let off = eip.wrapping_add(n as u32);
+            if !cs.check_limit(off, 1) {
+                break;
+            }
+            match self.translate_fetch(cs.base.wrapping_add(off)) {
+                Ok(phys) => buf[n] = self.mem.read_u8(phys),
+                Err(fb) => {
+                    pending = Some(fb);
+                    break;
+                }
+            }
+            n += 1;
+        }
+        if n == 0 {
+            // The very first byte is unmapped: nothing to decode.
+            return Err(pending.expect("window > 0, so the loop ran"));
+        }
+        match decode(&buf[..n]) {
+            Ok((insn, len)) => Ok((insn, len as u32, cycles::measured_cost(&insn))),
+            Err(DecodeError::Truncated) if pending.is_some() => Err(pending.unwrap()),
+            Err(_) => Err(Fault::ud(FaultCause::BadInstruction)),
+        }
+    }
+
+    /// Fetch-path translation through the fetch-page memo (fast path
+    /// only; the byte-wise baseline keeps calling
+    /// [`Machine::translate_fetch`]). See [`PageMemo`] for why the memo
+    /// is invisible to the simulated machine.
+    #[inline]
+    fn translate_fetch_fast(&mut self, linear: u32) -> Result<u32, FaultBuilder> {
+        // Memoize only under paging: `enabled` is a plain field that can
+        // be toggled without a flush, so identity translations must not
+        // be cached across an enable.
+        if !self.mmu.enabled {
+            return self.translate_fetch(linear);
+        }
+        let page = linear & !PAGE_MASK;
+        let user = self.cpu.cpl == 3;
+        let epoch = self.mmu.epoch();
+        if let Some((pp, _)) = self.fetch_memo.lookup(page, user, epoch) {
+            self.mmu.count_memo_hit();
+            return Ok(pp | (linear & PAGE_MASK));
+        }
+        let phys = self.translate_fetch(linear)?;
+        self.fetch_memo
+            .fill(page, phys & !PAGE_MASK, NO_SLOT, user, epoch);
+        Ok(phys)
     }
 
     fn translate_fetch(&mut self, linear: u32) -> Result<u32, FaultBuilder> {
@@ -578,23 +886,30 @@ impl Machine {
     }
 
     fn step_inner(&mut self) -> Result<Option<Exit>, FaultBuilder> {
-        let (insn, len) = self.fetch()?;
+        let (insn, len, cost) = self.fetch()?;
         self.insns += 1;
-        self.cycles += cycles::measured_cost(&insn);
+        self.cycles += cost;
         // Attribute the instruction to the domain it *executed in* (far
-        // transfers change CPL as a side effect).
-        let eip = self.cpu.eip;
-        let cs = self.cpu.segs[SegReg::Cs as usize].selector.0;
-        let cpl = self.cpu.cpl;
+        // transfers change CPL as a side effect), so capture the state
+        // before `execute` — but only when a trace is live.
+        let pre = self.trace.is_some().then(|| {
+            (
+                self.cpu.eip,
+                self.cpu.segs[SegReg::Cs as usize].selector.0,
+                self.cpu.cpl,
+            )
+        });
         let r = self.execute(insn, len);
-        if let Some(t) = self.trace.as_mut() {
-            t.push(TraceRecord {
-                cs,
-                cpl,
-                eip,
-                insn,
-                cycles: self.cycles,
-            });
+        if let Some((eip, cs, cpl)) = pre {
+            if let Some(t) = self.trace.as_mut() {
+                t.push(TraceRecord {
+                    cs,
+                    cpl,
+                    eip,
+                    insn,
+                    cycles: self.cycles,
+                });
+            }
         }
         r
     }
@@ -667,13 +982,21 @@ impl Machine {
     /// Reads bytes at a linear address, bypassing all protection (the
     /// hosting ring-0 kernel's view). Does not charge cycles.
     pub fn host_read(&self, linear: u32, len: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
-        for i in 0..len {
-            let l = linear.wrapping_add(i as u32);
-            out.push(match self.host_translate(l) {
-                Some(p) => self.mem.read_u8(p),
-                None => 0,
-            });
+        // Translation and backing are page-granular, so walk the range one
+        // page span at a time instead of re-translating every byte.
+        let mut out = vec![0u8; len];
+        let mut done = 0usize;
+        while done < len {
+            let l = linear.wrapping_add(done as u32);
+            let n = ((PAGE_SIZE - (l & PAGE_MASK)) as usize).min(len - done);
+            if let Some(p) = self.host_translate(l) {
+                if let Some(frame) = self.mem.frame_data(p) {
+                    let off = (p & PAGE_MASK) as usize;
+                    out[done..done + n].copy_from_slice(&frame[off..off + n]);
+                }
+                // Unbacked frames read as zeros; `out` already is.
+            }
+            done += n;
         }
         out
     }
@@ -682,12 +1005,17 @@ impl Machine {
     ///
     /// Returns `false` if any page was unmapped.
     pub fn host_write(&mut self, linear: u32, data: &[u8]) -> bool {
-        for (i, b) in data.iter().enumerate() {
-            let l = linear.wrapping_add(i as u32);
+        // One translation per page span, then a bulk physical copy (which
+        // bumps the span's store generation once, like any other store).
+        let mut done = 0usize;
+        while done < data.len() {
+            let l = linear.wrapping_add(done as u32);
+            let n = ((PAGE_SIZE - (l & PAGE_MASK)) as usize).min(data.len() - done);
             match self.host_translate(l) {
-                Some(p) => self.mem.write_u8(p, *b),
+                Some(p) => self.mem.write_bytes(p, &data[done..done + n]),
                 None => return false,
             }
+            done += n;
         }
         true
     }
@@ -753,5 +1081,16 @@ impl Machine {
             Descriptor::Data(d) => d.present,
             Descriptor::Gate(g) => g.present,
         })
+    }
+}
+
+/// Copies `out.len()` bytes starting at physical `phys` out of a single
+/// frame (the caller guarantees the range does not cross one). Unbacked
+/// frames read as zeros, like [`PhysMem::read_u8`].
+fn copy_page_bytes(mem: &PhysMem, phys: u32, out: &mut [u8]) {
+    let off = (phys & PAGE_MASK) as usize;
+    match mem.frame_data(phys) {
+        Some(f) => out.copy_from_slice(&f[off..off + out.len()]),
+        None => out.fill(0),
     }
 }

@@ -2,8 +2,20 @@
 //!
 //! The machine addresses a full 32-bit (4 GB) physical space; frames are
 //! allocated lazily so only touched pages cost host memory.
+//!
+//! Every frame carries a *store generation*, bumped on each mutation of
+//! the frame (guest stores, host writes, the loader, page-table updates,
+//! fault injection — everything funnels through [`PhysMem`]), and a
+//! *code generation*, bumped only when a store overlaps bytes a cached
+//! decode actually consumed (tracked byte-exactly in a per-frame code
+//! mask). Both are pure host-side bookkeeping: they never affect
+//! simulated semantics or cycle accounting. The predecoded-instruction
+//! cache ([`crate::predecode`]) validates against the code generation to
+//! notice self-modifying code without being invalidated by stacks or
+//! data that merely share a page with code.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// The page size, as on x86.
 pub const PAGE_SIZE: u32 = 4096;
@@ -21,15 +33,116 @@ pub fn pages_for(len: u32) -> u32 {
     len.div_ceil(PAGE_SIZE)
 }
 
-/// Sparse physical memory: a map from frame number to 4 KB frames.
+/// A fast hasher for the simulator's u32-keyed maps (frame numbers,
+/// virtual page numbers, physical addresses).
+///
+/// The TLB, the physical-frame map and the predecode cache are the
+/// hottest hash lookups in the whole simulator — one of each per
+/// simulated instruction — so SipHash's per-lookup cost dominates the
+/// step loop. The keys are simulated addresses, not attacker-controlled
+/// host input, so a multiply–xor mix is safe and much cheaper.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct U32Hasher(u64);
+
+impl Hasher for U32Hasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u32(b as u32);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        let mut z = self.0 ^ (v as u64);
+        z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 32;
+        self.0 = z;
+    }
+}
+
+/// `BuildHasher` for [`U32Hasher`].
+pub type U32HashBuilder = BuildHasherDefault<U32Hasher>;
+
+/// Byte-granular bitmap of a frame's cached-code bytes: bit `i` of word
+/// `i / 64` covers byte `i`. Allocated lazily — most frames never hold
+/// executed code and pay nothing.
+type CodeMask = Box<[u64; (PAGE_SIZE / 64) as usize]>;
+
+/// Returns the bit span `[lo, hi]` within one mask word.
+fn span_bits(lo: usize, hi: usize) -> u64 {
+    let width = hi - lo + 1;
+    if width >= 64 {
+        u64::MAX
+    } else {
+        ((1u64 << width) - 1) << lo
+    }
+}
+
+/// One backed frame: its bytes, the store generation, and the code
+/// generation + mask driving predecode invalidation.
+#[derive(Debug)]
+struct Frame {
+    data: Box<[u8; PAGE_SIZE as usize]>,
+    gen: u64,
+    /// Bumped only by stores that overlap bytes a cached decode consumed
+    /// (per `code_mask`); the generation the predecode cache validates.
+    code_gen: u64,
+    code_mask: Option<CodeMask>,
+}
+
+impl Frame {
+    fn new() -> Frame {
+        Frame {
+            data: Box::new([0u8; PAGE_SIZE as usize]),
+            gen: 0,
+            code_gen: 0,
+            code_mask: None,
+        }
+    }
+
+    /// Records a store of `len` bytes at page offset `off`: always bumps
+    /// the store generation, and bumps the code generation only when the
+    /// store overlaps cached-code bytes (byte-exact, so data that merely
+    /// shares a page with code — stacks, save slots, patch targets —
+    /// never invalidates decodes).
+    fn note_store(&mut self, off: usize, len: usize) {
+        self.gen += 1;
+        if let Some(mask) = &mut self.code_mask {
+            let last = off + len - 1;
+            for w in (off >> 6)..=(last >> 6) {
+                let lo = if w == off >> 6 { off & 63 } else { 0 };
+                let hi = if w == last >> 6 { last & 63 } else { 63 };
+                if mask[w] & span_bits(lo, hi) != 0 {
+                    // Every cached decode from this frame is now suspect;
+                    // invalidate them all and let fetches re-mark.
+                    self.code_gen += 1;
+                    mask.fill(0);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Sparse physical memory: 4 KB frames in a slab, indexed by frame number.
 ///
 /// Reads from unbacked frames return zeros (like reading zero-initialized
 /// DRAM); writes allocate the frame on demand. The MMU layers *all*
 /// protection on top of this — physical memory itself performs no checks,
 /// exactly as on real hardware.
+///
+/// Frames live in a `Vec` and are never freed, so a frame's slab slot is
+/// a stable identity for its whole lifetime. The predecode cache stores
+/// slot numbers and revalidates with [`PhysMem::slot_code_generation`] —
+/// a bounds-checked array read instead of a hash lookup on the fetch
+/// path.
 #[derive(Debug, Default)]
 pub struct PhysMem {
-    frames: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    index: HashMap<u32, u32, U32HashBuilder>,
+    slabs: Vec<Frame>,
 }
 
 impl PhysMem {
@@ -40,62 +153,228 @@ impl PhysMem {
 
     /// Number of frames actually backed by host memory.
     pub fn resident_frames(&self) -> usize {
-        self.frames.len()
+        self.slabs.len()
     }
 
-    fn frame_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
-        self.frames
-            .entry(addr >> 12)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    /// The store generation of the frame containing `addr`.
+    ///
+    /// Unbacked frames report 0; the first write to a frame moves it to
+    /// 1, so a cached decode of (all-zero) unbacked bytes is invalidated
+    /// by the write that backs the frame.
+    pub fn frame_generation(&self, addr: u32) -> u64 {
+        match self.index.get(&(addr >> 12)) {
+            Some(&i) => self.slabs[i as usize].gen,
+            None => 0,
+        }
+    }
+
+    /// Borrows the 4 KB of the frame containing `addr`, if backed.
+    pub fn frame_data(&self, addr: u32) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.index
+            .get(&(addr >> 12))
+            .map(|&i| &*self.slabs[i as usize].data)
+    }
+
+    /// Slab slot of the frame containing `addr`, allocating the (zeroed)
+    /// frame if unbacked — *without* bumping its store generation.
+    /// Allocation is not a store: the frame's bytes are the same zeros
+    /// reads already observed.
+    pub fn ensure_frame_slot(&mut self, addr: u32) -> u32 {
+        match self.index.entry(addr >> 12) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let idx = self.slabs.len() as u32;
+                e.insert(idx);
+                self.slabs.push(Frame::new());
+                idx
+            }
+        }
+    }
+
+    /// The *code* generation of the frame in slab slot `slot` (0 for an
+    /// out-of-range slot). One array read — the predecode cache's
+    /// per-fetch validation. Unlike the store generation it only moves
+    /// when a store overlapped bytes marked by [`PhysMem::mark_code`].
+    #[inline]
+    pub fn slot_code_generation(&self, slot: u32) -> u64 {
+        self.slabs.get(slot as usize).map_or(0, |f| f.code_gen)
+    }
+
+    /// Marks `len` bytes at page offset `off` of slab slot `slot` as
+    /// consumed by a cached decode: later stores overlapping them bump
+    /// the slot's code generation.
+    pub fn mark_code(&mut self, slot: u32, off: usize, len: usize) {
+        debug_assert!(len > 0 && off + len <= PAGE_SIZE as usize);
+        let Some(f) = self.slabs.get_mut(slot as usize) else {
+            return;
+        };
+        let mask = f
+            .code_mask
+            .get_or_insert_with(|| Box::new([0u64; (PAGE_SIZE / 64) as usize]));
+        let last = off + len - 1;
+        for w in (off >> 6)..=(last >> 6) {
+            let lo = if w == off >> 6 { off & 63 } else { 0 };
+            let hi = if w == last >> 6 { last & 63 } else { 63 };
+            mask[w] |= span_bits(lo, hi);
+        }
+    }
+
+    /// Slab slot of the frame containing `addr`, if backed. Unlike
+    /// [`PhysMem::ensure_frame_slot`] this never allocates, so it is safe
+    /// on read paths where materializing a frame would be observable.
+    #[inline]
+    pub fn frame_slot(&self, addr: u32) -> Option<u32> {
+        self.index.get(&(addr >> 12)).copied()
+    }
+
+    /// Reads one byte of the frame in slab slot `slot`.
+    ///
+    /// Slots are stable identities (frames are never freed), so a caller
+    /// holding a page-translation memo reads with one array index instead
+    /// of re-hashing the frame number on every access. `off` must lie in
+    /// the frame; the `_slot` accessors never straddle.
+    #[inline]
+    pub fn read_u8_slot(&self, slot: u32, off: u32) -> u8 {
+        self.slabs[slot as usize].data[off as usize]
+    }
+
+    /// Reads a 16-bit little-endian value inside one frame.
+    #[inline]
+    pub fn read_u16_slot(&self, slot: u32, off: u32) -> u16 {
+        let i = off as usize;
+        let d = &self.slabs[slot as usize].data;
+        u16::from_le_bytes([d[i], d[i + 1]])
+    }
+
+    /// Reads a 32-bit little-endian value inside one frame.
+    #[inline]
+    pub fn read_u32_slot(&self, slot: u32, off: u32) -> u32 {
+        let i = off as usize;
+        let d = &self.slabs[slot as usize].data;
+        u32::from_le_bytes(d[i..i + 4].try_into().unwrap())
+    }
+
+    /// Writes one byte through a slab slot, with the same generation
+    /// bookkeeping as the address-keyed stores.
+    #[inline]
+    pub fn write_u8_slot(&mut self, slot: u32, off: u32, v: u8) {
+        let f = &mut self.slabs[slot as usize];
+        f.note_store(off as usize, 1);
+        f.data[off as usize] = v;
+    }
+
+    /// Writes a 16-bit little-endian value inside one frame.
+    #[inline]
+    pub fn write_u16_slot(&mut self, slot: u32, off: u32, v: u16) {
+        let f = &mut self.slabs[slot as usize];
+        f.note_store(off as usize, 2);
+        f.data[off as usize..off as usize + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a 32-bit little-endian value inside one frame.
+    #[inline]
+    pub fn write_u32_slot(&mut self, slot: u32, off: u32, v: u32) {
+        let f = &mut self.slabs[slot as usize];
+        f.note_store(off as usize, 4);
+        f.data[off as usize..off as usize + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// The frame containing `addr`, allocated on demand, with its
+    /// generations advanced for a `len`-byte store at `addr` — call only
+    /// on the mutation paths, with the span inside one frame.
+    fn frame_mut(&mut self, addr: u32, len: usize) -> &mut Frame {
+        let idx = self.ensure_frame_slot(addr) as usize;
+        let f = &mut self.slabs[idx];
+        f.note_store((addr & PAGE_MASK) as usize, len);
+        f
+    }
+
+    #[inline]
+    fn frame(&self, addr: u32) -> Option<&Frame> {
+        self.index
+            .get(&(addr >> 12))
+            .map(|&i| &self.slabs[i as usize])
     }
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: u32) -> u8 {
-        match self.frames.get(&(addr >> 12)) {
-            Some(f) => f[(addr & PAGE_MASK) as usize],
+        match self.frame(addr) {
+            Some(f) => f.data[(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u32, v: u8) {
-        self.frame_mut(addr)[(addr & PAGE_MASK) as usize] = v;
+        self.frame_mut(addr, 1).data[(addr & PAGE_MASK) as usize] = v;
     }
 
     /// Reads a 16-bit little-endian value (may straddle frames).
     pub fn read_u16(&self, addr: u32) -> u16 {
-        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        if addr & PAGE_MASK < PAGE_MASK {
+            let i = (addr & PAGE_MASK) as usize;
+            match self.frame(addr) {
+                Some(f) => u16::from_le_bytes([f.data[i], f.data[i + 1]]),
+                None => 0,
+            }
+        } else {
+            u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        }
     }
 
     /// Writes a 16-bit little-endian value.
     pub fn write_u16(&mut self, addr: u32, v: u16) {
         let b = v.to_le_bytes();
-        self.write_u8(addr, b[0]);
-        self.write_u8(addr.wrapping_add(1), b[1]);
+        if addr & PAGE_MASK < PAGE_MASK {
+            let i = (addr & PAGE_MASK) as usize;
+            self.frame_mut(addr, 2).data[i..i + 2].copy_from_slice(&b);
+        } else {
+            self.write_u8(addr, b[0]);
+            self.write_u8(addr.wrapping_add(1), b[1]);
+        }
     }
 
     /// Reads a 32-bit little-endian value (may straddle frames).
     pub fn read_u32(&self, addr: u32) -> u32 {
-        u32::from_le_bytes([
-            self.read_u8(addr),
-            self.read_u8(addr.wrapping_add(1)),
-            self.read_u8(addr.wrapping_add(2)),
-            self.read_u8(addr.wrapping_add(3)),
-        ])
+        if addr & PAGE_MASK <= PAGE_MASK - 3 {
+            let i = (addr & PAGE_MASK) as usize;
+            match self.frame(addr) {
+                Some(f) => u32::from_le_bytes(f.data[i..i + 4].try_into().unwrap()),
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ])
+        }
     }
 
     /// Writes a 32-bit little-endian value.
     pub fn write_u32(&mut self, addr: u32, v: u32) {
         let b = v.to_le_bytes();
-        for (i, byte) in b.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *byte);
+        if addr & PAGE_MASK <= PAGE_MASK - 3 {
+            let i = (addr & PAGE_MASK) as usize;
+            self.frame_mut(addr, 4).data[i..i + 4].copy_from_slice(&b);
+        } else {
+            for (i, byte) in b.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *byte);
+            }
         }
     }
 
     /// Copies a byte slice into physical memory.
     pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
-        for (i, b) in data.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b);
+        let mut addr = addr;
+        let mut data = data;
+        while !data.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = data.len().min(PAGE_SIZE as usize - off);
+            self.frame_mut(addr, n).data[off..off + n].copy_from_slice(&data[..n]);
+            data = &data[n..];
+            addr = addr.wrapping_add(n as u32);
         }
     }
 
@@ -108,8 +387,14 @@ impl PhysMem {
 
     /// Zero-fills a range.
     pub fn zero(&mut self, addr: u32, len: u32) {
-        for i in 0..len {
-            self.write_u8(addr.wrapping_add(i), 0);
+        let mut addr = addr;
+        let mut len = len as usize;
+        while len > 0 {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = len.min(PAGE_SIZE as usize - off);
+            self.frame_mut(addr, n).data[off..off + n].fill(0);
+            len -= n;
+            addr = addr.wrapping_add(n as u32);
         }
     }
 }
@@ -205,6 +490,43 @@ mod tests {
         assert_eq!(m.read_bytes(0x2F80, 256), data);
         m.zero(0x2F80, 256);
         assert!(m.read_bytes(0x2F80, 256).iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn store_generations_track_every_mutation_path() {
+        let mut m = PhysMem::new();
+        assert_eq!(m.frame_generation(0x5000), 0, "unbacked frame is gen 0");
+
+        m.write_u8(0x5000, 1);
+        let g1 = m.frame_generation(0x5000);
+        assert!(g1 >= 1, "first write backs the frame and bumps it");
+
+        m.write_u32(0x5100, 0xAABBCCDD);
+        let g2 = m.frame_generation(0x5000);
+        assert!(g2 > g1);
+
+        m.write_bytes(0x5FF0, &[7u8; 32]);
+        assert!(m.frame_generation(0x5000) > g2, "straddling copy bumps");
+        assert!(m.frame_generation(0x6000) >= 1, "both touched frames bump");
+
+        let g3 = m.frame_generation(0x5000);
+        m.zero(0x5000, 16);
+        assert!(m.frame_generation(0x5000) > g3);
+
+        // Reads never bump.
+        let g4 = m.frame_generation(0x5000);
+        let _ = m.read_u32(0x5000);
+        let _ = m.read_bytes(0x5000, 64);
+        assert_eq!(m.frame_generation(0x5000), g4);
+    }
+
+    #[test]
+    fn frame_data_exposes_backed_frames_only() {
+        let mut m = PhysMem::new();
+        assert!(m.frame_data(0x9000).is_none());
+        m.write_u8(0x9123, 0x42);
+        let f = m.frame_data(0x9000).unwrap();
+        assert_eq!(f[0x123], 0x42);
     }
 
     #[test]

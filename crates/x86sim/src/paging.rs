@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use crate::fault::{pf_err, Fault, FaultBuilder};
-use crate::mem::{FrameAlloc, PhysMem, PAGE_MASK};
+use crate::mem::{FrameAlloc, PhysMem, U32HashBuilder, PAGE_MASK};
 
 /// PTE/PDE flag bits.
 pub mod pte {
@@ -75,7 +75,12 @@ pub struct Mmu {
     pub cr3: u32,
     /// Paging enable (CR0.PG).
     pub enabled: bool,
-    tlb: HashMap<u32, TlbEntry>,
+    tlb: HashMap<u32, TlbEntry, U32HashBuilder>,
+    /// Advances on every invalidation (full flush or single-page flush) —
+    /// the only operations that remove or change a live TLB entry. A
+    /// caller holding a memoized translation (the machine's fetch-page
+    /// memo) revalidates against this instead of re-probing the TLB.
+    epoch: u64,
     /// Statistics counters.
     pub stats: TlbStats,
 }
@@ -105,12 +110,29 @@ impl Mmu {
     /// Flushes the entire TLB.
     pub fn flush(&mut self) {
         self.tlb.clear();
+        self.epoch += 1;
         self.stats.flushes += 1;
     }
 
     /// Flushes one page's translation (like `invlpg`).
     pub fn flush_page(&mut self, linear: u32) {
         self.tlb.remove(&(linear >> 12));
+        self.epoch += 1;
+    }
+
+    /// Invalidation epoch: changes whenever any cached translation may
+    /// have been dropped. See the field doc.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records a lookup answered by a caller's translation memo. A memo
+    /// hit stands in for a guaranteed TLB hit, so it is counted as one —
+    /// keeping [`Mmu::stats`] identical to a memo-less run.
+    #[inline]
+    pub fn count_memo_hit(&mut self) {
+        self.stats.hits += 1;
     }
 
     /// Number of live TLB entries.
@@ -131,6 +153,13 @@ impl Mmu {
     ///
     /// `user` is true when the access originates at CPL 3; supervisor
     /// accesses (CPL 0-2) bypass `R/W` and `U/S` checks per CR0.WP = 0.
+    ///
+    /// This is split into an inlined fast path for the common cases —
+    /// paging off, or a TLB hit that needs no dirty-bit update — and an
+    /// outlined [`Mmu::translate_slow`] for the rest. The split is a host
+    /// optimisation only: the order of stats updates, permission checks
+    /// and PTE side effects is exactly that of the straight-line version.
+    #[inline]
     pub fn translate(
         &mut self,
         mem: &mut PhysMem,
@@ -147,6 +176,29 @@ impl Mmu {
         let vpn = linear >> 12;
         let is_write = access == Access::Write;
 
+        if let Some(entry) = self.tlb.get(&vpn) {
+            if !is_write || entry.dirty {
+                let entry = *entry;
+                self.stats.hits += 1;
+                self.check_perms(entry.user, entry.writable, linear, is_write, user)?;
+                return Ok(Translation {
+                    phys: entry.frame | (linear & PAGE_MASK),
+                    tlb_miss: false,
+                });
+            }
+        }
+        self.translate_slow(mem, linear, is_write, user)
+    }
+
+    /// TLB hit needing a dirty-bit update, or a full page walk.
+    fn translate_slow(
+        &mut self,
+        mem: &mut PhysMem,
+        linear: u32,
+        is_write: bool,
+        user: bool,
+    ) -> Result<Translation, FaultBuilder> {
+        let vpn = linear >> 12;
         if let Some(entry) = self.tlb.get(&vpn).copied() {
             self.stats.hits += 1;
             self.check_perms(entry.user, entry.writable, linear, is_write, user)?;
@@ -173,6 +225,7 @@ impl Mmu {
         })
     }
 
+    #[inline]
     fn check_perms(
         &self,
         page_user: bool,

@@ -1173,3 +1173,259 @@ fn run_to_stops_at_breakpoints() {
     assert_eq!(m.run(10), Exit::Hlt);
     assert_eq!(m.cpu.reg(Reg::Eax), 3);
 }
+
+// --- fetch-path regressions and the predecode cache ----------------------
+
+/// Assembles one-or-more instructions and returns their raw encoding.
+fn enc(src: &str) -> Vec<u8> {
+    Assembler::assemble(src)
+        .unwrap()
+        .link(0, &BTreeMap::new())
+        .unwrap()
+}
+
+/// A paged ring-0 machine with exactly one mapped code page at
+/// linear/physical `0x1000`; everything else (notably `0x2000`) unmapped.
+fn paged_code_page_only() -> Machine {
+    let mut m = Machine::new();
+    let code0 = m.gdt.push(Descriptor::flat_code(0));
+    let data0 = m.gdt.push(Descriptor::flat_data(0));
+    let mut fa = crate::mem::FrameAlloc::new(0x10_0000, 0x20_0000);
+    let cr3 = fa.alloc().unwrap();
+    map_page(&mut m.mem, &mut fa, cr3, 0x1000, 0x1000, pte::RW | pte::US);
+    m.mmu.set_cr3(cr3);
+    m.mmu.enabled = true;
+    m.force_seg_from_table(SegReg::Cs, Selector::new(code0, false, 0));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(data0, false, 0));
+    m.force_seg_from_table(SegReg::Ds, Selector::new(data0, false, 0));
+    m
+}
+
+/// Regression (spurious #PF): a short instruction in the last bytes of a
+/// mapped page must execute even though the MAX_INSN_LEN prefetch window
+/// crosses into an unmapped page. The fetch may only raise the boundary
+/// fault when the decoder actually needed the missing bytes.
+#[test]
+fn short_insn_at_end_of_mapped_page_executes() {
+    let hlt = enc("hlt\n");
+    assert_eq!(hlt.len(), 1);
+    for predecode in [true, false] {
+        let mut m = paged_code_page_only();
+        m.set_predecode(predecode);
+        m.mem.write_bytes(0x1FFF, &hlt);
+        m.cpu.eip = 0x1FFF;
+        assert_eq!(
+            m.run(10),
+            Exit::Hlt,
+            "spurious #PF with predecode={predecode}"
+        );
+    }
+}
+
+/// Companion: an instruction that genuinely continues into the unmapped
+/// page still page-faults, with the fault at the page boundary.
+#[test]
+fn truncated_insn_at_page_boundary_still_faults() {
+    let mov = enc("mov eax, 1\n");
+    assert!(mov.len() > 1);
+    for predecode in [true, false] {
+        let mut m = paged_code_page_only();
+        m.set_predecode(predecode);
+        m.mem.write_bytes(0x1FFF, &mov); // only byte 0 is in the mapped page
+        m.cpu.eip = 0x1FFF;
+        match m.run(10) {
+            Exit::Fault(f) => {
+                assert_eq!(f.vector, Vector::PageFault, "predecode={predecode}");
+                match f.cause {
+                    FaultCause::Page { linear, .. } => assert_eq!(linear, 0x2000),
+                    other => panic!("wrong cause {other:?}"),
+                }
+            }
+            other => panic!("expected #PF, got {other:?} (predecode={predecode})"),
+        }
+    }
+}
+
+/// Regression (debug-build panic): a page-straddling access whose linear
+/// address wraps past 0xFFFF_FFFF must wrap like `seg_check` does, not
+/// panic on `linear + i` overflow.
+#[test]
+fn straddling_access_wraps_past_top_of_linear_space() {
+    use crate::desc::DataSeg;
+    let mut m = flat_machine("hlt\n");
+    let high = m.gdt.push(Descriptor::Data(DataSeg {
+        base: 0xFFFF_F000,
+        limit: 0xFFFF_FFFF,
+        dpl: 0,
+        writable: true,
+        expand_down: false,
+        present: true,
+    }));
+    m.force_seg_from_table(SegReg::Es, Selector::new(high, false, 0));
+
+    // Linear 0xFFFF_FFFE..=0x1: straddles both the page at the top of the
+    // address space and the wrap-around.
+    m.mem.write_u8(0xFFFF_FFFE, 0x11);
+    m.mem.write_u8(0xFFFF_FFFF, 0x22);
+    m.mem.write_u8(0x0000_0000, 0x33);
+    m.mem.write_u8(0x0000_0001, 0x44);
+    assert_eq!(m.read_data(SegReg::Es, 0xFFE, 4), Ok(0x4433_2211));
+
+    assert_eq!(m.write_data(SegReg::Es, 0xFFE, 4, 0xAABB_CCDD), Ok(()));
+    assert_eq!(m.mem.read_u8(0xFFFF_FFFE), 0xDD);
+    assert_eq!(m.mem.read_u8(0xFFFF_FFFF), 0xCC);
+    assert_eq!(m.mem.read_u8(0x0000_0000), 0xBB);
+    assert_eq!(m.mem.read_u8(0x0000_0001), 0xAA);
+}
+
+/// Self-modifying code via a *guest store*: the program overwrites an
+/// instruction it has already executed (and which is therefore in the
+/// predecode cache); the very next fetch must see the new bytes.
+#[test]
+fn guest_store_into_executed_code_is_seen_by_next_fetch() {
+    let enc5 = enc("add eax, 5\n");
+    let enc9 = enc("add eax, 9\n");
+    assert_eq!(enc5.len(), enc9.len());
+    // The encodings differ only in the immediate; patch the dword that
+    // starts at the first differing byte.
+    let w = enc5.iter().zip(&enc9).position(|(a, b)| a != b).unwrap();
+    assert!(w + 4 <= enc5.len() && enc5[w + 4..] == enc9[w + 4..]);
+    let patch = u32::from_le_bytes(enc9[w..w + 4].try_into().unwrap());
+
+    let src = |addr: u32| {
+        format!(
+            "mov eax, 0\n\
+             mov ecx, 0\n\
+             top:\n\
+             add eax, 5\n\
+             cmp ecx, 1\n\
+             je done\n\
+             mov ecx, 1\n\
+             mov ebx, 0x{patch:08X}\n\
+             mov [0x{addr:08X}], ebx\n\
+             jmp top\n\
+             done:\n\
+             hlt\n"
+        )
+    };
+    // Two-pass: locate the target instruction in a probe image (every
+    // operand is fixed-width, so the layout is address-independent).
+    let probe = Assembler::assemble(&src(0x9999_9999))
+        .unwrap()
+        .link(0x1000, &BTreeMap::new())
+        .unwrap();
+    let t_off = probe
+        .windows(enc5.len())
+        .position(|w| w == &enc5[..])
+        .expect("target insn in image") as u32;
+
+    let mut m = flat_machine(&src(0x1000 + t_off + w as u32));
+    run_to_hlt(&mut m);
+    assert_eq!(m.cpu.reg(Reg::Eax), 14, "5 before the patch, 9 after");
+}
+
+/// Self-modifying code via `host_write` (the loader / kernel path): the
+/// cache must be invalidated exactly like for guest stores.
+#[test]
+fn host_write_into_executed_code_is_seen_by_next_fetch() {
+    let enc5 = enc("add eax, 5\n");
+    let enc9 = enc("add eax, 9\n");
+    let mut m = flat_machine("top:\nadd eax, 5\njmp top\n");
+    // `top` is at 0x1000; run two loop iterations so the add is cached.
+    assert_eq!(m.run(4), Exit::InsnLimit);
+    assert_eq!(m.cpu.reg(Reg::Eax), 10);
+    assert!(
+        m.predecode_stats().hits > 0,
+        "second loop iteration is served from the cache"
+    );
+    assert!(m.host_write(0x1000, &enc9));
+    assert_eq!(m.run(2), Exit::InsnLimit);
+    assert_eq!(m.cpu.reg(Reg::Eax), 19, "the very next fetch sees 9");
+    // And back again.
+    assert!(m.host_write(0x1000, &enc5));
+    assert_eq!(m.run(2), Exit::InsnLimit);
+    assert_eq!(m.cpu.reg(Reg::Eax), 24);
+}
+
+/// A page-straddling instruction is cached against *both* frames: a write
+/// that only touches the second page must still invalidate it.
+#[test]
+fn straddling_insn_invalidated_by_store_to_second_page() {
+    let add = enc("add eax, 5\n");
+    let hlt = enc("hlt\n");
+    assert!(add.len() >= 2);
+    // Place the add so exactly its last byte (the immediate's high byte)
+    // lands on the next page.
+    let start = 0x2001 - add.len() as u32;
+    let run_at = |image: &[u8], m: &mut Machine| {
+        m.mem.write_bytes(start, image);
+        m.mem.write_bytes(start + add.len() as u32, &hlt);
+        m.cpu.eip = start;
+        m.cpu.set_reg(Reg::Eax, 0);
+        run_to_hlt(m);
+        m.cpu.reg(Reg::Eax)
+    };
+
+    let mut patched = add.clone();
+    *patched.last_mut().unwrap() ^= 0x01;
+    // Ground truth from a fresh machine that never saw the original.
+    let expected = run_at(&patched, &mut flat_machine("hlt\n"));
+    assert_ne!(expected, 5);
+
+    let mut m = flat_machine("hlt\n");
+    assert_eq!(run_at(&add, &mut m), 5);
+    // Patch only the byte on the second page, on the same machine.
+    let got = run_at(&patched, &mut m);
+    assert_eq!(got, expected, "stale straddling decode served");
+}
+
+/// The predecode fast path is cycle-neutral: an identical workload run
+/// with the cache on and off retires the same instructions, charges the
+/// same cycles and walks the page tables the same number of times.
+#[test]
+fn predecode_fast_path_is_cycle_neutral() {
+    fn run(predecode: bool) -> (u64, u64, u64, u32, u32) {
+        let mut m = Machine::new();
+        let code0 = m.gdt.push(Descriptor::flat_code(0));
+        let data0 = m.gdt.push(Descriptor::flat_data(0));
+        let mut fa = crate::mem::FrameAlloc::new(0x10_0000, 0x20_0000);
+        let cr3 = fa.alloc().unwrap();
+        for page in [0x1000u32, 0x2000, 0x7000] {
+            map_page(&mut m.mem, &mut fa, cr3, page, page, pte::RW | pte::US);
+        }
+        m.mmu.set_cr3(cr3);
+        m.mmu.enabled = true;
+        let obj = Assembler::assemble(
+            "mov eax, 0\n\
+             mov ecx, 50\n\
+             top:\n\
+             add eax, ecx\n\
+             mov [0x2000], eax\n\
+             mov ebx, [0x2000]\n\
+             push ebx\n\
+             pop edx\n\
+             dec ecx\n\
+             cmp ecx, 0\n\
+             jne top\n\
+             hlt\n",
+        )
+        .unwrap();
+        m.mem
+            .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+        m.force_seg_from_table(SegReg::Cs, Selector::new(code0, false, 0));
+        m.force_seg_from_table(SegReg::Ss, Selector::new(data0, false, 0));
+        m.force_seg_from_table(SegReg::Ds, Selector::new(data0, false, 0));
+        m.cpu.set_reg(Reg::Esp, 0x7FF0);
+        m.cpu.eip = 0x1000;
+        m.set_predecode(predecode);
+        run_to_hlt(&mut m);
+        (
+            m.cycles(),
+            m.insns(),
+            m.mmu.stats.misses,
+            m.cpu.reg(Reg::Eax),
+            m.cpu.esp(),
+        )
+    }
+    assert_eq!(run(true), run(false));
+}

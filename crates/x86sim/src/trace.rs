@@ -43,6 +43,7 @@ impl Trace {
     }
 
     /// Appends a record, evicting the oldest when full.
+    #[inline]
     pub fn push(&mut self, r: TraceRecord) {
         self.total += 1;
         if self.capacity == 0 {
