@@ -18,7 +18,8 @@ use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 
 use minikernel::Kernel;
-use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, KextError};
+use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
+use palladium::supervisor::{RestartPolicy, SupervisedId, SupervisedState, Supervisor};
 use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp, PalError};
 use seedrng::SeedRng;
 use x86sim::mem::PAGE_SIZE;
@@ -95,6 +96,11 @@ pub struct CampaignReport {
     pub probes_run: u32,
     /// Steps that panicked in the host and were caught.
     pub host_panics: u32,
+    /// Supervised segment restarts performed (replaces the old ad-hoc
+    /// respawn; each one transactionally reclaims the dead segment).
+    pub restarts: u64,
+    /// Kernel pages reclaimed by those restarts.
+    pub pages_reclaimed: u64,
     /// Total guest instructions retired across all episodes (the
     /// throughput benchmark's work metric).
     pub guest_insns: u64,
@@ -107,6 +113,12 @@ struct Episode {
     k: Kernel,
     app: ExtensibleApp,
     kx: KernelExtensions,
+    /// Supervisor for the adversarial kernel segment: restarts are
+    /// immediate (no backoff) so the campaign's step cadence is
+    /// unchanged, but every replacement goes through the transactional
+    /// reclaim path and the leak audit.
+    sup: Supervisor,
+    sup_id: SupervisedId,
     seg: ExtSegmentId,
     oracle: StateOracle,
     /// Prepared user extension entry points that loaded successfully.
@@ -133,9 +145,11 @@ impl Episode {
         k.m.set_predecode(cfg.predecode);
         let mut app = ExtensibleApp::new(&mut k).map_err(|e| format!("app: {e}"))?;
         let mut kx = KernelExtensions::new(&mut k).map_err(|e| format!("kx: {e}"))?;
-        let seg = kx
-            .create_segment(&mut k, 16)
+        let mut sup = Supervisor::new(RestartPolicy::immediate());
+        let sup_id = sup
+            .install(&mut k, &mut kx, 16, SegmentConfig::default(), Vec::new())
             .map_err(|e| format!("segment: {e}"))?;
+        let seg = sup.segment(sup_id);
         let canary = k
             .alloc_kernel_pages(1)
             .map_err(|e| format!("canary: {e}"))?;
@@ -151,6 +165,8 @@ impl Episode {
             k,
             app,
             kx,
+            sup,
+            sup_id,
             seg,
             oracle,
             user_pool: Vec::new(),
@@ -165,13 +181,33 @@ impl Episode {
         self.k.task(self.app.tid).cr3
     }
 
+    /// Retires the current kernel segment through the supervisor —
+    /// transactional reclaim of its pages, descriptors and queue — and
+    /// brings up the replacement. Errors if the restart itself fails
+    /// (only possible under memory pressure).
+    fn respawn_segment(&mut self) -> Result<(), KextError> {
+        if !self.kx.segment(self.seg).dead {
+            self.kx.destroy_segment(&mut self.k, self.seg);
+        }
+        self.sup
+            .notify_death(&mut self.k, &mut self.kx, self.sup_id);
+        self.kext_loaded = false;
+        match self.sup.poll(&mut self.k, &mut self.kx, self.sup_id) {
+            SupervisedState::Running => {
+                self.seg = self.sup.segment(self.sup_id);
+                Ok(())
+            }
+            SupervisedState::Backoff { .. } | SupervisedState::Tombstoned => {
+                Err(KextError::SegmentDead)
+            }
+        }
+    }
+
     /// Replaces a quarantined/dead kernel segment with a fresh one.
     fn ensure_segment(&mut self) -> Result<(), KextError> {
         let s = self.kx.segment(self.seg);
-        let (quarantined, dead) = (s.quarantined, s.dead);
-        if quarantined || dead {
-            self.seg = self.kx.create_segment(&mut self.k, 16)?;
-            self.kext_loaded = false;
+        if s.quarantined || s.dead {
+            self.respawn_segment()?;
         }
         Ok(())
     }
@@ -189,10 +225,9 @@ impl Episode {
                 Ok(())
             }
             Err(KextError::OutOfMemory) => {
-                // The bump loader filled the segment: roll to a new one
-                // and retry once.
-                self.seg = self.kx.create_segment(&mut self.k, 16)?;
-                self.kext_loaded = false;
+                // The bump loader filled the segment: retire it through
+                // the supervisor and retry once in the replacement.
+                self.respawn_segment()?;
                 let r = self
                     .kx
                     .insmod(&mut self.k, self.seg, &name, obj, &["entry"]);
@@ -450,7 +485,10 @@ pub fn run(cfg: &CampaignConfig) -> CampaignReport {
 
         let caught = panic::catch_unwind(AssertUnwindSafe(|| {
             let (action, outcome) = step(ep, &mut rng);
-            let violations = ep.oracle.check(&ep.k, ep.cr3());
+            let mut violations = ep.oracle.check(&ep.k, ep.cr3());
+            // Recovery invariant: supervised restarts must leave the
+            // resource ledgers balanced after every step.
+            violations.extend(oracle::check_recovery(&ep.k, &ep.kx));
             (action, outcome, violations)
         }));
         match caught {
@@ -505,6 +543,8 @@ pub fn run(cfg: &CampaignConfig) -> CampaignReport {
                 report.kext_aborts += ep.kx.aborts;
                 report.uext_aborts += ep.app.aborted_calls;
                 report.guest_insns += ep.k.m.insns();
+                report.restarts += ep.sup.restarts;
+                report.pages_reclaimed += ep.sup.pages_reclaimed;
             }
         }
     }
@@ -528,6 +568,11 @@ pub fn summarize(report: &CampaignReport) -> String {
         s,
         "quarantines: {}  kext aborts: {}  uext aborts: {}  host panics: {}",
         report.quarantines, report.kext_aborts, report.uext_aborts, report.host_panics
+    );
+    let _ = writeln!(
+        s,
+        "supervised restarts: {}  pages reclaimed: {}",
+        report.restarts, report.pages_reclaimed
     );
     let _ = writeln!(s, "outcomes:");
     for (tag, n) in &report.outcomes {

@@ -17,13 +17,18 @@
 //! 5. syscalls from SPL 3 extension code of an SPL 2 task are rejected;
 //! 6. fork inherits SPL/PPL state, exec resets it;
 //! 7. runaway extensions are aborted by the timer limit.
+//!
+//! An eighth *recovery* invariant rides along since the supervisor was
+//! added: reclaiming or restarting an extension segment must leave the
+//! kernel's resource ledgers balanced — no leaked pages, descriptors or
+//! EFT entries ([`check_recovery`] wraps the kernel-side audit).
 
 use std::collections::BTreeMap;
 
 use asm86::Assembler;
 use minikernel::layout::sys;
 use minikernel::{Budget, Kernel, Outcome, USER_TEXT};
-use palladium::kernel_ext::{KernelExtensions, KextError};
+use palladium::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
 use palladium::user_ext::{DlOptions, ExtensibleApp};
 use x86sim::desc::Descriptor;
 use x86sim::paging::{get_pte, pte};
@@ -181,6 +186,20 @@ impl StateOracle {
     }
 }
 
+/// Recovery invariant: the kernel's per-segment resource ledgers are
+/// balanced — every reclaimed segment's pages are unmapped and back on
+/// the free list, pooled descriptors are not-present, and every live
+/// segment's ledger matches what the kernel actually holds for it.
+pub fn check_recovery(k: &Kernel, kx: &KernelExtensions) -> Vec<Violation> {
+    match kx.assert_no_leaks(k) {
+        Ok(()) => Vec::new(),
+        Err(detail) => vec![Violation {
+            invariant: "resources-reclaimed",
+            detail,
+        }],
+    }
+}
+
 fn asm(src: &str) -> asm86::Object {
     Assembler::assemble(src).expect("oracle probe assembles")
 }
@@ -319,9 +338,15 @@ pub fn probe_timer_abort(cycle_limit: u64) -> Result<(), Violation> {
     let mut k = Kernel::boot();
     k.extension_cycle_limit = cycle_limit;
     let mut kx = KernelExtensions::new(&mut k).map_err(|e| fail(format!("setup: {e}")))?;
-    kx.quarantine_threshold = 1;
     let seg = kx
-        .create_segment(&mut k, 8)
+        .create_segment_with(
+            &mut k,
+            8,
+            SegmentConfig {
+                quarantine_threshold: 1,
+                ..SegmentConfig::default()
+            },
+        )
         .map_err(|e| fail(format!("segment: {e}")))?;
     kx.insmod(&mut k, seg, "spin", &asm("spin:\njmp spin\n"), &["spin"])
         .map_err(|e| fail(format!("insmod: {e}")))?;

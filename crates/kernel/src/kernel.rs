@@ -133,6 +133,10 @@ pub struct Kernel {
     kernel_cr3: u32,
     /// Kernel dynamic VA bump pointer.
     kva_next: u32,
+    /// Freed kernel VA ranges `(base, pages)`, reused exact-fit before the
+    /// bump pointer advances (most recently freed first, so allocation is
+    /// deterministic across reclaim cycles).
+    kva_free: Vec<(u32, u32)>,
 }
 
 impl Kernel {
@@ -212,6 +216,7 @@ impl Kernel {
             kernel_pdes,
             kernel_cr3,
             kva_next: KERNEL_VA_START,
+            kva_free: Vec::new(),
         }
     }
 
@@ -219,23 +224,98 @@ impl Kernel {
 
     /// Allocates `n` pages of kernel virtual memory (supervisor,
     /// writable), visible in every address space. Returns the linear base.
+    ///
+    /// A range freed by [`free_kernel_pages`](Self::free_kernel_pages) is
+    /// reused when its page count matches exactly (most recently freed
+    /// first); otherwise the bump pointer advances. Either way the pages
+    /// are backed by fresh zeroed frames.
     pub fn alloc_kernel_pages(&mut self, n: u32) -> Result<u32, SpawnError> {
-        let base = self.kva_next;
-        if base + n * PAGE_SIZE > KERNEL_VA_END {
-            return Err(SpawnError::OutOfMemory);
+        // Reserve the frames first so a mid-range failure cannot leave a
+        // half-mapped region behind.
+        let mut frames = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            match self.frames.alloc() {
+                Some(f) => frames.push(f),
+                None => {
+                    for f in frames {
+                        self.frames.free(f);
+                    }
+                    return Err(SpawnError::OutOfMemory);
+                }
+            }
         }
-        for i in 0..n {
-            let lin = base + i * PAGE_SIZE;
-            let frame = self.frames.alloc().ok_or(SpawnError::OutOfMemory)?;
+
+        let base = match self.kva_free.iter().rposition(|&(_, pages)| pages == n) {
+            Some(pos) => self.kva_free.remove(pos).0,
+            None => {
+                let base = self.kva_next;
+                if base + n * PAGE_SIZE > KERNEL_VA_END {
+                    for f in frames {
+                        self.frames.free(f);
+                    }
+                    return Err(SpawnError::OutOfMemory);
+                }
+                self.kva_next = base + n * PAGE_SIZE;
+                base
+            }
+        };
+
+        for (i, frame) in frames.into_iter().enumerate() {
+            let lin = base + i as u32 * PAGE_SIZE;
             self.m.mem.zero(frame, PAGE_SIZE);
             let (_, pde_val) = self.kernel_pdes[((lin - KERNEL_VA_START) >> 22) as usize];
             let pt = pde_val & pte::FRAME;
             self.m
                 .mem
                 .write_u32(pt + ((lin >> 12) & 0x3FF) * 4, frame | pte::P | pte::RW);
+            self.m.mmu.flush_page(lin);
         }
-        self.kva_next = base + n * PAGE_SIZE;
         Ok(base)
+    }
+
+    /// Frees `n` pages of kernel virtual memory previously returned by
+    /// [`alloc_kernel_pages`](Self::alloc_kernel_pages): each backing
+    /// frame returns to the frame allocator, the shared-kernel-page-table
+    /// PTE is cleared (visible in every address space), and the VA range
+    /// is recorded for exact-fit reuse. Pages already unmapped (e.g. by
+    /// fault injection) are skipped, so the call is idempotent per page.
+    pub fn free_kernel_pages(&mut self, base: u32, n: u32) {
+        debug_assert_eq!(base & (PAGE_SIZE - 1), 0, "base must be page-aligned");
+        debug_assert!(base >= KERNEL_VA_START && base + n * PAGE_SIZE <= KERNEL_VA_END);
+        for i in 0..n {
+            let lin = base + i * PAGE_SIZE;
+            let (_, pde_val) = self.kernel_pdes[((lin - KERNEL_VA_START) >> 22) as usize];
+            let pt = pde_val & pte::FRAME;
+            let pte_addr = pt + ((lin >> 12) & 0x3FF) * 4;
+            let entry = self.m.mem.read_u32(pte_addr);
+            if entry & pte::P == 0 {
+                continue;
+            }
+            self.m.mem.write_u32(pte_addr, 0);
+            self.frames.free(entry & pte::FRAME);
+            self.m.mmu.flush_page(lin);
+        }
+        if !self.kva_free.contains(&(base, n)) {
+            self.kva_free.push((base, n));
+        }
+    }
+
+    /// Whether a freed kernel VA range is still awaiting reuse. While it
+    /// is, every page in it must be unmapped — the leak audit's
+    /// distinction between "returned" and "recycled by a later owner".
+    pub fn kernel_range_free(&self, base: u32, pages: u32) -> bool {
+        self.kva_free.contains(&(base, pages))
+    }
+
+    /// Whether a kernel VA page is currently mapped — the leak audit uses
+    /// this to prove a reclaimed segment left nothing behind.
+    pub fn kernel_page_mapped(&self, lin: u32) -> bool {
+        if !(KERNEL_VA_START..KERNEL_VA_END).contains(&lin) {
+            return false;
+        }
+        let (_, pde_val) = self.kernel_pdes[((lin - KERNEL_VA_START) >> 22) as usize];
+        let pt = pde_val & pte::FRAME;
+        self.m.mem.read_u32(pt + ((lin >> 12) & 0x3FF) * 4) & pte::P != 0
     }
 
     /// Writes bytes into kernel virtual memory. Returns false when any

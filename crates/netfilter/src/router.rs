@@ -15,7 +15,10 @@ use std::collections::VecDeque;
 
 use asm86::Object;
 use minikernel::Kernel;
-use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, KextError};
+use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
+use palladium::supervisor::{
+    ModuleImage, RestartPolicy, SupervisedId, SupervisedState, Supervisor, SupervisorError,
+};
 
 use crate::compile;
 use crate::expr::Filter;
@@ -33,6 +36,22 @@ pub struct RouterStats {
     pub deferred: u64,
     /// Packets lost to a filter abort (fail closed).
     pub failed_closed: u64,
+    /// Packets forwarded unclassified by the fail-open default policy.
+    pub failed_open: u64,
+    /// Packets handled by the default policy while the classifier was
+    /// down (restart window or tombstone) — fail-closed and fail-open
+    /// applications both count here.
+    pub default_policy: u64,
+}
+
+/// What the supervised router does with packets while its classifier is
+/// being restarted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailPolicy {
+    /// Drop unclassified packets (the conservative default for a filter).
+    Closed,
+    /// Forward unclassified packets (availability over filtering).
+    Open,
 }
 
 /// Why a router operation failed.
@@ -70,6 +89,17 @@ pub enum Verdict {
     Drop,
     /// Lost because the filter extension was aborted.
     FailedClosed,
+    /// Forwarded *unclassified* by the fail-open default policy while
+    /// the classifier was being restarted.
+    FailedOpen,
+}
+
+/// Supervision state for a router whose classifier restarts on fault.
+#[derive(Debug)]
+struct SupervisedClassifier {
+    sup: Supervisor,
+    id: SupervisedId,
+    fail: FailPolicy,
 }
 
 /// The router.
@@ -82,6 +112,7 @@ pub struct Router {
     shared: (u32, u32),
     deferred: VecDeque<Vec<u8>>,
     stats_seg: Option<ExtSegmentId>,
+    supervised: Option<SupervisedClassifier>,
     /// Statistics.
     pub stats: RouterStats,
 }
@@ -120,8 +151,7 @@ impl Router {
         // A router fails closed: the first classifier fault quarantines
         // the segment rather than giving it three strikes at the data
         // path.
-        kx.quarantine_threshold = 1;
-        let seg = kx.create_segment(&mut k, 16)?;
+        let seg = kx.create_segment_with(&mut k, 16, Router::classifier_config())?;
         kx.insmod(&mut k, seg, "classifier", module, &["filter"])?;
         let shared = kx
             .shared_area_linear(seg)
@@ -133,8 +163,74 @@ impl Router {
             shared,
             deferred: VecDeque::new(),
             stats_seg: None,
+            supervised: None,
             stats: RouterStats::default(),
         })
+    }
+
+    fn classifier_config() -> SegmentConfig {
+        SegmentConfig {
+            quarantine_threshold: 1,
+            ..SegmentConfig::default()
+        }
+    }
+
+    /// As [`Router::with_module`], but the classifier runs under a
+    /// [`Supervisor`]: a fault reclaims its segment through the resource
+    /// ledger and schedules a reinstall from the original image, and the
+    /// router keeps moving packets via `fail` (its default policy) during
+    /// every restart window instead of failing closed forever.
+    pub fn with_supervised_module(
+        module: &Object,
+        fail: FailPolicy,
+        policy: RestartPolicy,
+    ) -> Result<Router, RouterError> {
+        let mut k = Kernel::boot();
+        let mut kx = KernelExtensions::new(&mut k).map_err(RouterError::Setup)?;
+        let mut sup = Supervisor::new(policy);
+        let image = ModuleImage::new("classifier", module.clone(), &["filter"]);
+        let id = sup.install(
+            &mut k,
+            &mut kx,
+            16,
+            Router::classifier_config(),
+            vec![image],
+        )?;
+        let seg = sup.segment(id);
+        let shared = kx
+            .shared_area_linear(seg)
+            .ok_or(RouterError::Setup(KextError::Link("no shared_area".into())))?;
+        Ok(Router {
+            k,
+            kx,
+            seg,
+            shared,
+            deferred: VecDeque::new(),
+            stats_seg: None,
+            supervised: Some(SupervisedClassifier { sup, id, fail }),
+            stats: RouterStats::default(),
+        })
+    }
+
+    /// The classifier's supervisor, when running supervised.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervised.as_ref().map(|s| &s.sup)
+    }
+
+    /// Applies the default policy to one packet the classifier could not
+    /// see (restart window, tombstone, or the faulting call itself).
+    fn apply_default_policy(&mut self) -> Verdict {
+        self.stats.default_policy += 1;
+        match self.supervised.as_ref().map(|s| s.fail) {
+            Some(FailPolicy::Open) => {
+                self.stats.failed_open += 1;
+                Verdict::FailedOpen
+            }
+            _ => {
+                self.stats.failed_closed += 1;
+                Verdict::FailedClosed
+            }
+        }
     }
 
     /// Loads the per-protocol statistics extension (a second, stateful
@@ -164,6 +260,23 @@ impl Router {
     }
 
     fn classify_now(&mut self, pkt: &[u8]) -> Result<Verdict, RouterError> {
+        // Under supervision: perform any due restart first, then route
+        // around a classifier that is still down.
+        if self.supervised.is_some() {
+            let (state, seg) = {
+                let s = self.supervised.as_mut().unwrap();
+                let state = s.sup.poll(&mut self.k, &mut self.kx, s.id);
+                (state, s.sup.segment(s.id))
+            };
+            self.seg = seg;
+            if state != SupervisedState::Running {
+                return Ok(self.apply_default_policy());
+            }
+            self.shared = self
+                .kx
+                .shared_area_linear(seg)
+                .ok_or(RouterError::Setup(KextError::Link("no shared_area".into())))?;
+        }
         let (area, size) = self.shared;
         if pkt.len() as u32 > size {
             return Err(RouterError::PacketTooLarge);
@@ -177,10 +290,23 @@ impl Router {
         }
         assert!(self.k.m.host_write(area, pkt));
         self.k.m.charge(pkt.len() as u64 / 4 + 10);
-        match self
-            .kx
-            .invoke(&mut self.k, self.seg, "filter", pkt.len() as u32)
-        {
+        let result = match self.supervised.as_mut() {
+            Some(s) => {
+                match s
+                    .sup
+                    .invoke(&mut self.k, &mut self.kx, s.id, "filter", pkt.len() as u32)
+                {
+                    Ok(v) => Ok(v),
+                    Err(SupervisorError::Kext(e)) => Err(e),
+                    // The supervisor observed the death first: default policy.
+                    Err(_) => return Ok(self.apply_default_policy()),
+                }
+            }
+            None => self
+                .kx
+                .invoke(&mut self.k, self.seg, "filter", pkt.len() as u32),
+        };
+        match result {
             Ok(v) if v != 0 => {
                 self.stats.forwarded += 1;
                 Ok(Verdict::Forward)
@@ -193,8 +319,12 @@ impl Router {
             | Err(KextError::TimeLimit)
             | Err(KextError::SegmentDead)
             | Err(KextError::Quarantined { .. }) => {
-                self.stats.failed_closed += 1;
-                Ok(Verdict::FailedClosed)
+                if self.supervised.is_some() {
+                    Ok(self.apply_default_policy())
+                } else {
+                    self.stats.failed_closed += 1;
+                    Ok(Verdict::FailedClosed)
+                }
             }
             Err(e) => Err(RouterError::Setup(e)),
         }
@@ -226,7 +356,10 @@ impl Router {
         // Consume the extension-side request queue (the router
         // synchronizes packet placement itself), clearing the busy mark.
         let requests = self.kx.take_queued(self.seg);
-        debug_assert_eq!(requests.len(), self.deferred.len());
+        // Under supervision a restart may have replaced the segment since
+        // the requests were queued (the reclaim drained them); the
+        // router's own deferred list is the source of truth either way.
+        debug_assert!(self.supervised.is_some() || requests.len() == self.deferred.len());
         let mut verdicts = Vec::with_capacity(self.deferred.len());
         while let Some(pkt) = self.deferred.pop_front() {
             verdicts.push(self.classify_now(&pkt)?);
@@ -359,5 +492,111 @@ mod tests {
             r.receive(&vec![0u8; 4096], false),
             Err(RouterError::PacketTooLarge)
         ));
+    }
+
+    /// A classifier that escapes its segment on 66-byte packets, for the
+    /// supervised-restart tests.
+    fn faulty_module() -> Object {
+        asm86::Assembler::assemble(
+            "filter:\n\
+             mov eax, [esp+4]\n\
+             cmp eax, 66\n\
+             je escape\n\
+             mov eax, 1\n\
+             ret\n\
+             escape:\n\
+             mov eax, [0x800000]\n\
+             ret\n\
+             shared_area:\n\
+             .space 2048\n\
+             shared_area_end:\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn supervised_classifier_restarts_and_service_resumes() {
+        let policy = RestartPolicy {
+            backoff_base: 10_000,
+            ..RestartPolicy::default()
+        };
+        let mut r =
+            Router::with_supervised_module(&faulty_module(), FailPolicy::Closed, policy).unwrap();
+        let ok_pkt = vec![0u8; 64];
+        let bad_pkt = vec![0u8; 66];
+
+        assert_eq!(r.receive(&ok_pkt, false).unwrap(), Some(Verdict::Forward));
+        // The faulting packet is handled by the default policy, and the
+        // dead segment is reclaimed through its ledger.
+        assert_eq!(
+            r.receive(&bad_pkt, false).unwrap(),
+            Some(Verdict::FailedClosed)
+        );
+        // During the backoff window the router keeps classifying via its
+        // default policy rather than dying with the extension.
+        assert_eq!(
+            r.receive(&ok_pkt, false).unwrap(),
+            Some(Verdict::FailedClosed)
+        );
+        assert!(r.stats.default_policy >= 2);
+        // Wait out the backoff; the next packet is classified by the
+        // reinstalled extension.
+        r.k.m.charge(policy.backoff_base + 1);
+        assert_eq!(r.receive(&ok_pkt, false).unwrap(), Some(Verdict::Forward));
+        assert_eq!(r.supervisor().unwrap().restarts, 1);
+    }
+
+    #[test]
+    fn fail_open_policy_forwards_unclassified_packets() {
+        let policy = RestartPolicy {
+            backoff_base: 10_000,
+            ..RestartPolicy::default()
+        };
+        let mut r =
+            Router::with_supervised_module(&faulty_module(), FailPolicy::Open, policy).unwrap();
+        let ok_pkt = vec![0u8; 64];
+        let bad_pkt = vec![0u8; 66];
+
+        assert_eq!(
+            r.receive(&bad_pkt, false).unwrap(),
+            Some(Verdict::FailedOpen)
+        );
+        assert_eq!(
+            r.receive(&ok_pkt, false).unwrap(),
+            Some(Verdict::FailedOpen)
+        );
+        assert_eq!(r.stats.failed_open, 2);
+        assert_eq!(r.stats.failed_closed, 0);
+        r.k.m.charge(policy.backoff_base + 1);
+        assert_eq!(r.receive(&ok_pkt, false).unwrap(), Some(Verdict::Forward));
+    }
+
+    #[test]
+    fn repeated_faults_tombstone_the_classifier() {
+        let policy = RestartPolicy {
+            max_restarts: 2,
+            backoff_base: 1_000,
+            backoff_factor: 1,
+            backoff_max: 1_000,
+            decay_after: 0,
+        };
+        let mut r =
+            Router::with_supervised_module(&faulty_module(), FailPolicy::Closed, policy).unwrap();
+        let bad_pkt = vec![0u8; 66];
+        let ok_pkt = vec![0u8; 64];
+        for _ in 0..3 {
+            let _ = r.receive(&bad_pkt, false).unwrap();
+            r.k.m.charge(2_000);
+            // Recover (or, after the final strike, stay down).
+            let _ = r.receive(&ok_pkt, false).unwrap();
+        }
+        // Two restarts were allowed; the third death is permanent.
+        let _ = r.receive(&bad_pkt, false).unwrap();
+        r.k.m.charge(1_000_000);
+        assert_eq!(
+            r.receive(&ok_pkt, false).unwrap(),
+            Some(Verdict::FailedClosed)
+        );
+        assert_eq!(r.supervisor().unwrap().tombstoned, 1);
     }
 }

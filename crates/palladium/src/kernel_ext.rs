@@ -15,7 +15,7 @@
 //! primitive asynchronous request queue are supported, under the
 //! CPU-time limit of §4.5.2.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use asm86::encode::encode_program;
 use asm86::isa::Reg;
@@ -27,6 +27,7 @@ use x86sim::fault::Fault;
 use x86sim::machine::Exit;
 use x86sim::mem::PAGE_SIZE;
 
+use crate::supervisor::{LedgerEntry, ReclaimRecord, ResourceLedger};
 use crate::trampoline::{self, SaveSlots, TransferParams};
 
 /// Identifies one extension segment.
@@ -103,6 +104,44 @@ pub struct AsyncRequest {
     pub arg: u32,
 }
 
+/// Per-segment configuration, fixed at [`KernelExtensions::create_segment_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentConfig {
+    /// Faults the segment may accumulate before it is automatically
+    /// quarantined (the generalization of the mobile-code host's
+    /// three-strikes rule). Routers and other fail-closed users lower it
+    /// to 1 to restore abort-once semantics.
+    pub quarantine_threshold: u32,
+    /// Draw the segment's two GDT slots from the pool of slots reclaimed
+    /// from destroyed segments, instead of growing the table.
+    ///
+    /// Off by default: a fresh slot guarantees that a selector cached
+    /// before an unrelated segment was destroyed keeps raising #NP. The
+    /// supervisor turns it on for restart cycles, where it owns every
+    /// selector to the dead segment and bounded GDT growth is the
+    /// invariant under audit.
+    pub recycle_descriptors: bool,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> SegmentConfig {
+        SegmentConfig {
+            quarantine_threshold: 3,
+            recycle_descriptors: false,
+        }
+    }
+}
+
+/// Why a name is absent from the Extension Function Table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tombstone {
+    /// Module that owned the entry when it was unloaded or died.
+    pub module: Option<String>,
+    /// True when planted by quarantine or destruction rather than a
+    /// clean `rmmod` — a faulted tombstone is never silently cleared.
+    pub faulted: bool,
+}
+
 /// One extension segment (Figure 3).
 #[derive(Debug)]
 pub struct ExtSegment {
@@ -125,17 +164,30 @@ pub struct ExtSegment {
     pub dead: bool,
     /// Faults (aborts, time-limit kills) accumulated by this segment.
     pub strikes: u32,
-    /// The segment crossed [`KernelExtensions::quarantine_threshold`]
+    /// The segment crossed its [`SegmentConfig::quarantine_threshold`]
     /// and was automatically quarantined.
     pub quarantined: bool,
     /// Names formerly in the Extension Function Table, tombstoned at
-    /// quarantine so late callers get a structured error rather than
-    /// `NoSuchFunction` (or, worse, a far call through a stale slot).
-    pub tombstones: BTreeSet<String>,
+    /// unload or quarantine so late callers get a structured error rather
+    /// than `NoSuchFunction` (or, worse, a far call through a stale slot).
+    pub tombstones: BTreeMap<String, Tombstone>,
     /// Pending asynchronous requests (§4.3).
     pub queue: VecDeque<AsyncRequest>,
     /// Marked busy while draining the queue.
     pub busy: bool,
+    /// Configuration fixed at creation.
+    pub config: SegmentConfig,
+    /// The segment's kernel pages and descriptors were returned through
+    /// the resource ledger; set once, by the first reclaim.
+    pub reclaimed: bool,
+    /// What the reclaim released (audited by `assert_no_leaks`).
+    pub reclaim_record: Option<ReclaimRecord>,
+    /// Every kernel allocation this segment owns, in acquisition order.
+    ledger: ResourceLedger,
+    /// Extension Function Table ownership: function name → module name.
+    fn_owner: BTreeMap<String, String>,
+    /// Module that exported `shared_area`.
+    shared_area_owner: Option<String>,
     /// Per-segment `kprepare` stub address (kernel VA, SPL 0).
     kprepare: u32,
     /// Segment-relative offset of the `ktransfer` stub.
@@ -165,13 +217,17 @@ pub struct KernelExtensions {
     pub aborts: u64,
     /// Completed invocations.
     pub calls: u64,
-    /// Faults a segment may accumulate before it is automatically
-    /// quarantined (the generalization of the mobile-code host's
-    /// three-strikes rule). Routers and other fail-closed users may
-    /// lower it to 1 to restore abort-once semantics.
-    pub quarantine_threshold: u32,
+    /// Configuration applied by [`create_segment`](Self::create_segment);
+    /// [`create_segment_with`](Self::create_segment_with) overrides it
+    /// per segment.
+    default_config: SegmentConfig,
+    /// GDT slots reclaimed from destroyed segments, available to
+    /// segments created with [`SegmentConfig::recycle_descriptors`].
+    desc_pool: Vec<u16>,
     /// Segments quarantined so far.
     pub quarantines: u64,
+    /// Segments reclaimed (pages and descriptors returned) so far.
+    pub reclaims: u64,
 }
 
 impl KernelExtensions {
@@ -208,24 +264,66 @@ impl KernelExtensions {
             invoke_stack_top: stack + 2 * PAGE_SIZE,
             aborts: 0,
             calls: 0,
-            quarantine_threshold: 3,
+            default_config: SegmentConfig::default(),
+            desc_pool: Vec::new(),
             quarantines: 0,
+            reclaims: 0,
         })
     }
 
+    /// The configuration new segments receive from
+    /// [`create_segment`](Self::create_segment).
+    pub fn default_config(&self) -> SegmentConfig {
+        self.default_config
+    }
+
+    /// Sets the quarantine threshold for *future* segments.
+    #[deprecated(
+        note = "pass a `SegmentConfig` to `create_segment_with` — the threshold is per-segment"
+    )]
+    pub fn set_quarantine_threshold(&mut self, threshold: u32) {
+        self.default_config.quarantine_threshold = threshold;
+    }
+
     /// Creates an extension segment of `pages` pages at SPL 1 inside the
-    /// kernel address range, with its private stack and transfer stub.
+    /// kernel address range, with its private stack and transfer stub,
+    /// under the manager's default [`SegmentConfig`].
     pub fn create_segment(
         &mut self,
         k: &mut Kernel,
         pages: u32,
     ) -> Result<ExtSegmentId, KextError> {
+        self.create_segment_with(k, pages, self.default_config)
+    }
+
+    /// Allocates a GDT slot for a new segment descriptor, drawing from
+    /// the reclaim pool when the segment opted in.
+    fn alloc_descriptor(&mut self, k: &mut Kernel, d: Descriptor, recycle: bool) -> u16 {
+        if recycle {
+            if let Some(idx) = self.desc_pool.pop() {
+                k.m.gdt.set(idx, d);
+                return idx;
+            }
+        }
+        k.m.gdt.push(d)
+    }
+
+    /// [`create_segment`](Self::create_segment) with an explicit
+    /// per-segment configuration. Every allocation is recorded in the
+    /// segment's resource ledger.
+    pub fn create_segment_with(
+        &mut self,
+        k: &mut Kernel,
+        pages: u32,
+        config: SegmentConfig,
+    ) -> Result<ExtSegmentId, KextError> {
         let size = pages * PAGE_SIZE;
         let base = k.alloc_kernel_pages(pages)?;
         debug_assert!(base >= KERNEL_VA_START, "extension segments live in 3-4GB");
 
-        let code_idx = k.m.gdt.push(Descriptor::code(base, size, 1));
-        let data_idx = k.m.gdt.push(Descriptor::data(base, size, 1));
+        let recycle = config.recycle_descriptors;
+        let code_idx = self.alloc_descriptor(k, Descriptor::code(base, size, 1), recycle);
+        let data_idx = self.alloc_descriptor(k, Descriptor::data(base, size, 1), recycle);
         let code_sel = Selector::new(code_idx, false, 1);
         let data_sel = Selector::new(data_idx, false, 1);
 
@@ -250,14 +348,34 @@ impl KernelExtensions {
         let mut code = transfer_code;
         code[2] = asm86::isa::Insn::CallM(asm86::isa::Mem::abs(ktarget_off as i32 as u32));
         let bytes = encode_program(&code);
+
+        // Creation is transactional: a mid-construction failure returns
+        // every allocation made so far, exactly as a reclaim would.
+        let rollback = |kx: &mut Self, k: &mut Kernel, kprep: Option<u32>| {
+            Self::revoke_descriptors(k, code_sel, data_sel);
+            kx.desc_pool.push(data_idx);
+            kx.desc_pool.push(code_idx);
+            if let Some(p) = kprep {
+                k.free_kernel_pages(p, 1);
+            }
+            k.free_kernel_pages(base, pages);
+        };
+
         if !k.kwrite(base + ktransfer_off, &bytes) {
+            rollback(self, k, None);
             return Err(KextError::OutOfMemory);
         }
 
         let load_next = (ktransfer_off + bytes.len() as u32 + 15) & !15;
 
         // Per-segment kprepare stub (SPL 0, flat addressing).
-        let kprepare_page = k.alloc_kernel_pages(1)?;
+        let kprepare_page = match k.alloc_kernel_pages(1) {
+            Ok(p) => p,
+            Err(_) => {
+                rollback(self, k, None);
+                return Err(KextError::OutOfMemory);
+            }
+        };
         let esp_slot = kprepare_page;
         k.m.host_write_u32(esp_slot, ext_esp);
         let prep_code = trampoline::prepare(trampoline::PrepareParams {
@@ -273,8 +391,18 @@ impl KernelExtensions {
         let kprepare = kprepare_page + 16;
         let pbytes = encode_program(&prep_code);
         if !k.kwrite(kprepare, &pbytes) {
+            rollback(self, k, Some(kprepare_page));
             return Err(KextError::OutOfMemory);
         }
+
+        let mut ledger = ResourceLedger::default();
+        ledger.record(LedgerEntry::KernelPages { base, pages });
+        ledger.record(LedgerEntry::KernelPages {
+            base: kprepare_page,
+            pages: 1,
+        });
+        ledger.record(LedgerEntry::GdtDescriptor { index: code_idx });
+        ledger.record(LedgerEntry::GdtDescriptor { index: data_idx });
 
         self.segments.push(ExtSegment {
             base,
@@ -287,9 +415,15 @@ impl KernelExtensions {
             dead: false,
             strikes: 0,
             quarantined: false,
-            tombstones: BTreeSet::new(),
+            tombstones: BTreeMap::new(),
             queue: VecDeque::new(),
             busy: false,
+            config,
+            reclaimed: false,
+            reclaim_record: None,
+            ledger,
+            fn_owner: BTreeMap::new(),
+            shared_area_owner: None,
             kprepare,
             ktransfer_off,
             ktarget_off,
@@ -302,6 +436,16 @@ impl KernelExtensions {
     /// Borrows a segment.
     pub fn segment(&self, id: ExtSegmentId) -> &ExtSegment {
         &self.segments[id.0]
+    }
+
+    /// A segment's resource ledger (read-only; the mechanism maintains it).
+    pub fn ledger(&self, id: ExtSegmentId) -> &ResourceLedger {
+        &self.segments[id.0].ledger
+    }
+
+    /// GDT slots currently pooled for supervised reuse.
+    pub fn pooled_descriptors(&self) -> usize {
+        self.desc_pool.len()
     }
 
     /// Loads a module object into an extension segment (`insmod`),
@@ -348,14 +492,49 @@ impl KernelExtensions {
             let off = obj
                 .symbol(sym)
                 .ok_or_else(|| KextError::Link(format!("export `{sym}` not defined")))?;
-            seg.functions.insert((*sym).to_string(), at + off);
+            // A name tombstoned by a clean `rmmod` may be re-registered —
+            // reinstalling a module under its old name is the supervisor's
+            // one-for-one restart primitive. Faulted tombstones stay.
+            match seg.tombstones.get(sym as &str) {
+                Some(t) if t.faulted => {
+                    return Err(KextError::Link(format!(
+                        "export `{sym}` is tombstoned by a fault"
+                    )));
+                }
+                Some(_) => {
+                    seg.tombstones.remove(sym as &str);
+                }
+                None => {}
+            }
+            if seg.functions.insert((*sym).to_string(), at + off).is_some() {
+                // Re-registration over a live entry: the old EFT ledger
+                // record is superseded, not leaked.
+                seg.ledger.remove_first(
+                    |e| matches!(e, LedgerEntry::EftEntry { name: n, .. } if n == sym),
+                );
+            }
+            seg.fn_owner.insert((*sym).to_string(), name.to_string());
+            seg.ledger.record(LedgerEntry::EftEntry {
+                name: (*sym).to_string(),
+                module: name.to_string(),
+            });
         }
         if let Some(off) = obj.symbol("shared_area") {
             let size = obj
                 .symbol("shared_area_end")
                 .map(|e| e - off)
                 .unwrap_or(PAGE_SIZE);
+            if seg.shared_area.is_some() {
+                seg.ledger
+                    .remove_first(|e| matches!(e, LedgerEntry::ShmRange { .. }));
+            }
             seg.shared_area = Some((at + off, size));
+            seg.shared_area_owner = Some(name.to_string());
+            seg.ledger.record(LedgerEntry::ShmRange {
+                base: at + off,
+                size,
+                module: name.to_string(),
+            });
         }
         seg.modules.push(name.to_string());
         Ok(())
@@ -494,26 +673,47 @@ impl KernelExtensions {
             func: func.to_string(),
             arg,
         });
+        seg.ledger.record(LedgerEntry::AsyncSlot {
+            func: func.to_string(),
+        });
         seg.busy = true;
     }
 
     /// Unloads a module's entry points from the Extension Function Table
     /// (`rmmod`). The module's code stays mapped (the bump loader does not
-    /// compact), but it can no longer be invoked.
+    /// compact), but it can no longer be invoked: each of its functions is
+    /// replaced by a clean (non-faulted) tombstone, which a later `insmod`
+    /// of a same-named export may clear.
     pub fn rmmod(&mut self, id: ExtSegmentId, name: &str) -> bool {
         let seg = &mut self.segments[id.0];
         let Some(pos) = seg.modules.iter().position(|m| m == name) else {
             return false;
         };
         seg.modules.remove(pos);
-        // Without per-module symbol ownership records, conservatively drop
-        // every function a reloaded module would re-register; real insmod
-        // tracks ownership — record it here from the module name prefix
-        // convention used by insmod callers, falling back to clearing all
-        // when the segment has no modules left.
-        if seg.modules.is_empty() {
-            seg.functions.clear();
+        let owned: Vec<String> = seg
+            .fn_owner
+            .iter()
+            .filter(|(_, m)| m.as_str() == name)
+            .map(|(f, _)| f.clone())
+            .collect();
+        for f in owned {
+            seg.functions.remove(&f);
+            seg.fn_owner.remove(&f);
+            seg.ledger
+                .remove_first(|e| matches!(e, LedgerEntry::EftEntry { name: n, .. } if *n == f));
+            seg.tombstones.insert(
+                f,
+                Tombstone {
+                    module: Some(name.to_string()),
+                    faulted: false,
+                },
+            );
+        }
+        if seg.shared_area_owner.as_deref() == Some(name) {
             seg.shared_area = None;
+            seg.shared_area_owner = None;
+            seg.ledger
+                .remove_first(|e| matches!(e, LedgerEntry::ShmRange { .. }));
         }
         true
     }
@@ -526,11 +726,19 @@ impl KernelExtensions {
     /// is quarantined.
     fn strike(&mut self, k: &mut Kernel, id: ExtSegmentId) {
         self.aborts += 1;
-        let threshold = self.quarantine_threshold;
         let seg = &mut self.segments[id.0];
         seg.strikes += 1;
-        if seg.strikes >= threshold {
+        if seg.strikes >= seg.config.quarantine_threshold {
             self.quarantine(k, id);
+        }
+    }
+
+    /// Forgives one strike — the supervisor's decay path rewards healthy
+    /// operation so an old abort does not haunt a segment forever.
+    pub fn decay_strike(&mut self, id: ExtSegmentId) {
+        let seg = &mut self.segments[id.0];
+        if !seg.quarantined {
+            seg.strikes = seg.strikes.saturating_sub(1);
         }
     }
 
@@ -546,15 +754,35 @@ impl KernelExtensions {
         }
         seg.quarantined = true;
         seg.dead = true;
-        let names: Vec<String> = seg.functions.keys().cloned().collect();
-        seg.tombstones.extend(names);
-        seg.functions.clear();
+        Self::tombstone_functions(seg, true);
         seg.modules.clear();
         seg.shared_area = None;
+        seg.shared_area_owner = None;
+        seg.ledger
+            .remove_first(|e| matches!(e, LedgerEntry::ShmRange { .. }));
         seg.busy = false;
         let (code_sel, data_sel) = (seg.code_sel, seg.data_sel);
         Self::revoke_descriptors(k, code_sel, data_sel);
         self.quarantines += 1;
+    }
+
+    /// Replaces every Extension Function Table entry with a tombstone,
+    /// removing the matching ledger records.
+    fn tombstone_functions(seg: &mut ExtSegment, faulted: bool) {
+        let names: Vec<String> = seg.functions.keys().cloned().collect();
+        for f in names {
+            seg.functions.remove(&f);
+            let owner = seg.fn_owner.remove(&f);
+            seg.ledger
+                .remove_first(|e| matches!(e, LedgerEntry::EftEntry { name: n, .. } if *n == f));
+            seg.tombstones.insert(
+                f,
+                Tombstone {
+                    module: owner,
+                    faulted,
+                },
+            );
+        }
     }
 
     /// Marks a segment's code and data descriptors not-present: loading
@@ -581,10 +809,14 @@ impl KernelExtensions {
         }
     }
 
-    /// Destroys an extension segment, reclaiming what the paper's
-    /// prototype reclaims (§4.5.2: "reclaiming the system resources
-    /// previously allocated"): its descriptors are marked not-present so
-    /// any stale selector use faults, and it can never be invoked again.
+    /// Destroys an extension segment, reclaiming what §4.5.2 promises
+    /// ("reclaiming the system resources previously allocated"): the EFT
+    /// is tombstoned, the descriptors are marked not-present (so any
+    /// stale selector use faults) and pooled, and the kernel pages are
+    /// unmapped and their frames returned — the segment's resource ledger
+    /// is unwound in reverse-acquisition order. Idempotent: a second
+    /// destroy is a no-op, never a double free.
+    ///
     /// Requests still queued are *not* silently dropped — a later
     /// [`run_pending`](Self::run_pending) drains them as structured
     /// [`KextError::SegmentDead`] errors so every pending caller learns
@@ -592,10 +824,62 @@ impl KernelExtensions {
     pub fn destroy_segment(&mut self, k: &mut Kernel, id: ExtSegmentId) {
         let seg = &mut self.segments[id.0];
         seg.dead = true;
-        seg.functions.clear();
+        let faulted = seg.quarantined;
+        Self::tombstone_functions(seg, faulted);
+        seg.modules.clear();
+        seg.shared_area = None;
+        seg.shared_area_owner = None;
         seg.busy = false;
         let (code_sel, data_sel) = (seg.code_sel, seg.data_sel);
         Self::revoke_descriptors(k, code_sel, data_sel);
+        self.release_segment_resources(k, id);
+    }
+
+    /// Unwinds a dead segment's resource ledger: kernel pages are freed,
+    /// descriptor slots (already revoked) are pooled for supervised
+    /// reuse, and any remaining EFT/shm records are dropped. Pending
+    /// [`LedgerEntry::AsyncSlot`]s stay paired with the request queue —
+    /// they unwind as the queue drains. Idempotent via the segment's
+    /// `reclaimed` flag.
+    fn release_segment_resources(&mut self, k: &mut Kernel, id: ExtSegmentId) {
+        let seg = &mut self.segments[id.0];
+        debug_assert!(seg.dead, "only dead segments are unwound");
+        if seg.reclaimed {
+            return;
+        }
+        seg.reclaimed = true;
+        let mut record = ReclaimRecord::default();
+        for entry in seg.ledger.unwind() {
+            match entry {
+                LedgerEntry::KernelPages { base, pages } => {
+                    k.free_kernel_pages(base, pages);
+                    record.page_ranges.push((base, pages));
+                }
+                LedgerEntry::GdtDescriptor { index } => {
+                    self.desc_pool.push(index);
+                    record.descriptors.push(index);
+                }
+                LedgerEntry::EftEntry { .. } | LedgerEntry::ShmRange { .. } => {}
+                LedgerEntry::AsyncSlot { .. } => unreachable!("unwind keeps async slots"),
+            }
+        }
+        seg.reclaim_record = Some(record);
+        self.reclaims += 1;
+    }
+
+    /// The supervisor's teardown: drains the request queue (returning
+    /// what was dropped, so the caller can fail or resubmit each request
+    /// deliberately) and destroys the segment. Returns what the reclaim
+    /// released.
+    pub fn reclaim_segment(&mut self, k: &mut Kernel, id: ExtSegmentId) -> ReclaimRecord {
+        let dropped = self.take_queued(id);
+        self.destroy_segment(k, id);
+        let seg = &mut self.segments[id.0];
+        let record = seg
+            .reclaim_record
+            .get_or_insert_with(ReclaimRecord::default);
+        record.requests_dropped += dropped.len();
+        record.clone()
     }
 
     /// Removes and returns all pending asynchronous requests *without*
@@ -605,7 +889,20 @@ impl KernelExtensions {
     pub fn take_queued(&mut self, id: ExtSegmentId) -> Vec<AsyncRequest> {
         let seg = &mut self.segments[id.0];
         seg.busy = false;
+        while seg
+            .ledger
+            .remove_first(|e| matches!(e, LedgerEntry::AsyncSlot { .. }))
+        {}
         seg.queue.drain(..).collect()
+    }
+
+    /// Pops the front request, retiring its ledger slot.
+    fn pop_request(&mut self, id: ExtSegmentId) -> Option<AsyncRequest> {
+        let seg = &mut self.segments[id.0];
+        let req = seg.queue.pop_front()?;
+        seg.ledger
+            .remove_first(|e| matches!(e, LedgerEntry::AsyncSlot { .. }));
+        Some(req)
     }
 
     /// Drains the asynchronous queue, running each request to completion
@@ -613,7 +910,7 @@ impl KernelExtensions {
     /// run-to-completion). Returns the results in order.
     pub fn run_pending(&mut self, k: &mut Kernel, id: ExtSegmentId) -> Vec<Result<u32, KextError>> {
         let mut results = Vec::new();
-        while let Some(req) = self.segments[id.0].queue.pop_front() {
+        while let Some(req) = self.pop_request(id) {
             results.push(self.invoke(k, id, &req.func, req.arg));
             if self.segments[id.0].dead {
                 // Remaining requests fail fast with a structured error:
@@ -626,7 +923,7 @@ impl KernelExtensions {
                 } else {
                     KextError::SegmentDead
                 };
-                while self.segments[id.0].queue.pop_front().is_some() {
+                while self.pop_request(id).is_some() {
                     results.push(Err(err.clone()));
                 }
                 break;
@@ -634,5 +931,119 @@ impl KernelExtensions {
         }
         self.segments[id.0].busy = false;
         results
+    }
+
+    /// Kernel pages attributed to live (unreclaimed) segments' ledgers.
+    pub fn ledgered_pages(&self) -> u32 {
+        self.segments
+            .iter()
+            .filter(|s| !s.reclaimed)
+            .flat_map(|s| s.ledger.entries())
+            .map(|e| match e {
+                LedgerEntry::KernelPages { pages, .. } => *pages,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The kernel-side leak audit: proves every segment's resources are
+    /// either live-and-ledgered or provably returned.
+    ///
+    /// For a reclaimed segment: every page range in its reclaim record
+    /// must be unmapped, every descriptor not-present, its EFT/shm empty,
+    /// and its remaining ledger entries must exactly pair with requests
+    /// still awaiting their structured drain. For a live segment: its
+    /// ledger must cover the segment body and `kprepare` page, its
+    /// descriptors must still be in the GDT, and every EFT/shm/queue
+    /// object must have a matching ledger record. Pooled descriptor slots
+    /// must all be not-present.
+    pub fn assert_no_leaks(&self, k: &Kernel) -> Result<(), String> {
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.reclaimed {
+                let record = seg
+                    .reclaim_record
+                    .as_ref()
+                    .ok_or_else(|| format!("segment {i}: reclaimed without a record"))?;
+                // A range still on the kernel free list must be wholly
+                // unmapped; one absent from it was legitimately recycled
+                // by a later owner and is audited under that owner.
+                for &(base, pages) in &record.page_ranges {
+                    if !k.kernel_range_free(base, pages) {
+                        continue;
+                    }
+                    for p in 0..pages {
+                        let lin = base + p * PAGE_SIZE;
+                        if k.kernel_page_mapped(lin) {
+                            return Err(format!(
+                                "segment {i}: reclaimed page {lin:#010x} still mapped"
+                            ));
+                        }
+                    }
+                }
+                if !seg.functions.is_empty() || seg.shared_area.is_some() {
+                    return Err(format!("segment {i}: reclaimed but EFT/shm survive"));
+                }
+                let slots = seg
+                    .ledger
+                    .count(|e| matches!(e, LedgerEntry::AsyncSlot { .. }));
+                if slots != seg.queue.len() || slots != seg.ledger.entries().len() {
+                    return Err(format!(
+                        "segment {i}: reclaimed ledger holds {} entries for {} queued requests",
+                        seg.ledger.entries().len(),
+                        seg.queue.len()
+                    ));
+                }
+            } else {
+                let body = seg
+                    .ledger
+                    .count(|e| matches!(e, LedgerEntry::KernelPages { .. }));
+                if body != 2 {
+                    return Err(format!(
+                        "segment {i}: expected body+kprepare page records, found {body}"
+                    ));
+                }
+                for sel in [seg.code_sel, seg.data_sel] {
+                    if k.m.gdt_entry_present(sel.index()).is_none() {
+                        return Err(format!(
+                            "segment {i}: descriptor {} missing from GDT",
+                            sel.index()
+                        ));
+                    }
+                }
+                for name in seg.functions.keys() {
+                    let ledgered = seg
+                        .ledger
+                        .count(|e| matches!(e, LedgerEntry::EftEntry { name: n, .. } if n == name));
+                    if ledgered != 1 {
+                        return Err(format!(
+                            "segment {i}: EFT entry `{name}` has {ledgered} ledger records"
+                        ));
+                    }
+                }
+                if seg.shared_area.is_some()
+                    != (seg
+                        .ledger
+                        .count(|e| matches!(e, LedgerEntry::ShmRange { .. }))
+                        == 1)
+                {
+                    return Err(format!("segment {i}: shm range out of ledger sync"));
+                }
+                let slots = seg
+                    .ledger
+                    .count(|e| matches!(e, LedgerEntry::AsyncSlot { .. }));
+                if slots != seg.queue.len() {
+                    return Err(format!(
+                        "segment {i}: {slots} async slots for {} queued requests",
+                        seg.queue.len()
+                    ));
+                }
+            }
+        }
+        for &idx in &self.desc_pool {
+            if k.m.gdt_entry_present(idx) == Some(true) {
+                return Err(format!("pooled GDT slot {idx} still present"));
+            }
+        }
+        Ok(())
     }
 }

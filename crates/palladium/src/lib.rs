@@ -29,6 +29,10 @@
 //!   revocation.
 //! * [`segdb`] — the §6 segmentation-aware debugger: domain-labelled
 //!   trace symbolization and per-SPL cycle profiles.
+//! * [`supervisor`] — extension supervision (§4.5.2's reclamation made
+//!   total): per-segment resource ledgers unwound transactionally on
+//!   fault/quarantine/`rmmod`/destroy, a kernel-side leak audit, and
+//!   restart policies with exponential backoff and permanent tombstones.
 
 pub mod dl;
 pub mod guestlib;
@@ -38,13 +42,18 @@ pub mod protmem;
 pub mod segdb;
 pub mod shm;
 pub mod stdlib;
+pub mod supervisor;
 pub mod trampoline;
 pub mod user_ext;
 
-pub use kernel_ext::{ExtSegmentId, KernelExtensions, KextError};
+pub use kernel_ext::{ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
 pub use mobile::{AppletHost, AppletId, AppletOutcome, AppletQuota};
 pub use segdb::SegDb;
 pub use shm::{SharedArea, ShmError};
+pub use supervisor::{
+    LedgerEntry, ModuleImage, ReclaimRecord, ResourceAudit, ResourceLedger, RestartPolicy,
+    SupervisedId, SupervisedState, Supervisor, SupervisorError,
+};
 pub use user_ext::{ExtCallError, ExtensibleApp, ExtensionHandle, PalError};
 
 #[cfg(test)]

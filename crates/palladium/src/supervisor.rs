@@ -1,0 +1,536 @@
+//! Extension supervision: transactional resource reclamation and
+//! restart-with-backoff (§4.5.2).
+//!
+//! The paper's containment story ends with the kernel "reclaiming the
+//! system resources previously allocated" to a misbehaving extension.
+//! This module makes that reclamation *total and auditable*:
+//!
+//! * a per-segment [`ResourceLedger`] records every kernel allocation
+//!   (pages, GDT descriptors, EFT entries, shared-memory ranges, queued
+//!   asynchronous requests) at acquisition time, and
+//!   [`KernelExtensions::reclaim_segment`] unwinds it transactionally in
+//!   reverse-acquisition order;
+//! * [`KernelExtensions::assert_no_leaks`] is the kernel-side audit
+//!   proving the unwind left nothing behind — every ledgered page is
+//!   either still mapped (live segment) or provably unmapped (reclaimed
+//!   segment), every descriptor present or revoked-and-pooled;
+//! * a [`Supervisor`] drives restart policy on top: one-for-one
+//!   reinstall from the original module image, exponential backoff in
+//!   simulated cycles, strike decay after healthy operation, and a
+//!   permanent tombstone once `max_restarts` is exhausted.
+//!
+//! Everything is a pure function of simulated cycle counts and the call
+//! sequence, so seeded chaos campaigns remain byte-for-byte replayable
+//! with supervision enabled.
+
+use asm86::Object;
+use minikernel::Kernel;
+
+use crate::kernel_ext::{ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
+
+// ----- the resource ledger --------------------------------------------------
+
+/// One recorded kernel allocation owned by an extension segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerEntry {
+    /// Kernel virtual pages (the segment body, or a side allocation like
+    /// the per-segment `kprepare` stub page).
+    KernelPages {
+        /// Linear base.
+        base: u32,
+        /// Page count.
+        pages: u32,
+    },
+    /// A GDT slot holding one of the segment's SPL 1 descriptors.
+    GdtDescriptor {
+        /// GDT index.
+        index: u16,
+    },
+    /// An Extension Function Table entry.
+    EftEntry {
+        /// Function name.
+        name: String,
+        /// Module that registered it.
+        module: String,
+    },
+    /// The segment's shared data area.
+    ShmRange {
+        /// Segment-relative offset.
+        base: u32,
+        /// Size in bytes.
+        size: u32,
+        /// Module that exported `shared_area`.
+        module: String,
+    },
+    /// A pending asynchronous request slot.
+    AsyncSlot {
+        /// Extension function name the request targets.
+        func: String,
+    },
+}
+
+/// Per-segment record of every kernel allocation, in acquisition order.
+///
+/// The ledger is append-only during normal operation and unwound in
+/// reverse (LIFO) order at reclaim, so teardown mirrors construction —
+/// the transactional discipline DESIGN.md §6 documents.
+#[derive(Debug, Default)]
+pub struct ResourceLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl ResourceLedger {
+    /// Records one allocation.
+    pub fn record(&mut self, entry: LedgerEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Removes the oldest entry matching `pred` (FIFO, pairing with the
+    /// queue order of asynchronous requests). Returns whether one was
+    /// removed.
+    pub fn remove_first(&mut self, pred: impl Fn(&LedgerEntry) -> bool) -> bool {
+        match self.entries.iter().position(pred) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All recorded entries, oldest first.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Number of entries matching `pred`.
+    pub fn count(&self, pred: impl Fn(&LedgerEntry) -> bool) -> usize {
+        self.entries.iter().filter(|e| pred(e)).count()
+    }
+
+    /// Drains every entry except pending [`LedgerEntry::AsyncSlot`]s
+    /// (those unwind as the queue itself drains, so late callers still
+    /// receive structured errors), returning the removed entries in
+    /// reverse-acquisition order.
+    pub fn unwind(&mut self) -> Vec<LedgerEntry> {
+        let mut unwound = Vec::new();
+        let mut kept = Vec::new();
+        for e in self.entries.drain(..) {
+            if matches!(e, LedgerEntry::AsyncSlot { .. }) {
+                kept.push(e);
+            } else {
+                unwound.push(e);
+            }
+        }
+        self.entries = kept;
+        unwound.reverse();
+        unwound
+    }
+}
+
+/// What a completed reclaim actually released — kept on the segment so
+/// [`KernelExtensions::assert_no_leaks`] can verify the unwind *stayed*
+/// total (pages still unmapped, descriptors still revoked) long after
+/// the ledger itself has drained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReclaimRecord {
+    /// Kernel VA ranges `(base, pages)` returned to the kernel.
+    pub page_ranges: Vec<(u32, u32)>,
+    /// GDT indices revoked and pooled for supervised reuse.
+    pub descriptors: Vec<u16>,
+    /// Asynchronous requests dropped (drained as part of the reclaim).
+    pub requests_dropped: usize,
+}
+
+/// A point-in-time snapshot of kernel resource occupancy, for
+/// before/after comparison across kill–restart cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceAudit {
+    /// Physical frames currently allocated.
+    pub frames_in_use: u32,
+    /// GDT slots in existence (pooled slots are reused, so a supervised
+    /// restart cycle must not grow this).
+    pub gdt_len: usize,
+    /// Kernel pages attributed to live (unreclaimed) extension segments.
+    pub ledgered_pages: u32,
+}
+
+impl ResourceAudit {
+    /// Captures the current occupancy.
+    pub fn capture(k: &Kernel, kx: &KernelExtensions) -> ResourceAudit {
+        ResourceAudit {
+            frames_in_use: k.frames.in_use(),
+            gdt_len: k.m.gdt.len(),
+            ledgered_pages: kx.ledgered_pages(),
+        }
+    }
+}
+
+// ----- restart policy -------------------------------------------------------
+
+/// Restart policy for a supervised extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Restarts tolerated before the extension is permanently
+    /// tombstoned.
+    pub max_restarts: u32,
+    /// Backoff before the first restart, in simulated cycles.
+    pub backoff_base: u64,
+    /// Multiplier applied per additional restart.
+    pub backoff_factor: u64,
+    /// Upper bound on any single backoff.
+    pub backoff_max: u64,
+    /// Healthy cycles that forgive one accumulated restart (and decay
+    /// one strike on the live segment). `0` disables decay.
+    pub decay_after: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> RestartPolicy {
+        RestartPolicy {
+            max_restarts: 5,
+            backoff_base: 50_000,
+            backoff_factor: 2,
+            backoff_max: 1_600_000,
+            decay_after: 1_000_000,
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// An impatient policy: restart immediately, forever. Used by the
+    /// chaos campaign, where the adversarial step generator supplies the
+    /// pacing and the interesting property is that every kill–restart
+    /// cycle reclaims completely.
+    pub fn immediate() -> RestartPolicy {
+        RestartPolicy {
+            max_restarts: u32::MAX,
+            backoff_base: 0,
+            backoff_factor: 1,
+            backoff_max: 0,
+            decay_after: 0,
+        }
+    }
+
+    /// Backoff before the `n`th restart (1-based):
+    /// `min(backoff_base * backoff_factor^(n-1), backoff_max)`.
+    pub fn backoff_for(&self, n: u32) -> u64 {
+        let mut d = self.backoff_base;
+        for _ in 1..n {
+            d = d.saturating_mul(self.backoff_factor);
+            if d >= self.backoff_max {
+                return self.backoff_max;
+            }
+        }
+        d.min(self.backoff_max.max(self.backoff_base))
+    }
+}
+
+// ----- the supervisor -------------------------------------------------------
+
+/// The original image of one module, retained for one-for-one reinstall.
+#[derive(Debug, Clone)]
+pub struct ModuleImage {
+    /// Module name.
+    pub name: String,
+    /// Relocatable object, exactly as first installed.
+    pub obj: Object,
+    /// Exported function names.
+    pub exports: Vec<String>,
+}
+
+impl ModuleImage {
+    /// Convenience constructor.
+    pub fn new(name: &str, obj: Object, exports: &[&str]) -> ModuleImage {
+        ModuleImage {
+            name: name.to_string(),
+            obj,
+            exports: exports.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Lifecycle state of a supervised extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisedState {
+    /// Healthy and invocable.
+    Running,
+    /// Its segment died; a restart is scheduled.
+    Backoff {
+        /// Simulated cycle at which the restart becomes due.
+        until: u64,
+    },
+    /// Permanently retired after exhausting `max_restarts`.
+    Tombstoned,
+}
+
+/// Errors surfaced by [`Supervisor::invoke`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupervisorError {
+    /// The extension is in its backoff window; it becomes restartable at
+    /// the given cycle.
+    Restarting {
+        /// Simulated cycle at which the restart becomes due.
+        ready_at: u64,
+    },
+    /// The extension exhausted its restart budget and is permanently
+    /// tombstoned.
+    Tombstoned {
+        /// Restarts consumed before retirement.
+        restarts: u32,
+    },
+    /// The underlying invocation failed.
+    Kext(KextError),
+}
+
+impl core::fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SupervisorError::Restarting { ready_at } => {
+                write!(f, "extension restarting (ready at cycle {ready_at})")
+            }
+            SupervisorError::Tombstoned { restarts } => {
+                write!(f, "extension tombstoned after {restarts} restarts")
+            }
+            SupervisorError::Kext(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Identifies one supervised extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisedId(usize);
+
+#[derive(Debug)]
+struct SupervisedExt {
+    seg: ExtSegmentId,
+    pages: u32,
+    config: SegmentConfig,
+    images: Vec<ModuleImage>,
+    state: SupervisedState,
+    /// Restarts currently charged (decays under healthy operation).
+    restarts: u32,
+    /// Cycle of the last healthy event (install or successful invoke),
+    /// advanced as decay credit is consumed.
+    last_healthy: u64,
+}
+
+/// Drives restart policy over extension segments: detects death, reclaims
+/// the dead segment through its ledger, waits out the backoff, reinstalls
+/// from the retained images, and tombstones extensions that keep dying.
+#[derive(Debug)]
+pub struct Supervisor {
+    policy: RestartPolicy,
+    exts: Vec<SupervisedExt>,
+    /// Completed restarts across all supervised extensions.
+    pub restarts: u64,
+    /// Extensions permanently tombstoned.
+    pub tombstoned: u64,
+    /// Kernel pages reclaimed through segment ledgers.
+    pub pages_reclaimed: u64,
+    /// Asynchronous requests dropped during reclaims.
+    pub requests_dropped: u64,
+}
+
+impl Supervisor {
+    /// Creates a supervisor with the given restart policy.
+    pub fn new(policy: RestartPolicy) -> Supervisor {
+        Supervisor {
+            policy,
+            exts: Vec::new(),
+            restarts: 0,
+            tombstoned: 0,
+            pages_reclaimed: 0,
+            requests_dropped: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RestartPolicy {
+        self.policy
+    }
+
+    /// Installs a supervised extension: creates a segment (reusing pooled
+    /// descriptors — a supervised restart cycle must not grow the GDT)
+    /// and loads every image.
+    pub fn install(
+        &mut self,
+        k: &mut Kernel,
+        kx: &mut KernelExtensions,
+        pages: u32,
+        mut config: SegmentConfig,
+        images: Vec<ModuleImage>,
+    ) -> Result<SupervisedId, KextError> {
+        config.recycle_descriptors = true;
+        let seg = Self::build(k, kx, pages, config, &images)?;
+        self.exts.push(SupervisedExt {
+            seg,
+            pages,
+            config,
+            images,
+            state: SupervisedState::Running,
+            restarts: 0,
+            last_healthy: k.m.cycles(),
+        });
+        Ok(SupervisedId(self.exts.len() - 1))
+    }
+
+    fn build(
+        k: &mut Kernel,
+        kx: &mut KernelExtensions,
+        pages: u32,
+        config: SegmentConfig,
+        images: &[ModuleImage],
+    ) -> Result<ExtSegmentId, KextError> {
+        let seg = kx.create_segment_with(k, pages, config)?;
+        for img in images {
+            let exports: Vec<&str> = img.exports.iter().map(String::as_str).collect();
+            kx.insmod(k, seg, &img.name, &img.obj, &exports)?;
+        }
+        Ok(seg)
+    }
+
+    /// The extension's current segment (changes across restarts).
+    pub fn segment(&self, id: SupervisedId) -> ExtSegmentId {
+        self.exts[id.0].seg
+    }
+
+    /// The extension's lifecycle state.
+    pub fn state(&self, id: SupervisedId) -> SupervisedState {
+        self.exts[id.0].state
+    }
+
+    /// Restarts currently charged against the extension (decays under
+    /// healthy operation).
+    pub fn charged_restarts(&self, id: SupervisedId) -> u32 {
+        self.exts[id.0].restarts
+    }
+
+    /// Advances supervision for one extension at the current simulated
+    /// cycle: applies strike/restart decay, performs a due restart
+    /// (reclaiming nothing — the dead segment was already reclaimed when
+    /// the fault was observed), and returns the resulting state.
+    pub fn poll(
+        &mut self,
+        k: &mut Kernel,
+        kx: &mut KernelExtensions,
+        id: SupervisedId,
+    ) -> SupervisedState {
+        let now = k.m.cycles();
+        // Strike/restart decay: healthy operation forgives history.
+        if self.policy.decay_after > 0 {
+            let ext = &mut self.exts[id.0];
+            if ext.state == SupervisedState::Running {
+                while ext.restarts > 0 && now - ext.last_healthy >= self.policy.decay_after {
+                    ext.restarts -= 1;
+                    ext.last_healthy += self.policy.decay_after;
+                    kx.decay_strike(ext.seg);
+                }
+            }
+        }
+        if let SupervisedState::Backoff { until } = self.exts[id.0].state {
+            if now >= until {
+                self.try_restart(k, kx, id);
+            }
+        }
+        self.exts[id.0].state
+    }
+
+    fn try_restart(&mut self, k: &mut Kernel, kx: &mut KernelExtensions, id: SupervisedId) {
+        let (pages, config) = (self.exts[id.0].pages, self.exts[id.0].config);
+        let images = std::mem::take(&mut self.exts[id.0].images);
+        let built = Self::build(k, kx, pages, config, &images);
+        self.exts[id.0].images = images;
+        match built {
+            Ok(seg) => {
+                let now = k.m.cycles();
+                let ext = &mut self.exts[id.0];
+                ext.seg = seg;
+                ext.state = SupervisedState::Running;
+                ext.last_healthy = now;
+                self.restarts += 1;
+            }
+            Err(_) => {
+                // The reinstall itself failed (e.g. transient memory
+                // pressure): charge it like a death and back off again.
+                self.schedule_restart(k, kx, id, false);
+            }
+        }
+    }
+
+    fn schedule_restart(
+        &mut self,
+        k: &mut Kernel,
+        kx: &mut KernelExtensions,
+        id: SupervisedId,
+        reclaim: bool,
+    ) {
+        if reclaim {
+            let record = kx.reclaim_segment(k, self.exts[id.0].seg);
+            self.pages_reclaimed += record
+                .page_ranges
+                .iter()
+                .map(|&(_, pages)| u64::from(pages))
+                .sum::<u64>();
+            self.requests_dropped += record.requests_dropped as u64;
+        }
+        let ext = &mut self.exts[id.0];
+        ext.restarts += 1;
+        if ext.restarts > self.policy.max_restarts {
+            ext.state = SupervisedState::Tombstoned;
+            self.tombstoned += 1;
+        } else {
+            let delay = self.policy.backoff_for(ext.restarts);
+            ext.state = SupervisedState::Backoff {
+                until: k.m.cycles() + delay,
+            };
+        }
+    }
+
+    /// Invokes a function on the supervised extension, driving the full
+    /// lifecycle: due restarts are performed first; a death observed
+    /// during the call reclaims the segment through its ledger and
+    /// schedules the restart (or tombstones the extension).
+    pub fn invoke(
+        &mut self,
+        k: &mut Kernel,
+        kx: &mut KernelExtensions,
+        id: SupervisedId,
+        func: &str,
+        arg: u32,
+    ) -> Result<u32, SupervisorError> {
+        match self.poll(k, kx, id) {
+            SupervisedState::Tombstoned => Err(SupervisorError::Tombstoned {
+                restarts: self.exts[id.0].restarts,
+            }),
+            SupervisedState::Backoff { until } => {
+                Err(SupervisorError::Restarting { ready_at: until })
+            }
+            SupervisedState::Running => {
+                let seg = self.exts[id.0].seg;
+                match kx.invoke(k, seg, func, arg) {
+                    Ok(v) => {
+                        self.exts[id.0].last_healthy = k.m.cycles();
+                        Ok(v)
+                    }
+                    Err(e) => {
+                        if kx.segment(seg).dead {
+                            self.schedule_restart(k, kx, id, true);
+                        }
+                        Err(SupervisorError::Kext(e))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Notifies the supervisor that the extension's segment died outside
+    /// one of its own invocations (e.g. the owner quarantined it, or a
+    /// drain surfaced the death). Reclaims and schedules the restart.
+    pub fn notify_death(&mut self, k: &mut Kernel, kx: &mut KernelExtensions, id: SupervisedId) {
+        if self.exts[id.0].state == SupervisedState::Running && kx.segment(self.exts[id.0].seg).dead
+        {
+            self.schedule_restart(k, kx, id, true);
+        }
+    }
+}

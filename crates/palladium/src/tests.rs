@@ -4,7 +4,7 @@
 use asm86::Assembler;
 use minikernel::{Kernel, USER_TEXT};
 
-use crate::kernel_ext::{KernelExtensions, KextError};
+use crate::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
 use crate::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
 
 fn obj(src: &str) -> asm86::Object {
@@ -506,7 +506,7 @@ fn kernel_extension_confined_by_segment_limit() {
     assert!(kx.segment(seg).quarantined);
     assert!(kx.segment(seg).dead);
     assert_eq!(kx.quarantines, 1);
-    assert!(kx.segment(seg).tombstones.contains("esc"));
+    assert!(kx.segment(seg).tombstones.contains_key("esc"));
     assert!(kx.segment(seg).modules.is_empty());
     assert_eq!(
         kx.invoke(&mut k, seg, "esc", 0),
@@ -607,8 +607,16 @@ fn kernel_extension_time_limit() {
     k.extension_cycle_limit = 20_000;
     let mut kx = KernelExtensions::new(&mut k).unwrap();
     // Abort-once semantics for this test: first strike quarantines.
-    kx.quarantine_threshold = 1;
-    let seg = kx.create_segment(&mut k, 8).unwrap();
+    let seg = kx
+        .create_segment_with(
+            &mut k,
+            8,
+            SegmentConfig {
+                quarantine_threshold: 1,
+                ..SegmentConfig::default()
+            },
+        )
+        .unwrap();
     kx.insmod(&mut k, seg, "loop", &obj("spin:\njmp spin\n"), &["spin"])
         .unwrap();
     assert_eq!(kx.invoke(&mut k, seg, "spin", 0), Err(KextError::TimeLimit));

@@ -399,15 +399,19 @@ impl PhysMem {
     }
 }
 
-/// A bump allocator over physical frames.
+/// A bump allocator over physical frames, with a deterministic free list.
 ///
 /// The hosting kernel uses it to place page tables, code images and stacks
-/// in distinct frames; frames are never freed (the simulations are short
-/// lived and deterministic).
+/// in distinct frames. Freed frames go on a LIFO free list and are reused
+/// (most recently freed first) before the bump pointer advances, so every
+/// allocation sequence is a pure function of the call sequence — seeded
+/// simulations stay replayable across reclaim cycles.
 #[derive(Debug, Clone)]
 pub struct FrameAlloc {
     next: u32,
     limit: u32,
+    free_list: Vec<u32>,
+    in_use: u32,
 }
 
 impl FrameAlloc {
@@ -420,20 +424,34 @@ impl FrameAlloc {
         assert_eq!(start & PAGE_MASK, 0, "start must be page-aligned");
         assert_eq!(limit & PAGE_MASK, 0, "limit must be page-aligned");
         assert!(start < limit, "empty frame range");
-        FrameAlloc { next: start, limit }
+        FrameAlloc {
+            next: start,
+            limit,
+            free_list: Vec::new(),
+            in_use: 0,
+        }
     }
 
-    /// Allocates one frame, returning its physical base address.
+    /// Allocates one frame, returning its physical base address. The most
+    /// recently freed frame is reused first; the bump pointer only
+    /// advances when the free list is empty.
     pub fn alloc(&mut self) -> Option<u32> {
+        if let Some(f) = self.free_list.pop() {
+            self.in_use += 1;
+            return Some(f);
+        }
         if self.next >= self.limit {
             return None;
         }
         let f = self.next;
         self.next += PAGE_SIZE;
+        self.in_use += 1;
         Some(f)
     }
 
     /// Allocates `n` contiguous frames, returning the first base address.
+    /// Always carved from the bump region (the free list holds single
+    /// frames with no adjacency guarantee).
     pub fn alloc_contiguous(&mut self, n: u32) -> Option<u32> {
         let bytes = n.checked_mul(PAGE_SIZE)?;
         let end = self.next.checked_add(bytes)?;
@@ -442,12 +460,37 @@ impl FrameAlloc {
         }
         let f = self.next;
         self.next = end;
+        self.in_use += n;
         Some(f)
     }
 
-    /// Frames still available.
+    /// Returns a frame to the allocator for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a misaligned address, a frame the allocator never handed
+    /// out, or a double free — each would silently corrupt a later
+    /// allocation, so they are host bugs worth failing loudly on.
+    pub fn free(&mut self, frame: u32) {
+        assert_eq!(frame & PAGE_MASK, 0, "freed frame must be page-aligned");
+        assert!(frame < self.next, "freeing a frame never allocated");
+        assert!(
+            !self.free_list.contains(&frame),
+            "double free of frame {frame:#010x}"
+        );
+        self.free_list.push(frame);
+        self.in_use -= 1;
+    }
+
+    /// Frames still available (unreached bump space plus the free list).
     pub fn remaining(&self) -> u32 {
-        (self.limit - self.next) / PAGE_SIZE
+        (self.limit - self.next) / PAGE_SIZE + self.free_list.len() as u32
+    }
+
+    /// Frames currently allocated and not yet freed — the leak-audit
+    /// counter compared before and after a reclaim cycle.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
     }
 }
 
@@ -564,5 +607,43 @@ mod tests {
     #[should_panic(expected = "page-aligned")]
     fn misaligned_frame_alloc_panics() {
         let _ = FrameAlloc::new(0x100, 0x2000);
+    }
+
+    #[test]
+    fn freed_frames_are_reused_lifo_before_the_bump_pointer() {
+        let mut fa = FrameAlloc::new(0x10_0000, 0x10_4000);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        assert_eq!(fa.in_use(), 2);
+        fa.free(a);
+        fa.free(b);
+        assert_eq!(fa.in_use(), 0);
+        assert_eq!(fa.remaining(), 4);
+        // LIFO: most recently freed first, then the older free, then bump.
+        assert_eq!(fa.alloc().unwrap(), b);
+        assert_eq!(fa.alloc().unwrap(), a);
+        assert_eq!(fa.alloc().unwrap(), b + PAGE_SIZE);
+        assert_eq!(fa.in_use(), 3);
+    }
+
+    #[test]
+    fn free_list_extends_an_exhausted_pool() {
+        let mut fa = FrameAlloc::new(0, 0x2000);
+        let a = fa.alloc().unwrap();
+        let _b = fa.alloc().unwrap();
+        assert!(fa.alloc().is_none());
+        fa.free(a);
+        assert_eq!(fa.remaining(), 1);
+        assert_eq!(fa.alloc(), Some(a));
+        assert!(fa.alloc().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut fa = FrameAlloc::new(0, 0x2000);
+        let a = fa.alloc().unwrap();
+        fa.free(a);
+        fa.free(a);
     }
 }

@@ -8,12 +8,14 @@
 //!
 //! Exits non-zero if any containment invariant was violated or any host
 //! panic occurred; the event log is deterministic per seed.
+//! `--report <path>` additionally writes the summary to a file (the CI
+//! `chaos_recovery` job uploads it as an artifact).
 
 use chaos::campaign::{self, CampaignConfig};
 
 fn usage_error(what: &str) -> ! {
     eprintln!("{what}");
-    eprintln!("usage: chaos_campaign [--seed N] [--steps N] [--cycle-limit N]");
+    eprintln!("usage: chaos_campaign [--seed N] [--steps N] [--cycle-limit N] [--report PATH]");
     std::process::exit(2);
 }
 
@@ -28,22 +30,35 @@ fn numeric_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, 
 
 fn main() {
     let mut cfg = CampaignConfig::default();
+    let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => cfg.seed = numeric_value(&mut args, "--seed"),
             "--steps" => cfg.steps = numeric_value(&mut args, "--steps"),
             "--cycle-limit" => cfg.cycle_limit = numeric_value(&mut args, "--cycle-limit"),
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(p),
+                None => usage_error("--report requires a path"),
+            },
             other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
 
-    println!(
+    let header = format!(
         "chaos campaign: seed {} / {} steps / cycle limit {}",
         cfg.seed, cfg.steps, cfg.cycle_limit
     );
+    println!("{header}");
     let report = campaign::run(&cfg);
-    print!("{}", campaign::summarize(&report));
+    let summary = campaign::summarize(&report);
+    print!("{summary}");
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, format!("{header}\n{summary}")) {
+            eprintln!("could not write report to {path}: {e}");
+            std::process::exit(2);
+        }
+    }
 
     if !report.violations.is_empty() || report.host_panics != 0 {
         std::process::exit(1);

@@ -7,12 +7,22 @@
 
 use asm86::Assembler;
 use minikernel::Kernel;
-use palladium::kernel_ext::{KernelExtensions, KextError};
+use palladium::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
 use palladium::protmem::ProtectedMemory;
+use palladium::supervisor::{
+    ModuleImage, RestartPolicy, SupervisedState, Supervisor, SupervisorError,
+};
 use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
 
 fn check(name: &str, ok: bool) {
     println!("  [{}] {name}", if ok { "BLOCKED" } else { " FAIL  " });
+    assert!(ok, "{name}");
+}
+
+/// Like [`check`], but for recovery steps that *succeed* rather than
+/// accesses that are blocked.
+fn recovered(name: &str, ok: bool) {
+    println!("  [{}] {name}", if ok { "  OK   " } else { " FAIL  " });
     assert!(ok, "{name}");
 }
 
@@ -126,6 +136,73 @@ fn main() {
     check(
         "kernel extension beyond its segment limit (#GP -> abort)",
         matches!(kx.invoke(&mut k, seg, "f", 0), Err(KextError::Aborted(_))),
+    );
+
+    println!("\nSupervised restart (fault -> reclaim -> backoff -> reinstall):");
+    // A supervised extension whose segment quarantines on the first
+    // fault. The supervisor transactionally reclaims the dead segment's
+    // pages and descriptors, waits out an exponential backoff, then
+    // reinstalls the module from its stored image — and service resumes.
+    let mut sup = Supervisor::new(RestartPolicy {
+        backoff_base: 5_000,
+        ..RestartPolicy::default()
+    });
+    let image = ModuleImage::new(
+        "svc",
+        Assembler::assemble(
+            "entry:\n\
+             mov ecx, [esp+4]\n\
+             cmp ecx, 0xBAD\n\
+             jne ok\n\
+             mov eax, 1\n\
+             mov [0x00200000], eax\n\
+             ok:\n\
+             mov eax, 7\n\
+             ret\n",
+        )
+        .unwrap(),
+        &["entry"],
+    );
+    let id = sup
+        .install(
+            &mut k,
+            &mut kx,
+            8,
+            SegmentConfig {
+                quarantine_threshold: 1,
+                ..SegmentConfig::default()
+            },
+            vec![image],
+        )
+        .unwrap();
+    assert_eq!(sup.invoke(&mut k, &mut kx, id, "entry", 1), Ok(7));
+    check(
+        "poison argument faults and kills the segment (#GP -> reclaim)",
+        matches!(
+            sup.invoke(&mut k, &mut kx, id, "entry", 0xBAD),
+            Err(SupervisorError::Kext(KextError::Aborted(_)))
+        ),
+    );
+    check(
+        "calls during the backoff window get a structured error",
+        matches!(
+            sup.invoke(&mut k, &mut kx, id, "entry", 1),
+            Err(SupervisorError::Restarting { .. })
+        ),
+    );
+    k.m.charge(5_001); // the backoff elapses on the simulated clock
+    recovered(
+        "after the backoff the module is reinstalled and service resumes",
+        sup.poll(&mut k, &mut kx, id) == SupervisedState::Running
+            && sup.invoke(&mut k, &mut kx, id, "entry", 1) == Ok(7),
+    );
+    recovered(
+        "the kill/restart cycle leaked nothing (ledger audit)",
+        kx.assert_no_leaks(&k).is_ok(),
+    );
+    println!(
+        "  restarts: {}  pages reclaimed: {}",
+        sup.restarts, sup.pages_reclaimed
     );
 
     println!("\nProtected memory service (§6 future work, implemented):");

@@ -14,7 +14,7 @@ use asm86::CodeBuilder;
 use chaos::campaign::{self, CampaignConfig};
 use chaos::gen;
 use minikernel::Kernel;
-use palladium::kernel_ext::{KernelExtensions, KextError};
+use palladium::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
 use x86sim::fault::Vector;
 
 // --- the big seeded audit ------------------------------------------------
@@ -137,9 +137,12 @@ fn destroyed_segment_selector_raises_np_on_far_call() {
 fn quarantined_segment_selector_raises_np_on_far_call() {
     let mut k = Kernel::boot();
     let mut kx = KernelExtensions::new(&mut k).unwrap();
-    kx.quarantine_threshold = 1;
+    let one_strike = SegmentConfig {
+        quarantine_threshold: 1,
+        ..SegmentConfig::default()
+    };
 
-    let victim = kx.create_segment(&mut k, 8).unwrap();
+    let victim = kx.create_segment_with(&mut k, 8, one_strike).unwrap();
     // Stores 2 MB past the base: far outside the 8-page limit.
     kx.insmod(
         &mut k,
@@ -157,12 +160,12 @@ fn quarantined_segment_selector_raises_np_on_far_call() {
     ));
     let seg = kx.segment(victim);
     assert!(seg.quarantined);
-    assert!(seg.tombstones.contains("entry"));
+    assert!(seg.tombstones.contains_key("entry"));
     assert!(seg.functions.is_empty());
     assert_eq!(k.m.gdt_entry_present(stale_code.index()), Some(false));
     assert_eq!(kx.quarantines, 1);
 
-    let attacker = kx.create_segment(&mut k, 8).unwrap();
+    let attacker = kx.create_segment_with(&mut k, 8, one_strike).unwrap();
     kx.insmod(
         &mut k,
         attacker,
@@ -190,7 +193,11 @@ fn quarantined_segment_selector_raises_np_on_far_call() {
 fn pending_async_requests_surface_quarantine_error() {
     let mut k = Kernel::boot();
     let mut kx = KernelExtensions::new(&mut k).unwrap();
-    assert_eq!(kx.quarantine_threshold, 3, "default three-strikes policy");
+    assert_eq!(
+        kx.default_config().quarantine_threshold,
+        3,
+        "default three-strikes policy"
+    );
 
     let seg = kx.create_segment(&mut k, 8).unwrap();
     kx.insmod(

@@ -1,0 +1,284 @@
+//! Extension supervision: transactional reclamation and restart.
+//!
+//! The acceptance contract for the supervisor subsystem:
+//!
+//! * killing each supervised segment repeatedly (≥ 3 times) and letting
+//!   the supervisor restart it leaves the kernel's resource ledgers
+//!   balanced — `assert_no_leaks` passes and the frame/GDT/ledger
+//!   footprint returns to its post-install baseline;
+//! * reclamation is transactional at the edge cases: a quarantine with a
+//!   non-empty asynchronous backlog drops every request exactly once, a
+//!   double `destroy_segment` is idempotent (never a double free), and a
+//!   quarantine fired by an in-flight downcall leaves consistent state;
+//! * `rmmod` tombstones are clean — the same module name can be
+//!   reinstalled (the supervisor's one-for-one restart primitive) —
+//!   while fault tombstones are permanent;
+//! * the seeded chaos campaign stays byte-deterministic with supervision
+//!   enabled.
+
+use chaos::campaign::{self, CampaignConfig};
+use chaos::gen;
+use minikernel::Kernel;
+use palladium::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
+use palladium::supervisor::{
+    ModuleImage, ResourceAudit, RestartPolicy, Supervisor, SupervisorError,
+};
+
+/// Out-of-segment store: faults (and with threshold 1, quarantines) on
+/// every invocation.
+fn faulting_image() -> ModuleImage {
+    ModuleImage::new("bad", gen::store_to_object(0x0020_0000), &["entry"])
+}
+
+const ONE_STRIKE: SegmentConfig = SegmentConfig {
+    quarantine_threshold: 1,
+    recycle_descriptors: false,
+};
+
+// --- the headline criterion ----------------------------------------------
+
+/// Two supervised extensions, each killed four times and restarted by
+/// the supervisor: the kernel ends with balanced ledgers and the exact
+/// resource footprint it had after the first install.
+#[test]
+fn repeated_kill_restart_cycles_leave_no_leaks() {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).unwrap();
+    let mut sup = Supervisor::new(RestartPolicy::immediate());
+
+    let a = sup
+        .install(&mut k, &mut kx, 8, ONE_STRIKE, vec![faulting_image()])
+        .unwrap();
+    let b = sup
+        .install(&mut k, &mut kx, 8, ONE_STRIKE, vec![faulting_image()])
+        .unwrap();
+    let baseline = ResourceAudit::capture(&k, &kx);
+
+    for id in [a, b] {
+        for _ in 0..4 {
+            // Every invocation kills the segment; the supervisor
+            // reclaims it through the ledger and schedules the restart.
+            match sup.invoke(&mut k, &mut kx, id, "entry", 0) {
+                Err(SupervisorError::Kext(KextError::Aborted(_))) => {}
+                other => panic!("expected an aborted downcall, got {other:?}"),
+            }
+            kx.assert_no_leaks(&k).unwrap();
+        }
+        // Bring the last scheduled restart up so the end state matches
+        // the baseline shape (both extensions Running).
+        sup.poll(&mut k, &mut kx, id);
+    }
+
+    assert_eq!(sup.restarts, 8, "four restarts per extension");
+    assert_eq!(
+        sup.pages_reclaimed,
+        8 * (8 + 1),
+        "8 segment + 1 Prepare page per kill"
+    );
+    kx.assert_no_leaks(&k).unwrap();
+    assert_eq!(
+        ResourceAudit::capture(&k, &kx),
+        baseline,
+        "kill/restart cycles changed the kernel's resource footprint"
+    );
+}
+
+// --- satellite edge cases -------------------------------------------------
+
+/// Quarantine with a non-empty asynchronous backlog: the queue survives
+/// the quarantine (late callers get structured errors), and the reclaim
+/// drops every request exactly once.
+#[test]
+fn quarantine_with_async_backlog_drops_requests_transactionally() {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).unwrap();
+    let seg = kx.create_segment_with(&mut k, 8, ONE_STRIKE).unwrap();
+    kx.insmod(
+        &mut k,
+        seg,
+        "bad",
+        &gen::store_to_object(0x0020_0000),
+        &["entry"],
+    )
+    .unwrap();
+    for i in 0..5 {
+        kx.queue_async(seg, "entry", i);
+    }
+
+    // A synchronous downcall faults and quarantines the segment while
+    // the backlog is still queued.
+    assert!(matches!(
+        kx.invoke(&mut k, seg, "entry", 0),
+        Err(KextError::Aborted(_))
+    ));
+    assert!(kx.segment(seg).quarantined);
+    assert_eq!(kx.segment(seg).queue.len(), 5, "quarantine keeps the queue");
+    kx.assert_no_leaks(&k).unwrap();
+
+    let record = kx.reclaim_segment(&mut k, seg);
+    assert_eq!(record.requests_dropped, 5);
+    assert!(kx.segment(seg).queue.is_empty());
+    kx.assert_no_leaks(&k).unwrap();
+}
+
+/// `destroy_segment` twice (and a reclaim on top) releases every page
+/// exactly once — the frame allocator would panic on a double free.
+#[test]
+fn double_destroy_segment_is_idempotent() {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).unwrap();
+    let seg = kx.create_segment(&mut k, 8).unwrap();
+    kx.insmod(&mut k, seg, "m", &gen::benign_object(5), &["entry"])
+        .unwrap();
+
+    kx.destroy_segment(&mut k, seg);
+    let frames_after_first = k.frames.in_use();
+    kx.destroy_segment(&mut k, seg);
+    assert_eq!(
+        k.frames.in_use(),
+        frames_after_first,
+        "second destroy freed again"
+    );
+    let record = kx.reclaim_segment(&mut k, seg);
+    assert_eq!(k.frames.in_use(), frames_after_first);
+    assert_eq!(record.requests_dropped, 0);
+    kx.assert_no_leaks(&k).unwrap();
+}
+
+/// A quarantine fired *by* an in-flight downcall (the third strike lands
+/// mid-invocation) leaves fully consistent state: table tombstoned,
+/// descriptors revoked, busy cleared, and the ledger reclaimable.
+#[test]
+fn quarantine_during_in_flight_downcall_unwinds_cleanly() {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).unwrap();
+    let seg = kx.create_segment(&mut k, 8).unwrap();
+    kx.insmod(
+        &mut k,
+        seg,
+        "bad",
+        &gen::store_to_object(0x0020_0000),
+        &["entry"],
+    )
+    .unwrap();
+    let code_idx = kx.segment(seg).code_sel.index();
+
+    // Two strikes: still alive, descriptors still present.
+    for _ in 0..2 {
+        assert!(matches!(
+            kx.invoke(&mut k, seg, "entry", 0),
+            Err(KextError::Aborted(_))
+        ));
+        kx.assert_no_leaks(&k).unwrap();
+    }
+    assert!(!kx.segment(seg).quarantined);
+    assert_eq!(k.m.gdt_entry_present(code_idx), Some(true));
+
+    // Third strike: the quarantine fires while the downcall is being
+    // aborted.
+    assert!(matches!(
+        kx.invoke(&mut k, seg, "entry", 0),
+        Err(KextError::Aborted(_))
+    ));
+    let s = kx.segment(seg);
+    assert!(s.quarantined && s.dead && !s.busy);
+    assert!(s.functions.is_empty());
+    assert!(s.tombstones["entry"].faulted);
+    assert_eq!(k.m.gdt_entry_present(code_idx), Some(false));
+    kx.assert_no_leaks(&k).unwrap();
+
+    kx.reclaim_segment(&mut k, seg);
+    kx.assert_no_leaks(&k).unwrap();
+}
+
+// --- rmmod tombstones -----------------------------------------------------
+
+/// A module cleanly unloaded with `rmmod` can be reinstalled under the
+/// same name — the regression that used to leave the name tombstoned
+/// forever — while the quarantined path stays permanently unusable.
+#[test]
+fn rmmod_then_reinstall_same_name_succeeds() {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).unwrap();
+    let seg = kx.create_segment(&mut k, 8).unwrap();
+    kx.insmod(&mut k, seg, "filter", &gen::benign_object(1), &["entry"])
+        .unwrap();
+    assert_eq!(kx.invoke(&mut k, seg, "entry", 0), Ok(1));
+
+    assert!(kx.rmmod(seg, "filter"));
+    assert_eq!(
+        kx.invoke(&mut k, seg, "entry", 0),
+        Err(KextError::NoSuchFunction("entry".into()))
+    );
+
+    // One-for-one reinstall under the same module and export names.
+    kx.insmod(&mut k, seg, "filter", &gen::benign_object(2), &["entry"])
+        .unwrap();
+    assert_eq!(kx.invoke(&mut k, seg, "entry", 0), Ok(2));
+    assert!(!kx.segment(seg).tombstones.contains_key("entry"));
+
+    // A faulted segment, by contrast, rejects any reinstall.
+    let seg2 = kx.create_segment_with(&mut k, 8, ONE_STRIKE).unwrap();
+    kx.insmod(
+        &mut k,
+        seg2,
+        "bad",
+        &gen::store_to_object(0x0020_0000),
+        &["entry"],
+    )
+    .unwrap();
+    let _ = kx.invoke(&mut k, seg2, "entry", 0);
+    assert!(kx.segment(seg2).tombstones["entry"].faulted);
+    assert_eq!(
+        kx.insmod(&mut k, seg2, "bad", &gen::benign_object(3), &["entry"]),
+        Err(KextError::SegmentDead)
+    );
+}
+
+/// The deprecated global threshold setter still works: it rewrites the
+/// default config that plain `create_segment` hands out.
+#[test]
+#[allow(deprecated)]
+fn deprecated_global_threshold_setter_still_applies() {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).unwrap();
+    kx.set_quarantine_threshold(1);
+    assert_eq!(kx.default_config().quarantine_threshold, 1);
+    let seg = kx.create_segment(&mut k, 8).unwrap();
+    kx.insmod(
+        &mut k,
+        seg,
+        "bad",
+        &gen::store_to_object(0x0020_0000),
+        &["entry"],
+    )
+    .unwrap();
+    let _ = kx.invoke(&mut k, seg, "entry", 0);
+    assert!(
+        kx.segment(seg).quarantined,
+        "one strike must now quarantine"
+    );
+}
+
+// --- campaign determinism with supervision --------------------------------
+
+/// Same seed ⇒ byte-identical campaign report with supervision enabled,
+/// and the supervisor actually engaged (restarts happened, pages were
+/// reclaimed, the per-step leak audit stayed clean).
+#[test]
+fn supervised_campaign_is_byte_deterministic() {
+    let cfg = CampaignConfig {
+        seed: 0x5EED_50B7,
+        steps: 600,
+        ..CampaignConfig::default()
+    };
+    let a = campaign::run(&cfg);
+    let b = campaign::run(&cfg);
+    assert_eq!(campaign::summarize(&a), campaign::summarize(&b));
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.restarts, b.restarts);
+    assert_eq!(a.pages_reclaimed, b.pages_reclaimed);
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert!(a.restarts >= 3, "supervisor never engaged: {}", a.restarts);
+    assert!(a.pages_reclaimed > 0);
+}
