@@ -3,6 +3,8 @@
 //! Primarily a debugging aid; the integration tests also use it to produce
 //! readable failure messages when a simulated extension faults.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use crate::encode::{decode, DecodeError};
 use crate::isa::Insn;
 
@@ -92,6 +94,249 @@ pub fn disassemble_text(buf: &[u8], base: u32) -> Result<String, DecodeError> {
         ));
     }
     Ok(s)
+}
+
+/// Image-relative offset of a static `rel32` branch target, computed from
+/// the end of the instruction. May be negative or past the image end when
+/// the displacement was link-resolved to an external symbol.
+pub fn branch_target(line: &Line) -> Option<i64> {
+    let end = i64::from(line.offset) + line.len as i64;
+    match line.insn {
+        Insn::Jmp(rel) | Insn::Jcc(_, rel) | Insn::Call(rel) => Some(end + i64::from(rel)),
+        _ => None,
+    }
+}
+
+/// Errors produced while recovering a control-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// A reachable offset did not decode.
+    Decode {
+        /// Offset of the undecodable bytes.
+        offset: u32,
+        /// The underlying decoder error.
+        cause: DecodeError,
+    },
+    /// No entry points were supplied.
+    NoEntry,
+    /// An entry point fell outside the image.
+    EntryOutOfRange(u32),
+}
+
+impl core::fmt::Display for CfgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CfgError::Decode { offset, cause } => {
+                write!(f, "undecodable instruction at {offset:#x}: {cause:?}")
+            }
+            CfgError::NoEntry => write!(f, "no entry points"),
+            CfgError::EntryOutOfRange(o) => write!(f, "entry {o:#x} outside the image"),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+/// A basic block: a maximal straight-line run of reachable instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Offset of the first instruction.
+    pub start: u32,
+    /// Offset one past the last instruction's final byte.
+    pub end: u32,
+    /// The instructions, in address order.
+    pub insns: Vec<Line>,
+    /// Leader offsets of statically known successor blocks.
+    pub succs: Vec<u32>,
+}
+
+/// A control-flow graph recovered by reachability from a set of entry
+/// points.
+///
+/// Only *reachable* bytes are decoded — extension images interleave code
+/// with data (dispatch slots, shared areas, `.dd` constants), so a linear
+/// sweep would misparse them. Static `rel32` edges are followed when they
+/// land inside the image; targets outside it are recorded in
+/// [`Cfg::external_sites`] for a policy layer (the `verifier` crate) to
+/// judge, and indirect/far transfer sites are likewise surfaced rather
+/// than resolved here.
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    /// Every reachable instruction, keyed by offset.
+    pub lines: BTreeMap<u32, Line>,
+    /// Basic blocks keyed by leader offset.
+    pub blocks: BTreeMap<u32, Block>,
+    /// The entry offsets the traversal started from.
+    pub entries: Vec<u32>,
+    /// `(site, target)` for static branches/calls leaving the image;
+    /// `target` is image-relative and may be negative.
+    pub external_sites: Vec<(u32, i64)>,
+    /// Offsets of register-/memory-indirect transfers
+    /// (`jmp reg`/`call reg`/`jmp [m]`/`call [m]`).
+    pub indirect_sites: Vec<u32>,
+    /// Offsets of far calls (`lcall sel, off`).
+    pub far_sites: Vec<u32>,
+    /// Offsets of software interrupts (`int n`).
+    pub int_sites: Vec<u32>,
+}
+
+impl Cfg {
+    /// Recovers the CFG of `buf` reachable from `entries`.
+    pub fn build(buf: &[u8], entries: &[u32]) -> Result<Cfg, CfgError> {
+        if entries.is_empty() {
+            return Err(CfgError::NoEntry);
+        }
+        for &e in entries {
+            if e as usize >= buf.len() {
+                return Err(CfgError::EntryOutOfRange(e));
+            }
+        }
+        let mut cfg = Cfg {
+            entries: entries.to_vec(),
+            ..Cfg::default()
+        };
+        let mut leaders: BTreeSet<u32> = entries.iter().copied().collect();
+        let mut work: Vec<u32> = entries.to_vec();
+        while let Some(off) = work.pop() {
+            if cfg.lines.contains_key(&off) {
+                continue;
+            }
+            let (insn, len) = decode(&buf[off as usize..])
+                .map_err(|cause| CfgError::Decode { offset: off, cause })?;
+            let line = Line {
+                offset: off,
+                insn,
+                len,
+            };
+            let end = off + len as u32;
+            let mut follow = |cfg: &mut Cfg, work: &mut Vec<u32>, site: u32, target: i64| {
+                if target >= 0 && (target as usize) < buf.len() {
+                    leaders.insert(target as u32);
+                    work.push(target as u32);
+                } else {
+                    cfg.external_sites.push((site, target));
+                }
+            };
+            let falls_through = match insn {
+                Insn::Jmp(_) => {
+                    follow(&mut cfg, &mut work, off, branch_target(&line).unwrap());
+                    false
+                }
+                Insn::Jcc(..) | Insn::Call(_) => {
+                    follow(&mut cfg, &mut work, off, branch_target(&line).unwrap());
+                    true
+                }
+                Insn::JmpReg(_) | Insn::JmpM(_) => {
+                    cfg.indirect_sites.push(off);
+                    false
+                }
+                Insn::CallReg(_) | Insn::CallM(_) => {
+                    cfg.indirect_sites.push(off);
+                    true
+                }
+                Insn::Lcall(..) => {
+                    cfg.far_sites.push(off);
+                    true
+                }
+                Insn::Int(_) => {
+                    cfg.int_sites.push(off);
+                    true
+                }
+                Insn::Ret
+                | Insn::RetN(_)
+                | Insn::Lret
+                | Insn::LretN(_)
+                | Insn::Iret
+                | Insn::Hlt => false,
+                _ => true,
+            };
+            if falls_through {
+                if insn.is_control() {
+                    // The instruction after a transfer starts a new block.
+                    leaders.insert(end);
+                }
+                work.push(end);
+            }
+            cfg.lines.insert(off, line);
+        }
+        cfg.build_blocks(&leaders);
+        Ok(cfg)
+    }
+
+    fn build_blocks(&mut self, leaders: &BTreeSet<u32>) {
+        let mut cur: Vec<Line> = Vec::new();
+        let flush = |cur: &mut Vec<Line>, blocks: &mut BTreeMap<u32, Block>| {
+            if let (Some(first), Some(last)) = (cur.first(), cur.last()) {
+                blocks.insert(
+                    first.offset,
+                    Block {
+                        start: first.offset,
+                        end: last.offset + last.len as u32,
+                        insns: std::mem::take(cur),
+                        succs: Vec::new(),
+                    },
+                );
+            }
+        };
+        for line in self.lines.values() {
+            let contiguous = cur
+                .last()
+                .is_some_and(|p| p.offset + p.len as u32 == line.offset);
+            if !cur.is_empty() && (leaders.contains(&line.offset) || !contiguous) {
+                flush(&mut cur, &mut self.blocks);
+            }
+            let ends_block = line.insn.is_control();
+            cur.push(line.clone());
+            if ends_block {
+                flush(&mut cur, &mut self.blocks);
+            }
+        }
+        flush(&mut cur, &mut self.blocks);
+
+        // Static successor edges, judged from each block's final instruction.
+        let mut edges: Vec<(u32, Vec<u32>)> = Vec::new();
+        for block in self.blocks.values() {
+            let last = block.insns.last().expect("blocks are non-empty");
+            let mut succs = Vec::new();
+            let fall = block.end;
+            let target =
+                branch_target(last).filter(|&t| t >= 0 && self.lines.contains_key(&(t as u32)));
+            match last.insn {
+                Insn::Jmp(_) => succs.extend(target.map(|t| t as u32)),
+                Insn::Jcc(..) | Insn::Call(_) => {
+                    succs.extend(target.map(|t| t as u32));
+                    if self.lines.contains_key(&fall) {
+                        succs.push(fall);
+                    }
+                }
+                Insn::CallReg(_) | Insn::CallM(_) | Insn::Lcall(..) | Insn::Int(_) => {
+                    if self.lines.contains_key(&fall) {
+                        succs.push(fall);
+                    }
+                }
+                Insn::JmpReg(_)
+                | Insn::JmpM(_)
+                | Insn::Ret
+                | Insn::RetN(_)
+                | Insn::Lret
+                | Insn::LretN(_)
+                | Insn::Iret
+                | Insn::Hlt => {}
+                // Block ended because the next instruction is a leader.
+                _ => {
+                    if self.lines.contains_key(&fall) {
+                        succs.push(fall);
+                    }
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            edges.push((block.start, succs));
+        }
+        for (start, succs) in edges {
+            self.blocks.get_mut(&start).expect("block exists").succs = succs;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,5 +496,172 @@ mod roundtrip_props {
             let src = format!("top:\nj{} top\n", c.name());
             Assembler::assemble(&src).unwrap();
         }
+    }
+
+    fn arb_cond(r: &mut SeedRng) -> Cond {
+        Cond::from_u8(r.gen_range(0, Cond::ALL.len() as u32) as u8).unwrap()
+    }
+
+    /// Every instruction the ISA can express, including the branch,
+    /// far-transfer and privileged forms the printable subset omits.
+    fn arb_any(r: &mut SeedRng) -> Insn {
+        match r.gen_range(0, 42) {
+            0 => Insn::Nop,
+            1 => Insn::Hlt,
+            2 => Insn::Mov(arb_reg(r), arb_src(r)),
+            3 => Insn::Load(arb_reg(r), arb_mem(r)),
+            4 => Insn::Store(arb_mem(r), arb_src(r)),
+            5 => Insn::LoadB(arb_reg(r), arb_mem(r)),
+            6 => Insn::StoreB(arb_mem(r), arb_reg(r)),
+            7 => Insn::LoadW(arb_reg(r), arb_mem(r)),
+            8 => Insn::StoreW(arb_mem(r), arb_reg(r)),
+            9 => Insn::MovToSeg(arb_segreg(r), arb_reg(r)),
+            10 => Insn::MovFromSeg(arb_reg(r), arb_segreg(r)),
+            11 => Insn::Lea(arb_reg(r), arb_mem(r)),
+            12 => Insn::Push(arb_src(r)),
+            13 => Insn::PushM(arb_mem(r)),
+            14 => Insn::PushSeg(arb_segreg(r)),
+            15 => Insn::Pop(arb_reg(r)),
+            16 => Insn::PopM(arb_mem(r)),
+            17 => Insn::PopSeg(arb_segreg(r)),
+            18 => Insn::Alu(
+                AluOp::from_u8(r.gen_range(0, 9) as u8).unwrap(),
+                arb_reg(r),
+                arb_src(r),
+            ),
+            19 => Insn::AluM(
+                AluOp::from_u8(r.gen_range(0, 9) as u8).unwrap(),
+                arb_reg(r),
+                arb_mem(r),
+            ),
+            20 => Insn::Neg(arb_reg(r)),
+            21 => Insn::Not(arb_reg(r)),
+            22 => Insn::Inc(arb_reg(r)),
+            23 => Insn::Dec(arb_reg(r)),
+            24 => Insn::Cmp(arb_reg(r), arb_src(r)),
+            25 => Insn::CmpM(arb_mem(r), arb_src(r)),
+            26 => Insn::Test(arb_reg(r), arb_src(r)),
+            27 => Insn::Jmp(r.next_u32() as i32),
+            28 => Insn::JmpReg(arb_reg(r)),
+            29 => Insn::JmpM(arb_mem(r)),
+            30 => Insn::Jcc(arb_cond(r), r.next_u32() as i32),
+            31 => Insn::Call(r.next_u32() as i32),
+            32 => Insn::CallReg(arb_reg(r)),
+            33 => Insn::CallM(arb_mem(r)),
+            34 => Insn::Ret,
+            35 => Insn::RetN(r.next_u32() as u16),
+            36 => Insn::Lcall(r.next_u32() as u16, r.next_u32()),
+            37 => Insn::Lret,
+            38 => Insn::LretN(r.next_u32() as u16),
+            39 => Insn::Int(r.next_u32() as u8),
+            40 => Insn::Iret,
+            _ => Insn::Rdtsc,
+        }
+    }
+
+    /// encode→decode is the identity over the *whole* ISA: the
+    /// disassembler view the verifier analyzes is byte-for-byte the
+    /// instruction stream the simulator will execute.
+    #[test]
+    fn seeded_encode_decode_roundtrip_full_isa() {
+        let mut r = SeedRng::new(0x5EED_CF61);
+        for _ in 0..400 {
+            let n = 1 + r.gen_range(0, 24) as usize;
+            let prog: Vec<Insn> = (0..n).map(|_| arb_any(&mut r)).collect();
+            let bytes = encode_program(&prog);
+            let lines = disassemble(&bytes).unwrap_or_else(|e| panic!("{e:?}\n{prog:?}"));
+            let decoded: Vec<Insn> = lines.iter().map(|l| l.insn).collect();
+            assert_eq!(decoded, prog);
+            // Offsets and lengths tile the buffer exactly.
+            let mut pos = 0u32;
+            for l in &lines {
+                assert_eq!(l.offset, pos);
+                pos += l.len as u32;
+            }
+            assert_eq!(pos as usize, bytes.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod cfg_tests {
+    use super::*;
+    use crate::isa::{Cond, Mem, Reg, Src};
+    use crate::obj::CodeBuilder;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = CodeBuilder::new();
+        b.emit(Insn::Mov(Reg::Eax, Src::Imm(1)));
+        b.emit(Insn::Inc(Reg::Eax));
+        b.emit(Insn::Ret);
+        let buf = b.finish().unwrap().bytes;
+        let cfg = Cfg::build(&buf, &[0]).unwrap();
+        assert_eq!(cfg.lines.len(), 3);
+        assert_eq!(cfg.blocks.len(), 1);
+        let blk = &cfg.blocks[&0];
+        assert_eq!(blk.end as usize, buf.len());
+        assert!(blk.succs.is_empty());
+    }
+
+    #[test]
+    fn branches_split_blocks_and_edges_connect_them() {
+        let mut b = CodeBuilder::new();
+        b.label("entry").unwrap();
+        b.emit(Insn::Cmp(Reg::Eax, Src::Imm(0)));
+        b.jcc_label(Cond::E, "zero");
+        b.emit(Insn::Dec(Reg::Eax));
+        b.label("zero").unwrap();
+        b.emit(Insn::Ret);
+        let obj = b.finish().unwrap();
+        let zero = obj.symbol("zero").unwrap();
+        let cfg = Cfg::build(&obj.bytes, &[0]).unwrap();
+        assert_eq!(cfg.blocks.len(), 3);
+        let first = &cfg.blocks[&0];
+        assert_eq!(first.succs.len(), 2, "taken + fallthrough");
+        assert!(first.succs.contains(&zero));
+        assert!(cfg.blocks[&zero].succs.is_empty());
+    }
+
+    #[test]
+    fn data_after_ret_is_not_decoded() {
+        let mut b = CodeBuilder::new();
+        b.emit(Insn::Ret);
+        // Opcode 0xFF does not exist; a linear sweep would choke here.
+        b.bytes(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        let buf = b.finish().unwrap().bytes;
+        assert!(disassemble(&buf).is_err());
+        let cfg = Cfg::build(&buf, &[0]).unwrap();
+        assert_eq!(cfg.lines.len(), 1);
+    }
+
+    #[test]
+    fn reachable_garbage_is_a_decode_error() {
+        let mut b = CodeBuilder::new();
+        b.jmp_label("lab");
+        b.label("lab").unwrap();
+        b.bytes(&[0xEE]);
+        let buf = b.finish().unwrap().bytes;
+        let err = Cfg::build(&buf, &[0]).unwrap_err();
+        assert!(matches!(err, CfgError::Decode { offset: 5, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn external_branches_and_indirect_sites_are_recorded() {
+        let buf = crate::encode::encode_program(&[Insn::Call(0x1000), Insn::JmpM(Mem::abs(0x40))]);
+        let cfg = Cfg::build(&buf, &[0]).unwrap();
+        assert_eq!(cfg.external_sites.len(), 1);
+        assert_eq!(cfg.external_sites[0].0, 0);
+        assert_eq!(cfg.indirect_sites, vec![5]);
+    }
+
+    #[test]
+    fn entry_out_of_range_and_no_entry_error() {
+        let buf = crate::encode::encode_program(&[Insn::Ret]);
+        assert_eq!(Cfg::build(&buf, &[]).unwrap_err(), CfgError::NoEntry);
+        assert_eq!(
+            Cfg::build(&buf, &[9]).unwrap_err(),
+            CfgError::EntryOutOfRange(9)
+        );
     }
 }

@@ -38,6 +38,7 @@ pub mod isa;
 pub mod obj;
 
 pub use asm::{AsmError, Assembler};
+pub use disasm::{branch_target, disassemble, Block, Cfg, CfgError, Line};
 pub use encode::{decode, decode_program, encode, encode_program, DecodeError};
 pub use isa::{AluOp, Cond, Insn, Mem, Reg, SegReg, Src};
 pub use obj::{CodeBuilder, ObjError, Object, Reloc, RelocKind};

@@ -130,6 +130,19 @@ impl Object {
         Ok(out)
     }
 
+    /// Maps exported function names to image offsets, for use as CFG
+    /// entry points ([`crate::disasm::Cfg::build`]); errors on the first
+    /// name the object does not define.
+    pub fn entry_offsets(&self, names: &[&str]) -> Result<Vec<u32>, ObjError> {
+        names
+            .iter()
+            .map(|n| {
+                self.symbol(n)
+                    .ok_or_else(|| ObjError::UndefinedLabel((*n).to_string()))
+            })
+            .collect()
+    }
+
     /// Names of symbols this object references but does not define.
     pub fn undefined_symbols(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self

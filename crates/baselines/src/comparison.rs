@@ -59,6 +59,21 @@ pub fn typesafe_language() -> Approach {
     }
 }
 
+/// Static verification (PCC \[19], verified object code): a load-time
+/// proof replaces runtime enforcement, so crossings are plain calls and
+/// execution is native — but the TCB now contains the verifier itself
+/// (and a slow or conservative verifier taxes what it cannot prove;
+/// bound with our own verifier's fallback, which keeps hardware checks
+/// for unproven accesses at up to a 10% dispatch tax).
+pub fn static_verification() -> Approach {
+    Approach {
+        name: "Static verification (PCC/verified code)",
+        crossing_cycles: 10,
+        slowdown: (1.00, 1.10),
+        trusts_software: true,
+    }
+}
+
 /// Interpretation (BPF, Java without JIT) \[17, 24]: order-of-magnitude
 /// slowdowns; we bound with our measured guest-interpreter factor (~20x
 /// per term against compiled) and the classic 10-40x Java range.
@@ -73,7 +88,13 @@ pub fn interpretation() -> Approach {
 
 /// All approaches, Palladium first.
 pub fn all() -> Vec<Approach> {
-    vec![palladium(), sfi(), typesafe_language(), interpretation()]
+    vec![
+        palladium(),
+        sfi(),
+        typesafe_language(),
+        static_verification(),
+        interpretation(),
+    ]
 }
 
 impl Approach {

@@ -1,6 +1,9 @@
 //! Host simulation throughput: guest instructions per host second on the
 //! figure7, chaos and webserver workloads, with the predecode fast path
-//! on (fast) and off (baseline), written to `BENCH_sim_throughput.json`.
+//! on (fast) and off (baseline), plus the kext_dispatch workload, where
+//! fast is verified dispatch (load-time attestation: no per-call
+//! entry-window re-validation, eager predecode) and baseline is
+//! unverified dispatch. Written to `BENCH_sim_throughput.json`.
 //!
 //! Usage: `sim_throughput [--quick] [--out <path>]`
 

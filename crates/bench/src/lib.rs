@@ -17,6 +17,7 @@ use minikernel::Kernel;
 use netfilter::{extended_conjunction, paper_conjunction, reference_packet, FilterBench};
 use palladium::trampoline::{self, PrepareParams, SaveSlots};
 use palladium::user_ext::{DlOptions, ExtensibleApp};
+use palladium::{KernelExtensions, SegmentConfig};
 use webserver::{run_ab, AbConfig, ExecModel, WebServer};
 use x86sim::cycles::{self, cycles_to_us, documented_cost, documented_event, Event};
 
@@ -560,7 +561,7 @@ pub fn measure_micro() -> Micro {
 /// differs — so `speedup` is a pure host-performance number.
 #[derive(Debug, Clone)]
 pub struct ThroughputPoint {
-    /// Workload tag: `figure7`, `chaos` or `webserver`.
+    /// Workload tag: `figure7`, `chaos`, `webserver` or `kext_dispatch`.
     pub workload: &'static str,
     /// Guest instructions retired in the timed fast-path run.
     pub fast_insns: u64,
@@ -648,19 +649,55 @@ fn throughput_webserver(iters: u32, predecode: bool) -> (u64, f64) {
     (s.k.m.insns() - insns0, t.elapsed().as_secs_f64())
 }
 
-/// Measures host steps/sec on the figure7, chaos and webserver workloads
-/// with explicit per-workload iteration counts (exposed for cheap tests;
-/// use [`measure_sim_throughput`] for the real benchmark).
+/// Kernel-extension dispatch workload: repeated `invoke` of a benign
+/// 60-odd-instruction extension. The `fast` mode loads it into a segment
+/// with [`SegmentConfig::verify`] on, so dispatch rides the `Verified`
+/// attestation (no per-call entry-window re-validation, eager
+/// predecode); the `base` mode loads it unverified and pays the advisory
+/// per-call check with predecode off. Simulated results are identical —
+/// the attestation only licenses skipping host-side work.
+fn throughput_kext_dispatch(iters: u32, verified: bool) -> (u64, f64) {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).expect("kext init");
+    let config = SegmentConfig {
+        verify: verified,
+        ..kx.default_config()
+    };
+    let seg = kx.create_segment_with(&mut k, 16, config).expect("segment");
+    let mut src = String::from("work:\nmov eax, [esp+4]\n");
+    for _ in 0..64 {
+        src.push_str("add eax, 1\n");
+    }
+    src.push_str("ret\n");
+    let obj = Assembler::assemble(&src).expect("assemble");
+    kx.insmod(&mut k, seg, "work", &obj, &["work"])
+        .expect("insmod");
+    k.m.set_predecode(verified);
+    kx.invoke(&mut k, seg, "work", 1).expect("warm");
+    let insns0 = k.m.insns();
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        kx.invoke(&mut k, seg, "work", 1).expect("invoke");
+    }
+    (k.m.insns() - insns0, t.elapsed().as_secs_f64())
+}
+
+/// Measures host steps/sec on the figure7, chaos, webserver and
+/// kext-dispatch workloads with explicit per-workload iteration counts
+/// (exposed for cheap tests; use [`measure_sim_throughput`] for the real
+/// benchmark).
 pub fn measure_sim_throughput_with(
     figure7_iters: u32,
     chaos_steps: u32,
     webserver_iters: u32,
+    kext_iters: u32,
 ) -> Vec<ThroughputPoint> {
     type Runner = fn(u32, bool) -> (u64, f64);
-    let specs: [(&'static str, Runner, u32); 3] = [
+    let specs: [(&'static str, Runner, u32); 4] = [
         ("figure7", throughput_figure7, figure7_iters),
         ("chaos", throughput_chaos, chaos_steps),
         ("webserver", throughput_webserver, webserver_iters),
+        ("kext_dispatch", throughput_kext_dispatch, kext_iters),
     ];
     specs
         .into_iter()
@@ -701,7 +738,7 @@ pub fn measure_sim_throughput_with(
 /// iteration counts (1 = the CI `--quick` run).
 pub fn measure_sim_throughput(scale: u32) -> Vec<ThroughputPoint> {
     let s = scale.max(1);
-    measure_sim_throughput_with(1_000 * s, 400 * s, 200 * s)
+    measure_sim_throughput_with(1_000 * s, 400 * s, 200 * s, 2_000 * s)
 }
 
 #[cfg(test)]
@@ -761,10 +798,10 @@ mod tests {
 
     #[test]
     fn throughput_bench_runs_all_workloads() {
-        let pts = measure_sim_throughput_with(50, 30, 10);
-        assert_eq!(pts.len(), 3);
+        let pts = measure_sim_throughput_with(50, 30, 10, 50);
+        assert_eq!(pts.len(), 4);
         let tags: Vec<_> = pts.iter().map(|p| p.workload).collect();
-        assert_eq!(tags, ["figure7", "chaos", "webserver"]);
+        assert_eq!(tags, ["figure7", "chaos", "webserver", "kext_dispatch"]);
         for p in &pts {
             // The simulated work is mode-independent; only host time may
             // differ. (Speedup itself is wall-clock and not asserted.)

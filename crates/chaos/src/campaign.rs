@@ -262,6 +262,7 @@ fn kext_outcome(r: &Result<u32, KextError>) -> String {
         Err(KextError::NoSuchFunction(_)) => "kext-nofunc".into(),
         Err(KextError::OutOfMemory) => "kext-oom".into(),
         Err(KextError::Link(_)) => "kext-link-err".into(),
+        Err(KextError::Verify(_)) => "kext-verify-err".into(),
     }
 }
 
@@ -272,6 +273,7 @@ fn dl_outcome(e: &PalError) -> String {
         PalError::NoSymbol(_) => "dlopen-nosym".into(),
         PalError::Kernel(..) => "dlopen-kernel-err".into(),
         PalError::Closed => "dlopen-closed".into(),
+        PalError::Verify(_) => "dlopen-verify-err".into(),
     }
 }
 

@@ -29,7 +29,9 @@ pub mod corrupt;
 pub mod gen;
 pub mod inject;
 pub mod oracle;
+pub mod verify;
 
 pub use campaign::{run, CampaignConfig, CampaignReport, Event};
 pub use corrupt::Corruption;
 pub use oracle::{StateOracle, Violation};
+pub use verify::{kernel_policy, verify_object, VerifyOutcome};

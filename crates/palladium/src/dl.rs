@@ -85,6 +85,23 @@ pub struct GotPlt {
     pub got_addrs: BTreeMap<String, u32>,
 }
 
+impl GotPlt {
+    /// Half-open byte range of the GOT entries, given the base the GOT
+    /// was built for. These slots are sealed read-only after eager
+    /// resolution, so a static verifier may trust indirect jumps through
+    /// them (the loader, not the extension, controls their contents).
+    pub fn got_range(&self, got_base: u32) -> (u32, u32) {
+        (got_base, got_base + self.got_bytes.len() as u32)
+    }
+
+    /// Half-open byte range of the PLT stubs, given the base the PLT was
+    /// built for. Outbound branches landing here are loader-generated
+    /// `jmp dword [got_entry]` stubs.
+    pub fn plt_range(&self, plt_base: u32) -> (u32, u32) {
+        (plt_base, plt_base + self.plt_bytes.len() as u32)
+    }
+}
+
 /// Size of one encoded `jmp dword [abs]` PLT stub.
 pub const PLT_STUB_LEN: u32 = 6;
 

@@ -27,6 +27,8 @@ use x86sim::fault::Fault;
 use x86sim::machine::Exit;
 use x86sim::mem::PAGE_SIZE;
 
+use verifier::{verify_image, VerifyPolicy};
+
 use crate::supervisor::{LedgerEntry, ReclaimRecord, ResourceLedger};
 use crate::trampoline::{self, SaveSlots, TransferParams};
 
@@ -41,6 +43,9 @@ pub enum KextError {
     OutOfMemory,
     /// Module failed to link.
     Link(String),
+    /// The module failed load-time static verification
+    /// ([`SegmentConfig::verify`]); nothing was loaded.
+    Verify(verifier::VerifyError),
     /// No extension service registered under that name (§4.3: "If the
     /// required extension service has not yet been instantiated, no
     /// action is taken").
@@ -65,6 +70,7 @@ impl core::fmt::Display for KextError {
         match self {
             KextError::OutOfMemory => write!(f, "out of extension segment space"),
             KextError::Link(e) => write!(f, "module link error: {e}"),
+            KextError::Verify(e) => write!(f, "module rejected by the verifier: {e}"),
             KextError::NoSuchFunction(n) => write!(f, "no extension function `{n}`"),
             KextError::Aborted(fault) => write!(f, "extension aborted: {fault}"),
             KextError::TimeLimit => write!(f, "extension exceeded its CPU-time limit"),
@@ -121,6 +127,21 @@ pub struct SegmentConfig {
     /// selector to the dead segment and bounded GDT growth is the
     /// invariant under audit.
     pub recycle_descriptors: bool,
+    /// Statically verify every module at `insmod` time (the `verifier`
+    /// crate): privileged-instruction scan, interval analysis of memory
+    /// addresses against the segment limit, and control-transfer
+    /// validation. A rejected module surfaces as [`KextError::Verify`]
+    /// and nothing is loaded.
+    ///
+    /// Off by default — verification is an *admission* policy; hardware
+    /// containment does not depend on it (the chaos campaigns load
+    /// deliberately hostile modules with this off).
+    pub verify: bool,
+    /// The `Verified` attestation of the most recently admitted module,
+    /// set by `insmod` when [`verify`](Self::verify) is on. Its presence
+    /// licenses the verified-dispatch fast path: `invoke` skips the
+    /// per-call entry-window re-validation and enables eager predecode.
+    pub verified: Option<verifier::Attestation>,
 }
 
 impl Default for SegmentConfig {
@@ -128,6 +149,8 @@ impl Default for SegmentConfig {
         SegmentConfig {
             quarantine_threshold: 3,
             recycle_descriptors: false,
+            verify: false,
+            verified: None,
         }
     }
 }
@@ -201,6 +224,24 @@ pub struct ExtSegment {
     load_next: u32,
 }
 
+/// Accounting for the verified-dispatch fast path: how many invocations
+/// were licensed by a load-time attestation versus re-validated per call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Invocations into a segment holding a `Verified` attestation; the
+    /// per-call entry-window check is skipped and predecode is enabled
+    /// eagerly for the run.
+    pub verified: u64,
+    /// Invocations into unverified segments that paid the advisory
+    /// host-side entry-window re-validation.
+    pub entry_checks: u64,
+    /// Entry windows the advisory check could not validate (undecodable
+    /// bytes at the registered entry point). Dispatch still proceeds —
+    /// hardware containment is the backstop — but the counter surfaces
+    /// the anomaly to supervision and diagnostics.
+    pub entry_check_failures: u64,
+}
+
 /// The kernel-side manager for all extension segments.
 #[derive(Debug)]
 pub struct KernelExtensions {
@@ -228,6 +269,8 @@ pub struct KernelExtensions {
     pub quarantines: u64,
     /// Segments reclaimed (pages and descriptors returned) so far.
     pub reclaims: u64,
+    /// Verified- vs. unverified-dispatch accounting.
+    pub dispatch: DispatchStats,
 }
 
 impl KernelExtensions {
@@ -268,6 +311,7 @@ impl KernelExtensions {
             desc_pool: Vec::new(),
             quarantines: 0,
             reclaims: 0,
+            dispatch: DispatchStats::default(),
         })
     }
 
@@ -279,7 +323,8 @@ impl KernelExtensions {
 
     /// Sets the quarantine threshold for *future* segments.
     #[deprecated(
-        note = "pass a `SegmentConfig` to `create_segment_with` — the threshold is per-segment"
+        note = "pass a `SegmentConfig` to `create_segment_with` — the threshold is per-segment; \
+                this global setter will be removed once the remaining callers migrate"
     )]
     pub fn set_quarantine_threshold(&mut self, threshold: u32) {
         self.default_config.quarantine_threshold = threshold;
@@ -479,6 +524,20 @@ impl KernelExtensions {
         let image = obj
             .link(at, &BTreeMap::new())
             .map_err(|e| KextError::Link(e.to_string()))?;
+        if seg.config.verify {
+            // Admission control: prove the module safe before a byte of
+            // it reaches segment memory. Kernel-extension addresses are
+            // segment-relative, so the allowed data range is exactly the
+            // segment limit, and the only legal way out is `int 0x81`.
+            let entries = obj
+                .entry_offsets(exports)
+                .map_err(|e| KextError::Link(e.to_string()))?;
+            let policy = VerifyPolicy::new(1, at)
+                .allow_data(0, seg.size)
+                .allow_vector(KSERVICE_VECTOR);
+            let attestation = verify_image(&image, &entries, &policy).map_err(KextError::Verify)?;
+            seg.config.verified = Some(attestation);
+        }
         let base = seg.base;
         if !k.kwrite(base + at, &image) {
             return Err(KextError::Link(format!(
@@ -565,7 +624,7 @@ impl KernelExtensions {
         func: &str,
         arg: u32,
     ) -> Result<u32, KextError> {
-        let (kprepare, target_linear, entry_off) = {
+        let (kprepare, target_linear, entry_off, entry_linear, verified) = {
             let seg = &self.segments[id.0];
             if seg.quarantined {
                 return Err(KextError::Quarantined {
@@ -580,8 +639,30 @@ impl KernelExtensions {
                 .get(func)
                 .copied()
                 .ok_or_else(|| KextError::NoSuchFunction(func.to_string()))?;
-            (seg.kprepare, seg.base + seg.ktarget_off, entry)
+            (
+                seg.kprepare,
+                seg.base + seg.ktarget_off,
+                entry,
+                seg.base + entry,
+                seg.config.verified.is_some(),
+            )
         };
+
+        // Attestation-gated dispatch (the verified fast path): a segment
+        // whose modules passed load-time verification skips the per-call
+        // entry-window re-validation. Unverified segments pay an advisory
+        // host-side decode of the entry window; a failure is counted but
+        // never blocks dispatch — the hardware checks remain the
+        // containment backstop either way, so campaign traces stay
+        // byte-identical.
+        if verified {
+            self.dispatch.verified += 1;
+        } else {
+            self.dispatch.entry_checks += 1;
+            if !k.m.validate_entry_window(entry_linear, 64, 16) {
+                self.dispatch.entry_check_failures += 1;
+            }
+        }
 
         // Patch the per-invocation target slot (the kernel indexes its
         // Extension Function Table and dispatches, step 5 of Figure 4).
@@ -601,6 +682,13 @@ impl KernelExtensions {
         k.m.cpu.set_reg(Reg::Ebx, kprepare);
         k.m.cpu.eip = self.invoke_stub;
 
+        // A verified segment's instruction stream provably matches what
+        // the disassembler saw, so predecode can be enabled eagerly for
+        // the whole run instead of warming up per fetch.
+        let saved_predecode = k.m.predecode_enabled();
+        if verified {
+            k.m.set_predecode(true);
+        }
         let deadline = k.m.cycles() + k.extension_cycle_limit;
         let result = loop {
             match k.m.run_until_cycles(deadline) {
@@ -635,6 +723,7 @@ impl KernelExtensions {
             }
         };
 
+        k.m.set_predecode(saved_predecode);
         k.m.cpu = snapshot;
         k.m.tss.stack[0] = saved_tss0;
         result

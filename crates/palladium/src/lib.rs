@@ -46,7 +46,7 @@ pub mod supervisor;
 pub mod trampoline;
 pub mod user_ext;
 
-pub use kernel_ext::{ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
+pub use kernel_ext::{DispatchStats, ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
 pub use mobile::{AppletHost, AppletId, AppletOutcome, AppletQuota};
 pub use segdb::SegDb;
 pub use shm::{SharedArea, ShmError};
@@ -55,6 +55,7 @@ pub use supervisor::{
     SupervisedId, SupervisedState, Supervisor, SupervisorError,
 };
 pub use user_ext::{ExtCallError, ExtensibleApp, ExtensionHandle, PalError};
+pub use verifier::{Attestation, VerifyError, VerifyPolicy};
 
 #[cfg(test)]
 mod tests;

@@ -26,6 +26,9 @@ pub struct Region {
     pub end: u32,
     /// Symbol table: address → name.
     symbols: BTreeMap<u32, String>,
+    /// Whether the region's code carries a load-time `Verified`
+    /// attestation (the static verifier admitted it).
+    pub verified: bool,
 }
 
 /// The debugger: a set of regions plus formatting.
@@ -54,7 +57,24 @@ impl SegDb {
             base,
             end,
             symbols,
+            verified: false,
         });
+    }
+
+    /// Marks a registered region as statically verified; its domain
+    /// headers in [`format_trace`](Self::format_trace) gain a
+    /// `(verified)` tag so a debugging session shows at a glance which
+    /// code the loader proved safe versus merely contained.
+    pub fn mark_verified(&mut self, name: &str) {
+        for r in &mut self.regions {
+            if r.name == name {
+                r.verified = true;
+            }
+        }
+    }
+
+    fn region_of(&self, addr: u32) -> Option<&Region> {
+        self.regions.iter().find(|r| addr >= r.base && addr < r.end)
     }
 
     /// Symbolizes an address as `module!symbol+offset` (or `module+off`,
@@ -94,9 +114,15 @@ impl SegDb {
         let mut last_cpl = u8::MAX;
         for r in trace.records() {
             if r.cpl != last_cpl {
+                let verified = if self.region_of(r.eip).is_some_and(|reg| reg.verified) {
+                    " (verified)"
+                } else {
+                    ""
+                };
                 out.push_str(&format!(
-                    "---- {} (CS={:#06x}) ----\n",
+                    "---- {}{} (CS={:#06x}) ----\n",
                     Self::domain(r.cpl),
+                    verified,
                     r.cs
                 ));
                 last_cpl = r.cpl;
@@ -201,6 +227,48 @@ mod tests {
         assert!(text.contains("SPL3/ext"), "{text}");
         assert!(text.contains("SPL2/app"));
         assert!(text.contains("ext:f!f"));
+    }
+
+    #[test]
+    fn verified_region_header_carries_annotation() {
+        let mut k = Kernel::boot();
+        let mut app = ExtensibleApp::new(&mut k).unwrap();
+        let ext = Assembler::assemble("f:\nmov eax, [esp+4]\nadd eax, 1\nret\n").unwrap();
+        let h = app
+            .seg_dlopen_verified(&mut k, &ext, DlOptions::default(), &["f"])
+            .unwrap();
+        let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
+        app.call_extension(&mut k, prep, 0).unwrap(); // warm
+
+        k.m.enable_trace(256);
+        assert_eq!(app.call_extension(&mut k, prep, 6).unwrap(), 7);
+        let trace = k.m.disable_trace().unwrap();
+
+        let mut db = SegDb::new();
+        let f_addr = app.dlsym(h, "f").unwrap();
+        db.add_region(
+            "ext:f",
+            f_addr,
+            f_addr + 64,
+            vec![("f".to_string(), f_addr)],
+        );
+        // The SPL 3 entry trampoline (where the crossing lands) lives in
+        // the same loaded extension; register it under the same name so
+        // the domain header resolves to the extension's region.
+        let tramp = in_domain(&trace, 3)[0].eip;
+        db.add_region("ext:f", tramp, tramp + 32, vec![]);
+
+        // Before the mark, the domain header is plain.
+        let plain = db.format_trace(&trace);
+        assert!(plain.contains("SPL3/ext (CS="), "{plain}");
+        assert!(!plain.contains("(verified)"), "{plain}");
+
+        // After the mark, only the extension's header gains the tag; the
+        // application's own domain (no attestation) stays plain.
+        db.mark_verified("ext:f");
+        let text = db.format_trace(&trace);
+        assert!(text.contains("SPL3/ext (verified) (CS="), "{text}");
+        assert!(!text.contains("SPL2/app (verified)"), "{text}");
     }
 
     #[test]

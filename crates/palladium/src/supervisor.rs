@@ -450,6 +450,15 @@ impl Supervisor {
                 ext.last_healthy = now;
                 self.restarts += 1;
             }
+            Err(KextError::Verify(_) | KextError::Link(_)) => {
+                // A module image that no longer decodes, links or
+                // verifies is deterministically broken: retrying cannot
+                // help, so tombstone immediately instead of burning
+                // restart strikes through the backoff ladder.
+                let ext = &mut self.exts[id.0];
+                ext.state = SupervisedState::Tombstoned;
+                self.tombstoned += 1;
+            }
             Err(_) => {
                 // The reinstall itself failed (e.g. transient memory
                 // pressure): charge it like a death and back off again.
@@ -522,6 +531,17 @@ impl Supervisor {
                 }
             }
         }
+    }
+
+    /// Replaces the retained module images used for future reinstalls (a
+    /// staged upgrade): the running segment is untouched; the next
+    /// restart loads the new images instead of the originals. The staged
+    /// images must still pass the segment's admission policy at
+    /// reinstall time — a replacement that fails to decode, link or
+    /// verify tombstones the extension at that restart instead of
+    /// burning through the backoff ladder.
+    pub fn stage_images(&mut self, id: SupervisedId, images: Vec<ModuleImage>) {
+        self.exts[id.0].images = images;
     }
 
     /// Notifies the supervisor that the extension's segment died outside

@@ -31,6 +31,7 @@ use x86sim::paging::pte;
 use crate::dl::{build_got_plt, merge_objects, DlError};
 use crate::stdlib;
 use crate::trampoline::{self, PrepareParams, SaveSlots, TransferParams};
+use verifier::{verify_image, Attestation, VerifyPolicy};
 
 /// Cost (cycles) of the base `dlopen` work: file open, mapping, symbol
 /// table parsing, eager relocation. Anchor: §5.1 measures `dlopen` at
@@ -51,6 +52,9 @@ pub enum PalError {
     NoSymbol(String),
     /// A kernel interface returned an error.
     Kernel(&'static str, i32),
+    /// The extension image failed load-time static verification
+    /// ([`ExtensibleApp::seg_dlopen_verified`]); it was unloaded.
+    Verify(verifier::VerifyError),
     /// The extension handle was already closed.
     Closed,
 }
@@ -63,6 +67,7 @@ impl core::fmt::Display for PalError {
             PalError::Link(e) => write!(f, "link: {e}"),
             PalError::NoSymbol(s) => write!(f, "no such symbol `{s}`"),
             PalError::Kernel(what, e) => write!(f, "kernel {what} failed: {e}"),
+            PalError::Verify(e) => write!(f, "extension rejected by the verifier: {e}"),
             PalError::Closed => write!(f, "extension already closed"),
         }
     }
@@ -158,12 +163,27 @@ struct Ext {
     preps: BTreeMap<String, (u32, u32)>,
     /// GOT page (if the extension imports shared-library functions).
     got_page: Option<u32>,
+    /// Byte range of the sealed GOT slots (loader-controlled memory a
+    /// verifier may trust indirect jumps through).
+    got_slots: Option<(u32, u32)>,
+    /// Byte range of the loader-generated PLT stubs.
+    plt_range: Option<(u32, u32)>,
+    /// Stack and heap ranges (half-open), kept for verifier policy
+    /// construction.
+    stack: (u32, u32),
+    heap: (u32, u32),
+    /// `Verified` attestation from [`ExtensibleApp::seg_dlopen_verified`];
+    /// licenses eager predecode on protected calls into this extension.
+    verified: Option<Attestation>,
     closed: bool,
 }
 
 #[derive(Debug)]
 struct LoadedLib {
     symbols: BTreeMap<String, u32>,
+    /// Mapped code range (half-open) — legal branch targets for verified
+    /// extensions.
+    range: (u32, u32),
 }
 
 /// A promoted extensible application and its Palladium runtime state.
@@ -177,6 +197,9 @@ pub struct ExtensibleApp {
     pub calls: u64,
     /// Calls aborted by fault or time limit.
     pub aborted_calls: u64,
+    /// Protected calls that took the verified-dispatch fast path (eager
+    /// predecode licensed by a load-time attestation).
+    pub verified_calls: u64,
     invoke_stub: u32,
     callgate_addr: u32,
     slots: SaveSlots,
@@ -185,6 +208,10 @@ pub struct ExtensibleApp {
     tramp_end: u32,
     exts: Vec<Ext>,
     libs: Vec<LoadedLib>,
+    /// Call-gate selectors of registered application services — legal
+    /// far-call targets for verified extensions (their stubs `lcall`
+    /// these gates).
+    service_gates: Vec<u16>,
 }
 
 impl ExtensibleApp {
@@ -234,6 +261,7 @@ impl ExtensibleApp {
             gate_sel: gate as u16,
             calls: 0,
             aborted_calls: 0,
+            verified_calls: 0,
             invoke_stub,
             callgate_addr,
             slots,
@@ -241,6 +269,7 @@ impl ExtensibleApp {
             tramp_end: tramp + 2 * PAGE_SIZE,
             exts: Vec::new(),
             libs: Vec::new(),
+            service_gates: Vec::new(),
         })
     }
 
@@ -273,7 +302,10 @@ impl ExtensibleApp {
             .iter()
             .map(|(s, off)| (s.clone(), base + off))
             .collect();
-        self.libs.push(LoadedLib { symbols });
+        self.libs.push(LoadedLib {
+            symbols,
+            range: (base, base + pages * PAGE_SIZE),
+        });
         Ok(base)
     }
 
@@ -323,6 +355,8 @@ impl ExtensibleApp {
             .collect();
         let mut externs: BTreeMap<String, u32> = BTreeMap::new();
         let mut got_page = None;
+        let mut got_slots = None;
+        let mut plt_range = None;
         if !imports.is_empty() {
             // One page each: the GOT must be alone on its page so sealing
             // it read-only cannot affect neighbours (§4.4.2).
@@ -334,6 +368,8 @@ impl ExtensibleApp {
             // Eager resolution done: seal the GOT (and the PLT) read-only.
             k.host_set_page_flags(self.tid, got, 1, 0, pte::RW);
             k.host_set_page_flags(self.tid, plt, 1, 0, pte::RW);
+            got_slots = Some(gp.got_range(got));
+            plt_range = Some(gp.plt_range(plt));
             externs.extend(gp.plt_addrs);
             got_page = Some(got);
         }
@@ -399,9 +435,84 @@ impl ExtensibleApp {
             tramp3_next: tramp3,
             preps: BTreeMap::new(),
             got_page,
+            got_slots,
+            plt_range,
+            stack: (stack_base, stack_base + opts.stack_pages * PAGE_SIZE),
+            heap: (heap_base, heap_base + opts.heap_pages * PAGE_SIZE),
+            verified: None,
             closed: false,
         });
         Ok(ExtensionHandle(self.exts.len() - 1))
+    }
+
+    /// `seg_dlopen` with load-time static verification: the linked image
+    /// is disassembled and analysed before the handle is returned. The
+    /// policy admits accesses to the extension's own image, stack and
+    /// heap, branches into loaded shared libraries and the loader's PLT
+    /// stubs, indirect jumps through the sealed GOT, and far calls
+    /// through this application's `AppCallGate`. `entries` names the
+    /// exported functions the application intends to `seg_dlsym`.
+    ///
+    /// On rejection the extension is unloaded (`seg_dlclose`) and
+    /// [`PalError::Verify`] is returned; on success the handle carries a
+    /// `Verified` attestation and protected calls into it take the
+    /// verified-dispatch fast path.
+    pub fn seg_dlopen_verified(
+        &mut self,
+        k: &mut Kernel,
+        obj: &Object,
+        opts: DlOptions,
+        entries: &[&str],
+    ) -> Result<ExtensionHandle, PalError> {
+        let h = self.seg_dlopen(k, obj, opts)?;
+        match self.verify_loaded(k, h, entries) {
+            Ok(att) => {
+                self.exts[h.0].verified = Some(att);
+                Ok(h)
+            }
+            Err(e) => {
+                self.seg_dlclose(k, h)?;
+                Err(PalError::Verify(e))
+            }
+        }
+    }
+
+    /// Runs the static verifier over an already-loaded extension image.
+    fn verify_loaded(
+        &self,
+        k: &Kernel,
+        h: ExtensionHandle,
+        entries: &[&str],
+    ) -> Result<Attestation, verifier::VerifyError> {
+        let ext = &self.exts[h.0];
+        let image = k.m.host_read(ext.base, (ext.pages * PAGE_SIZE) as usize);
+        let entry_offs: Vec<u32> = entries
+            .iter()
+            .filter_map(|n| ext.symbols.get(*n).map(|&a| a - ext.base))
+            .collect();
+        let mut policy = VerifyPolicy::new(3, ext.base)
+            .allow_data(ext.stack.0, ext.stack.1)
+            .allow_data(ext.heap.0, ext.heap.1)
+            .allow_gate(self.gate_sel);
+        for &g in &self.service_gates {
+            policy = policy.allow_gate(g);
+        }
+        if let Some((lo, hi)) = ext.got_slots {
+            policy = policy.allow_slots(lo, hi);
+        }
+        if let Some((lo, hi)) = ext.plt_range {
+            policy = policy.allow_code(lo, hi);
+        }
+        for lib in &self.libs {
+            policy = policy.allow_code(lib.range.0, lib.range.1);
+        }
+        verify_image(&image, &entry_offs, &policy)
+    }
+
+    /// The `Verified` attestation of an extension, if it was admitted
+    /// through [`seg_dlopen_verified`](Self::seg_dlopen_verified).
+    pub fn attestation(&self, h: ExtensionHandle) -> Result<Option<Attestation>, PalError> {
+        Ok(self.ext(h)?.verified)
     }
 
     /// Address of the invoke stub (the canonical call site used by
@@ -543,6 +654,18 @@ impl ExtensibleApp {
         arg: u32,
     ) -> Result<u32, ExtCallError> {
         k.switch_to(self.tid);
+        // Verified-dispatch fast path: a call whose Prepare routine
+        // belongs to an extension holding a `Verified` attestation may
+        // run with predecode enabled eagerly — the attestation proves
+        // the disassembled view matches the executed stream.
+        let verified = self.exts.iter().any(|e| {
+            !e.closed && e.verified.is_some() && e.preps.values().any(|&(p, _)| p == prepare)
+        });
+        let saved_predecode = k.m.predecode_enabled();
+        if verified {
+            self.verified_calls += 1;
+            k.m.set_predecode(true);
+        }
         let snapshot = k.m.cpu.clone();
         k.m.cpu.set_reg(Reg::Eax, arg);
         k.m.cpu.set_reg(Reg::Ebx, prepare);
@@ -550,6 +673,7 @@ impl ExtensibleApp {
 
         let limit = k.extension_cycle_limit;
         let out = k.run_current(Budget::Cycles(limit));
+        k.m.set_predecode(saved_predecode);
         match out {
             Outcome::Hook(v) if v == UEXT_DONE_VECTOR => {
                 let result = k.m.cpu.reg(Reg::Eax);
@@ -624,6 +748,7 @@ impl ExtensibleApp {
         if gate < 0 {
             return Err(PalError::Kernel("set_call_gate", gate));
         }
+        self.service_gates.push(gate as u16);
         Ok(gate as u16)
     }
 

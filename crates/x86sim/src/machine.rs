@@ -1031,6 +1031,39 @@ impl Machine {
         self.host_write(linear, &v.to_le_bytes())
     }
 
+    /// Advisory host-side check that `linear` begins a decodable
+    /// straight-line instruction window: decodes up to `max_insns`
+    /// instructions from at most `max_bytes` bytes, stopping early at any
+    /// control transfer. Returns `false` on undecodable bytes.
+    ///
+    /// Loaders dispatching into code that carries no load-time
+    /// attestation use this to re-validate entry points per call; a
+    /// `Verified` attestation licenses skipping it. Charges no cycles and
+    /// never changes machine state.
+    pub fn validate_entry_window(&self, linear: u32, max_bytes: usize, max_insns: u32) -> bool {
+        let buf = self.host_read(linear, max_bytes);
+        let mut off = 0usize;
+        for _ in 0..max_insns {
+            match decode(&buf[off..]) {
+                Ok((insn, len)) => {
+                    if insn.is_control() {
+                        return true;
+                    }
+                    off += len;
+                    if off >= buf.len() {
+                        return true;
+                    }
+                }
+                // A window ending mid-instruction is indistinguishable
+                // from a longer valid one; only a hard bad opcode or
+                // operand fails the check.
+                Err(DecodeError::Truncated) => return true,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
     fn host_translate(&self, linear: u32) -> Option<u32> {
         if !self.mmu.enabled {
             return Some(linear);

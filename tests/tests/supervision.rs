@@ -33,6 +33,8 @@ fn faulting_image() -> ModuleImage {
 const ONE_STRIKE: SegmentConfig = SegmentConfig {
     quarantine_threshold: 1,
     recycle_descriptors: false,
+    verify: false,
+    verified: None,
 };
 
 // --- the headline criterion ----------------------------------------------
@@ -235,16 +237,18 @@ fn rmmod_then_reinstall_same_name_succeeds() {
     );
 }
 
-/// The deprecated global threshold setter still works: it rewrites the
-/// default config that plain `create_segment` hands out.
+/// A one-strike quarantine threshold is a per-segment property, set by
+/// passing a `SegmentConfig` to `create_segment_with` (the former global
+/// setter is deprecated and slated for removal).
 #[test]
-#[allow(deprecated)]
-fn deprecated_global_threshold_setter_still_applies() {
+fn per_segment_quarantine_threshold_applies() {
     let mut k = Kernel::boot();
     let mut kx = KernelExtensions::new(&mut k).unwrap();
-    kx.set_quarantine_threshold(1);
-    assert_eq!(kx.default_config().quarantine_threshold, 1);
-    let seg = kx.create_segment(&mut k, 8).unwrap();
+    let config = SegmentConfig {
+        quarantine_threshold: 1,
+        ..kx.default_config()
+    };
+    let seg = kx.create_segment_with(&mut k, 8, config).unwrap();
     kx.insmod(
         &mut k,
         seg,
