@@ -3,7 +3,7 @@
 
 use asm86::Assembler;
 use minikernel::Kernel;
-use palladium::user_ext::{DlOptions, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtensibleApp};
 
 /// Minimal timing harness (criterion is unavailable offline): runs the
 /// closure `iters` times after a short warmup and prints mean ns/iter.
@@ -41,10 +41,10 @@ fn main() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &Assembler::assemble("f:\nret\n").unwrap(),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "f").unwrap();

@@ -5,21 +5,32 @@
 //! entry-window re-validation, eager predecode) and baseline is
 //! unverified dispatch. Written to `BENCH_sim_throughput.json`.
 //!
-//! Usage: `sim_throughput [--quick] [--out <path>]`
+//! A second section measures worker scaling: the same workloads sharded
+//! across a `parex` pool at 1/2/4/8 workers (override with
+//! `--workers 1,2,4`). Shard decompositions are fixed, so the simulated
+//! work is identical at every worker count; only host wall-clock
+//! changes. `host_cpus` records the machine's available parallelism —
+//! speedups are bounded by it.
+//!
+//! Usage: `sim_throughput [--quick] [--out <path>] [--workers LIST]`
 
-use bench::ThroughputPoint;
+use bench::{ScalingPoint, ThroughputPoint};
 
 fn json_escape_free_number(v: f64) -> String {
     // All values here are finite and positive; keep a stable format.
     format!("{v:.6}")
 }
 
-fn to_json(pts: &[ThroughputPoint], quick: bool) -> String {
+fn to_json(pts: &[ThroughputPoint], scaling: &[ScalingPoint], quick: bool) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"sim_throughput\",\n");
     s.push_str("  \"unit\": \"guest_insns_per_host_sec\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        parex::host_parallelism()
+    ));
     s.push_str("  \"workloads\": [\n");
     for (i, p) in pts.iter().enumerate() {
         s.push_str("    {\n");
@@ -51,6 +62,38 @@ fn to_json(pts: &[ThroughputPoint], quick: bool) -> String {
             "    },\n"
         });
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        // Speedup vs this workload's own 1-worker row.
+        let serial = scaling
+            .iter()
+            .find(|q| q.workload == p.workload && q.workers == 1)
+            .map(|q| q.host_secs)
+            .unwrap_or(p.host_secs);
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"workload\": \"{}\",\n", p.workload));
+        s.push_str(&format!("      \"workers\": {},\n", p.workers));
+        s.push_str(&format!("      \"shards\": {},\n", p.shards));
+        s.push_str(&format!("      \"guest_insns\": {},\n", p.guest_insns));
+        s.push_str(&format!(
+            "      \"host_secs\": {},\n",
+            json_escape_free_number(p.host_secs)
+        ));
+        s.push_str(&format!(
+            "      \"steps_per_sec\": {},\n",
+            json_escape_free_number(p.ips())
+        ));
+        s.push_str(&format!(
+            "      \"speedup_vs_1_worker\": {}\n",
+            json_escape_free_number(serial / p.host_secs.max(1e-9))
+        ));
+        s.push_str(if i + 1 == scaling.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -63,6 +106,16 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
+    let workers: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .map(|w| w.parse().expect("--workers expects a comma-separated list"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
 
     let scale = if quick { 1 } else { 5 };
     let pts = bench::measure_sim_throughput(scale);
@@ -83,7 +136,30 @@ fn main() {
         );
     }
 
-    let json = to_json(&pts, quick);
+    let scaling = bench::measure_scaling_with(16, 250 * scale, 300 * scale, 240 * scale, &workers);
+    println!("\nWorker scaling ({} host CPUs)", parex::host_parallelism());
+    println!(
+        "{:>10} {:>8} {:>8} {:>12} {:>12} {:>9}",
+        "Workload", "Workers", "Shards", "Insns", "Work/s", "Speedup"
+    );
+    for p in &scaling {
+        let serial = scaling
+            .iter()
+            .find(|q| q.workload == p.workload && q.workers == 1)
+            .map(|q| q.host_secs)
+            .unwrap_or(p.host_secs);
+        println!(
+            "{:>10} {:>8} {:>8} {:>12} {:>12.0} {:>8.2}x",
+            p.workload,
+            p.workers,
+            p.shards,
+            p.guest_insns,
+            p.ips(),
+            serial / p.host_secs.max(1e-9)
+        );
+    }
+
+    let json = to_json(&pts, &scaling, quick);
     std::fs::write(&out, json).expect("write benchmark JSON");
     println!("\nwrote {out}");
 }

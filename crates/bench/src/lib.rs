@@ -16,7 +16,7 @@ use baselines::rpc::RpcCosts;
 use minikernel::Kernel;
 use netfilter::{extended_conjunction, paper_conjunction, reference_packet, FilterBench};
 use palladium::trampoline::{self, PrepareParams, SaveSlots};
-use palladium::user_ext::{DlOptions, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtensibleApp};
 use palladium::{KernelExtensions, SegmentConfig};
 use webserver::{run_ab, AbConfig, ExecModel, WebServer};
 use x86sim::cycles::{self, cycles_to_us, documented_cost, documented_event, Event};
@@ -83,7 +83,7 @@ fn measure_inter_phases() -> [u64; 4] {
     let mut app = ExtensibleApp::new(&mut k).expect("app");
     let null = Assembler::assemble("null_fn:\nret\n").unwrap();
     let h = app
-        .seg_dlopen(&mut k, &null, DlOptions::default())
+        .dlopen(&mut k, &null, &DlopenOptions::new())
         .expect("dlopen");
     let prep = app.seg_dlsym(&mut k, h, "null_fn").expect("dlsym");
     // Warm the TLB and caches.
@@ -297,7 +297,7 @@ pub fn measure_table2() -> Vec<Table2Row> {
 
     // Protected: the routine as an extension.
     let h = app
-        .seg_dlopen(&mut k, &reverse, DlOptions::default())
+        .dlopen(&mut k, &reverse, &DlopenOptions::new())
         .expect("dlopen");
     let prep = app.seg_dlsym(&mut k, h, "reverse").expect("dlsym");
 
@@ -501,7 +501,7 @@ fn measure_dlopen() -> (f64, f64) {
 
     let ext = Assembler::assemble("f:\nret\n").unwrap();
     let before = k.m.cycles();
-    app.seg_dlopen(&mut k, &ext, DlOptions::default())
+    app.dlopen(&mut k, &ext, &DlopenOptions::new())
         .expect("seg_dlopen");
     let seg_dlopen = k.m.cycles() - before;
     (cycles_to_us(dlopen), cycles_to_us(seg_dlopen))
@@ -518,7 +518,7 @@ fn measure_sigsegv() -> u64 {
     ))
     .unwrap();
     let h = app
-        .seg_dlopen(&mut k, &evil, DlOptions::default())
+        .dlopen(&mut k, &evil, &DlopenOptions::new())
         .expect("dlopen");
     let prep = app.seg_dlsym(&mut k, h, "f").expect("dlsym");
     let before_faults = k.stats.faults;
@@ -741,6 +741,153 @@ pub fn measure_sim_throughput(scale: u32) -> Vec<ThroughputPoint> {
     measure_sim_throughput_with(1_000 * s, 400 * s, 200 * s, 2_000 * s)
 }
 
+// ----- worker scaling (the "scaling" section of the same JSON) -------------
+
+/// One worker-count sample of a sharded workload.
+///
+/// The shard decomposition is fixed per workload, so `guest_insns` is
+/// identical across worker counts (asserted by the determinism suite);
+/// only `host_secs` — wall-clock over the whole fan-out — varies.
+/// Speedup is relative to each workload's own 1-worker row.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Workload tag: `figure7`, `chaos` or `webserver`.
+    pub workload: &'static str,
+    /// Worker threads in the [`parex::Pool`].
+    pub workers: usize,
+    /// Independent shards fanned across those workers.
+    pub shards: u32,
+    /// Guest instructions retired across all shards (worker-count
+    /// invariant).
+    pub guest_insns: u64,
+    /// Host wall-clock seconds for the whole fan-out.
+    pub host_secs: f64,
+}
+
+impl ScalingPoint {
+    /// Host throughput, guest instructions per second.
+    pub fn ips(&self) -> f64 {
+        self.guest_insns as f64 / self.host_secs.max(1e-9)
+    }
+}
+
+/// Figure 7 filter workload sharded: each shard owns a private
+/// [`FilterBench`] (kernel + machine) and runs `iters` protected
+/// invocations of the 80-term compiled filter.
+fn scaling_figure7(shards: u32, iters: u32, pool: parex::Pool) -> (u64, f64) {
+    let t = std::time::Instant::now();
+    let insns = pool.run_ordered((0..shards).collect(), |_, _shard| {
+        let mut b = FilterBench::new().expect("filter bench");
+        b.install_compiled(&extended_conjunction(80))
+            .expect("install");
+        let pkt = reference_packet(128);
+        b.run_compiled(&pkt).expect("warm");
+        let insns0 = b.k.m.insns();
+        for _ in 0..iters {
+            b.run_compiled(&pkt).expect("run");
+        }
+        b.k.m.insns() - insns0
+    });
+    (insns.iter().sum(), t.elapsed().as_secs_f64())
+}
+
+/// Chaos workload sharded: the campaign's own episode fan-out
+/// ([`CampaignConfig::jobs`](chaos::campaign::CampaignConfig::jobs)).
+fn scaling_chaos(steps: u32, jobs: usize) -> (u64, f64) {
+    let cfg = chaos::campaign::CampaignConfig {
+        seed: 0xBE7C_4A05,
+        steps,
+        probe_interval: 0,
+        jobs,
+        ..chaos::campaign::CampaignConfig::default()
+    };
+    let t = std::time::Instant::now();
+    let report = chaos::campaign::run(&cfg);
+    (report.guest_insns, t.elapsed().as_secs_f64())
+}
+
+/// Web-server workload sharded: [`webserver::run_live_sharded`] request
+/// groups, each on a replica server.
+fn scaling_webserver(shards: u32, requests: u32, pool: parex::Pool) -> (u64, f64) {
+    let make = || {
+        let mut s = WebServer::new()?;
+        let cube = Assembler::assemble(
+            "cube:\n\
+             mov eax, [esp+4]\n\
+             imul eax, [esp+4]\n\
+             imul eax, [esp+4]\n\
+             ret\n",
+        )
+        .unwrap();
+        s.add_dynamic("/cube", &cube, "cube")?;
+        Ok(s)
+    };
+    let t = std::time::Instant::now();
+    let (_, stats) = webserver::run_live_sharded(
+        make,
+        ExecModel::LibCgiProtected,
+        "/cube?n=7",
+        requests,
+        0xAB12,
+        shards,
+        pool,
+    )
+    .expect("sharded live run");
+    let insns: u64 = stats.iter().map(|s| s.cycles).sum();
+    // `cycles` is the simulated-cycle counter; the guest work metric for
+    // scaling only needs to be worker-count invariant and proportional
+    // to the simulated work, which cycles are.
+    (insns, t.elapsed().as_secs_f64())
+}
+
+/// Measures the sharded workloads at each worker count in `workers`,
+/// with explicit shard/iteration counts (exposed for cheap tests; the
+/// `sim_throughput` binary uses [`measure_scaling`]).
+pub fn measure_scaling_with(
+    shards: u32,
+    figure7_iters: u32,
+    chaos_steps: u32,
+    webserver_reqs: u32,
+    workers: &[usize],
+) -> Vec<ScalingPoint> {
+    let mut points = Vec::new();
+    for &w in workers {
+        let pool = parex::Pool::new(w);
+        let (insns, secs) = scaling_figure7(shards, figure7_iters, pool);
+        points.push(ScalingPoint {
+            workload: "figure7",
+            workers: w,
+            shards,
+            guest_insns: insns,
+            host_secs: secs,
+        });
+        let (insns, secs) = scaling_chaos(chaos_steps, w);
+        points.push(ScalingPoint {
+            workload: "chaos",
+            workers: w,
+            shards: chaos_steps.div_ceil(chaos::campaign::CampaignConfig::default().episode_len),
+            guest_insns: insns,
+            host_secs: secs,
+        });
+        let (insns, secs) = scaling_webserver(shards, webserver_reqs, pool);
+        points.push(ScalingPoint {
+            workload: "webserver",
+            workers: w,
+            shards,
+            guest_insns: insns,
+            host_secs: secs,
+        });
+    }
+    points
+}
+
+/// Measures worker scaling at 1/2/4/8 workers; `scale` multiplies the
+/// per-shard work (1 = the CI `--quick` run).
+pub fn measure_scaling(scale: u32) -> Vec<ScalingPoint> {
+    let s = scale.max(1);
+    measure_scaling_with(16, 250 * s, 300 * s, 240 * s, &[1, 2, 4, 8])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -808,6 +955,22 @@ mod tests {
             assert!(p.fast_insns > 0, "{}: no guest work", p.workload);
             assert_eq!(p.fast_insns, p.base_insns, "{}", p.workload);
             assert!(p.fast_ips() > 0.0 && p.base_ips() > 0.0);
+        }
+    }
+
+    #[test]
+    fn scaling_workloads_do_identical_guest_work_at_any_worker_count() {
+        let pts = measure_scaling_with(4, 20, 30, 16, &[1, 4]);
+        assert_eq!(pts.len(), 6);
+        for w in ["figure7", "chaos", "webserver"] {
+            let insns: Vec<u64> = pts
+                .iter()
+                .filter(|p| p.workload == w)
+                .map(|p| p.guest_insns)
+                .collect();
+            assert_eq!(insns.len(), 2, "{w}");
+            assert_eq!(insns[0], insns[1], "{w}: sharded work must be invariant");
+            assert!(insns[0] > 0, "{w}: no guest work");
         }
     }
 

@@ -8,7 +8,14 @@
 //! episodes possible); within an episode the kernel is long-lived so
 //! faults, quarantines and injections interact.
 //!
-//! After every step the [`StateOracle`](crate::oracle::StateOracle)
+//! Episodes are also the campaign's unit of parallelism: episode *i*
+//! draws from the positional stream `SeedRng::stream(seed, i)` and owns
+//! a private kernel, so [`CampaignConfig::jobs`] can fan episodes across
+//! a [`parex::Pool`] with the reports merged back in episode order.
+//! The report is byte-identical for every `jobs` value — the
+//! determinism suite asserts `jobs = 1` against `jobs = 8`.
+//!
+//! After every step the [`StateOracle`]
 //! re-checks the structural §6 invariants; at intervals the behavioural
 //! probes (fork/exec, syscall rejection, timer abort) run on scratch
 //! kernels. Any violation — including a host panic, which the driver
@@ -20,7 +27,7 @@ use std::panic::{self, AssertUnwindSafe};
 use minikernel::Kernel;
 use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
 use palladium::supervisor::{RestartPolicy, SupervisedId, SupervisedState, Supervisor};
-use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp, PalError};
+use palladium::user_ext::{DlopenOptions, ExtCallError, ExtensibleApp, PalError};
 use seedrng::SeedRng;
 use x86sim::mem::PAGE_SIZE;
 
@@ -48,6 +55,11 @@ pub struct CampaignConfig {
     /// identical either way (asserted by the determinism tests); the
     /// throughput benchmark flips it to measure the speedup.
     pub predecode: bool,
+    /// Worker threads to fan episodes across (1 = run them inline, in
+    /// order, on the calling thread). Any value yields a byte-identical
+    /// report: episodes draw from positional per-episode RNG streams and
+    /// the per-episode results are merged in episode order.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -59,6 +71,7 @@ impl Default for CampaignConfig {
             cycle_limit: 20_000,
             probe_interval: 500,
             predecode: true,
+            jobs: 1,
         }
     }
 }
@@ -156,7 +169,7 @@ impl Episode {
         k.m.host_write_u32(canary, CANARY);
         let oracle = StateOracle::new(&k, canary, CANARY);
         let h = app
-            .seg_dlopen(&mut k, &gen::benign_object(77), DlOptions::default())
+            .dlopen(&mut k, &gen::benign_object(77), &DlopenOptions::new())
             .map_err(|e| format!("benign: {e}"))?;
         let benign_fn = app
             .seg_dlsym(&mut k, h, "entry")
@@ -283,7 +296,7 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
         // --- adversarial SPL 3 extension: load and run -------------------
         0..=2 => {
             let obj = gen::user_ext_object(r);
-            match ep.app.seg_dlopen(&mut ep.k, &obj, DlOptions::default()) {
+            match ep.app.dlopen(&mut ep.k, &obj, &DlopenOptions::new()) {
                 Ok(h) => match ep.app.seg_dlsym(&mut ep.k, h, "entry") {
                     Ok(f) => {
                         ep.user_pool.push(f);
@@ -320,7 +333,7 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
             let (kind, obj) = corrupt::corrupted_object(r);
             let action = format!("corrupt-{}", kind.tag());
             if r.gen_bool(0.5) {
-                match ep.app.seg_dlopen(&mut ep.k, &obj, DlOptions::default()) {
+                match ep.app.dlopen(&mut ep.k, &obj, &DlopenOptions::new()) {
                     Ok(h) => match ep.app.seg_dlsym(&mut ep.k, h, "entry") {
                         Ok(f) => {
                             let res = ep.app.call_extension(&mut ep.k, f, 0);
@@ -348,7 +361,7 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
                     let probe = asm86::Assembler::assemble("entry:\ncall strlen\nret\n").unwrap();
                     let h = ep
                         .app
-                        .seg_dlopen(&mut ep.k, &probe, DlOptions::default())
+                        .dlopen(&mut ep.k, &probe, &DlopenOptions::new())
                         .ok()?;
                     ep.app.got_page(h).ok().flatten()
                 });
@@ -362,7 +375,7 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
                 Some(g) => {
                     let target = g + r.gen_range(0, PAGE_SIZE) / 4 * 4;
                     let obj = gen::store_to_object(target);
-                    match ep.app.seg_dlopen(&mut ep.k, &obj, DlOptions::default()) {
+                    match ep.app.dlopen(&mut ep.k, &obj, &DlopenOptions::new()) {
                         Ok(h) => match ep.app.seg_dlsym(&mut ep.k, h, "entry") {
                             Ok(f) => {
                                 let res = ep.app.call_extension(&mut ep.k, f, 0);
@@ -434,54 +447,64 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
     }
 }
 
-/// Runs a campaign to completion.
-pub fn run(cfg: &CampaignConfig) -> CampaignReport {
-    let mut rng = SeedRng::new(cfg.seed);
-    let mut report = CampaignReport::default();
-    let mut episode: Option<Episode> = None;
-    let mut episode_idx = 0u32;
+/// One episode's slice of the report, merged in episode order by
+/// [`run`].
+#[derive(Debug, Default)]
+struct EpisodeOutput {
+    events: Vec<Event>,
+    outcomes: BTreeMap<String, u64>,
+    violations: Vec<String>,
+    steps_run: u32,
+    probes_run: u32,
+    host_panics: u32,
+    quarantines: u64,
+    kext_aborts: u64,
+    uext_aborts: u64,
+    restarts: u64,
+    pages_reclaimed: u64,
+    guest_insns: u64,
+}
 
-    // Campaign steps run under catch_unwind: a host panic is the worst
-    // possible audit failure and must be recorded, not crash the driver.
-    let prev_hook = panic::take_hook();
-    panic::set_hook(Box::new(|_| {}));
+/// Runs episode `episode_idx` over global steps `start..start + len`.
+///
+/// Everything the episode does is a function of `(cfg, episode_idx)`
+/// alone: its RNG is the positional stream `stream(cfg.seed, idx)`, its
+/// kernel is freshly booted, and it never observes another episode. That
+/// is what lets [`run`] execute episodes on any worker in any order and
+/// still merge a byte-identical report.
+fn run_episode(cfg: &CampaignConfig, episode_idx: u32, start: u32, len: u32) -> EpisodeOutput {
+    let mut out = EpisodeOutput::default();
+    let mut rng = SeedRng::stream(cfg.seed, u64::from(episode_idx));
 
-    for stepno in 0..cfg.steps {
-        // Episode rollover.
-        if stepno % cfg.episode_len == 0 {
-            // Every sixth episode runs under memory pressure: a bounded
-            // pool, further squeezed below so allocation failures surface
-            // mid-campaign ("OOM at touch").
-            let oom = episode_idx % 6 == 5;
-            let pool = if oom { Some(4 * 1024 * 1024) } else { None };
-            match Episode::new(cfg, pool) {
-                Ok(mut ep) => {
-                    if oom {
-                        let keep = rng.gen_range(0, 48);
-                        inject::exhaust_frames(&mut ep.k, keep);
-                    }
-                    episode = Some(ep);
-                }
-                Err(e) => {
-                    // Setup can only fail under memory pressure; that is
-                    // itself a structured outcome, not a violation.
-                    report.events.push(Event {
-                        step: stepno,
-                        action: "episode-setup".into(),
-                        outcome: format!("failed:{e}"),
-                    });
-                    episode = None;
-                }
+    // Every sixth episode runs under memory pressure: a bounded pool,
+    // further squeezed below so allocation failures surface mid-campaign
+    // ("OOM at touch").
+    let oom = episode_idx % 6 == 5;
+    let pool = if oom { Some(4 * 1024 * 1024) } else { None };
+    let mut episode = match Episode::new(cfg, pool) {
+        Ok(mut ep) => {
+            if oom {
+                let keep = rng.gen_range(0, 48);
+                inject::exhaust_frames(&mut ep.k, keep);
             }
-            episode_idx += 1;
+            Some(ep)
         }
+        Err(e) => {
+            // Setup can only fail under memory pressure; that is itself a
+            // structured outcome, not a violation.
+            out.events.push(Event {
+                step: start,
+                action: "episode-setup".into(),
+                outcome: format!("failed:{e}"),
+            });
+            None
+        }
+    };
 
+    for stepno in start..start + len {
         let Some(ep) = episode.as_mut() else {
-            *report
-                .outcomes
-                .entry("skipped-no-episode".into())
-                .or_insert(0) += 1;
-            report.steps_run += 1;
+            *out.outcomes.entry("skipped-no-episode".into()).or_insert(0) += 1;
+            out.steps_run += 1;
             continue;
         };
 
@@ -495,63 +518,104 @@ pub fn run(cfg: &CampaignConfig) -> CampaignReport {
         }));
         match caught {
             Ok((action, outcome, violations)) => {
-                *report.outcomes.entry(outcome.clone()).or_insert(0) += 1;
-                report.events.push(Event {
+                *out.outcomes.entry(outcome.clone()).or_insert(0) += 1;
+                out.events.push(Event {
                     step: stepno,
                     action,
                     outcome,
                 });
                 for v in violations {
-                    report.violations.push(format!("step {stepno}: {v}"));
+                    out.violations.push(format!("step {stepno}: {v}"));
                 }
             }
             Err(_) => {
-                report.host_panics += 1;
-                report
-                    .violations
+                out.host_panics += 1;
+                out.violations
                     .push(format!("step {stepno}: host panic caught"));
-                report.events.push(Event {
+                out.events.push(Event {
                     step: stepno,
                     action: "step".into(),
                     outcome: "host-panic".into(),
                 });
-                // The half-mutated world is unusable; start fresh.
+                // The half-mutated world is unusable; the rest of the
+                // episode's steps are skipped.
                 episode = None;
             }
         }
-        report.steps_run += 1;
+        out.steps_run += 1;
 
-        // Behavioural probes on scratch kernels.
+        // Behavioural probes on scratch kernels. They draw nothing from
+        // the episode stream, so their cadence is on *global* step
+        // numbers, exactly as in a serial run.
         if cfg.probe_interval != 0 && (stepno + 1) % cfg.probe_interval == 0 {
             for probe in [
                 oracle::probe_fork_exec as fn() -> Result<(), oracle::Violation>,
                 oracle::probe_syscall_rejection,
             ] {
                 if let Err(v) = probe() {
-                    report.violations.push(format!("step {stepno}: {v}"));
+                    out.violations.push(format!("step {stepno}: {v}"));
                 }
             }
             if let Err(v) = oracle::probe_timer_abort(cfg.cycle_limit) {
-                report.violations.push(format!("step {stepno}: {v}"));
+                out.violations.push(format!("step {stepno}: {v}"));
             }
-            report.probes_run += 1;
-        }
-
-        // Roll up counters from the episode (it may be dropped at the
-        // next rollover).
-        if let Some(ep) = episode.as_ref() {
-            if stepno % cfg.episode_len == cfg.episode_len - 1 || stepno + 1 == cfg.steps {
-                report.quarantines += ep.kx.quarantines;
-                report.kext_aborts += ep.kx.aborts;
-                report.uext_aborts += ep.app.aborted_calls;
-                report.guest_insns += ep.k.m.insns();
-                report.restarts += ep.sup.restarts;
-                report.pages_reclaimed += ep.sup.pages_reclaimed;
-            }
+            out.probes_run += 1;
         }
     }
 
+    // Roll up counters from the episode's world. A panicking step drops
+    // the half-mutated world, counters included.
+    if let Some(ep) = episode.as_ref() {
+        out.quarantines += ep.kx.quarantines;
+        out.kext_aborts += ep.kx.aborts;
+        out.uext_aborts += ep.app.aborted_calls;
+        out.guest_insns += ep.k.m.insns();
+        out.restarts += ep.sup.restarts;
+        out.pages_reclaimed += ep.sup.pages_reclaimed;
+    }
+    out
+}
+
+/// Runs a campaign to completion, fanning episodes across
+/// [`CampaignConfig::jobs`] workers and merging the per-episode results
+/// in episode order.
+pub fn run(cfg: &CampaignConfig) -> CampaignReport {
+    let episode_len = cfg.episode_len.max(1);
+    let episodes: Vec<(u32, u32, u32)> = (0..cfg.steps.div_ceil(episode_len))
+        .map(|i| {
+            let start = i * episode_len;
+            (i, start, episode_len.min(cfg.steps - start))
+        })
+        .collect();
+
+    // Campaign steps run under catch_unwind: a host panic is the worst
+    // possible audit failure and must be recorded, not crash the driver.
+    // The hook is process-global, so it is installed once around the
+    // whole fan-out rather than per worker.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let outputs = parex::Pool::new(cfg.jobs).run_ordered(episodes, |_, (idx, start, len)| {
+        run_episode(cfg, idx, start, len)
+    });
     panic::set_hook(prev_hook);
+
+    let mut report = CampaignReport::default();
+    for o in outputs {
+        report.steps_run += o.steps_run;
+        report.events.extend(o.events);
+        for (tag, n) in o.outcomes {
+            *report.outcomes.entry(tag).or_insert(0) += n;
+        }
+        report.violations.extend(o.violations);
+        report.probes_run += o.probes_run;
+        report.host_panics += o.host_panics;
+        report.quarantines += o.quarantines;
+        report.kext_aborts += o.kext_aborts;
+        report.uext_aborts += o.uext_aborts;
+        report.restarts += o.restarts;
+        report.pages_reclaimed += o.pages_reclaimed;
+        report.guest_insns += o.guest_insns;
+    }
     report
 }
 

@@ -29,7 +29,7 @@ use asm86::Assembler;
 use minikernel::layout::sys;
 use minikernel::{Budget, Kernel, Outcome, USER_TEXT};
 use palladium::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
-use palladium::user_ext::{DlOptions, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtensibleApp};
 use x86sim::desc::Descriptor;
 use x86sim::paging::{get_pte, pte};
 
@@ -293,13 +293,13 @@ pub fn probe_syscall_rejection() -> Result<(), Violation> {
     let mut app = ExtensibleApp::new(&mut k).map_err(|e| fail(format!("setup: {e}")))?;
     // The extension tries to exit(7) the whole task via a raw syscall.
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &asm(&format!(
                 "entry:\nmov eax, {exit}\nmov ebx, 7\nint 0x80\nmov eax, 1\nret\n",
                 exit = sys::EXIT
             )),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .map_err(|e| fail(format!("dlopen: {e}")))?;
     let f = app
@@ -315,7 +315,7 @@ pub fn probe_syscall_rejection() -> Result<(), Violation> {
     // The call itself returns normally (the extension survives its
     // -EPERM and falls through to ret) — and the app can still work.
     let h2 = app
-        .seg_dlopen(&mut k, &gen::benign_object(55), DlOptions::default())
+        .dlopen(&mut k, &gen::benign_object(55), &DlopenOptions::new())
         .map_err(|e| fail(format!("post dlopen: {e}")))?;
     let ok = app
         .seg_dlsym(&mut k, h2, "entry")

@@ -120,7 +120,7 @@ pub struct Kernel {
     pub extension_cycle_limit: u64,
     /// The most recent fault the kernel turned into a signal (not the
     /// demand-paging faults it services transparently). Carries the full
-    /// structured [`FaultCause`], so runtimes that learn of an abort
+    /// structured [`FaultCause`](x86sim::FaultCause), so runtimes that learn of an abort
     /// through a guest trampoline (which can only pass two registers) can
     /// still report *why* containment fired.
     pub last_fault: Option<Fault>,

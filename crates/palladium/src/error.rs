@@ -1,0 +1,150 @@
+//! The unified error surface: [`Error`].
+//!
+//! Every Palladium subsystem keeps its own precise error enum — the
+//! user-level runtime's [`PalError`], the kernel-extension manager's
+//! [`KextError`], the supervisor's [`SupervisorError`], the static
+//! verifier's [`VerifyError`] and the protected-call outcome
+//! [`ExtCallError`] — but callers composing several subsystems (the
+//! [`Session`](crate::Session) façade, examples, drivers) should not
+//! have to thread five error types through their signatures. [`Error`]
+//! is the single top-level enum they all convert into via `From`/`?`.
+//!
+//! ## Mapping
+//!
+//! | Source type | `Error` variant | Notes |
+//! |---|---|---|
+//! | [`PalError`] | [`Error::Pal`] | except `PalError::Verify(e)`, which is hoisted to [`Error::Verify`] so one match arm catches every verifier rejection |
+//! | [`KextError`] | [`Error::Kext`] | except `KextError::Verify(e)`, hoisted to [`Error::Verify`] likewise |
+//! | [`SupervisorError`] | [`Error::Supervisor`] | |
+//! | [`VerifyError`] | [`Error::Verify`] | |
+//! | [`ExtCallError`] | [`Error::Call`] | an *aborted* protected call — the application survived |
+//! | [`ShmError`] | [`Error::Shm`] | |
+//!
+//! The hoisting rule means `matches!(e, Error::Verify(_))` is the
+//! complete "rejected by the static verifier" test, no matter whether
+//! the rejection came from `dlopen` (user level) or `insmod` (kernel
+//! level).
+
+use crate::kernel_ext::KextError;
+use crate::shm::ShmError;
+use crate::supervisor::SupervisorError;
+use crate::user_ext::{ExtCallError, PalError};
+use verifier::VerifyError;
+
+/// Any error a Palladium API can return (see the module docs for the
+/// conversion mapping).
+#[derive(Debug)]
+pub enum Error {
+    /// User-level runtime failure (load, link, symbol, kernel interface).
+    Pal(PalError),
+    /// Kernel-extension mechanism failure (`insmod`/`invoke`/segments).
+    Kext(KextError),
+    /// Supervision failure (staging, restart, reclamation).
+    Supervisor(SupervisorError),
+    /// An image was rejected by load-time static verification, at either
+    /// privilege level.
+    Verify(VerifyError),
+    /// A protected extension call was aborted (fault / time limit); the
+    /// hosting application survived.
+    Call(ExtCallError),
+    /// Shared-memory area failure.
+    Shm(ShmError),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Pal(e) => write!(f, "{e}"),
+            Error::Kext(e) => write!(f, "{e}"),
+            Error::Supervisor(e) => write!(f, "{e}"),
+            Error::Verify(e) => write!(f, "extension rejected by the verifier: {e}"),
+            Error::Call(e) => write!(f, "{e}"),
+            Error::Shm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Pal(e) => Some(e),
+            Error::Kext(_) => None, // KextError does not implement Error
+            Error::Supervisor(_) => None,
+            Error::Verify(e) => Some(e),
+            Error::Call(_) => None,
+            Error::Shm(e) => Some(e),
+        }
+    }
+}
+
+impl From<PalError> for Error {
+    fn from(e: PalError) -> Error {
+        match e {
+            PalError::Verify(v) => Error::Verify(v),
+            other => Error::Pal(other),
+        }
+    }
+}
+
+impl From<KextError> for Error {
+    fn from(e: KextError) -> Error {
+        match e {
+            KextError::Verify(v) => Error::Verify(v),
+            other => Error::Kext(other),
+        }
+    }
+}
+
+impl From<SupervisorError> for Error {
+    fn from(e: SupervisorError) -> Error {
+        Error::Supervisor(e)
+    }
+}
+
+impl From<VerifyError> for Error {
+    fn from(e: VerifyError) -> Error {
+        Error::Verify(e)
+    }
+}
+
+impl From<ExtCallError> for Error {
+    fn from(e: ExtCallError) -> Error {
+        Error::Call(e)
+    }
+}
+
+impl From<ShmError> for Error {
+    fn from(e: ShmError) -> Error {
+        Error::Shm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_rejections_are_hoisted_from_both_levels() {
+        let v = VerifyError::Privileged {
+            offset: 0,
+            mnemonic: "hlt",
+        };
+        let from_pal: Error = PalError::Verify(v.clone()).into();
+        let from_kext: Error = KextError::Verify(v.clone()).into();
+        let direct: Error = v.into();
+        for e in [from_pal, from_kext, direct] {
+            assert!(matches!(e, Error::Verify(_)), "{e}");
+        }
+    }
+
+    #[test]
+    fn plain_variants_round_trip() {
+        let e: Error = PalError::Closed.into();
+        assert!(matches!(e, Error::Pal(PalError::Closed)));
+        let e: Error = KextError::TimeLimit.into();
+        assert!(matches!(e, Error::Kext(KextError::TimeLimit)));
+        let e: Error = ExtCallError::TimeLimit.into();
+        assert!(matches!(e, Error::Call(ExtCallError::TimeLimit)));
+        assert!(!format!("{e}").is_empty());
+    }
+}

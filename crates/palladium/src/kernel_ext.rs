@@ -155,6 +155,60 @@ impl Default for SegmentConfig {
     }
 }
 
+impl SegmentConfig {
+    /// A fluent builder over the default configuration:
+    ///
+    /// ```
+    /// use palladium::SegmentConfig;
+    ///
+    /// let config = SegmentConfig::builder()
+    ///     .verify(true)
+    ///     .quarantine_threshold(1) // routers: fail closed on first fault
+    ///     .build();
+    /// assert!(config.verify);
+    /// ```
+    pub fn builder() -> SegmentConfigBuilder {
+        SegmentConfigBuilder {
+            config: SegmentConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`SegmentConfig`] ([`SegmentConfig::builder`]).
+///
+/// The built configuration always starts from the defaults; `verified`
+/// is deliberately absent — attestations are produced by `insmod`, not
+/// supplied by callers.
+#[derive(Debug, Clone)]
+pub struct SegmentConfigBuilder {
+    config: SegmentConfig,
+}
+
+impl SegmentConfigBuilder {
+    /// Sets [`SegmentConfig::quarantine_threshold`].
+    pub fn quarantine_threshold(mut self, threshold: u32) -> SegmentConfigBuilder {
+        self.config.quarantine_threshold = threshold;
+        self
+    }
+
+    /// Sets [`SegmentConfig::recycle_descriptors`].
+    pub fn recycle_descriptors(mut self, recycle: bool) -> SegmentConfigBuilder {
+        self.config.recycle_descriptors = recycle;
+        self
+    }
+
+    /// Sets [`SegmentConfig::verify`].
+    pub fn verify(mut self, verify: bool) -> SegmentConfigBuilder {
+        self.config.verify = verify;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> SegmentConfig {
+        self.config
+    }
+}
+
 /// Why a name is absent from the Extension Function Table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tombstone {
@@ -319,15 +373,6 @@ impl KernelExtensions {
     /// [`create_segment`](Self::create_segment).
     pub fn default_config(&self) -> SegmentConfig {
         self.default_config
-    }
-
-    /// Sets the quarantine threshold for *future* segments.
-    #[deprecated(
-        note = "pass a `SegmentConfig` to `create_segment_with` — the threshold is per-segment; \
-                this global setter will be removed once the remaining callers migrate"
-    )]
-    pub fn set_quarantine_threshold(&mut self, threshold: u32) {
-        self.default_config.quarantine_threshold = threshold;
     }
 
     /// Creates an extension segment of `pages` pages at SPL 1 inside the

@@ -33,28 +33,39 @@
 //!   total): per-segment resource ledgers unwound transactionally on
 //!   fault/quarantine/`rmmod`/destroy, a kernel-side leak audit, and
 //!   restart policies with exponential backoff and permanent tombstones.
+//! * [`session`] — the [`Session`] façade: a booted kernel plus its
+//!   promoted application behind one load/resolve/call/close API, with
+//!   verification, attestation and predecode as [`DlopenOptions`].
+//! * [`error`] — the unified [`Error`] enum every subsystem error
+//!   converts into (see its module docs for the mapping table).
 
 pub mod dl;
+pub mod error;
 pub mod guestlib;
 pub mod kernel_ext;
 pub mod mobile;
 pub mod protmem;
 pub mod segdb;
+pub mod session;
 pub mod shm;
 pub mod stdlib;
 pub mod supervisor;
 pub mod trampoline;
 pub mod user_ext;
 
-pub use kernel_ext::{DispatchStats, ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
+pub use error::Error;
+pub use kernel_ext::{
+    DispatchStats, ExtSegmentId, KernelExtensions, KextError, SegmentConfig, SegmentConfigBuilder,
+};
 pub use mobile::{AppletHost, AppletId, AppletOutcome, AppletQuota};
 pub use segdb::SegDb;
+pub use session::Session;
 pub use shm::{SharedArea, ShmError};
 pub use supervisor::{
     LedgerEntry, ModuleImage, ReclaimRecord, ResourceAudit, ResourceLedger, RestartPolicy,
     SupervisedId, SupervisedState, Supervisor, SupervisorError,
 };
-pub use user_ext::{ExtCallError, ExtensibleApp, ExtensionHandle, PalError};
+pub use user_ext::{DlopenOptions, ExtCallError, ExtensibleApp, ExtensionHandle, PalError};
 pub use verifier::{Attestation, VerifyError, VerifyPolicy};
 
 #[cfg(test)]

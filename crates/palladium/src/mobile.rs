@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use asm86::{decode_program, Object};
 use minikernel::Kernel;
 
-use crate::user_ext::{DlOptions, ExtCallError, ExtensibleApp, ExtensionHandle, PalError};
+use crate::user_ext::{DlopenOptions, ExtCallError, ExtensibleApp, ExtensionHandle, PalError};
 
 /// Per-applet resource limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,14 +201,7 @@ impl AppletHost {
 
         let handle = self
             .app
-            .seg_dlopen(
-                k,
-                obj,
-                DlOptions {
-                    stack_pages: 4,
-                    heap_pages: 4,
-                },
-            )
+            .dlopen(k, obj, &DlopenOptions::new().stack_pages(4).heap_pages(4))
             .map_err(|e| AdmissionError::Load(e.to_string()))?;
         let entry = self
             .app

@@ -171,7 +171,7 @@ pub fn in_domain(trace: &Trace, cpl: u8) -> Vec<TraceRecord> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::user_ext::{DlOptions, ExtensibleApp};
+    use crate::user_ext::{DlopenOptions, ExtensibleApp};
     use asm86::Assembler;
     use minikernel::Kernel;
 
@@ -198,7 +198,7 @@ mod tests {
         let mut k = Kernel::boot();
         let mut app = ExtensibleApp::new(&mut k).unwrap();
         let ext = Assembler::assemble("f:\nmov eax, [esp+4]\nadd eax, 1\nret\n").unwrap();
-        let h = app.seg_dlopen(&mut k, &ext, DlOptions::default()).unwrap();
+        let h = app.dlopen(&mut k, &ext, &DlopenOptions::new()).unwrap();
         let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
         app.call_extension(&mut k, prep, 0).unwrap(); // warm
 
@@ -235,7 +235,7 @@ mod tests {
         let mut app = ExtensibleApp::new(&mut k).unwrap();
         let ext = Assembler::assemble("f:\nmov eax, [esp+4]\nadd eax, 1\nret\n").unwrap();
         let h = app
-            .seg_dlopen_verified(&mut k, &ext, DlOptions::default(), &["f"])
+            .dlopen(&mut k, &ext, &DlopenOptions::new().verify(&["f"]))
             .unwrap();
         let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
         app.call_extension(&mut k, prep, 0).unwrap(); // warm
@@ -276,7 +276,7 @@ mod tests {
         let mut k = Kernel::boot();
         let mut app = ExtensibleApp::new(&mut k).unwrap();
         let ext = Assembler::assemble("f:\nret\n").unwrap();
-        let h = app.seg_dlopen(&mut k, &ext, DlOptions::default()).unwrap();
+        let h = app.dlopen(&mut k, &ext, &DlopenOptions::new()).unwrap();
         let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
         app.call_extension(&mut k, prep, 0).unwrap();
         k.m.enable_trace(128);

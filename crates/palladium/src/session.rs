@@ -1,0 +1,143 @@
+//! [`Session`] — the one-stop front door to the user-level mechanism.
+//!
+//! The primitive API is deliberately explicit: callers boot a
+//! [`Kernel`], create an [`ExtensibleApp`] inside it, and thread
+//! `&mut Kernel` through every call. That is the right interface for
+//! drivers that also manage kernel extensions, supervisors and shared
+//! areas on the same kernel — and pure ceremony for the common case of
+//! "load an extension, call it, survive its bugs".
+//!
+//! `Session` owns the kernel and the promoted application together and
+//! re-exposes the load/resolve/call/close lifecycle with every error
+//! funnelled into the unified [`Error`] enum:
+//!
+//! ```
+//! use palladium::{DlopenOptions, Session};
+//!
+//! let mut s = Session::new().expect("boot");
+//! let ext = asm86::Assembler::assemble("double:\nmov eax, [esp+4]\nadd eax, eax\nret\n")
+//!     .unwrap();
+//! let h = s.dlopen(&ext, &DlopenOptions::new().verify(&["double"])).unwrap();
+//! let double = s.dlsym(h, "double").unwrap();
+//! assert_eq!(s.call(double, 21).unwrap(), 42);
+//! assert!(s.attestation(h).unwrap().is_some());
+//! ```
+//!
+//! Escape hatches ([`Session::kernel_mut`], [`Session::app_mut`],
+//! [`Session::into_parts`]) hand back the primitives whenever a caller
+//! outgrows the façade; a sharded driver does exactly that to own one
+//! `Session` per worker shard.
+
+use asm86::Object;
+use minikernel::Kernel;
+use verifier::Attestation;
+
+use crate::error::Error;
+use crate::user_ext::{DlopenOptions, ExtensibleApp, ExtensionHandle};
+
+/// A booted kernel plus its promoted extensible application.
+///
+/// See the [module docs](self) for the lifecycle and an example.
+#[derive(Debug)]
+pub struct Session {
+    k: Kernel,
+    app: ExtensibleApp,
+}
+
+impl Session {
+    /// Boots a fresh kernel and promotes an extensible application in it
+    /// (`init_PL`: the app moves to SPL 2, its writable pages to PPL 0).
+    pub fn new() -> Result<Session, Error> {
+        Session::with_kernel(Kernel::boot())
+    }
+
+    /// As [`new`](Self::new) but over a caller-configured kernel (memory
+    /// size, cycle limits, predecode mode already applied).
+    pub fn with_kernel(mut k: Kernel) -> Result<Session, Error> {
+        let app = ExtensibleApp::new(&mut k)?;
+        Ok(Session { k, app })
+    }
+
+    /// Loads an extension (the paper's `seg_dlopen`), with verification,
+    /// attestation and predecode governed by `opts`.
+    pub fn dlopen(&mut self, obj: &Object, opts: &DlopenOptions) -> Result<ExtensionHandle, Error> {
+        Ok(self.app.dlopen(&mut self.k, obj, opts)?)
+    }
+
+    /// Resolves a *function* symbol to its generated `Prepare` routine —
+    /// the only entry point protected calls should use (`seg_dlsym`).
+    pub fn dlsym(&mut self, h: ExtensionHandle, name: &str) -> Result<u32, Error> {
+        Ok(self.app.seg_dlsym(&mut self.k, h, name)?)
+    }
+
+    /// Resolves a *data* symbol to its raw address (plain `dlsym`; §4.4.2:
+    /// data pointers pass unswizzled).
+    pub fn data_symbol(&self, h: ExtensionHandle, name: &str) -> Result<u32, Error> {
+        Ok(self.app.dlsym(h, name)?)
+    }
+
+    /// Makes a protected call through the Figure 6 sequence. `prepare`
+    /// is a pointer returned by [`dlsym`](Self::dlsym); faults and
+    /// CPU-limit overruns abort the call ([`Error::Call`]) and the
+    /// application survives.
+    pub fn call(&mut self, prepare: u32, arg: u32) -> Result<u32, Error> {
+        Ok(self.app.call_extension(&mut self.k, prepare, arg)?)
+    }
+
+    /// Closes an extension: its pages are revoked and any later call
+    /// into it faults (`seg_dlclose`).
+    pub fn dlclose(&mut self, h: ExtensionHandle) -> Result<(), Error> {
+        Ok(self.app.seg_dlclose(&mut self.k, h)?)
+    }
+
+    /// The `Verified` attestation of an extension admitted through a
+    /// [`DlopenOptions::verify`] load, if any.
+    pub fn attestation(&self, h: ExtensionHandle) -> Result<Option<Attestation>, Error> {
+        Ok(self.app.attestation(h)?)
+    }
+
+    /// Loads the miniature shared libc (PPL 1), making its symbols
+    /// importable by later [`dlopen`](Self::dlopen)s.
+    pub fn load_libc(&mut self) -> Result<u32, Error> {
+        Ok(self.app.load_libc(&mut self.k)?)
+    }
+
+    /// Per-invocation CPU-time budget for protected calls (§4.5.2).
+    pub fn set_cycle_limit(&mut self, cycles: u64) {
+        self.k.extension_cycle_limit = cycles;
+    }
+
+    /// Baseline predecode mode of the simulator (the host-side fast
+    /// path; guest-visible behaviour is unchanged). Verified extensions
+    /// may still enable predecode eagerly per call unless their load
+    /// opted out via [`DlopenOptions::predecode`].
+    pub fn set_predecode(&mut self, on: bool) {
+        self.k.m.set_predecode(on);
+    }
+
+    /// The underlying kernel (cycle counters, stats, memory).
+    pub fn kernel(&self) -> &Kernel {
+        &self.k
+    }
+
+    /// Mutable access to the underlying kernel.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.k
+    }
+
+    /// The underlying extensible application (call counters, selectors).
+    pub fn app(&self) -> &ExtensibleApp {
+        &self.app
+    }
+
+    /// Mutable access to the underlying application.
+    pub fn app_mut(&mut self) -> &mut ExtensibleApp {
+        &mut self.app
+    }
+
+    /// Splits the session back into its primitives for callers that need
+    /// to drive the kernel and application separately.
+    pub fn into_parts(self) -> (Kernel, ExtensibleApp) {
+        (self.k, self.app)
+    }
+}

@@ -131,7 +131,7 @@ impl SharedArea {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::user_ext::{DlOptions, ExtensibleApp};
+    use crate::user_ext::{DlopenOptions, ExtensibleApp};
     use asm86::Assembler;
 
     fn setup() -> (Kernel, ExtensibleApp, SharedArea) {
@@ -203,7 +203,7 @@ mod tests {
              ret\n",
         )
         .unwrap();
-        let h = app.seg_dlopen(&mut k, &ext, DlOptions::default()).unwrap();
+        let h = app.dlopen(&mut k, &ext, &DlopenOptions::new()).unwrap();
         let f = app.seg_dlsym(&mut k, h, "upcase").unwrap();
         app.call_extension(&mut k, f, req).unwrap();
         assert_eq!(shm.read_cstr(&k, text).unwrap(), "PALLADIUM");

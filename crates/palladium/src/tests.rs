@@ -5,7 +5,7 @@ use asm86::Assembler;
 use minikernel::{Kernel, USER_TEXT};
 
 use crate::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
-use crate::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
+use crate::user_ext::{DlopenOptions, ExtCallError, ExtensibleApp};
 
 fn obj(src: &str) -> asm86::Object {
     Assembler::assemble(src).expect("asm")
@@ -18,7 +18,7 @@ fn null_extension_call_round_trip() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(&mut k, &obj("null_fn:\nret\n"), DlOptions::default())
+        .dlopen(&mut k, &obj("null_fn:\nret\n"), &DlopenOptions::new())
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "null_fn").unwrap();
 
@@ -34,14 +34,14 @@ fn extension_computes_a_result() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("triple_plus_one:\n\
                  mov eax, [esp+4]\n\
                  imul eax, 3\n\
                  inc eax\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "triple_plus_one").unwrap();
@@ -56,7 +56,7 @@ fn warm_protected_call_cost_is_deterministic() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(&mut k, &obj("null_fn:\nret\n"), DlOptions::default())
+        .dlopen(&mut k, &obj("null_fn:\nret\n"), &DlopenOptions::new())
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "null_fn").unwrap();
 
@@ -81,7 +81,7 @@ fn extension_cannot_touch_application_memory() {
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     // The app image page (PPL 0 after init_PL) is the target.
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj(&format!(
                 "evil:\n\
@@ -89,7 +89,7 @@ fn extension_cannot_touch_application_memory() {
                  mov [{USER_TEXT}], eax\n\
                  ret\n"
             )),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "evil").unwrap();
@@ -109,7 +109,11 @@ fn extension_cannot_touch_application_memory() {
     assert_ne!(k.m.host_read(USER_TEXT, 4), vec![1, 0, 0, 0]);
 
     let h2 = app
-        .seg_dlopen(&mut k, &obj("ok:\nmov eax, 7\nret\n"), DlOptions::default())
+        .dlopen(
+            &mut k,
+            &obj("ok:\nmov eax, 7\nret\n"),
+            &DlopenOptions::new(),
+        )
         .unwrap();
     let prep2 = app.seg_dlsym(&mut k, h2, "ok").unwrap();
     assert_eq!(app.call_extension(&mut k, prep2, 0).unwrap(), 7);
@@ -120,10 +124,10 @@ fn extension_cannot_read_application_memory_either() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj(&format!("snoop:\nmov eax, [{USER_TEXT}]\nret\n")),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "snoop").unwrap();
@@ -138,10 +142,10 @@ fn extension_cannot_reach_kernel_space() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("probe:\nmov eax, [0xD0000000]\nret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "probe").unwrap();
@@ -158,7 +162,7 @@ fn runaway_extension_hits_time_limit() {
     k.extension_cycle_limit = 50_000;
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(&mut k, &obj("spin:\njmp spin\n"), DlOptions::default())
+        .dlopen(&mut k, &obj("spin:\njmp spin\n"), &DlopenOptions::new())
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "spin").unwrap();
     assert_eq!(
@@ -167,7 +171,7 @@ fn runaway_extension_hits_time_limit() {
     );
     // The app survives and can still call well-behaved extensions.
     let h2 = app
-        .seg_dlopen(&mut k, &obj("f:\nmov eax, 5\nret\n"), DlOptions::default())
+        .dlopen(&mut k, &obj("f:\nmov eax, 5\nret\n"), &DlopenOptions::new())
         .unwrap();
     let prep2 = app.seg_dlsym(&mut k, h2, "f").unwrap();
     assert_eq!(app.call_extension(&mut k, prep2, 0).unwrap(), 5);
@@ -182,7 +186,7 @@ fn shared_data_area_is_visible_to_both_sides() {
     // App-side (host) write; extension reads, increments, writes back.
     k.m.host_write_u32(shared, 41);
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("bump:\n\
                  mov ecx, [esp+4]\n\
@@ -190,7 +194,7 @@ fn shared_data_area_is_visible_to_both_sides() {
                  inc eax\n\
                  mov [ecx], eax\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "bump").unwrap();
@@ -210,14 +214,14 @@ fn extension_calls_shared_libc_directly() {
     // The extension imports strlen from the shared library; the call goes
     // through the PLT -> sealed GOT -> libc at PPL 1.
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("measure:\n\
                  push dword [esp+4]\n\
                  call strlen\n\
                  add esp, 4\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     assert!(app.got_page(h).unwrap().is_some(), "GOT was built");
@@ -234,7 +238,7 @@ fn libc_strrev_reverses_in_shared_area() {
     k.m.host_write(shared, b"abcdef");
 
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("rev6:\n\
                  push 6\n\
@@ -243,7 +247,7 @@ fn libc_strrev_reverses_in_shared_area() {
                  add esp, 8\n\
                  mov eax, 0\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "rev6").unwrap();
@@ -258,7 +262,7 @@ fn got_is_sealed_read_only() {
     app.load_libc(&mut k).unwrap();
 
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("pwn_got:\n\
                  mov ecx, [esp+4]     ; GOT address passed as arg\n\
@@ -268,7 +272,7 @@ fn got_is_sealed_read_only() {
                  uses_strlen:\n\
                  call strlen\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let got = app.got_page(h).unwrap().expect("has GOT");
@@ -284,13 +288,13 @@ fn extension_syscalls_are_rejected() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("try_syscall:\n\
                  mov eax, 20          ; getpid\n\
                  int 0x80\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "try_syscall").unwrap();
@@ -324,7 +328,7 @@ fn application_service_via_call_gate() {
     let gate = app.register_service(&mut k, syms["svc_impl"]).unwrap();
 
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("use_service:\n\
                  push dword [esp+4]\n\
@@ -332,7 +336,7 @@ fn application_service_via_call_gate() {
                  lcall 0, 0\n\
                  add esp, 4\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     // Patch the gate selector into the extension's lcall (a real extension
@@ -354,7 +358,7 @@ fn xmalloc_allocates_from_extension_heap() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("alloc2:\n\
                  push 16\n\
@@ -366,7 +370,7 @@ fn xmalloc_allocates_from_extension_heap() {
                  add esp, 4\n\
                  sub eax, esi\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "alloc2").unwrap();
@@ -374,7 +378,7 @@ fn xmalloc_allocates_from_extension_heap() {
 
     // The returned memory is writable by the extension.
     let h2 = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("alloc_use:\n\
                  push 64\n\
@@ -384,7 +388,7 @@ fn xmalloc_allocates_from_extension_heap() {
                  mov [eax], ecx\n\
                  mov eax, [eax]\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep2 = app.seg_dlsym(&mut k, h2, "alloc_use").unwrap();
@@ -396,7 +400,7 @@ fn seg_dlclose_revokes_the_extension() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(&mut k, &obj("f:\nmov eax, 9\nret\n"), DlOptions::default())
+        .dlopen(&mut k, &obj("f:\nmov eax, 9\nret\n"), &DlopenOptions::new())
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
     assert_eq!(app.call_extension(&mut k, prep, 0).unwrap(), 9);
@@ -416,10 +420,10 @@ fn dlsym_returns_raw_data_addresses() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("get:\nmov eax, [table]\nret\ntable:\n.dd 0x1234\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let table = app.dlsym(h, "table").unwrap();
@@ -803,9 +807,7 @@ fn service_stubs_make_services_plain_calls() {
          add esp, 8\n\
          ret\n");
     let merged = merge_objects(&[&ext, &stubs]).unwrap();
-    let h = app
-        .seg_dlopen(&mut k, &merged, DlOptions::default())
-        .unwrap();
+    let h = app.dlopen(&mut k, &merged, &DlopenOptions::new()).unwrap();
     let f = app.seg_dlsym(&mut k, h, "use_both").unwrap();
 
     // (21*2) + 5 = 47, computed across four protection-domain crossings.
@@ -840,9 +842,7 @@ fn multi_argument_services_see_gcc_layout() {
          add esp, 12\n\
          ret\n");
     let merged = merge_objects(&[&ext, &stubs]).unwrap();
-    let h = app
-        .seg_dlopen(&mut k, &merged, DlOptions::default())
-        .unwrap();
+    let h = app.dlopen(&mut k, &merged, &DlopenOptions::new()).unwrap();
     let f = app.seg_dlsym(&mut k, h, "entry").unwrap();
     // arg*6 + 7 with arg = 5.
     assert_eq!(app.call_extension(&mut k, f, 5).unwrap(), 37);
@@ -952,14 +952,14 @@ fn extension_cannot_rewrite_its_own_transfer_routine() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("vandal:\n\
                  mov ecx, [esp+4]       ; transfer address (passed in)\n\
                  mov eax, 0x90909090\n\
                  mov [ecx], eax\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "vandal").unwrap();
@@ -995,10 +995,10 @@ fn user_extension_cannot_reach_the_kernel_return_gate() {
 
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj(&format!("f:\nlcall {}, 0\nret\n", gate_sel.0)),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let prep = app.seg_dlsym(&mut k, h, "f").unwrap();
@@ -1018,18 +1018,18 @@ fn two_extensible_applications_coexist_in_one_kernel() {
     assert_ne!(app_a.tid, app_b.tid);
 
     let ha = app_a
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("f:\nmov eax, [esp+4]\nadd eax, 100\nret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let fa = app_a.seg_dlsym(&mut k, ha, "f").unwrap();
     let hb = app_b
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &obj("f:\nmov eax, [esp+4]\nimul eax, 2\nret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let fb = app_b.seg_dlsym(&mut k, hb, "f").unwrap();
@@ -1054,5 +1054,94 @@ fn two_extensible_applications_coexist_in_one_kernel() {
     assert_eq!(
         ga, gb,
         "same LDT slot in different tables — and still isolated"
+    );
+}
+
+// ---------- Session façade --------------------------------------------------
+
+#[test]
+fn session_full_lifecycle() {
+    use crate::error::Error;
+    use crate::session::Session;
+
+    let mut s = Session::new().unwrap();
+    let h = s
+        .dlopen(
+            &obj("inc:\nmov eax, [esp+4]\ninc eax\nret\n"),
+            &DlopenOptions::new().verify(&["inc"]),
+        )
+        .unwrap();
+    assert!(s.attestation(h).unwrap().is_some());
+    let inc = s.dlsym(h, "inc").unwrap();
+    assert_eq!(s.call(inc, 41).unwrap(), 42);
+
+    // Closing revokes the pages; a later call is aborted, not fatal.
+    s.dlclose(h).unwrap();
+    match s.call(inc, 1) {
+        Err(Error::Call(ExtCallError::Fault { .. })) => {}
+        other => panic!("call into a closed extension must fault, got {other:?}"),
+    }
+    assert_eq!(s.app().aborted_calls, 1);
+}
+
+#[test]
+fn session_verify_rejection_is_one_match_arm() {
+    use crate::error::Error;
+    use crate::session::Session;
+
+    let mut s = Session::new().unwrap();
+    let evil = obj(&format!("evil:\nmov eax, 1\nmov [{USER_TEXT}], eax\nret\n"));
+    match s.dlopen(&evil, &DlopenOptions::new().verify(&["evil"])) {
+        Err(Error::Verify(_)) => {}
+        other => panic!("expected Error::Verify, got {other:?}"),
+    }
+    // The rejected load was rolled back: a fresh load still works.
+    let h = s
+        .dlopen(&obj("id:\nmov eax, [esp+4]\nret\n"), &DlopenOptions::new())
+        .unwrap();
+    let id = s.dlsym(h, "id").unwrap();
+    assert_eq!(s.call(id, 7).unwrap(), 7);
+}
+
+#[test]
+fn session_matches_primitive_api_results() {
+    use crate::session::Session;
+
+    let src = "sq:\nmov eax, [esp+4]\nimul eax, eax\nret\n";
+
+    let mut s = Session::new().unwrap();
+    let h = s.dlopen(&obj(src), &DlopenOptions::new()).unwrap();
+    let sq = s.dlsym(h, "sq").unwrap();
+    let via_session: Vec<u32> = (0..8).map(|n| s.call(sq, n).unwrap()).collect();
+
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).unwrap();
+    let h = app
+        .dlopen(&mut k, &obj(src), &DlopenOptions::new())
+        .unwrap();
+    let sq = app.seg_dlsym(&mut k, h, "sq").unwrap();
+    let via_primitives: Vec<u32> = (0..8)
+        .map(|n| app.call_extension(&mut k, sq, n).unwrap())
+        .collect();
+
+    assert_eq!(via_session, via_primitives);
+}
+
+#[test]
+fn segment_config_builder_matches_manual_construction() {
+    let built = SegmentConfig::builder()
+        .quarantine_threshold(5)
+        .recycle_descriptors(false)
+        .verify(true)
+        .build();
+    assert_eq!(built.quarantine_threshold, 5);
+    assert!(!built.recycle_descriptors);
+    assert!(built.verify);
+    assert!(built.verified.is_none());
+
+    let dflt = SegmentConfig::builder().build();
+    assert_eq!(
+        dflt.quarantine_threshold,
+        SegmentConfig::default().quarantine_threshold
     );
 }

@@ -53,7 +53,7 @@ pub enum PalError {
     /// A kernel interface returned an error.
     Kernel(&'static str, i32),
     /// The extension image failed load-time static verification
-    /// ([`ExtensibleApp::seg_dlopen_verified`]); it was unloaded.
+    /// (a [`DlopenOptions::verify`] load); it was unloaded.
     Verify(verifier::VerifyError),
     /// The extension handle was already closed.
     Closed,
@@ -130,6 +130,7 @@ impl core::fmt::Display for ExtCallError {
 pub struct ExtensionHandle(usize);
 
 /// Options for [`ExtensibleApp::seg_dlopen`].
+#[deprecated(note = "use `DlopenOptions` (builder) with `ExtensibleApp::dlopen`")]
 #[derive(Debug, Clone, Copy)]
 pub struct DlOptions {
     /// Extension stack pages.
@@ -138,12 +139,104 @@ pub struct DlOptions {
     pub heap_pages: u32,
 }
 
+#[allow(deprecated)]
 impl Default for DlOptions {
     fn default() -> DlOptions {
         DlOptions {
             stack_pages: 4,
             heap_pages: 4,
         }
+    }
+}
+
+#[allow(deprecated)]
+impl From<DlOptions> for DlopenOptions {
+    fn from(o: DlOptions) -> DlopenOptions {
+        DlopenOptions::new()
+            .stack_pages(o.stack_pages)
+            .heap_pages(o.heap_pages)
+    }
+}
+
+/// Options for [`ExtensibleApp::dlopen`] (and
+/// [`Session::dlopen`](crate::Session::dlopen)): one loader, with
+/// verification, attestation and predecode as *options* rather than
+/// parallel function variants.
+///
+/// ```
+/// use palladium::DlopenOptions;
+///
+/// // A plain load, defaults everywhere:
+/// let opts = DlopenOptions::new();
+///
+/// // A verified load with a bigger heap and the eager-predecode fast
+/// // path declined:
+/// let opts = DlopenOptions::new()
+///     .heap_pages(16)
+///     .verify(&["entry", "reset"])
+///     .predecode(false);
+/// # let _ = opts;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DlopenOptions {
+    stack_pages: Option<u32>,
+    heap_pages: Option<u32>,
+    verify_entries: Option<Vec<String>>,
+    predecode_opt_out: bool,
+}
+
+impl DlopenOptions {
+    /// Default options: 4 stack pages, 4 heap pages, no load-time
+    /// verification, eager predecode permitted (it only ever activates
+    /// for verified extensions).
+    pub fn new() -> DlopenOptions {
+        DlopenOptions::default()
+    }
+
+    /// Extension stack pages (default 4).
+    pub fn stack_pages(mut self, pages: u32) -> DlopenOptions {
+        self.stack_pages = Some(pages);
+        self
+    }
+
+    /// Extension heap pages for `xmalloc` (default 4).
+    pub fn heap_pages(mut self, pages: u32) -> DlopenOptions {
+        self.heap_pages = Some(pages);
+        self
+    }
+
+    /// Statically verify the linked image at load time. `entries` names
+    /// the exported functions the application intends to resolve with
+    /// `seg_dlsym`; verification walks every instruction reachable from
+    /// them. On rejection the extension is unloaded and the load returns
+    /// [`PalError::Verify`]; on success the handle carries a `Verified`
+    /// attestation and protected calls take the verified-dispatch fast
+    /// path (unless [`predecode(false)`](Self::predecode) opts out).
+    pub fn verify<S: AsRef<str>>(mut self, entries: &[S]) -> DlopenOptions {
+        self.verify_entries = Some(entries.iter().map(|s| s.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Whether a `Verified` attestation may license eager predecode on
+    /// calls into this extension (default `true`). Purely a host
+    /// performance knob: simulated cycles, faults and results are
+    /// identical either way.
+    pub fn predecode(mut self, on: bool) -> DlopenOptions {
+        self.predecode_opt_out = !on;
+        self
+    }
+
+    /// The entry list requested via [`verify`](Self::verify), if any.
+    pub fn verify_entries(&self) -> Option<&[String]> {
+        self.verify_entries.as_deref()
+    }
+
+    fn stack_pages_or_default(&self) -> u32 {
+        self.stack_pages.unwrap_or(4)
+    }
+
+    fn heap_pages_or_default(&self) -> u32 {
+        self.heap_pages.unwrap_or(4)
     }
 }
 
@@ -172,9 +265,13 @@ struct Ext {
     /// construction.
     stack: (u32, u32),
     heap: (u32, u32),
-    /// `Verified` attestation from [`ExtensibleApp::seg_dlopen_verified`];
-    /// licenses eager predecode on protected calls into this extension.
+    /// `Verified` attestation from a load with
+    /// [`DlopenOptions::verify`]; licenses eager predecode on protected
+    /// calls into this extension.
     verified: Option<Attestation>,
+    /// Whether the attestation may actually enable eager predecode
+    /// ([`DlopenOptions::predecode`]; default yes).
+    eager_predecode: bool,
     closed: bool,
 }
 
@@ -318,16 +415,25 @@ impl ExtensibleApp {
         self.libs.iter().find_map(|l| l.symbols.get(name).copied())
     }
 
-    /// `seg_dlopen`: loads an extension into PPL 1 pages at SPL 3, with an
-    /// eagerly-resolved sealed GOT for any shared-library imports, plus a
-    /// private stack and `xmalloc` heap.
-    pub fn seg_dlopen(
+    /// The unified extension loader: loads an extension into PPL 1 pages
+    /// at SPL 3, with an eagerly-resolved sealed GOT for any
+    /// shared-library imports, plus a private stack and `xmalloc` heap.
+    ///
+    /// This is the paper's `seg_dlopen` with verification, attestation
+    /// and predecode folded in as [`DlopenOptions`] rather than parallel
+    /// entry points: pass [`DlopenOptions::verify`] to run the static
+    /// verifier over the linked image before the handle is returned
+    /// (rejections unload the extension and surface as
+    /// [`PalError::Verify`]).
+    pub fn dlopen(
         &mut self,
         k: &mut Kernel,
         obj: &Object,
-        opts: DlOptions,
+        opts: &DlopenOptions,
     ) -> Result<ExtensionHandle, PalError> {
         k.switch_to(self.tid);
+        let stack_pages = opts.stack_pages_or_default();
+        let heap_pages = opts.heap_pages_or_default();
         // Auto-link xmalloc when referenced.
         let undefined: Vec<String> = obj
             .undefined_symbols()
@@ -383,21 +489,16 @@ impl ExtensibleApp {
         // slot (initial extension ESP).
         let stack_base = k.host_mmap(
             self.tid,
-            opts.stack_pages,
+            stack_pages,
             true,
             true,
             AreaKind::ExtensionPrivate,
         )?;
-        let arg_slot = stack_base + opts.stack_pages * PAGE_SIZE - 4;
+        let arg_slot = stack_base + stack_pages * PAGE_SIZE - 4;
 
         // Extension heap for xmalloc.
-        let heap_base = k.host_mmap(
-            self.tid,
-            opts.heap_pages,
-            true,
-            true,
-            AreaKind::ExtensionPrivate,
-        )?;
+        let heap_base =
+            k.host_mmap(self.tid, heap_pages, true, true, AreaKind::ExtensionPrivate)?;
         let symbols: BTreeMap<String, u32> = obj
             .symbols
             .iter()
@@ -407,7 +508,7 @@ impl ExtensibleApp {
             k.m.host_write_u32(*next, heap_base);
         }
         if let Some(end) = symbols.get("xheap_end") {
-            k.m.host_write_u32(*end, heap_base + opts.heap_pages * PAGE_SIZE);
+            k.m.host_write_u32(*end, heap_base + heap_pages * PAGE_SIZE);
         }
 
         // SPL 3 trampoline page for Transfer routines: PPL 1, sealed
@@ -421,7 +522,7 @@ impl ExtensibleApp {
 
         // seg_dlopen = dlopen + PPL marking of the exposed pages (§5.1:
         // 400 us -> 420 us).
-        let marked = img_pages + opts.stack_pages + opts.heap_pages + 1;
+        let marked = img_pages + stack_pages + heap_pages + 1;
         let mark = k.costs.ppl_mark(marked);
         k.m.charge(DLOPEN_BASE_CYCLES + mark);
 
@@ -437,26 +538,50 @@ impl ExtensibleApp {
             got_page,
             got_slots,
             plt_range,
-            stack: (stack_base, stack_base + opts.stack_pages * PAGE_SIZE),
-            heap: (heap_base, heap_base + opts.heap_pages * PAGE_SIZE),
+            stack: (stack_base, stack_base + stack_pages * PAGE_SIZE),
+            heap: (heap_base, heap_base + heap_pages * PAGE_SIZE),
             verified: None,
+            eager_predecode: !opts.predecode_opt_out,
             closed: false,
         });
-        Ok(ExtensionHandle(self.exts.len() - 1))
+        let h = ExtensionHandle(self.exts.len() - 1);
+
+        // Verification as an option, not a function variant: the policy
+        // admits accesses to the extension's own image, stack and heap,
+        // branches into loaded shared libraries and the loader's PLT
+        // stubs, indirect jumps through the sealed GOT, and far calls
+        // through this application's `AppCallGate` and registered
+        // service gates.
+        if let Some(entries) = opts.verify_entries() {
+            let refs: Vec<&str> = entries.iter().map(|s| s.as_str()).collect();
+            match self.verify_loaded(k, h, &refs) {
+                Ok(att) => self.exts[h.0].verified = Some(att),
+                Err(e) => {
+                    self.seg_dlclose(k, h)?;
+                    return Err(PalError::Verify(e));
+                }
+            }
+        }
+        Ok(h)
     }
 
-    /// `seg_dlopen` with load-time static verification: the linked image
-    /// is disassembled and analysed before the handle is returned. The
-    /// policy admits accesses to the extension's own image, stack and
-    /// heap, branches into loaded shared libraries and the loader's PLT
-    /// stubs, indirect jumps through the sealed GOT, and far calls
-    /// through this application's `AppCallGate`. `entries` names the
-    /// exported functions the application intends to `seg_dlsym`.
-    ///
-    /// On rejection the extension is unloaded (`seg_dlclose`) and
-    /// [`PalError::Verify`] is returned; on success the handle carries a
-    /// `Verified` attestation and protected calls into it take the
-    /// verified-dispatch fast path.
+    /// `seg_dlopen`: the historical plain-load entry point.
+    #[deprecated(note = "use `dlopen` with `DlopenOptions` (verification is an option there)")]
+    #[allow(deprecated)]
+    pub fn seg_dlopen(
+        &mut self,
+        k: &mut Kernel,
+        obj: &Object,
+        opts: DlOptions,
+    ) -> Result<ExtensionHandle, PalError> {
+        self.dlopen(k, obj, &opts.into())
+    }
+
+    /// `seg_dlopen` with load-time static verification: the historical
+    /// two-entry-point spelling of [`dlopen`](Self::dlopen) +
+    /// [`DlopenOptions::verify`].
+    #[deprecated(note = "use `dlopen` with `DlopenOptions::verify(entries)`")]
+    #[allow(deprecated)]
     pub fn seg_dlopen_verified(
         &mut self,
         k: &mut Kernel,
@@ -464,17 +589,7 @@ impl ExtensibleApp {
         opts: DlOptions,
         entries: &[&str],
     ) -> Result<ExtensionHandle, PalError> {
-        let h = self.seg_dlopen(k, obj, opts)?;
-        match self.verify_loaded(k, h, entries) {
-            Ok(att) => {
-                self.exts[h.0].verified = Some(att);
-                Ok(h)
-            }
-            Err(e) => {
-                self.seg_dlclose(k, h)?;
-                Err(PalError::Verify(e))
-            }
-        }
+        self.dlopen(k, obj, &DlopenOptions::from(opts).verify(entries))
     }
 
     /// Runs the static verifier over an already-loaded extension image.
@@ -510,7 +625,7 @@ impl ExtensibleApp {
     }
 
     /// The `Verified` attestation of an extension, if it was admitted
-    /// through [`seg_dlopen_verified`](Self::seg_dlopen_verified).
+    /// through a verifying load ([`DlopenOptions::verify`]).
     pub fn attestation(&self, h: ExtensionHandle) -> Result<Option<Attestation>, PalError> {
         Ok(self.ext(h)?.verified)
     }
@@ -659,7 +774,10 @@ impl ExtensibleApp {
         // run with predecode enabled eagerly — the attestation proves
         // the disassembled view matches the executed stream.
         let verified = self.exts.iter().any(|e| {
-            !e.closed && e.verified.is_some() && e.preps.values().any(|&(p, _)| p == prepare)
+            !e.closed
+                && e.verified.is_some()
+                && e.eager_predecode
+                && e.preps.values().any(|&(p, _)| p == prepare)
         });
         let saved_predecode = k.m.predecode_enabled();
         if verified {

@@ -1,0 +1,39 @@
+//! `parex` — parallel sharded execution with a deterministic merge.
+//!
+//! The simulator is single-threaded by design: one [`x86sim`] machine,
+//! one `Kernel`, stepped instruction by instruction so every cycle count
+//! and fault is reproducible. That is the right shape for *guest*
+//! fidelity and the wrong shape for *host* throughput — chaos campaigns,
+//! throughput benches and web-server drivers were all serial loops over
+//! independent pieces of work.
+//!
+//! This crate supplies the missing piece: a work-stealing worker pool
+//! ([`Pool`]) that fans independent **shards** — chaos episodes, bench
+//! batches, request groups, packet bursts — across OS threads, where
+//! each shard owns a *private* simulator/kernel instance, plus a
+//! deterministic **ordered merge** so the combined result is
+//! byte-identical to a serial run of the same shards.
+//!
+//! Determinism is a contract, not an accident:
+//!
+//! * shard inputs carry positional RNG streams (`SeedRng::stream`), so
+//!   shard `i` sees the same randomness no matter who runs it;
+//! * shard functions are pure functions of `(index, input)` — the
+//!   workspace keeps no global mutable state (no `Rc`, no thread-locals,
+//!   no statics), which is what makes `Kernel`/`Machine` `Send` and the
+//!   whole scheme sound;
+//! * [`Pool::run_ordered`] returns results in input order regardless of
+//!   execution interleaving, and `jobs == 1` degenerates to the serial
+//!   loop.
+//!
+//! The integration determinism suite (`tests/tests/parex_scaling.rs`)
+//! holds the workspace to this: `--jobs 8` campaign reports, bench
+//! stats and oracle verdicts must equal `--jobs 1` byte-for-byte.
+//!
+//! [`x86sim`]: https://docs.rs/x86sim
+
+mod pool;
+mod queue;
+
+pub use pool::{host_parallelism, Pool};
+pub use queue::StealQueue;

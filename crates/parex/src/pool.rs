@@ -1,0 +1,204 @@
+//! The worker pool: fan a batch of shards across OS threads, merge the
+//! results back in input order.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use crate::queue::StealQueue;
+
+/// A work-stealing worker pool.
+///
+/// The contract that makes sharded runs byte-identical to serial runs:
+///
+/// 1. every shard function must be a pure function of `(index, item)` —
+///    no global mutable state, no host clocks, no draws from an RNG
+///    shared across shards (use [`seedrng::SeedRng::stream`]-style
+///    positional streams);
+/// 2. the pool guarantees the output vector is in *input order*, no
+///    matter which worker ran which shard or in what interleaving;
+/// 3. `jobs == 1` executes the same shard functions inline on the
+///    calling thread, in input order.
+///
+/// Under those rules `Pool::new(1)` and `Pool::new(8)` produce
+/// identical output vectors, which is exactly what the determinism
+/// suite asserts for the chaos campaigns, the web-server driver and the
+/// throughput benchmarks.
+///
+/// [`seedrng::SeedRng::stream`]: https://docs.rs/seedrng
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool of `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Pool {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized to the host's available parallelism (1 if unknown).
+    pub fn host_sized() -> Pool {
+        Pool::new(host_parallelism())
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f` over every `(index, item)` pair and returns the results
+    /// in input order.
+    ///
+    /// Shards execute concurrently on up to [`jobs`](Self::jobs) OS
+    /// threads via a work-stealing queue; a single-job pool runs them
+    /// inline. If any shard panics, the panic is re-raised on the
+    /// calling thread after all workers have drained (first shard in
+    /// input order wins when several panic).
+    pub fn run_ordered<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.jobs == 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        let queue: StealQueue<(usize, T)> = StealQueue::new(workers);
+        queue.seed(items.into_iter().enumerate());
+
+        let slots: Vec<Mutex<Option<ShardSlot<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queue = &queue;
+                let slots = &slots;
+                let f = &f;
+                s.spawn(move || {
+                    while let Some((i, item)) = queue.take(w) {
+                        // Catch the panic locally so the other workers
+                        // keep draining their shards; re-raised below in
+                        // input order.
+                        let out = panic::catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                        let slot = match out {
+                            Ok(r) => ShardSlot::Done(r),
+                            Err(payload) => ShardSlot::Panicked(payload),
+                        };
+                        *slots[i].lock().expect("result slot poisoned") = Some(slot);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                match slot
+                    .into_inner()
+                    .expect("result slot poisoned")
+                    .unwrap_or_else(|| unreachable!("shard {i} never ran"))
+                {
+                    ShardSlot::Done(r) => r,
+                    ShardSlot::Panicked(payload) => panic::resume_unwind(payload),
+                }
+            })
+            .collect()
+    }
+}
+
+enum ShardSlot<R> {
+    Done(R),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// The host's available parallelism (1 when the runtime cannot tell).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ordered_merge_matches_input_order() {
+        let pool = Pool::new(8);
+        let items: Vec<u64> = (0..100).collect();
+        let out = pool.run_ordered(items, |i, x| {
+            // Skew the work so late shards finish first.
+            let spin = (100 - i) * 50;
+            let mut acc = x;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i as u64) << 32 | (acc & 0xFFFF_FFFF)
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v >> 32, i as u64, "slot {i} holds another shard's result");
+        }
+    }
+
+    #[test]
+    fn jobs_1_and_jobs_8_agree() {
+        let items: Vec<u32> = (0..64).collect();
+        let f = |i: usize, x: u32| {
+            let mut r = seed_mix(i as u64, x as u64);
+            for _ in 0..100 {
+                r = seed_mix(r, x as u64);
+            }
+            r
+        };
+        let serial = Pool::new(1).run_ordered(items.clone(), f);
+        let sharded = Pool::new(8).run_ordered(items, f);
+        assert_eq!(serial, sharded);
+    }
+
+    fn seed_mix(a: u64, b: u64) -> u64 {
+        let mut z = a.wrapping_add(b).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn every_shard_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = Pool::new(4).run_ordered((0..1000).collect::<Vec<u32>>(), |_, x| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn shard_panic_propagates_after_drain() {
+        let ran = AtomicUsize::new(0);
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(4).run_ordered((0..32).collect::<Vec<u32>>(), |i, x| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                assert!(i != 7, "shard 7 exploded");
+                x
+            })
+        }));
+        assert!(r.is_err(), "panic must propagate to the caller");
+        assert_eq!(ran.load(Ordering::SeqCst), 32, "other shards still drained");
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        let pool = Pool::new(4);
+        let empty: Vec<u32> = pool.run_ordered(Vec::new(), |_, x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(pool.run_ordered(vec![41u32], |_, x| x + 1), vec![42]);
+    }
+}

@@ -1,0 +1,169 @@
+//! The work-stealing task queue behind [`Pool`](crate::Pool).
+//!
+//! One logical deque per worker. A worker takes from the *front* of its
+//! own deque (LIFO-ish locality does not matter here — shards are
+//! coarse) and, when empty, steals from the *back* of a victim's deque,
+//! scanning the other workers round-robin from its own index. Stealing
+//! from the opposite end keeps thieves and owners off the same cache
+//! line of work and, more importantly for this workspace, steals the
+//! *largest-index* shards first, which are the ones the owner would
+//! reach last.
+//!
+//! The implementation is deliberately a `Mutex<VecDeque>` per worker
+//! rather than a lock-free Chase–Lev deque: shards here are whole chaos
+//! episodes, request groups or bench batches — milliseconds to seconds
+//! of work — so queue operations are nowhere near the contention regime
+//! where lock-freedom pays. Correctness is load-bearing (the determinism
+//! suite diffs sharded against serial runs byte-for-byte); cleverness is
+//! not.
+//!
+//! Determinism note: *which* worker executes a task is scheduling-
+//! dependent and irrelevant. The pool's ordered merge re-asserts input
+//! order, and every task must be a pure function of its input — the
+//! queue itself never influences results.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A set of per-worker task deques supporting owner pop and cross-worker
+/// steal.
+#[derive(Debug)]
+pub struct StealQueue<T> {
+    lanes: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealQueue<T> {
+    /// Creates a queue set for `workers` workers (at least one lane).
+    pub fn new(workers: usize) -> StealQueue<T> {
+        let workers = workers.max(1);
+        StealQueue {
+            lanes: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    /// Number of worker lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Pushes a task onto `worker`'s own lane.
+    pub fn push(&self, worker: usize, task: T) {
+        self.lanes[worker % self.lanes.len()]
+            .lock()
+            .expect("queue lane poisoned")
+            .push_back(task);
+    }
+
+    /// Distributes tasks round-robin across all lanes, preserving the
+    /// relative order within each lane.
+    pub fn seed<I: IntoIterator<Item = T>>(&self, tasks: I) {
+        for (i, t) in tasks.into_iter().enumerate() {
+            self.push(i % self.lanes.len(), t);
+        }
+    }
+
+    /// Takes the next task for `worker`: its own lane first, then a
+    /// steal sweep over the other lanes starting at `worker + 1`.
+    /// Returns `None` only when every lane was observed empty in one
+    /// sweep (callers treating the queue as a fixed batch may then
+    /// terminate; see [`Pool::run_ordered`](crate::Pool::run_ordered)).
+    pub fn take(&self, worker: usize) -> Option<T> {
+        let n = self.lanes.len();
+        let own = worker % n;
+        if let Some(t) = self.lanes[own]
+            .lock()
+            .expect("queue lane poisoned")
+            .pop_front()
+        {
+            return Some(t);
+        }
+        for k in 1..n {
+            let victim = (own + k) % n;
+            if let Some(t) = self.lanes[victim]
+                .lock()
+                .expect("queue lane poisoned")
+                .pop_back()
+            {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Total queued tasks across all lanes (racy under concurrency;
+    /// exact once the workers have stopped).
+    pub fn len(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.lock().expect("queue lane poisoned").len())
+            .sum()
+    }
+
+    /// True when every lane is empty (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_round_robins_and_take_drains() {
+        let q: StealQueue<u32> = StealQueue::new(3);
+        q.seed(0..9);
+        assert_eq!(q.len(), 9);
+        // Worker 0's own lane got 0, 3, 6 in order.
+        assert_eq!(q.take(0), Some(0));
+        assert_eq!(q.take(0), Some(3));
+        assert_eq!(q.take(0), Some(6));
+        // Own lane empty: steal from the back of lane 1 (1, 4, 7).
+        assert_eq!(q.take(0), Some(7));
+        let mut rest = Vec::new();
+        while let Some(t) = q.take(2) {
+            rest.push(t);
+        }
+        rest.sort_unstable();
+        assert_eq!(rest, vec![1, 2, 4, 5, 8]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one_lane() {
+        let q: StealQueue<u8> = StealQueue::new(0);
+        assert_eq!(q.lanes(), 1);
+        q.push(5, 1); // any worker index maps onto the single lane
+        assert_eq!(q.take(9), Some(1));
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_and_duplicates_nothing() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        const TASKS: usize = 10_000;
+        const WORKERS: usize = 8;
+        let q: StealQueue<usize> = StealQueue::new(WORKERS);
+        q.seed(0..TASKS);
+        let seen: Vec<AtomicBool> = (0..TASKS).map(|_| AtomicBool::new(false)).collect();
+
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Some(t) = q.take(w) {
+                        let already = seen[t].swap(true, Ordering::SeqCst);
+                        assert!(!already, "task {t} executed twice");
+                    }
+                });
+            }
+        });
+
+        assert!(q.is_empty());
+        assert!(
+            seen.iter().all(|b| b.load(Ordering::SeqCst)),
+            "some task was dropped"
+        );
+    }
+}

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 
 use asm86::Assembler;
 use minikernel::Kernel;
-use palladium::user_ext::{DlOptions, ExtensibleApp, ExtensionHandle, PalError};
+use palladium::user_ext::{DlopenOptions, ExtensibleApp, ExtensionHandle, PalError};
 
 use crate::http::{self, Request};
 use crate::netcost::{cpu_rps, Link, ServerCosts};
@@ -181,7 +181,7 @@ impl WebServer {
         let mut k = Kernel::boot();
         let mut app = ExtensibleApp::new(&mut k)?;
         let script = Assembler::assemble(CGI_SCRIPT).expect("cgi script");
-        let h = app.seg_dlopen(&mut k, &script, DlOptions::default())?;
+        let h = app.dlopen(&mut k, &script, &DlopenOptions::new())?;
         let prep_cgi = app.seg_dlsym(&mut k, h, "cgi_main")?;
         let shared = app.alloc_shared(&mut k, 2)?;
 
@@ -287,7 +287,7 @@ impl WebServer {
     ) -> Result<(), ServerError> {
         let h = self
             .app
-            .seg_dlopen(&mut self.k, script, DlOptions::default())?;
+            .dlopen(&mut self.k, script, &DlopenOptions::new())?;
         let prep = self.app.seg_dlsym(&mut self.k, h, entry)?;
         let unprot = self.app.install_app_code(&mut self.k, script)?[entry];
         self.dynamic.insert(
@@ -348,7 +348,7 @@ impl WebServer {
         let _ = self.app.seg_dlclose(&mut self.k, handle);
         let reinstalled = self
             .app
-            .seg_dlopen(&mut self.k, &script, DlOptions::default())
+            .dlopen(&mut self.k, &script, &DlopenOptions::new())
             .and_then(|h| Ok((h, self.app.seg_dlsym(&mut self.k, h, &entry)?)));
         match reinstalled {
             Ok((h, prep)) => {

@@ -9,7 +9,9 @@
 //!   models; the protected LibCGI invocation really runs on the
 //!   simulated CPU and its cost is measured, not assumed.
 //! * [`workload`] — the ApacheBench-style load generator (1000 requests,
-//!   concurrency 30).
+//!   concurrency 30), plus [`workload::run_live_sharded`]: independent
+//!   request groups fanned across a [`parex::Pool`] with a
+//!   deterministic, worker-count-invariant merge.
 
 pub mod cgi;
 pub mod http;
@@ -18,4 +20,4 @@ pub mod workload;
 
 pub use cgi::{ExecModel, ServerError, WebServer};
 pub use netcost::{Link, ServerCosts};
-pub use workload::{run_ab, run_live, AbConfig, AbResult};
+pub use workload::{run_ab, run_live, run_live_sharded, AbConfig, AbResult, ShardStats};

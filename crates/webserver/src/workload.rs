@@ -88,6 +88,102 @@ pub fn run_live(
     })
 }
 
+/// Per-shard measurements from a [`run_live_sharded`] request group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests served by this group.
+    pub requests: u32,
+    /// Simulated cycles the group's server spent serving them.
+    pub cycles: u64,
+    /// Response bytes produced.
+    pub resp_bytes: u64,
+}
+
+/// Sharded live run: splits `n` requests into `groups` independent
+/// request groups, serves each group on its **own** freshly built
+/// server (from `make_server`), and fans the groups across `pool`.
+///
+/// Group `g` draws from the positional stream `SeedRng::stream(seed,
+/// g)` and never observes another group, so the aggregate result and
+/// the per-shard stats are byte-identical for every worker count —
+/// only wall-clock time changes. The request-group decomposition is a
+/// function of `(n, groups)` alone, never of `pool.jobs()`.
+///
+/// Returns the merged result plus the in-order per-shard stats.
+pub fn run_live_sharded<F>(
+    make_server: F,
+    model: ExecModel,
+    path: &str,
+    n: u32,
+    seed: u64,
+    groups: u32,
+    pool: parex::Pool,
+) -> Result<(AbResult, Vec<ShardStats>), ServerError>
+where
+    F: Fn() -> Result<WebServer, ServerError> + Sync,
+{
+    let groups = groups.clamp(1, n.max(1));
+    let sizes: Vec<(u32, u32)> = (0..groups)
+        .map(|g| {
+            // Near-equal split: the first `n % groups` groups get one
+            // extra request.
+            (g, n / groups + u32::from(g < n % groups))
+        })
+        .collect();
+
+    let shards = pool.run_ordered(sizes, |_, (g, reqs)| -> Result<_, ServerError> {
+        let mut server = make_server()?;
+        let mut rng = SeedRng::stream(seed, u64::from(g));
+        let start = server.k.m.cycles();
+        let mut resp_bytes = 0u64;
+        for _ in 0..reqs {
+            let raw = if rng.gen_bool(0.5) {
+                get_request(path)
+            } else {
+                format!("GET {path} HTTP/1.0\r\nHost: bench\r\nAccept: */*\r\n\r\n")
+            };
+            let resp = server.handle(&raw, model)?;
+            resp_bytes += resp.len() as u64;
+        }
+        Ok((
+            ShardStats {
+                requests: reqs,
+                cycles: server.k.m.cycles() - start,
+                resp_bytes,
+            },
+            server.link,
+        ))
+    });
+
+    let mut stats = Vec::with_capacity(shards.len());
+    let mut link = None;
+    for s in shards {
+        let (stat, l) = s?;
+        link = link.or(Some(l));
+        stats.push(stat);
+    }
+    let link = link.expect("at least one group");
+
+    let total_reqs: u32 = stats.iter().map(|s| s.requests).sum();
+    let total_cycles: u64 = stats.iter().map(|s| s.cycles).sum();
+    let total_bytes: u64 = stats.iter().map(|s| s.resp_bytes).sum();
+    // Aggregate over *simulated CPU work*: the servers are replicas, so
+    // total cycles over total requests is the per-request cost and the
+    // merged rps is what one server would sustain — identical to a
+    // serial run over the same groups.
+    let seconds = total_cycles as f64 / CLOCK_HZ as f64;
+    let cpu_rps = total_reqs as f64 / seconds;
+    let link_rps = link.capacity_rps((total_bytes / u64::from(total_reqs.max(1))) as u32);
+    Ok((
+        AbResult {
+            rps: cpu_rps.min(link_rps),
+            seconds,
+            link_bound: link_rps < cpu_rps,
+        },
+        stats,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +234,38 @@ mod tests {
         );
         assert!((b.seconds / a.seconds - 2.0).abs() < 1e-9);
         assert_eq!(a.rps, b.rps);
+    }
+
+    #[test]
+    fn sharded_live_run_is_job_count_invariant() {
+        let make = || {
+            let mut s = WebServer::new()?;
+            s.add_benchmark_files();
+            Ok(s)
+        };
+        let (r1, s1) = run_live_sharded(
+            make,
+            ExecModel::LibCgiProtected,
+            "/file1024",
+            40,
+            7,
+            4,
+            parex::Pool::new(1),
+        )
+        .unwrap();
+        let (r4, s4) = run_live_sharded(
+            make,
+            ExecModel::LibCgiProtected,
+            "/file1024",
+            40,
+            7,
+            4,
+            parex::Pool::new(4),
+        )
+        .unwrap();
+        assert_eq!(s1, s4);
+        assert_eq!(r1.rps.to_bits(), r4.rps.to_bits());
+        assert_eq!(r1.seconds.to_bits(), r4.seconds.to_bits());
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! step.
 //!
 //! ```text
-//! cargo run -p examples --bin chaos_campaign -- --seed 1 --steps 200
+//! cargo run -p examples --bin chaos_campaign -- --seed 1 --steps 200 --jobs 4
 //! ```
 //!
 //! Exits non-zero if any containment invariant was violated or any host
-//! panic occurred; the event log is deterministic per seed.
+//! panic occurred; the event log is deterministic per seed *and per
+//! worker count* — `--jobs N` fans episodes across N threads with a
+//! byte-identical report.
 //! `--report <path>` additionally writes the summary to a file (the CI
 //! `chaos_recovery` job uploads it as an artifact).
 
@@ -15,7 +17,9 @@ use chaos::campaign::{self, CampaignConfig};
 
 fn usage_error(what: &str) -> ! {
     eprintln!("{what}");
-    eprintln!("usage: chaos_campaign [--seed N] [--steps N] [--cycle-limit N] [--report PATH]");
+    eprintln!(
+        "usage: chaos_campaign [--seed N] [--steps N] [--jobs N] [--cycle-limit N] [--report PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -37,6 +41,7 @@ fn main() {
             "--seed" => cfg.seed = numeric_value(&mut args, "--seed"),
             "--steps" => cfg.steps = numeric_value(&mut args, "--steps"),
             "--cycle-limit" => cfg.cycle_limit = numeric_value(&mut args, "--cycle-limit"),
+            "--jobs" => cfg.jobs = numeric_value(&mut args, "--jobs"),
             "--report" => match args.next() {
                 Some(p) => report_path = Some(p),
                 None => usage_error("--report requires a path"),
@@ -46,8 +51,8 @@ fn main() {
     }
 
     let header = format!(
-        "chaos campaign: seed {} / {} steps / cycle limit {}",
-        cfg.seed, cfg.steps, cfg.cycle_limit
+        "chaos campaign: seed {} / {} steps / cycle limit {} / {} jobs",
+        cfg.seed, cfg.steps, cfg.cycle_limit, cfg.jobs
     );
     println!("{header}");
     let report = campaign::run(&cfg);

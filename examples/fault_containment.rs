@@ -12,7 +12,7 @@ use palladium::protmem::ProtectedMemory;
 use palladium::supervisor::{
     ModuleImage, RestartPolicy, SupervisedState, Supervisor, SupervisorError,
 };
-use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtCallError, ExtensibleApp};
 
 fn check(name: &str, ok: bool) {
     println!("  [{}] {name}", if ok { "BLOCKED" } else { " FAIL  " });
@@ -51,10 +51,10 @@ fn main() {
     ];
     for (name, src) in probes {
         let h = app
-            .seg_dlopen(
+            .dlopen(
                 &mut k,
                 &Assembler::assemble(src).unwrap(),
-                DlOptions::default(),
+                &DlopenOptions::new(),
             )
             .unwrap();
         let f = app.seg_dlsym(&mut k, h, "f").unwrap();
@@ -69,13 +69,13 @@ fn main() {
 
     // GOT sealing.
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &Assembler::assemble(
                 "f:\nmov ecx, [esp+4]\nmov eax, 0\nmov [ecx], eax\nret\nuses:\ncall strlen\nret\n",
             )
             .unwrap(),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let got = app.got_page(h).unwrap().expect("has a GOT");
@@ -90,10 +90,10 @@ fn main() {
 
     // Direct syscall from extension code.
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &Assembler::assemble("f:\nmov eax, 20\nint 0x80\nret\n").unwrap(),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let f = app.seg_dlsym(&mut k, h, "f").unwrap();
@@ -106,10 +106,10 @@ fn main() {
     // Runaway extension.
     k.extension_cycle_limit = 30_000;
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &Assembler::assemble("f:\nspin:\njmp spin\n").unwrap(),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let f = app.seg_dlsym(&mut k, h, "f").unwrap();

@@ -6,19 +6,19 @@
 //! ```
 
 use asm86::Assembler;
-use minikernel::Kernel;
-use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
+use palladium::user_ext::ExtCallError;
+use palladium::{DlopenOptions, Error, Session};
 
 fn main() {
-    // 1. Boot the simulated machine and kernel, and create an extensible
-    //    application: this runs init_PL, promoting the app to SPL 2 and
-    //    demoting its writable pages to PPL 0.
-    let mut k = Kernel::boot();
-    let mut app = ExtensibleApp::new(&mut k).expect("boot extensible app");
-    println!("application promoted to SPL 2 (task {})", app.tid);
+    // 1. Boot a session: a simulated machine + kernel with an extensible
+    //    application already promoted by init_PL (the app moves to SPL 2,
+    //    its writable pages to PPL 0).
+    let mut s = Session::new().expect("boot session");
+    println!("application promoted to SPL 2 (task {})", s.app().tid);
 
-    // 2. Write an extension in assembly and load it with seg_dlopen. Its
-    //    pages are mapped at PPL 1, visible to both sides.
+    // 2. Write an extension in assembly and load it. Its pages are mapped
+    //    at PPL 1, visible to both sides. `verify` runs the load-time
+    //    static verifier and records an attestation on admission.
     let ext = Assembler::assemble(
         "; u32 fib(u32 n) — iterative Fibonacci
 fib:
@@ -39,34 +39,41 @@ fib_done:
 ",
     )
     .expect("extension assembles");
-    let h = app
-        .seg_dlopen(&mut k, &ext, DlOptions::default())
-        .expect("seg_dlopen");
+    let h = s
+        .dlopen(&ext, &DlopenOptions::new().verify(&["fib"]))
+        .expect("dlopen");
+    let att = s.attestation(h).unwrap().expect("attestation recorded");
+    println!(
+        "extension admitted by the verifier: {} entries, {} instructions",
+        att.entries, att.insns
+    );
 
-    // 3. seg_dlsym returns a pointer to the generated Prepare routine —
-    //    the only way in. Calling it runs the full Figure 6 sequence
-    //    (lret down to SPL 3, call gate back up) on the simulated CPU.
-    let fib = app.seg_dlsym(&mut k, h, "fib").expect("seg_dlsym");
+    // 3. dlsym returns a pointer to the generated Prepare routine — the
+    //    only way in. Calling it runs the full Figure 6 sequence (lret
+    //    down to SPL 3, call gate back up) on the simulated CPU.
+    let fib = s.dlsym(h, "fib").expect("dlsym");
     for n in [0u32, 1, 10, 30] {
-        let before = k.m.cycles();
-        let v = app.call_extension(&mut k, fib, n).expect("protected call");
+        let before = s.kernel().m.cycles();
+        let v = s.call(fib, n).expect("protected call");
         println!(
             "fib({n:>2}) = {v:>6}   [{} simulated cycles]",
-            k.m.cycles() - before
+            s.kernel().m.cycles() - before
         );
     }
 
     // 4. A buggy extension that scribbles over the application is caught
     //    by the paging hardware: SIGSEGV, call aborted, app lives on.
+    //    (Loaded unverified — hardware containment needs no admission
+    //    policy to hold.)
     let evil = Assembler::assemble(&format!(
         "evil:\nmov eax, 0x41414141\nmov [{}], eax\nret\n",
         minikernel::USER_TEXT
     ))
     .unwrap();
-    let h2 = app.seg_dlopen(&mut k, &evil, DlOptions::default()).unwrap();
-    let evil_fn = app.seg_dlsym(&mut k, h2, "evil").unwrap();
-    match app.call_extension(&mut k, evil_fn, 0) {
-        Err(ExtCallError::Fault { sig, addr, cause }) => {
+    let h2 = s.dlopen(&evil, &DlopenOptions::new()).unwrap();
+    let evil_fn = s.dlsym(h2, "evil").unwrap();
+    match s.call(evil_fn, 0) {
+        Err(Error::Call(ExtCallError::Fault { sig, addr, cause })) => {
             let why = cause.map(|c| c.tag()).unwrap_or("?");
             println!("evil extension contained: signal {sig} at {addr:#010x} ({why})");
         }
@@ -74,10 +81,11 @@ fib_done:
     }
 
     // 5. The application is unharmed and keeps working.
-    let v = app.call_extension(&mut k, fib, 12).unwrap();
+    let v = s.call(fib, 12).unwrap();
     println!("after the abort, fib(12) still works: {v}");
     println!(
         "totals: {} protected calls, {} aborted",
-        app.calls, app.aborted_calls
+        s.app().calls,
+        s.app().aborted_calls
     );
 }

@@ -9,7 +9,7 @@
 use asm86::Assembler;
 use minikernel::Kernel;
 use palladium::segdb::SegDb;
-use palladium::user_ext::{DlOptions, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtensibleApp};
 
 fn main() {
     let mut k = Kernel::boot();
@@ -31,7 +31,7 @@ sum_done:
 ",
     )
     .unwrap();
-    let h = app.seg_dlopen(&mut k, &ext, DlOptions::default()).unwrap();
+    let h = app.dlopen(&mut k, &ext, &DlopenOptions::new()).unwrap();
     let f = app.seg_dlsym(&mut k, h, "sum_to").unwrap();
     app.call_extension(&mut k, f, 3).unwrap(); // warm
 

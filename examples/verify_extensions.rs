@@ -9,7 +9,7 @@
 //!
 //! * every benign shipped extension (the quickstart Fibonacci, the CGI
 //!   cube, compiled packet filters, the kernel doubler) is **accepted**
-//!   through the real verifying loaders (`seg_dlopen_verified`,
+//!   through the real verifying loaders (`dlopen` with `verify`,
 //!   `insmod` with [`SegmentConfig::verify`]);
 //! * every hostile demo extension (the quickstart scribbler, the
 //!   segment-limit escape, the syscall probe, privileged instructions)
@@ -23,7 +23,7 @@ use asm86::Assembler;
 use chaos::verify::{kernel_policy, verify_object, VerifyOutcome};
 use minikernel::Kernel;
 use netfilter::{extended_conjunction, paper_conjunction};
-use palladium::user_ext::{DlOptions, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtensibleApp};
 use palladium::{KernelExtensions, KextError, PalError, SegmentConfig, VerifyError};
 use seedrng::SeedRng;
 
@@ -69,7 +69,7 @@ fn user_extensions(a: &mut Audit) {
     ];
     for (what, entry, src) in benign {
         let obj = Assembler::assemble(src).expect("assembles");
-        match app.seg_dlopen_verified(&mut k, &obj, DlOptions::default(), &[entry]) {
+        match app.dlopen(&mut k, &obj, &DlopenOptions::new().verify(&[entry])) {
             Ok(h) => {
                 let att = app.attestation(h).unwrap().unwrap();
                 a.expect(
@@ -100,7 +100,7 @@ fn user_extensions(a: &mut Audit) {
     ];
     for (what, entry, src) in hostile {
         let obj = Assembler::assemble(&src).expect("assembles");
-        match app.seg_dlopen_verified(&mut k, &obj, DlOptions::default(), &[entry]) {
+        match app.dlopen(&mut k, &obj, &DlopenOptions::new().verify(&[entry])) {
             Err(PalError::Verify(e)) => a.expect(what, true, &format!("rejected: {e}")),
             Ok(_) => a.expect(what, false, "hostile extension was admitted"),
             Err(e) => a.expect(what, false, &format!("wrong error class: {e}")),
@@ -272,7 +272,7 @@ fn main() {
         checks: 0,
         failures: 0,
     };
-    println!("user-level extensions (seg_dlopen_verified):");
+    println!("user-level extensions (dlopen with DlopenOptions::verify):");
     user_extensions(&mut a);
     println!("kernel extensions (insmod with SegmentConfig::verify):");
     kernel_extensions(&mut a);

@@ -5,7 +5,7 @@ use integration::asm;
 use minikernel::Kernel;
 use netfilter::{paper_conjunction, reference_packet, traffic, FilterBench};
 use palladium::kernel_ext::KernelExtensions;
-use palladium::user_ext::{DlOptions, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtensibleApp};
 use webserver::http::get_request;
 use webserver::{run_live, ExecModel, WebServer};
 
@@ -46,7 +46,7 @@ fn user_and_kernel_extensions_coexist() {
 
     // User extension: fills the app's shared area with a pattern.
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &asm("fill:\n\
                  mov ecx, [esp+4]\n\
@@ -61,7 +61,7 @@ fn user_and_kernel_extensions_coexist() {
                  f_done:\n\
                  mov eax, edx\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let fill = app.seg_dlsym(&mut k, h, "fill").unwrap();
@@ -143,7 +143,7 @@ fn extension_state_persists_across_protected_calls() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &asm("bump:\n\
                  mov eax, [count]\n\
@@ -152,7 +152,7 @@ fn extension_state_persists_across_protected_calls() {
                  ret\n\
                  count:\n\
                  .dd 0\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let bump = app.seg_dlsym(&mut k, h, "bump").unwrap();
@@ -175,23 +175,23 @@ fn multiple_extensions_are_mutually_isolated_by_default() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let hb = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &asm("get:\nmov eax, [val]\nret\nval:\n.dd 7\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let b_val = app.dlsym(hb, "val").unwrap();
 
     let ha = app
-        .seg_dlopen(
+        .dlopen(
             &mut k,
             &asm("poke:\n\
                  mov ecx, [esp+4]\n\
                  mov eax, 99\n\
                  mov [ecx], eax\n\
                  ret\n"),
-            DlOptions::default(),
+            &DlopenOptions::new(),
         )
         .unwrap();
     let poke = app.seg_dlsym(&mut k, ha, "poke").unwrap();
@@ -209,7 +209,7 @@ fn rpc_model_vs_real_protected_call() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(&mut k, &asm("f:\nret\n"), DlOptions::default())
+        .dlopen(&mut k, &asm("f:\nret\n"), &DlopenOptions::new())
         .unwrap();
     let f = app.seg_dlsym(&mut k, h, "f").unwrap();
     app.call_extension(&mut k, f, 0).unwrap();

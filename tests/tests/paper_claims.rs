@@ -137,7 +137,7 @@ fn protection_overhead_is_independent_of_extension_work() {
     // of widely varying size: the delta must be a constant.
     use asm86::Assembler;
     use minikernel::Kernel;
-    use palladium::user_ext::{DlOptions, ExtensibleApp};
+    use palladium::user_ext::{DlopenOptions, ExtensibleApp};
 
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
@@ -152,7 +152,7 @@ fn protection_overhead_is_independent_of_extension_work() {
         let obj = Assembler::assemble(&src).unwrap();
 
         // Protected: as an extension.
-        let h = app.seg_dlopen(&mut k, &obj, DlOptions::default()).unwrap();
+        let h = app.dlopen(&mut k, &obj, &DlopenOptions::new()).unwrap();
         let prot = app.seg_dlsym(&mut k, h, "work").unwrap();
         // Unprotected: same code as application-resident.
         let unprot = app.install_app_code(&mut k, &obj).unwrap()["work"];

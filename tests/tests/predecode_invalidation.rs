@@ -6,7 +6,7 @@ use chaos::campaign::{self, CampaignConfig};
 use chaos::inject;
 use integration::asm;
 use minikernel::Kernel;
-use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtCallError, ExtensibleApp};
 
 /// A chaos `corrupt_code_byte` injection into an already-executed (and
 /// therefore predecoded) extension: the next call must hit the corrupted
@@ -18,7 +18,11 @@ fn corrupt_injection_into_executed_code_faults_next_call() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(&mut k, &asm("f:\nmov eax, 77\nret\n"), DlOptions::default())
+        .dlopen(
+            &mut k,
+            &asm("f:\nmov eax, 77\nret\n"),
+            &DlopenOptions::new(),
+        )
         .unwrap();
     let f = app.seg_dlsym(&mut k, h, "f").unwrap();
     let fn_addr = app.dlsym(h, "f").unwrap();

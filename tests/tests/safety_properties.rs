@@ -9,7 +9,7 @@ use asm86::isa::{AluOp, Insn, Mem, Reg, Src};
 use asm86::obj::Object;
 use minikernel::{Kernel, USER_TEXT};
 use netfilter::{paper_conjunction, Filter, Term, Test as FTest, Width};
-use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtCallError, ExtensibleApp};
 
 fn arb_reg(r: &mut SeedRng) -> Reg {
     Reg::from_u8(r.gen_range(0, 8) as u8).unwrap()
@@ -78,7 +78,7 @@ fn seeded_random_extensions_are_contained() {
         k.extension_cycle_limit = 200_000;
         let mut app = ExtensibleApp::new(&mut k).unwrap();
         let h = app
-            .seg_dlopen(&mut k, &ext_object(&body), DlOptions::default())
+            .dlopen(&mut k, &ext_object(&body), &DlopenOptions::new())
             .unwrap();
         let f = app.seg_dlsym(&mut k, h, "entry").unwrap();
 
@@ -100,10 +100,10 @@ fn seeded_random_extensions_are_contained() {
         // The application still works: load and run a known-good
         // extension afterwards.
         let h2 = app
-            .seg_dlopen(
+            .dlopen(
                 &mut k,
                 &ext_object(&[Insn::Mov(Reg::Eax, Src::Imm(77))]),
-                DlOptions::default(),
+                &DlopenOptions::new(),
             )
             .unwrap();
         let ok = app.seg_dlsym(&mut k, h2, "entry").unwrap();
@@ -203,7 +203,7 @@ fn sealed_got_property_over_all_extensions() {
     for i in 0..4 {
         let src = format!("f{i}:\ncall strlen\nret\n");
         let h = app
-            .seg_dlopen(&mut k, &integration::asm(&src), DlOptions::default())
+            .dlopen(&mut k, &integration::asm(&src), &DlopenOptions::new())
             .unwrap();
         let got = app.got_page(h).unwrap().expect("GOT");
         let cr3 = k.task(app.tid).cr3;

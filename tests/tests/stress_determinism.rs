@@ -4,7 +4,7 @@
 use integration::asm;
 use minikernel::{Kernel, USER_TEXT};
 use palladium::segdb::SegDb;
-use palladium::user_ext::{DlOptions, ExtCallError, ExtensibleApp};
+use palladium::user_ext::{DlopenOptions, ExtCallError, ExtensibleApp};
 
 /// Runs a mixed workload and returns (final cycle counter, checksum of
 /// all results, aborted calls).
@@ -26,7 +26,7 @@ fn mixed_workload(seed_calls: u32) -> (u64, u64, u64) {
     let mut preps = Vec::new();
     for src in sources {
         let h = app
-            .seg_dlopen(&mut k, &asm(src), DlOptions::default())
+            .dlopen(&mut k, &asm(src), &DlopenOptions::new())
             .unwrap();
         preps.push(app.seg_dlsym(&mut k, h, "f").unwrap());
     }
@@ -67,7 +67,7 @@ fn trace_profile_cross_validates_table1_domain_split() {
     let mut k = Kernel::boot();
     let mut app = ExtensibleApp::new(&mut k).unwrap();
     let h = app
-        .seg_dlopen(&mut k, &asm("f:\nret\n"), DlOptions::default())
+        .dlopen(&mut k, &asm("f:\nret\n"), &DlopenOptions::new())
         .unwrap();
     let f = app.seg_dlsym(&mut k, h, "f").unwrap();
     app.call_extension(&mut k, f, 0).unwrap();

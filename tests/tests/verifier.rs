@@ -8,7 +8,7 @@ use asm86::Assembler;
 use minikernel::Kernel;
 use palladium::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
 use palladium::supervisor::{ModuleImage, RestartPolicy, SupervisedState, Supervisor};
-use palladium::user_ext::{DlOptions, ExtensibleApp, PalError};
+use palladium::user_ext::{DlopenOptions, ExtensibleApp, PalError};
 use palladium::VerifyError;
 use seedrng::SeedRng;
 
@@ -203,7 +203,7 @@ fn verify_failure_at_restart_tombstones_without_burning_strikes() {
 
 // --- user side -------------------------------------------------------------
 
-/// `seg_dlopen_verified` admits the quickstart extension, attaches an
+/// A `DlopenOptions::verify` load admits the quickstart extension, attaches an
 /// attestation, and protected calls take the verified fast path while
 /// returning exactly the same results.
 #[test]
@@ -215,7 +215,7 @@ fn verified_user_extension_round_trip() {
          mov ebx, eax\nadd ebx, edx\nmov eax, edx\nmov edx, ebx\ndec ecx\njmp fl\nfd:\nret\n",
     );
     let h = app
-        .seg_dlopen_verified(&mut k, &fib, DlOptions::default(), &["fib"])
+        .dlopen(&mut k, &fib, &DlopenOptions::new().verify(&["fib"]))
         .unwrap();
     let att = app.attestation(h).unwrap().expect("attestation recorded");
     assert_eq!(att.entries, 1);
@@ -236,17 +236,16 @@ fn hostile_user_extension_rejected_and_unloaded() {
         "evil:\nmov eax, 0x41414141\nmov [{}], eax\nret\n",
         minikernel::USER_TEXT
     ));
-    match app.seg_dlopen_verified(&mut k, &evil, DlOptions::default(), &["evil"]) {
+    match app.dlopen(&mut k, &evil, &DlopenOptions::new().verify(&["evil"])) {
         Err(PalError::Verify(VerifyError::OutOfSegment { .. })) => {}
         other => panic!("expected out-of-segment rejection, got {other:?}"),
     }
 
     let h = app
-        .seg_dlopen_verified(
+        .dlopen(
             &mut k,
             &obj("id:\nmov eax, [esp+4]\nret\n"),
-            DlOptions::default(),
-            &["id"],
+            &DlopenOptions::new().verify(&["id"]),
         )
         .unwrap();
     let f = app.seg_dlsym(&mut k, h, "id").unwrap();
@@ -264,7 +263,7 @@ fn unverified_load_of_hostile_extension_stays_contained() {
         "evil:\nmov eax, 0x41414141\nmov [{}], eax\nret\n",
         minikernel::USER_TEXT
     ));
-    let h = app.seg_dlopen(&mut k, &evil, DlOptions::default()).unwrap();
+    let h = app.dlopen(&mut k, &evil, &DlopenOptions::new()).unwrap();
     let f = app.seg_dlsym(&mut k, h, "evil").unwrap();
     assert!(app.call_extension(&mut k, f, 0).is_err());
     assert_eq!(app.aborted_calls, 1);
