@@ -12,16 +12,30 @@
 //! changes. `host_cpus` records the machine's available parallelism —
 //! speedups are bounded by it.
 //!
+//! A third section, `fleet`, records the canaried rollout scenarios of
+//! `crates/fleet`: requests served / degraded / dropped while a version
+//! rolls out, the rollback latency when the canary trips, and the
+//! time-to-converge of a healthy promotion.
+//!
 //! Usage: `sim_throughput [--quick] [--out <path>] [--workers LIST]`
 
-use bench::{ScalingPoint, ThroughputPoint};
+use bench::{FleetPoint, ScalingPoint, ThroughputPoint};
 
 fn json_escape_free_number(v: f64) -> String {
     // All values here are finite and positive; keep a stable format.
     format!("{v:.6}")
 }
 
-fn to_json(pts: &[ThroughputPoint], scaling: &[ScalingPoint], quick: bool) -> String {
+fn json_opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn to_json(
+    pts: &[ThroughputPoint],
+    scaling: &[ScalingPoint],
+    fleet: &[FleetPoint],
+    quick: bool,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"sim_throughput\",\n");
@@ -94,6 +108,44 @@ fn to_json(pts: &[ThroughputPoint], scaling: &[ScalingPoint], quick: bool) -> St
             "    },\n"
         });
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"fleet\": [\n");
+    for (i, p) in fleet.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"scenario\": \"{}\",\n", p.scenario));
+        s.push_str(&format!("      \"replicas\": {},\n", p.replicas));
+        s.push_str(&format!("      \"rounds\": {},\n", p.rounds));
+        s.push_str(&format!("      \"served\": {},\n", p.served));
+        s.push_str(&format!("      \"degraded\": {},\n", p.degraded));
+        s.push_str(&format!("      \"dropped\": {},\n", p.dropped));
+        s.push_str(&format!("      \"outcome\": \"{}\",\n", p.outcome));
+        s.push_str(&format!(
+            "      \"rollback_round\": {},\n",
+            json_opt(p.rollback_round)
+        ));
+        s.push_str(&format!(
+            "      \"rollback_latency_cycles\": {},\n",
+            json_opt(p.rollback_latency_cycles)
+        ));
+        s.push_str(&format!(
+            "      \"converged_round\": {},\n",
+            json_opt(p.converged_round)
+        ));
+        s.push_str(&format!(
+            "      \"availability_bp\": {},\n",
+            p.availability_bp
+        ));
+        s.push_str(&format!("      \"guest_insns\": {},\n", p.guest_insns));
+        s.push_str(&format!(
+            "      \"host_secs\": {}\n",
+            json_escape_free_number(p.host_secs)
+        ));
+        s.push_str(if i + 1 == fleet.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -159,7 +211,28 @@ fn main() {
         );
     }
 
-    let json = to_json(&pts, &scaling, quick);
+    let fleet = bench::measure_fleet(scale);
+    println!("\nFleet rollout (canaried roll + SLO-driven rollback)");
+    println!(
+        "{:>10} {:>12} {:>9} {:>9} {:>8} {:>14} {:>10}",
+        "Scenario", "Outcome", "Served", "Degraded", "Dropped", "RollbackCycles", "Converged"
+    );
+    for p in &fleet {
+        println!(
+            "{:>10} {:>12} {:>9} {:>9} {:>8} {:>14} {:>10}",
+            p.scenario,
+            p.outcome,
+            p.served,
+            p.degraded,
+            p.dropped,
+            p.rollback_latency_cycles
+                .map_or_else(|| "-".to_string(), |c| c.to_string()),
+            p.converged_round
+                .map_or_else(|| "-".to_string(), |r| format!("round {r}")),
+        );
+    }
+
+    let json = to_json(&pts, &scaling, &fleet, quick);
     std::fs::write(&out, json).expect("write benchmark JSON");
     println!("\nwrote {out}");
 }

@@ -741,6 +741,96 @@ pub fn measure_sim_throughput(scale: u32) -> Vec<ThroughputPoint> {
     measure_sim_throughput_with(1_000 * s, 400 * s, 200 * s, 2_000 * s)
 }
 
+// ----- fleet rollout (the "fleet" section of the same JSON) ----------------
+
+/// One fleet-rollout scenario of the availability benchmark: the
+/// canaried roll of `crates/fleet` driven end to end, reporting how the
+/// request stream fared while the fleet changed versions underneath it.
+///
+/// The simulated outcome (every counter except `host_secs`) is
+/// byte-deterministic per seed and worker count; only the host clock
+/// varies between runs.
+#[derive(Debug, Clone)]
+pub struct FleetPoint {
+    /// Scenario tag: `rollback` (faulty push, canary trips, automatic
+    /// rollback) or `promote` (healthy push, waves to convergence).
+    pub scenario: &'static str,
+    /// Fleet size.
+    pub replicas: u32,
+    /// Rounds driven.
+    pub rounds: u32,
+    /// Requests answered 200 across the fleet.
+    pub served: u64,
+    /// Requests answered 503 across the fleet.
+    pub degraded: u64,
+    /// Requests dropped fail-closed across the fleet.
+    pub dropped: u64,
+    /// How the roll ended (`promoted` / `rolled-back` / `incomplete`).
+    pub outcome: &'static str,
+    /// Round the automatic rollback fired, if it did.
+    pub rollback_round: Option<u32>,
+    /// Simulated cycles from the canary upgrade to the completed
+    /// rollback (the paper-world "time to detect and revert").
+    pub rollback_latency_cycles: Option<u64>,
+    /// First round the fleet converged on its final version.
+    pub converged_round: Option<u32>,
+    /// Fleet-wide availability in basis points (served / total).
+    pub availability_bp: u32,
+    /// Guest instructions retired across every replica.
+    pub guest_insns: u64,
+    /// Host wall-clock seconds for the whole scenario.
+    pub host_secs: f64,
+}
+
+fn fleet_point(scenario: &'static str, cfg: &fleet::RolloutConfig, faulty: bool) -> FleetPoint {
+    let old = fleet::version_images("filter", 1);
+    let new = if faulty {
+        fleet::faulty_images("filter")
+    } else {
+        fleet::version_images("filter", 2)
+    };
+    let t = std::time::Instant::now();
+    let r = fleet::rollout::run(cfg, &old, &new);
+    let host_secs = t.elapsed().as_secs_f64();
+    assert!(r.violations.is_empty(), "{scenario}: {:?}", r.violations);
+    assert!(
+        r.leak_failures.is_empty(),
+        "{scenario}: {:?}",
+        r.leak_failures
+    );
+    let total = r.served + r.degraded + r.dropped;
+    FleetPoint {
+        scenario,
+        replicas: r.replicas,
+        rounds: r.rounds,
+        served: r.served,
+        degraded: r.degraded,
+        dropped: r.dropped,
+        outcome: r.outcome.tag(),
+        rollback_round: r.rollback_round,
+        rollback_latency_cycles: r.rollback_latency_cycles,
+        converged_round: r.converged_round,
+        availability_bp: (r.served * 10_000).checked_div(total).unwrap_or(0) as u32,
+        guest_insns: r.guest_insns,
+        host_secs,
+    }
+}
+
+/// Measures the two canonical fleet scenarios — a faulty push that the
+/// canary catches (automatic rollback) and a healthy push that promotes
+/// to convergence; `scale` multiplies the per-round request count (1 =
+/// the CI `--quick` run).
+pub fn measure_fleet(scale: u32) -> Vec<FleetPoint> {
+    let cfg = fleet::RolloutConfig {
+        requests_per_round: 40 * scale.max(1),
+        ..fleet::RolloutConfig::default()
+    };
+    vec![
+        fleet_point("rollback", &cfg, true),
+        fleet_point("promote", &cfg, false),
+    ]
+}
+
 // ----- worker scaling (the "scaling" section of the same JSON) -------------
 
 /// One worker-count sample of a sharded workload.
@@ -971,6 +1061,27 @@ mod tests {
             assert_eq!(insns.len(), 2, "{w}");
             assert_eq!(insns[0], insns[1], "{w}: sharded work must be invariant");
             assert!(insns[0] > 0, "{w}: no guest work");
+        }
+    }
+
+    #[test]
+    fn fleet_bench_covers_both_scenarios() {
+        let pts = measure_fleet(1);
+        assert_eq!(pts.len(), 2);
+        let rb = &pts[0];
+        assert_eq!(rb.scenario, "rollback");
+        assert_eq!(rb.outcome, "rolled-back");
+        assert!(rb.rollback_round.is_some());
+        assert!(rb.rollback_latency_cycles.unwrap() > 0);
+        assert_eq!(rb.dropped, 0, "graceful degradation never drops");
+        let pm = &pts[1];
+        assert_eq!(pm.scenario, "promote");
+        assert_eq!(pm.outcome, "promoted");
+        assert!(pm.converged_round.is_some());
+        assert_eq!(pm.degraded + pm.dropped, 0, "healthy roll serves 100%");
+        for p in &pts {
+            assert!(p.guest_insns > 0);
+            assert!(p.availability_bp <= 10_000);
         }
     }
 

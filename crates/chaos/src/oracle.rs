@@ -94,6 +94,14 @@ impl StateOracle {
         }
     }
 
+    /// Address of the watched kernel canary word (outside every
+    /// extension segment). Exposed so chaos hooks — e.g. the fleet
+    /// driver's fail-closed drill — can corrupt exactly what the oracle
+    /// watches.
+    pub fn canary_addr(&self) -> u32 {
+        self.canary_addr
+    }
+
     /// Adds a GDT entry (e.g. a freshly created call gate) to the
     /// immutability watch list.
     pub fn watch_descriptor(&mut self, k: &Kernel, index: u16) {

@@ -1,0 +1,94 @@
+//! `fleet` — deterministic fleet operations over supervised extensions.
+//!
+//! Five PRs of mechanism — protected segments, transactional
+//! reclamation, restart policies, staged upgrades, worker-invariant
+//! sharding — compose here into the scenario a production operator
+//! actually runs: **N replica worlds serve a sustained request stream
+//! while a new extension version rolls out replica-by-replica**, canary
+//! first, then progressive waves, with an SLO monitor that rolls the
+//! fleet back automatically when the canary trips.
+//!
+//! The moving parts:
+//!
+//! * [`replica::Replica`] — one self-contained world (kernel, supervised
+//!   extension segment, containment oracle, positional RNG stream) that
+//!   serves HTTP requests through its extension and fails *closed* the
+//!   moment the oracle observes a containment violation;
+//! * [`slo::SloPolicy`] — the trip conditions: per-round error rate,
+//!   charged restart strikes, and any containment violation;
+//! * [`rollout`] — the canary → soak → waves → converge state machine,
+//!   with rollback through [`Supervisor::stage_images`] +
+//!   [`Supervisor::rollover`] when the SLO monitor trips;
+//! * [`soak`] — long-soak churn campaigns (kill / upgrade / rollback,
+//!   10^7+ guest instructions) asserting zero ledger drift via
+//!   `assert_no_leaks` at every epoch;
+//! * [`report`] — stable plain-text rendering, the artifact the CI
+//!   byte-identity check compares across `--jobs` counts.
+//!
+//! Determinism is the same contract as everywhere else in the
+//! workspace: replica `i` draws from the positional stream
+//! `SeedRng::stream(seed, i)`, rounds fan replicas across a
+//! [`parex::Pool`] with an ordered merge, and every fleet-level decision
+//! is made serially from the merged state — so the whole run, report
+//! text included, is byte-identical for every worker count.
+//!
+//! [`Supervisor::stage_images`]: palladium::supervisor::Supervisor::stage_images
+//! [`Supervisor::rollover`]: palladium::supervisor::Supervisor::rollover
+
+pub mod replica;
+pub mod report;
+pub mod rollout;
+pub mod slo;
+pub mod soak;
+
+pub use replica::{Replica, ReplicaStats, RoundStats};
+pub use rollout::{RolloutConfig, RolloutOutcome, RolloutReport};
+pub use slo::{SloPolicy, SloVerdict};
+pub use soak::{SoakConfig, SoakReport};
+
+use chaos::gen;
+use palladium::supervisor::ModuleImage;
+
+/// The module image set for a benign extension version: an `entry`
+/// export returning `value` (the version's observable behaviour, so
+/// tests can tell which version served a request).
+pub fn version_images(name: &str, value: u32) -> Vec<ModuleImage> {
+    vec![ModuleImage::new(
+        name,
+        gen::benign_object(value),
+        &["entry"],
+    )]
+}
+
+/// A benign version whose handler does real per-request work: a bounded
+/// arg-dependent scan loop (the shape of a netfilter rule walk) of
+/// `work`..`work + 64` iterations before returning `value`. The soak
+/// campaigns use this so their guest-instruction volume reflects a
+/// fleet actually computing, not just trampolining.
+pub fn working_version_images(name: &str, value: u32, work: u32) -> Vec<ModuleImage> {
+    let src = format!(
+        "entry:\n\
+         mov ecx, [esp+4]\n\
+         and ecx, 63\n\
+         add ecx, {work}\n\
+         scan:\n\
+         dec ecx\n\
+         cmp ecx, 0\n\
+         jne scan\n\
+         mov eax, {value}\n\
+         ret\n"
+    );
+    let obj = asm86::Assembler::assemble(&src).expect("working version image assembles");
+    vec![ModuleImage::new(name, obj, &["entry"])]
+}
+
+/// The module image set for a faulty version: every invocation stores
+/// outside its segment, faults, and strikes toward quarantine — the
+/// "bad push" a canary exists to catch.
+pub fn faulty_images(name: &str) -> Vec<ModuleImage> {
+    vec![ModuleImage::new(
+        name,
+        gen::store_to_object(0x0020_0000),
+        &["entry"],
+    )]
+}

@@ -1,0 +1,131 @@
+//! Stable plain-text rendering of fleet reports.
+//!
+//! The rendered string is the artifact the CI byte-identity check
+//! compares across `--jobs 1` and `--jobs 8`, so everything here is
+//! integer formatting — no floats, no host state, no timestamps.
+
+use core::fmt::Write;
+
+use crate::rollout::RolloutReport;
+use crate::soak::SoakReport;
+
+/// Availability in basis points (10_000 = 100.00%), integer math.
+fn availability_bp(served: u64, degraded: u64, dropped: u64) -> u64 {
+    let total = served + degraded + dropped;
+    (served * 10_000).checked_div(total).unwrap_or(10_000)
+}
+
+/// Formats basis points as a percentage with two decimals.
+fn pct(bp: u64) -> String {
+    format!("{}.{:02}%", bp / 100, bp % 100)
+}
+
+/// Renders a rollout report as stable plain text.
+pub fn render_rollout(r: &RolloutReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "fleet rollout: seed {} / {} replicas / {} rounds x {} requests",
+        r.seed, r.replicas, r.rounds, r.requests_per_round
+    );
+    let _ = writeln!(s, "outcome: {}", r.outcome.tag());
+    let _ = writeln!(
+        s,
+        "requests: served {}  degraded {}  dropped {}  availability {}",
+        r.served,
+        r.degraded,
+        r.dropped,
+        pct(availability_bp(r.served, r.degraded, r.dropped))
+    );
+    let _ = writeln!(
+        s,
+        "canary round: {}  rollback round: {}  rollback latency: {} cycles",
+        r.canary_round,
+        r.rollback_round.map_or("-".to_string(), |x| x.to_string()),
+        r.rollback_latency_cycles
+            .map_or("-".to_string(), |x| x.to_string()),
+    );
+    let _ = writeln!(
+        s,
+        "converged round: {}  guest insns: {}",
+        r.converged_round.map_or("-".to_string(), |x| x.to_string()),
+        r.guest_insns
+    );
+    let _ = writeln!(s, "replicas:");
+    for p in &r.per_replica {
+        let _ = writeln!(
+            s,
+            "  {} {:<10} gen {}  served {}  degraded {}  dropped {}  restarts {}  rollovers {}  pages-reclaimed {}  violations {}",
+            p.idx,
+            p.final_state,
+            p.final_gen,
+            p.served,
+            p.degraded,
+            p.dropped,
+            p.restarts,
+            p.rollovers,
+            p.pages_reclaimed,
+            p.violations
+        );
+    }
+    let _ = writeln!(s, "events:");
+    for e in &r.events {
+        let _ = writeln!(s, "  {e}");
+    }
+    if r.violations.is_empty() && r.leak_failures.is_empty() {
+        let _ = writeln!(s, "audit: OK (0 violations, 0 leaks)");
+    } else {
+        let _ = writeln!(
+            s,
+            "audit: {} violations, {} leak failures",
+            r.violations.len(),
+            r.leak_failures.len()
+        );
+        for v in r.violations.iter().chain(r.leak_failures.iter()) {
+            let _ = writeln!(s, "  {v}");
+        }
+    }
+    s
+}
+
+/// Renders a soak report as stable plain text.
+pub fn render_soak(r: &SoakReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "fleet soak: seed {} / {} replicas / {} epochs x {} rounds x {} requests",
+        r.seed, r.replicas, r.epochs, r.rounds_per_epoch, r.requests_per_round
+    );
+    let _ = writeln!(
+        s,
+        "requests: served {}  degraded {}  dropped {}  availability {}",
+        r.served,
+        r.degraded,
+        r.dropped,
+        pct(availability_bp(r.served, r.degraded, r.dropped))
+    );
+    let _ = writeln!(
+        s,
+        "churn: kills {}  upgrades {}  rollbacks {}  restarts {}  pages reclaimed {}",
+        r.kills, r.upgrades, r.rollbacks, r.restarts, r.pages_reclaimed
+    );
+    let _ = writeln!(s, "guest insns: {}", r.guest_insns);
+    if r.violations.is_empty() && r.leak_failures.is_empty() {
+        let _ = writeln!(
+            s,
+            "audit: OK (0 violations, 0 leaks over {} epochs)",
+            r.epochs
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "audit: {} violations, {} leak failures",
+            r.violations.len(),
+            r.leak_failures.len()
+        );
+        for v in r.violations.iter().chain(r.leak_failures.iter()) {
+            let _ = writeln!(s, "  {v}");
+        }
+    }
+    s
+}

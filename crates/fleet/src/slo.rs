@@ -1,0 +1,59 @@
+//! The SLO monitor: the trip conditions that turn a canary's bad round
+//! into an automatic rollback.
+
+use crate::replica::Replica;
+
+/// Trip thresholds evaluated against the canary (and each wave member)
+/// after every round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloPolicy {
+    /// Maximum tolerated degraded+dropped share of one round, in basis
+    /// points (10_000 = 100%). Integer basis points keep the evaluation
+    /// byte-deterministic.
+    pub max_degraded_bp: u32,
+    /// Maximum tolerated charged restart strikes on the supervised
+    /// extension (the supervisor decays these under healthy operation,
+    /// so a persistent crash loop trips while a forgiven ancient strike
+    /// does not).
+    pub max_strikes: u32,
+}
+
+impl Default for SloPolicy {
+    fn default() -> SloPolicy {
+        SloPolicy {
+            // One degraded request in ten trips the monitor.
+            max_degraded_bp: 1_000,
+            max_strikes: 3,
+        }
+    }
+}
+
+/// The monitor's verdict for one replica after one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SloVerdict {
+    /// Within budget.
+    Healthy,
+    /// Out of budget; the stable tag names the first condition that
+    /// tripped (`containment` > `strikes` > `error-rate`).
+    Tripped(&'static str),
+}
+
+impl SloPolicy {
+    /// Evaluates one replica's most recent round.
+    ///
+    /// Containment is checked first — a violation fails closed
+    /// regardless of error budget — then the strike count, then the
+    /// round's degraded share.
+    pub fn evaluate(&self, replica: &Replica) -> SloVerdict {
+        if !replica.violations.is_empty() || replica.failed_closed() {
+            return SloVerdict::Tripped("containment");
+        }
+        if replica.sup.charged_restarts(replica.ext) >= self.max_strikes {
+            return SloVerdict::Tripped("strikes");
+        }
+        if replica.last_round.degraded_bp() > self.max_degraded_bp {
+            return SloVerdict::Tripped("error-rate");
+        }
+        SloVerdict::Healthy
+    }
+}

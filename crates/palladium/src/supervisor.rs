@@ -229,7 +229,7 @@ impl RestartPolicy {
 // ----- the supervisor -------------------------------------------------------
 
 /// The original image of one module, retained for one-for-one reinstall.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuleImage {
     /// Module name.
     pub name: String,
@@ -313,6 +313,13 @@ struct SupervisedExt {
     /// Cycle of the last healthy event (install or successful invoke),
     /// advanced as decay credit is consumed.
     last_healthy: u64,
+    /// Generation of the staged images (bumped by
+    /// [`Supervisor::stage_images`] when the content actually changes).
+    image_gen: u64,
+    /// Generation installed in the running segment. While tombstoned this
+    /// instead records the *retired* generation, so staging a different
+    /// generation can revive the slot.
+    running_gen: u64,
 }
 
 /// Drives restart policy over extension segments: detects death, reclaims
@@ -330,6 +337,9 @@ pub struct Supervisor {
     pub pages_reclaimed: u64,
     /// Asynchronous requests dropped during reclaims.
     pub requests_dropped: u64,
+    /// Operator-driven generation switches completed by
+    /// [`Supervisor::rollover`].
+    pub rollovers: u64,
 }
 
 impl Supervisor {
@@ -342,6 +352,7 @@ impl Supervisor {
             tombstoned: 0,
             pages_reclaimed: 0,
             requests_dropped: 0,
+            rollovers: 0,
         }
     }
 
@@ -362,7 +373,7 @@ impl Supervisor {
         images: Vec<ModuleImage>,
     ) -> Result<SupervisedId, KextError> {
         config.recycle_descriptors = true;
-        let seg = Self::build(k, kx, pages, config, &images)?;
+        let seg = self.build(k, kx, pages, config, &images)?;
         self.exts.push(SupervisedExt {
             seg,
             pages,
@@ -371,11 +382,14 @@ impl Supervisor {
             state: SupervisedState::Running,
             restarts: 0,
             last_healthy: k.m.cycles(),
+            image_gen: 0,
+            running_gen: 0,
         });
         Ok(SupervisedId(self.exts.len() - 1))
     }
 
     fn build(
+        &mut self,
         k: &mut Kernel,
         kx: &mut KernelExtensions,
         pages: u32,
@@ -385,9 +399,27 @@ impl Supervisor {
         let seg = kx.create_segment_with(k, pages, config)?;
         for img in images {
             let exports: Vec<&str> = img.exports.iter().map(String::as_str).collect();
-            kx.insmod(k, seg, &img.name, &img.obj, &exports)?;
+            if let Err(e) = kx.insmod(k, seg, &img.name, &img.obj, &exports) {
+                // A build that fails past segment creation must not strand
+                // the partially-built segment: unwind it through the
+                // ledger so upgrade churn cannot drift resource audits.
+                self.reclaim(k, kx, seg);
+                return Err(e);
+            }
         }
         Ok(seg)
+    }
+
+    /// Reclaims a segment through its ledger, folding the record into the
+    /// supervisor's counters.
+    fn reclaim(&mut self, k: &mut Kernel, kx: &mut KernelExtensions, seg: ExtSegmentId) {
+        let record = kx.reclaim_segment(k, seg);
+        self.pages_reclaimed += record
+            .page_ranges
+            .iter()
+            .map(|&(_, pages)| u64::from(pages))
+            .sum::<u64>();
+        self.requests_dropped += record.requests_dropped as u64;
     }
 
     /// The extension's current segment (changes across restarts).
@@ -439,7 +471,7 @@ impl Supervisor {
     fn try_restart(&mut self, k: &mut Kernel, kx: &mut KernelExtensions, id: SupervisedId) {
         let (pages, config) = (self.exts[id.0].pages, self.exts[id.0].config);
         let images = std::mem::take(&mut self.exts[id.0].images);
-        let built = Self::build(k, kx, pages, config, &images);
+        let built = self.build(k, kx, pages, config, &images);
         self.exts[id.0].images = images;
         match built {
             Ok(seg) => {
@@ -448,6 +480,14 @@ impl Supervisor {
                 ext.seg = seg;
                 ext.state = SupervisedState::Running;
                 ext.last_healthy = now;
+                if ext.running_gen != ext.image_gen {
+                    // The restart promoted a staged generation: the new
+                    // lineage starts with a clean record instead of
+                    // inheriting the replaced image's charged restarts
+                    // (the strikes belonged to the *old* version).
+                    ext.restarts = 0;
+                    ext.running_gen = ext.image_gen;
+                }
                 self.restarts += 1;
             }
             Err(KextError::Verify(_) | KextError::Link(_)) => {
@@ -457,6 +497,9 @@ impl Supervisor {
                 // restart strikes through the backoff ladder.
                 let ext = &mut self.exts[id.0];
                 ext.state = SupervisedState::Tombstoned;
+                // Record the staged generation as the retired lineage:
+                // only staging a *different* generation can revive it.
+                ext.running_gen = ext.image_gen;
                 self.tombstoned += 1;
             }
             Err(_) => {
@@ -475,18 +518,15 @@ impl Supervisor {
         reclaim: bool,
     ) {
         if reclaim {
-            let record = kx.reclaim_segment(k, self.exts[id.0].seg);
-            self.pages_reclaimed += record
-                .page_ranges
-                .iter()
-                .map(|&(_, pages)| u64::from(pages))
-                .sum::<u64>();
-            self.requests_dropped += record.requests_dropped as u64;
+            self.reclaim(k, kx, self.exts[id.0].seg);
         }
         let ext = &mut self.exts[id.0];
         ext.restarts += 1;
         if ext.restarts > self.policy.max_restarts {
             ext.state = SupervisedState::Tombstoned;
+            // The lineage that exhausted the budget is whatever is staged
+            // right now; staging a different generation revives the slot.
+            ext.running_gen = ext.image_gen;
             self.tombstoned += 1;
         } else {
             let delay = self.policy.backoff_for(ext.restarts);
@@ -535,13 +575,112 @@ impl Supervisor {
 
     /// Replaces the retained module images used for future reinstalls (a
     /// staged upgrade): the running segment is untouched; the next
-    /// restart loads the new images instead of the originals. The staged
-    /// images must still pass the segment's admission policy at
-    /// reinstall time — a replacement that fails to decode, link or
-    /// verify tombstones the extension at that restart instead of
-    /// burning through the backoff ladder.
+    /// restart — or an explicit [`rollover`](Self::rollover) — loads the
+    /// new images instead of the originals. The staged images must still
+    /// pass the segment's admission policy at reinstall time — a
+    /// replacement that fails to decode, link or verify tombstones the
+    /// extension at that restart instead of burning through the backoff
+    /// ladder.
+    ///
+    /// Each *content change* starts a new image generation (staging
+    /// byte-identical images is a no-op, so a repeated rollback converges
+    /// instead of churning). A new generation also revives a tombstoned
+    /// slot: the tombstone retired one image lineage, not the extension's
+    /// identity, so rolling back to a different (e.g. last-known-good)
+    /// version schedules an immediately-due restart with a clean strike
+    /// record.
     pub fn stage_images(&mut self, id: SupervisedId, images: Vec<ModuleImage>) {
+        let ext = &mut self.exts[id.0];
+        if ext.images == images {
+            return;
+        }
+        ext.images = images;
+        ext.image_gen += 1;
+        if ext.state == SupervisedState::Tombstoned {
+            ext.state = SupervisedState::Backoff { until: 0 };
+            ext.restarts = 0;
+        }
+    }
+
+    /// Generation of the currently staged images (bumped per
+    /// [`stage_images`](Self::stage_images) content change).
+    pub fn staged_generation(&self, id: SupervisedId) -> u64 {
+        self.exts[id.0].image_gen
+    }
+
+    /// Generation installed in the running segment (for a tombstoned
+    /// extension: the retired lineage).
+    pub fn running_generation(&self, id: SupervisedId) -> u64 {
+        self.exts[id.0].running_gen
+    }
+
+    /// Operator-driven generation switch: makes the staged images the
+    /// running ones *now*, without waiting for the extension to die.
+    ///
+    /// A rollover is not a fault — the running segment is reclaimed
+    /// gracefully through its ledger (in-flight asynchronous requests are
+    /// dropped with structured errors and counted), no restart strike is
+    /// charged, and no backoff is imposed. If the extension is already
+    /// running the staged generation this is a no-op, which makes a
+    /// double rollback idempotent. A tombstoned slot whose staged
+    /// generation differs from the retired lineage is revived; one whose
+    /// staged generation *is* the retired lineage stays tombstoned.
+    ///
+    /// The staged images still face the admission policy: a generation
+    /// that fails to decode, link or verify tombstones the slot (the
+    /// old segment is already gone), and any other build failure charges
+    /// a restart and backs off as usual.
+    pub fn rollover(
+        &mut self,
+        k: &mut Kernel,
+        kx: &mut KernelExtensions,
+        id: SupervisedId,
+    ) -> Result<SupervisedState, KextError> {
+        match self.exts[id.0].state {
+            SupervisedState::Running
+                if self.exts[id.0].running_gen == self.exts[id.0].image_gen =>
+            {
+                return Ok(SupervisedState::Running);
+            }
+            SupervisedState::Tombstoned => {
+                return Ok(SupervisedState::Tombstoned);
+            }
+            SupervisedState::Running => {
+                self.reclaim(k, kx, self.exts[id.0].seg);
+            }
+            // Backoff: the dead segment was already reclaimed when the
+            // death was observed; the rollover just skips the wait.
+            SupervisedState::Backoff { .. } => {}
+        }
+
+        let (pages, config) = (self.exts[id.0].pages, self.exts[id.0].config);
+        let images = std::mem::take(&mut self.exts[id.0].images);
+        let built = self.build(k, kx, pages, config, &images);
         self.exts[id.0].images = images;
+        match built {
+            Ok(seg) => {
+                let now = k.m.cycles();
+                let ext = &mut self.exts[id.0];
+                ext.seg = seg;
+                ext.state = SupervisedState::Running;
+                ext.last_healthy = now;
+                ext.restarts = 0;
+                ext.running_gen = ext.image_gen;
+                self.rollovers += 1;
+                Ok(SupervisedState::Running)
+            }
+            Err(e @ (KextError::Verify(_) | KextError::Link(_))) => {
+                let ext = &mut self.exts[id.0];
+                ext.state = SupervisedState::Tombstoned;
+                ext.running_gen = ext.image_gen;
+                self.tombstoned += 1;
+                Err(e)
+            }
+            Err(e) => {
+                self.schedule_restart(k, kx, id, false);
+                Err(e)
+            }
+        }
     }
 
     /// Notifies the supervisor that the extension's segment died outside

@@ -889,7 +889,7 @@ fn kernel_extension_trace_shows_spl0_spl1_round_trip() {
 
 #[test]
 fn ring1_extension_can_name_sibling_segment_documented_nuance() {
-    // DESIGN.md §9: on real x86 (and here), a ring-1 code segment may
+    // DESIGN.md §11: on real x86 (and here), a ring-1 code segment may
     // *load* another ring-1 data segment if it can guess the GDT
     // selector — segments protect the kernel (limit + SPL), and
     // inter-module isolation relies on selector opacity plus the

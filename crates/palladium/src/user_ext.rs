@@ -129,35 +129,6 @@ impl core::fmt::Display for ExtCallError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExtensionHandle(usize);
 
-/// Options for [`ExtensibleApp::seg_dlopen`].
-#[deprecated(note = "use `DlopenOptions` (builder) with `ExtensibleApp::dlopen`")]
-#[derive(Debug, Clone, Copy)]
-pub struct DlOptions {
-    /// Extension stack pages.
-    pub stack_pages: u32,
-    /// Extension heap pages (for `xmalloc`).
-    pub heap_pages: u32,
-}
-
-#[allow(deprecated)]
-impl Default for DlOptions {
-    fn default() -> DlOptions {
-        DlOptions {
-            stack_pages: 4,
-            heap_pages: 4,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<DlOptions> for DlopenOptions {
-    fn from(o: DlOptions) -> DlopenOptions {
-        DlopenOptions::new()
-            .stack_pages(o.stack_pages)
-            .heap_pages(o.heap_pages)
-    }
-}
-
 /// Options for [`ExtensibleApp::dlopen`] (and
 /// [`Session::dlopen`](crate::Session::dlopen)): one loader, with
 /// verification, attestation and predecode as *options* rather than
@@ -563,33 +534,6 @@ impl ExtensibleApp {
             }
         }
         Ok(h)
-    }
-
-    /// `seg_dlopen`: the historical plain-load entry point.
-    #[deprecated(note = "use `dlopen` with `DlopenOptions` (verification is an option there)")]
-    #[allow(deprecated)]
-    pub fn seg_dlopen(
-        &mut self,
-        k: &mut Kernel,
-        obj: &Object,
-        opts: DlOptions,
-    ) -> Result<ExtensionHandle, PalError> {
-        self.dlopen(k, obj, &opts.into())
-    }
-
-    /// `seg_dlopen` with load-time static verification: the historical
-    /// two-entry-point spelling of [`dlopen`](Self::dlopen) +
-    /// [`DlopenOptions::verify`].
-    #[deprecated(note = "use `dlopen` with `DlopenOptions::verify(entries)`")]
-    #[allow(deprecated)]
-    pub fn seg_dlopen_verified(
-        &mut self,
-        k: &mut Kernel,
-        obj: &Object,
-        opts: DlOptions,
-        entries: &[&str],
-    ) -> Result<ExtensionHandle, PalError> {
-        self.dlopen(k, obj, &DlopenOptions::from(opts).verify(entries))
     }
 
     /// Runs the static verifier over an already-loaded extension image.

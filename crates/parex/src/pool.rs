@@ -113,6 +113,30 @@ impl Pool {
     }
 }
 
+impl Pool {
+    /// Advances every item of `items` one step in place, in parallel,
+    /// preserving slot order.
+    ///
+    /// This is [`run_ordered`](Self::run_ordered) for *stateful* shards
+    /// that live across many rounds — fleet replicas, long-running
+    /// worlds — where each round mutates the shard and the vector must
+    /// come back in the same order for the next round's global
+    /// decisions. The same determinism contract applies: `f` must be a
+    /// pure function of `(index, &mut item)`, so a round is
+    /// byte-identical for every worker count.
+    pub fn update_ordered<T, F>(&self, items: &mut Vec<T>, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let moved = std::mem::take(items);
+        *items = self.run_ordered(moved, |i, mut t| {
+            f(i, &mut t);
+            t
+        });
+    }
+}
+
 enum ShardSlot<R> {
     Done(R),
     Panicked(Box<dyn std::any::Any + Send>),

@@ -9,6 +9,19 @@ use crate::http::get_request;
 use crate::netcost::cpu_rps;
 use x86sim::cycles::CLOCK_HZ;
 
+/// One benchmark request with header jitter: ApacheBench varies nothing
+/// but timing, so half the requests use an alternate header set to make
+/// the parser do honest work. Drawing the coin from `rng` keeps every
+/// seeded driver (live runs, sharded replicas, fleet rollouts)
+/// byte-reproducible.
+pub fn jittered_get(rng: &mut SeedRng, path: &str) -> String {
+    if rng.gen_bool(0.5) {
+        get_request(path)
+    } else {
+        format!("GET {path} HTTP/1.0\r\nHost: bench\r\nAccept: */*\r\n\r\n")
+    }
+}
+
 /// Benchmark configuration (defaults match the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbConfig {
@@ -67,13 +80,7 @@ pub fn run_live(
     let start = server.k.m.cycles();
     let mut resp_bytes = 0u64;
     for _ in 0..n {
-        // ApacheBench varies nothing but timing; add header jitter so the
-        // parser does honest work.
-        let raw = if rng.gen_bool(0.5) {
-            get_request(path)
-        } else {
-            format!("GET {path} HTTP/1.0\r\nHost: bench\r\nAccept: */*\r\n\r\n")
-        };
+        let raw = jittered_get(&mut rng, path);
         let resp = server.handle(&raw, model)?;
         resp_bytes += resp.len() as u64;
     }
@@ -137,11 +144,7 @@ where
         let start = server.k.m.cycles();
         let mut resp_bytes = 0u64;
         for _ in 0..reqs {
-            let raw = if rng.gen_bool(0.5) {
-                get_request(path)
-            } else {
-                format!("GET {path} HTTP/1.0\r\nHost: bench\r\nAccept: */*\r\n\r\n")
-            };
+            let raw = jittered_get(&mut rng, path);
             let resp = server.handle(&raw, model)?;
             resp_bytes += resp.len() as u64;
         }

@@ -1,0 +1,128 @@
+//! Canaried fleet rollout with SLO-driven automatic rollback, plus an
+//! optional long-soak churn campaign.
+//!
+//! ```text
+//! cargo run -p examples --bin fleet_rollout -- --seed 1 --replicas 6 --jobs 4
+//! cargo run -p examples --bin fleet_rollout -- --soak --epochs 40 --min-insns 10000000
+//! ```
+//!
+//! The default run pushes a *faulty* new version: the canary trips the
+//! SLO monitor and the fleet rolls back automatically, with healthy
+//! replicas unaffected. `--good` pushes a healthy version instead and
+//! the roll promotes wave by wave. The report is byte-identical per
+//! seed *and per worker count*; `--report <path>` writes it to a file
+//! (the CI `fleet_rollout` job diffs `--jobs 1` against `--jobs 8`).
+//!
+//! Exits non-zero on any containment violation, any ledger leak, or —
+//! for the rollout — any dropped request on a healthy replica.
+
+use fleet::report::{render_rollout, render_soak};
+use fleet::rollout::{self, RolloutConfig};
+use fleet::soak::{self, SoakConfig};
+use fleet::{faulty_images, version_images};
+
+fn usage_error(what: &str) -> ! {
+    eprintln!("{what}");
+    eprintln!(
+        "usage: fleet_rollout [--seed N] [--replicas N] [--rounds N] [--requests N] [--jobs N] \
+         [--good] [--report PATH] [--soak] [--epochs N] [--min-insns N]"
+    );
+    std::process::exit(2);
+}
+
+fn numeric_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    match args.next() {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| usage_error(&format!("{flag} expects a number, got `{v}`"))),
+        None => usage_error(&format!("{flag} requires a value")),
+    }
+}
+
+fn main() {
+    let mut cfg = RolloutConfig::default();
+    let mut soak_cfg = SoakConfig::default();
+    let mut run_soak = false;
+    let mut good_push = false;
+    let mut min_insns: u64 = 0;
+    let mut report_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = numeric_value(&mut args, "--seed");
+                soak_cfg.seed = cfg.seed;
+            }
+            "--replicas" => {
+                cfg.replicas = numeric_value(&mut args, "--replicas");
+                soak_cfg.replicas = cfg.replicas;
+            }
+            "--rounds" => cfg.rounds = numeric_value(&mut args, "--rounds"),
+            "--requests" => {
+                cfg.requests_per_round = numeric_value(&mut args, "--requests");
+                soak_cfg.requests_per_round = cfg.requests_per_round;
+            }
+            "--jobs" => {
+                cfg.jobs = numeric_value(&mut args, "--jobs");
+                soak_cfg.jobs = cfg.jobs;
+            }
+            "--epochs" => soak_cfg.epochs = numeric_value(&mut args, "--epochs"),
+            "--min-insns" => min_insns = numeric_value(&mut args, "--min-insns"),
+            "--good" => good_push = true,
+            "--soak" => run_soak = true,
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(p),
+                None => usage_error("--report requires a path"),
+            },
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let (text, failed) = if run_soak {
+        let report = soak::run(&soak_cfg);
+        let text = render_soak(&report);
+        let failed = !report.violations.is_empty()
+            || !report.leak_failures.is_empty()
+            || report.guest_insns < min_insns;
+        if report.guest_insns < min_insns {
+            eprintln!(
+                "soak too small: {} guest insns < required {min_insns}",
+                report.guest_insns
+            );
+        }
+        (text, failed)
+    } else {
+        let old = version_images("filter", 1);
+        let new = if good_push {
+            version_images("filter", 2)
+        } else {
+            faulty_images("filter")
+        };
+        let report = rollout::run(&cfg, &old, &new);
+        let text = render_rollout(&report);
+        // Healthy (non-canary, never-upgraded) replicas must not drop or
+        // degrade a single request during a failed roll.
+        let healthy_drops = report
+            .per_replica
+            .iter()
+            .filter(|p| p.idx != 0 && p.rollovers == 0)
+            .map(|p| p.dropped + p.degraded)
+            .sum::<u64>();
+        let failed = !report.violations.is_empty()
+            || !report.leak_failures.is_empty()
+            || healthy_drops != 0
+            || report.guest_insns < min_insns;
+        (text, failed)
+    };
+
+    print!("{text}");
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("could not write report to {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fleet rollout engine: canaried rolling upgrades with SLO-driven
+//! automatic rollback and long-soak leak audits.
+//!
+//! The acceptance contract for `crates/fleet`:
+//!
+//! * a faulty push trips the canary's SLO and the fleet rolls back
+//!   automatically — with **zero** dropped or degraded requests on the
+//!   replicas the roll never reached, and zero ledger leaks anywhere;
+//! * a healthy push promotes canary → waves → convergence, serving 100%
+//!   of requests throughout;
+//! * the rendered rollout report is byte-identical across `--jobs`
+//!   counts (the CI job diffs `--jobs 1` against `--jobs 8`);
+//! * the long-soak churn campaign (kill / upgrade / bad-push / rollback)
+//!   passes `assert_no_leaks` at every epoch;
+//! * a containment violation fails the replica *closed*: requests are
+//!   dropped, not served from a breached world.
+
+use fleet::replica::Replica;
+use fleet::report::{render_rollout, render_soak};
+use fleet::rollout::{self, RolloutConfig, RolloutOutcome};
+use fleet::slo::{SloPolicy, SloVerdict};
+use fleet::soak::{self, SoakConfig};
+use fleet::{faulty_images, version_images};
+use palladium::supervisor::RestartPolicy;
+
+/// A faulty push: the canary trips, every upgraded replica rolls back,
+/// and the replicas the roll never touched serve every request.
+#[test]
+fn faulty_push_rolls_back_without_touching_healthy_replicas() {
+    let cfg = RolloutConfig::default();
+    let report = rollout::run(&cfg, &version_images("filter", 1), &faulty_images("filter"));
+
+    assert_eq!(report.outcome, RolloutOutcome::RolledBack);
+    let rollback_round = report.rollback_round.expect("rollback fired");
+    assert!(rollback_round >= cfg.canary_round);
+    assert!(report.rollback_latency_cycles.unwrap() > 0);
+    assert!(
+        report.converged_round.is_some(),
+        "the fleet re-converges on the old version after the rollback"
+    );
+
+    // The canary degraded (503s) but never dropped: graceful, not fatal.
+    let canary = &report.per_replica[0];
+    assert!(canary.degraded > 0, "canary served 503s while faulty");
+    assert_eq!(canary.dropped, 0);
+
+    // Replicas the roll never reached are completely unaffected.
+    for p in report.per_replica.iter().filter(|p| p.rollovers == 0) {
+        assert_eq!(
+            (p.degraded, p.dropped),
+            (0, 0),
+            "replica {} was touched by a roll that never reached it",
+            p.idx
+        );
+    }
+
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(
+        report.leak_failures.is_empty(),
+        "{:?}",
+        report.leak_failures
+    );
+    assert_eq!(report.dropped, 0, "nothing dropped anywhere");
+}
+
+/// A healthy push promotes to convergence with 100% availability and
+/// every replica on the new generation.
+#[test]
+fn healthy_push_promotes_to_convergence() {
+    let cfg = RolloutConfig::default();
+    let report = rollout::run(
+        &cfg,
+        &version_images("filter", 1),
+        &version_images("filter", 2),
+    );
+
+    assert_eq!(report.outcome, RolloutOutcome::Promoted);
+    assert!(report.rollback_round.is_none());
+    assert!(report.converged_round.is_some());
+    assert_eq!(report.degraded + report.dropped, 0, "100% availability");
+    for p in &report.per_replica {
+        assert_eq!(p.final_gen, 1, "replica {} not on the new version", p.idx);
+        assert_eq!(p.final_state, "running");
+    }
+    assert!(report.violations.is_empty());
+    assert!(report.leak_failures.is_empty());
+}
+
+/// The whole run — rendered report text included — is byte-identical
+/// across worker counts, for both outcomes.
+#[test]
+fn rollout_reports_are_byte_identical_across_jobs() {
+    for faulty in [true, false] {
+        let old = version_images("filter", 1);
+        let new = if faulty {
+            faulty_images("filter")
+        } else {
+            version_images("filter", 2)
+        };
+        let texts: Vec<String> = [1usize, 4, 8]
+            .into_iter()
+            .map(|jobs| {
+                let cfg = RolloutConfig {
+                    jobs,
+                    ..RolloutConfig::default()
+                };
+                render_rollout(&rollout::run(&cfg, &old, &new))
+            })
+            .collect();
+        assert_eq!(texts[0], texts[1], "jobs 1 vs 4 (faulty={faulty})");
+        assert_eq!(texts[0], texts[2], "jobs 1 vs 8 (faulty={faulty})");
+    }
+}
+
+/// A shortened soak: kill/upgrade/bad-push/rollback churn with the epoch
+/// leak audit green throughout, and byte-identical across worker counts.
+#[test]
+fn soak_churn_is_leak_free_and_jobs_invariant() {
+    let cfg = SoakConfig {
+        epochs: 3,
+        rounds_per_epoch: 8,
+        requests_per_round: 12,
+        work_per_request: 32,
+        ..SoakConfig::default()
+    };
+    let report = soak::run(&cfg);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(
+        report.leak_failures.is_empty(),
+        "{:?}",
+        report.leak_failures
+    );
+    assert!(report.kills > 0, "churn must actually kill");
+    assert!(report.upgrades > 0, "churn must actually upgrade");
+    assert!(report.served > 0);
+
+    let other = soak::run(&SoakConfig { jobs: 8, ..cfg });
+    assert_eq!(
+        render_soak(&report),
+        render_soak(&other),
+        "soak must be byte-identical across jobs"
+    );
+}
+
+/// A containment violation fails the replica closed: the round that
+/// observes it records the violation, and every subsequent request is
+/// dropped rather than served from a breached world. The SLO monitor
+/// treats that as an immediate trip.
+#[test]
+fn containment_violation_fails_closed_and_trips_slo() {
+    let mut rep = Replica::new(
+        9,
+        0,
+        version_images("filter", 1),
+        RestartPolicy::default(),
+        20_000,
+        true,
+    )
+    .unwrap();
+    let round = rep.serve_round(10);
+    assert_eq!(round.served, 10, "healthy replica serves everything");
+    assert_eq!(
+        fleet::SloPolicy::default().evaluate(&rep),
+        SloVerdict::Healthy
+    );
+
+    rep.corrupt_canary();
+    rep.serve_round(10);
+    assert!(!rep.violations.is_empty(), "oracle observed the corruption");
+    assert!(rep.failed_closed());
+    assert!(matches!(
+        SloPolicy::default().evaluate(&rep),
+        SloVerdict::Tripped(_)
+    ));
+
+    let after = rep.serve_round(10);
+    assert_eq!(
+        (after.served, after.dropped),
+        (0, 10),
+        "a breached world must not serve"
+    );
+}
+
+/// The SLO error-rate arm trips on its own (no containment violation
+/// needed): a canary that answers 503s past the threshold is rolled
+/// back even though isolation held.
+#[test]
+fn slo_trips_on_error_rate_alone() {
+    let report = rollout::run(
+        &RolloutConfig::default(),
+        &version_images("filter", 1),
+        &faulty_images("filter"),
+    );
+    assert!(report.violations.is_empty(), "isolation held throughout");
+    assert_eq!(report.outcome, RolloutOutcome::RolledBack);
+    let trip = report
+        .events
+        .iter()
+        .find(|e| e.contains("SLO tripped"))
+        .expect("trip event logged");
+    assert!(trip.contains("replica 0"), "the canary tripped: {trip}");
+}

@@ -1,0 +1,238 @@
+//! Staged-upgrade interleavings: `stage_images` racing the supervision
+//! lifecycle (quarantine, tombstone, rollback).
+//!
+//! The acceptance contract for generation bookkeeping:
+//!
+//! * an upgrade staged while the extension sits quarantined in its
+//!   backoff window is promoted by the next restart, and the promotion
+//!   resets the charged strikes — they belonged to the replaced
+//!   lineage, not the new one;
+//! * a tombstone retires one image *lineage*, not the extension's
+//!   identity: staging a different generation (the rollback to
+//!   last-known-good) revives the slot with a clean record, while
+//!   re-staging the retired lineage's exact content leaves it dead;
+//! * a double rollback is idempotent — the second `stage_images` of
+//!   identical content is a no-op and the second `rollover` sees the
+//!   staged generation already running — and the whole dance leaves the
+//!   kernel's resource footprint untouched.
+
+use chaos::gen;
+use minikernel::Kernel;
+use palladium::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
+use palladium::supervisor::{
+    ModuleImage, ResourceAudit, RestartPolicy, SupervisedState, Supervisor, SupervisorError,
+};
+
+/// Out-of-segment store: faults on every invocation.
+fn faulty() -> Vec<ModuleImage> {
+    vec![ModuleImage::new(
+        "flt",
+        gen::store_to_object(0x0020_0000),
+        &["entry"],
+    )]
+}
+
+/// Benign handler returning `v`.
+fn benign(v: u32) -> Vec<ModuleImage> {
+    vec![ModuleImage::new("flt", gen::benign_object(v), &["entry"])]
+}
+
+fn world() -> (Kernel, KernelExtensions) {
+    let mut k = Kernel::boot();
+    let kx = KernelExtensions::new(&mut k).unwrap();
+    (k, kx)
+}
+
+const ONE_STRIKE: SegmentConfig = SegmentConfig {
+    quarantine_threshold: 1,
+    recycle_descriptors: false,
+    verify: false,
+    verified: None,
+};
+
+/// Staging a new version while the extension is quarantined in backoff:
+/// the next restart installs the staged generation, and the promotion
+/// starts the new lineage with zero charged strikes.
+#[test]
+fn upgrade_staged_while_quarantined_promotes_with_clean_strikes() {
+    let (mut k, mut kx) = world();
+    let mut sup = Supervisor::new(RestartPolicy::immediate());
+    let id = sup
+        .install(&mut k, &mut kx, 8, ONE_STRIKE, faulty())
+        .unwrap();
+
+    // Two kills: the faulty version accumulates charged strikes.
+    for _ in 0..2 {
+        assert!(matches!(
+            sup.invoke(&mut k, &mut kx, id, "entry", 0),
+            Err(SupervisorError::Kext(KextError::Aborted(_)))
+        ));
+    }
+    assert_eq!(sup.charged_restarts(id), 2, "strikes charged for the kills");
+    assert!(matches!(sup.state(id), SupervisedState::Backoff { .. }));
+
+    // The fix ships while the extension is down.
+    sup.stage_images(id, benign(7));
+    assert_eq!(sup.staged_generation(id), 1);
+    assert_eq!(sup.running_generation(id), 0, "old lineage still recorded");
+
+    // The scheduled restart promotes the staged generation...
+    assert_eq!(sup.poll(&mut k, &mut kx, id), SupervisedState::Running);
+    assert_eq!(sup.running_generation(id), 1);
+    // ...and the new lineage does not inherit the old version's strikes.
+    assert_eq!(
+        sup.charged_restarts(id),
+        0,
+        "promotion must reset strike decay for the replaced lineage"
+    );
+    assert_eq!(sup.invoke(&mut k, &mut kx, id, "entry", 0), Ok(7));
+    kx.assert_no_leaks(&k).unwrap();
+}
+
+/// A tombstoned extension is revived by staging a *different* generation
+/// (the rollback to last-known-good), while re-staging the retired
+/// lineage's identical content leaves it tombstoned.
+#[test]
+fn rollback_to_tombstoned_version_revives_the_slot() {
+    let (mut k, mut kx) = world();
+    let mut sup = Supervisor::new(RestartPolicy {
+        max_restarts: 1,
+        ..RestartPolicy::immediate()
+    });
+    let id = sup
+        .install(&mut k, &mut kx, 8, ONE_STRIKE, faulty())
+        .unwrap();
+
+    // Kill, restart, kill again: the budget (1) is exhausted.
+    for _ in 0..2 {
+        assert!(matches!(
+            sup.invoke(&mut k, &mut kx, id, "entry", 0),
+            Err(SupervisorError::Kext(KextError::Aborted(_)))
+        ));
+        sup.poll(&mut k, &mut kx, id);
+    }
+    assert_eq!(sup.state(id), SupervisedState::Tombstoned);
+    assert_eq!(sup.tombstoned, 1);
+
+    // Re-staging the retired lineage byte-for-byte is a no-op: the
+    // tombstone holds.
+    sup.stage_images(id, faulty());
+    assert_eq!(sup.state(id), SupervisedState::Tombstoned);
+    assert!(matches!(
+        sup.invoke(&mut k, &mut kx, id, "entry", 0),
+        Err(SupervisorError::Tombstoned { .. })
+    ));
+
+    // Rolling back to a different generation revives the slot with a
+    // clean strike record.
+    sup.stage_images(id, benign(3));
+    assert!(matches!(sup.state(id), SupervisedState::Backoff { .. }));
+    assert_eq!(sup.poll(&mut k, &mut kx, id), SupervisedState::Running);
+    assert_eq!(sup.charged_restarts(id), 0);
+    assert_eq!(sup.running_generation(id), sup.staged_generation(id));
+    assert_eq!(sup.invoke(&mut k, &mut kx, id, "entry", 0), Ok(3));
+    assert_eq!(sup.tombstoned, 1, "revival is not a second tombstone");
+    kx.assert_no_leaks(&k).unwrap();
+}
+
+/// Rolling back twice is idempotent: the second `stage_images` of
+/// identical content does not bump the generation, the second `rollover`
+/// is a no-op, and the resource footprint ends where it started.
+#[test]
+fn double_rollback_is_idempotent() {
+    let (mut k, mut kx) = world();
+    let mut sup = Supervisor::new(RestartPolicy::immediate());
+    let id = sup
+        .install(&mut k, &mut kx, 8, ONE_STRIKE, benign(1))
+        .unwrap();
+    let baseline = ResourceAudit::capture(&k, &kx);
+
+    // Upgrade to v2, then roll back to v1 — twice.
+    sup.stage_images(id, benign(2));
+    sup.rollover(&mut k, &mut kx, id).unwrap();
+    assert_eq!(sup.invoke(&mut k, &mut kx, id, "entry", 0), Ok(2));
+
+    sup.stage_images(id, benign(1));
+    sup.rollover(&mut k, &mut kx, id).unwrap();
+    let gen_after_first = sup.staged_generation(id);
+    let rollovers_after_first = sup.rollovers;
+    let pages_after_first = sup.pages_reclaimed;
+
+    sup.stage_images(id, benign(1)); // identical content: no-op
+    assert_eq!(
+        sup.rollover(&mut k, &mut kx, id),
+        Ok(SupervisedState::Running),
+        "second rollback is a clean no-op"
+    );
+    assert_eq!(sup.staged_generation(id), gen_after_first);
+    assert_eq!(sup.rollovers, rollovers_after_first);
+    assert_eq!(
+        sup.pages_reclaimed, pages_after_first,
+        "an idempotent rollback must not churn the segment"
+    );
+    assert_eq!(sup.invoke(&mut k, &mut kx, id, "entry", 0), Ok(1));
+
+    kx.assert_no_leaks(&k).unwrap();
+    assert_eq!(
+        ResourceAudit::capture(&k, &kx),
+        baseline,
+        "upgrade + double rollback changed the resource footprint"
+    );
+}
+
+/// Rollovers are not faults: a full upgrade/rollback cycle charges no
+/// restart strikes and imposes no backoff.
+#[test]
+fn rollover_charges_no_strikes() {
+    let (mut k, mut kx) = world();
+    let mut sup = Supervisor::new(RestartPolicy::immediate());
+    let id = sup
+        .install(&mut k, &mut kx, 8, ONE_STRIKE, benign(1))
+        .unwrap();
+
+    sup.stage_images(id, benign(2));
+    assert_eq!(
+        sup.rollover(&mut k, &mut kx, id),
+        Ok(SupervisedState::Running)
+    );
+    sup.stage_images(id, benign(1));
+    assert_eq!(
+        sup.rollover(&mut k, &mut kx, id),
+        Ok(SupervisedState::Running)
+    );
+    assert_eq!(sup.charged_restarts(id), 0);
+    assert_eq!(sup.restarts, 0, "rollovers are not supervised restarts");
+    assert_eq!(sup.rollovers, 2);
+}
+
+/// A staged generation that fails admission at rollover tombstones the
+/// slot (the old segment is already gone) — and the rollback out of that
+/// tombstone still works, because it stages a different generation.
+#[test]
+fn failed_rollover_tombstones_then_rollback_revives() {
+    let (mut k, mut kx) = world();
+    let mut sup = Supervisor::new(RestartPolicy::immediate());
+    let verify_on = SegmentConfig {
+        verify: true,
+        ..ONE_STRIKE
+    };
+    let id = sup
+        .install(&mut k, &mut kx, 8, verify_on, benign(1))
+        .unwrap();
+
+    // The faulty image's out-of-segment store fails load-time
+    // verification, so the rollover rejects it and tombstones the slot.
+    sup.stage_images(id, faulty());
+    assert!(matches!(
+        sup.rollover(&mut k, &mut kx, id),
+        Err(KextError::Verify(_))
+    ));
+    assert_eq!(sup.state(id), SupervisedState::Tombstoned);
+    kx.assert_no_leaks(&k).unwrap();
+
+    // Rollback to the previous version: different generation → revival.
+    sup.stage_images(id, benign(1));
+    assert_eq!(sup.poll(&mut k, &mut kx, id), SupervisedState::Running);
+    assert_eq!(sup.invoke(&mut k, &mut kx, id, "entry", 0), Ok(1));
+    kx.assert_no_leaks(&k).unwrap();
+}
