@@ -312,7 +312,7 @@ jumptable:
 }
 
 /// The installed in-kernel interpreter.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BpfKernelInterp {
     entry: u32,
     /// Scratch kernel buffer for (program, packet).

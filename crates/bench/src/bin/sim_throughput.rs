@@ -12,14 +12,22 @@
 //! changes. `host_cpus` records the machine's available parallelism —
 //! speedups are bounded by it.
 //!
+//! Shard worlds boot **outside** the timed scaling windows (they used
+//! to fold into `host_secs`); each scaling row carries the excluded
+//! cost in a `boot_cycles` column.
+//!
 //! A third section, `fleet`, records the canaried rollout scenarios of
 //! `crates/fleet`: requests served / degraded / dropped while a version
 //! rolls out, the rollback latency when the canary trips, and the
 //! time-to-converge of a healthy promotion.
 //!
+//! A fourth section, `startup`, compares cold-booting a shard world
+//! against forking a warmed template (copy-on-write snapshot/fork):
+//! host seconds for each, and the speedup.
+//!
 //! Usage: `sim_throughput [--quick] [--out <path>] [--workers LIST]`
 
-use bench::{FleetPoint, ScalingPoint, ThroughputPoint};
+use bench::{FleetPoint, ScalingPoint, StartupPoint, ThroughputPoint};
 
 fn json_escape_free_number(v: f64) -> String {
     // All values here are finite and positive; keep a stable format.
@@ -34,6 +42,7 @@ fn to_json(
     pts: &[ThroughputPoint],
     scaling: &[ScalingPoint],
     fleet: &[FleetPoint],
+    startup: &[StartupPoint],
     quick: bool,
 ) -> String {
     let mut s = String::new();
@@ -90,6 +99,7 @@ fn to_json(
         s.push_str(&format!("      \"workers\": {},\n", p.workers));
         s.push_str(&format!("      \"shards\": {},\n", p.shards));
         s.push_str(&format!("      \"guest_insns\": {},\n", p.guest_insns));
+        s.push_str(&format!("      \"boot_cycles\": {},\n", p.boot_cycles));
         s.push_str(&format!(
             "      \"host_secs\": {},\n",
             json_escape_free_number(p.host_secs)
@@ -141,6 +151,25 @@ fn to_json(
             json_escape_free_number(p.host_secs)
         ));
         s.push_str(if i + 1 == fleet.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"startup\": [\n");
+    for (i, p) in startup.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"world\": \"{}\",\n", p.world));
+        // Nanosecond resolution: a fork is sub-microsecond, which the
+        // 6-decimal format used elsewhere would round to 0.0.
+        s.push_str(&format!("      \"cold_boot_secs\": {:.9},\n", p.cold_secs));
+        s.push_str(&format!("      \"fork_secs\": {:.9},\n", p.fork_secs));
+        s.push_str(&format!(
+            "      \"speedup\": {}\n",
+            json_escape_free_number(p.speedup())
+        ));
+        s.push_str(if i + 1 == startup.len() {
             "    }\n"
         } else {
             "    },\n"
@@ -232,7 +261,23 @@ fn main() {
         );
     }
 
-    let json = to_json(&pts, &scaling, &fleet, quick);
+    let startup = bench::measure_startup();
+    println!("\nWorld startup: cold boot vs copy-on-write fork");
+    println!(
+        "{:>10} {:>14} {:>14} {:>9}",
+        "World", "Cold (us)", "Fork (us)", "Speedup"
+    );
+    for p in &startup {
+        println!(
+            "{:>10} {:>14.1} {:>14.3} {:>8.0}x",
+            p.world,
+            p.cold_secs * 1e6,
+            p.fork_secs * 1e6,
+            p.speedup()
+        );
+    }
+
+    let json = to_json(&pts, &scaling, &fleet, &startup, quick);
     std::fs::write(&out, json).expect("write benchmark JSON");
     println!("\nwrote {out}");
 }

@@ -60,6 +60,14 @@ pub struct CampaignConfig {
     /// report: episodes draw from positional per-episode RNG streams and
     /// the per-episode results are merged in episode order.
     pub jobs: usize,
+    /// Boot each (non-OOM) episode by forking one warmed template world
+    /// (copy-on-write frames) instead of a cold `Kernel::boot` per
+    /// episode. Host-performance knob only: a forked world is
+    /// byte-identical to the cold boot it replaces, so the report is the
+    /// same either way (asserted by the differential suite and the CI
+    /// byte-compare). Out-of-memory episodes always cold-boot — their
+    /// bounded pool is part of the scenario.
+    pub fork_boot: bool,
 }
 
 impl Default for CampaignConfig {
@@ -72,6 +80,7 @@ impl Default for CampaignConfig {
             probe_interval: 500,
             predecode: true,
             jobs: 1,
+            fork_boot: true,
         }
     }
 }
@@ -122,6 +131,11 @@ pub struct CampaignReport {
 const CANARY: u32 = 0xC0FF_EE11;
 
 /// The per-episode world: one kernel hosting both extension mechanisms.
+///
+/// `Clone` forks the whole world copy-on-write ([`Kernel`]'s clone):
+/// non-OOM episodes clone one warmed template instead of cold-booting,
+/// and resume byte-identically to the cold boot they replace.
+#[derive(Clone)]
 struct Episode {
     k: Kernel,
     app: ExtensibleApp,
@@ -469,19 +483,32 @@ struct EpisodeOutput {
 ///
 /// Everything the episode does is a function of `(cfg, episode_idx)`
 /// alone: its RNG is the positional stream `stream(cfg.seed, idx)`, its
-/// kernel is freshly booted, and it never observes another episode. That
-/// is what lets [`run`] execute episodes on any worker in any order and
-/// still merge a byte-identical report.
-fn run_episode(cfg: &CampaignConfig, episode_idx: u32, start: u32, len: u32) -> EpisodeOutput {
+/// kernel is freshly booted — or forked from `template`, a world built
+/// by the very same `Episode::new(cfg, None)` and therefore
+/// byte-identical to that cold boot — and it never observes another
+/// episode. That is what lets [`run`] execute episodes on any worker in
+/// any order and still merge a byte-identical report.
+fn run_episode(
+    cfg: &CampaignConfig,
+    template: Option<&Episode>,
+    episode_idx: u32,
+    start: u32,
+    len: u32,
+) -> EpisodeOutput {
     let mut out = EpisodeOutput::default();
     let mut rng = SeedRng::stream(cfg.seed, u64::from(episode_idx));
 
     // Every sixth episode runs under memory pressure: a bounded pool,
     // further squeezed below so allocation failures surface mid-campaign
-    // ("OOM at touch").
+    // ("OOM at touch"). OOM episodes never fork — the bounded pool is
+    // part of the scenario.
     let oom = episode_idx % 6 == 5;
     let pool = if oom { Some(4 * 1024 * 1024) } else { None };
-    let mut episode = match Episode::new(cfg, pool) {
+    let built = match (oom, template) {
+        (false, Some(t)) => Ok(t.clone()),
+        _ => Episode::new(cfg, pool),
+    };
+    let mut episode = match built {
         Ok(mut ep) => {
             if oom {
                 let keep = rng.gen_range(0, 48);
@@ -588,6 +615,17 @@ pub fn run(cfg: &CampaignConfig) -> CampaignReport {
         })
         .collect();
 
+    // One warmed template world, forked per non-OOM episode. Building
+    // it goes through the very same `Episode::new(cfg, None)` a cold
+    // boot would, so forks are byte-identical to cold boots; if the
+    // build fails (only possible under memory pressure) every episode
+    // falls back to cold-booting itself.
+    let template = if cfg.fork_boot {
+        Episode::new(cfg, None).ok()
+    } else {
+        None
+    };
+
     // Campaign steps run under catch_unwind: a host panic is the worst
     // possible audit failure and must be recorded, not crash the driver.
     // The hook is process-global, so it is installed once around the
@@ -595,7 +633,7 @@ pub fn run(cfg: &CampaignConfig) -> CampaignReport {
     let prev_hook = panic::take_hook();
     panic::set_hook(Box::new(|_| {}));
     let outputs = parex::Pool::new(cfg.jobs).run_ordered(episodes, |_, (idx, start, len)| {
-        run_episode(cfg, idx, start, len)
+        run_episode(cfg, template.as_ref(), idx, start, len)
     });
     panic::set_hook(prev_hook);
 

@@ -51,7 +51,11 @@ impl core::fmt::Display for Violation {
 }
 
 /// Structural state watched across every step of a campaign episode.
-#[derive(Debug)]
+///
+/// `Clone` lets an oracle captured on a template world travel with each
+/// fork: the watched baseline (text snapshot, canary, descriptors, GOT
+/// pages) is identical in the forked world by construction.
+#[derive(Debug, Clone)]
 pub struct StateOracle {
     /// Snapshot of the application's image page (PPL 0): invariant 1.
     text_snapshot: Vec<u8>,

@@ -65,7 +65,12 @@ pub struct ReplicaStats {
 /// stream `SeedRng::stream(seed, i)` and owns every piece of its state,
 /// so a round is a pure function of the replica — the parex contract
 /// that makes fleet runs byte-identical across worker counts.
-#[derive(Debug)]
+///
+/// `Clone` is a world fork: the machine's physical frames share
+/// copy-on-write ([`x86sim::Machine::fork`]), so cloning a booted
+/// replica costs metadata, not memory — the basis of
+/// [`fork_as`](Replica::fork_as) template boot.
+#[derive(Debug, Clone)]
 pub struct Replica {
     /// The replica's private kernel.
     pub k: Kernel,
@@ -138,6 +143,21 @@ impl Replica {
             rounds_served: 0,
             failed_closed: false,
         })
+    }
+
+    /// Forks this replica into replica `idx` of a fleet seeded with
+    /// `seed`: a copy-on-write clone with its request stream re-pointed
+    /// at the positional stream `SeedRng::stream(seed, idx)`.
+    ///
+    /// Byte-faithful to a cold [`Replica::new`] boot because boot is
+    /// `idx`-independent — `idx` only seeds the rng, and the rng is
+    /// first consumed in [`serve_round`](Replica::serve_round). The
+    /// idiom: boot one template replica, then `fork_as` the rest of the
+    /// fleet in microseconds.
+    pub fn fork_as(&self, seed: u64, idx: u32) -> Replica {
+        let mut r = self.clone();
+        r.rng = SeedRng::stream(seed, u64::from(idx));
+        r
     }
 
     /// Whether the replica has failed closed (a containment violation

@@ -42,6 +42,11 @@ pub struct RolloutConfig {
     /// Worker threads to fan replicas across (any value is
     /// byte-identical).
     pub jobs: usize,
+    /// Boot the fleet by forking one template replica (copy-on-write)
+    /// instead of cold-booting every world. Host-performance knob only:
+    /// replica boot is index-independent, so reports are byte-identical
+    /// either way.
+    pub fork_boot: bool,
 }
 
 impl Default for RolloutConfig {
@@ -59,6 +64,7 @@ impl Default for RolloutConfig {
             cycle_limit: 20_000,
             predecode: true,
             jobs: 1,
+            fork_boot: true,
         }
     }
 }
@@ -158,16 +164,33 @@ pub fn run(cfg: &RolloutConfig, old: &[ModuleImage], new: &[ModuleImage]) -> Rol
     let pool = parex::Pool::new(cfg.jobs);
     let n = cfg.replicas.max(1);
 
+    // Boot the fleet: either fork replica worlds off one template
+    // (microsecond copy-on-write boot) or cold-boot each one. Boot is
+    // index-independent, so both paths yield byte-identical fleets.
+    let template = if cfg.fork_boot {
+        Replica::new(
+            cfg.seed,
+            0,
+            old.to_vec(),
+            cfg.policy,
+            cfg.cycle_limit,
+            cfg.predecode,
+        )
+        .ok()
+    } else {
+        None
+    };
     let mut reps: Vec<Replica> = pool
-        .run_ordered((0..n).collect(), |_, i| {
-            Replica::new(
+        .run_ordered((0..n).collect(), |_, i| match &template {
+            Some(t) => Ok(t.fork_as(cfg.seed, i)),
+            None => Replica::new(
                 cfg.seed,
                 i,
                 old.to_vec(),
                 cfg.policy,
                 cfg.cycle_limit,
                 cfg.predecode,
-            )
+            ),
         })
         .into_iter()
         .collect::<Result<_, _>>()

@@ -37,6 +37,10 @@ pub struct SoakConfig {
     pub predecode: bool,
     /// Worker threads (any value is byte-identical).
     pub jobs: usize,
+    /// Boot the fleet by forking one template replica (copy-on-write)
+    /// instead of cold-booting every world. Host-performance knob only;
+    /// reports are byte-identical either way.
+    pub fork_boot: bool,
 }
 
 impl Default for SoakConfig {
@@ -51,6 +55,7 @@ impl Default for SoakConfig {
             cycle_limit: 20_000,
             predecode: true,
             jobs: 1,
+            fork_boot: true,
         }
     }
 }
@@ -113,16 +118,33 @@ pub fn run(cfg: &SoakConfig) -> SoakReport {
 
     let images_for = |value: u32| working_version_images("flt", value, cfg.work_per_request);
 
+    // Fork the fleet off one template world when `fork_boot` is on;
+    // boot is index-independent, so the fleet is byte-identical to a
+    // cold-booted one.
+    let template = if cfg.fork_boot {
+        Replica::new(
+            cfg.seed,
+            0,
+            images_for(100),
+            RestartPolicy::default(),
+            cfg.cycle_limit,
+            cfg.predecode,
+        )
+        .ok()
+    } else {
+        None
+    };
     let mut reps: Vec<Replica> = pool
-        .run_ordered((0..n).collect(), |_, i| {
-            Replica::new(
+        .run_ordered((0..n).collect(), |_, i| match &template {
+            Some(t) => Ok(t.fork_as(cfg.seed, i)),
+            None => Replica::new(
                 cfg.seed,
                 i,
                 images_for(100),
                 RestartPolicy::default(),
                 cfg.cycle_limit,
                 cfg.predecode,
-            )
+            ),
         })
         .into_iter()
         .collect::<Result<_, _>>()

@@ -101,7 +101,12 @@ impl core::fmt::Display for SpawnError {
 impl std::error::Error for SpawnError {}
 
 /// The kernel.
-#[derive(Debug)]
+///
+/// `Clone` forks the whole world — machine (copy-on-write frames, see
+/// [`Machine::fork`]), frame allocator, tasks, kernel VA state — so a
+/// warmed kernel can be snapshotted once and cloned per shard or
+/// replica in microseconds instead of paying `Kernel::boot` each time.
+#[derive(Debug, Clone)]
 pub struct Kernel {
     /// The simulated machine.
     pub m: Machine,
@@ -124,7 +129,10 @@ pub struct Kernel {
     /// through a guest trampoline (which can only pass two registers) can
     /// still report *why* containment fired.
     pub last_fault: Option<Fault>,
-    tasks: BTreeMap<Tid, Task>,
+    /// Task table, shared copy-on-write across forked worlds (clones of
+    /// a warmed kernel): a fork pays two pointer bumps here and
+    /// materializes a private table on its first task mutation.
+    tasks: std::sync::Arc<BTreeMap<Tid, Task>>,
     current: Option<Tid>,
     next_tid: Tid,
     /// Preallocated kernel page-directory entries, shared by every task.
@@ -210,7 +218,7 @@ impl Kernel {
             stats: KernelStats::default(),
             extension_cycle_limit: 10_000_000,
             last_fault: None,
-            tasks: BTreeMap::new(),
+            tasks: std::sync::Arc::new(BTreeMap::new()),
             current: None,
             next_tid: 1,
             kernel_pdes,
@@ -344,9 +352,12 @@ impl Kernel {
         &self.tasks[&tid]
     }
 
-    /// Mutably borrows a task.
+    /// Mutably borrows a task (splitting a task table still shared with
+    /// a forked world — the copy-on-write choke point for task state).
     pub fn task_mut(&mut self, tid: Tid) -> &mut Task {
-        self.tasks.get_mut(&tid).expect("no such task")
+        std::sync::Arc::make_mut(&mut self.tasks)
+            .get_mut(&tid)
+            .expect("no such task")
     }
 
     /// All live task ids.
@@ -410,7 +421,7 @@ impl Kernel {
             ldt: x86sim::desc::DescriptorTable::new(),
             mailbox: std::collections::VecDeque::new(),
         };
-        self.tasks.insert(tid, task);
+        std::sync::Arc::make_mut(&mut self.tasks).insert(tid, task);
 
         // Establish segment caches for the saved context by temporarily
         // switching (also sets CPL 3).
@@ -872,7 +883,7 @@ impl Kernel {
         match child.exit_code {
             // Reap: remove the zombie.
             Some(code) => {
-                self.tasks.remove(&pid);
+                std::sync::Arc::make_mut(&mut self.tasks).remove(&pid);
                 code
             }
             None => -errno::EAGAIN,
@@ -1088,7 +1099,7 @@ impl Kernel {
             // Pending messages stay with the parent.
             mailbox: std::collections::VecDeque::new(),
         };
-        self.tasks.insert(child_tid, child);
+        std::sync::Arc::make_mut(&mut self.tasks).insert(child_tid, child);
         child_tid as i32
     }
 

@@ -63,7 +63,11 @@ pub struct FilterRun {
 }
 
 /// The side-by-side bench.
-#[derive(Debug)]
+///
+/// `Clone` is a world fork (copy-on-write frames via
+/// [`x86sim::Machine::fork`]): sharded benches boot one warmed template
+/// and clone it per shard instead of re-booting a kernel each time.
+#[derive(Debug, Clone)]
 pub struct FilterBench {
     /// The hosting kernel (public so benches can read stats/cycles).
     pub k: Kernel,

@@ -220,7 +220,7 @@ pub struct Tombstone {
 }
 
 /// One extension segment (Figure 3).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ExtSegment {
     /// Linear base inside the kernel range.
     pub base: u32,
@@ -297,7 +297,7 @@ pub struct DispatchStats {
 }
 
 /// The kernel-side manager for all extension segments.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KernelExtensions {
     segments: Vec<ExtSegment>,
     /// The shared return gate (SPL 1 → SPL 0).

@@ -38,7 +38,7 @@ use crate::user_ext::{DlopenOptions, ExtensibleApp, ExtensionHandle};
 /// A booted kernel plus its promoted extensible application.
 ///
 /// See the [module docs](self) for the lifecycle and an example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Session {
     k: Kernel,
     app: ExtensibleApp,
@@ -56,6 +56,19 @@ impl Session {
     pub fn with_kernel(mut k: Kernel) -> Result<Session, Error> {
         let app = ExtensibleApp::new(&mut k)?;
         Ok(Session { k, app })
+    }
+
+    /// Forks the session: a new, fully independent world — kernel,
+    /// machine, loaded extensions, attestations — produced in
+    /// microseconds by copy-on-write frame sharing
+    /// ([`x86sim::Machine::fork`]).
+    ///
+    /// The idiom: boot once, `dlopen`/`load_libc`/warm the expensive
+    /// state, then fork one session per shard or episode. Forks are
+    /// cycle/stat/fault byte-identical to the parent at the fork point
+    /// and their writes never bleed into the parent or each other.
+    pub fn fork(&self) -> Session {
+        self.clone()
     }
 
     /// Loads an extension (the paper's `seg_dlopen`), with verification,

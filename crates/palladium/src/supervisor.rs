@@ -74,7 +74,7 @@ pub enum LedgerEntry {
 /// The ledger is append-only during normal operation and unwound in
 /// reverse (LIFO) order at reclaim, so teardown mirrors construction —
 /// the transactional discipline DESIGN.md §6 documents.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ResourceLedger {
     entries: Vec<LedgerEntry>,
 }
@@ -301,7 +301,7 @@ impl core::fmt::Display for SupervisorError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SupervisedId(usize);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SupervisedExt {
     seg: ExtSegmentId,
     pages: u32,
@@ -325,7 +325,7 @@ struct SupervisedExt {
 /// Drives restart policy over extension segments: detects death, reclaims
 /// the dead segment through its ledger, waits out the backoff, reinstalls
 /// from the retained images, and tombstones extensions that keep dying.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Supervisor {
     policy: RestartPolicy,
     exts: Vec<SupervisedExt>,

@@ -211,7 +211,7 @@ impl DlopenOptions {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Ext {
     base: u32,
     pages: u32,
@@ -246,7 +246,7 @@ struct Ext {
     closed: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LoadedLib {
     symbols: BTreeMap<String, u32>,
     /// Mapped code range (half-open) — legal branch targets for verified
@@ -255,7 +255,7 @@ struct LoadedLib {
 }
 
 /// A promoted extensible application and its Palladium runtime state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ExtensibleApp {
     /// The hosting task.
     pub tid: Tid,
@@ -274,8 +274,12 @@ pub struct ExtensibleApp {
     /// Application-SPL trampoline region (PPL 0).
     tramp_next: u32,
     tramp_end: u32,
-    exts: Vec<Ext>,
-    libs: Vec<LoadedLib>,
+    /// Loaded extensions. Shared copy-on-write with forked worlds: a
+    /// clone of a warmed app bumps one refcount, and the first
+    /// load/resolve/close in either world materializes a private table.
+    exts: std::sync::Arc<Vec<Ext>>,
+    /// Loaded shared libraries, shared copy-on-write like `exts`.
+    libs: std::sync::Arc<Vec<LoadedLib>>,
     /// Call-gate selectors of registered application services — legal
     /// far-call targets for verified extensions (their stubs `lcall`
     /// these gates).
@@ -335,8 +339,8 @@ impl ExtensibleApp {
             slots,
             tramp_next: cursor,
             tramp_end: tramp + 2 * PAGE_SIZE,
-            exts: Vec::new(),
-            libs: Vec::new(),
+            exts: std::sync::Arc::new(Vec::new()),
+            libs: std::sync::Arc::new(Vec::new()),
             service_gates: Vec::new(),
         })
     }
@@ -370,7 +374,7 @@ impl ExtensibleApp {
             .iter()
             .map(|(s, off)| (s.clone(), base + off))
             .collect();
-        self.libs.push(LoadedLib {
+        std::sync::Arc::make_mut(&mut self.libs).push(LoadedLib {
             symbols,
             range: (base, base + pages * PAGE_SIZE),
         });
@@ -497,7 +501,7 @@ impl ExtensibleApp {
         let mark = k.costs.ppl_mark(marked);
         k.m.charge(DLOPEN_BASE_CYCLES + mark);
 
-        self.exts.push(Ext {
+        std::sync::Arc::make_mut(&mut self.exts).push(Ext {
             base,
             pages: img_pages,
             symbols,
@@ -526,7 +530,7 @@ impl ExtensibleApp {
         if let Some(entries) = opts.verify_entries() {
             let refs: Vec<&str> = entries.iter().map(|s| s.as_str()).collect();
             match self.verify_loaded(k, h, &refs) {
-                Ok(att) => self.exts[h.0].verified = Some(att),
+                Ok(att) => std::sync::Arc::make_mut(&mut self.exts)[h.0].verified = Some(att),
                 Err(e) => {
                     self.seg_dlclose(k, h)?;
                     return Err(PalError::Verify(e));
@@ -562,7 +566,7 @@ impl ExtensibleApp {
         if let Some((lo, hi)) = ext.plt_range {
             policy = policy.allow_code(lo, hi);
         }
-        for lib in &self.libs {
+        for lib in self.libs.iter() {
             policy = policy.allow_code(lib.range.0, lib.range.1);
         }
         verify_image(&image, &entry_offs, &policy)
@@ -679,7 +683,9 @@ impl ExtensibleApp {
         let prep_at = self.tramp_alloc(pbytes.len() as u32)?;
         assert!(k.m.host_write(prep_at, &pbytes));
 
-        let ext = self.exts.get_mut(h.0).unwrap();
+        let ext = std::sync::Arc::make_mut(&mut self.exts)
+            .get_mut(h.0)
+            .unwrap();
         ext.tramp3_next = tramp3_at + tbytes.len() as u32;
         ext.preps.insert(name.to_string(), (prep_at, tramp3_at));
         Ok(prep_at)
@@ -695,8 +701,9 @@ impl ExtensibleApp {
             (e.base, e.pages)
         };
         k.host_set_page_flags(self.tid, base, pages, 0, pte::US);
-        self.exts[h.0].closed = true;
-        self.exts[h.0].preps.clear();
+        let exts = std::sync::Arc::make_mut(&mut self.exts);
+        exts[h.0].closed = true;
+        exts[h.0].preps.clear();
         Ok(())
     }
 

@@ -123,7 +123,7 @@ pub enum CgiFallback {
 
 /// A registered dynamic endpoint: the live symbols plus everything
 /// needed to reinstall the script after a fault.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DynamicEndpoint {
     /// Protected `Prepare` address.
     prep: u32,
@@ -131,8 +131,10 @@ struct DynamicEndpoint {
     unprot: u32,
     /// Extension handle of the protected load (for `seg_dlclose`).
     handle: ExtensionHandle,
-    /// The original script image, kept for reinstall.
-    script: asm86::Object,
+    /// The original script image, kept for reinstall. Behind an `Arc`
+    /// because it is immutable after registration, so forked servers
+    /// share it instead of copying the object per clone.
+    script: std::sync::Arc<asm86::Object>,
     /// Entry symbol name.
     entry: String,
     /// Opt-in degradation behavior; `None` keeps the plain 500 path.
@@ -144,7 +146,12 @@ struct DynamicEndpoint {
 }
 
 /// The extensible web server.
-#[derive(Debug)]
+///
+/// `Clone` is a world fork: the kernel's physical frames share
+/// copy-on-write ([`x86sim::Machine::fork`]), so replica servers boot
+/// from one warmed template in microseconds instead of re-running
+/// `WebServer::new` per shard.
+#[derive(Debug, Clone)]
 pub struct WebServer {
     /// The hosting kernel (public: benches read its cycle counter).
     pub k: Kernel,
@@ -296,7 +303,7 @@ impl WebServer {
                 prep,
                 unprot,
                 handle: h,
-                script: script.clone(),
+                script: std::sync::Arc::new(script.clone()),
                 entry: entry.to_string(),
                 fallback,
                 degraded_until: None,
@@ -790,7 +797,7 @@ mod dynamic_tests {
              ret\n",
         )
         .unwrap();
-        s.dynamic.get_mut("/svc").unwrap().script = fixed;
+        s.dynamic.get_mut("/svc").unwrap().script = std::sync::Arc::new(fixed);
 
         s.k.m.charge(1_001);
         let r = s

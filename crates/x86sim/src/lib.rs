@@ -41,7 +41,7 @@ mod tests;
 pub use cycles::{cycles_to_us, us_to_cycles, Event, CLOCK_HZ};
 pub use desc::{CallGate, CodeSeg, DataSeg, Descriptor, DescriptorTable, Selector};
 pub use fault::{Fault, FaultCause, Vector};
-pub use machine::{Cpu, Exit, Flags, IdtGate, Machine, SegCache, Tss};
+pub use machine::{Cpu, Exit, Flags, IdtGate, Machine, SegCache, Snapshot, Tss};
 pub use mem::{FrameAlloc, PhysMem, PAGE_SIZE};
 pub use paging::{pte, Access, Mmu};
 pub use predecode::PredecodeStats;

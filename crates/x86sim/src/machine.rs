@@ -208,7 +208,14 @@ pub enum Exit {
 }
 
 /// The machine.
-#[derive(Debug)]
+///
+/// `Clone` is the world snapshot/fork primitive (see
+/// [`Machine::snapshot`] / [`Machine::fork`]): physical frame payloads
+/// are shared copy-on-write, everything else — CPU, tables, TLB,
+/// predecode cache, translation memos, counters — is copied, so a fork
+/// resumes byte-identically to the world it was taken from and its
+/// writes never bleed into siblings or the template.
+#[derive(Debug, Clone)]
 pub struct Machine {
     /// CPU registers and segment caches.
     pub cpu: Cpu,
@@ -307,6 +314,28 @@ impl Default for Machine {
     }
 }
 
+/// An immutable world snapshot: a warmed [`Machine`] frozen as a fork
+/// template.
+///
+/// Created by [`Machine::snapshot`]. The snapshot exposes no mutable
+/// access, so the frames it shares with its forks stay frozen; each
+/// [`Snapshot::fork`] produces an independent world in microseconds
+/// whose writes materialize frames privately (copy-on-write).
+#[derive(Debug, Clone)]
+pub struct Snapshot(Machine);
+
+impl Snapshot {
+    /// Forks a new independent world from the template.
+    pub fn fork(&self) -> Machine {
+        self.0.clone()
+    }
+
+    /// Read-only view of the frozen world (for oracles and tests).
+    pub fn machine(&self) -> &Machine {
+        &self.0
+    }
+}
+
 impl Machine {
     /// Creates a machine with empty tables and paging disabled.
     pub fn new() -> Machine {
@@ -327,6 +356,29 @@ impl Machine {
             data_read_memo: PageMemo::INVALID,
             data_write_memo: PageMemo::INVALID,
         }
+    }
+
+    /// Freezes the world into an immutable [`Snapshot`] usable as a
+    /// fork template. The frame slab is shared copy-on-write behind the
+    /// snapshot — taking one costs a slab-metadata copy (microseconds),
+    /// not a memory copy — and the snapshot's own frames can never
+    /// change afterwards: it hands out no mutable access.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(self.clone())
+    }
+
+    /// Forks a new world from this one in microseconds.
+    ///
+    /// Frame payloads are shared copy-on-write and materialize
+    /// privately on first write in either world. The predecode cache
+    /// and translation memos carry over — they key on physical
+    /// addresses and slab slots, both preserved by the fork, and are
+    /// invalidated per-frame by the same store/code generations as
+    /// always — so a forked world is cycle/stat/fault byte-identical
+    /// to the world it forked from (and hence to a cold boot that
+    /// reached the same state).
+    pub fn fork(&self) -> Machine {
+        self.clone()
     }
 
     /// Enables or disables the predecoded-instruction fast path.

@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// The page size, as on x86.
 pub const PAGE_SIZE: u32 = 4096;
@@ -83,9 +84,17 @@ fn span_bits(lo: usize, hi: usize) -> u64 {
 
 /// One backed frame: its bytes, the store generation, and the code
 /// generation + mask driving predecode invalidation.
-#[derive(Debug)]
+///
+/// The payload lives behind an `Arc` so cloning a [`PhysMem`] (a world
+/// snapshot/fork) shares the 4 KB byte arrays instead of copying them:
+/// a refcount above one *is* the frozen/shared state. The metadata
+/// (generations, code mask) is cloned per world — generation bumps and
+/// code marking in one fork never disturb its siblings. Every payload
+/// mutation funnels through [`Frame::data_mut`], which splits a shared
+/// payload privately before writing (copy-on-write).
+#[derive(Debug, Clone)]
 struct Frame {
-    data: Box<[u8; PAGE_SIZE as usize]>,
+    data: Arc<[u8; PAGE_SIZE as usize]>,
     gen: u64,
     /// Bumped only by stores that overlap bytes a cached decode consumed
     /// (per `code_mask`); the generation the predecode cache validates.
@@ -96,11 +105,20 @@ struct Frame {
 impl Frame {
     fn new() -> Frame {
         Frame {
-            data: Box::new([0u8; PAGE_SIZE as usize]),
+            data: Arc::new([0u8; PAGE_SIZE as usize]),
             gen: 0,
             code_gen: 0,
             code_mask: None,
         }
+    }
+
+    /// The single mutation choke point for frame payload bytes: if the
+    /// payload is shared with a forked sibling or template world it is
+    /// copied privately first (`Arc::make_mut`), so a write in this
+    /// world can never bleed into another.
+    #[inline]
+    fn data_mut(&mut self) -> &mut [u8; PAGE_SIZE as usize] {
+        Arc::make_mut(&mut self.data)
     }
 
     /// Records a store of `len` bytes at page offset `off`: always bumps
@@ -139,10 +157,17 @@ impl Frame {
 /// slot numbers and revalidates with [`PhysMem::slot_code_generation`] —
 /// a bounds-checked array read instead of a hash lookup on the fetch
 /// path.
-#[derive(Debug, Default)]
+///
+/// `Clone` is the snapshot/fork primitive, and it is two refcount
+/// bumps: the index and the frame table are both shared copy-on-write.
+/// The first mutation in either world materializes a private frame
+/// table (slot numbers — and therefore carried-over predecode entries
+/// and translation memos — stay valid), and the 4 KB payloads stay
+/// shared beneath it until individually written (`Frame::data_mut`).
+#[derive(Debug, Default, Clone)]
 pub struct PhysMem {
-    index: HashMap<u32, u32, U32HashBuilder>,
-    slabs: Vec<Frame>,
+    index: Arc<HashMap<u32, u32, U32HashBuilder>>,
+    slabs: Arc<Vec<Frame>>,
 }
 
 impl PhysMem {
@@ -154,6 +179,36 @@ impl PhysMem {
     /// Number of frames actually backed by host memory.
     pub fn resident_frames(&self) -> usize {
         self.slabs.len()
+    }
+
+    /// Number of backed frames whose payload is still shared with a
+    /// snapshot or forked sibling (copy-on-write, not yet materialized
+    /// privately). Observability for fork tests and benches; cold
+    /// worlds report 0.
+    pub fn shared_frames(&self) -> usize {
+        if Arc::strong_count(&self.slabs) > 1 {
+            // The whole frame table is still shared: no world has
+            // mutated anything since the fork.
+            return self.resident_frames();
+        }
+        self.slabs
+            .iter()
+            .filter(|f| Arc::strong_count(&f.data) > 1)
+            .count()
+    }
+
+    /// The copy-on-write split points for the mutation paths: a world
+    /// that still shares its frame table (or index) with a fork
+    /// materializes a private copy before the first change. Payloads
+    /// stay shared beneath the private table until written.
+    #[inline]
+    fn slabs_mut(&mut self) -> &mut Vec<Frame> {
+        Arc::make_mut(&mut self.slabs)
+    }
+
+    #[inline]
+    fn index_mut(&mut self) -> &mut HashMap<u32, u32, U32HashBuilder> {
+        Arc::make_mut(&mut self.index)
     }
 
     /// The store generation of the frame containing `addr`.
@@ -179,16 +234,24 @@ impl PhysMem {
     /// frame if unbacked — *without* bumping its store generation.
     /// Allocation is not a store: the frame's bytes are the same zeros
     /// reads already observed.
+    ///
+    /// CoW invariant: this "touch without bumping" path never mutates
+    /// payload bytes, so it must not — and does not — split a payload
+    /// shared with a forked world. The same holds for
+    /// [`PhysMem::mark_code`], which mutates only per-world metadata.
+    /// Every payload mutation goes through `Frame::data_mut`, the
+    /// single copy-on-write choke point; a shared frame later written
+    /// through the slot returned here still materializes privately
+    /// (regression-tested in `slot_write_on_shared_frame_cows`).
     pub fn ensure_frame_slot(&mut self, addr: u32) -> u32 {
-        match self.index.entry(addr >> 12) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let idx = self.slabs.len() as u32;
-                e.insert(idx);
-                self.slabs.push(Frame::new());
-                idx
-            }
+        // Hit path stays read-only so it never splits a shared table.
+        if let Some(&idx) = self.index.get(&(addr >> 12)) {
+            return idx;
         }
+        let idx = self.slabs.len() as u32;
+        self.index_mut().insert(addr >> 12, idx);
+        self.slabs_mut().push(Frame::new());
+        idx
     }
 
     /// The *code* generation of the frame in slab slot `slot` (0 for an
@@ -205,7 +268,7 @@ impl PhysMem {
     /// the slot's code generation.
     pub fn mark_code(&mut self, slot: u32, off: usize, len: usize) {
         debug_assert!(len > 0 && off + len <= PAGE_SIZE as usize);
-        let Some(f) = self.slabs.get_mut(slot as usize) else {
+        let Some(f) = self.slabs_mut().get_mut(slot as usize) else {
             return;
         };
         let mask = f
@@ -258,25 +321,25 @@ impl PhysMem {
     /// bookkeeping as the address-keyed stores.
     #[inline]
     pub fn write_u8_slot(&mut self, slot: u32, off: u32, v: u8) {
-        let f = &mut self.slabs[slot as usize];
+        let f = &mut self.slabs_mut()[slot as usize];
         f.note_store(off as usize, 1);
-        f.data[off as usize] = v;
+        f.data_mut()[off as usize] = v;
     }
 
     /// Writes a 16-bit little-endian value inside one frame.
     #[inline]
     pub fn write_u16_slot(&mut self, slot: u32, off: u32, v: u16) {
-        let f = &mut self.slabs[slot as usize];
+        let f = &mut self.slabs_mut()[slot as usize];
         f.note_store(off as usize, 2);
-        f.data[off as usize..off as usize + 2].copy_from_slice(&v.to_le_bytes());
+        f.data_mut()[off as usize..off as usize + 2].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a 32-bit little-endian value inside one frame.
     #[inline]
     pub fn write_u32_slot(&mut self, slot: u32, off: u32, v: u32) {
-        let f = &mut self.slabs[slot as usize];
+        let f = &mut self.slabs_mut()[slot as usize];
         f.note_store(off as usize, 4);
-        f.data[off as usize..off as usize + 4].copy_from_slice(&v.to_le_bytes());
+        f.data_mut()[off as usize..off as usize + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// The frame containing `addr`, allocated on demand, with its
@@ -284,7 +347,7 @@ impl PhysMem {
     /// on the mutation paths, with the span inside one frame.
     fn frame_mut(&mut self, addr: u32, len: usize) -> &mut Frame {
         let idx = self.ensure_frame_slot(addr) as usize;
-        let f = &mut self.slabs[idx];
+        let f = &mut self.slabs_mut()[idx];
         f.note_store((addr & PAGE_MASK) as usize, len);
         f
     }
@@ -306,7 +369,7 @@ impl PhysMem {
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u32, v: u8) {
-        self.frame_mut(addr, 1).data[(addr & PAGE_MASK) as usize] = v;
+        self.frame_mut(addr, 1).data_mut()[(addr & PAGE_MASK) as usize] = v;
     }
 
     /// Reads a 16-bit little-endian value (may straddle frames).
@@ -327,7 +390,7 @@ impl PhysMem {
         let b = v.to_le_bytes();
         if addr & PAGE_MASK < PAGE_MASK {
             let i = (addr & PAGE_MASK) as usize;
-            self.frame_mut(addr, 2).data[i..i + 2].copy_from_slice(&b);
+            self.frame_mut(addr, 2).data_mut()[i..i + 2].copy_from_slice(&b);
         } else {
             self.write_u8(addr, b[0]);
             self.write_u8(addr.wrapping_add(1), b[1]);
@@ -357,7 +420,7 @@ impl PhysMem {
         let b = v.to_le_bytes();
         if addr & PAGE_MASK <= PAGE_MASK - 3 {
             let i = (addr & PAGE_MASK) as usize;
-            self.frame_mut(addr, 4).data[i..i + 4].copy_from_slice(&b);
+            self.frame_mut(addr, 4).data_mut()[i..i + 4].copy_from_slice(&b);
         } else {
             for (i, byte) in b.iter().enumerate() {
                 self.write_u8(addr.wrapping_add(i as u32), *byte);
@@ -372,7 +435,7 @@ impl PhysMem {
         while !data.is_empty() {
             let off = (addr & PAGE_MASK) as usize;
             let n = data.len().min(PAGE_SIZE as usize - off);
-            self.frame_mut(addr, n).data[off..off + n].copy_from_slice(&data[..n]);
+            self.frame_mut(addr, n).data_mut()[off..off + n].copy_from_slice(&data[..n]);
             data = &data[n..];
             addr = addr.wrapping_add(n as u32);
         }
@@ -392,7 +455,7 @@ impl PhysMem {
         while len > 0 {
             let off = (addr & PAGE_MASK) as usize;
             let n = len.min(PAGE_SIZE as usize - off);
-            self.frame_mut(addr, n).data[off..off + n].fill(0);
+            self.frame_mut(addr, n).data_mut()[off..off + n].fill(0);
             len -= n;
             addr = addr.wrapping_add(n as u32);
         }
@@ -636,6 +699,62 @@ mod tests {
         assert_eq!(fa.remaining(), 1);
         assert_eq!(fa.alloc(), Some(a));
         assert!(fa.alloc().is_none());
+    }
+
+    #[test]
+    fn cloned_memory_shares_frames_until_written() {
+        let mut m = PhysMem::new();
+        m.write_u32(0x1000, 0xDEAD_BEEF);
+        m.write_u32(0x2000, 0x1234_5678);
+        assert_eq!(m.shared_frames(), 0, "cold world shares nothing");
+
+        let mut fork = m.clone();
+        assert_eq!(m.shared_frames(), 2, "snapshot freezes both frames");
+        assert_eq!(fork.shared_frames(), 2);
+        assert_eq!(fork.read_u32(0x1000), 0xDEAD_BEEF);
+
+        // First write in the fork materializes only that frame.
+        let g_before = m.frame_generation(0x1000);
+        fork.write_u32(0x1000, 0xCAFE_F00D);
+        assert_eq!(fork.read_u32(0x1000), 0xCAFE_F00D);
+        assert_eq!(m.read_u32(0x1000), 0xDEAD_BEEF, "template untouched");
+        assert_eq!(m.frame_generation(0x1000), g_before, "template gen private");
+        assert!(fork.frame_generation(0x1000) > g_before, "fork gen bumped");
+        assert_eq!(m.shared_frames(), 1, "only the untouched frame shares");
+
+        // Writes in the template split too, without touching the fork.
+        m.write_u32(0x2000, 0x9999_0000);
+        assert_eq!(fork.read_u32(0x2000), 0x1234_5678);
+        assert_eq!(m.shared_frames(), 0);
+    }
+
+    #[test]
+    fn slot_write_on_shared_frame_cows() {
+        // Regression for the "touch without bumping" audit: a frame
+        // shared with a fork and then mutated through the slot-direct
+        // path (the memoized store fast path) must still materialize
+        // privately. `ensure_frame_slot` itself never splits — it does
+        // not mutate payload bytes.
+        let mut m = PhysMem::new();
+        m.write_bytes(0x3000, &[0xAA; 64]);
+        let mut fork = m.clone();
+
+        let slot = fork.ensure_frame_slot(0x3000);
+        assert_eq!(
+            fork.shared_frames(),
+            1,
+            "ensure_frame_slot alone must not split the shared payload"
+        );
+        fork.write_u8_slot(slot, 5, 0x55);
+        assert_eq!(fork.read_u8(0x3005), 0x55);
+        assert_eq!(m.read_u8(0x3005), 0xAA, "template sees no slot write");
+        assert_eq!(fork.shared_frames(), 0);
+
+        // Allocating a brand-new frame in the fork never shows up in
+        // the template.
+        let new_slot = fork.ensure_frame_slot(0x9_F000);
+        fork.write_u32_slot(new_slot, 0, 7);
+        assert!(m.frame_data(0x9_F000).is_none());
     }
 
     #[test]

@@ -69,7 +69,12 @@ pub struct TlbStats {
 }
 
 /// The MMU: paging enable, CR3, and the TLB.
-#[derive(Debug, Default)]
+///
+/// `Clone` carries the live TLB and epoch into a forked world: entries
+/// are translations of the same guest page tables, and the epoch keeps
+/// carried-over translation memos valid, so a fork resumes with exactly
+/// the hit/miss behaviour the template would have had.
+#[derive(Debug, Default, Clone)]
 pub struct Mmu {
     /// Physical base of the page directory.
     pub cr3: u32,
@@ -156,7 +161,7 @@ impl Mmu {
     ///
     /// This is split into an inlined fast path for the common cases —
     /// paging off, or a TLB hit that needs no dirty-bit update — and an
-    /// outlined [`Mmu::translate_slow`] for the rest. The split is a host
+    /// outlined `Mmu::translate_slow` for the rest. The split is a host
     /// optimisation only: the order of stats updates, permission checks
     /// and PTE side effects is exactly that of the straight-line version.
     #[inline]

@@ -96,9 +96,17 @@ impl Entry {
 
 /// The predecoded-instruction cache. Owned by [`crate::Machine`]; see the
 /// module docs for the invariants.
-#[derive(Debug)]
+///
+/// `Clone` carries the cache into a forked world by sharing the slot
+/// slab copy-on-write (an `Arc` bump; the 512 KiB slab materializes
+/// privately on the fork's first `insert`/`clear`). Entries stay valid
+/// in the fork: they are keyed by physical address and slab slot (both
+/// preserved by a [`crate::mem::PhysMem`] clone) and revalidated
+/// against per-frame code generations, which fork privately with the
+/// frame metadata.
+#[derive(Debug, Clone)]
 pub struct InsnCache {
-    slots: Box<[Entry; SLOTS]>,
+    slots: std::sync::Arc<[Entry; SLOTS]>,
     live: usize,
     stats: PredecodeStats,
 }
@@ -113,7 +121,7 @@ impl InsnCache {
     /// Creates an empty cache.
     pub fn new() -> InsnCache {
         InsnCache {
-            slots: Box::new([Entry::EMPTY; SLOTS]),
+            slots: std::sync::Arc::new([Entry::EMPTY; SLOTS]),
             live: 0,
             stats: PredecodeStats::default(),
         }
@@ -136,7 +144,7 @@ impl InsnCache {
 
     /// Drops every entry (used when the fast path is toggled off).
     pub fn clear(&mut self) {
-        self.slots.fill(Entry::EMPTY);
+        std::sync::Arc::make_mut(&mut self.slots).fill(Entry::EMPTY);
         self.live = 0;
     }
 
@@ -212,7 +220,7 @@ impl InsnCache {
         };
         let lo_slot = mem.ensure_frame_slot(phys);
         mem.mark_code(lo_slot, off, n_lo);
-        let slot = &mut self.slots[Self::slot_of(phys)];
+        let slot = &mut std::sync::Arc::make_mut(&mut self.slots)[Self::slot_of(phys)];
         if slot.len == 0 {
             self.live += 1;
         }

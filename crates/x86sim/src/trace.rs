@@ -23,7 +23,7 @@ pub struct TraceRecord {
 }
 
 /// A bounded execution trace.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Trace {
     records: Vec<TraceRecord>,
     capacity: usize,

@@ -12,13 +12,18 @@
 //! byte-identical report.
 //! `--report <path>` additionally writes the summary to a file (the CI
 //! `chaos_recovery` job uploads it as an artifact).
+//! `--boot fork|cold` selects whether episodes fork from one warmed
+//! template world (the default; copy-on-write, microsecond boot) or
+//! cold-boot each episode — a host-performance knob only, the reports
+//! are byte-identical (the CI `snapshot_fork` job compares them).
 
 use chaos::campaign::{self, CampaignConfig};
 
 fn usage_error(what: &str) -> ! {
     eprintln!("{what}");
     eprintln!(
-        "usage: chaos_campaign [--seed N] [--steps N] [--jobs N] [--cycle-limit N] [--report PATH]"
+        "usage: chaos_campaign [--seed N] [--steps N] [--jobs N] [--cycle-limit N] \
+         [--boot fork|cold] [--report PATH]"
     );
     std::process::exit(2);
 }
@@ -42,6 +47,12 @@ fn main() {
             "--steps" => cfg.steps = numeric_value(&mut args, "--steps"),
             "--cycle-limit" => cfg.cycle_limit = numeric_value(&mut args, "--cycle-limit"),
             "--jobs" => cfg.jobs = numeric_value(&mut args, "--jobs"),
+            "--boot" => match args.next().as_deref() {
+                Some("fork") => cfg.fork_boot = true,
+                Some("cold") => cfg.fork_boot = false,
+                Some(v) => usage_error(&format!("--boot expects fork|cold, got `{v}`")),
+                None => usage_error("--boot requires a value"),
+            },
             "--report" => match args.next() {
                 Some(p) => report_path = Some(p),
                 None => usage_error("--report requires a path"),

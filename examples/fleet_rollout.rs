@@ -12,6 +12,10 @@
 //! the roll promotes wave by wave. The report is byte-identical per
 //! seed *and per worker count*; `--report <path>` writes it to a file
 //! (the CI `fleet_rollout` job diffs `--jobs 1` against `--jobs 8`).
+//! `--boot fork|cold` selects whether the fleet boots by forking one
+//! template replica (the default; copy-on-write, microsecond boot) or
+//! cold-boots every world — a host-performance knob only, the reports
+//! are byte-identical (the CI `snapshot_fork` job compares them).
 //!
 //! Exits non-zero on any containment violation, any ledger leak, or —
 //! for the rollout — any dropped request on a healthy replica.
@@ -25,7 +29,7 @@ fn usage_error(what: &str) -> ! {
     eprintln!("{what}");
     eprintln!(
         "usage: fleet_rollout [--seed N] [--replicas N] [--rounds N] [--requests N] [--jobs N] \
-         [--good] [--report PATH] [--soak] [--epochs N] [--min-insns N]"
+         [--boot fork|cold] [--good] [--report PATH] [--soak] [--epochs N] [--min-insns N]"
     );
     std::process::exit(2);
 }
@@ -65,6 +69,16 @@ fn main() {
             "--jobs" => {
                 cfg.jobs = numeric_value(&mut args, "--jobs");
                 soak_cfg.jobs = cfg.jobs;
+            }
+            "--boot" => {
+                let fork = match args.next().as_deref() {
+                    Some("fork") => true,
+                    Some("cold") => false,
+                    Some(v) => usage_error(&format!("--boot expects fork|cold, got `{v}`")),
+                    None => usage_error("--boot requires a value"),
+                };
+                cfg.fork_boot = fork;
+                soak_cfg.fork_boot = fork;
             }
             "--epochs" => soak_cfg.epochs = numeric_value(&mut args, "--epochs"),
             "--min-insns" => min_insns = numeric_value(&mut args, "--min-insns"),

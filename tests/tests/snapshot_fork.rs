@@ -1,0 +1,313 @@
+//! Differential suite for copy-on-write world snapshot/fork.
+//!
+//! The fork contract (DESIGN.md §10): a forked world is cycle/stat/
+//! fault **byte-identical** to the cold-booted world it replaces, and a
+//! fork's writes never bleed into its siblings or the template. These
+//! tests prove both directions at every layer — raw `Machine`,
+//! `Kernel`, `palladium::Session`, chaos campaigns, and the leak audit
+//! after `dlclose` inside a fork.
+
+use asm86::Assembler;
+use chaos::campaign::{self, CampaignConfig};
+use chaos::oracle;
+use minikernel::Kernel;
+use palladium::kernel_ext::KernelExtensions;
+use palladium::user_ext::{DlopenOptions, ExtensibleApp};
+use palladium::{DlopenOptions as SessionDlopenOptions, Session};
+use x86sim::machine::Machine;
+
+// --- machine layer -------------------------------------------------------
+
+/// Runs the same little program on a machine and returns the observable
+/// trajectory: (cycles, insns, eax).
+fn run_counter_program(m: &mut Machine, iters: u32) -> (u64, u64, u32) {
+    use asm86::isa::Reg;
+    for _ in 0..iters {
+        assert!(m.step().is_none(), "program must not exit");
+    }
+    (m.cycles(), m.insns(), m.cpu.reg(Reg::Eax))
+}
+
+fn counter_machine() -> Machine {
+    use asm86::isa::SegReg;
+    use x86sim::desc::{Descriptor, Selector};
+
+    let src = "\
+loop_top:
+    add eax, 1
+    mov [0x4000], eax
+    jmp loop_top
+";
+    let obj = Assembler::assemble(src).unwrap();
+    let image = obj
+        .link(0x1000, &std::collections::BTreeMap::new())
+        .unwrap();
+    let mut m = Machine::new();
+    let c = m.gdt.push(Descriptor::flat_code(0));
+    let d = m.gdt.push(Descriptor::flat_data(0));
+    m.mem.write_bytes(0x1000, &image);
+    m.force_seg_from_table(SegReg::Cs, Selector::new(c, false, 0));
+    m.force_seg_from_table(SegReg::Ss, Selector::new(d, false, 0));
+    m.force_seg_from_table(SegReg::Ds, Selector::new(d, false, 0));
+    m.cpu.set_reg(asm86::isa::Reg::Esp, 0x8000);
+    m.cpu.eip = 0x1000;
+    m
+}
+
+#[test]
+fn forked_machine_is_byte_identical_to_its_template_trajectory() {
+    // Warm a machine mid-loop, snapshot it, and run template vs fork
+    // side by side: identical cycles, insns, registers, memory.
+    let mut template = counter_machine();
+    run_counter_program(&mut template, 50);
+    let snap = template.snapshot();
+
+    let mut a = snap.fork();
+    let mut b = snap.fork();
+    let ra = run_counter_program(&mut a, 200);
+    let rb = run_counter_program(&mut b, 200);
+    assert_eq!(ra, rb, "sibling forks share a trajectory");
+
+    // The template continues independently and reaches the same state.
+    let rt = run_counter_program(&mut template, 200);
+    assert_eq!(rt, ra, "template trajectory == fork trajectory");
+    assert_eq!(a.mem.read_u32(0x4000), b.mem.read_u32(0x4000));
+}
+
+#[test]
+fn fork_writes_never_bleed_into_siblings_or_template() {
+    let mut template = counter_machine();
+    run_counter_program(&mut template, 10);
+    let snap = template.snapshot();
+
+    let mut a = snap.fork();
+    let mut b = snap.fork();
+    let before = snap.machine().mem.read_u32(0x4000);
+
+    // Divergent writes in fork A: direct stores and guest execution.
+    a.mem.write_u32(0x4000, 0xAAAA_0001);
+    a.mem.write_bytes(0x7000, &[0xA5; 128]);
+    run_counter_program(&mut a, 33);
+
+    assert_eq!(snap.machine().mem.read_u32(0x4000), before, "template");
+    assert_eq!(b.mem.read_u32(0x4000), before, "sibling");
+    assert_eq!(b.mem.read_u8(0x7003), 0, "sibling never sees A's frames");
+
+    // B still runs the undisturbed trajectory.
+    let rb = run_counter_program(&mut b, 17);
+    let mut cold = counter_machine();
+    let rc = run_counter_program(&mut cold, 27);
+    assert_eq!((rb.0, rb.1, rb.2), (rc.0, rc.1, rc.2));
+}
+
+#[test]
+fn fork_is_cheap_shared_frames_materialize_lazily() {
+    let mut template = counter_machine();
+    run_counter_program(&mut template, 10);
+    let resident = template.mem.resident_frames();
+    assert!(resident >= 2);
+
+    let snap = template.snapshot();
+    let mut fork = snap.fork();
+    assert_eq!(
+        fork.mem.shared_frames(),
+        resident,
+        "a fresh fork shares every backed frame"
+    );
+    // One store materializes exactly the touched frame.
+    fork.mem.write_u8(0x4000, 1);
+    assert_eq!(fork.mem.shared_frames(), resident - 1);
+}
+
+// --- kernel + session layer ----------------------------------------------
+
+#[test]
+fn forked_session_matches_cold_booted_session_byte_for_byte() {
+    let ext_src = "double:\nmov eax, [esp+4]\nadd eax, eax\nret\n";
+    let ext = Assembler::assemble(ext_src).unwrap();
+
+    // Cold world: boot, load, call.
+    let mut cold = Session::new().expect("boot");
+    let h_cold = cold
+        .dlopen(&ext, &SessionDlopenOptions::new().verify(&["double"]))
+        .expect("dlopen");
+    let f_cold = cold.dlsym(h_cold, "double").expect("dlsym");
+    cold.call(f_cold, 3).expect("warm");
+
+    // Template world: identical sequence, then fork before measuring.
+    let mut tmpl = Session::new().expect("boot");
+    let h = tmpl
+        .dlopen(&ext, &SessionDlopenOptions::new().verify(&["double"]))
+        .expect("dlopen");
+    let f = tmpl.dlsym(h, "double").expect("dlsym");
+    tmpl.call(f, 3).expect("warm");
+    let fork_point_cycles = tmpl.kernel().m.cycles();
+    let mut fork = tmpl.fork();
+
+    assert_eq!(
+        fork.kernel().m.cycles(),
+        cold.kernel().m.cycles(),
+        "fork point matches cold boot cycle-exactly"
+    );
+    assert_eq!(fork.kernel().m.insns(), cold.kernel().m.insns());
+    assert_eq!(fork.kernel().stats, cold.kernel().stats);
+    assert!(
+        fork.attestation(h).unwrap().is_some(),
+        "attestation carried"
+    );
+
+    // Same calls from here on: byte-identical cycles, results, faults.
+    for arg in [5u32, 21, 0x7FFF] {
+        let (rf, rc) = (fork.call(f, arg).unwrap(), cold.call(f_cold, arg).unwrap());
+        assert_eq!(rf, rc);
+        assert_eq!(fork.kernel().m.cycles(), cold.kernel().m.cycles());
+        assert_eq!(fork.kernel().m.insns(), cold.kernel().m.insns());
+    }
+    assert_eq!(fork.kernel().stats, cold.kernel().stats);
+
+    // A faulting extension aborts identically in both worlds.
+    let evil = Assembler::assemble(&format!(
+        "f:\nmov eax, 1\nmov [{}], eax\nret\n",
+        minikernel::USER_TEXT
+    ))
+    .unwrap();
+    let eh_f = fork.dlopen(&evil, &SessionDlopenOptions::new()).unwrap();
+    let eh_c = cold.dlopen(&evil, &SessionDlopenOptions::new()).unwrap();
+    let ef = fork.dlsym(eh_f, "f").unwrap();
+    let ec = cold.dlsym(eh_c, "f").unwrap();
+    assert!(fork.call(ef, 0).is_err());
+    assert!(cold.call(ec, 0).is_err());
+    assert_eq!(fork.kernel().stats.faults, cold.kernel().stats.faults);
+    assert_eq!(fork.kernel().m.cycles(), cold.kernel().m.cycles());
+
+    // The template never moved while its fork worked.
+    assert_eq!(tmpl.kernel().m.cycles(), fork_point_cycles);
+}
+
+#[test]
+fn dlclose_in_a_fork_leaks_nothing_and_spares_the_template() {
+    // Build a warmed template with kernel extensions installed, fork
+    // it, load + call + dlclose an extension in the fork, and audit the
+    // fork's ledgers. The template must stay byte-identical throughout.
+    let mut k = Kernel::boot();
+    let mut app = ExtensibleApp::new(&mut k).expect("app");
+    let kx = KernelExtensions::new(&mut k).expect("kx");
+    let tmpl_cycles = k.m.cycles();
+    let tmpl_resident = k.m.mem.resident_frames();
+
+    let mut fk = k.clone();
+    let mut fapp = app.clone();
+    let fkx = kx.clone();
+
+    let ext = Assembler::assemble("triple:\nmov eax, [esp+4]\nimul eax, 3\nret\n").unwrap();
+    let h = fapp
+        .dlopen(&mut fk, &ext, &DlopenOptions::new())
+        .expect("dlopen in fork");
+    let f = fapp.seg_dlsym(&mut fk, h, "triple").expect("dlsym");
+    assert_eq!(fapp.call_extension(&mut fk, f, 7).unwrap(), 21);
+    fapp.seg_dlclose(&mut fk, h).expect("dlclose");
+    assert!(
+        oracle::check_recovery(&fk, &fkx).is_empty(),
+        "fork ledgers balance after dlclose"
+    );
+
+    // Template untouched: same cycles, same resident frames, and a call
+    // loaded into *it* still behaves as a cold world would.
+    assert_eq!(k.m.cycles(), tmpl_cycles);
+    assert_eq!(k.m.mem.resident_frames(), tmpl_resident);
+    let h2 = app
+        .dlopen(&mut k, &ext, &DlopenOptions::new())
+        .expect("dlopen in template");
+    let f2 = app.seg_dlsym(&mut k, h2, "triple").expect("dlsym");
+    assert_eq!(app.call_extension(&mut k, f2, 9).unwrap(), 27);
+}
+
+// --- chaos campaign layer ------------------------------------------------
+
+/// Fork-boot vs cold-boot campaigns must produce byte-identical
+/// reports: every event, outcome tag, counter and violation list.
+#[test]
+fn campaign_fork_boot_report_is_byte_identical_to_cold_boot() {
+    let base = CampaignConfig {
+        seed: 0xF0_4B07,
+        steps: 300,
+        probe_interval: 100,
+        ..CampaignConfig::default()
+    };
+    let forked = campaign::run(&CampaignConfig {
+        fork_boot: true,
+        ..base.clone()
+    });
+    let cold = campaign::run(&CampaignConfig {
+        fork_boot: false,
+        ..base
+    });
+    assert_eq!(forked.events, cold.events);
+    assert_eq!(forked.outcomes, cold.outcomes);
+    assert_eq!(forked.violations, cold.violations);
+    assert_eq!(forked.steps_run, cold.steps_run);
+    assert_eq!(forked.guest_insns, cold.guest_insns);
+    assert_eq!(forked.quarantines, cold.quarantines);
+    assert_eq!(forked.kext_aborts, cold.kext_aborts);
+    assert_eq!(forked.uext_aborts, cold.uext_aborts);
+    assert_eq!(forked.restarts, cold.restarts);
+    assert_eq!(forked.pages_reclaimed, cold.pages_reclaimed);
+    assert_eq!(forked.host_panics, 0);
+    assert_eq!(campaign::summarize(&forked), campaign::summarize(&cold));
+}
+
+// --- fleet layer ---------------------------------------------------------
+
+/// Fork-boot vs cold-boot fleets must roll out byte-identically: same
+/// event log, same per-replica summaries, same outcome.
+#[test]
+fn rollout_fork_boot_report_is_byte_identical_to_cold_boot() {
+    use fleet::rollout::{self, RolloutConfig};
+
+    let base = RolloutConfig {
+        seed: 0xF0_4B07,
+        replicas: 4,
+        rounds: 12,
+        requests_per_round: 10,
+        ..RolloutConfig::default()
+    };
+    let old = fleet::working_version_images("flt", 100, 40);
+    let new = fleet::working_version_images("flt", 101, 40);
+    let forked = rollout::run(
+        &RolloutConfig {
+            fork_boot: true,
+            ..base.clone()
+        },
+        &old,
+        &new,
+    );
+    let cold = rollout::run(
+        &RolloutConfig {
+            fork_boot: false,
+            ..base
+        },
+        &old,
+        &new,
+    );
+    assert_eq!(forked, cold, "rollout reports byte-identical");
+}
+
+/// Fork-boot campaigns stay worker-count invariant (the parex contract
+/// composes with the fork template shared across workers).
+#[test]
+fn fork_boot_campaign_is_jobs_invariant() {
+    let cfg = |jobs| CampaignConfig {
+        seed: 0x5AFE_F0CC,
+        steps: 150,
+        probe_interval: 0,
+        jobs,
+        fork_boot: true,
+        ..CampaignConfig::default()
+    };
+    let one = campaign::run(&cfg(1));
+    let eight = campaign::run(&cfg(8));
+    assert_eq!(one.events, eight.events);
+    assert_eq!(one.outcomes, eight.outcomes);
+    assert_eq!(one.violations, eight.violations);
+    assert_eq!(one.guest_insns, eight.guest_insns);
+}
