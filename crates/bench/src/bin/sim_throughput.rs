@@ -25,9 +25,15 @@
 //! against forking a warmed template (copy-on-write snapshot/fork):
 //! host seconds for each, and the speedup.
 //!
+//! A fifth section, `durability`, covers durable checkpoints: image
+//! size and save/restore latency for each world layer (machine, kernel,
+//! session, replica), plus the fleet crash-recovery drills — a replica
+//! killed mid-stream and restored from its checkpoint lineage, with and
+//! without corrupted newest generations forcing a walk-back.
+//!
 //! Usage: `sim_throughput [--quick] [--out <path>] [--workers LIST]`
 
-use bench::{FleetPoint, ScalingPoint, StartupPoint, ThroughputPoint};
+use bench::{DrillPoint, DurabilityPoint, FleetPoint, ScalingPoint, StartupPoint, ThroughputPoint};
 
 fn json_escape_free_number(v: f64) -> String {
     // All values here are finite and positive; keep a stable format.
@@ -43,6 +49,8 @@ fn to_json(
     scaling: &[ScalingPoint],
     fleet: &[FleetPoint],
     startup: &[StartupPoint],
+    durability: &[DurabilityPoint],
+    drills: &[DrillPoint],
     quick: bool,
 ) -> String {
     let mut s = String::new();
@@ -175,7 +183,63 @@ fn to_json(
             "    },\n"
         });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str("  \"durability\": {\n");
+    s.push_str("    \"images\": [\n");
+    for (i, p) in durability.iter().enumerate() {
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"world\": \"{}\",\n", p.world));
+        s.push_str(&format!("        \"image_bytes\": {},\n", p.image_bytes));
+        // Nanosecond resolution, as for `startup`: a machine-image save
+        // is in the microseconds.
+        s.push_str(&format!("        \"save_secs\": {:.9},\n", p.save_secs));
+        s.push_str(&format!(
+            "        \"restore_secs\": {:.9}\n",
+            p.restore_secs
+        ));
+        s.push_str(if i + 1 == durability.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    s.push_str("    ],\n");
+    s.push_str("    \"drills\": [\n");
+    for (i, p) in drills.iter().enumerate() {
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"scenario\": \"{}\",\n", p.scenario));
+        s.push_str(&format!("        \"outcome\": \"{}\",\n", p.outcome));
+        s.push_str(&format!(
+            "        \"generations_walked\": {},\n",
+            p.generations_walked
+        ));
+        s.push_str(&format!(
+            "        \"recovery_degraded\": {},\n",
+            p.recovery_degraded
+        ));
+        s.push_str(&format!(
+            "        \"rounds_to_converge\": {},\n",
+            json_opt(p.rounds_to_converge)
+        ));
+        s.push_str(&format!(
+            "        \"availability_bp\": {},\n",
+            p.availability_bp
+        ));
+        s.push_str(&format!(
+            "        \"largest_image_bytes\": {},\n",
+            p.largest_image_bytes
+        ));
+        s.push_str(&format!(
+            "        \"host_secs\": {}\n",
+            json_escape_free_number(p.host_secs)
+        ));
+        s.push_str(if i + 1 == drills.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    s.push_str("    ]\n  }\n}\n");
     s
 }
 
@@ -277,7 +341,50 @@ fn main() {
         );
     }
 
-    let json = to_json(&pts, &scaling, &fleet, &startup, quick);
+    let durability = bench::measure_durability();
+    println!("\nDurable checkpoints: image size and save/restore latency");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "World", "Image (B)", "Save (us)", "Restore (us)"
+    );
+    for p in &durability {
+        println!(
+            "{:>10} {:>12} {:>12.1} {:>14.1}",
+            p.world,
+            p.image_bytes,
+            p.save_secs * 1e6,
+            p.restore_secs * 1e6
+        );
+    }
+
+    let drills = bench::measure_drills(scale);
+    println!("\nFleet crash-recovery drills");
+    println!(
+        "{:>10} {:>24} {:>7} {:>10} {:>9} {:>8}",
+        "Scenario", "Outcome", "Walked", "503s", "Converge", "Avail"
+    );
+    for p in &drills {
+        println!(
+            "{:>10} {:>24} {:>7} {:>10} {:>9} {:>7}bp",
+            p.scenario,
+            p.outcome,
+            p.generations_walked,
+            p.recovery_degraded,
+            p.rounds_to_converge
+                .map_or_else(|| "-".to_string(), |r| format!("{r} rds")),
+            p.availability_bp,
+        );
+    }
+
+    let json = to_json(
+        &pts,
+        &scaling,
+        &fleet,
+        &startup,
+        &durability,
+        &drills,
+        quick,
+    );
     std::fs::write(&out, json).expect("write benchmark JSON");
     println!("\nwrote {out}");
 }

@@ -1079,6 +1079,165 @@ pub fn measure_startup() -> Vec<StartupPoint> {
     ]
 }
 
+// ----- durable checkpoints (the "durability" JSON section) -----------------
+
+/// Save/restore cost of one durable world image
+/// ([`x86sim::Machine::save_image`] and the layered images stacked on
+/// it): how many bytes the image is and how long a save / restore takes
+/// on the host.
+///
+/// Image bytes are deterministic per world; only the two latency
+/// columns vary between runs.
+#[derive(Debug, Clone)]
+pub struct DurabilityPoint {
+    /// World tag: `machine`, `kernel`, `session` or `replica`.
+    pub world: &'static str,
+    /// Size of the serialized image in bytes.
+    pub image_bytes: usize,
+    /// Host seconds to serialize the world (min over reps).
+    pub save_secs: f64,
+    /// Host seconds to rebuild the world from the image (min over reps).
+    pub restore_secs: f64,
+}
+
+/// One crash-recovery drill of [`fleet::drill`]: a replica is killed
+/// mid-stream and brought back from its checkpoint lineage while the
+/// rest of the fleet keeps serving.
+///
+/// Everything except `host_secs` is byte-deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct DrillPoint {
+    /// Scenario tag: `restore` (latest checkpoint intact) or
+    /// `walkback` (newest generations corrupted, lineage walked).
+    pub scenario: &'static str,
+    /// How recovery ended (`restored` / `restored-after-walkback` /
+    /// `cold-booted`).
+    pub outcome: &'static str,
+    /// Checkpoint generations rejected before one restored.
+    pub generations_walked: u32,
+    /// Requests answered 503 while the victim was down.
+    pub recovery_degraded: u64,
+    /// Rounds after the crash until the victim served a clean round.
+    pub rounds_to_converge: Option<u32>,
+    /// Fleet-wide availability in basis points (served / total).
+    pub availability_bp: u32,
+    /// Largest checkpoint image written during the run, in bytes.
+    pub largest_image_bytes: usize,
+    /// Host wall-clock seconds for the whole drill.
+    pub host_secs: f64,
+}
+
+/// Measures image size and save/restore latency for the four durable
+/// worlds, innermost first: the bare machine, the kernel over it, a
+/// warmed [`palladium::Session`] (verified dlopen + warm call) and a
+/// warmed [`fleet::Replica`] (one served round).
+pub fn measure_durability() -> Vec<DurabilityPoint> {
+    let mut session = palladium::Session::new().expect("boot");
+    let ext = Assembler::assemble("double:\nmov eax, [esp+4]\nadd eax, eax\nret\n").unwrap();
+    let h = session
+        .dlopen(&ext, &DlopenOptions::new().verify(&["double"]))
+        .expect("dlopen");
+    let f = session.dlsym(h, "double").expect("dlsym");
+    session.call(f, 3).expect("warm");
+
+    let mut replica = fleet::Replica::new(
+        1,
+        0,
+        fleet::version_images("filter", 1),
+        palladium::supervisor::RestartPolicy::default(),
+        20_000,
+        true,
+    )
+    .expect("replica");
+    replica.serve_round(8);
+
+    let mut pts = Vec::new();
+    let machine_img = session.kernel().m.save_image();
+    pts.push(DurabilityPoint {
+        world: "machine",
+        image_bytes: machine_img.len(),
+        save_secs: min_secs(20, || session.kernel().m.save_image()),
+        restore_secs: min_secs(20, || {
+            x86sim::Machine::restore_image(&machine_img).expect("machine restore")
+        }),
+    });
+    let kernel_img = session.kernel().save_image();
+    pts.push(DurabilityPoint {
+        world: "kernel",
+        image_bytes: kernel_img.len(),
+        save_secs: min_secs(20, || session.kernel().save_image()),
+        restore_secs: min_secs(20, || {
+            Kernel::restore_image(&kernel_img).expect("kernel restore")
+        }),
+    });
+    let session_img = session.checkpoint();
+    pts.push(DurabilityPoint {
+        world: "session",
+        image_bytes: session_img.len(),
+        save_secs: min_secs(20, || session.checkpoint()),
+        restore_secs: min_secs(20, || {
+            palladium::Session::restore(&session_img).expect("session restore")
+        }),
+    });
+    let replica_img = replica.checkpoint();
+    pts.push(DurabilityPoint {
+        world: "replica",
+        image_bytes: replica_img.len(),
+        save_secs: min_secs(20, || replica.checkpoint()),
+        restore_secs: min_secs(20, || {
+            fleet::Replica::restore(&replica_img).expect("replica restore")
+        }),
+    });
+    pts
+}
+
+fn drill_point(scenario: &'static str, cfg: &fleet::DrillConfig) -> DrillPoint {
+    let images = fleet::version_images("filter", 1);
+    let t = std::time::Instant::now();
+    let r = fleet::drill::run(cfg, &images);
+    let host_secs = t.elapsed().as_secs_f64();
+    assert!(r.violations.is_empty(), "{scenario}: {:?}", r.violations);
+    assert!(
+        r.leak_failures.is_empty(),
+        "{scenario}: {:?}",
+        r.leak_failures
+    );
+    assert_eq!(
+        r.healthy_replica_drops, 0,
+        "{scenario}: healthy replicas dropped requests"
+    );
+    let total = r.served + r.degraded + r.dropped;
+    DrillPoint {
+        scenario,
+        outcome: r.outcome.tag(),
+        generations_walked: r.generations_walked,
+        recovery_degraded: r.recovery_degraded,
+        rounds_to_converge: r.rounds_to_converge,
+        availability_bp: (r.served * 10_000).checked_div(total).unwrap_or(0) as u32,
+        largest_image_bytes: r.largest_image_bytes,
+        host_secs,
+    }
+}
+
+/// Runs the two canonical crash-recovery drills — latest checkpoint
+/// intact (plain restore) and newest generations corrupted (lineage
+/// walk-back); `scale` multiplies the per-round request count (1 = the
+/// CI `--quick` run).
+pub fn measure_drills(scale: u32) -> Vec<DrillPoint> {
+    let cfg = fleet::DrillConfig {
+        requests_per_round: 40 * scale.max(1),
+        ..fleet::DrillConfig::default()
+    };
+    let walkback = fleet::DrillConfig {
+        corrupt_latest: 2,
+        ..cfg.clone()
+    };
+    vec![
+        drill_point("restore", &cfg),
+        drill_point("walkback", &walkback),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1203,6 +1362,52 @@ mod tests {
         for p in &pts {
             assert!(p.guest_insns > 0);
             assert!(p.availability_bp <= 10_000);
+        }
+    }
+
+    #[test]
+    fn durability_bench_covers_every_world_layer() {
+        let pts = measure_durability();
+        let worlds: Vec<&str> = pts.iter().map(|p| p.world).collect();
+        assert_eq!(worlds, ["machine", "kernel", "session", "replica"]);
+        // Each layer's image embeds the previous one plus its own
+        // tables, so sizes are strictly increasing.
+        for w in pts.windows(2) {
+            assert!(
+                w[1].image_bytes > w[0].image_bytes,
+                "{} ({}) should outsize {} ({})",
+                w[1].world,
+                w[1].image_bytes,
+                w[0].world,
+                w[0].image_bytes
+            );
+        }
+        for p in &pts {
+            assert!(p.save_secs > 0.0 && p.restore_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn drill_bench_covers_restore_and_walkback() {
+        let pts = measure_drills(1);
+        assert_eq!(pts.len(), 2);
+        let restore = &pts[0];
+        assert_eq!(restore.scenario, "restore");
+        assert_eq!(restore.outcome, "restored");
+        assert_eq!(restore.generations_walked, 0);
+        let walk = &pts[1];
+        assert_eq!(walk.scenario, "walkback");
+        assert_eq!(walk.outcome, "restored-after-walkback");
+        assert!(walk.generations_walked > 0);
+        for p in &pts {
+            assert!(
+                p.rounds_to_converge.is_some(),
+                "{}: never converged",
+                p.scenario
+            );
+            assert!(p.recovery_degraded > 0, "crash must cost some 503s");
+            assert!(p.availability_bp < 10_000 && p.availability_bp > 9_000);
+            assert!(p.largest_image_bytes > 0);
         }
     }
 

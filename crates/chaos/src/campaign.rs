@@ -18,8 +18,10 @@
 //! After every step the [`StateOracle`]
 //! re-checks the structural §6 invariants; at intervals the behavioural
 //! probes (fork/exec, syscall rejection, timer abort) run on scratch
-//! kernels. Any violation — including a host panic, which the driver
-//! catches — fails the audit.
+//! kernels, and the durability probe checkpoints the episode's own
+//! kernel, asserts the image round-trips, and asserts every corruption
+//! class is rejected. Any violation — including a host panic, which the
+//! driver catches — fails the audit.
 
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
@@ -585,6 +587,28 @@ fn run_episode(
             }
             if let Err(v) = oracle::probe_timer_abort(cfg.cycle_limit) {
                 out.violations.push(format!("step {stepno}: {v}"));
+            }
+            // Durability probe on the episode's own world: its kernel
+            // image must restore cleanly, and every checkpoint-corruption
+            // class must be rejected with a typed error. The probe rng is
+            // a function of (seed, step) alone, preserving the
+            // jobs-invariance of the event log.
+            if let Some(ep) = episode.as_ref() {
+                let img = ep.k.save_image();
+                if Kernel::restore_image(&img).is_err() {
+                    out.violations.push(format!(
+                        "step {stepno}: [checkpoint-restores] kernel image failed to round-trip"
+                    ));
+                }
+                let mut cr = SeedRng::new(cfg.seed ^ 0xC4EC_4001 ^ u64::from(stepno));
+                for v in oracle::probe_checkpoint_rejection(
+                    &img,
+                    x86sim::image::kind::KERNEL,
+                    1,
+                    &mut cr,
+                ) {
+                    out.violations.push(format!("step {stepno}: {v}"));
+                }
             }
             out.probes_run += 1;
         }

@@ -6,6 +6,13 @@
 //! escapes its domain. These generators produce the damaged inputs:
 //! truncated images, garbled instruction streams, and relocations whose
 //! resolved addresses overflow the extension's region.
+//!
+//! Checkpoint images are attack surface too: a restore path that trusts
+//! bytes from disk would turn a torn write or a flipped bit into silent
+//! state corruption. [`corrupted_image`] damages a valid world image in
+//! each of the ways real storage fails — bit rot, truncation, torn
+//! writes, block transposition, stale format versions — so the oracle
+//! can assert every one is rejected with a typed error.
 
 use asm86::{CodeBuilder, Object, Reloc, RelocKind};
 use seedrng::SeedRng;
@@ -114,4 +121,122 @@ pub fn bad_reloc_site_object() -> Object {
         kind: RelocKind::Abs32,
     });
     b.finish().unwrap()
+}
+
+/// How a checkpoint image was damaged (stable tags for the event log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageCorruption {
+    /// One random bit flipped anywhere in the image (bit rot).
+    BitFlip,
+    /// The image cut short at a random point (partial write / lost tail).
+    Truncate,
+    /// A torn write: a 64-byte block overwritten with stale bytes from
+    /// elsewhere in the image.
+    TornWrite,
+    /// Two interior 32-byte blocks transposed (misordered scatter write).
+    SectionSwap,
+    /// The format-version word rewritten to an unsupported value, with
+    /// the trailing whole-image CRC recomputed so the *version* check —
+    /// not the integrity check — must catch it.
+    VersionSkew,
+}
+
+impl ImageCorruption {
+    /// Stable tag for deterministic event logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ImageCorruption::BitFlip => "bit-flip",
+            ImageCorruption::Truncate => "truncate",
+            ImageCorruption::TornWrite => "torn-write",
+            ImageCorruption::SectionSwap => "section-swap",
+            ImageCorruption::VersionSkew => "version-skew",
+        }
+    }
+
+    /// All corruption classes, for exhaustive rejection matrices.
+    pub const ALL: [ImageCorruption; 5] = [
+        ImageCorruption::BitFlip,
+        ImageCorruption::Truncate,
+        ImageCorruption::TornWrite,
+        ImageCorruption::SectionSwap,
+        ImageCorruption::VersionSkew,
+    ];
+}
+
+/// Applies `kind` to a copy of a valid checkpoint image. The result is
+/// guaranteed to differ from the input (the damage never no-ops), so a
+/// restore that accepts it has provably skipped an integrity check.
+pub fn corrupt_image(image: &[u8], kind: ImageCorruption, r: &mut SeedRng) -> Vec<u8> {
+    let mut bad = image.to_vec();
+    match kind {
+        ImageCorruption::BitFlip => {
+            let bit = r.gen_range(0, (bad.len() * 8) as u32) as usize;
+            bad[bit / 8] ^= 1 << (bit % 8);
+        }
+        ImageCorruption::Truncate => {
+            let keep = r.gen_range(0, bad.len() as u32) as usize;
+            bad.truncate(keep);
+        }
+        ImageCorruption::TornWrite => {
+            // Overwrite one block with a copy of another; retry the draw
+            // until the blocks actually differ.
+            let len = bad.len().clamp(1, 64);
+            loop {
+                let dst = r.gen_range(0, (bad.len() - len + 1) as u32) as usize;
+                let srcb = r.gen_range(0, (bad.len() - len + 1) as u32) as usize;
+                if bad[dst..dst + len] != bad[srcb..srcb + len] {
+                    let stale = bad[srcb..srcb + len].to_vec();
+                    bad[dst..dst + len].copy_from_slice(&stale);
+                    break;
+                }
+                // A fully uniform image can't be torn distinguishably;
+                // flip a bit instead so the damage is still real.
+                if bad.iter().all(|&b| b == bad[0]) {
+                    bad[0] ^= 1;
+                    break;
+                }
+            }
+        }
+        ImageCorruption::SectionSwap => {
+            let len = (bad.len() / 2).clamp(1, 32);
+            loop {
+                let a = r.gen_range(0, (bad.len() - len + 1) as u32) as usize;
+                let b = r.gen_range(0, (bad.len() - len + 1) as u32) as usize;
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo + len <= hi && bad[lo..lo + len] != bad[hi..hi + len] {
+                    let tmp = bad[lo..lo + len].to_vec();
+                    let hi_block = bad[hi..hi + len].to_vec();
+                    bad[lo..lo + len].copy_from_slice(&hi_block);
+                    bad[hi..hi + len].copy_from_slice(&tmp);
+                    break;
+                }
+                if bad.iter().all(|&b| b == bad[0]) || bad.len() < 2 * len {
+                    bad[0] ^= 1;
+                    break;
+                }
+            }
+        }
+        ImageCorruption::VersionSkew => {
+            // The version word sits right after the 4-byte magic; write a
+            // future version and recompute the trailing CRC so only the
+            // version check can reject it.
+            if bad.len() >= 12 {
+                let skew = 0xDEAD_0000u32 | (1 + r.gen_range(0, 1000));
+                bad[4..8].copy_from_slice(&skew.to_le_bytes());
+                let body = bad.len() - 4;
+                let crc = x86sim::image::crc32(&bad[..body]);
+                bad[body..].copy_from_slice(&crc.to_le_bytes());
+            } else {
+                bad.push(0);
+            }
+        }
+    }
+    bad
+}
+
+/// A random corruption class applied to `image` — how a damaged
+/// checkpoint re-enters the restore path mid-campaign.
+pub fn corrupted_image(image: &[u8], r: &mut SeedRng) -> (ImageCorruption, Vec<u8>) {
+    let kind = *r.choose(&ImageCorruption::ALL);
+    (kind, corrupt_image(image, kind, r))
 }

@@ -8,15 +8,17 @@
 //! * [`gen`] — seeded generation of adversarial SPL 1 / SPL 3
 //!   extensions: out-of-limit accesses, PPL 0 writes, forged far
 //!   transfers, segment-register loads, interrupt floods, runaways;
-//! * [`corrupt`] — damaged loader inputs: truncated and garbled images,
-//!   relocation overflows, raw garbage;
+//! * [`corrupt`] — damaged loader inputs (truncated and garbled images,
+//!   relocation overflows, raw garbage) and damaged *checkpoint* images
+//!   (bit rot, truncation, torn writes, block transposition, version
+//!   skew);
 //! * [`inject`] — machine-state mutation through the simulator's
 //!   injection hooks (descriptor present bits, PTE present bits, TLB
 //!   drops, frame exhaustion), always in the *revoking* direction so
 //!   containment stays assertable;
 //! * [`oracle`] — the §6 invariants as executable checks plus
 //!   behavioural probes (fork/exec privilege rules, syscall rejection,
-//!   timer aborts);
+//!   timer aborts, checkpoint-tamper rejection);
 //! * [`campaign`] — the deterministic driver: one seed, thousands of
 //!   steps, a structured event log, zero tolerated violations.
 //!
@@ -32,6 +34,6 @@ pub mod oracle;
 pub mod verify;
 
 pub use campaign::{run, CampaignConfig, CampaignReport, Event};
-pub use corrupt::Corruption;
+pub use corrupt::{Corruption, ImageCorruption};
 pub use oracle::{StateOracle, Violation};
 pub use verify::{kernel_policy, verify_object, VerifyOutcome};

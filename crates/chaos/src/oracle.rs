@@ -22,6 +22,12 @@
 //! added: reclaiming or restarting an extension segment must leave the
 //! kernel's resource ledgers balanced — no leaked pages, descriptors or
 //! EFT entries ([`check_recovery`] wraps the kernel-side audit).
+//!
+//! A ninth *durability* invariant arrived with durable checkpoints: a
+//! tampered world image is always rejected with a typed restore error —
+//! never silently restored, never a host panic
+//! ([`probe_checkpoint_rejection`] drives every corruption class from
+//! [`crate::corrupt`] against a valid image).
 
 use std::collections::BTreeMap;
 
@@ -30,9 +36,12 @@ use minikernel::layout::sys;
 use minikernel::{Budget, Kernel, Outcome, USER_TEXT};
 use palladium::kernel_ext::{KernelExtensions, KextError, SegmentConfig};
 use palladium::user_ext::{DlopenOptions, ExtensibleApp};
+use seedrng::SeedRng;
 use x86sim::desc::Descriptor;
+use x86sim::image::{self, Dec, Enc, ImageView, RestoreError};
 use x86sim::paging::{get_pte, pte};
 
+use crate::corrupt::{self, ImageCorruption};
 use crate::gen;
 
 /// One containment-invariant violation.
@@ -117,6 +126,51 @@ impl StateOracle {
     /// Adds a sealed GOT page to the watch list.
     pub fn watch_got_page(&mut self, page: u32) {
         self.got_pages.push(page);
+    }
+
+    /// Serializes the watched baseline into `e`, so a checkpointed world
+    /// carries its containment oracle with it: the restored oracle
+    /// watches exactly the snapshot, canary, descriptors and GOT pages
+    /// the original did.
+    pub fn save_into(&self, e: &mut Enc) {
+        e.blob(&self.text_snapshot);
+        e.u32(self.canary_addr);
+        e.u32(self.canary_value);
+        e.u32(self.watched_descriptors.len() as u32);
+        for (idx, d) in &self.watched_descriptors {
+            e.u16(*idx);
+            image::put_descriptor(e, d);
+        }
+        e.u32(self.got_pages.len() as u32);
+        for p in &self.got_pages {
+            e.u32(*p);
+        }
+    }
+
+    /// Rebuilds an oracle from [`save_into`](Self::save_into) bytes.
+    pub fn restore_from(d: &mut Dec) -> Result<StateOracle, RestoreError> {
+        let text_snapshot = d.blob()?.to_vec();
+        let canary_addr = d.u32()?;
+        let canary_value = d.u32()?;
+        let n = d.u32()?;
+        let mut watched_descriptors = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let idx = d.u16()?;
+            let desc = image::get_descriptor(d)?;
+            watched_descriptors.push((idx, desc));
+        }
+        let n = d.u32()?;
+        let mut got_pages = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            got_pages.push(d.u32()?);
+        }
+        Ok(StateOracle {
+            text_snapshot,
+            canary_addr,
+            canary_value,
+            watched_descriptors,
+            got_pages,
+        })
     }
 
     /// Runs every structural check. `cr3` is the extensible
@@ -378,4 +432,43 @@ pub fn probe_timer_abort(cycle_limit: u64) -> Result<(), Violation> {
         return Err(fail("threshold-1 runaway was not quarantined".into()));
     }
     Ok(())
+}
+
+/// Durability invariant probe: every corruption class applied to a valid
+/// checkpoint image must be rejected by the parser with a typed
+/// [`RestoreError`] — a tampered image is never silently restored, and
+/// the rejection is never a host panic.
+///
+/// `expected_kind` is the image's kind word (machine / kernel / session /
+/// replica); `trials` corruptions are drawn per class from `r`.
+pub fn probe_checkpoint_rejection(
+    image: &[u8],
+    expected_kind: u32,
+    trials: u32,
+    r: &mut SeedRng,
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if ImageView::parse(image, expected_kind).is_err() {
+        v.push(Violation {
+            invariant: "checkpoint-rejected",
+            detail: "baseline image failed to parse; probe is vacuous".into(),
+        });
+        return v;
+    }
+    for kind in ImageCorruption::ALL {
+        for t in 0..trials.max(1) {
+            let bad = corrupt::corrupt_image(image, kind, r);
+            match ImageView::parse(&bad, expected_kind) {
+                Err(_) => {}
+                Ok(_) => v.push(Violation {
+                    invariant: "checkpoint-rejected",
+                    detail: format!(
+                        "corruption {} (trial {t}) was silently accepted by the parser",
+                        kind.tag()
+                    ),
+                }),
+            }
+        }
+    }
+    v
 }

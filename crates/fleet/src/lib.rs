@@ -22,6 +22,10 @@
 //! * [`soak`] — long-soak churn campaigns (kill / upgrade / rollback,
 //!   10^7+ guest instructions) asserting zero ledger drift via
 //!   `assert_no_leaks` at every epoch;
+//! * [`drill`] — the crash-recovery drill: periodic durable
+//!   [`Replica::checkpoint`]s, a mid-stream host crash, and recovery
+//!   that walks the checkpoint lineage past corrupt generations
+//!   (rejected with typed errors) before ever cold-booting;
 //! * [`report`] — stable plain-text rendering, the artifact the CI
 //!   byte-identity check compares across `--jobs` counts.
 //!
@@ -35,12 +39,14 @@
 //! [`Supervisor::stage_images`]: palladium::supervisor::Supervisor::stage_images
 //! [`Supervisor::rollover`]: palladium::supervisor::Supervisor::rollover
 
+pub mod drill;
 pub mod replica;
 pub mod report;
 pub mod rollout;
 pub mod slo;
 pub mod soak;
 
+pub use drill::{DrillConfig, DrillOutcome, DrillReport};
 pub use replica::{Replica, ReplicaStats, RoundStats};
 pub use rollout::{RolloutConfig, RolloutOutcome, RolloutReport};
 pub use slo::{SloPolicy, SloVerdict};

@@ -10,6 +10,7 @@ use palladium::user_ext::ExtensibleApp;
 use seedrng::SeedRng;
 use webserver::http;
 use webserver::workload::jittered_get;
+use x86sim::image::{kind, Enc, ImageBuilder, ImageView, RestoreError};
 
 /// Kernel canary word planted outside every extension segment; the
 /// oracle checks it after every round.
@@ -39,9 +40,10 @@ impl RoundStats {
         self.served + self.degraded + self.dropped
     }
 
-    /// Degraded share of the round, in basis points (0..=10_000).
-    /// Integer math so SLO evaluation is trivially byte-deterministic.
-    pub fn degraded_bp(&self) -> u32 {
+    /// Unhealthy share of the round — degraded *and* dropped requests —
+    /// in basis points (0..=10_000). Integer math so SLO evaluation is
+    /// trivially byte-deterministic.
+    pub fn unhealthy_bp(&self) -> u32 {
         ((self.degraded + self.dropped) * 10_000)
             .checked_div(self.total())
             .unwrap_or(0)
@@ -242,6 +244,122 @@ impl Replica {
             }
             false
         }
+    }
+
+    // ----- durable checkpoints ----------------------------------------------
+
+    /// Serializes the whole replica world — kernel (with the machine
+    /// image inside), application, kernel-extension table, supervisor,
+    /// containment oracle, counters and the request-stream RNG — into a
+    /// standalone, integrity-checked image.
+    ///
+    /// A [`restore`](Replica::restore)d replica is cycle-, stat- and
+    /// fault-identical going forward: it re-serves exactly the rounds the
+    /// original would have served from the checkpoint instant.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut b = ImageBuilder::new(kind::REPLICA);
+        let mut sec = Enc::new();
+        sec.blob(&self.k.save_image());
+        b.section(1, sec);
+        let mut sec = Enc::new();
+        self.app.save_into(&mut sec);
+        b.section(2, sec);
+        let mut sec = Enc::new();
+        self.kx.save_into(&mut sec);
+        b.section(3, sec);
+        let mut sec = Enc::new();
+        self.sup.save_into(&mut sec);
+        b.section(4, sec);
+        let mut sec = Enc::new();
+        self.oracle.save_into(&mut sec);
+        b.section(5, sec);
+        let mut sec = Enc::new();
+        sec.u32(self.ext.index() as u32);
+        sec.u64(self.stats.served);
+        sec.u64(self.stats.degraded);
+        sec.u64(self.stats.dropped);
+        sec.u64(self.stats.resp_bytes);
+        sec.u32(self.last_round.served);
+        sec.u32(self.last_round.degraded);
+        sec.u32(self.last_round.dropped);
+        sec.u32(self.violations.len() as u32);
+        for v in &self.violations {
+            sec.str(v);
+        }
+        sec.u32(self.leak_failures.len() as u32);
+        for v in &self.leak_failures {
+            sec.str(v);
+        }
+        sec.u64(self.rng.state());
+        sec.u32(self.rounds_served);
+        sec.bool(self.failed_closed);
+        b.section(6, sec);
+        b.finish()
+    }
+
+    /// Rebuilds a replica from [`checkpoint`](Replica::checkpoint)
+    /// bytes. Every corruption — truncation, bit rot, torn or
+    /// transposed blocks, version skew — surfaces as a typed
+    /// [`RestoreError`]; a tampered image is never silently restored.
+    pub fn restore(bytes: &[u8]) -> Result<Replica, RestoreError> {
+        let view = ImageView::parse(bytes, kind::REPLICA)?;
+        let mut d = view.require(1, "replica.kernel")?;
+        let k = Kernel::restore_image(d.blob()?)?;
+        d.finish()?;
+        let mut d = view.require(2, "replica.app")?;
+        let app = ExtensibleApp::restore_from(&mut d)?;
+        d.finish()?;
+        let mut d = view.require(3, "replica.kx")?;
+        let kx = KernelExtensions::restore_from(&mut d)?;
+        d.finish()?;
+        let mut d = view.require(4, "replica.sup")?;
+        let sup = Supervisor::restore_from(&mut d)?;
+        d.finish()?;
+        let mut d = view.require(5, "replica.oracle")?;
+        let oracle = StateOracle::restore_from(&mut d)?;
+        d.finish()?;
+        let mut d = view.require(6, "replica.state")?;
+        let ext = SupervisedId::from_index(d.u32()? as usize);
+        let stats = ReplicaStats {
+            served: d.u64()?,
+            degraded: d.u64()?,
+            dropped: d.u64()?,
+            resp_bytes: d.u64()?,
+        };
+        let last_round = RoundStats {
+            served: d.u32()?,
+            degraded: d.u32()?,
+            dropped: d.u32()?,
+        };
+        let n = d.u32()?;
+        let mut violations = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            violations.push(d.str()?);
+        }
+        let n = d.u32()?;
+        let mut leak_failures = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            leak_failures.push(d.str()?);
+        }
+        let rng = SeedRng::new(d.u64()?);
+        let rounds_served = d.u32()?;
+        let failed_closed = d.bool()?;
+        d.finish()?;
+        Ok(Replica {
+            k,
+            app,
+            kx,
+            sup,
+            ext,
+            stats,
+            last_round,
+            violations,
+            leak_failures,
+            oracle,
+            rng,
+            rounds_served,
+            failed_closed,
+        })
     }
 
     /// Test/chaos hook: corrupts the kernel canary so the next round's

@@ -6,6 +6,7 @@
 
 use core::fmt::Write;
 
+use crate::drill::DrillReport;
 use crate::rollout::RolloutReport;
 use crate::soak::SoakReport;
 
@@ -122,6 +123,72 @@ pub fn render_soak(r: &SoakReport) -> String {
             "audit: {} violations, {} leak failures",
             r.violations.len(),
             r.leak_failures.len()
+        );
+        for v in r.violations.iter().chain(r.leak_failures.iter()) {
+            let _ = writeln!(s, "  {v}");
+        }
+    }
+    s
+}
+
+/// Renders a crash-recovery drill report as stable plain text.
+pub fn render_drill(r: &DrillReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "fleet drill: seed {} / {} replicas / {} rounds x {} requests / checkpoint every {}",
+        r.seed, r.replicas, r.rounds, r.requests_per_round, r.checkpoint_every
+    );
+    let _ = writeln!(
+        s,
+        "crash: round {}  victim {}  corrupted generations {}",
+        r.crash_round, r.victim, r.corrupted_generations
+    );
+    let _ = writeln!(
+        s,
+        "recovery: {}  generations walked {}  recovered gen {}  converged after {} rounds",
+        r.outcome.tag(),
+        r.generations_walked,
+        r.recovered_generation
+            .map_or("-".to_string(), |g| g.to_string()),
+        r.rounds_to_converge
+            .map_or("-".to_string(), |x| x.to_string()),
+    );
+    let _ = writeln!(
+        s,
+        "checkpoints: {} written  largest image {} bytes",
+        r.checkpoints_written, r.largest_image_bytes
+    );
+    let _ = writeln!(
+        s,
+        "requests: served {}  degraded {}  dropped {}  availability {}  (503s during recovery: {})",
+        r.served,
+        r.degraded,
+        r.dropped,
+        pct(availability_bp(r.served, r.degraded, r.dropped)),
+        r.recovery_degraded
+    );
+    let _ = writeln!(
+        s,
+        "healthy-replica drops: {}  guest insns: {}",
+        r.healthy_replica_drops, r.guest_insns
+    );
+    let _ = writeln!(s, "events:");
+    for e in &r.events {
+        let _ = writeln!(s, "  {e}");
+    }
+    if r.violations.is_empty() && r.leak_failures.is_empty() && r.healthy_replica_drops == 0 {
+        let _ = writeln!(
+            s,
+            "audit: OK (0 violations, 0 leaks, 0 healthy-replica drops)"
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "audit: {} violations, {} leak failures, {} healthy-replica drops",
+            r.violations.len(),
+            r.leak_failures.len(),
+            r.healthy_replica_drops
         );
         for v in r.violations.iter().chain(r.leak_failures.iter()) {
             let _ = writeln!(s, "  {v}");

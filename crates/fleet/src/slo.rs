@@ -51,7 +51,10 @@ impl SloPolicy {
         if replica.sup.charged_restarts(replica.ext) >= self.max_strikes {
             return SloVerdict::Tripped("strikes");
         }
-        if replica.last_round.degraded_bp() > self.max_degraded_bp {
+        // `unhealthy_bp` counts 503s and fail-closed drops alike; any
+        // dropped request also tripped `containment` above, so in
+        // practice this arm reads the degraded share of the round.
+        if replica.last_round.unhealthy_bp() > self.max_degraded_bp {
             return SloVerdict::Tripped("error-rate");
         }
         SloVerdict::Healthy

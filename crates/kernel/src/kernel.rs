@@ -13,6 +13,7 @@ use asm86::isa::{Reg, SegReg};
 use asm86::Object;
 use x86sim::desc::{Descriptor, Selector};
 use x86sim::fault::Fault;
+use x86sim::image::{self, kind, Dec, Enc, ImageBuilder, ImageView, RestoreError};
 use x86sim::machine::{Exit, IdtGate, Machine};
 use x86sim::mem::{FrameAlloc, PAGE_SIZE};
 use x86sim::paging::{get_pte, map_page, pte, update_pte_flags};
@@ -1353,4 +1354,379 @@ impl Kernel {
     pub fn host_clear_sigcontext(&mut self, tid: Tid) {
         self.task_mut(tid).saved_sigcontext = None;
     }
+
+    // ----- durable checkpoints ------------------------------------------------
+
+    /// Serializes the whole kernel world — the machine image plus the
+    /// frame allocator, cost table, selectors, console, statistics, the
+    /// task table and the kernel-VA allocator — into a versioned,
+    /// integrity-checked image (see [`x86sim::image`]).
+    ///
+    /// The embedded machine image already excludes derived state
+    /// (predecode caches, translation memos); the kernel adds nothing
+    /// derived of its own, so a restored kernel is cycle- and
+    /// stat-identical going forward.
+    pub fn save_image(&self) -> Vec<u8> {
+        let mut b = ImageBuilder::new(kind::KERNEL);
+
+        let mut e = Enc::new();
+        e.blob(&self.m.save_image());
+        b.section(1, e);
+
+        let mut e = Enc::new();
+        self.frames.save_into(&mut e);
+        b.section(2, e);
+
+        let mut e = Enc::new();
+        let c = &self.costs;
+        for v in [
+            c.syscall_dispatch,
+            c.pagefault_handler,
+            c.signal_deliver,
+            c.kext_abort,
+            c.fork,
+            c.exec,
+            c.exit_wait,
+            c.context_switch,
+            c.ppl_mark_per_page,
+            c.ppl_mark_startup,
+            c.mmap_per_page,
+            c.mmap_base,
+            c.set_call_gate,
+        ] {
+            e.u64(v);
+        }
+        b.section(3, e);
+
+        let mut e = Enc::new();
+        for s in [
+            self.sel.kcode,
+            self.sel.kdata,
+            self.sel.ucode,
+            self.sel.udata,
+            self.sel.ucode2,
+            self.sel.udata2,
+        ] {
+            e.u16(s.0);
+        }
+        b.section(4, e);
+
+        let mut e = Enc::new();
+        e.blob(&self.console);
+        b.section(5, e);
+
+        let mut e = Enc::new();
+        for v in [
+            self.stats.syscalls,
+            self.stats.syscalls_rejected,
+            self.stats.faults,
+            self.stats.signals_delivered,
+            self.stats.kills,
+            self.stats.forks,
+            self.stats.context_switches,
+        ] {
+            e.u64(v);
+        }
+        b.section(6, e);
+
+        let mut e = Enc::new();
+        e.u64(self.extension_cycle_limit);
+        e.bool(self.last_fault.is_some());
+        if let Some(f) = &self.last_fault {
+            image::put_fault(&mut e, f);
+        }
+        b.section(7, e);
+
+        let mut e = Enc::new();
+        e.u32(self.tasks.len() as u32);
+        for task in self.tasks.values() {
+            put_task(&mut e, task);
+        }
+        b.section(8, e);
+
+        let mut e = Enc::new();
+        e.bool(self.current.is_some());
+        if let Some(tid) = self.current {
+            e.u32(tid);
+        }
+        e.u32(self.next_tid);
+        b.section(9, e);
+
+        let mut e = Enc::new();
+        e.u32(self.kernel_pdes.len() as u32);
+        for (idx, val) in &self.kernel_pdes {
+            e.u32(*idx);
+            e.u32(*val);
+        }
+        e.u32(self.kernel_cr3);
+        e.u32(self.kva_next);
+        e.u32(self.kva_free.len() as u32);
+        for (base, pages) in &self.kva_free {
+            e.u32(*base);
+            e.u32(*pages);
+        }
+        b.section(10, e);
+
+        b.finish()
+    }
+
+    /// Restores a kernel world from [`save_image`](Self::save_image)
+    /// bytes. Every integrity check of the image format applies; a
+    /// tampered or truncated image is rejected with a typed error and no
+    /// partially-restored kernel ever escapes.
+    pub fn restore_image(bytes: &[u8]) -> Result<Kernel, RestoreError> {
+        let v = ImageView::parse(bytes, kind::KERNEL)?;
+
+        let mut d = v.require(1, "machine")?;
+        let m = Machine::restore_image(d.blob()?)?;
+        d.finish()?;
+
+        let mut d = v.require(2, "frames")?;
+        let frames = FrameAlloc::restore_from(&mut d)?;
+        d.finish()?;
+
+        let mut d = v.require(3, "costs")?;
+        let costs = KernelCosts {
+            syscall_dispatch: d.u64()?,
+            pagefault_handler: d.u64()?,
+            signal_deliver: d.u64()?,
+            kext_abort: d.u64()?,
+            fork: d.u64()?,
+            exec: d.u64()?,
+            exit_wait: d.u64()?,
+            context_switch: d.u64()?,
+            ppl_mark_per_page: d.u64()?,
+            ppl_mark_startup: d.u64()?,
+            mmap_per_page: d.u64()?,
+            mmap_base: d.u64()?,
+            set_call_gate: d.u64()?,
+        };
+        d.finish()?;
+
+        let mut d = v.require(4, "selectors")?;
+        let sel = Selectors {
+            kcode: Selector(d.u16()?),
+            kdata: Selector(d.u16()?),
+            ucode: Selector(d.u16()?),
+            udata: Selector(d.u16()?),
+            ucode2: Selector(d.u16()?),
+            udata2: Selector(d.u16()?),
+        };
+        d.finish()?;
+
+        let mut d = v.require(5, "console")?;
+        let console = d.blob()?.to_vec();
+        d.finish()?;
+
+        let mut d = v.require(6, "stats")?;
+        let stats = KernelStats {
+            syscalls: d.u64()?,
+            syscalls_rejected: d.u64()?,
+            faults: d.u64()?,
+            signals_delivered: d.u64()?,
+            kills: d.u64()?,
+            forks: d.u64()?,
+            context_switches: d.u64()?,
+        };
+        d.finish()?;
+
+        let mut d = v.require(7, "limits")?;
+        let extension_cycle_limit = d.u64()?;
+        let last_fault = if d.bool()? {
+            Some(image::get_fault(&mut d)?)
+        } else {
+            None
+        };
+        d.finish()?;
+
+        let mut d = v.require(8, "tasks")?;
+        let ntasks = d.u32()?;
+        let mut tasks = BTreeMap::new();
+        let mut last_tid = None;
+        for _ in 0..ntasks {
+            let task = get_task(&mut d)?;
+            if last_tid.is_some_and(|l| task.tid <= l) {
+                return Err(d.fail("task ids not strictly ascending"));
+            }
+            last_tid = Some(task.tid);
+            tasks.insert(task.tid, task);
+        }
+        d.finish()?;
+
+        let mut d = v.require(9, "sched")?;
+        let current = if d.bool()? { Some(d.u32()?) } else { None };
+        if let Some(tid) = current {
+            if !tasks.contains_key(&tid) {
+                return Err(d.fail("current task not in task table"));
+            }
+        }
+        let next_tid = d.u32()?;
+        d.finish()?;
+
+        let mut d = v.require(10, "kva")?;
+        let npdes = d.u32()?;
+        let mut kernel_pdes = Vec::with_capacity(npdes as usize);
+        for _ in 0..npdes {
+            let idx = d.u32()?;
+            let val = d.u32()?;
+            kernel_pdes.push((idx, val));
+        }
+        let kernel_cr3 = d.u32()?;
+        let kva_next = d.u32()?;
+        let nfree = d.u32()?;
+        let mut kva_free = Vec::with_capacity(nfree as usize);
+        for _ in 0..nfree {
+            let base = d.u32()?;
+            let pages = d.u32()?;
+            kva_free.push((base, pages));
+        }
+        d.finish()?;
+
+        Ok(Kernel {
+            m,
+            frames,
+            costs,
+            sel,
+            console,
+            stats,
+            extension_cycle_limit,
+            last_fault,
+            tasks: std::sync::Arc::new(tasks),
+            current,
+            next_tid,
+            kernel_pdes,
+            kernel_cr3,
+            kva_next,
+            kva_free,
+        })
+    }
+}
+
+fn put_task(e: &mut Enc, t: &Task) {
+    e.u32(t.tid);
+    e.bool(t.parent.is_some());
+    if let Some(p) = t.parent {
+        e.u32(p);
+    }
+    e.u32(t.cr3);
+    e.u8(t.task_spl);
+    e.u32(t.vas.mmap_cursor);
+    e.u32(t.vas.areas().len() as u32);
+    for a in t.vas.areas() {
+        e.u32(a.start);
+        e.u32(a.end);
+        e.bool(a.writable);
+        e.u8(area_kind_tag(a.kind));
+        e.bool(a.demand);
+    }
+    image::put_cpu(e, &t.cpu);
+    e.u32(t.kstack_top);
+    e.bool(t.ring2_stack_top.is_some());
+    if let Some(r) = t.ring2_stack_top {
+        e.u32(r);
+    }
+    e.bool(t.signal_handler.is_some());
+    if let Some(h) = t.signal_handler {
+        e.u32(h);
+    }
+    e.bool(t.saved_sigcontext.is_some());
+    if let Some(c) = &t.saved_sigcontext {
+        image::put_cpu(e, c);
+    }
+    e.bool(t.exit_code.is_some());
+    if let Some(c) = t.exit_code {
+        e.i32(c);
+    }
+    e.u32(t.brk);
+    image::put_descriptor_table(e, &t.ldt);
+    e.u32(t.mailbox.len() as u32);
+    for (sender, payload) in &t.mailbox {
+        e.u32(*sender);
+        e.blob(payload);
+    }
+}
+
+fn get_task(d: &mut Dec) -> Result<Task, RestoreError> {
+    let tid = d.u32()?;
+    let parent = if d.bool()? { Some(d.u32()?) } else { None };
+    let cr3 = d.u32()?;
+    let task_spl = d.u8()?;
+    let mut vas = Vas::new();
+    vas.mmap_cursor = d.u32()?;
+    let nareas = d.u32()?;
+    for _ in 0..nareas {
+        let start = d.u32()?;
+        let end = d.u32()?;
+        let writable = d.bool()?;
+        let kind = area_kind_from_tag(d.u8()?).ok_or_else(|| d.fail("bad area kind"))?;
+        let demand = d.bool()?;
+        let area = VmArea {
+            start,
+            end,
+            writable,
+            kind,
+            demand,
+        };
+        if vas.insert(area).is_err() {
+            return Err(d.fail("invalid vm area"));
+        }
+    }
+    let cpu = image::get_cpu(d)?;
+    let kstack_top = d.u32()?;
+    let ring2_stack_top = if d.bool()? { Some(d.u32()?) } else { None };
+    let signal_handler = if d.bool()? { Some(d.u32()?) } else { None };
+    let saved_sigcontext = if d.bool()? {
+        Some(Box::new(image::get_cpu(d)?))
+    } else {
+        None
+    };
+    let exit_code = if d.bool()? { Some(d.i32()?) } else { None };
+    let brk = d.u32()?;
+    let ldt = image::get_descriptor_table(d)?;
+    let nmsgs = d.u32()?;
+    let mut mailbox = std::collections::VecDeque::with_capacity(nmsgs as usize);
+    for _ in 0..nmsgs {
+        let sender = d.u32()?;
+        let payload = d.blob()?.to_vec();
+        mailbox.push_back((sender, payload));
+    }
+    Ok(Task {
+        tid,
+        parent,
+        cr3,
+        task_spl,
+        vas,
+        cpu,
+        kstack_top,
+        ring2_stack_top,
+        signal_handler,
+        saved_sigcontext,
+        exit_code,
+        brk,
+        ldt,
+        mailbox,
+    })
+}
+
+fn area_kind_tag(k: AreaKind) -> u8 {
+    match k {
+        AreaKind::Image => 0,
+        AreaKind::Heap => 1,
+        AreaKind::Stack => 2,
+        AreaKind::Anon => 3,
+        AreaKind::SharedLib => 4,
+        AreaKind::ExtensionPrivate => 5,
+    }
+}
+
+fn area_kind_from_tag(tag: u8) -> Option<AreaKind> {
+    Some(match tag {
+        0 => AreaKind::Image,
+        1 => AreaKind::Heap,
+        2 => AreaKind::Stack,
+        3 => AreaKind::Anon,
+        4 => AreaKind::SharedLib,
+        5 => AreaKind::ExtensionPrivate,
+        _ => return None,
+    })
 }

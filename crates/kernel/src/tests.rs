@@ -1213,3 +1213,133 @@ mod demand_paging {
         }
     }
 }
+
+mod checkpoint {
+    //! Kernel-level checkpoint/restore: a restored kernel world must be
+    //! cycle-, stat- and console-identical going forward.
+
+    use super::*;
+    use crate::layout::errno;
+
+    /// A looping workload that mixes syscalls (write, brk, getpid) with
+    /// raw computation so a mid-run checkpoint lands in interesting state.
+    fn busy_src() -> String {
+        format!(
+            "_start:\n\
+             mov esi, 12\n\
+             loop:\n\
+             mov eax, {write}\n\
+             mov ebx, 1\n\
+             mov ecx, msg\n\
+             mov edx, 2\n\
+             int 0x80\n\
+             mov eax, {getpid}\n\
+             int 0x80\n\
+             add edi, eax\n\
+             dec esi\n\
+             cmp esi, 0\n\
+             jne loop\n\
+             mov eax, {exit}\n\
+             mov ebx, edi\n\
+             int 0x80\n\
+             msg:\n\
+             .asciz \"x\\n\"\n",
+            write = sys::WRITE,
+            getpid = sys::GETPID,
+            exit = sys::EXIT,
+        )
+    }
+
+    fn observe(
+        k: &Kernel,
+    ) -> (
+        u64,
+        u64,
+        crate::kernel::KernelStats,
+        String,
+        Vec<crate::Tid>,
+    ) {
+        (
+            k.m.cycles(),
+            k.m.insns(),
+            k.stats,
+            k.console_text(),
+            k.tids(),
+        )
+    }
+
+    #[test]
+    fn kernel_image_roundtrips_and_resumes_identically() {
+        let mut original = Kernel::boot();
+        spawn(&mut original, &busy_src());
+        // Stop partway through the loop.
+        assert_eq!(original.run_current(Budget::Insns(40)), Outcome::Budget);
+
+        let img = original.save_image();
+        let mut restored = Kernel::restore_image(&img).unwrap();
+        assert_eq!(observe(&original), observe(&restored));
+
+        let a = run(&mut original);
+        let b = run(&mut restored);
+        assert_eq!(a, b);
+        assert_eq!(observe(&original), observe(&restored));
+        assert!(matches!(a, Outcome::Exited(_)));
+    }
+
+    #[test]
+    fn restored_kernel_can_spawn_and_fault_identically() {
+        // Post-restore, task creation, demand paging and fault delivery
+        // all behave as in the never-checkpointed world.
+        let mut original = Kernel::boot();
+        spawn(&mut original, "_start:\nmov eax, [0xD0000000]\nhlt\n");
+        let img = original.save_image();
+        let mut restored = Kernel::restore_image(&img).unwrap();
+        let a = run(&mut original);
+        let b = run(&mut restored);
+        assert_eq!(a, b);
+        assert!(matches!(a, Outcome::Signaled { sig: SIGSEGV, .. }));
+        assert_eq!(observe(&original), observe(&restored));
+        // And both worlds can still spawn fresh tasks deterministically.
+        spawn(&mut original, &busy_src());
+        spawn(&mut restored, &busy_src());
+        assert_eq!(run(&mut original), run(&mut restored));
+        assert_eq!(observe(&original), observe(&restored));
+    }
+
+    #[test]
+    fn mailbox_and_ldt_survive_checkpoint() {
+        let mut k = Kernel::boot();
+        let tid = spawn(&mut k, &busy_src());
+        k.task_mut(tid).mailbox.push_back((7, b"ping".to_vec()));
+        k.palladium_init_pl();
+        let gate = k.palladium_set_call_gate(USER_TEXT + 4);
+        assert!(gate > 0);
+        k.save_current();
+        let img = k.save_image();
+        let r = Kernel::restore_image(&img).unwrap();
+        assert_eq!(r.task(tid).mailbox.front(), k.task(tid).mailbox.front());
+        assert_eq!(r.task(tid).task_spl, 2);
+        assert_eq!(r.task(tid).ldt.len(), k.task(tid).ldt.len());
+    }
+
+    #[test]
+    fn corrupt_kernel_images_are_rejected() {
+        let mut k = Kernel::boot();
+        spawn(&mut k, &busy_src());
+        let img = k.save_image();
+        // A bit flip inside the embedded machine blob must surface as a
+        // typed error, never a silently-wrong kernel.
+        let mut bad = img.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(Kernel::restore_image(&bad).is_err());
+        assert!(Kernel::restore_image(&img[..img.len() - 5]).is_err());
+        // Wrong kind: a machine image is not a kernel image.
+        let m = x86sim::Machine::new();
+        assert!(matches!(
+            Kernel::restore_image(&m.save_image()),
+            Err(x86sim::RestoreError::Kind { .. })
+        ));
+        let _ = errno::EPERM; // keep the import used on all paths
+    }
+}

@@ -24,17 +24,33 @@ use minikernel::layout::{KERNEL_VA_START, KSERVICE_VECTOR};
 use minikernel::{Kernel, SpawnError};
 use x86sim::desc::{Descriptor, Selector};
 use x86sim::fault::Fault;
+use x86sim::image::{Dec, Enc, RestoreError};
 use x86sim::machine::Exit;
 use x86sim::mem::PAGE_SIZE;
 
 use verifier::{verify_image, VerifyPolicy};
 
+use crate::checkpoint as ckpt;
 use crate::supervisor::{LedgerEntry, ReclaimRecord, ResourceLedger};
 use crate::trampoline::{self, SaveSlots, TransferParams};
 
 /// Identifies one extension segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExtSegmentId(usize);
+
+impl ExtSegmentId {
+    /// Positional index into the segment table — the checkpoint identity
+    /// of the segment. Stable across save/restore because segments are
+    /// serialized in table order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds an id from a checkpointed positional index.
+    pub fn from_index(index: usize) -> ExtSegmentId {
+        ExtSegmentId(index)
+    }
+}
 
 /// Errors from the kernel extension mechanism.
 #[derive(Debug, Clone, PartialEq)]
@@ -1180,4 +1196,307 @@ impl KernelExtensions {
         }
         Ok(())
     }
+}
+
+impl KernelExtensions {
+    // ----- durable checkpoints ----------------------------------------------
+
+    /// Serializes the whole extension mechanism — every segment with its
+    /// function tables, tombstones, queues, resource ledger and
+    /// configuration, plus the shared stubs and counters — into `e`. The
+    /// guest-visible stubs and GDT descriptors this state points at live
+    /// in the kernel image saved at the same instant.
+    pub fn save_into(&self, e: &mut Enc) {
+        e.u32(self.segments.len() as u32);
+        for seg in &self.segments {
+            put_segment(e, seg);
+        }
+        e.u16(self.kret_gate.0);
+        e.u32(self.slots.sp_slot);
+        e.u32(self.slots.bp_slot);
+        e.u32(self.invoke_stub);
+        e.u32(self.invoke_stack_top);
+        e.u64(self.aborts);
+        e.u64(self.calls);
+        put_config(e, &self.default_config);
+        e.u32(self.desc_pool.len() as u32);
+        for slot in &self.desc_pool {
+            e.u16(*slot);
+        }
+        e.u64(self.quarantines);
+        e.u64(self.reclaims);
+        e.u64(self.dispatch.verified);
+        e.u64(self.dispatch.entry_checks);
+        e.u64(self.dispatch.entry_check_failures);
+    }
+
+    /// Rebuilds the mechanism from [`save_into`](Self::save_into) bytes.
+    pub fn restore_from(d: &mut Dec) -> Result<KernelExtensions, RestoreError> {
+        let nsegs = d.u32()?;
+        let mut segments = Vec::with_capacity(nsegs as usize);
+        for _ in 0..nsegs {
+            segments.push(get_segment(d)?);
+        }
+        let kret_gate = Selector(d.u16()?);
+        let slots = SaveSlots {
+            sp_slot: d.u32()?,
+            bp_slot: d.u32()?,
+        };
+        let invoke_stub = d.u32()?;
+        let invoke_stack_top = d.u32()?;
+        let aborts = d.u64()?;
+        let calls = d.u64()?;
+        let default_config = get_config(d)?;
+        let npool = d.u32()?;
+        let mut desc_pool = Vec::with_capacity(npool as usize);
+        for _ in 0..npool {
+            desc_pool.push(d.u16()?);
+        }
+        let quarantines = d.u64()?;
+        let reclaims = d.u64()?;
+        let dispatch = DispatchStats {
+            verified: d.u64()?,
+            entry_checks: d.u64()?,
+            entry_check_failures: d.u64()?,
+        };
+        Ok(KernelExtensions {
+            segments,
+            kret_gate,
+            slots,
+            invoke_stub,
+            invoke_stack_top,
+            aborts,
+            calls,
+            default_config,
+            desc_pool,
+            quarantines,
+            reclaims,
+            dispatch,
+        })
+    }
+}
+
+fn put_config(e: &mut Enc, c: &SegmentConfig) {
+    e.u32(c.quarantine_threshold);
+    e.bool(c.recycle_descriptors);
+    e.bool(c.verify);
+    ckpt::put_opt_attestation(e, c.verified.as_ref());
+}
+
+fn get_config(d: &mut Dec) -> Result<SegmentConfig, RestoreError> {
+    Ok(SegmentConfig {
+        quarantine_threshold: d.u32()?,
+        recycle_descriptors: d.bool()?,
+        verify: d.bool()?,
+        verified: ckpt::get_opt_attestation(d)?,
+    })
+}
+
+pub(crate) fn put_segment_config(e: &mut Enc, c: &SegmentConfig) {
+    put_config(e, c);
+}
+
+pub(crate) fn get_segment_config(d: &mut Dec) -> Result<SegmentConfig, RestoreError> {
+    get_config(d)
+}
+
+fn put_ledger_entry(e: &mut Enc, entry: &LedgerEntry) {
+    match entry {
+        LedgerEntry::KernelPages { base, pages } => {
+            e.u8(0);
+            e.u32(*base);
+            e.u32(*pages);
+        }
+        LedgerEntry::GdtDescriptor { index } => {
+            e.u8(1);
+            e.u16(*index);
+        }
+        LedgerEntry::EftEntry { name, module } => {
+            e.u8(2);
+            e.str(name);
+            e.str(module);
+        }
+        LedgerEntry::ShmRange { base, size, module } => {
+            e.u8(3);
+            e.u32(*base);
+            e.u32(*size);
+            e.str(module);
+        }
+        LedgerEntry::AsyncSlot { func } => {
+            e.u8(4);
+            e.str(func);
+        }
+    }
+}
+
+fn get_ledger_entry(d: &mut Dec) -> Result<LedgerEntry, RestoreError> {
+    Ok(match d.u8()? {
+        0 => LedgerEntry::KernelPages {
+            base: d.u32()?,
+            pages: d.u32()?,
+        },
+        1 => LedgerEntry::GdtDescriptor { index: d.u16()? },
+        2 => LedgerEntry::EftEntry {
+            name: d.str()?,
+            module: d.str()?,
+        },
+        3 => LedgerEntry::ShmRange {
+            base: d.u32()?,
+            size: d.u32()?,
+            module: d.str()?,
+        },
+        4 => LedgerEntry::AsyncSlot { func: d.str()? },
+        _ => return Err(d.fail("bad ledger entry tag")),
+    })
+}
+
+fn put_segment(e: &mut Enc, s: &ExtSegment) {
+    e.u32(s.base);
+    e.u32(s.size);
+    e.u16(s.code_sel.0);
+    e.u16(s.data_sel.0);
+    ckpt::put_str_u32_map(e, &s.functions);
+    ckpt::put_opt_pair(e, s.shared_area);
+    ckpt::put_str_vec(e, &s.modules);
+    e.bool(s.dead);
+    e.u32(s.strikes);
+    e.bool(s.quarantined);
+    e.u32(s.tombstones.len() as u32);
+    for (name, t) in &s.tombstones {
+        e.str(name);
+        ckpt::put_opt_str(e, t.module.as_deref());
+        e.bool(t.faulted);
+    }
+    e.u32(s.queue.len() as u32);
+    for req in &s.queue {
+        e.str(&req.func);
+        e.u32(req.arg);
+    }
+    e.bool(s.busy);
+    put_config(e, &s.config);
+    e.bool(s.reclaimed);
+    e.bool(s.reclaim_record.is_some());
+    if let Some(rec) = &s.reclaim_record {
+        e.u32(rec.page_ranges.len() as u32);
+        for (base, pages) in &rec.page_ranges {
+            e.u32(*base);
+            e.u32(*pages);
+        }
+        e.u32(rec.descriptors.len() as u32);
+        for slot in &rec.descriptors {
+            e.u16(*slot);
+        }
+        e.u32(rec.requests_dropped as u32);
+    }
+    e.u32(s.ledger.entries().len() as u32);
+    for entry in s.ledger.entries() {
+        put_ledger_entry(e, entry);
+    }
+    e.u32(s.fn_owner.len() as u32);
+    for (func, module) in &s.fn_owner {
+        e.str(func);
+        e.str(module);
+    }
+    ckpt::put_opt_str(e, s.shared_area_owner.as_deref());
+    e.u32(s.kprepare);
+    e.u32(s.ktransfer_off);
+    e.u32(s.ktarget_off);
+    e.u32(s.ext_esp);
+    e.u32(s.load_next);
+}
+
+fn get_segment(d: &mut Dec) -> Result<ExtSegment, RestoreError> {
+    let base = d.u32()?;
+    let size = d.u32()?;
+    let code_sel = Selector(d.u16()?);
+    let data_sel = Selector(d.u16()?);
+    let functions = ckpt::get_str_u32_map(d)?;
+    let shared_area = ckpt::get_opt_pair(d)?;
+    let modules = ckpt::get_str_vec(d)?;
+    let dead = d.bool()?;
+    let strikes = d.u32()?;
+    let quarantined = d.bool()?;
+    let ntomb = d.u32()?;
+    let mut tombstones = BTreeMap::new();
+    for _ in 0..ntomb {
+        let name = d.str()?;
+        let module = ckpt::get_opt_str(d)?;
+        let faulted = d.bool()?;
+        tombstones.insert(name, Tombstone { module, faulted });
+    }
+    let nqueue = d.u32()?;
+    let mut queue = VecDeque::with_capacity(nqueue as usize);
+    for _ in 0..nqueue {
+        let func = d.str()?;
+        let arg = d.u32()?;
+        queue.push_back(AsyncRequest { func, arg });
+    }
+    let busy = d.bool()?;
+    let config = get_config(d)?;
+    let reclaimed = d.bool()?;
+    let reclaim_record = if d.bool()? {
+        let nranges = d.u32()?;
+        let mut page_ranges = Vec::with_capacity(nranges as usize);
+        for _ in 0..nranges {
+            page_ranges.push((d.u32()?, d.u32()?));
+        }
+        let ndescs = d.u32()?;
+        let mut descriptors = Vec::with_capacity(ndescs as usize);
+        for _ in 0..ndescs {
+            descriptors.push(d.u16()?);
+        }
+        let requests_dropped = d.u32()? as usize;
+        Some(ReclaimRecord {
+            page_ranges,
+            descriptors,
+            requests_dropped,
+        })
+    } else {
+        None
+    };
+    let nledger = d.u32()?;
+    let mut ledger = ResourceLedger::default();
+    for _ in 0..nledger {
+        let entry = get_ledger_entry(d)?;
+        ledger.record(entry);
+    }
+    let nowners = d.u32()?;
+    let mut fn_owner = BTreeMap::new();
+    for _ in 0..nowners {
+        let func = d.str()?;
+        let module = d.str()?;
+        fn_owner.insert(func, module);
+    }
+    let shared_area_owner = ckpt::get_opt_str(d)?;
+    let kprepare = d.u32()?;
+    let ktransfer_off = d.u32()?;
+    let ktarget_off = d.u32()?;
+    let ext_esp = d.u32()?;
+    let load_next = d.u32()?;
+    Ok(ExtSegment {
+        base,
+        size,
+        code_sel,
+        data_sel,
+        functions,
+        shared_area,
+        modules,
+        dead,
+        strikes,
+        quarantined,
+        tombstones,
+        queue,
+        busy,
+        config,
+        reclaimed,
+        reclaim_record,
+        ledger,
+        fn_owner,
+        shared_area_owner,
+        kprepare,
+        ktransfer_off,
+        ktarget_off,
+        ext_esp,
+        load_next,
+    })
 }

@@ -39,6 +39,7 @@
 //! * [`error`] — the unified [`Error`] enum every subsystem error
 //!   converts into (see its module docs for the mapping table).
 
+mod checkpoint;
 pub mod dl;
 pub mod error;
 pub mod guestlib;

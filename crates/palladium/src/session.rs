@@ -31,6 +31,7 @@
 use asm86::Object;
 use minikernel::Kernel;
 use verifier::Attestation;
+use x86sim::image::{kind, Enc, ImageBuilder, ImageView, RestoreError};
 
 use crate::error::Error;
 use crate::user_ext::{DlopenOptions, ExtensibleApp, ExtensionHandle};
@@ -152,5 +153,40 @@ impl Session {
     /// to drive the kernel and application separately.
     pub fn into_parts(self) -> (Kernel, ExtensibleApp) {
         (self.k, self.app)
+    }
+
+    /// Serializes the whole session — the kernel image (which embeds the
+    /// machine image) plus the application's extension tables — into a
+    /// standalone, integrity-checked byte image.
+    ///
+    /// Derived caches (predecode, translation memos) are deliberately
+    /// excluded; a [`restore`](Self::restore)d session is cycle-, stat-
+    /// and fault-identical going forward regardless.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut b = ImageBuilder::new(kind::SESSION);
+        let mut sec = Enc::new();
+        sec.blob(&self.k.save_image());
+        b.section(1, sec);
+        let mut sec = Enc::new();
+        self.app.save_into(&mut sec);
+        b.section(2, sec);
+        b.finish()
+    }
+
+    /// Rebuilds a session from [`checkpoint`](Self::checkpoint) bytes.
+    ///
+    /// Every structural and integrity violation — bad magic, version or
+    /// kind mismatch, truncation, a failed section or image CRC —
+    /// surfaces as a typed [`RestoreError`]; a tampered image is never
+    /// silently restored.
+    pub fn restore(bytes: &[u8]) -> Result<Session, RestoreError> {
+        let view = ImageView::parse(bytes, kind::SESSION)?;
+        let mut d = view.require(1, "session.kernel")?;
+        let k = Kernel::restore_image(d.blob()?)?;
+        d.finish()?;
+        let mut d = view.require(2, "session.app")?;
+        let app = ExtensibleApp::restore_from(&mut d)?;
+        d.finish()?;
+        Ok(Session { k, app })
     }
 }

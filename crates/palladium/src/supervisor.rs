@@ -26,7 +26,13 @@
 use asm86::Object;
 use minikernel::Kernel;
 
-use crate::kernel_ext::{ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
+use x86sim::image::{Dec, Enc, RestoreError};
+
+use crate::checkpoint as ckpt;
+use crate::kernel_ext::{
+    get_segment_config, put_segment_config, ExtSegmentId, KernelExtensions, KextError,
+    SegmentConfig,
+};
 
 // ----- the resource ledger --------------------------------------------------
 
@@ -300,6 +306,19 @@ impl core::fmt::Display for SupervisorError {
 /// Identifies one supervised extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SupervisedId(usize);
+
+impl SupervisedId {
+    /// Positional index into the supervision table — the checkpoint
+    /// identity of the supervised extension.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds an id from a checkpointed positional index.
+    pub fn from_index(index: usize) -> SupervisedId {
+        SupervisedId(index)
+    }
+}
 
 #[derive(Debug, Clone)]
 struct SupervisedExt {
@@ -691,5 +710,108 @@ impl Supervisor {
         {
             self.schedule_restart(k, kx, id, true);
         }
+    }
+}
+
+impl Supervisor {
+    // ----- durable checkpoints ----------------------------------------------
+
+    /// Serializes the restart policy, the fleet-visible counters and every
+    /// supervised extension — including the retained module images a
+    /// restart would reinstall from — into `e`.
+    pub fn save_into(&self, e: &mut Enc) {
+        e.u32(self.policy.max_restarts);
+        e.u64(self.policy.backoff_base);
+        e.u64(self.policy.backoff_factor);
+        e.u64(self.policy.backoff_max);
+        e.u64(self.policy.decay_after);
+        e.u64(self.restarts);
+        e.u64(self.tombstoned);
+        e.u64(self.pages_reclaimed);
+        e.u64(self.requests_dropped);
+        e.u64(self.rollovers);
+        e.u32(self.exts.len() as u32);
+        for x in &self.exts {
+            e.u32(x.seg.index() as u32);
+            e.u32(x.pages);
+            put_segment_config(e, &x.config);
+            e.u32(x.images.len() as u32);
+            for img in &x.images {
+                e.str(&img.name);
+                ckpt::put_object(e, &img.obj);
+                ckpt::put_str_vec(e, &img.exports);
+            }
+            match x.state {
+                SupervisedState::Running => e.u8(0),
+                SupervisedState::Backoff { until } => {
+                    e.u8(1);
+                    e.u64(until);
+                }
+                SupervisedState::Tombstoned => e.u8(2),
+            }
+            e.u32(x.restarts);
+            e.u64(x.last_healthy);
+            e.u64(x.image_gen);
+            e.u64(x.running_gen);
+        }
+    }
+
+    /// Rebuilds a supervisor from [`save_into`](Self::save_into) bytes.
+    /// Segment ids are positional; restore alongside the
+    /// [`KernelExtensions`] table saved at the same instant.
+    pub fn restore_from(d: &mut Dec) -> Result<Supervisor, RestoreError> {
+        let policy = RestartPolicy {
+            max_restarts: d.u32()?,
+            backoff_base: d.u64()?,
+            backoff_factor: d.u64()?,
+            backoff_max: d.u64()?,
+            decay_after: d.u64()?,
+        };
+        let restarts = d.u64()?;
+        let tombstoned = d.u64()?;
+        let pages_reclaimed = d.u64()?;
+        let requests_dropped = d.u64()?;
+        let rollovers = d.u64()?;
+        let nexts = d.u32()?;
+        let mut exts = Vec::with_capacity(nexts as usize);
+        for _ in 0..nexts {
+            let seg = ExtSegmentId::from_index(d.u32()? as usize);
+            let pages = d.u32()?;
+            let config = get_segment_config(d)?;
+            let nimages = d.u32()?;
+            let mut images = Vec::with_capacity(nimages as usize);
+            for _ in 0..nimages {
+                let name = d.str()?;
+                let obj = ckpt::get_object(d)?;
+                let exports = ckpt::get_str_vec(d)?;
+                images.push(ModuleImage { name, obj, exports });
+            }
+            let state = match d.u8()? {
+                0 => SupervisedState::Running,
+                1 => SupervisedState::Backoff { until: d.u64()? },
+                2 => SupervisedState::Tombstoned,
+                _ => return Err(d.fail("bad supervised state tag")),
+            };
+            exts.push(SupervisedExt {
+                seg,
+                pages,
+                config,
+                images,
+                state,
+                restarts: d.u32()?,
+                last_healthy: d.u64()?,
+                image_gen: d.u64()?,
+                running_gen: d.u64()?,
+            });
+        }
+        Ok(Supervisor {
+            policy,
+            exts,
+            restarts,
+            tombstoned,
+            pages_reclaimed,
+            requests_dropped,
+            rollovers,
+        })
     }
 }

@@ -1145,3 +1145,152 @@ fn segment_config_builder_matches_manual_construction() {
         SegmentConfig::default().quarantine_threshold
     );
 }
+
+// ---------- durable checkpoints --------------------------------------------
+
+mod checkpoint {
+    use seedrng::SeedRng;
+    use x86sim::image::{Dec, Enc, RestoreError};
+
+    use super::obj;
+    use crate::kernel_ext::{KernelExtensions, SegmentConfig};
+    use crate::session::Session;
+    use crate::supervisor::{ModuleImage, RestartPolicy, Supervisor};
+    use crate::user_ext::DlopenOptions;
+
+    fn warm_session() -> (Session, u32) {
+        let mut s = Session::new().unwrap();
+        let ext = obj("double:\nmov eax, [esp+4]\nadd eax, eax\nret\n");
+        let h = s
+            .dlopen(&ext, &DlopenOptions::new().verify(&["double"]))
+            .unwrap();
+        let double = s.dlsym(h, "double").unwrap();
+        assert_eq!(s.call(double, 21).unwrap(), 42);
+        (s, double)
+    }
+
+    fn observe(s: &Session) -> (u64, u64, u64, u64, u64) {
+        (
+            s.kernel().m.cycles(),
+            s.kernel().m.insns(),
+            s.app().calls,
+            s.app().aborted_calls,
+            s.app().verified_calls,
+        )
+    }
+
+    #[test]
+    fn session_checkpoint_roundtrips_and_resumes_identically() {
+        let (mut live, double) = warm_session();
+        let image = live.checkpoint();
+        let mut restored = Session::restore(&image).unwrap();
+
+        assert_eq!(observe(&live), observe(&restored));
+        for arg in [1u32, 7, 100, 0x7FFF] {
+            assert_eq!(
+                live.call(double, arg).unwrap(),
+                restored.call(double, arg).unwrap()
+            );
+            assert_eq!(observe(&live), observe(&restored));
+        }
+        // The restored world saves to the same bytes as the original.
+        assert_eq!(live.checkpoint(), restored.checkpoint());
+    }
+
+    #[test]
+    fn checkpoint_is_deterministic() {
+        let (s, _) = warm_session();
+        assert_eq!(s.checkpoint(), s.checkpoint());
+        // Forks checkpoint to the same bytes as the parent.
+        assert_eq!(s.fork().checkpoint(), s.checkpoint());
+    }
+
+    #[test]
+    fn restored_session_survives_extension_fault() {
+        let (mut live, _) = warm_session();
+        let wild = obj("stray:\nmov eax, [0x00400000]\nret\n");
+        let h = live.dlopen(&wild, &DlopenOptions::new()).unwrap();
+        let stray = live.dlsym(h, "stray").unwrap();
+
+        let image = live.checkpoint();
+        let mut restored = Session::restore(&image).unwrap();
+
+        let live_err = live.call(stray, 0).unwrap_err();
+        let restored_err = restored.call(stray, 0).unwrap_err();
+        assert_eq!(
+            format!("{live_err:?}"),
+            format!("{restored_err:?}"),
+            "fault path must replay identically after restore"
+        );
+        assert_eq!(observe(&live), observe(&restored));
+    }
+
+    #[test]
+    fn kernel_extensions_and_supervisor_roundtrip() {
+        let mut k = minikernel::Kernel::boot();
+        let mut kx = KernelExtensions::new(&mut k).unwrap();
+        let mut sup = Supervisor::new(RestartPolicy::default());
+        let img = ModuleImage::new(
+            "double",
+            obj("ext_double:\nmov eax, [esp+4]\nadd eax, eax\nret\n"),
+            &["ext_double"],
+        );
+        let id = sup
+            .install(&mut k, &mut kx, 16, SegmentConfig::default(), vec![img])
+            .unwrap();
+        assert_eq!(
+            sup.invoke(&mut k, &mut kx, id, "ext_double", 8).unwrap(),
+            16
+        );
+
+        let kbytes = k.save_image();
+        let mut enc = Enc::new();
+        kx.save_into(&mut enc);
+        sup.save_into(&mut enc);
+        let bytes = enc.into_vec();
+
+        let mut k2 = minikernel::Kernel::restore_image(&kbytes).unwrap();
+        let mut d = Dec::new(&bytes, "test.kx");
+        let mut kx2 = KernelExtensions::restore_from(&mut d).unwrap();
+        let mut sup2 = Supervisor::restore_from(&mut d).unwrap();
+        d.finish().unwrap();
+
+        for arg in [3u32, 11, 500] {
+            assert_eq!(
+                sup.invoke(&mut k, &mut kx, id, "ext_double", arg).unwrap(),
+                sup2.invoke(&mut k2, &mut kx2, id, "ext_double", arg)
+                    .unwrap()
+            );
+        }
+        assert_eq!(kx.calls, kx2.calls);
+        assert_eq!(kx.aborts, kx2.aborts);
+        assert_eq!(k.m.cycles(), k2.m.cycles());
+        assert_eq!(sup.restarts, sup2.restarts);
+    }
+
+    #[test]
+    fn corrupt_session_images_are_rejected() {
+        let (s, _) = warm_session();
+        let image = s.checkpoint();
+        let mut rng = SeedRng::new(0x5E55_10FF);
+
+        for _ in 0..48 {
+            let mut bad = image.clone();
+            let bit = rng.gen_range(0, (bad.len() * 8) as u32) as usize;
+            bad[bit / 8] ^= 1 << (bit % 8);
+            match Session::restore(&bad) {
+                Ok(_) => panic!("bit flip at {bit} silently restored"),
+                Err(e) => {
+                    let _: RestoreError = e; // typed, never a panic
+                }
+            }
+        }
+        for _ in 0..24 {
+            let cut = rng.gen_range(0, image.len() as u32) as usize;
+            assert!(
+                Session::restore(&image[..cut]).is_err(),
+                "truncation at {cut} silently restored"
+            );
+        }
+    }
+}

@@ -25,9 +25,11 @@ use asm86::{Assembler, Object};
 use minikernel::layout::{UEXT_DONE_VECTOR, UEXT_FAULT_VECTOR};
 use minikernel::{AreaKind, Budget, Kernel, Outcome, SpawnError, Tid};
 use x86sim::fault::Fault;
+use x86sim::image::{Dec, Enc, RestoreError};
 use x86sim::mem::PAGE_SIZE;
 use x86sim::paging::pte;
 
+use crate::checkpoint as ckpt;
 use crate::dl::{build_got_plt, merge_objects, DlError};
 use crate::stdlib;
 use crate::trampoline::{self, PrepareParams, SaveSlots, TransferParams};
@@ -847,6 +849,94 @@ impl ExtensibleApp {
         b.finish().expect("stub object")
     }
 
+    // ----- durable checkpoints ----------------------------------------------
+
+    /// Serializes the runtime state of the application — counters,
+    /// trampoline cursors, the extension and shared-library tables with
+    /// their attestations — into `e`. All guest memory the extensions
+    /// occupy lives in the kernel's machine image; this is the host-side
+    /// bookkeeping that makes the loaded extensions callable again after
+    /// [`restore_from`](Self::restore_from).
+    pub fn save_into(&self, e: &mut Enc) {
+        e.u32(self.tid);
+        e.u16(self.gate_sel);
+        e.u64(self.calls);
+        e.u64(self.aborted_calls);
+        e.u64(self.verified_calls);
+        e.u32(self.invoke_stub);
+        e.u32(self.callgate_addr);
+        e.u32(self.slots.sp_slot);
+        e.u32(self.slots.bp_slot);
+        e.u32(self.tramp_next);
+        e.u32(self.tramp_end);
+        e.u32(self.exts.len() as u32);
+        for ext in self.exts.iter() {
+            put_ext(e, ext);
+        }
+        e.u32(self.libs.len() as u32);
+        for lib in self.libs.iter() {
+            ckpt::put_str_u32_map(e, &lib.symbols);
+            e.u32(lib.range.0);
+            e.u32(lib.range.1);
+        }
+        e.u32(self.service_gates.len() as u32);
+        for g in &self.service_gates {
+            e.u16(*g);
+        }
+    }
+
+    /// Rebuilds an application from [`save_into`](Self::save_into) bytes.
+    /// Pair with the kernel image saved at the same instant — the
+    /// trampolines and extension images this state points at live in
+    /// guest memory.
+    pub fn restore_from(d: &mut Dec) -> Result<ExtensibleApp, RestoreError> {
+        let tid = d.u32()?;
+        let gate_sel = d.u16()?;
+        let calls = d.u64()?;
+        let aborted_calls = d.u64()?;
+        let verified_calls = d.u64()?;
+        let invoke_stub = d.u32()?;
+        let callgate_addr = d.u32()?;
+        let slots = SaveSlots {
+            sp_slot: d.u32()?,
+            bp_slot: d.u32()?,
+        };
+        let tramp_next = d.u32()?;
+        let tramp_end = d.u32()?;
+        let nexts = d.u32()?;
+        let mut exts = Vec::with_capacity(nexts as usize);
+        for _ in 0..nexts {
+            exts.push(get_ext(d)?);
+        }
+        let nlibs = d.u32()?;
+        let mut libs = Vec::with_capacity(nlibs as usize);
+        for _ in 0..nlibs {
+            let symbols = ckpt::get_str_u32_map(d)?;
+            let range = (d.u32()?, d.u32()?);
+            libs.push(LoadedLib { symbols, range });
+        }
+        let ngates = d.u32()?;
+        let mut service_gates = Vec::with_capacity(ngates as usize);
+        for _ in 0..ngates {
+            service_gates.push(d.u16()?);
+        }
+        Ok(ExtensibleApp {
+            tid,
+            gate_sel,
+            calls,
+            aborted_calls,
+            verified_calls,
+            invoke_stub,
+            callgate_addr,
+            slots,
+            tramp_next,
+            tramp_end,
+            exts: std::sync::Arc::new(exts),
+            libs: std::sync::Arc::new(libs),
+            service_gates,
+        })
+    }
+
     /// Installs raw guest code into the application trampoline region
     /// (PPL 0, SPL 2) — used for application-service implementations and
     /// benchmark stubs. Returns its address.
@@ -879,4 +969,74 @@ impl ExtensibleApp {
             .map(|(s, off)| (s.clone(), at + off))
             .collect())
     }
+}
+
+fn put_ext(e: &mut Enc, x: &Ext) {
+    e.u32(x.base);
+    e.u32(x.pages);
+    ckpt::put_str_u32_map(e, &x.symbols);
+    e.u32(x.arg_slot);
+    e.u32(x.esp_slot);
+    e.u32(x.tramp3_base);
+    e.u32(x.tramp3_next);
+    e.u32(x.preps.len() as u32);
+    for (name, (p, t)) in &x.preps {
+        e.str(name);
+        e.u32(*p);
+        e.u32(*t);
+    }
+    ckpt::put_opt_u32(e, x.got_page);
+    ckpt::put_opt_pair(e, x.got_slots);
+    ckpt::put_opt_pair(e, x.plt_range);
+    e.u32(x.stack.0);
+    e.u32(x.stack.1);
+    e.u32(x.heap.0);
+    e.u32(x.heap.1);
+    ckpt::put_opt_attestation(e, x.verified.as_ref());
+    e.bool(x.eager_predecode);
+    e.bool(x.closed);
+}
+
+fn get_ext(d: &mut Dec) -> Result<Ext, RestoreError> {
+    let base = d.u32()?;
+    let pages = d.u32()?;
+    let symbols = ckpt::get_str_u32_map(d)?;
+    let arg_slot = d.u32()?;
+    let esp_slot = d.u32()?;
+    let tramp3_base = d.u32()?;
+    let tramp3_next = d.u32()?;
+    let npreps = d.u32()?;
+    let mut preps = BTreeMap::new();
+    for _ in 0..npreps {
+        let name = d.str()?;
+        let p = d.u32()?;
+        let t = d.u32()?;
+        preps.insert(name, (p, t));
+    }
+    let got_page = ckpt::get_opt_u32(d)?;
+    let got_slots = ckpt::get_opt_pair(d)?;
+    let plt_range = ckpt::get_opt_pair(d)?;
+    let stack = (d.u32()?, d.u32()?);
+    let heap = (d.u32()?, d.u32()?);
+    let verified = ckpt::get_opt_attestation(d)?;
+    let eager_predecode = d.bool()?;
+    let closed = d.bool()?;
+    Ok(Ext {
+        base,
+        pages,
+        symbols,
+        arg_slot,
+        esp_slot,
+        tramp3_base,
+        tramp3_next,
+        preps,
+        got_page,
+        got_slots,
+        plt_range,
+        stack,
+        heap,
+        verified,
+        eager_predecode,
+        closed,
+    })
 }

@@ -25,6 +25,13 @@ impl SeedRng {
         SeedRng { state: seed }
     }
 
+    /// The raw generator state. Together with [`new`](Self::new) (which
+    /// installs a state verbatim) this makes the generator checkpointable:
+    /// `SeedRng::new(r.state())` continues exactly where `r` left off.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -218,6 +225,18 @@ mod tests {
                     .count();
                 assert!(same <= 1, "streams {i} and {j} overlap in {same} draws");
             }
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut r = SeedRng::new(99);
+        for _ in 0..10 {
+            r.next_u64();
+        }
+        let mut resumed = SeedRng::new(r.state());
+        for _ in 0..100 {
+            assert_eq!(r.next_u64(), resumed.next_u64());
         }
     }
 

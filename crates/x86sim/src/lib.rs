@@ -28,6 +28,7 @@ pub mod cycles;
 pub mod desc;
 mod exec;
 pub mod fault;
+pub mod image;
 pub mod machine;
 pub mod mem;
 pub mod paging;
@@ -41,6 +42,7 @@ mod tests;
 pub use cycles::{cycles_to_us, us_to_cycles, Event, CLOCK_HZ};
 pub use desc::{CallGate, CodeSeg, DataSeg, Descriptor, DescriptorTable, Selector};
 pub use fault::{Fault, FaultCause, Vector};
+pub use image::RestoreError;
 pub use machine::{Cpu, Exit, Flags, IdtGate, Machine, SegCache, Snapshot, Tss};
 pub use mem::{FrameAlloc, PhysMem, PAGE_SIZE};
 pub use paging::{pte, Access, Mmu};

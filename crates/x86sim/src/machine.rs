@@ -11,6 +11,7 @@ use asm86::{decode, DecodeError};
 use crate::cycles::{self, Event};
 use crate::desc::{resolve, Descriptor, DescriptorTable, Selector};
 use crate::fault::{Fault, FaultBuilder, FaultCause};
+use crate::image::{self, kind, Enc, ImageBuilder, ImageView, RestoreError};
 use crate::mem::{PhysMem, PAGE_MASK, PAGE_SIZE};
 use crate::paging::{Access, Mmu};
 use crate::predecode::{InsnCache, PredecodeStats};
@@ -379,6 +380,145 @@ impl Machine {
     /// reached the same state).
     pub fn fork(&self) -> Machine {
         self.clone()
+    }
+
+    // ----- durable checkpoint/restore ---------------------------------------
+
+    /// Serializes the whole world into a deterministic, integrity-checked
+    /// binary image (see [`crate::image`] for the format).
+    ///
+    /// The image carries every piece of *architectural* state: CPU,
+    /// descriptor tables, IDT, TSS, the MMU with its live TLB (sorted by
+    /// VPN), the cycle/instruction counters, and only the materialized
+    /// physical frames (sorted by frame number). The predecode cache,
+    /// translation memos and any live trace are deliberately excluded —
+    /// they are derived host-side state, rebuilt on demand, and their
+    /// absence is invisible to cycle accounting and statistics (memo hits
+    /// count as TLB hits). Saving the same world twice yields the same
+    /// bytes.
+    pub fn save_image(&self) -> Vec<u8> {
+        let mut b = ImageBuilder::new(kind::MACHINE);
+
+        let mut e = Enc::new();
+        image::put_cpu(&mut e, &self.cpu);
+        b.section(1, e);
+
+        let mut e = Enc::new();
+        image::put_descriptor_table(&mut e, &self.gdt);
+        b.section(2, e);
+
+        let mut e = Enc::new();
+        match &self.ldt {
+            Some(t) => {
+                e.bool(true);
+                image::put_descriptor_table(&mut e, t);
+            }
+            None => e.bool(false),
+        }
+        b.section(3, e);
+
+        let mut e = Enc::new();
+        e.u32(self.idt.len() as u32);
+        for gate in &self.idt {
+            match gate {
+                Some(g) => {
+                    e.bool(true);
+                    e.u8(g.dpl);
+                }
+                None => e.bool(false),
+            }
+        }
+        b.section(4, e);
+
+        let mut e = Enc::new();
+        for (sel, esp) in self.tss.stack {
+            e.u16(sel.0);
+            e.u32(esp);
+        }
+        b.section(5, e);
+
+        let mut e = Enc::new();
+        self.mmu.save_into(&mut e);
+        b.section(6, e);
+
+        let mut e = Enc::new();
+        e.u64(self.cycles);
+        e.u64(self.insns);
+        e.bool(self.predecode);
+        b.section(7, e);
+
+        let mut e = Enc::new();
+        self.mem.save_into(&mut e);
+        b.section(8, e);
+
+        b.finish()
+    }
+
+    /// Rebuilds a world from an image written by [`Machine::save_image`].
+    ///
+    /// Restore is verify-or-reject: any corruption — a flipped bit, a
+    /// truncation, a torn write, transposed sections, a version or kind
+    /// mismatch — yields a typed [`RestoreError`] and no world. A
+    /// successful restore resumes cycle/stat/fault byte-identically to
+    /// the world that was saved; the predecode cache and translation
+    /// memos start cold and are rebuilt on demand.
+    pub fn restore_image(bytes: &[u8]) -> Result<Machine, RestoreError> {
+        let v = ImageView::parse(bytes, kind::MACHINE)?;
+        let mut m = Machine::new();
+
+        let mut d = v.require(1, "cpu")?;
+        m.cpu = image::get_cpu(&mut d)?;
+        d.finish()?;
+
+        let mut d = v.require(2, "gdt")?;
+        m.gdt = image::get_descriptor_table(&mut d)?;
+        d.finish()?;
+
+        let mut d = v.require(3, "ldt")?;
+        m.ldt = if d.bool()? {
+            Some(image::get_descriptor_table(&mut d)?)
+        } else {
+            None
+        };
+        d.finish()?;
+
+        let mut d = v.require(4, "idt")?;
+        let n = d.u32()? as usize;
+        if n != 256 {
+            return Err(d.fail(format!("IDT has {n} vectors")));
+        }
+        let mut idt = Vec::with_capacity(n);
+        for _ in 0..n {
+            idt.push(if d.bool()? {
+                Some(IdtGate { dpl: d.u8()? })
+            } else {
+                None
+            });
+        }
+        m.idt = idt;
+        d.finish()?;
+
+        let mut d = v.require(5, "tss")?;
+        for slot in &mut m.tss.stack {
+            *slot = (Selector(d.u16()?), d.u32()?);
+        }
+        d.finish()?;
+
+        let mut d = v.require(6, "mmu")?;
+        m.mmu = Mmu::restore_from(&mut d)?;
+        d.finish()?;
+
+        let mut d = v.require(7, "counters")?;
+        m.cycles = d.u64()?;
+        m.insns = d.u64()?;
+        m.predecode = d.bool()?;
+        d.finish()?;
+
+        let mut d = v.require(8, "frames")?;
+        m.mem = PhysMem::restore_from(&mut d)?;
+        d.finish()?;
+
+        Ok(m)
     }
 
     /// Enables or disables the predecoded-instruction fast path.

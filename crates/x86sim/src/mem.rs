@@ -18,6 +18,8 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
+use crate::image::{Dec, Enc, RestoreError};
+
 /// The page size, as on x86.
 pub const PAGE_SIZE: u32 = 4096;
 
@@ -448,6 +450,56 @@ impl PhysMem {
             .collect()
     }
 
+    /// Serializes the sparse frame set into a checkpoint payload: only
+    /// materialized frames, sorted by frame number so the bytes are a
+    /// pure function of memory contents (the index `HashMap` iterates in
+    /// host-dependent order, and slab slot numbers are allocation-order
+    /// accidents).
+    ///
+    /// Store/code generations and code masks are *not* serialized: they
+    /// exist only to invalidate the predecode cache, which a restored
+    /// world rebuilds from scratch.
+    pub(crate) fn save_into(&self, e: &mut Enc) {
+        let mut pages: Vec<(u32, u32)> = self.index.iter().map(|(&p, &s)| (p, s)).collect();
+        pages.sort_unstable_by_key(|&(p, _)| p);
+        e.u32(pages.len() as u32);
+        for (page, slot) in pages {
+            e.u32(page);
+            e.bytes(&*self.slabs[slot as usize].data);
+        }
+    }
+
+    /// Rebuilds physical memory from a payload written by
+    /// [`PhysMem::save_into`]. Frames come back in sorted order, so slab
+    /// slot numbering after a restore is deterministic (slots are
+    /// host-side identities; nothing architectural observes them).
+    pub(crate) fn restore_from(d: &mut Dec<'_>) -> Result<PhysMem, RestoreError> {
+        let n = d.u32()?;
+        let mut index: HashMap<u32, u32, U32HashBuilder> = HashMap::default();
+        let mut slabs: Vec<Frame> = Vec::with_capacity(n as usize);
+        let mut last: Option<u32> = None;
+        for _ in 0..n {
+            let page = d.u32()?;
+            if last.is_some_and(|l| page <= l) {
+                return Err(d.fail(format!("frames not sorted (page {page:#x})")));
+            }
+            last = Some(page);
+            let bytes = d.bytes(PAGE_SIZE as usize)?;
+            let data: [u8; PAGE_SIZE as usize] = bytes.try_into().expect("read PAGE_SIZE bytes");
+            index.insert(page, slabs.len() as u32);
+            slabs.push(Frame {
+                data: Arc::new(data),
+                gen: 1,
+                code_gen: 0,
+                code_mask: None,
+            });
+        }
+        Ok(PhysMem {
+            index: Arc::new(index),
+            slabs: Arc::new(slabs),
+        })
+    }
+
     /// Zero-fills a range.
     pub fn zero(&mut self, addr: u32, len: u32) {
         let mut addr = addr;
@@ -554,6 +606,50 @@ impl FrameAlloc {
     /// counter compared before and after a reclaim cycle.
     pub fn in_use(&self) -> u32 {
         self.in_use
+    }
+
+    /// Serializes the allocator into a checkpoint payload. The free list
+    /// is written in its exact LIFO order: allocation sequences are a
+    /// pure function of the call sequence *and this order*, so a restored
+    /// world must hand out frames identically to the original.
+    pub fn save_into(&self, e: &mut Enc) {
+        e.u32(self.next);
+        e.u32(self.limit);
+        e.u32(self.in_use);
+        e.u32(self.free_list.len() as u32);
+        for &f in &self.free_list {
+            e.u32(f);
+        }
+    }
+
+    /// Rebuilds an allocator from a payload written by
+    /// [`FrameAlloc::save_into`], validating the invariants a live
+    /// allocator maintains (alignment, bounds, no double entries).
+    pub fn restore_from(d: &mut Dec<'_>) -> Result<FrameAlloc, RestoreError> {
+        let next = d.u32()?;
+        let limit = d.u32()?;
+        let in_use = d.u32()?;
+        if next & PAGE_MASK != 0 || limit & PAGE_MASK != 0 || next > limit {
+            return Err(d.fail(format!("allocator bounds {next:#x}/{limit:#x}")));
+        }
+        let n = d.u32()?;
+        let mut free_list = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let f = d.u32()?;
+            if f & PAGE_MASK != 0 || f >= next {
+                return Err(d.fail(format!("free frame {f:#x} out of range")));
+            }
+            if free_list.contains(&f) {
+                return Err(d.fail(format!("frame {f:#x} freed twice")));
+            }
+            free_list.push(f);
+        }
+        Ok(FrameAlloc {
+            next,
+            limit,
+            free_list,
+            in_use,
+        })
     }
 }
 

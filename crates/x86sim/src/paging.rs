@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use crate::fault::{pf_err, Fault, FaultBuilder};
+use crate::image::{Dec, Enc, RestoreError};
 use crate::mem::{FrameAlloc, PhysMem, U32HashBuilder, PAGE_MASK};
 
 /// PTE/PDE flag bits.
@@ -143,6 +144,72 @@ impl Mmu {
     /// Number of live TLB entries.
     pub fn tlb_entries(&self) -> usize {
         self.tlb.len()
+    }
+
+    /// Serializes the MMU into a checkpoint payload.
+    ///
+    /// The TLB *is* architectural here: its contents decide future
+    /// hit/miss counts, page-walk cycle charges and lazy dirty-bit
+    /// updates, so a restored world must resume with the exact entries
+    /// (sorted by VPN — `HashMap` iteration order is host-dependent).
+    /// The epoch rides along so carried-over semantics around flush
+    /// counting stay monotonic.
+    pub(crate) fn save_into(&self, e: &mut Enc) {
+        e.u32(self.cr3);
+        e.bool(self.enabled);
+        e.u64(self.epoch);
+        e.u64(self.stats.hits);
+        e.u64(self.stats.misses);
+        e.u64(self.stats.flushes);
+        let mut vpns: Vec<u32> = self.tlb.keys().copied().collect();
+        vpns.sort_unstable();
+        e.u32(vpns.len() as u32);
+        for vpn in vpns {
+            let t = &self.tlb[&vpn];
+            e.u32(vpn);
+            e.u32(t.frame);
+            e.bool(t.user);
+            e.bool(t.writable);
+            e.bool(t.dirty);
+            e.u32(t.pte_addr);
+        }
+    }
+
+    /// Rebuilds an MMU from a payload written by [`Mmu::save_into`].
+    pub(crate) fn restore_from(d: &mut Dec<'_>) -> Result<Mmu, RestoreError> {
+        let cr3 = d.u32()?;
+        let enabled = d.bool()?;
+        let epoch = d.u64()?;
+        let stats = TlbStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            flushes: d.u64()?,
+        };
+        let n = d.u32()?;
+        let mut tlb: HashMap<u32, TlbEntry, U32HashBuilder> = HashMap::default();
+        let mut last: Option<u32> = None;
+        for _ in 0..n {
+            let vpn = d.u32()?;
+            if last.is_some_and(|l| vpn <= l) {
+                return Err(d.fail(format!("TLB entries not sorted (vpn {vpn:#x})")));
+            }
+            last = Some(vpn);
+            let entry = TlbEntry {
+                frame: d.u32()?,
+                user: d.bool()?,
+                writable: d.bool()?,
+                dirty: d.bool()?,
+                pte_addr: d.u32()?,
+            };
+            tlb.insert(vpn, entry);
+        }
+        Ok(Mmu {
+            cr3,
+            enabled,
+            tlb,
+            epoch,
+            stats,
+        })
     }
 
     /// Virtual page numbers currently cached, sorted (fault-injection

@@ -1429,3 +1429,181 @@ fn predecode_fast_path_is_cycle_neutral() {
     }
     assert_eq!(run(true), run(false));
 }
+
+mod checkpoint {
+    //! Differential checkpoint/restore tests: a restored world must be
+    //! cycle/stat/fault byte-identical going forward versus the world
+    //! that never checkpointed.
+
+    use super::*;
+    use seedrng::SeedRng;
+
+    /// Everything observable about a machine's forward behaviour.
+    fn observe(m: &Machine) -> (u64, u64, crate::paging::TlbStats, [u32; 8], u32, u8, usize) {
+        (
+            m.cycles(),
+            m.insns(),
+            m.mmu.stats,
+            m.cpu.regs,
+            m.cpu.eip,
+            m.cpu.cpl,
+            m.mem.resident_frames(),
+        )
+    }
+
+    /// A paged two-ring-ish workload with loops, stores and stack
+    /// traffic — enough to populate the TLB, the predecode cache and a
+    /// few dozen frames.
+    fn paged_workload(predecode: bool) -> Machine {
+        let mut m = Machine::new();
+        let code0 = m.gdt.push(Descriptor::flat_code(0));
+        let data0 = m.gdt.push(Descriptor::flat_data(0));
+        let mut fa = crate::mem::FrameAlloc::new(0x10_0000, 0x40_0000);
+        let cr3 = fa.alloc().unwrap();
+        m.mem.zero(cr3, crate::mem::PAGE_SIZE);
+        for page in 0..16u32 {
+            assert!(map_page(
+                &mut m.mem,
+                &mut fa,
+                cr3,
+                page << 12,
+                page << 12,
+                pte::RW | pte::US
+            ));
+        }
+        m.mmu.set_cr3(cr3);
+        m.mmu.enabled = true;
+        let obj = Assembler::assemble(
+            "top:\n\
+             mov eax, [0x2000]\n\
+             add eax, 3\n\
+             mov [0x2000], eax\n\
+             push eax\n\
+             pop ebx\n\
+             mov [0x3000], ebx\n\
+             dec ecx\n\
+             cmp ecx, 0\n\
+             jne top\n\
+             hlt\n",
+        )
+        .unwrap();
+        m.mem
+            .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+        m.force_seg_from_table(SegReg::Cs, Selector::new(code0, false, 0));
+        m.force_seg_from_table(SegReg::Ss, Selector::new(data0, false, 0));
+        m.force_seg_from_table(SegReg::Ds, Selector::new(data0, false, 0));
+        m.cpu.set_reg(Reg::Esp, 0x7FF0);
+        m.cpu.set_reg(Reg::Ecx, 400);
+        m.cpu.eip = 0x1000;
+        m.set_predecode(predecode);
+        m
+    }
+
+    #[test]
+    fn save_is_deterministic() {
+        let m = paged_workload(true);
+        assert_eq!(m.save_image(), m.save_image());
+    }
+
+    #[test]
+    fn restore_resumes_byte_identically_mid_run() {
+        for predecode in [true, false] {
+            let mut r = SeedRng::new(0x1DE2_0001);
+            for _ in 0..6 {
+                let split = r.gen_range(1, 1200) as u64;
+                let mut original = paged_workload(predecode);
+                // Run to a random split point, checkpoint, then let the
+                // original continue untouched.
+                assert_eq!(original.run(split), Exit::InsnLimit);
+                let img = original.save_image();
+                let mut restored = Machine::restore_image(&img).unwrap();
+                assert_eq!(observe(&original), observe(&restored));
+                let a = original.run(1_000_000);
+                let b = restored.run(1_000_000);
+                assert_eq!(a, b);
+                assert_eq!(
+                    observe(&original),
+                    observe(&restored),
+                    "divergence after split {split} (predecode={predecode})"
+                );
+                assert_eq!(
+                    original.mem.read_bytes(0x2000, 8),
+                    restored.mem.read_bytes(0x2000, 8)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_preserves_faults_forward() {
+        // A world about to fault must fault identically after restore.
+        let mut m = paged_workload(true);
+        let _ = m.run(50);
+        // Point it at an unmapped page.
+        let obj = Assembler::assemble("mov eax, [0x00F0F000]\nhlt\n").unwrap();
+        m.mem
+            .write_bytes(0x1800, &obj.link(0x1800, &BTreeMap::new()).unwrap());
+        m.cpu.eip = 0x1800;
+        let img = m.save_image();
+        let mut restored = Machine::restore_image(&img).unwrap();
+        let a = m.run(10);
+        let b = restored.run(10);
+        assert_eq!(a, b);
+        assert!(
+            matches!(a, Exit::Fault(ref f) if f.vector == Vector::PageFault),
+            "got {a:?}"
+        );
+        assert_eq!(m.cycles(), restored.cycles());
+    }
+
+    #[test]
+    fn fork_then_checkpoint_then_restore_interleaving() {
+        // A forked world checkpointed mid-run restores into a world
+        // indistinguishable from the fork — and independent of both the
+        // template and the fork.
+        let mut template = paged_workload(true);
+        assert_eq!(template.run(100), Exit::InsnLimit);
+        let snap = template.snapshot();
+        let mut fork = snap.fork();
+        assert_eq!(fork.run(150), Exit::InsnLimit);
+        let img = fork.save_image();
+        let mut restored = Machine::restore_image(&img).unwrap();
+        assert_eq!(observe(&fork), observe(&restored));
+        let a = fork.run(1_000_000);
+        let b = restored.run(1_000_000);
+        assert_eq!(a, b);
+        assert_eq!(observe(&fork), observe(&restored));
+        // The template continues unaffected by either.
+        let mut t = snap.fork();
+        assert_eq!(t.cycles(), {
+            let mut t2 = snap.fork();
+            let _ = t2.run(0);
+            t2.cycles()
+        });
+        let _ = t.run(1_000_000);
+    }
+
+    #[test]
+    fn corrupted_machine_images_are_rejected_never_restored() {
+        let mut m = paged_workload(true);
+        let _ = m.run(300);
+        let img = m.save_image();
+        let mut r = SeedRng::new(0xBADC_0DE5);
+        // Seeded bit flips anywhere in the image.
+        for _ in 0..64 {
+            let mut bad = img.clone();
+            let byte = r.gen_range(0, bad.len() as u32) as usize;
+            let bit = r.gen_range(0, 8) as u8;
+            bad[byte] ^= 1 << bit;
+            assert!(
+                Machine::restore_image(&bad).is_err(),
+                "bit flip at byte {byte} bit {bit} silently restored"
+            );
+        }
+        // Seeded truncations.
+        for _ in 0..32 {
+            let len = r.gen_range(0, img.len() as u32) as usize;
+            assert!(Machine::restore_image(&img[..len]).is_err());
+        }
+    }
+}

@@ -17,10 +17,20 @@
 //! cold-boots every world — a host-performance knob only, the reports
 //! are byte-identical (the CI `snapshot_fork` job compares them).
 //!
+//! `--crash-drill` runs the durable-checkpoint crash-recovery drill
+//! instead: the fleet checkpoints every `--checkpoint-every N` rounds
+//! (images under `target/checkpoints/fleet_rollout/`), a replica is
+//! killed mid-stream, `--corrupt-latest N` generations are damaged on
+//! "disk", and recovery walks the lineage newest-first. The drill
+//! report is byte-identical per seed and worker count too (the CI
+//! `checkpoint_restore` job diffs `--jobs 1` against `--jobs 8`).
+//!
 //! Exits non-zero on any containment violation, any ledger leak, or —
-//! for the rollout — any dropped request on a healthy replica.
+//! for the rollout and the drill — any dropped request on a healthy
+//! replica.
 
-use fleet::report::{render_rollout, render_soak};
+use fleet::drill::{self, DrillConfig};
+use fleet::report::{render_drill, render_rollout, render_soak};
 use fleet::rollout::{self, RolloutConfig};
 use fleet::soak::{self, SoakConfig};
 use fleet::{faulty_images, version_images};
@@ -29,7 +39,8 @@ fn usage_error(what: &str) -> ! {
     eprintln!("{what}");
     eprintln!(
         "usage: fleet_rollout [--seed N] [--replicas N] [--rounds N] [--requests N] [--jobs N] \
-         [--boot fork|cold] [--good] [--report PATH] [--soak] [--epochs N] [--min-insns N]"
+         [--boot fork|cold] [--good] [--report PATH] [--soak] [--epochs N] [--min-insns N] \
+         [--crash-drill] [--checkpoint-every N] [--corrupt-latest N]"
     );
     std::process::exit(2);
 }
@@ -46,8 +57,11 @@ fn numeric_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, 
 fn main() {
     let mut cfg = RolloutConfig::default();
     let mut soak_cfg = SoakConfig::default();
+    let mut drill_cfg = DrillConfig::default();
     let mut run_soak = false;
+    let mut run_drill = false;
     let mut good_push = false;
+    let mut checkpoint_every: Option<u32> = None;
     let mut min_insns: u64 = 0;
     let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -56,19 +70,26 @@ fn main() {
             "--seed" => {
                 cfg.seed = numeric_value(&mut args, "--seed");
                 soak_cfg.seed = cfg.seed;
+                drill_cfg.seed = cfg.seed;
             }
             "--replicas" => {
                 cfg.replicas = numeric_value(&mut args, "--replicas");
                 soak_cfg.replicas = cfg.replicas;
+                drill_cfg.replicas = cfg.replicas;
             }
-            "--rounds" => cfg.rounds = numeric_value(&mut args, "--rounds"),
+            "--rounds" => {
+                cfg.rounds = numeric_value(&mut args, "--rounds");
+                drill_cfg.rounds = cfg.rounds;
+            }
             "--requests" => {
                 cfg.requests_per_round = numeric_value(&mut args, "--requests");
                 soak_cfg.requests_per_round = cfg.requests_per_round;
+                drill_cfg.requests_per_round = cfg.requests_per_round;
             }
             "--jobs" => {
                 cfg.jobs = numeric_value(&mut args, "--jobs");
                 soak_cfg.jobs = cfg.jobs;
+                drill_cfg.jobs = cfg.jobs;
             }
             "--boot" => {
                 let fork = match args.next().as_deref() {
@@ -79,11 +100,19 @@ fn main() {
                 };
                 cfg.fork_boot = fork;
                 soak_cfg.fork_boot = fork;
+                drill_cfg.fork_boot = fork;
             }
             "--epochs" => soak_cfg.epochs = numeric_value(&mut args, "--epochs"),
             "--min-insns" => min_insns = numeric_value(&mut args, "--min-insns"),
             "--good" => good_push = true,
             "--soak" => run_soak = true,
+            "--crash-drill" => run_drill = true,
+            "--checkpoint-every" => {
+                checkpoint_every = Some(numeric_value(&mut args, "--checkpoint-every"));
+            }
+            "--corrupt-latest" => {
+                drill_cfg.corrupt_latest = numeric_value(&mut args, "--corrupt-latest");
+            }
             "--report" => match args.next() {
                 Some(p) => report_path = Some(p),
                 None => usage_error("--report requires a path"),
@@ -91,8 +120,23 @@ fn main() {
             other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
+    if checkpoint_every.is_some() && !run_drill {
+        usage_error("--checkpoint-every requires --crash-drill");
+    }
 
-    let (text, failed) = if run_soak {
+    let (text, failed) = if run_drill {
+        if let Some(every) = checkpoint_every {
+            drill_cfg.checkpoint_every = every;
+        }
+        drill_cfg.persist_dir = Some("target/checkpoints/fleet_rollout".to_string());
+        let report = drill::run(&drill_cfg, &version_images("filter", 1));
+        let text = render_drill(&report);
+        let failed = !report.violations.is_empty()
+            || !report.leak_failures.is_empty()
+            || report.healthy_replica_drops != 0
+            || report.guest_insns < min_insns;
+        (text, failed)
+    } else if run_soak {
         let report = soak::run(&soak_cfg);
         let text = render_soak(&report);
         let failed = !report.violations.is_empty()

@@ -70,6 +70,55 @@ fn campaign_is_deterministic_per_seed() {
     assert!(a.violations.is_empty(), "{:?}", a.violations);
 }
 
+// --- behavioural probes: direct and under fork-boot ----------------------
+
+/// The scratch-world probes pass standalone, at the campaign's default
+/// cycle limit and well below it — a runaway kernel extension is always
+/// aborted near the limit and quarantined at threshold 1.
+#[test]
+fn probe_timer_abort_passes_across_cycle_limits() {
+    for limit in [2_000, 10_000, CampaignConfig::default().cycle_limit] {
+        chaos::oracle::probe_timer_abort(limit)
+            .unwrap_or_else(|v| panic!("timer probe at limit {limit}: {v}"));
+    }
+}
+
+/// The other two scratch-world probes, exercised directly rather than
+/// through a campaign's probe interval.
+#[test]
+fn fork_exec_and_syscall_probes_pass_standalone() {
+    chaos::oracle::probe_fork_exec().unwrap_or_else(|v| panic!("{v}"));
+    chaos::oracle::probe_syscall_rejection().unwrap_or_else(|v| panic!("{v}"));
+}
+
+/// The behavioural probes run — and pass — when episodes boot by
+/// forking the warmed template world, not only on cold boots, and the
+/// probe cadence stays on global step numbers: a fork-boot campaign at
+/// 4 workers reports byte-identically to a cold-boot serial one.
+#[test]
+fn scratch_world_probes_run_under_fork_boot() {
+    let fork_cfg = CampaignConfig {
+        seed: 0xF04B_B007,
+        steps: 400,
+        probe_interval: 100,
+        fork_boot: true,
+        jobs: 4,
+        ..CampaignConfig::default()
+    };
+    let fork = campaign::run(&fork_cfg);
+    assert_eq!(fork.probes_run, 4, "probe cadence drifted under fork boot");
+    assert_eq!(fork.host_panics, 0);
+    assert!(fork.violations.is_empty(), "{:?}", fork.violations);
+
+    let cold = campaign::run(&CampaignConfig {
+        fork_boot: false,
+        jobs: 1,
+        ..fork_cfg
+    });
+    assert_eq!(fork.events, cold.events);
+    assert_eq!(campaign::summarize(&fork), campaign::summarize(&cold));
+}
+
 // --- descriptor revocation: #NP on the next far call ---------------------
 
 /// An extension object whose `entry` far-calls through `sel`.
