@@ -3,7 +3,11 @@
 //! on (fast) and off (baseline), plus the kext_dispatch workload, where
 //! fast is verified dispatch (load-time attestation: no per-call
 //! entry-window re-validation, eager predecode) and baseline is
-//! unverified dispatch. Written to `BENCH_sim_throughput.json`.
+//! unverified dispatch. The `figure7_hoist` and `kext_hoist` rows
+//! isolate proof-directed check elision: both modes are verified, fast
+//! is proof-hoisted (per-access limit/PPL checks collapsed to one guard
+//! at block entry) and baseline is verified-unhoisted. Written to
+//! `BENCH_sim_throughput.json`.
 //!
 //! A second section measures worker scaling: the same workloads sharded
 //! across a `parex` pool at 1/2/4/8 workers (override with

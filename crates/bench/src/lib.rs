@@ -561,7 +561,10 @@ pub fn measure_micro() -> Micro {
 /// differs — so `speedup` is a pure host-performance number.
 #[derive(Debug, Clone)]
 pub struct ThroughputPoint {
-    /// Workload tag: `figure7`, `chaos`, `webserver` or `kext_dispatch`.
+    /// Workload tag: `figure7`, `chaos`, `webserver`, `kext_dispatch`,
+    /// or the proof-hoisting pair `figure7_hoist` / `kext_hoist` (where
+    /// `fast` is proof-hoisted and `base` is verified-unhoisted
+    /// dispatch).
     pub workload: &'static str,
     /// Guest instructions retired in the timed fast-path run.
     pub fast_insns: u64,
@@ -682,10 +685,90 @@ fn throughput_kext_dispatch(iters: u32, verified: bool) -> (u64, f64) {
     (k.m.insns() - insns0, t.elapsed().as_secs_f64())
 }
 
-/// Measures host steps/sec on the figure7, chaos, webserver and
-/// kext-dispatch workloads with explicit per-workload iteration counts
-/// (exposed for cheap tests; use [`measure_sim_throughput`] for the real
-/// benchmark).
+/// Proof-hoisted figure7: the same compiled 80-term filter in a
+/// *verified* segment, so every straight-line block carries `ds_bounds`
+/// proofs over the shared packet area. The `fast` mode runs with proof
+/// elision on (per-access segment-limit/PPL checks hoisted to one guard
+/// at block entry); the `base` mode is verified-unhoisted
+/// ([`x86sim::Machine::set_proof_elision`] off) with the same predecode
+/// setting, so the delta isolates the hoist itself. Simulated cycles,
+/// results and faults are byte-identical either way.
+fn throughput_figure7_hoist(iters: u32, elide: bool) -> (u64, f64) {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).expect("kext init");
+    let config = SegmentConfig {
+        verify: true,
+        ..kx.default_config()
+    };
+    let seg = kx.create_segment_with(&mut k, 16, config).expect("segment");
+    let obj = netfilter::compile::compile(&extended_conjunction(80));
+    kx.insmod(&mut k, seg, "pktfilter", &obj, &["filter"])
+        .expect("insmod");
+    k.m.set_proof_elision(elide);
+    let (area, _) = kx.shared_area_linear(seg).expect("shared area");
+    let pkt = reference_packet(128);
+    assert!(k.m.host_write(area, &pkt));
+    kx.invoke(&mut k, seg, "filter", pkt.len() as u32)
+        .expect("warm");
+    let insns0 = k.m.insns();
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        kx.invoke(&mut k, seg, "filter", pkt.len() as u32)
+            .expect("invoke");
+    }
+    (k.m.insns() - insns0, t.elapsed().as_secs_f64())
+}
+
+/// Proof-hoisted kext dispatch: a verified counted loop summing a
+/// 256-dword module-local table — one DS access per iteration, the shape
+/// whose per-access checks the loop-aware block proofs license hoisting.
+/// As for [`throughput_figure7_hoist`], `fast` is proof-hoisted and
+/// `base` is verified-unhoisted; only host time may differ.
+fn throughput_kext_hoist(iters: u32, elide: bool) -> (u64, f64) {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).expect("kext init");
+    let config = SegmentConfig {
+        verify: true,
+        ..kx.default_config()
+    };
+    let seg = kx.create_segment_with(&mut k, 16, config).expect("segment");
+    let mut src = String::from(
+        "work:\n\
+         mov eax, 0\n\
+         mov esi, 0\n\
+         lp:\n\
+         mov ebx, table\n\
+         add ebx, eax\n\
+         add esi, [ebx]\n\
+         add eax, 4\n\
+         cmp eax, 1024\n\
+         jb lp\n\
+         mov eax, esi\n\
+         ret\n\
+         table:\n",
+    );
+    // One slack dword: the stride-blind interval domain proves a range
+    // reaching 3 bytes past offset 1020.
+    for i in 0..=256u32 {
+        src.push_str(&format!(".dd {i}\n"));
+    }
+    let obj = Assembler::assemble(&src).expect("assemble");
+    kx.insmod(&mut k, seg, "work", &obj, &["work"])
+        .expect("insmod");
+    k.m.set_proof_elision(elide);
+    kx.invoke(&mut k, seg, "work", 0).expect("warm");
+    let insns0 = k.m.insns();
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        kx.invoke(&mut k, seg, "work", 0).expect("invoke");
+    }
+    (k.m.insns() - insns0, t.elapsed().as_secs_f64())
+}
+
+/// Measures host steps/sec on the figure7, chaos, webserver,
+/// kext-dispatch and proof-hoisting workloads with explicit per-workload
+/// iteration counts (exposed for cheap tests; use
+/// [`measure_sim_throughput`] for the real benchmark).
 pub fn measure_sim_throughput_with(
     figure7_iters: u32,
     chaos_steps: u32,
@@ -693,11 +776,13 @@ pub fn measure_sim_throughput_with(
     kext_iters: u32,
 ) -> Vec<ThroughputPoint> {
     type Runner = fn(u32, bool) -> (u64, f64);
-    let specs: [(&'static str, Runner, u32); 4] = [
+    let specs: [(&'static str, Runner, u32); 6] = [
         ("figure7", throughput_figure7, figure7_iters),
         ("chaos", throughput_chaos, chaos_steps),
         ("webserver", throughput_webserver, webserver_iters),
         ("kext_dispatch", throughput_kext_dispatch, kext_iters),
+        ("figure7_hoist", throughput_figure7_hoist, figure7_iters),
+        ("kext_hoist", throughput_kext_hoist, kext_iters),
     ];
     specs
         .into_iter()
@@ -1296,9 +1381,19 @@ mod tests {
     #[test]
     fn throughput_bench_runs_all_workloads() {
         let pts = measure_sim_throughput_with(50, 30, 10, 50);
-        assert_eq!(pts.len(), 4);
+        assert_eq!(pts.len(), 6);
         let tags: Vec<_> = pts.iter().map(|p| p.workload).collect();
-        assert_eq!(tags, ["figure7", "chaos", "webserver", "kext_dispatch"]);
+        assert_eq!(
+            tags,
+            [
+                "figure7",
+                "chaos",
+                "webserver",
+                "kext_dispatch",
+                "figure7_hoist",
+                "kext_hoist"
+            ]
+        );
         for p in &pts {
             // The simulated work is mode-independent; only host time may
             // differ. (Speedup itself is wall-clock and not asserted.)

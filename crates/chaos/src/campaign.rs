@@ -308,7 +308,7 @@ fn dl_outcome(e: &PalError) -> String {
 
 /// One adversarial step. Returns the (action, outcome) tags.
 fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
-    match r.gen_range(0, 12) {
+    match r.gen_range(0, 13) {
         // --- adversarial SPL 3 extension: load and run -------------------
         0..=2 => {
             let obj = gen::user_ext_object(r);
@@ -446,6 +446,31 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
                 other => format!("tlb-drop-bad:{}", uext_outcome(&other)),
             };
             ("inject-tlb".into(), tag)
+        }
+        // --- analysis adversaries and provable-loop modules ---------------
+        // Aimed at the verifier's interval/loop pipeline rather than the
+        // hardware: each hand-written adversary must be rejected at load
+        // or contained at runtime, and the provable-loop modules keep the
+        // proof-elided dispatch path under campaign fire.
+        11 => {
+            if ep.ensure_segment().is_err() {
+                return ("kext-analysis".into(), "no-segment".into());
+            }
+            let (action, obj) = if r.gen_bool(0.5) {
+                let mut advs = gen::analysis_adversaries(ep.kx.segment(ep.seg).size);
+                let i = r.gen_range(0, advs.len() as u32) as usize;
+                let (name, obj) = advs.swap_remove(i);
+                (format!("kext-adversary:{name}"), obj)
+            } else {
+                ("kext-loopy".to_string(), gen::loopy_kernel_ext_object(r))
+            };
+            match ep.insmod_entry(&obj) {
+                Ok(()) => {
+                    let res = ep.kx.invoke(&mut ep.k, ep.seg, "entry", r.next_u32());
+                    (action, kext_outcome(&res))
+                }
+                Err(e) => (action, kext_outcome(&Err(e))),
+            }
         }
         // --- async queue under fire ---------------------------------------
         _ => {

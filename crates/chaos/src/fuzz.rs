@@ -1,0 +1,460 @@
+//! Differential soundness fuzzer for proof-directed check elision.
+//!
+//! The simulator's proof tokens hoist per-instruction segment-limit and
+//! PPL checks to one guard at block entry — a *host-side* optimization
+//! licensed by the verifier's block proofs. Its contract is absolute:
+//! simulated cycles, statistics, faults and memory are byte-identical
+//! with elision on or off. This module attacks that contract head-on.
+//!
+//! Every seeded module — bounded-loop extensions the verifier accepts
+//! with proofs, hostile extensions it mostly rejects, and the
+//! hand-written [`gen::analysis_adversaries`] — is pushed through the
+//! full `insmod` + `invoke` pipeline in **two cloned worlds**: twin A
+//! runs with proof elision on (the default), twin B with
+//! [`x86sim::Machine::set_proof_elision`] off. Any observable difference
+//! (admission verdict, invocation result, cycle or instruction count,
+//! or — on a subsample — the entire serialized world image) is an
+//! unsoundness finding carried with enough artifact (seed, index, linked
+//! image) to replay it. A limit fault raised by a pure DS access inside
+//! a block whose proof claims bounded DS accesses is likewise a finding,
+//! even when both twins agree: the proof itself was wrong.
+//!
+//! A campaign is a pure function of [`FuzzConfig`] — the same master
+//! seed replays byte-identically, which is what lets CI pin a corpus.
+
+use std::collections::BTreeMap;
+
+use asm86::isa::{Insn, Mem, SegReg};
+use asm86::Object;
+use minikernel::Kernel;
+use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, KextError};
+use seedrng::SeedRng;
+use verifier::ProofMap;
+use x86sim::fault::FaultCause;
+use x86sim::mem::PAGE_SIZE;
+
+use crate::gen;
+
+/// Configuration of one differential fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; module `i` draws from `SeedRng::stream(master, i)`.
+    pub master_seed: u64,
+    /// Seeded modules to generate (the hand-written analysis
+    /// adversaries always run in addition, before the seeded corpus).
+    pub modules: u32,
+    /// Compare full `save_image` bytes every N modules (0 disables the
+    /// subsample; verdict/cycle/insn comparison still runs for all).
+    pub image_compare_every: u32,
+    /// Extension segment size in pages for the fuzz world.
+    pub seg_pages: u32,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            master_seed: 0x50F7_F02E,
+            modules: 256,
+            image_compare_every: 16,
+            seg_pages: 16,
+        }
+    }
+}
+
+/// How a module demonstrated unsoundness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// The elided and unelided twins disagreed on any observable:
+    /// admission verdict, invocation result, cycles or instructions.
+    Divergence,
+    /// Both twins agreed, but a limit fault was raised by a pure DS
+    /// access inside a block whose proof claims bounded DS accesses.
+    FaultInProvenBlock,
+    /// The twins' serialized world images differ byte-for-byte.
+    ImageMismatch,
+}
+
+impl FindingKind {
+    /// Stable tag for logs and artifact file names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FindingKind::Divergence => "divergence",
+            FindingKind::FaultInProvenBlock => "fault-in-proven-block",
+            FindingKind::ImageMismatch => "image-mismatch",
+        }
+    }
+}
+
+/// One unsoundness finding, with enough artifact to replay it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Index of the module in the campaign (adversaries first, then the
+    /// seeded corpus in stream order).
+    pub index: u32,
+    /// The campaign's master seed (replay key).
+    pub master_seed: u64,
+    /// Generator tag: an adversary name or `seeded:<stream>`.
+    pub source: String,
+    /// What diverged.
+    pub kind: FindingKind,
+    /// Human-readable diff of the observables.
+    pub detail: String,
+    /// The linked image as admitted (empty if linking failed).
+    pub image: Vec<u8>,
+}
+
+/// Aggregate result of a fuzz campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Modules pushed through the pipeline (adversaries + seeded).
+    pub modules: u32,
+    /// Modules the verifier admitted.
+    pub accepted: u32,
+    /// Modules rejected at link or verification.
+    pub rejected: u32,
+    /// Invocations that completed normally.
+    pub completed: u32,
+    /// Invocations that faulted or overran the time limit.
+    pub faulted: u32,
+    /// Proof-token block activations in the elided twins (the fuzzer is
+    /// vacuous if this stays 0 — nothing was actually elided).
+    pub blocks_served: u64,
+    /// Per-access DS checks elided in the elided twins.
+    pub ds_checks_elided: u64,
+    /// Unsoundness findings. Must be empty.
+    pub findings: Vec<Finding>,
+}
+
+impl FuzzReport {
+    /// True when no module produced an unsoundness finding.
+    pub fn is_sound(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Everything observable about one twin's run of one module.
+#[derive(Debug, Clone, PartialEq)]
+struct TwinOutcome {
+    insmod: Result<(), KextError>,
+    invoke: Option<Result<u32, KextError>>,
+    cycles: u64,
+    insns: u64,
+}
+
+struct Twin {
+    out: TwinOutcome,
+    /// `(load offset, proofs)` of the admitted module, captured before
+    /// invocation (a quarantine would drop them afterwards).
+    proofs: Option<(u32, ProofMap)>,
+    image: Option<Vec<u8>>,
+    served: u64,
+    ds_elided: u64,
+}
+
+fn run_twin(
+    template: &(Kernel, KernelExtensions, ExtSegmentId),
+    obj: &Object,
+    arg: u32,
+    elide: bool,
+    want_image: bool,
+) -> Twin {
+    let (mut k, mut kx, id) = template.clone();
+    k.m.set_proof_elision(elide);
+    let insmod = kx.insmod(&mut k, id, "m", obj, &["entry"]);
+    let (invoke, proofs) = if insmod.is_ok() {
+        let proofs = kx.segment(id).proofs.last().cloned();
+        (Some(kx.invoke(&mut k, id, "entry", arg)), proofs)
+    } else {
+        (None, None)
+    };
+    let stats = k.m.proof_stats();
+    Twin {
+        out: TwinOutcome {
+            insmod,
+            invoke,
+            cycles: k.m.cycles(),
+            insns: k.m.insns(),
+        },
+        proofs,
+        image: want_image.then(|| k.save_image()),
+        served: stats.served,
+        ds_elided: stats.ds_elided,
+    }
+}
+
+/// True when the instruction is a pure effective-DS data access (no SS
+/// side effects), so a limit fault at its address is attributable to the
+/// DS operand the block proof claims to bound.
+fn is_pure_ds_access(insn: &Insn) -> bool {
+    let mem: Option<&Mem> = match insn {
+        Insn::Load(_, m)
+        | Insn::LoadB(_, m)
+        | Insn::LoadW(_, m)
+        | Insn::Store(m, _)
+        | Insn::StoreB(m, _)
+        | Insn::StoreW(m, _)
+        | Insn::AluM(_, _, m)
+        | Insn::CmpM(m, _) => Some(m),
+        _ => None,
+    };
+    mem.is_some_and(|m| m.effective_seg() == SegReg::Ds)
+}
+
+/// Classifies a fault from the elided twin: a limit violation raised by
+/// a pure DS access inside a DS-bounded proven block means the proof —
+/// not the module — was wrong.
+fn fault_in_proven_block(twin: &Twin, obj: &Object) -> Option<String> {
+    let Some(Err(KextError::Aborted(f))) = &twin.out.invoke else {
+        return None;
+    };
+    if !matches!(f.cause, FaultCause::LimitViolation { .. }) {
+        return None;
+    }
+    let (at, proofs) = twin.proofs.as_ref()?;
+    let off = f.eip.wrapping_sub(*at);
+    let block = proofs.block_containing(off)?;
+    let (lo, hi) = block.ds_bounds?;
+    // Attribute the fault to the DS operand only when the faulting
+    // instruction has no stack side effects: re-link the module (link
+    // address changes immediates, never lengths) and decode at the
+    // faulting offset.
+    let image = obj.link(*at, &BTreeMap::new()).ok()?;
+    let (insn, _) = asm86::decode(image.get(off as usize..)?).ok()?;
+    if !is_pure_ds_access(&insn) {
+        return None;
+    }
+    Some(format!(
+        "limit fault at eip {:#x} (block {:#x}+{}) despite DS proof [{lo:#x}, {hi:#x}]: {f:?}",
+        f.eip, block.start, block.len
+    ))
+}
+
+fn template_world(seg_pages: u32) -> (Kernel, KernelExtensions, ExtSegmentId) {
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).expect("fuzz world boot");
+    let mut config = kx.default_config();
+    config.verify = true;
+    let id = kx
+        .create_segment_with(&mut k, seg_pages, config)
+        .expect("fuzz segment");
+    (k, kx, id)
+}
+
+/// One campaign case: which module run this is and how to exercise it.
+struct Case<'a> {
+    /// Where the module came from (adversary name or seeded index).
+    source: &'a str,
+    /// Campaign-wide case number, recorded in findings.
+    index: u32,
+    /// Invocation argument.
+    arg: u32,
+    /// Also compare the twins' serialized world images.
+    compare_image: bool,
+}
+
+/// Runs one module through both twins and appends any finding.
+fn fuzz_one(
+    template: &(Kernel, KernelExtensions, ExtSegmentId),
+    obj: &Object,
+    case: &Case<'_>,
+    cfg: &FuzzConfig,
+    report: &mut FuzzReport,
+) {
+    let Case {
+        source,
+        index,
+        arg,
+        compare_image,
+    } = *case;
+    let a = run_twin(template, obj, arg, true, compare_image);
+    let b = run_twin(template, obj, arg, false, compare_image);
+
+    report.modules += 1;
+    match &a.out.insmod {
+        Ok(()) => report.accepted += 1,
+        Err(_) => report.rejected += 1,
+    }
+    match &a.out.invoke {
+        Some(Ok(_)) => report.completed += 1,
+        Some(Err(_)) => report.faulted += 1,
+        None => {}
+    }
+    report.blocks_served += a.served;
+    report.ds_checks_elided += a.ds_elided;
+
+    let load_at = a.proofs.as_ref().map_or(0, |(at, _)| *at);
+    let linked_image = || obj.link(load_at, &BTreeMap::new()).unwrap_or_default();
+    let mut push = |kind: FindingKind, detail: String| {
+        report.findings.push(Finding {
+            index,
+            master_seed: cfg.master_seed,
+            source: source.to_string(),
+            kind,
+            detail,
+            image: linked_image(),
+        });
+    };
+
+    if a.out != b.out {
+        push(
+            FindingKind::Divergence,
+            format!("elided {:?} != unelided {:?}", a.out, b.out),
+        );
+        return;
+    }
+    if let Some(detail) = fault_in_proven_block(&a, obj) {
+        push(FindingKind::FaultInProvenBlock, detail);
+        return;
+    }
+    if compare_image {
+        if let (Some(ia), Some(ib)) = (&a.image, &b.image) {
+            if ia != ib {
+                let at = ia
+                    .iter()
+                    .zip(ib.iter())
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(ia.len().min(ib.len()));
+                push(
+                    FindingKind::ImageMismatch,
+                    format!(
+                        "world images differ (len {} vs {}, first diff at byte {at})",
+                        ia.len(),
+                        ib.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Runs a full differential campaign: the hand-written analysis
+/// adversaries first, then `cfg.modules` seeded modules — roughly half
+/// bounded-loop extensions (exercising the elided path), half the
+/// hostile admission mix.
+pub fn run(cfg: &FuzzConfig) -> FuzzReport {
+    let template = template_world(cfg.seg_pages);
+    let seg_size = cfg.seg_pages * PAGE_SIZE;
+    let mut report = FuzzReport::default();
+
+    let mut index = 0u32;
+    for (name, obj) in gen::analysis_adversaries(seg_size) {
+        let case = Case {
+            source: name,
+            index,
+            arg: 7,
+            compare_image: true,
+        };
+        fuzz_one(&template, &obj, &case, cfg, &mut report);
+        index += 1;
+    }
+
+    for i in 0..cfg.modules {
+        let mut r = SeedRng::stream(cfg.master_seed, u64::from(i));
+        let obj = if r.gen_bool(0.5) {
+            gen::loopy_kernel_ext_object(&mut r)
+        } else {
+            gen::kernel_ext_object(&mut r)
+        };
+        let case = Case {
+            source: &format!("seeded:{i}"),
+            index,
+            arg: r.next_u32(),
+            compare_image: cfg.image_compare_every != 0 && i % cfg.image_compare_every == 0,
+        };
+        fuzz_one(&template, &obj, &case, cfg, &mut report);
+        index += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{kernel_policy, verify_object, VerifyOutcome};
+
+    #[test]
+    fn analysis_adversaries_are_rejected_or_contained_identically() {
+        // The verifier is one-sided: an adversary whose escape is not
+        // *provable* (e.g. only the last loop iteration strays) may be
+        // admitted — but then it must carry no DS proof for the straying
+        // block, fault identically under both twins, and never complete.
+        let cfg = FuzzConfig {
+            modules: 0,
+            ..FuzzConfig::default()
+        };
+        let report = run(&cfg); // adversaries only
+        assert_eq!(report.modules, 3);
+        assert!(
+            report.is_sound(),
+            "unsoundness findings: {:#?}",
+            report.findings
+        );
+        assert_eq!(
+            report.completed, 0,
+            "an analysis adversary ran to completion: {report:?}"
+        );
+    }
+
+    #[test]
+    fn straddling_adversaries_carry_no_ds_proof_when_admitted() {
+        let policy = kernel_policy(0x3000, 0x1_0000);
+        for (name, obj) in gen::analysis_adversaries(0x1_0000) {
+            if let VerifyOutcome::Accepted(att) = verify_object(&obj, 0x3000, &policy) {
+                assert_eq!(
+                    att.proofs.bounded_blocks(),
+                    0,
+                    "adversary `{name}` was admitted *with* a DS bounds proof"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loopy_modules_are_accepted_with_bounded_proofs() {
+        let policy = kernel_policy(0x3000, 0x1_0000);
+        let mut r = SeedRng::new(0x100B_5EED);
+        let mut bounded = 0u32;
+        for _ in 0..20 {
+            let obj = gen::loopy_kernel_ext_object(&mut r);
+            match verify_object(&obj, 0x3000, &policy) {
+                VerifyOutcome::Accepted(att) => bounded += att.proofs.bounded_blocks(),
+                out => panic!("loopy module must be admitted, got {}", out.tag()),
+            }
+        }
+        assert!(bounded >= 20, "every loop body carries a DS proof");
+    }
+
+    #[test]
+    fn pinned_campaign_is_sound_and_exercises_elision() {
+        let cfg = FuzzConfig {
+            modules: 48,
+            ..FuzzConfig::default()
+        };
+        let report = run(&cfg);
+        assert!(
+            report.is_sound(),
+            "unsoundness findings: {:#?}",
+            report.findings
+        );
+        assert!(report.accepted > 0 && report.rejected > 0, "{report:?}");
+        assert!(
+            report.blocks_served > 0 && report.ds_checks_elided > 0,
+            "campaign never exercised the elided path: {report:?}"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = FuzzConfig {
+            modules: 12,
+            ..FuzzConfig::default()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.modules, b.modules);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.blocks_served, b.blocks_served);
+        assert_eq!(a.ds_checks_elided, b.ds_checks_elided);
+        assert_eq!(a.findings.len(), b.findings.len());
+    }
+}

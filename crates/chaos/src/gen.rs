@@ -8,7 +8,7 @@
 //! PPL 0 pages, interrupt floods and runaway loops — because the
 //! containment argument is only as strong as the attacks thrown at it.
 
-use asm86::isa::{AluOp, Insn, Mem, Reg, SegReg, Src};
+use asm86::isa::{AluOp, Cond, Insn, Mem, Reg, SegReg, Src};
 use asm86::{CodeBuilder, Object};
 use minikernel::layout::{KERNEL_VA_START, SHARED_LIB_BASE};
 use minikernel::{KERNEL_BASE, USER_TEXT};
@@ -144,6 +144,112 @@ pub fn kernel_ext_object(r: &mut SeedRng) -> Object {
     let body: Vec<Insn> = (0..n).map(|_| arb_insn(r, hostile_kernel_target)).collect();
     let runaway = r.gen_bool(0.125);
     build(&body, runaway)
+}
+
+/// A kernel extension built around a provably bounded `jb` table loop —
+/// the mix the verifier's interval analysis *accepts with bounded block
+/// proofs*, so the differential soundness fuzzer actually exercises the
+/// proof-elided dispatch path (a hostile-only corpus is rejected at the
+/// door and proves nothing about elision). The table size, the loop
+/// direction of use (sum vs. store) and the table contents are all
+/// seed-derived.
+pub fn loopy_kernel_ext_object(r: &mut SeedRng) -> Object {
+    let mut b = CodeBuilder::new();
+    b.label("entry").unwrap();
+    b.emit(Insn::Mov(Reg::Eax, Src::Imm(0)));
+    b.emit(Insn::Mov(Reg::Esi, Src::Imm(0)));
+    let dwords = r.gen_range(4, 64);
+    let limit = dwords * 4; // exclusive counter bound, multiple of 4
+    let store = r.gen_bool(0.33);
+    b.label("lp").unwrap();
+    b.mov_label(Reg::Ebx, "table");
+    b.emit(Insn::Alu(AluOp::Add, Reg::Ebx, Src::Reg(Reg::Eax)));
+    if store {
+        b.emit(Insn::Store(Mem::based(Reg::Ebx, 0), Src::Reg(Reg::Esi)));
+    } else {
+        b.emit(Insn::AluM(AluOp::Add, Reg::Esi, Mem::based(Reg::Ebx, 0)));
+    }
+    b.emit(Insn::Alu(AluOp::Add, Reg::Eax, Src::Imm(4)));
+    b.emit(Insn::Cmp(Reg::Eax, Src::Imm(limit as i32)));
+    b.jcc_label(Cond::B, "lp");
+    b.emit(Insn::Mov(Reg::Eax, Src::Reg(Reg::Esi)));
+    b.emit(Insn::Ret);
+    b.label("table").unwrap();
+    // The interval domain is stride-blind: the proven range reaches 3
+    // bytes past offset `limit - 4`, so allocate one dword of slack.
+    for _ in 0..=dwords {
+        b.dword(r.next_u32());
+    }
+    b.finish().unwrap()
+}
+
+/// Hand-written adversaries aimed at the *analysis* rather than the
+/// hardware: each is a module that is easy to misjudge with a buggy
+/// interval/loop pipeline. All must be rejected at admission against a
+/// segment of `seg_size` bytes — an acceptance is an unsoundness unless
+/// the run still faults identically under elided and unelided dispatch.
+pub fn analysis_adversaries(seg_size: u32) -> Vec<(&'static str, Object)> {
+    let mut out = Vec::new();
+
+    // In bounds on every iteration but the last: `table = seg_size -
+    // 0x100` and the counter runs to 0x104, so the final access reaches
+    // 3 bytes past the segment limit. A narrowing pass that clamps the
+    // counter to its penultimate value would wrongly prove this loop.
+    {
+        let mut b = CodeBuilder::new();
+        b.label("entry").unwrap();
+        b.emit(Insn::Mov(Reg::Eax, Src::Imm(0)));
+        b.emit(Insn::Mov(Reg::Esi, Src::Imm(0)));
+        b.label("lp").unwrap();
+        b.emit(Insn::Mov(Reg::Ebx, Src::Imm((seg_size - 0x100) as i32)));
+        b.emit(Insn::Alu(AluOp::Add, Reg::Ebx, Src::Reg(Reg::Eax)));
+        b.emit(Insn::AluM(AluOp::Add, Reg::Esi, Mem::based(Reg::Ebx, 0)));
+        b.emit(Insn::Alu(AluOp::Add, Reg::Eax, Src::Imm(4)));
+        b.emit(Insn::Cmp(Reg::Eax, Src::Imm(0x104)));
+        b.jcc_label(Cond::B, "lp");
+        b.emit(Insn::Mov(Reg::Eax, Src::Reg(Reg::Esi)));
+        b.emit(Insn::Ret);
+        out.push(("loop-last-iteration-escape", b.finish().unwrap()));
+    }
+
+    // Address arithmetic that wraps mod 2^32: the access range straddles
+    // the 2^32 boundary (0xFFFF_FF00 .. 0x1FF). Naive wrapping interval
+    // addition can collapse it to a small in-bounds range.
+    {
+        let mut b = CodeBuilder::new();
+        b.label("entry").unwrap();
+        b.emit(Insn::Mov(Reg::Eax, Src::Imm(0)));
+        b.emit(Insn::Mov(Reg::Esi, Src::Imm(0)));
+        b.label("lp").unwrap();
+        b.emit(Insn::Mov(Reg::Ebx, Src::Imm(0xFFFF_FF00u32 as i32)));
+        b.emit(Insn::Alu(AluOp::Add, Reg::Ebx, Src::Reg(Reg::Eax)));
+        b.emit(Insn::AluM(AluOp::Add, Reg::Esi, Mem::based(Reg::Ebx, 0)));
+        b.emit(Insn::Alu(AluOp::Add, Reg::Eax, Src::Imm(4)));
+        b.emit(Insn::Cmp(Reg::Eax, Src::Imm(0x200)));
+        b.jcc_label(Cond::B, "lp");
+        b.emit(Insn::Mov(Reg::Eax, Src::Reg(Reg::Esi)));
+        b.emit(Insn::Ret);
+        out.push(("mod-2^32-straddle", b.finish().unwrap()));
+    }
+
+    // Indirect-target laundering: the jump target is a known constant
+    // (`entry + 1`, mid-instruction) pushed through self-cancelling
+    // arithmetic. Constant propagation that tracks it must reject the
+    // misaligned target; an analysis that loses the constant must reject
+    // the unresolved indirect. Accepting it is unsound either way.
+    {
+        let mut b = CodeBuilder::new();
+        b.label("entry").unwrap();
+        b.mov_label(Reg::Eax, "entry");
+        b.emit(Insn::Alu(AluOp::Add, Reg::Eax, Src::Imm(1)));
+        b.emit(Insn::Alu(AluOp::Xor, Reg::Eax, Src::Imm(0x5A5A_5A5A)));
+        b.emit(Insn::Alu(AluOp::Xor, Reg::Eax, Src::Imm(0x5A5A_5A5A)));
+        b.emit(Insn::JmpReg(Reg::Eax));
+        b.emit(Insn::Ret);
+        out.push(("indirect-laundering", b.finish().unwrap()));
+    }
+
+    out
 }
 
 /// An extension whose only job is to overwrite `addr` — used to attack

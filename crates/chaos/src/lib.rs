@@ -20,7 +20,11 @@
 //!   behavioural probes (fork/exec privilege rules, syscall rejection,
 //!   timer aborts, checkpoint-tamper rejection);
 //! * [`campaign`] — the deterministic driver: one seed, thousands of
-//!   steps, a structured event log, zero tolerated violations.
+//!   steps, a structured event log, zero tolerated violations;
+//! * [`fuzz`] — the differential soundness fuzzer for proof-directed
+//!   check elision: every module runs under an elided and an unelided
+//!   twin world; any observable divergence, or a fault inside a proven
+//!   block, is an unsoundness finding with a replay artifact.
 //!
 //! Everything is reproducible: a campaign is a pure function of its
 //! [`CampaignConfig`], so `--seed 42` fails (or passes) identically on
@@ -28,6 +32,7 @@
 
 pub mod campaign;
 pub mod corrupt;
+pub mod fuzz;
 pub mod gen;
 pub mod inject;
 pub mod oracle;
@@ -35,5 +40,6 @@ pub mod verify;
 
 pub use campaign::{run, CampaignConfig, CampaignReport, Event};
 pub use corrupt::{Corruption, ImageCorruption};
+pub use fuzz::{Finding, FindingKind, FuzzConfig, FuzzReport};
 pub use oracle::{StateOracle, Violation};
 pub use verify::{kernel_policy, verify_object, VerifyOutcome};

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use asm86::obj::{Reloc, RelocKind};
 use asm86::Object;
-use verifier::Attestation;
+use verifier::{Attestation, BlockProof, LoopClass, ProofMap};
 use x86sim::image::{Dec, Enc, RestoreError};
 
 pub(crate) fn put_opt_u32(e: &mut Enc, v: Option<u32>) {
@@ -88,6 +88,72 @@ pub(crate) fn get_str_u32_map(d: &mut Dec) -> Result<BTreeMap<String, u32>, Rest
     Ok(out)
 }
 
+fn put_block_proof(e: &mut Enc, p: &BlockProof) {
+    e.u32(p.start);
+    e.u32(p.len);
+    put_opt_pair(e, p.ds_bounds);
+    e.bool(p.ds_loads);
+    e.bool(p.ds_stores);
+    e.bool(p.no_privileged);
+    e.bool(p.fall_through_only);
+    match p.loop_class {
+        LoopClass::NotInLoop => e.u8(0),
+        LoopClass::Counted { header } => {
+            e.u8(1);
+            e.u32(header);
+        }
+        LoopClass::Unknown { header } => {
+            e.u8(2);
+            e.u32(header);
+        }
+    }
+}
+
+fn get_block_proof(d: &mut Dec) -> Result<BlockProof, RestoreError> {
+    let start = d.u32()?;
+    let len = d.u32()?;
+    let ds_bounds = get_opt_pair(d)?;
+    let ds_loads = d.bool()?;
+    let ds_stores = d.bool()?;
+    let no_privileged = d.bool()?;
+    let fall_through_only = d.bool()?;
+    let loop_class = match d.u8()? {
+        0 => LoopClass::NotInLoop,
+        1 => LoopClass::Counted { header: d.u32()? },
+        2 => LoopClass::Unknown { header: d.u32()? },
+        _ => return Err(d.fail("bad loop class")),
+    };
+    Ok(BlockProof {
+        start,
+        len,
+        ds_bounds,
+        ds_loads,
+        ds_stores,
+        no_privileged,
+        fall_through_only,
+        loop_class,
+    })
+}
+
+pub(crate) fn put_proof_map(e: &mut Enc, m: &ProofMap) {
+    e.u32(m.blocks.len() as u32);
+    for (k, p) in &m.blocks {
+        e.u32(*k);
+        put_block_proof(e, p);
+    }
+}
+
+pub(crate) fn get_proof_map(d: &mut Dec) -> Result<ProofMap, RestoreError> {
+    let n = d.u32()?;
+    let mut m = ProofMap::default();
+    for _ in 0..n {
+        let k = d.u32()?;
+        let p = get_block_proof(d)?;
+        m.blocks.insert(k, p);
+    }
+    Ok(m)
+}
+
 pub(crate) fn put_attestation(e: &mut Enc, a: &Attestation) {
     for v in [
         a.entries,
@@ -101,6 +167,7 @@ pub(crate) fn put_attestation(e: &mut Enc, a: &Attestation) {
     ] {
         e.u32(v);
     }
+    put_proof_map(e, &a.proofs);
 }
 
 pub(crate) fn get_attestation(d: &mut Dec) -> Result<Attestation, RestoreError> {
@@ -113,6 +180,7 @@ pub(crate) fn get_attestation(d: &mut Dec) -> Result<Attestation, RestoreError> 
         unknown_accesses: d.u32()?,
         external_transfers: d.u32()?,
         resolved_indirect: d.u32()?,
+        proofs: get_proof_map(d)?,
     })
 }
 

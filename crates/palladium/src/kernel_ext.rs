@@ -28,7 +28,7 @@ use x86sim::image::{Dec, Enc, RestoreError};
 use x86sim::machine::Exit;
 use x86sim::mem::PAGE_SIZE;
 
-use verifier::{verify_image, VerifyPolicy};
+use verifier::{verify_image, ProofMap, VerifyPolicy};
 
 use crate::checkpoint as ckpt;
 use crate::supervisor::{LedgerEntry, ReclaimRecord, ResourceLedger};
@@ -127,7 +127,7 @@ pub struct AsyncRequest {
 }
 
 /// Per-segment configuration, fixed at [`KernelExtensions::create_segment_with`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentConfig {
     /// Faults the segment may accumulate before it is automatically
     /// quarantined (the generalization of the mobile-code host's
@@ -275,6 +275,11 @@ pub struct ExtSegment {
     pub reclaimed: bool,
     /// What the reclaim released (audited by `assert_no_leaks`).
     pub reclaim_record: Option<ReclaimRecord>,
+    /// Block proofs retained from each verified `insmod`, as `(load
+    /// offset, proof map)` pairs in load order. They license the
+    /// simulator's proof tokens (hoisted limit/PPL checks) and let the
+    /// kernel re-install those tokens after a checkpoint restore.
+    pub proofs: Vec<(u32, ProofMap)>,
     /// Every kernel allocation this segment owns, in acquisition order.
     ledger: ResourceLedger,
     /// Extension Function Table ownership: function name → module name.
@@ -388,7 +393,7 @@ impl KernelExtensions {
     /// The configuration new segments receive from
     /// [`create_segment`](Self::create_segment).
     pub fn default_config(&self) -> SegmentConfig {
-        self.default_config
+        self.default_config.clone()
     }
 
     /// Creates an extension segment of `pages` pages at SPL 1 inside the
@@ -399,7 +404,7 @@ impl KernelExtensions {
         k: &mut Kernel,
         pages: u32,
     ) -> Result<ExtSegmentId, KextError> {
-        self.create_segment_with(k, pages, self.default_config)
+        self.create_segment_with(k, pages, self.default_config.clone())
     }
 
     /// Allocates a GDT slot for a new segment descriptor, drawing from
@@ -527,6 +532,7 @@ impl KernelExtensions {
             config,
             reclaimed: false,
             reclaim_record: None,
+            proofs: Vec::new(),
             ledger,
             fn_owner: BTreeMap::new(),
             shared_area_owner: None,
@@ -607,6 +613,15 @@ impl KernelExtensions {
             )));
         }
         seg.load_next = (at + image.len() as u32 + 15) & !15;
+        if let Some(att) = seg.config.verified.as_ref().filter(|_| seg.config.verify) {
+            // Proof-directed check elision: the bytes just written are
+            // exactly the verified image, so every block proof licenses
+            // a simulator token at its load address. Installation
+            // failures are harmless — the block runs on the normal
+            // checked path.
+            install_proof_map(k, base + at, &att.proofs);
+            seg.proofs.push((at, att.proofs.clone()));
+        }
 
         for sym in exports {
             let off = obj
@@ -658,6 +673,36 @@ impl KernelExtensions {
         }
         seg.modules.push(name.to_string());
         Ok(())
+    }
+
+    /// Re-installs the simulator proof tokens of every live segment from
+    /// the proofs retained at `insmod` time. Tokens are host-side derived
+    /// state — deliberately excluded from checkpoints — so a restored
+    /// world starts with none; calling this afterwards restores the
+    /// proof-elided dispatch fast path byte-for-byte (the elision never
+    /// changes guest-visible state, so forgetting it only costs speed).
+    pub fn reinstall_proof_tokens(&self, k: &mut Kernel) {
+        for seg in &self.segments {
+            if seg.dead || seg.quarantined {
+                continue;
+            }
+            for (at, proofs) in &seg.proofs {
+                install_proof_map(k, seg.base + at, proofs);
+            }
+        }
+    }
+
+    /// Removes a segment's installed proof tokens (leaving other
+    /// segments' tokens alone) and drops its retained proofs. Must run
+    /// while the segment's pages are still mapped — token keys are
+    /// physical addresses reached through the live page tables.
+    fn drop_proof_tokens(seg: &mut ExtSegment, k: &mut Kernel) {
+        for (at, proofs) in &seg.proofs {
+            for p in proofs.blocks.values() {
+                k.m.remove_proof_token(seg.base + at + p.start);
+            }
+        }
+        seg.proofs.clear();
     }
 
     /// Segment-relative offsets of the transfer stub and initial stack
@@ -904,6 +949,7 @@ impl KernelExtensions {
         }
         seg.quarantined = true;
         seg.dead = true;
+        Self::drop_proof_tokens(seg, k);
         Self::tombstone_functions(seg, true);
         seg.modules.clear();
         seg.shared_area = None;
@@ -975,6 +1021,9 @@ impl KernelExtensions {
         let seg = &mut self.segments[id.0];
         seg.dead = true;
         let faulted = seg.quarantined;
+        // Before the pages go away: token keys are physical addresses
+        // reached through the still-live mapping.
+        Self::drop_proof_tokens(seg, k);
         Self::tombstone_functions(seg, faulted);
         seg.modules.clear();
         seg.shared_area = None;
@@ -1276,6 +1325,101 @@ impl KernelExtensions {
     }
 }
 
+/// Installs simulator proof tokens for a verified module's blocks, at
+/// their load addresses. `base` is the linear address the proof map's
+/// offsets are relative to. Install failures (unmapped page, block
+/// straddling a page boundary) are ignored by design: a token is a
+/// license to hoist checks, never a prerequisite for running.
+///
+/// Two passes. The first installs one token per block, so every block
+/// start — branch targets included — can activate a run. The second
+/// chains maximal runs of address-adjacent blocks that all carry a DS
+/// bounds fact into one *superblock* token installed at the chain head
+/// (replacing the head's per-block token, leaving the token count
+/// unchanged): a cascade of short straight-line blocks then pays one
+/// activation — token lookup, entry guard, run setup — per chain
+/// instead of per block. The merged guard uses the maximum of the
+/// chained bounds, which every chained access respects. A block
+/// without the fact ends the chain, because the proof map does not
+/// distinguish "no DS access" from "access the verifier could not
+/// bound", and eliding an unbounded access's check would be unsound. A
+/// taken branch inside a superblock merely breaks the run at the next
+/// fetch (the expected-EIP discipline) and dispatch falls back to the
+/// target block's own token.
+pub(crate) fn install_proof_map(k: &mut Kernel, base: u32, proofs: &ProofMap) {
+    let mut chain: Option<Chain> = None;
+    for p in proofs.blocks.values() {
+        if p.len == 0 {
+            continue;
+        }
+        let ds = p.ds_bounds.map(|(_, hi)| x86sim::ProofDs {
+            hi,
+            loads: p.ds_loads,
+            stores: p.ds_stores,
+        });
+        let _ = k.m.install_proof_token(base + p.start, p.len, ds);
+        let Some(ds) = ds else {
+            install_chain(k, base, chain.take());
+            continue;
+        };
+        chain = Some(match chain.take() {
+            Some(c)
+                if c.start + c.len == p.start && token_fits_page(base + c.start, c.len + p.len) =>
+            {
+                Chain {
+                    len: c.len + p.len,
+                    ds: x86sim::ProofDs {
+                        hi: c.ds.hi.max(ds.hi),
+                        loads: c.ds.loads || ds.loads,
+                        stores: c.ds.stores || ds.stores,
+                    },
+                    blocks: c.blocks + 1,
+                    ..c
+                }
+            }
+            prev => {
+                install_chain(k, base, prev);
+                Chain {
+                    start: p.start,
+                    len: p.len,
+                    ds,
+                    blocks: 1,
+                }
+            }
+        });
+    }
+    install_chain(k, base, chain);
+}
+
+/// A run of adjacent DS-bounded blocks being merged into a superblock
+/// token. `start`/`len` are image-relative like the proofs they merge.
+struct Chain {
+    start: u32,
+    len: u32,
+    ds: x86sim::ProofDs,
+    blocks: u32,
+}
+
+/// Installs a finished chain's superblock token — only worth a token of
+/// its own once it merges at least two blocks.
+fn install_chain(k: &mut Kernel, base: u32, chain: Option<Chain>) {
+    if let Some(c) = chain {
+        if c.blocks >= 2 {
+            let _ = k.m.install_proof_token(base + c.start, c.len, Some(c.ds));
+        }
+    }
+}
+
+/// Whether a token spanning `len` bytes at `linear` satisfies the
+/// installer's page-fit rule (block plus fetch lookahead inside one
+/// page). Page offsets agree between linear and physical space, so the
+/// check can run before translation; chains split where the next block
+/// would cross.
+fn token_fits_page(linear: u32, len: u32) -> bool {
+    ((linear % x86sim::PAGE_SIZE) + len) as usize + x86sim::machine::MAX_INSN_LEN
+        <= x86sim::PAGE_SIZE as usize
+}
+
 fn put_config(e: &mut Enc, c: &SegmentConfig) {
     e.u32(c.quarantine_threshold);
     e.bool(c.recycle_descriptors);
@@ -1403,6 +1547,11 @@ fn put_segment(e: &mut Enc, s: &ExtSegment) {
     e.u32(s.ktarget_off);
     e.u32(s.ext_esp);
     e.u32(s.load_next);
+    e.u32(s.proofs.len() as u32);
+    for (at, proofs) in &s.proofs {
+        e.u32(*at);
+        ckpt::put_proof_map(e, proofs);
+    }
 }
 
 fn get_segment(d: &mut Dec) -> Result<ExtSegment, RestoreError> {
@@ -1473,6 +1622,12 @@ fn get_segment(d: &mut Dec) -> Result<ExtSegment, RestoreError> {
     let ktarget_off = d.u32()?;
     let ext_esp = d.u32()?;
     let load_next = d.u32()?;
+    let nproofs = d.u32()?;
+    let mut proofs = Vec::with_capacity(nproofs as usize);
+    for _ in 0..nproofs {
+        let at = d.u32()?;
+        proofs.push((at, ckpt::get_proof_map(d)?));
+    }
     Ok(ExtSegment {
         base,
         size,
@@ -1490,6 +1645,7 @@ fn get_segment(d: &mut Dec) -> Result<ExtSegment, RestoreError> {
         config,
         reclaimed,
         reclaim_record,
+        proofs,
         ledger,
         fn_owner,
         shared_area_owner,

@@ -182,11 +182,15 @@ impl Session {
     pub fn restore(bytes: &[u8]) -> Result<Session, RestoreError> {
         let view = ImageView::parse(bytes, kind::SESSION)?;
         let mut d = view.require(1, "session.kernel")?;
-        let k = Kernel::restore_image(d.blob()?)?;
+        let mut k = Kernel::restore_image(d.blob()?)?;
         d.finish()?;
         let mut d = view.require(2, "session.app")?;
         let app = ExtensibleApp::restore_from(&mut d)?;
         d.finish()?;
+        // Proof tokens are derived state (not in the image): rebuild
+        // them from the restored attestations so the restored session
+        // keeps the proof-elided dispatch fast path.
+        app.reinstall_proof_tokens(&mut k);
         Ok(Session { k, app })
     }
 }

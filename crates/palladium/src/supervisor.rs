@@ -392,7 +392,7 @@ impl Supervisor {
         images: Vec<ModuleImage>,
     ) -> Result<SupervisedId, KextError> {
         config.recycle_descriptors = true;
-        let seg = self.build(k, kx, pages, config, &images)?;
+        let seg = self.build(k, kx, pages, config.clone(), &images)?;
         self.exts.push(SupervisedExt {
             seg,
             pages,
@@ -488,7 +488,7 @@ impl Supervisor {
     }
 
     fn try_restart(&mut self, k: &mut Kernel, kx: &mut KernelExtensions, id: SupervisedId) {
-        let (pages, config) = (self.exts[id.0].pages, self.exts[id.0].config);
+        let (pages, config) = (self.exts[id.0].pages, self.exts[id.0].config.clone());
         let images = std::mem::take(&mut self.exts[id.0].images);
         let built = self.build(k, kx, pages, config, &images);
         self.exts[id.0].images = images;
@@ -672,7 +672,7 @@ impl Supervisor {
             SupervisedState::Backoff { .. } => {}
         }
 
-        let (pages, config) = (self.exts[id.0].pages, self.exts[id.0].config);
+        let (pages, config) = (self.exts[id.0].pages, self.exts[id.0].config.clone());
         let images = std::mem::take(&mut self.exts[id.0].images);
         let built = self.build(k, kx, pages, config, &images);
         self.exts[id.0].images = images;

@@ -31,6 +31,7 @@ use x86sim::paging::pte;
 
 use crate::checkpoint as ckpt;
 use crate::dl::{build_got_plt, merge_objects, DlError};
+use crate::kernel_ext::install_proof_map;
 use crate::stdlib;
 use crate::trampoline::{self, PrepareParams, SaveSlots, TransferParams};
 use verifier::{verify_image, Attestation, VerifyPolicy};
@@ -532,7 +533,14 @@ impl ExtensibleApp {
         if let Some(entries) = opts.verify_entries() {
             let refs: Vec<&str> = entries.iter().map(|s| s.as_str()).collect();
             match self.verify_loaded(k, h, &refs) {
-                Ok(att) => std::sync::Arc::make_mut(&mut self.exts)[h.0].verified = Some(att),
+                Ok(att) => {
+                    // Proof-directed check elision: the attested block
+                    // proofs license simulator tokens at their load
+                    // addresses (install failures just keep a block on
+                    // the normal checked path).
+                    install_proof_map(k, base, &att.proofs);
+                    std::sync::Arc::make_mut(&mut self.exts)[h.0].verified = Some(att);
+                }
                 Err(e) => {
                     self.seg_dlclose(k, h)?;
                     return Err(PalError::Verify(e));
@@ -577,7 +585,7 @@ impl ExtensibleApp {
     /// The `Verified` attestation of an extension, if it was admitted
     /// through a verifying load ([`DlopenOptions::verify`]).
     pub fn attestation(&self, h: ExtensionHandle) -> Result<Option<Attestation>, PalError> {
-        Ok(self.ext(h)?.verified)
+        Ok(self.ext(h)?.verified.clone())
     }
 
     /// Address of the invoke stub (the canonical call site used by
@@ -700,6 +708,13 @@ impl ExtensibleApp {
         k.switch_to(self.tid);
         let (base, pages) = {
             let e = self.ext(h)?;
+            // A verified extension's proof tokens die with the handle
+            // (other extensions' tokens stay installed).
+            if let Some(att) = &e.verified {
+                for p in att.proofs.blocks.values() {
+                    k.m.remove_proof_token(e.base + p.start);
+                }
+            }
             (e.base, e.pages)
         };
         k.host_set_page_flags(self.tid, base, pages, 0, pte::US);
@@ -707,6 +722,23 @@ impl ExtensibleApp {
         exts[h.0].closed = true;
         exts[h.0].preps.clear();
         Ok(())
+    }
+
+    /// Re-installs the simulator proof tokens of every open verified
+    /// extension from its retained attestation. Tokens are host-side
+    /// derived state, deliberately excluded from checkpoints; a restored
+    /// session calls this to regain the proof-elided dispatch fast path
+    /// (forgetting it only costs speed — elision never changes
+    /// guest-visible state).
+    pub fn reinstall_proof_tokens(&self, k: &mut Kernel) {
+        for e in self.exts.iter() {
+            if e.closed {
+                continue;
+            }
+            if let Some(att) = &e.verified {
+                install_proof_map(k, e.base, &att.proofs);
+            }
+        }
     }
 
     /// Makes a protected extension call through the Figure 6 sequence: the

@@ -1,0 +1,301 @@
+//! The interval abstract domain over the eight general registers.
+//!
+//! Values are `u32` intervals under the hardware's mod-2³² arithmetic:
+//! `Some((lo, hi))` bounds a register inclusively, `None` is unknown
+//! (top). The transfer function mirrors `x86sim`'s executor exactly where
+//! it tracks anything at all and goes to top everywhere else, which keeps
+//! the analysis one-sided: every concrete value a register can hold at
+//! run time lies inside its abstract interval.
+//!
+//! Branch-condition *refinement* ([`refine_edge`]) is what makes loop
+//! bounds provable: when a block ends in `cmp r, c` / `jcc`, the taken
+//! and fall-through out-edges each intersect `r`'s interval with the set
+//! the condition admits. Refinement is a monotone intersection — a
+//! contradictory refinement (empty set) propagates the *unrefined* state
+//! rather than pruning the edge, so reachability for the privilege scan
+//! is never narrowed.
+
+use asm86::isa::{AluOp, Cond, Insn, Mem, Reg, SegReg, Src};
+
+/// Register interval: `Some((lo, hi))` bounds the value inclusively,
+/// `None` is unknown (top).
+pub(crate) type Itv = Option<(u32, u32)>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AbsState {
+    pub(crate) regs: [Itv; 8],
+}
+
+impl AbsState {
+    pub(crate) const TOP: AbsState = AbsState { regs: [None; 8] };
+
+    pub(crate) fn get(&self, r: Reg) -> Itv {
+        self.regs[r as usize]
+    }
+
+    pub(crate) fn set(&mut self, r: Reg, v: Itv) {
+        self.regs[r as usize] = v;
+    }
+
+    /// Joins `other` into `self`; true if `self` changed.
+    pub(crate) fn join(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for i in 0..8 {
+            let joined = match (self.regs[i], other.regs[i]) {
+                (Some((al, ah)), Some((bl, bh))) => Some((al.min(bl), ah.max(bh))),
+                _ => None,
+            };
+            if joined != self.regs[i] {
+                self.regs[i] = joined;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+#[allow(clippy::unnecessary_wraps)] // the domain type is the point
+pub(crate) fn itv_const(c: u32) -> Itv {
+    Some((c, c))
+}
+
+pub(crate) fn itv_add(a: Itv, b: Itv) -> Itv {
+    let (a, b) = (a?, b?);
+    let lo = i64::from(a.0) + i64::from(b.0);
+    let hi = i64::from(a.1) + i64::from(b.1);
+    itv_from_i64(lo, hi)
+}
+
+pub(crate) fn itv_sub(a: Itv, b: Itv) -> Itv {
+    let (a, b) = (a?, b?);
+    let lo = i64::from(a.0) - i64::from(b.1);
+    let hi = i64::from(a.1) - i64::from(b.0);
+    itv_from_i64(lo, hi)
+}
+
+/// Reduces an exact `i64` interval to a `u32` interval under the
+/// hardware's mod-2³² arithmetic. Exact when the wrapped interval does
+/// not straddle the 0/2³² boundary (the common case: a negative `disp`
+/// encoding a high absolute address); top otherwise.
+pub(crate) fn itv_from_i64(lo: i64, hi: i64) -> Itv {
+    const M: i64 = 1 << 32;
+    if hi - lo >= M {
+        return None;
+    }
+    let wlo = lo.rem_euclid(M) as u32;
+    let whi = hi.rem_euclid(M) as u32;
+    if wlo <= whi {
+        Some((wlo, whi))
+    } else {
+        None
+    }
+}
+
+/// The address interval of a memory operand under `s`, or `None` when it
+/// cannot be bounded (unknown base register or explicit segment override,
+/// which the hardware checks at its own base).
+pub(crate) fn mem_interval(m: Mem, s: &AbsState) -> Itv {
+    if m.seg.is_some() {
+        return None;
+    }
+    let base = match m.base {
+        None => itv_const(0),
+        Some(b) => s.get(b),
+    };
+    let (lo, hi) = base?;
+    itv_from_i64(
+        i64::from(lo) + i64::from(m.disp),
+        i64::from(hi) + i64::from(m.disp),
+    )
+}
+
+/// Abstract transfer function for one instruction.
+pub(crate) fn transfer(insn: &Insn, s: &mut AbsState) {
+    match *insn {
+        Insn::Mov(r, Src::Imm(c)) => s.set(r, itv_const(c as u32)),
+        Insn::Mov(r, Src::Reg(o)) => s.set(r, s.get(o)),
+        Insn::Lea(r, m) => s.set(r, mem_interval(m, s)),
+        Insn::Load(r, _)
+        | Insn::LoadB(r, _)
+        | Insn::LoadW(r, _)
+        | Insn::MovFromSeg(r, _)
+        | Insn::AluM(_, r, _)
+        | Insn::Neg(r)
+        | Insn::Not(r) => s.set(r, None),
+        Insn::Pop(r) => {
+            s.set(r, None);
+            s.set(Reg::Esp, None);
+        }
+        Insn::Alu(op, r, src) => {
+            let rhs = match src {
+                Src::Imm(c) => itv_const(c as u32),
+                Src::Reg(o) => s.get(o),
+            };
+            let v = match op {
+                AluOp::Add => itv_add(s.get(r), rhs),
+                AluOp::Sub => itv_sub(s.get(r), rhs),
+                _ => None,
+            };
+            s.set(r, v);
+        }
+        Insn::Inc(r) => s.set(r, itv_add(s.get(r), itv_const(1))),
+        Insn::Dec(r) => s.set(r, itv_sub(s.get(r), itv_const(1))),
+        Insn::Rdtsc => {
+            s.set(Reg::Eax, None);
+            s.set(Reg::Edx, None);
+        }
+        // Anything that runs foreign code may clobber every register; the
+        // callee-saved convention is not something we trust statically.
+        Insn::Call(_) | Insn::CallReg(_) | Insn::CallM(_) | Insn::Lcall(..) | Insn::Int(_) => {
+            *s = AbsState::TOP;
+        }
+        Insn::Push(_) | Insn::PushM(_) | Insn::PushSeg(_) | Insn::PopM(_) | Insn::PopSeg(_) => {
+            s.set(Reg::Esp, None);
+        }
+        _ => {}
+    }
+}
+
+/// Intersects `r`'s interval with `[lo, hi]`. A contradictory
+/// intersection (the condition admits no value the interval holds) leaves
+/// the state *unrefined*: the edge stays reachable with its conservative
+/// state, it is never pruned.
+fn meet(s: &mut AbsState, r: Reg, lo: u32, hi: u32) {
+    let refined = match s.get(r) {
+        None => Some((lo, hi)),
+        Some((l, h)) => {
+            let nl = l.max(lo);
+            let nh = h.min(hi);
+            if nl > nh {
+                return; // contradiction: keep the unrefined state
+            }
+            Some((nl, nh))
+        }
+    };
+    s.set(r, refined);
+}
+
+fn negate(c: Cond) -> Cond {
+    match c {
+        Cond::E => Cond::Ne,
+        Cond::Ne => Cond::E,
+        Cond::L => Cond::Ge,
+        Cond::Ge => Cond::L,
+        Cond::Le => Cond::G,
+        Cond::G => Cond::Le,
+        Cond::B => Cond::Ae,
+        Cond::Ae => Cond::B,
+        Cond::Be => Cond::A,
+        Cond::A => Cond::Be,
+        Cond::S => Cond::Ns,
+        Cond::Ns => Cond::S,
+    }
+}
+
+/// Refines `r`'s interval on one out-edge of a block ending in
+/// `cmp r, c` / `jcc cond`: `taken` selects the branch-taken edge (the
+/// condition holds) versus fall-through (its negation holds).
+///
+/// Unsigned conditions refine exactly. Signed conditions refine only in
+/// the regimes where the admissible set is a single `u32` interval —
+/// `>=`/`>` against a non-negative constant, `<`/`<=` when the current
+/// interval is known non-negative — and do nothing otherwise.
+pub(crate) fn refine_edge(s: &mut AbsState, r: Reg, c: u32, cond: Cond, taken: bool) {
+    const SMAX: u32 = 0x7FFF_FFFF;
+    let cond = if taken { cond } else { negate(cond) };
+    match cond {
+        Cond::E => meet(s, r, c, c),
+        Cond::B => {
+            if c > 0 {
+                meet(s, r, 0, c - 1);
+            }
+        }
+        Cond::Ae => meet(s, r, c, u32::MAX),
+        Cond::Be => meet(s, r, 0, c),
+        Cond::A => {
+            if c < u32::MAX {
+                meet(s, r, c + 1, u32::MAX);
+            }
+        }
+        // Signed, against a non-negative constant: `r >= c` admits
+        // exactly [c, i32::MAX] as unsigned values.
+        Cond::Ge => {
+            if c <= SMAX {
+                meet(s, r, c, SMAX);
+            }
+        }
+        Cond::G => {
+            if c < SMAX {
+                meet(s, r, c + 1, SMAX);
+            }
+        }
+        // Signed `<`/`<=` against a non-negative constant also admits
+        // every negative value (as unsigned: the upper half), so a single
+        // interval only covers it when `r` is already known non-negative.
+        Cond::L => {
+            if c > 0 && c <= SMAX && matches!(s.get(r), Some((_, h)) if h <= SMAX) {
+                meet(s, r, 0, c - 1);
+            }
+        }
+        Cond::Le => {
+            if c <= SMAX && matches!(s.get(r), Some((_, h)) if h <= SMAX) {
+                meet(s, r, 0, c);
+            }
+        }
+        Cond::Ne | Cond::S | Cond::Ns => {}
+    }
+}
+
+/// True if some single range fully contains `[lo, hi]` (inclusive).
+pub(crate) fn contained(ranges: &[(u32, u32)], lo: u32, hi: u32) -> bool {
+    ranges.iter().any(|&(rl, rh)| rl <= lo && hi < rh)
+}
+
+/// True if any range intersects `[lo, hi]` (inclusive).
+pub(crate) fn overlaps(ranges: &[(u32, u32)], lo: u32, hi: u32) -> bool {
+    ranges.iter().any(|&(rl, rh)| lo < rh && rl <= hi)
+}
+
+pub(crate) fn access_width(insn: &Insn) -> u32 {
+    match insn {
+        Insn::LoadB(..) | Insn::StoreB(..) => 1,
+        Insn::LoadW(..) | Insn::StoreW(..) => 2,
+        _ => 4,
+    }
+}
+
+pub(crate) fn mnemonic(insn: &Insn) -> &'static str {
+    match insn {
+        Insn::Hlt => "hlt",
+        Insn::MovToSeg(..) => "mov sreg, reg",
+        Insn::PopSeg(_) => "pop sreg",
+        Insn::Iret => "iret",
+        Insn::Lret | Insn::LretN(_) => "lret",
+        _ => "?",
+    }
+}
+
+/// The memory operands an instruction touches through its *effective*
+/// segment being DS, as `(operand, is_store)` pairs — the accesses a
+/// block-level DS bounds proof must cover. `jmp [m]`/`call [m]` read
+/// their slot through DS like any other load; stack pushes and pops go
+/// through SS and are not DS accesses (but `pop [m]`'s store and
+/// `push [m]`'s load are).
+pub(crate) fn ds_accesses(insn: &Insn) -> impl Iterator<Item = (Mem, bool)> {
+    let acc: Option<(Mem, bool)> = match *insn {
+        Insn::Load(_, m)
+        | Insn::LoadB(_, m)
+        | Insn::LoadW(_, m)
+        | Insn::AluM(_, _, m)
+        | Insn::CmpM(m, _)
+        | Insn::PushM(m)
+        | Insn::JmpM(m)
+        | Insn::CallM(m) => Some((m, false)),
+        Insn::Store(m, _) | Insn::StoreB(m, _) | Insn::StoreW(m, _) | Insn::PopM(m) => {
+            Some((m, true))
+        }
+        _ => None,
+    };
+    acc.into_iter()
+        .filter(|(m, _)| m.effective_seg() == SegReg::Ds)
+}

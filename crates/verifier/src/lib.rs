@@ -12,14 +12,21 @@
 //! 2. scans for privileged or reserved instructions outside the permitted
 //!    set for the target SPL (`hlt`, segment-register loads, `iret`,
 //!    `lret`, unlisted `int` vectors, unlisted `lcall` gates);
-//! 3. runs an interval abstract interpretation over registers used as
-//!    addresses, rejecting memory accesses that *provably* fall outside
-//!    the allowed ranges (extension segment, stack, heap); and
+//! 3. runs a loop-aware interval abstract interpretation over registers
+//!    used as addresses — dominator tree, natural loops, branch-condition
+//!    refinement, widening only at retreating-edge targets plus
+//!    descending narrowing — rejecting memory accesses that *provably*
+//!    fall outside the allowed ranges (extension segment, stack, heap);
 //! 4. validates every outbound control transfer: static branches must
 //!    stay in-image or land in whitelisted code ranges (EFT stubs, PLT,
 //!    trampolines), far calls must name registered call gates, and
 //!    indirect transfers must resolve to a verified target or a
-//!    loader-sealed dispatch slot.
+//!    loader-sealed dispatch slot; and
+//! 5. emits a [`ProofMap`]: per basic block, the facts it *proved*
+//!    (bounded DS access region, no privileged instructions, pure
+//!    fall-through, loop trip-bound class), carried inside the
+//!    [`Attestation`] for the dispatch layer to cash in as elided
+//!    runtime checks (see `x86sim`'s proof tokens).
 //!
 //! The analysis is deliberately *one-sided*: it rejects only violations it
 //! can prove (a constant or bounded address outside every allowed range, a
@@ -28,8 +35,9 @@
 //! which remains the soundness backstop — exactly the division of labour
 //! DESIGN.md §7 describes. What a `Verified` attestation licenses eliding
 //! is therefore the *redundant software* work on the dispatch path
-//! (per-call entry re-validation, lazy predecode), never the hardware
-//! checks themselves.
+//! (per-call entry re-validation, lazy predecode, and — through the
+//! proof map — per-instruction segment checks whose outcome the proof
+//! predetermines), never the hardware checks themselves.
 
 #![warn(clippy::pedantic)]
 #![allow(
@@ -46,198 +54,20 @@
     clippy::too_many_lines
 )]
 
-use std::collections::{BTreeMap, VecDeque};
+mod interval;
+mod policy;
+mod proofs;
+mod scan;
 
-use asm86::disasm::{Cfg, CfgError};
-use asm86::encode::DecodeError;
-use asm86::isa::{AluOp, Insn, Mem, Reg, Src};
-
-/// What a module is allowed to do, fixed by the loader for the target SPL.
-///
-/// All addresses are in the addressing domain the module's code uses:
-/// segment-relative offsets for SPL 1 kernel extensions, flat virtual
-/// addresses for SPL 3 user extensions. Ranges are half-open `[lo, hi)`.
-#[derive(Debug, Clone, Default)]
-pub struct VerifyPolicy {
-    /// The SPL the module will run at (1 or 3); informational.
-    pub spl: u8,
-    /// Address of the image's first byte.
-    pub load_addr: u32,
-    /// Ranges loads/stores may touch, in addition to the image itself.
-    pub data: Vec<(u32, u32)>,
-    /// Ranges outbound control transfers may land in (EFT entry stubs,
-    /// PLT page, shared-library text, trampolines).
-    pub code: Vec<(u32, u32)>,
-    /// Loader-sealed indirect-dispatch slot ranges (e.g. the read-only
-    /// GOT page): `jmp [slot]` through these is trusted.
-    pub slots: Vec<(u32, u32)>,
-    /// Call-gate selectors `lcall` may name.
-    pub gates: Vec<u16>,
-    /// Software-interrupt vectors `int` may raise (`0x81` for the kernel
-    /// service interface; user extensions get none).
-    pub vectors: Vec<u8>,
-}
-
-impl VerifyPolicy {
-    /// A policy with empty allow-lists for a module loaded at `load_addr`.
-    pub fn new(spl: u8, load_addr: u32) -> VerifyPolicy {
-        VerifyPolicy {
-            spl,
-            load_addr,
-            ..VerifyPolicy::default()
-        }
-    }
-
-    /// Permits loads/stores into `[lo, hi)`.
-    #[must_use]
-    pub fn allow_data(mut self, lo: u32, hi: u32) -> Self {
-        self.data.push((lo, hi));
-        self
-    }
-
-    /// Permits outbound transfers into `[lo, hi)`.
-    #[must_use]
-    pub fn allow_code(mut self, lo: u32, hi: u32) -> Self {
-        self.code.push((lo, hi));
-        self
-    }
-
-    /// Trusts loader-sealed dispatch slots in `[lo, hi)`.
-    #[must_use]
-    pub fn allow_slots(mut self, lo: u32, hi: u32) -> Self {
-        self.slots.push((lo, hi));
-        self
-    }
-
-    /// Permits far calls through gate selector `sel`.
-    #[must_use]
-    pub fn allow_gate(mut self, sel: u16) -> Self {
-        self.gates.push(sel);
-        self
-    }
-
-    /// Permits `int vector`.
-    #[must_use]
-    pub fn allow_vector(mut self, vector: u8) -> Self {
-        self.vectors.push(vector);
-        self
-    }
-}
-
-/// Why a module was rejected. Every variant names the offending image
-/// offset so loaders can report `module+0x...`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum VerifyError {
-    /// Reachable bytes did not decode.
-    Decode {
-        /// Image offset of the undecodable bytes.
-        offset: u32,
-        /// Decoder diagnosis.
-        cause: DecodeError,
-    },
-    /// No entry points were supplied.
-    NoEntry,
-    /// An entry point fell outside the image.
-    EntryOutOfRange(u32),
-    /// A privileged or reserved instruction is reachable.
-    Privileged {
-        /// Image offset of the instruction.
-        offset: u32,
-        /// Its mnemonic.
-        mnemonic: &'static str,
-    },
-    /// `int` with a vector outside the permitted set.
-    ForbiddenVector {
-        /// Image offset of the instruction.
-        offset: u32,
-        /// The vector named.
-        vector: u8,
-    },
-    /// `lcall` through a selector that is not a registered gate.
-    ForbiddenGate {
-        /// Image offset of the instruction.
-        offset: u32,
-        /// The selector named.
-        selector: u16,
-    },
-    /// A static branch/call leaves the image for an address outside every
-    /// whitelisted code range.
-    BranchOutOfRange {
-        /// Image offset of the branch.
-        offset: u32,
-        /// The linear target (may be negative when the displacement
-        /// points below the image).
-        target: i64,
-    },
-    /// An indirect transfer whose target the analysis cannot bound.
-    IndirectUnresolved {
-        /// Image offset of the transfer.
-        offset: u32,
-    },
-    /// An indirect transfer resolves to a concrete address outside every
-    /// permitted code range.
-    BadIndirectTarget {
-        /// Image offset of the transfer.
-        offset: u32,
-        /// The resolved target.
-        value: u32,
-    },
-    /// A memory access provably outside every allowed data range.
-    OutOfSegment {
-        /// Image offset of the access.
-        offset: u32,
-        /// Lowest possible address.
-        lo: u32,
-        /// Highest possible address (inclusive, including access width).
-        hi: u32,
-    },
-}
-
-impl core::fmt::Display for VerifyError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            VerifyError::Decode { offset, cause } => {
-                write!(f, "undecodable instruction at +{offset:#x}: {cause:?}")
-            }
-            VerifyError::NoEntry => write!(f, "module exports no entry points"),
-            VerifyError::EntryOutOfRange(o) => write!(f, "entry +{o:#x} outside the image"),
-            VerifyError::Privileged { offset, mnemonic } => {
-                write!(f, "privileged `{mnemonic}` reachable at +{offset:#x}")
-            }
-            VerifyError::ForbiddenVector { offset, vector } => {
-                write!(f, "forbidden `int {vector:#04x}` at +{offset:#x}")
-            }
-            VerifyError::ForbiddenGate { offset, selector } => {
-                write!(
-                    f,
-                    "far call through unregistered gate {selector:#06x} at +{offset:#x}"
-                )
-            }
-            VerifyError::BranchOutOfRange { offset, target } => {
-                write!(f, "branch at +{offset:#x} leaves the image for {target:#x}")
-            }
-            VerifyError::IndirectUnresolved { offset } => {
-                write!(f, "unresolvable indirect transfer at +{offset:#x}")
-            }
-            VerifyError::BadIndirectTarget { offset, value } => {
-                write!(f, "indirect transfer at +{offset:#x} targets {value:#x}")
-            }
-            VerifyError::OutOfSegment { offset, lo, hi } => {
-                write!(
-                    f,
-                    "access at +{offset:#x} provably outside the segment ({lo:#x}..={hi:#x})"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for VerifyError {}
+pub use policy::{VerifyError, VerifyPolicy};
+pub use proofs::{BlockProof, LoopClass, ProofMap};
+pub use scan::verify_image;
 
 /// Proof-carrying summary of a successful verification, stored by the
 /// loader next to the segment's configuration. Its existence is what
-/// licenses the verified-dispatch fast path.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// licenses the verified-dispatch fast path, and its [`ProofMap`] is
+/// what licenses per-block check elision.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Attestation {
     /// Entry points traversed (exports plus resolved indirect targets).
     pub entries: u32,
@@ -255,463 +85,15 @@ pub struct Attestation {
     pub external_transfers: u32,
     /// Indirect transfers resolved to a concrete verified target.
     pub resolved_indirect: u32,
-}
-
-/// Register interval: `Some((lo, hi))` bounds the value inclusively,
-/// `None` is unknown (top).
-type Itv = Option<(u32, u32)>;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct AbsState {
-    regs: [Itv; 8],
-}
-
-impl AbsState {
-    const TOP: AbsState = AbsState { regs: [None; 8] };
-
-    fn get(&self, r: Reg) -> Itv {
-        self.regs[r as usize]
-    }
-
-    fn set(&mut self, r: Reg, v: Itv) {
-        self.regs[r as usize] = v;
-    }
-
-    /// Joins `other` into `self`; true if `self` changed.
-    fn join(&mut self, other: &AbsState) -> bool {
-        let mut changed = false;
-        for i in 0..8 {
-            let joined = match (self.regs[i], other.regs[i]) {
-                (Some((al, ah)), Some((bl, bh))) => Some((al.min(bl), ah.max(bh))),
-                _ => None,
-            };
-            if joined != self.regs[i] {
-                self.regs[i] = joined;
-                changed = true;
-            }
-        }
-        changed
-    }
-}
-
-#[allow(clippy::unnecessary_wraps)] // the domain type is the point
-fn itv_const(c: u32) -> Itv {
-    Some((c, c))
-}
-
-fn itv_add(a: Itv, b: Itv) -> Itv {
-    let (a, b) = (a?, b?);
-    let lo = i64::from(a.0) + i64::from(b.0);
-    let hi = i64::from(a.1) + i64::from(b.1);
-    itv_from_i64(lo, hi)
-}
-
-fn itv_sub(a: Itv, b: Itv) -> Itv {
-    let (a, b) = (a?, b?);
-    let lo = i64::from(a.0) - i64::from(b.1);
-    let hi = i64::from(a.1) - i64::from(b.0);
-    itv_from_i64(lo, hi)
-}
-
-/// Reduces an exact `i64` interval to a `u32` interval under the
-/// hardware's mod-2³² arithmetic. Exact when the wrapped interval does
-/// not straddle the 0/2³² boundary (the common case: a negative `disp`
-/// encoding a high absolute address); top otherwise.
-fn itv_from_i64(lo: i64, hi: i64) -> Itv {
-    const M: i64 = 1 << 32;
-    if hi - lo >= M {
-        return None;
-    }
-    let wlo = lo.rem_euclid(M) as u32;
-    let whi = hi.rem_euclid(M) as u32;
-    if wlo <= whi {
-        Some((wlo, whi))
-    } else {
-        None
-    }
-}
-
-/// The address interval of a memory operand under `s`, or `None` when it
-/// cannot be bounded (unknown base register or explicit segment override,
-/// which the hardware checks at its own base).
-fn mem_interval(m: Mem, s: &AbsState) -> Itv {
-    if m.seg.is_some() {
-        return None;
-    }
-    let base = match m.base {
-        None => itv_const(0),
-        Some(b) => s.get(b),
-    };
-    let (lo, hi) = base?;
-    itv_from_i64(
-        i64::from(lo) + i64::from(m.disp),
-        i64::from(hi) + i64::from(m.disp),
-    )
-}
-
-/// Abstract transfer function for one instruction.
-fn transfer(insn: &Insn, s: &mut AbsState) {
-    match *insn {
-        Insn::Mov(r, Src::Imm(c)) => s.set(r, itv_const(c as u32)),
-        Insn::Mov(r, Src::Reg(o)) => s.set(r, s.get(o)),
-        Insn::Lea(r, m) => s.set(r, mem_interval(m, s)),
-        Insn::Load(r, _)
-        | Insn::LoadB(r, _)
-        | Insn::LoadW(r, _)
-        | Insn::MovFromSeg(r, _)
-        | Insn::AluM(_, r, _)
-        | Insn::Neg(r)
-        | Insn::Not(r) => s.set(r, None),
-        Insn::Pop(r) => {
-            s.set(r, None);
-            s.set(Reg::Esp, None);
-        }
-        Insn::Alu(op, r, src) => {
-            let rhs = match src {
-                Src::Imm(c) => itv_const(c as u32),
-                Src::Reg(o) => s.get(o),
-            };
-            let v = match op {
-                AluOp::Add => itv_add(s.get(r), rhs),
-                AluOp::Sub => itv_sub(s.get(r), rhs),
-                _ => None,
-            };
-            s.set(r, v);
-        }
-        Insn::Inc(r) => s.set(r, itv_add(s.get(r), itv_const(1))),
-        Insn::Dec(r) => s.set(r, itv_sub(s.get(r), itv_const(1))),
-        Insn::Rdtsc => {
-            s.set(Reg::Eax, None);
-            s.set(Reg::Edx, None);
-        }
-        // Anything that runs foreign code may clobber every register; the
-        // callee-saved convention is not something we trust statically.
-        Insn::Call(_) | Insn::CallReg(_) | Insn::CallM(_) | Insn::Lcall(..) | Insn::Int(_) => {
-            *s = AbsState::TOP;
-        }
-        Insn::Push(_) | Insn::PushM(_) | Insn::PushSeg(_) | Insn::PopM(_) | Insn::PopSeg(_) => {
-            s.set(Reg::Esp, None);
-        }
-        _ => {}
-    }
-}
-
-/// True if some single range fully contains `[lo, hi]` (inclusive).
-fn contained(ranges: &[(u32, u32)], lo: u32, hi: u32) -> bool {
-    ranges.iter().any(|&(rl, rh)| rl <= lo && hi < rh)
-}
-
-/// True if any range intersects `[lo, hi]` (inclusive).
-fn overlaps(ranges: &[(u32, u32)], lo: u32, hi: u32) -> bool {
-    ranges.iter().any(|&(rl, rh)| lo < rh && rl <= hi)
-}
-
-fn access_width(insn: &Insn) -> u32 {
-    match insn {
-        Insn::LoadB(..) | Insn::StoreB(..) => 1,
-        Insn::LoadW(..) | Insn::StoreW(..) => 2,
-        _ => 4,
-    }
-}
-
-fn mnemonic(insn: &Insn) -> &'static str {
-    match insn {
-        Insn::Hlt => "hlt",
-        Insn::MovToSeg(..) => "mov sreg, reg",
-        Insn::PopSeg(_) => "pop sreg",
-        Insn::Iret => "iret",
-        Insn::Lret | Insn::LretN(_) => "lret",
-        _ => "?",
-    }
-}
-
-/// How many times a block's in-state may change before it is widened to
-/// top; bounds the interval fixpoint on loops.
-const WIDEN_AFTER: u32 = 8;
-
-/// How many CFG-rebuild rounds resolved indirect targets may trigger.
-const MAX_ROUNDS: u32 = 64;
-
-struct Analysis<'a> {
-    image: &'a [u8],
-    policy: &'a VerifyPolicy,
-    /// Data ranges including the image itself.
-    data: Vec<(u32, u32)>,
-    stats: Attestation,
-}
-
-impl Analysis<'_> {
-    fn image_range(&self) -> (u32, u32) {
-        let lo = self.policy.load_addr;
-        (lo, lo.wrapping_add(self.image.len() as u32))
-    }
-
-    fn in_image_code(&self, addr: u32) -> bool {
-        let (lo, hi) = self.image_range();
-        addr >= lo && addr < hi
-    }
-
-    /// Interval fixpoint over the CFG's blocks; returns each block's
-    /// in-state.
-    fn fixpoint(cfg: &Cfg, entries: &[u32]) -> BTreeMap<u32, AbsState> {
-        let mut ins: BTreeMap<u32, AbsState> = BTreeMap::new();
-        let mut visits: BTreeMap<u32, u32> = BTreeMap::new();
-        let mut work: VecDeque<u32> = VecDeque::new();
-        for &e in entries {
-            ins.insert(e, AbsState::TOP);
-            work.push_back(e);
-        }
-        while let Some(b) = work.pop_front() {
-            let Some(block) = cfg.blocks.get(&b) else {
-                continue;
-            };
-            let mut s = ins[&b];
-            for line in &block.insns {
-                transfer(&line.insn, &mut s);
-            }
-            for &succ in &block.succs {
-                if let Some(existing) = ins.get_mut(&succ) {
-                    if existing.join(&s) {
-                        let v = visits.entry(succ).or_insert(0);
-                        *v += 1;
-                        if *v > WIDEN_AFTER {
-                            *existing = AbsState::TOP;
-                        }
-                        work.push_back(succ);
-                    }
-                } else {
-                    ins.insert(succ, s);
-                    work.push_back(succ);
-                }
-            }
-        }
-        ins
-    }
-
-    fn check_access(
-        &mut self,
-        offset: u32,
-        insn: &Insn,
-        m: Mem,
-        s: &AbsState,
-    ) -> Result<(), VerifyError> {
-        self.stats.memory_checks += 1;
-        let Some((lo, hi)) = mem_interval(m, s) else {
-            self.stats.unknown_accesses += 1;
-            return Ok(());
-        };
-        let hi = hi.saturating_add(access_width(insn) - 1);
-        if contained(&self.data, lo, hi) {
-            self.stats.proven_accesses += 1;
-            Ok(())
-        } else if overlaps(&self.data, lo, hi) {
-            // Partially coverable: not provably wrong, hardware decides.
-            self.stats.unknown_accesses += 1;
-            Ok(())
-        } else {
-            Err(VerifyError::OutOfSegment { offset, lo, hi })
-        }
-    }
-
-    /// True if some reachable instruction writes the 4-byte slot at
-    /// `addr` through a constant address (the `pop [slot]` of the
-    /// service-stub return-linkage pattern).
-    fn slot_written(cfg: &Cfg, addr: u32) -> bool {
-        cfg.lines.values().any(|l| match l.insn {
-            Insn::PopM(m) | Insn::Store(m, _) => {
-                m.base.is_none() && m.seg.is_none() && m.disp as u32 == addr
-            }
-            _ => false,
-        })
-    }
-
-    /// Validates a resolved indirect target address; in-image targets not
-    /// yet traversed are pushed onto `pending`.
-    fn check_indirect_target(
-        &mut self,
-        offset: u32,
-        value: u32,
-        cfg: &Cfg,
-        pending: &mut Vec<u32>,
-    ) -> Result<(), VerifyError> {
-        if self.in_image_code(value) {
-            let toff = value - self.policy.load_addr;
-            if !cfg.lines.contains_key(&toff) {
-                pending.push(toff);
-            }
-            self.stats.resolved_indirect += 1;
-            Ok(())
-        } else if overlaps(&self.policy.code, value, value) {
-            self.stats.resolved_indirect += 1;
-            Ok(())
-        } else {
-            Err(VerifyError::BadIndirectTarget { offset, value })
-        }
-    }
-
-    fn check_insn(
-        &mut self,
-        offset: u32,
-        insn: &Insn,
-        s: &AbsState,
-        cfg: &Cfg,
-        pending: &mut Vec<u32>,
-    ) -> Result<(), VerifyError> {
-        // (2) privileged / reserved instructions.
-        match insn {
-            Insn::Hlt
-            | Insn::MovToSeg(..)
-            | Insn::PopSeg(_)
-            | Insn::Iret
-            | Insn::Lret
-            | Insn::LretN(_) => {
-                return Err(VerifyError::Privileged {
-                    offset,
-                    mnemonic: mnemonic(insn),
-                });
-            }
-            Insn::Int(v) if !self.policy.vectors.contains(v) => {
-                return Err(VerifyError::ForbiddenVector { offset, vector: *v });
-            }
-            Insn::Lcall(sel, _) if !self.policy.gates.contains(sel) => {
-                return Err(VerifyError::ForbiddenGate {
-                    offset,
-                    selector: *sel,
-                });
-            }
-            _ => {}
-        }
-        // (3) memory accesses.
-        match insn {
-            Insn::Load(_, m)
-            | Insn::Store(m, _)
-            | Insn::LoadB(_, m)
-            | Insn::StoreB(m, _)
-            | Insn::LoadW(_, m)
-            | Insn::StoreW(m, _)
-            | Insn::PushM(m)
-            | Insn::PopM(m)
-            | Insn::AluM(_, _, m)
-            | Insn::CmpM(m, _) => self.check_access(offset, insn, *m, s)?,
-            _ => {}
-        }
-        // (4) indirect control transfers.
-        match insn {
-            Insn::JmpReg(r) | Insn::CallReg(r) => match s.get(*r) {
-                Some((t, h)) if t == h => self.check_indirect_target(offset, t, cfg, pending)?,
-                _ => return Err(VerifyError::IndirectUnresolved { offset }),
-            },
-            Insn::JmpM(m) | Insn::CallM(m) => match mem_interval(*m, s) {
-                Some((a, b)) if a == b => {
-                    let (ilo, ihi) = self.image_range();
-                    if a >= ilo && a.wrapping_add(4) <= ihi {
-                        // Slot inside the image: judge its linked contents.
-                        let so = (a - ilo) as usize;
-                        let value =
-                            u32::from_le_bytes(self.image[so..so + 4].try_into().expect("4 bytes"));
-                        if value == 0 && Self::slot_written(cfg, a) {
-                            // Dispatch slot filled at run time by a
-                            // reachable `pop [slot]`; the stored value is
-                            // a return address inside the image.
-                            self.stats.resolved_indirect += 1;
-                        } else {
-                            self.check_indirect_target(offset, value, cfg, pending)?;
-                        }
-                    } else if contained(&self.policy.slots, a, a.saturating_add(3)) {
-                        // Loader-sealed slot (GOT): contents trusted.
-                        self.stats.resolved_indirect += 1;
-                    } else {
-                        return Err(VerifyError::IndirectUnresolved { offset });
-                    }
-                }
-                _ => return Err(VerifyError::IndirectUnresolved { offset }),
-            },
-            _ => {}
-        }
-        Ok(())
-    }
-}
-
-/// Verifies a linked image against `policy`, starting from image-relative
-/// `entries` (the module's exported functions).
-///
-/// On success returns the [`Attestation`] the loader stores with the
-/// segment; on failure, the first violation found in address order.
-pub fn verify_image(
-    image: &[u8],
-    entries: &[u32],
-    policy: &VerifyPolicy,
-) -> Result<Attestation, VerifyError> {
-    let mut a = Analysis {
-        image,
-        policy,
-        data: policy.data.clone(),
-        stats: Attestation::default(),
-    };
-    let (ilo, ihi) = a.image_range();
-    a.data.push((ilo, ihi));
-
-    let mut all_entries: Vec<u32> = entries.to_vec();
-    all_entries.sort_unstable();
-    all_entries.dedup();
-
-    for round in 0.. {
-        let cfg = Cfg::build(image, &all_entries).map_err(|e| match e {
-            CfgError::Decode { offset, cause } => VerifyError::Decode { offset, cause },
-            CfgError::NoEntry => VerifyError::NoEntry,
-            CfgError::EntryOutOfRange(o) => VerifyError::EntryOutOfRange(o),
-        })?;
-        let states = Analysis::fixpoint(&cfg, &all_entries);
-
-        a.stats = Attestation {
-            entries: all_entries.len() as u32,
-            insns: cfg.lines.len() as u32,
-            blocks: cfg.blocks.len() as u32,
-            ..Attestation::default()
-        };
-
-        // Static transfers that leave the image.
-        for &(site, target) in &cfg.external_sites {
-            let linear = i64::from(policy.load_addr) + target;
-            let ok = u32::try_from(linear).is_ok_and(|t| overlaps(&policy.code, t, t));
-            if !ok {
-                return Err(VerifyError::BranchOutOfRange {
-                    offset: site,
-                    target: linear,
-                });
-            }
-            a.stats.external_transfers += 1;
-        }
-
-        let mut pending: Vec<u32> = Vec::new();
-        for block in cfg.blocks.values() {
-            let mut s = states.get(&block.start).copied().unwrap_or(AbsState::TOP);
-            for line in &block.insns {
-                a.check_insn(line.offset, &line.insn, &s, &cfg, &mut pending)?;
-                transfer(&line.insn, &mut s);
-            }
-        }
-
-        pending.sort_unstable();
-        pending.dedup();
-        pending.retain(|p| !all_entries.contains(p));
-        if pending.is_empty() {
-            return Ok(a.stats);
-        }
-        if round + 1 >= MAX_ROUNDS {
-            // Pathological resolve chain; give up conservatively.
-            return Err(VerifyError::IndirectUnresolved { offset: pending[0] });
-        }
-        all_entries.extend(pending);
-        all_entries.sort_unstable();
-    }
-    unreachable!("loop returns")
+    /// Per-block proven facts.
+    pub proofs: ProofMap,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asm86::isa::{Cond, Reg::*};
+    use asm86::encode::DecodeError;
+    use asm86::isa::{AluOp, Cond, Insn, Mem, Reg::*, Src};
     use asm86::CodeBuilder;
     use std::collections::BTreeMap;
 
@@ -741,6 +123,12 @@ mod tests {
         assert_eq!(at.blocks, 1);
         assert_eq!(at.memory_checks, 1);
         assert_eq!(at.unknown_accesses, 1, "esp-relative is hardware's job");
+        assert_eq!(at.proofs.len(), 1, "one proof per block");
+        let p = at.proofs.get(0).unwrap();
+        assert!(p.no_privileged);
+        assert!(!p.fall_through_only, "ends in ret");
+        assert_eq!(p.loop_class, LoopClass::NotInLoop);
+        assert_eq!(p.ds_bounds, None, "the esp load goes through SS");
     }
 
     #[test]
@@ -839,6 +227,9 @@ mod tests {
         b.emit(Insn::Ret);
         let at = verify_image(&link(b), &[0], &kernel_policy()).unwrap();
         assert_eq!(at.proven_accesses, 1);
+        let p = at.proofs.get(0).unwrap();
+        assert_eq!(p.ds_bounds, Some((0x100, 0x103)));
+        assert!(p.ds_stores && !p.ds_loads);
     }
 
     #[test]
@@ -850,6 +241,11 @@ mod tests {
         b.emit(Insn::Ret);
         let at = verify_image(&link(b), &[0], &kernel_policy()).unwrap();
         assert_eq!(at.unknown_accesses, 2);
+        let p = at.proofs.get(0).unwrap();
+        assert_eq!(
+            p.ds_bounds, None,
+            "an unbounded DS access forfeits the block's bounds fact"
+        );
     }
 
     #[test]
@@ -1004,5 +400,149 @@ mod tests {
         b.emit(Insn::JmpM(Mem::abs(got)));
         let policy = kernel_policy().allow_slots(got, got + 0x1000);
         verify_image(&link(b), &[0], &policy).unwrap();
+    }
+
+    // ----- proof-map tests -------------------------------------------------
+
+    /// A bounded table-walk loop: `eax` scans `[0, 0x100)` in steps of 4,
+    /// each iteration loading `table[eax]` through a `lea`-computed
+    /// pointer. The refinement + narrowing pipeline must prove the loop
+    /// body's DS access bounded even though the counter crosses a widened
+    /// loop head.
+    fn bounded_loop_module() -> Vec<u8> {
+        let mut b = CodeBuilder::new();
+        b.label("entry").unwrap();
+        b.emit(Insn::Mov(Eax, Src::Imm(0)));
+        b.emit(Insn::Mov(Esi, Src::Imm(0)));
+        b.label("lp").unwrap();
+        b.mov_label(Ebx, "table");
+        b.emit(Insn::Alu(AluOp::Add, Ebx, Src::Reg(Eax)));
+        b.emit(Insn::AluM(AluOp::Add, Esi, Mem::based(Ebx, 0)));
+        b.emit(Insn::Alu(AluOp::Add, Eax, Src::Imm(4)));
+        b.emit(Insn::Cmp(Eax, Src::Imm(0x100)));
+        b.jcc_label(Cond::B, "lp");
+        b.emit(Insn::Mov(Eax, Src::Reg(Esi)));
+        b.emit(Insn::Ret);
+        b.label("table").unwrap();
+        for _ in 0..0x41 {
+            b.dword(1);
+        }
+        link(b)
+    }
+
+    #[test]
+    fn counted_loop_body_gets_bounded_ds_proof() {
+        let image = bounded_loop_module();
+        let at = verify_image(&image, &[0], &kernel_policy()).unwrap();
+        // Every access in the loop body was proven (none left unknown).
+        assert_eq!(at.unknown_accesses, 0, "{at:?}");
+        assert!(at.proven_accesses >= 1);
+        // Find the loop body block: it holds the AluM access.
+        let body = at
+            .proofs
+            .blocks
+            .values()
+            .find(|p| p.ds_bounds.is_some())
+            .expect("a block with proven DS bounds");
+        let (lo, hi) = body.ds_bounds.unwrap();
+        // Counter narrows to [0, 0xFF] (the domain is stride-blind), so
+        // the proven range is [table, table+0xFF+3] — inside the 0x104-
+        // byte table.
+        assert_eq!(hi - lo, 0x102, "loop covers the whole table");
+        assert!(body.ds_loads && !body.ds_stores);
+        assert!(
+            matches!(body.loop_class, LoopClass::Counted { .. }),
+            "{:?}",
+            body.loop_class
+        );
+    }
+
+    #[test]
+    fn loop_whose_last_iteration_escapes_is_not_proven() {
+        // Same loop, but the table sits so close to the segment end that
+        // the final iteration's access straddles the boundary: interval
+        // [base, base+0x103] is not contained, so the block must NOT get
+        // a bounds proof (the access stays `unknown`, hardware's job).
+        let mut b = CodeBuilder::new();
+        b.label("entry").unwrap();
+        b.emit(Insn::Mov(Eax, Src::Imm((SEG - 0x20) as i32)));
+        b.label("lp").unwrap();
+        b.emit(Insn::Store(Mem::based(Eax, 0), Src::Imm(1)));
+        b.emit(Insn::Alu(AluOp::Add, Eax, Src::Imm(4)));
+        b.emit(Insn::Cmp(Eax, Src::Imm((SEG + 4) as i32)));
+        b.jcc_label(Cond::B, "lp");
+        b.emit(Insn::Ret);
+        let at = verify_image(&link(b), &[0], &kernel_policy()).unwrap();
+        assert!(at.unknown_accesses >= 1, "{at:?}");
+        assert!(
+            at.proofs.blocks.values().all(|p| p.ds_bounds.is_none()),
+            "an escaping loop access must not be proven: {at:?}"
+        );
+    }
+
+    #[test]
+    fn attestation_and_proofs_are_deterministic() {
+        let image = bounded_loop_module();
+        let a = verify_image(&image, &[0], &kernel_policy()).unwrap();
+        let b = verify_image(&image, &[0], &kernel_policy()).unwrap();
+        assert_eq!(a, b, "same image + policy must be bit-identical");
+    }
+
+    #[test]
+    fn block_containing_maps_offsets_to_proofs() {
+        let image = bounded_loop_module();
+        let at = verify_image(&image, &[0], &kernel_policy()).unwrap();
+        for p in at.proofs.blocks.values() {
+            assert_eq!(at.proofs.block_containing(p.start).unwrap().start, p.start);
+            assert_eq!(
+                at.proofs
+                    .block_containing(p.start + p.len - 1)
+                    .unwrap()
+                    .start,
+                p.start
+            );
+        }
+        assert!(at.proofs.block_containing(0xFFFF_0000).is_none());
+    }
+
+    #[test]
+    fn mod32_wraparound_access_is_not_proven() {
+        // A counter that wraps through 0xFFFF_FFFF: the mod-2^32 interval
+        // straddles the boundary, so the analysis must refuse to bound it
+        // (one-sidedness: accepted, left to hardware) rather than prove a
+        // wrong range.
+        let mut b = CodeBuilder::new();
+        b.label("entry").unwrap();
+        b.emit(Insn::Mov(Eax, Src::Imm(0xFFFF_FFF0u32 as i32)));
+        b.label("lp").unwrap();
+        b.emit(Insn::StoreB(Mem::based(Eax, 0x18), Ecx));
+        b.emit(Insn::Inc(Eax));
+        b.emit(Insn::Cmp(Eax, Src::Imm(0x10)));
+        b.jcc_label(Cond::Ne, "lp");
+        b.emit(Insn::Ret);
+        let at = verify_image(&link(b), &[0], &kernel_policy()).unwrap();
+        assert!(at.unknown_accesses >= 1, "{at:?}");
+        assert!(at.proofs.blocks.values().all(|p| p.ds_bounds.is_none()));
+    }
+
+    #[test]
+    fn dec_jnz_loop_is_counted() {
+        let mut b = CodeBuilder::new();
+        b.label("entry").unwrap();
+        b.emit(Insn::Mov(Ecx, Src::Imm(32)));
+        b.label("lp").unwrap();
+        b.emit(Insn::Store(Mem::abs(0x200), Src::Reg(Ecx)));
+        b.emit(Insn::Dec(Ecx));
+        b.jcc_label(Cond::Ne, "lp");
+        b.emit(Insn::Ret);
+        let at = verify_image(&link(b), &[0], &kernel_policy()).unwrap();
+        let body = at
+            .proofs
+            .blocks
+            .values()
+            .find(|p| p.ds_bounds.is_some())
+            .expect("store block proven");
+        assert_eq!(body.ds_bounds, Some((0x200, 0x203)));
+        assert!(matches!(body.loop_class, LoopClass::Counted { .. }));
     }
 }

@@ -1,0 +1,190 @@
+//! Verification policies and rejection reasons.
+//!
+//! A [`VerifyPolicy`] is the loader's statement of what a module at a
+//! given SPL may touch; a [`VerifyError`] is the verifier's statement of
+//! the first provable violation, always carrying the offending image
+//! offset so loaders can report `module+0x...`.
+
+use asm86::encode::DecodeError;
+
+/// What a module is allowed to do, fixed by the loader for the target SPL.
+///
+/// All addresses are in the addressing domain the module's code uses:
+/// segment-relative offsets for SPL 1 kernel extensions, flat virtual
+/// addresses for SPL 3 user extensions. Ranges are half-open `[lo, hi)`.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyPolicy {
+    /// The SPL the module will run at (1 or 3); informational.
+    pub spl: u8,
+    /// Address of the image's first byte.
+    pub load_addr: u32,
+    /// Ranges loads/stores may touch, in addition to the image itself.
+    pub data: Vec<(u32, u32)>,
+    /// Ranges outbound control transfers may land in (EFT entry stubs,
+    /// PLT page, shared-library text, trampolines).
+    pub code: Vec<(u32, u32)>,
+    /// Loader-sealed indirect-dispatch slot ranges (e.g. the read-only
+    /// GOT page): `jmp [slot]` through these is trusted.
+    pub slots: Vec<(u32, u32)>,
+    /// Call-gate selectors `lcall` may name.
+    pub gates: Vec<u16>,
+    /// Software-interrupt vectors `int` may raise (`0x81` for the kernel
+    /// service interface; user extensions get none).
+    pub vectors: Vec<u8>,
+}
+
+impl VerifyPolicy {
+    /// A policy with empty allow-lists for a module loaded at `load_addr`.
+    pub fn new(spl: u8, load_addr: u32) -> VerifyPolicy {
+        VerifyPolicy {
+            spl,
+            load_addr,
+            ..VerifyPolicy::default()
+        }
+    }
+
+    /// Permits loads/stores into `[lo, hi)`.
+    #[must_use]
+    pub fn allow_data(mut self, lo: u32, hi: u32) -> Self {
+        self.data.push((lo, hi));
+        self
+    }
+
+    /// Permits outbound transfers into `[lo, hi)`.
+    #[must_use]
+    pub fn allow_code(mut self, lo: u32, hi: u32) -> Self {
+        self.code.push((lo, hi));
+        self
+    }
+
+    /// Trusts loader-sealed dispatch slots in `[lo, hi)`.
+    #[must_use]
+    pub fn allow_slots(mut self, lo: u32, hi: u32) -> Self {
+        self.slots.push((lo, hi));
+        self
+    }
+
+    /// Permits far calls through gate selector `sel`.
+    #[must_use]
+    pub fn allow_gate(mut self, sel: u16) -> Self {
+        self.gates.push(sel);
+        self
+    }
+
+    /// Permits `int vector`.
+    #[must_use]
+    pub fn allow_vector(mut self, vector: u8) -> Self {
+        self.vectors.push(vector);
+        self
+    }
+}
+
+/// Why a module was rejected. Every variant names the offending image
+/// offset so loaders can report `module+0x...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Reachable bytes did not decode.
+    Decode {
+        /// Image offset of the undecodable bytes.
+        offset: u32,
+        /// Decoder diagnosis.
+        cause: DecodeError,
+    },
+    /// No entry points were supplied.
+    NoEntry,
+    /// An entry point fell outside the image.
+    EntryOutOfRange(u32),
+    /// A privileged or reserved instruction is reachable.
+    Privileged {
+        /// Image offset of the instruction.
+        offset: u32,
+        /// Its mnemonic.
+        mnemonic: &'static str,
+    },
+    /// `int` with a vector outside the permitted set.
+    ForbiddenVector {
+        /// Image offset of the instruction.
+        offset: u32,
+        /// The vector named.
+        vector: u8,
+    },
+    /// `lcall` through a selector that is not a registered gate.
+    ForbiddenGate {
+        /// Image offset of the instruction.
+        offset: u32,
+        /// The selector named.
+        selector: u16,
+    },
+    /// A static branch/call leaves the image for an address outside every
+    /// whitelisted code range.
+    BranchOutOfRange {
+        /// Image offset of the branch.
+        offset: u32,
+        /// The linear target (may be negative when the displacement
+        /// points below the image).
+        target: i64,
+    },
+    /// An indirect transfer whose target the analysis cannot bound.
+    IndirectUnresolved {
+        /// Image offset of the transfer.
+        offset: u32,
+    },
+    /// An indirect transfer resolves to a concrete address outside every
+    /// permitted code range.
+    BadIndirectTarget {
+        /// Image offset of the transfer.
+        offset: u32,
+        /// The resolved target.
+        value: u32,
+    },
+    /// A memory access provably outside every allowed data range.
+    OutOfSegment {
+        /// Image offset of the access.
+        offset: u32,
+        /// Lowest possible address.
+        lo: u32,
+        /// Highest possible address (inclusive, including access width).
+        hi: u32,
+    },
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerifyError::Decode { offset, cause } => {
+                write!(f, "undecodable instruction at +{offset:#x}: {cause:?}")
+            }
+            VerifyError::NoEntry => write!(f, "module exports no entry points"),
+            VerifyError::EntryOutOfRange(o) => write!(f, "entry +{o:#x} outside the image"),
+            VerifyError::Privileged { offset, mnemonic } => {
+                write!(f, "privileged `{mnemonic}` reachable at +{offset:#x}")
+            }
+            VerifyError::ForbiddenVector { offset, vector } => {
+                write!(f, "forbidden `int {vector:#04x}` at +{offset:#x}")
+            }
+            VerifyError::ForbiddenGate { offset, selector } => {
+                write!(
+                    f,
+                    "far call through unregistered gate {selector:#06x} at +{offset:#x}"
+                )
+            }
+            VerifyError::BranchOutOfRange { offset, target } => {
+                write!(f, "branch at +{offset:#x} leaves the image for {target:#x}")
+            }
+            VerifyError::IndirectUnresolved { offset } => {
+                write!(f, "unresolvable indirect transfer at +{offset:#x}")
+            }
+            VerifyError::BadIndirectTarget { offset, value } => {
+                write!(f, "indirect transfer at +{offset:#x} targets {value:#x}")
+            }
+            VerifyError::OutOfSegment { offset, lo, hi } => {
+                write!(
+                    f,
+                    "access at +{offset:#x} provably outside the segment ({lo:#x}..={hi:#x})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

@@ -33,6 +33,7 @@ pub mod machine;
 pub mod mem;
 pub mod paging;
 pub mod predecode;
+pub mod proof;
 pub mod trace;
 mod xfer;
 
@@ -47,4 +48,5 @@ pub use machine::{Cpu, Exit, Flags, IdtGate, Machine, SegCache, Snapshot, Tss};
 pub use mem::{FrameAlloc, PhysMem, PAGE_SIZE};
 pub use paging::{pte, Access, Mmu};
 pub use predecode::PredecodeStats;
+pub use proof::{ProofDs, ProofInstallError, ProofStats};
 pub use trace::{Trace, TraceRecord};

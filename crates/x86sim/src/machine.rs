@@ -15,7 +15,9 @@ use crate::image::{self, kind, Enc, ImageBuilder, ImageView, RestoreError};
 use crate::mem::{PhysMem, PAGE_MASK, PAGE_SIZE};
 use crate::paging::{Access, Mmu};
 use crate::predecode::{InsnCache, PredecodeStats};
+use crate::proof::{BlockToken, ProofDs, ProofInstallError, ProofRun, ProofStats, TokenInsn};
 use crate::trace::{Trace, TraceRecord};
+use std::sync::Arc;
 
 /// Longest possible instruction encoding, in bytes.
 pub const MAX_INSN_LEN: usize = 12;
@@ -243,6 +245,26 @@ pub struct Machine {
     fetch_memo: PageMemo,
     data_read_memo: PageMemo,
     data_write_memo: PageMemo,
+    /// Installed proof tokens, keyed by physical block start. Shared
+    /// copy-on-write across forks like the predecode slot array.
+    proof_tokens: crate::proof::TokenMap,
+    /// The token run in progress, if the last fetch was served from one.
+    proof_run: Option<ProofRun>,
+    /// Master switch for serving from tokens (installation is always
+    /// allowed). Off = the differential baseline.
+    proof_elide: bool,
+    /// Set per fetch: the instruction about to execute was served from a
+    /// token whose DS entry guard held, so its DS accesses skip the
+    /// per-access segment check.
+    ds_elide_now: bool,
+    /// Host-side segment-write generation: bumped on every segment-cache
+    /// write (`mov sreg`, far transfers, fault delivery, host forcing).
+    /// A token run whose snapshot matches knows the CS/DS caches and the
+    /// CPL are untouched since its entry guard ran — one compare instead
+    /// of three. Never serialized; restore starts a fresh count (no run
+    /// survives a restore).
+    seg_gen: u64,
+    proof_stats: ProofStats,
 }
 
 /// Sentinel slab slot for "frame not backed when the memo was filled".
@@ -356,6 +378,12 @@ impl Machine {
             fetch_memo: PageMemo::INVALID,
             data_read_memo: PageMemo::INVALID,
             data_write_memo: PageMemo::INVALID,
+            proof_tokens: crate::proof::TokenMap::default(),
+            proof_run: None,
+            proof_elide: true,
+            ds_elide_now: false,
+            seg_gen: 0,
+            proof_stats: ProofStats::default(),
         }
     }
 
@@ -531,6 +559,7 @@ impl Machine {
         self.predecode = on;
         if !on {
             self.icache.clear();
+            self.proof_run = None;
         }
     }
 
@@ -542,6 +571,134 @@ impl Machine {
     /// Host-side hit/miss counters of the predecode cache.
     pub fn predecode_stats(&self) -> PredecodeStats {
         self.icache.stats()
+    }
+
+    // ----- proof tokens ------------------------------------------------------
+
+    /// Installs a proof token for the verified block at linear address
+    /// `linear`, `len` bytes long, with `ds` carrying the block's DS
+    /// bounds proof (if it has one). The machine predecodes the block's
+    /// bytes itself — the caller asserts only the *proof* (that every DS
+    /// access stays at offsets `..=ds.hi`), never the decoding.
+    ///
+    /// Serving requires both the predecode fast path and
+    /// [`Machine::set_proof_elision`] to be on. A failed installation is
+    /// harmless: the block simply executes on the normal path.
+    pub fn install_proof_token(
+        &mut self,
+        linear: u32,
+        len: u32,
+        ds: Option<ProofDs>,
+    ) -> Result<(), ProofInstallError> {
+        if len == 0 {
+            return Err(ProofInstallError::Empty);
+        }
+        let phys = self
+            .host_translate(linear)
+            .ok_or(ProofInstallError::Unmapped)?;
+        // The whole block plus one fetch lookahead window must sit inside
+        // a single page, so serving (and the equivalent normal-path
+        // fetch) never needs a second page translation.
+        if (phys & PAGE_MASK) as usize + len as usize + MAX_INSN_LEN > PAGE_SIZE as usize {
+            return Err(ProofInstallError::CrossesPage);
+        }
+        // Contiguity of the linear range follows: it fits one page too.
+        let bytes = self.host_read(linear, len as usize);
+        let mut insns = Vec::new();
+        let mut at = 0usize;
+        while at < len as usize {
+            let Ok((insn, ilen)) = decode(&bytes[at..]) else {
+                return Err(ProofInstallError::BadBytes);
+            };
+            insns.push(TokenInsn {
+                insn,
+                len: ilen as u32,
+                cost: cycles::measured_cost(&insn),
+            });
+            at += ilen;
+        }
+        if at != len as usize {
+            return Err(ProofInstallError::BadBytes);
+        }
+        // Track self-modification exactly like the predecode cache: mark
+        // the bytes as code and snapshot the slot's code generation.
+        let slot = self.mem.ensure_frame_slot(phys);
+        self.mem
+            .mark_code(slot, (phys & PAGE_MASK) as usize, len as usize);
+        let gen = self.mem.slot_code_generation(slot);
+        let token = BlockToken {
+            start_phys: phys,
+            len,
+            insns,
+            ds,
+            slot,
+            gen,
+        };
+        Arc::make_mut(&mut self.proof_tokens).insert(phys, Arc::new(token));
+        self.proof_stats.installed = self.proof_tokens.len() as u64;
+        Ok(())
+    }
+
+    /// Removes every installed proof token and stops any active run.
+    /// Loaders call this when a module is unloaded or its pages are
+    /// repurposed; still-valid proofs can simply be reinstalled.
+    pub fn clear_proof_tokens(&mut self) {
+        if !self.proof_tokens.is_empty() {
+            self.proof_tokens = crate::proof::TokenMap::default();
+        }
+        self.proof_run = None;
+        self.proof_stats.installed = 0;
+    }
+
+    /// Removes the proof token for the block at linear address `linear`,
+    /// if one is installed and the page is still mapped. Loaders call
+    /// this per block when one module's pages are revoked while others
+    /// keep running — unlike [`Machine::clear_proof_tokens`] it leaves
+    /// unrelated tokens in place.
+    pub fn remove_proof_token(&mut self, linear: u32) -> bool {
+        let Some(phys) = self.host_translate(linear) else {
+            return false;
+        };
+        let removed = Arc::make_mut(&mut self.proof_tokens)
+            .remove(&phys)
+            .is_some();
+        if removed {
+            if let Some(run) = &self.proof_run {
+                if run.token.start_phys == phys {
+                    self.proof_run = None;
+                }
+            }
+            self.proof_stats.installed = self.proof_tokens.len() as u64;
+        }
+        removed
+    }
+
+    /// Enables or disables serving from proof tokens.
+    ///
+    /// Like [`Machine::set_predecode`], a *host* knob: simulated cycles,
+    /// statistics and faults are identical either way (the differential
+    /// soundness fuzzer asserts exactly this). Off is the baseline the
+    /// throughput benchmark and the fuzzer's unelided twin use.
+    pub fn set_proof_elision(&mut self, on: bool) {
+        self.proof_elide = on;
+        if !on {
+            self.proof_run = None;
+        }
+    }
+
+    /// Whether serving from proof tokens is enabled.
+    pub fn proof_elision_enabled(&self) -> bool {
+        self.proof_elide
+    }
+
+    /// Host-side proof-token counters.
+    pub fn proof_stats(&self) -> ProofStats {
+        self.proof_stats
+    }
+
+    /// Number of installed proof tokens.
+    pub fn proof_token_count(&self) -> usize {
+        self.proof_tokens.len()
     }
 
     /// Total cycles charged so far.
@@ -608,12 +765,12 @@ impl Machine {
                 if !self.descriptor_present(&d) {
                     return Err(Fault::ss(sel.0, FaultCause::SegmentNotPresent(sel.0)));
                 }
-                self.cpu.segs[sr as usize] = cache;
+                self.write_seg_cache(sr, cache);
             }
             SegReg::Ds | SegReg::Es => {
                 if sel.is_null() {
                     // Null is loadable; any use faults later.
-                    self.cpu.segs[sr as usize] = SegCache::invalid();
+                    self.write_seg_cache(sr, SegCache::invalid());
                     return Ok(());
                 }
                 let d = resolve(&self.gdt, self.ldt.as_ref(), sel)?;
@@ -640,10 +797,21 @@ impl Machine {
                 if !self.descriptor_present(&d) {
                     return Err(Fault::np(sel.0));
                 }
-                self.cpu.segs[sr as usize] = cache;
+                self.write_seg_cache(sr, cache);
             }
         }
         Ok(())
+    }
+
+    /// The single funnel for segment-cache writes: every load of a
+    /// segment register (and the host forcing helpers) goes through here
+    /// so the segment-write generation advances — the one compare a
+    /// proof-token run needs to know its snapshotted CS/DS/CPL state is
+    /// untouched.
+    #[inline]
+    pub(crate) fn write_seg_cache(&mut self, sr: SegReg, cache: SegCache) {
+        self.cpu.segs[sr as usize] = cache;
+        self.seg_gen = self.seg_gen.wrapping_add(1);
     }
 
     fn descriptor_present(&self, d: &Descriptor) -> bool {
@@ -660,7 +828,7 @@ impl Machine {
     pub fn force_seg(&mut self, sr: SegReg, sel: Selector, cache: SegCache) {
         let mut cache = cache;
         cache.selector = sel;
-        self.cpu.segs[sr as usize] = cache;
+        self.write_seg_cache(sr, cache);
         if sr == SegReg::Cs {
             self.cpu.cpl = sel.rpl();
         }
@@ -778,13 +946,27 @@ impl Machine {
     }
 
     /// Reads `size` (1, 2 or 4) bytes through a segment.
+    ///
+    /// Inside a proof-token run whose DS entry guard held, DS accesses
+    /// skip [`Machine::seg_check`]: the verifier proved the offset range
+    /// the block can touch and the guard validated it against the live
+    /// descriptor once at block entry. The check charges no simulated
+    /// cycles and (per the proof) cannot fault, so eliding it is
+    /// invisible to the simulated machine.
     #[inline]
     pub fn read_data(&mut self, sr: SegReg, off: u32, size: u32) -> Result<u32, FaultBuilder> {
-        let linear = self.seg_check(sr, off, size, false)?;
+        let linear = if sr == SegReg::Ds && self.ds_elide_now {
+            self.proof_stats.ds_elided += 1;
+            self.cpu.seg(SegReg::Ds).base.wrapping_add(off)
+        } else {
+            self.seg_check(sr, off, size, false)?
+        };
         self.read_linear(linear, size, false)
     }
 
-    /// Writes `size` (1, 2 or 4) bytes through a segment.
+    /// Writes `size` (1, 2 or 4) bytes through a segment. DS writes
+    /// elide the segment check inside a proven block, as
+    /// [`Machine::read_data`] describes.
     #[inline]
     pub fn write_data(
         &mut self,
@@ -793,7 +975,12 @@ impl Machine {
         size: u32,
         value: u32,
     ) -> Result<(), FaultBuilder> {
-        let linear = self.seg_check(sr, off, size, true)?;
+        let linear = if sr == SegReg::Ds && self.ds_elide_now {
+            self.proof_stats.ds_elided += 1;
+            self.cpu.seg(SegReg::Ds).base.wrapping_add(off)
+        } else {
+            self.seg_check(sr, off, size, true)?
+        };
         self.write_linear(linear, size, value)
     }
 
@@ -902,11 +1089,25 @@ impl Machine {
     /// [`cycles::measured_cost`], memoized in the predecode cache so a
     /// hit does not re-derive it.
     pub fn fetch(&mut self) -> Result<(Insn, u32, u64), FaultBuilder> {
+        self.ds_elide_now = false;
+        let eip = self.cpu.eip;
+        // Hot continuation of an active token run: while the guard
+        // inputs are provably unchanged (segment-write generation, MMU
+        // epoch, code generation) everything below — including the CS
+        // validity check, the window computation, the translation and
+        // the cache lookups — would reproduce what the run already
+        // verified, so it is skipped wholesale. This is where the
+        // hoisting pays: a served instruction costs a handful of
+        // compares. Falls through to the full path on any mismatch.
+        if self.proof_elide && self.proof_run.is_some() {
+            if let Some(hit) = self.proof_fast(eip) {
+                return Ok(hit);
+            }
+        }
         let cs = *self.cpu.seg(SegReg::Cs);
         if !cs.valid || !cs.code {
             return Err(Fault::gp(cs.selector.0, FaultCause::BadSegmentType));
         }
-        let eip = self.cpu.eip;
         // Bytes of the prefetch window the segment limit permits.
         //
         // For an expand-up segment (every genuine code descriptor) this is
@@ -948,6 +1149,19 @@ impl Machine {
         // fetched); a fault on the second is recorded and raised only if
         // the decoder runs out of bytes.
         let phys0 = self.translate_fetch_fast(lin0)?;
+
+        // Proof-token fast path: serve the instruction from an installed
+        // token when the block's hoisted entry guard (still) holds. The
+        // serve is host-only — the translation above already performed
+        // the same (memoized) work the normal path does, the token block
+        // never spans a second page, and the precomputed cost is the one
+        // the normal decode would derive — so cycles, stats and faults
+        // are byte-identical to the normal path below.
+        if self.proof_elide {
+            if let Some(hit) = self.proof_serve(phys0, eip, &cs) {
+                return Ok(hit);
+            }
+        }
         let page_rem = (PAGE_SIZE - (lin0 & PAGE_MASK)) as usize;
         let n_lo = window.min(page_rem);
         let mut hi_page: Option<u32> = None;
@@ -1019,6 +1233,141 @@ impl Machine {
             Err(DecodeError::Truncated) if pending.is_some() => Err(pending.unwrap()),
             Err(_) => Err(Fault::ud(FaultCause::BadInstruction)),
         }
+    }
+
+    /// Tries to serve the fetch at `eip` (translated to `phys0`) from a
+    /// proof token: either the active run's next instruction, or the
+    /// first instruction of a token starting at `phys0` whose entry
+    /// guard holds. `None` falls through to the normal fetch path.
+    fn proof_serve(&mut self, phys0: u32, eip: u32, cs: &SegCache) -> Option<(Insn, u32, u64)> {
+        if let Some(run) = &self.proof_run {
+            if run.idx == run.count {
+                // Ran its block to completion (and the hot re-arm did
+                // not apply): retire silently, it is not a break.
+                self.proof_run = None;
+            } else {
+                let live = eip == run.expect_eip
+                    && phys0 == run.expect_phys
+                    && self.seg_gen == run.seg_gen
+                    && self.mem.slot_code_generation(run.slot) == run.gen;
+                if live {
+                    // The translation and the slot's code generation
+                    // were just re-verified: re-sync the hot-path guard
+                    // inputs so the next fetch can take the fast
+                    // continuation again.
+                    let (epoch, paged) = (self.mmu.epoch(), self.mmu.enabled);
+                    let code_epoch = self.mem.code_epoch();
+                    let run = self.proof_run.as_mut().expect("checked above");
+                    run.epoch = epoch;
+                    run.paged = paged;
+                    run.code_epoch = code_epoch;
+                    return self.proof_advance();
+                }
+                self.proof_run = None;
+                self.proof_stats.broken += 1;
+            }
+        }
+        // Not inside a run: attempt activation at a block boundary.
+        let token = Arc::clone(self.proof_tokens.get(&phys0)?);
+        debug_assert_eq!(token.start_phys, phys0);
+        // Entry guard, hoisted over the whole block:
+        // - the block's last byte is inside the (expand-up) CS limit, so
+        //   every per-instruction window check inside the block passes;
+        // - the bytes still are what was predecoded (code generation);
+        // - when the block carries a DS bounds proof, DS covers its
+        //   maximum offset with the rights its accesses need.
+        if cs.expand_down
+            || eip.checked_add(token.len - 1).is_none_or(|e| e > cs.limit)
+            || self.mem.slot_code_generation(token.slot) != token.gen
+        {
+            return None;
+        }
+        let ds = *self.cpu.seg(SegReg::Ds);
+        let ds_elide = token.ds.is_some_and(|p| {
+            ds.valid
+                && !ds.expand_down
+                && p.hi <= ds.limit
+                && (!p.stores || (!ds.code && ds.writable))
+                && (!p.loads || ds.readable)
+        });
+        self.proof_run = Some(ProofRun {
+            idx: 0,
+            count: token.insns.len(),
+            slot: token.slot,
+            gen: token.gen,
+            code_epoch: self.mem.code_epoch(),
+            token,
+            expect_eip: eip,
+            expect_phys: phys0,
+            start_eip: eip,
+            start_phys: phys0,
+            epoch: self.mmu.epoch(),
+            paged: self.mmu.enabled,
+            seg_gen: self.seg_gen,
+            ds_elide,
+        });
+        self.proof_stats.activations += 1;
+        self.proof_advance()
+    }
+
+    /// Hot path of [`Machine::proof_serve`]: continues an active run —
+    /// or re-arms a completed one across a loop back edge — without the
+    /// window computation, translation or cache lookups of the full
+    /// fetch path. Sound because every input those steps depend on is
+    /// compared against the values the run verified when it last went
+    /// through the full path: the segment-write generation (so the
+    /// CS/DS caches and the CPL — the memo's `user` key — are
+    /// bit-identical to what the entry guard validated), the MMU epoch
+    /// with paging still on (the fetch-page memo would return the same
+    /// translation), and the global code-invalidation epoch (no frame's
+    /// code generation moved, so the bytes are still the predecoded
+    /// ones). Any mismatch falls back to the full path, which breaks or
+    /// re-verifies the run with a real translation in hand.
+    ///
+    /// The skipped memoized translation is accounted as the memo hit it
+    /// would have been (`Mmu::count_memo_hit`), so the serialized TLB
+    /// statistics stay byte-identical to unelided dispatch.
+    #[inline(always)]
+    fn proof_fast(&mut self, eip: u32) -> Option<(Insn, u32, u64)> {
+        let run = self.proof_run.as_ref()?;
+        let done = run.idx == run.count;
+        let expect = if done { run.start_eip } else { run.expect_eip };
+        if eip != expect
+            || self.seg_gen != run.seg_gen
+            || !run.paged
+            || !self.mmu.enabled
+            || self.mmu.epoch() != run.epoch
+            || self.mem.code_epoch() != run.code_epoch
+        {
+            return None;
+        }
+        self.mmu.count_memo_hit();
+        if done {
+            // Loop back edge: everything the entry guard checked at
+            // activation was just re-compared, so re-arm in place.
+            let run = self.proof_run.as_mut().expect("checked above");
+            run.idx = 0;
+            run.expect_eip = run.start_eip;
+            run.expect_phys = run.start_phys;
+            self.proof_stats.activations += 1;
+        }
+        self.proof_advance()
+    }
+
+    /// Serves the active run's next instruction and advances it. A run
+    /// that reaches block end is kept (`idx == insns.len()`) so the hot
+    /// path can re-arm it across a loop back edge; it is retired by the
+    /// next full-path fetch that does not re-arm it.
+    #[inline(always)]
+    fn proof_advance(&mut self) -> Option<(Insn, u32, u64)> {
+        let run = self.proof_run.as_mut()?;
+        let t = run.token.insns[run.idx];
+        self.ds_elide_now = run.ds_elide;
+        run.idx += 1;
+        run.expect_eip = run.expect_eip.wrapping_add(t.len);
+        run.expect_phys += t.len;
+        self.proof_stats.served += 1;
+        Some((t.insn, t.len, t.cost))
     }
 
     /// Fetch-path translation through the fetch-page memo (fast path

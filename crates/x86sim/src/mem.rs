@@ -127,8 +127,10 @@ impl Frame {
     /// the store generation, and bumps the code generation only when the
     /// store overlaps cached-code bytes (byte-exact, so data that merely
     /// shares a page with code — stacks, save slots, patch targets —
-    /// never invalidates decodes).
-    fn note_store(&mut self, off: usize, len: usize) {
+    /// never invalidates decodes). Returns whether the code generation
+    /// moved, so the owning [`PhysMem`] can advance its global
+    /// code-invalidation epoch.
+    fn note_store(&mut self, off: usize, len: usize) -> bool {
         self.gen += 1;
         if let Some(mask) = &mut self.code_mask {
             let last = off + len - 1;
@@ -140,10 +142,11 @@ impl Frame {
                     // invalidate them all and let fetches re-mark.
                     self.code_gen += 1;
                     mask.fill(0);
-                    break;
+                    return true;
                 }
             }
         }
+        false
     }
 }
 
@@ -170,6 +173,13 @@ impl Frame {
 pub struct PhysMem {
     index: Arc<HashMap<u32, u32, U32HashBuilder>>,
     slabs: Arc<Vec<Frame>>,
+    /// Host-side epoch advanced whenever *any* frame's code generation
+    /// moves (a store overlapped cached-code bytes). While it is
+    /// unchanged, every per-slot code generation is unchanged too, so
+    /// per-fetch revalidation can be one inline compare instead of a
+    /// slab walk ([`PhysMem::code_epoch`]). Never serialized; it is
+    /// derived bookkeeping like the generations themselves.
+    code_epoch: u64,
 }
 
 impl PhysMem {
@@ -265,6 +275,16 @@ impl PhysMem {
         self.slabs.get(slot as usize).map_or(0, |f| f.code_gen)
     }
 
+    /// The global code-invalidation epoch: advances exactly when some
+    /// frame's [`PhysMem::slot_code_generation`] advances. A consumer
+    /// that validated a slot's generation may substitute "epoch
+    /// unchanged" for re-reading the slot — the proof-token hot path's
+    /// self-modification guard.
+    #[inline]
+    pub fn code_epoch(&self) -> u64 {
+        self.code_epoch
+    }
+
     /// Marks `len` bytes at page offset `off` of slab slot `slot` as
     /// consumed by a cached decode: later stores overlapping them bump
     /// the slot's code generation.
@@ -323,24 +343,27 @@ impl PhysMem {
     /// bookkeeping as the address-keyed stores.
     #[inline]
     pub fn write_u8_slot(&mut self, slot: u32, off: u32, v: u8) {
-        let f = &mut self.slabs_mut()[slot as usize];
-        f.note_store(off as usize, 1);
+        let code_epoch = &mut self.code_epoch;
+        let f = &mut Arc::make_mut(&mut self.slabs)[slot as usize];
+        *code_epoch += u64::from(f.note_store(off as usize, 1));
         f.data_mut()[off as usize] = v;
     }
 
     /// Writes a 16-bit little-endian value inside one frame.
     #[inline]
     pub fn write_u16_slot(&mut self, slot: u32, off: u32, v: u16) {
-        let f = &mut self.slabs_mut()[slot as usize];
-        f.note_store(off as usize, 2);
+        let code_epoch = &mut self.code_epoch;
+        let f = &mut Arc::make_mut(&mut self.slabs)[slot as usize];
+        *code_epoch += u64::from(f.note_store(off as usize, 2));
         f.data_mut()[off as usize..off as usize + 2].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a 32-bit little-endian value inside one frame.
     #[inline]
     pub fn write_u32_slot(&mut self, slot: u32, off: u32, v: u32) {
-        let f = &mut self.slabs_mut()[slot as usize];
-        f.note_store(off as usize, 4);
+        let code_epoch = &mut self.code_epoch;
+        let f = &mut Arc::make_mut(&mut self.slabs)[slot as usize];
+        *code_epoch += u64::from(f.note_store(off as usize, 4));
         f.data_mut()[off as usize..off as usize + 4].copy_from_slice(&v.to_le_bytes());
     }
 
@@ -349,8 +372,9 @@ impl PhysMem {
     /// on the mutation paths, with the span inside one frame.
     fn frame_mut(&mut self, addr: u32, len: usize) -> &mut Frame {
         let idx = self.ensure_frame_slot(addr) as usize;
-        let f = &mut self.slabs_mut()[idx];
-        f.note_store((addr & PAGE_MASK) as usize, len);
+        let code_epoch = &mut self.code_epoch;
+        let f = &mut Arc::make_mut(&mut self.slabs)[idx];
+        *code_epoch += u64::from(f.note_store((addr & PAGE_MASK) as usize, len));
         f
     }
 
@@ -497,6 +521,7 @@ impl PhysMem {
         Ok(PhysMem {
             index: Arc::new(index),
             slabs: Arc::new(slabs),
+            code_epoch: 0,
         })
     }
 

@@ -1607,3 +1607,163 @@ mod checkpoint {
         }
     }
 }
+
+mod proof_tokens {
+    //! Proof-token check elision: host-only speedup, byte-identical
+    //! simulated behavior, invalidated by self-modification.
+
+    use super::*;
+    use crate::proof::{ProofDs, ProofInstallError};
+
+    /// A straight-line block with DS loads and stores, then `hlt`. The
+    /// token covers everything but the final `hlt`.
+    const BLOCK_SRC: &str = "mov eax, 0x11223344\n\
+         mov [0x2000], eax\n\
+         mov ebx, [0x2000]\n\
+         add ebx, 1\n\
+         mov [0x2004], ebx\n\
+         hlt\n";
+
+    fn block_len(m: &Machine) -> u32 {
+        // Everything from 0x1000 up to (not including) the hlt.
+        let bytes = m.host_read(0x1000, 64);
+        let mut at = 0usize;
+        loop {
+            let (insn, len) = asm86::decode(&bytes[at..]).expect("decodable program");
+            if matches!(insn, asm86::isa::Insn::Hlt) {
+                return at as u32;
+            }
+            at += len;
+        }
+    }
+
+    #[test]
+    fn served_block_is_byte_identical_to_unelided() {
+        let template = flat_machine(BLOCK_SRC).snapshot();
+        let mut a = template.fork();
+        let mut b = template.fork();
+        let len = block_len(&a);
+        a.install_proof_token(
+            0x1000,
+            len,
+            Some(ProofDs {
+                hi: 0x2007,
+                loads: true,
+                stores: true,
+            }),
+        )
+        .unwrap();
+        b.set_proof_elision(false);
+        run_to_hlt(&mut a);
+        run_to_hlt(&mut b);
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.insns(), b.insns());
+        assert_eq!(a.cpu.reg(Reg::Eax), b.cpu.reg(Reg::Eax));
+        assert_eq!(a.cpu.reg(Reg::Ebx), 0x11223345);
+        assert_eq!(a.mem.read_u32(0x2004), 0x11223345);
+        let stats = a.proof_stats();
+        assert_eq!(stats.activations, 1);
+        assert_eq!(stats.served, 5);
+        assert_eq!(stats.ds_elided, 3, "three DS accesses in the block");
+        // And the durable images agree byte for byte (tokens are derived
+        // state, the elision flag is not serialized).
+        b.set_proof_elision(true);
+        assert_eq!(a.save_image(), b.save_image());
+    }
+
+    #[test]
+    fn smc_invalidates_the_token() {
+        let mut m = flat_machine(BLOCK_SRC);
+        let len = block_len(&m);
+        m.install_proof_token(0x1000, len, None).unwrap();
+        run_to_hlt(&mut m);
+        assert_eq!(m.proof_stats().served, 5);
+        // Overwrite the first instruction's immediate (its trailing four
+        // bytes): the store bumps the slot's code generation, so the
+        // token must stop serving stale bytes.
+        let (_, len0) = asm86::decode(&m.host_read(0x1000, 16)).unwrap();
+        m.host_write_u32(0x1000 + len0 as u32 - 4, 0x5566_7788);
+        m.cpu.eip = 0x1000;
+        run_to_hlt(&mut m);
+        assert_eq!(
+            m.proof_stats().served,
+            5,
+            "no serves after self-modification"
+        );
+        assert_eq!(m.cpu.reg(Reg::Eax), 0x5566_7788, "new bytes executed");
+    }
+
+    #[test]
+    fn failed_ds_guard_disables_elision_not_execution() {
+        let mut m = flat_machine(BLOCK_SRC);
+        let len = block_len(&m);
+        // Claim a DS range beyond the flat limit is impossible; instead
+        // shrink DS so the guard (hi <= limit) fails.
+        let small = m.gdt.push(Descriptor::Data(crate::desc::DataSeg {
+            base: 0,
+            limit: 0x1fff, // excludes offset 0x2000
+            dpl: 0,
+            writable: true,
+            expand_down: false,
+            present: true,
+        }));
+        m.force_seg_from_table(SegReg::Ds, Selector::new(small, false, 0));
+        m.install_proof_token(
+            0x1000,
+            len,
+            Some(ProofDs {
+                hi: 0x2007,
+                loads: true,
+                stores: true,
+            }),
+        )
+        .unwrap();
+        // The block's first DS store is now out of segment: the fault
+        // must be delivered exactly as on the normal path (the entry
+        // guard refused elision; the per-access check still runs).
+        let exit = m.run(10);
+        assert!(
+            matches!(exit, Exit::Fault(ref f) if f.vector == Vector::GeneralProtection),
+            "got {exit:?}"
+        );
+        assert_eq!(m.proof_stats().ds_elided, 0);
+    }
+
+    #[test]
+    fn install_rejects_bad_blocks() {
+        let mut m = flat_machine(BLOCK_SRC);
+        let len = block_len(&m);
+        assert_eq!(
+            m.install_proof_token(0x1000, 0, None),
+            Err(ProofInstallError::Empty)
+        );
+        assert_eq!(
+            m.install_proof_token(0x1000, len - 1, None),
+            Err(ProofInstallError::BadBytes),
+            "length not tiling instruction boundaries"
+        );
+        assert_eq!(
+            m.install_proof_token(0x1FFC, 8, None),
+            Err(ProofInstallError::CrossesPage)
+        );
+        assert_eq!(m.proof_token_count(), 0);
+        m.install_proof_token(0x1000, len, None).unwrap();
+        assert_eq!(m.proof_token_count(), 1);
+        m.clear_proof_tokens();
+        assert_eq!(m.proof_token_count(), 0);
+    }
+
+    #[test]
+    fn forked_worlds_share_tokens_copy_on_write() {
+        let mut m = flat_machine(BLOCK_SRC);
+        let len = block_len(&m);
+        m.install_proof_token(0x1000, len, None).unwrap();
+        let mut f = m.fork();
+        run_to_hlt(&mut f);
+        assert_eq!(f.proof_stats().served, 5);
+        // The template never served anything.
+        assert_eq!(m.proof_stats().served, 0);
+        f.clear_proof_tokens();
+        assert_eq!(m.proof_token_count(), 1, "template keeps its token");
+    }
+}

@@ -81,7 +81,8 @@ impl Machine {
                 let cs_sel = self.cpu.seg(SegReg::Cs).selector.0;
                 self.push32(cs_sel as u32)?;
                 self.push32(ret_eip)?;
-                self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(sel, &c, cpl);
+                let cs = self.cs_cache(sel, &c, cpl);
+                self.write_seg_cache(SegReg::Cs, cs);
                 self.cpu.eip = off;
                 Ok(())
             }
@@ -119,7 +120,8 @@ impl Machine {
                     let cs_sel = self.cpu.seg(SegReg::Cs).selector.0;
                     self.push32(cs_sel as u32)?;
                     self.push32(ret_eip)?;
-                    self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(g.selector, &target, cpl);
+                    let cs = self.cs_cache(g.selector, &target, cpl);
+                    self.write_seg_cache(SegReg::Cs, cs);
                     self.cpu.eip = g.offset;
                     Ok(())
                 }
@@ -162,7 +164,7 @@ impl Machine {
         // Switch: the pushes below execute at the *new* CPL, so an inward
         // call from SPL 3 can push onto a PPL 0 stack page.
         self.cpu.cpl = new_cpl;
-        self.cpu.segs[SegReg::Ss as usize] = ss_cache;
+        self.write_seg_cache(SegReg::Ss, ss_cache);
         self.cpu.set_reg(Reg::Esp, new_esp);
 
         self.push32(old_ss as u32)?;
@@ -173,7 +175,8 @@ impl Machine {
         self.push32(old_cs as u32)?;
         self.push32(ret_eip)?;
 
-        self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(target_sel, target, new_cpl);
+        let cs = self.cs_cache(target_sel, target, new_cpl);
+        self.write_seg_cache(SegReg::Cs, cs);
         self.cpu.eip = entry;
         Ok(())
     }
@@ -200,7 +203,8 @@ impl Machine {
             self.charge_event(Event::FarRetSame);
             let esp = self.cpu.esp().wrapping_add(n);
             self.cpu.set_reg(Reg::Esp, esp);
-            self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(ret_cs, &target, rpl);
+            let cs = self.cs_cache(ret_cs, &target, rpl);
+            self.write_seg_cache(SegReg::Cs, cs);
             self.cpu.eip = ret_eip;
             return Ok(());
         }
@@ -220,9 +224,10 @@ impl Machine {
             return Err(Fault::gp(new_ss.0, FaultCause::BadSegmentType));
         }
 
-        self.cpu.segs[SegReg::Cs as usize] = self.cs_cache(ret_cs, &target, rpl);
+        let cs = self.cs_cache(ret_cs, &target, rpl);
+        self.write_seg_cache(SegReg::Cs, cs);
         self.cpu.cpl = rpl;
-        self.cpu.segs[SegReg::Ss as usize] = ss_cache;
+        self.write_seg_cache(SegReg::Ss, ss_cache);
         self.cpu.set_reg(Reg::Esp, new_esp);
         self.cpu.eip = ret_eip;
         self.invalidate_inaccessible_data_segs();
@@ -237,7 +242,7 @@ impl Machine {
         for sr in [SegReg::Ds, SegReg::Es] {
             let seg = &self.cpu.segs[sr as usize];
             if seg.valid && !(seg.code && seg.conforming) && seg.dpl < cpl {
-                self.cpu.segs[sr as usize] = SegCache::invalid();
+                self.write_seg_cache(sr, SegCache::invalid());
             }
         }
     }

@@ -134,7 +134,9 @@ fn kernel_extensions(a: &mut Audit) {
         ),
     ];
     for (what, entry, obj) in benign {
-        let seg = kx.create_segment_with(&mut k, 16, config).expect("segment");
+        let seg = kx
+            .create_segment_with(&mut k, 16, config.clone())
+            .expect("segment");
         match kx.insmod(&mut k, seg, "m", &obj, &[entry]) {
             Ok(()) => a.expect(what, true, "verified and loaded"),
             Err(e) => a.expect(what, false, &format!("rejected: {e}")),
@@ -159,7 +161,9 @@ fn kernel_extensions(a: &mut Audit) {
         ),
     ];
     for (what, obj, entry) in hostile {
-        let seg = kx.create_segment_with(&mut k, 16, config).expect("segment");
+        let seg = kx
+            .create_segment_with(&mut k, 16, config.clone())
+            .expect("segment");
         match kx.insmod(&mut k, seg, "m", &obj, &[entry]) {
             Err(KextError::Verify(e)) => a.expect(what, true, &format!("rejected: {e}")),
             Ok(()) => a.expect(what, false, "hostile module was admitted"),

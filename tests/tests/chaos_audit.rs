@@ -191,7 +191,9 @@ fn quarantined_segment_selector_raises_np_on_far_call() {
         ..SegmentConfig::default()
     };
 
-    let victim = kx.create_segment_with(&mut k, 8, one_strike).unwrap();
+    let victim = kx
+        .create_segment_with(&mut k, 8, one_strike.clone())
+        .unwrap();
     // Stores 2 MB past the base: far outside the 8-page limit.
     kx.insmod(
         &mut k,

@@ -1,0 +1,245 @@
+//! Soundness properties of proof-directed check elision (DESIGN.md §7).
+//!
+//! The elision contract: an attestation's block proofs license the
+//! simulator to hoist per-access segment-limit/PPL checks to one guard
+//! at block entry — a *host-side* shortcut that must leave every guest
+//! observable (return values, simulated cycles, instruction counts,
+//! checkpoint images) byte-identical to fully-checked dispatch. These
+//! tests pin the properties the unit suites can't see across crates:
+//! verification is deterministic, elided and unelided worlds stay
+//! byte-identical through invocations and checkpoint/restore, restore
+//! reinstalls the (unserialised) proof tokens, and a pinned
+//! differential fuzz campaign stays sound.
+
+use chaos::fuzz::{self, FuzzConfig};
+use chaos::gen;
+use minikernel::Kernel;
+use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, SegmentConfig};
+use palladium::{DlopenOptions, Session};
+use seedrng::SeedRng;
+use x86sim::image::{Dec, Enc};
+
+fn verifying() -> SegmentConfig {
+    SegmentConfig {
+        verify: true,
+        ..SegmentConfig::default()
+    }
+}
+
+/// Boots a kernel world with one verified loopy module (bounded counted
+/// loop over a module-local table — the shape that earns `ds_bounds`
+/// block proofs).
+fn loopy_world(seed: u64) -> (Kernel, KernelExtensions, ExtSegmentId) {
+    let mut r = SeedRng::new(seed);
+    let obj = gen::loopy_kernel_ext_object(&mut r);
+    let mut k = Kernel::boot();
+    let mut kx = KernelExtensions::new(&mut k).expect("kx");
+    let seg = kx
+        .create_segment_with(&mut k, 16, verifying())
+        .expect("segment");
+    kx.insmod(&mut k, seg, "loopy", &obj, &["entry"])
+        .expect("loopy module admits");
+    (k, kx, seg)
+}
+
+fn save_world(k: &Kernel, kx: &KernelExtensions) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.blob(&k.save_image());
+    kx.save_into(&mut e);
+    e.into_vec()
+}
+
+fn restore_world(bytes: &[u8]) -> (Kernel, KernelExtensions) {
+    let mut d = Dec::new(bytes, "world");
+    let mut k = Kernel::restore_image(d.blob().unwrap()).expect("kernel restore");
+    let kx = KernelExtensions::restore_from(&mut d).expect("kx restore");
+    d.finish().expect("no trailing bytes");
+    kx.reinstall_proof_tokens(&mut k);
+    (k, kx)
+}
+
+/// Invokes `entry` `n` times and returns the observable trajectory.
+fn drive(
+    k: &mut Kernel,
+    kx: &mut KernelExtensions,
+    seg: ExtSegmentId,
+    n: u32,
+) -> (Vec<u32>, u64, u64) {
+    let mut vals = Vec::new();
+    for i in 0..n {
+        vals.push(kx.invoke(k, seg, "entry", i).expect("invoke"));
+    }
+    (vals, k.m.cycles(), k.m.insns())
+}
+
+// --- determinism -----------------------------------------------------------
+
+/// Verifying the same module in two fresh worlds yields bit-identical
+/// attestations, including the per-block proof map — the proofs are a
+/// pure function of (image, policy), never of world history.
+#[test]
+fn verification_emits_deterministic_proofs() {
+    for seed in [1u64, 7, 1999] {
+        let (_, kx_a, seg_a) = loopy_world(seed);
+        let (_, kx_b, seg_b) = loopy_world(seed);
+        let att_a = kx_a
+            .segment(seg_a)
+            .config
+            .verified
+            .clone()
+            .expect("attested");
+        let att_b = kx_b
+            .segment(seg_b)
+            .config
+            .verified
+            .clone()
+            .expect("attested");
+        assert_eq!(att_a, att_b, "seed {seed}: attestations diverged");
+        assert!(
+            att_a.proofs.bounded_blocks() > 0,
+            "seed {seed}: counted loop earned no ds_bounds proof"
+        );
+    }
+}
+
+// --- byte-identical dispatch ----------------------------------------------
+
+/// The same verified world driven with proof elision on and off:
+/// identical return values, simulated cycles, instruction counts and
+/// checkpoint images — while the elided twin demonstrably skips
+/// per-access DS checks.
+#[test]
+fn proof_elided_dispatch_is_byte_identical() {
+    let (k, kx, seg) = loopy_world(42);
+    let mut elided = (k.clone(), kx.clone());
+    let mut checked = (k, kx);
+    checked.0.m.set_proof_elision(false);
+
+    let a = drive(&mut elided.0, &mut elided.1, seg, 24);
+    let b = drive(&mut checked.0, &mut checked.1, seg, 24);
+    assert_eq!(a, b, "elision changed a guest observable");
+
+    let stats = elided.0.m.proof_stats();
+    assert!(stats.served > 0, "no instruction was served from a token");
+    assert!(stats.ds_elided > 0, "no DS check was actually elided");
+    assert_eq!(checked.0.m.proof_stats().served, 0);
+
+    assert_eq!(
+        save_world(&elided.0, &elided.1),
+        save_world(&checked.0, &checked.1),
+        "elision leaked into the checkpoint image"
+    );
+}
+
+// --- checkpoint/restore ----------------------------------------------------
+
+/// Proof tokens are derived state and deliberately absent from the
+/// machine image; restore must reinstall them from the retained proof
+/// maps, and the restored world must stay byte-identical to the
+/// uninterrupted one while still eliding.
+#[test]
+fn restore_reinstalls_tokens_and_preserves_elided_dispatch() {
+    let (mut k, mut kx, seg) = loopy_world(3);
+    drive(&mut k, &mut kx, seg, 9);
+    let installed = k.m.proof_token_count();
+    assert!(installed > 0, "verified insmod installed no tokens");
+    let img = save_world(&k, &kx);
+
+    let (mut rk, mut rkx) = restore_world(&img);
+    assert_eq!(
+        rk.m.proof_token_count(),
+        installed,
+        "restore did not reinstall every proof token"
+    );
+
+    let live = drive(&mut k, &mut kx, seg, 30);
+    let restored = drive(&mut rk, &mut rkx, seg, 30);
+    assert_eq!(live, restored, "trajectories diverged after restore");
+    assert!(
+        rk.m.proof_stats().ds_elided > 0,
+        "restored world fell back to per-access checks"
+    );
+    assert_eq!(
+        save_world(&k, &kx),
+        save_world(&rk, &rkx),
+        "re-checkpoints diverged"
+    );
+}
+
+/// Quarantine drops a segment's tokens; a checkpoint taken afterwards
+/// must not resurrect them on restore.
+#[test]
+fn quarantined_segment_tokens_stay_dropped_across_restore() {
+    let (mut k, mut kx, seg) = loopy_world(11);
+    assert!(k.m.proof_token_count() > 0);
+    kx.quarantine(&mut k, seg);
+    assert_eq!(k.m.proof_token_count(), 0, "quarantine left tokens behind");
+
+    let (rk, _) = restore_world(&save_world(&k, &kx));
+    assert_eq!(
+        rk.m.proof_token_count(),
+        0,
+        "restore resurrected tokens for a quarantined segment"
+    );
+}
+
+// --- user side (Session) ---------------------------------------------------
+
+/// A verified user extension with a counted loop: session restore
+/// reinstalls its proof tokens automatically, and the restored session
+/// computes byte-identically to the uninterrupted one.
+#[test]
+fn session_restore_preserves_user_proof_elision() {
+    let mut r = SeedRng::new(23);
+    let obj = gen::loopy_kernel_ext_object(&mut r);
+
+    let mut s = Session::new().expect("session");
+    let h = s
+        .dlopen(&obj, &DlopenOptions::new().verify(&["entry"]))
+        .expect("verified dlopen");
+    let att = s.attestation(h).expect("handle").expect("attested");
+    assert!(att.proofs.bounded_blocks() > 0);
+    let entry = s.dlsym(h, "entry").expect("entry");
+    let first = s.call(entry, 0).expect("call");
+    let installed = s.kernel().m.proof_token_count();
+    assert!(installed > 0, "verified dlopen installed no tokens");
+
+    let img = s.checkpoint();
+    let mut rs = Session::restore(&img).expect("restore");
+    assert_eq!(
+        rs.kernel().m.proof_token_count(),
+        installed,
+        "session restore did not reinstall user proof tokens"
+    );
+
+    let live: Vec<_> = (0..8)
+        .map(|i| s.call(entry, i).expect("live call"))
+        .collect();
+    let restored: Vec<_> = (0..8)
+        .map(|i| rs.call(entry, i).expect("restored call"))
+        .collect();
+    assert_eq!(live, restored);
+    assert_eq!(live[0], first, "loop result drifted");
+    assert_eq!(
+        s.kernel().m.cycles(),
+        rs.kernel().m.cycles(),
+        "cycle charges diverged after session restore"
+    );
+    assert!(rs.kernel().m.proof_stats().ds_elided > 0);
+}
+
+// --- pinned differential campaign ------------------------------------------
+
+/// A small pinned fuzz campaign (the CI job runs the big one): zero
+/// unsoundness findings, and the elided path was actually exercised.
+#[test]
+fn pinned_differential_campaign_is_sound() {
+    let report = fuzz::run(&FuzzConfig {
+        modules: 32,
+        ..FuzzConfig::default()
+    });
+    assert!(report.is_sound(), "findings: {:?}", report.findings);
+    assert!(report.accepted > 0 && report.rejected > 0);
+    assert!(report.blocks_served > 0, "elided path never exercised");
+    assert!(report.ds_checks_elided > 0);
+}
