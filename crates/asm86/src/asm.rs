@@ -532,6 +532,17 @@ impl Assembler {
             "rdtsc" => {
                 self.builder.emit(Insn::Rdtsc);
             }
+            "wrpkru" => {
+                let op = p.operand()?;
+                let src = self.src_of(&op)?;
+                self.builder.emit(Insn::Wrpkru(src));
+            }
+            "rdpkru" => match p.operand()? {
+                Operand::Reg(r) => {
+                    self.builder.emit(Insn::Rdpkru(r));
+                }
+                other => return Err(format!("bad rdpkru operand: {other:?}")),
+            },
             "ret" => {
                 if p.done() {
                     self.builder.emit(Insn::Ret);

@@ -53,6 +53,8 @@ pub fn format_insn(insn: &Insn) -> String {
         Insn::Int(v) => format!("int {v:#04x}"),
         Insn::Iret => "iret".into(),
         Insn::Rdtsc => "rdtsc".into(),
+        Insn::Wrpkru(s) => format!("wrpkru {s}"),
+        Insn::Rdpkru(r) => format!("rdpkru {r}"),
     }
 }
 

@@ -74,6 +74,8 @@ mod op {
     pub const RDTSC: u8 = 0x27;
     pub const JMPM: u8 = 0x28;
     pub const CALLM: u8 = 0x29;
+    pub const WRPKRU: u8 = 0x2A;
+    pub const RDPKRU: u8 = 0x2B;
 }
 
 const SRC_REG: u8 = 0;
@@ -285,6 +287,14 @@ pub fn encode_into(insn: &Insn, out: &mut Vec<u8>) -> usize {
             out.push(op::CALLM);
             put_mem(out, m);
         }
+        Insn::Wrpkru(s) => {
+            out.push(op::WRPKRU);
+            put_src(out, s);
+        }
+        Insn::Rdpkru(r) => {
+            out.push(op::RDPKRU);
+            out.push(r as u8);
+        }
     }
     out.len() - start
 }
@@ -429,6 +439,8 @@ pub fn decode(buf: &[u8]) -> Result<(Insn, usize), DecodeError> {
         op::RDTSC => Insn::Rdtsc,
         op::JMPM => Insn::JmpM(c.mem()?),
         op::CALLM => Insn::CallM(c.mem()?),
+        op::WRPKRU => Insn::Wrpkru(c.src()?),
+        op::RDPKRU => Insn::Rdpkru(c.reg()?),
         other => return Err(DecodeError::BadOpcode(other)),
     };
     Ok((insn, c.pos))
@@ -502,6 +514,9 @@ mod tests {
             Insn::Rdtsc,
             Insn::JmpM(Mem::abs(0x3000)),
             Insn::CallM(Mem::based(Ebx, 8)),
+            Insn::Wrpkru(Src::Imm(0x0000_000C)),
+            Insn::Wrpkru(Src::Reg(Ecx)),
+            Insn::Rdpkru(Eax),
         ]
     }
 
@@ -580,7 +595,7 @@ mod tests {
     fn arb_insn(r: &mut SeedRng) -> Insn {
         let alu = AluOp::from_u8(r.gen_range(0, 9) as u8).unwrap();
         let cond = Cond::from_u8(r.gen_range(0, 12) as u8).unwrap();
-        match r.gen_range(0, 34) {
+        match r.gen_range(0, 36) {
             0 => Insn::Nop,
             1 => Insn::Hlt,
             2 => Insn::Mov(arb_reg(r), arb_src(r)),
@@ -614,6 +629,8 @@ mod tests {
             30 => Insn::Rdtsc,
             31 => Insn::JmpM(arb_mem(r)),
             32 => Insn::CallM(arb_mem(r)),
+            33 => Insn::Wrpkru(arb_src(r)),
+            34 => Insn::Rdpkru(arb_reg(r)),
             _ => Insn::Test(arb_reg(r), arb_src(r)),
         }
     }

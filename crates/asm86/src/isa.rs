@@ -443,6 +443,16 @@ pub enum Insn {
     Iret,
     /// Read the CPU cycle counter into `EDX:EAX` (like `rdtsc`).
     Rdtsc,
+    /// Write the per-thread protection-key rights register from a
+    /// register or immediate (a WRPKRU-like instruction).
+    ///
+    /// Unlike real `wrpkru` this form does not clobber `EAX`/`ECX`/`EDX`;
+    /// the gate trampolines carry live call state in those registers.
+    /// At CPL 3 the write is legal only from a registered gate site
+    /// (Garmr-style gate integrity); elsewhere it raises `#GP`.
+    Wrpkru(Src),
+    /// Read the protection-key rights register into a register.
+    Rdpkru(Reg),
 }
 
 impl Insn {

@@ -37,7 +37,10 @@
 //!
 //! Usage: `sim_throughput [--quick] [--out <path>] [--workers LIST]`
 
-use bench::{DrillPoint, DurabilityPoint, FleetPoint, ScalingPoint, StartupPoint, ThroughputPoint};
+use bench::{
+    BackendMatrixRow, DrillPoint, DurabilityPoint, FleetPoint, ScalingPoint, StartupPoint,
+    ThroughputPoint,
+};
 
 fn json_escape_free_number(v: f64) -> String {
     // All values here are finite and positive; keep a stable format.
@@ -48,15 +51,27 @@ fn json_opt<T: std::fmt::Display>(v: Option<T>) -> String {
     v.map_or_else(|| "null".to_string(), |v| v.to_string())
 }
 
-fn to_json(
-    pts: &[ThroughputPoint],
-    scaling: &[ScalingPoint],
-    fleet: &[FleetPoint],
-    startup: &[StartupPoint],
-    durability: &[DurabilityPoint],
-    drills: &[DrillPoint],
-    quick: bool,
-) -> String {
+/// The measured sections of the report, in emission order.
+struct Sections<'a> {
+    pts: &'a [ThroughputPoint],
+    matrix: &'a [BackendMatrixRow],
+    scaling: &'a [ScalingPoint],
+    fleet: &'a [FleetPoint],
+    startup: &'a [StartupPoint],
+    durability: &'a [DurabilityPoint],
+    drills: &'a [DrillPoint],
+}
+
+fn to_json(sections: &Sections<'_>, quick: bool) -> String {
+    let &Sections {
+        pts,
+        matrix,
+        scaling,
+        fleet,
+        startup,
+        durability,
+        drills,
+    } = sections;
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"sim_throughput\",\n");
@@ -92,6 +107,48 @@ fn to_json(
             json_escape_free_number(p.speedup())
         ));
         s.push_str(if i + 1 == pts.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ],\n");
+    // Guest-cycle numbers: bit-reproducible across hosts, unlike the
+    // wall-clock sections.
+    s.push_str("  \"backends\": [\n");
+    for (i, r) in matrix.iter().enumerate() {
+        let (contained, total) = r.coverage();
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"backend\": \"{}\",\n", r.backend));
+        s.push_str(&format!(
+            "      \"warm_call_cycles\": {},\n",
+            r.warm_call_cycles
+        ));
+        s.push_str(&format!(
+            "      \"dispatch_cycles\": {},\n",
+            r.dispatch_cycles
+        ));
+        s.push_str(&format!(
+            "      \"dispatch_per_mcycle\": {},\n",
+            json_escape_free_number(r.dispatch_per_mcycle())
+        ));
+        s.push_str("      \"containment\": [\n");
+        for (j, c) in r.containment.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{ \"scenario\": \"{}\", \"outcome\": \"{}\", \"contained\": {} }}{}\n",
+                c.scenario,
+                c.outcome,
+                c.contained,
+                if j + 1 == r.containment.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        s.push_str("      ],\n");
+        s.push_str(&format!("      \"coverage\": \"{contained}/{total}\"\n"));
+        s.push_str(if i + 1 == matrix.len() {
             "    }\n"
         } else {
             "    },\n"
@@ -285,6 +342,28 @@ fn main() {
         );
     }
 
+    let matrix = bench::measure_backend_matrix();
+    println!("\nIsolation-backend matrix (guest cycles; bit-reproducible)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>9}",
+        "Backend", "Call", "Dispatch", "Disp/Mcyc", "Coverage"
+    );
+    for r in &matrix {
+        let (contained, total) = r.coverage();
+        println!(
+            "{:>10} {:>10} {:>10} {:>12.1} {:>6}/{}",
+            r.backend,
+            r.warm_call_cycles,
+            r.dispatch_cycles,
+            r.dispatch_per_mcycle(),
+            contained,
+            total
+        );
+        for c in &r.containment {
+            println!("{:>22}: {}", c.scenario, c.outcome);
+        }
+    }
+
     let scaling = bench::measure_scaling_with(16, 250 * scale, 300 * scale, 240 * scale, &workers);
     println!("\nWorker scaling ({} host CPUs)", parex::host_parallelism());
     println!(
@@ -381,12 +460,15 @@ fn main() {
     }
 
     let json = to_json(
-        &pts,
-        &scaling,
-        &fleet,
-        &startup,
-        &durability,
-        &drills,
+        &Sections {
+            pts: &pts,
+            matrix: &matrix,
+            scaling: &scaling,
+            fleet: &fleet,
+            startup: &startup,
+            durability: &durability,
+            drills: &drills,
+        },
         quick,
     );
     std::fs::write(&out, json).expect("write benchmark JSON");

@@ -1518,3 +1518,184 @@ mod tests {
         assert!((3_450..=5_450).contains(&ten_pages));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Isolation-backend matrix
+
+/// One adversarial scenario's outcome under one backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainmentOutcome {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// What stopped the adversary: a fault-dispatcher tag
+    /// (`"page-protection"`, `"page-key"`, ...), `"budget"`,
+    /// `"load-rejected"` (refused before it ever ran) or `"masked"`
+    /// (SFI redirected the write into the sandbox).
+    pub outcome: String,
+    /// Whether the violation was contained (every row should be `true`).
+    pub contained: bool,
+}
+
+/// One backend's row of the comparative isolation matrix: warm
+/// protected-call cost, dispatch cost on a branch-free filter workload,
+/// and containment outcomes over a small adversarial corpus.
+///
+/// Everything is counted in guest cycles on the deterministic simulator,
+/// so rows are bit-reproducible across hosts and runs — unlike the
+/// wall-clock throughput sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendMatrixRow {
+    /// [`palladium::BackendKind::name`] of the backend.
+    pub backend: &'static str,
+    /// Warm null-extension protected call, guest cycles (same protocol
+    /// as the Table 2 harness: back-to-back deterministic calls).
+    pub warm_call_cycles: u64,
+    /// Warm 4-load checksum-filter dispatch, guest cycles.
+    pub dispatch_cycles: u64,
+    /// Outcome per adversarial scenario.
+    pub containment: Vec<ContainmentOutcome>,
+}
+
+impl BackendMatrixRow {
+    /// Warm filter dispatches per million guest cycles.
+    pub fn dispatch_per_mcycle(&self) -> f64 {
+        1e6 / self.dispatch_cycles as f64
+    }
+
+    /// `(contained, total)` over the adversarial corpus.
+    pub fn coverage(&self) -> (usize, usize) {
+        let contained = self.containment.iter().filter(|c| c.contained).count();
+        (contained, self.containment.len())
+    }
+}
+
+/// The branch-free dispatch workload: the SFI rewriter admits no
+/// relative branches, so a straight-line checksum keeps the *same*
+/// object loadable under all three backends.
+const SUM4_SRC: &str = "\
+sum4:
+    mov ecx, [esp+4]
+    mov eax, [ecx]
+    add eax, [ecx+4]
+    add eax, [ecx+8]
+    add eax, [ecx+12]
+    ret
+";
+
+/// Stores the argument through itself as a pointer — a wild write when
+/// called with an application-private address.
+const WILD_SRC: &str = "\
+wild:
+    mov eax, [esp+4]
+    mov [eax], eax
+    ret
+";
+
+/// Regenerates the isolation-backend matrix: every
+/// [`palladium::BackendKind`] raced over the same workloads and the same
+/// adversarial corpus through the [`palladium::IsolationBackend`] trait.
+pub fn measure_backend_matrix() -> Vec<BackendMatrixRow> {
+    use palladium::{backend_for, BackendKind, FaultAttribution};
+
+    BackendKind::ALL
+        .iter()
+        .map(|&kind| {
+            let b = backend_for(kind);
+
+            let mut k = Kernel::boot();
+            let mut app = ExtensibleApp::new(&mut k).expect("app");
+
+            // Warm protected-call cost.
+            let nul = Assembler::assemble("nul:\n    ret\n").unwrap();
+            let h = b
+                .load(&mut k, &mut app, &nul, &DlopenOptions::new())
+                .expect("load nul");
+            let f = b.resolve(&mut k, &mut app, h, "nul").expect("resolve nul");
+            b.call(&mut k, &mut app, f, 0).unwrap();
+            let c0 = k.m.cycles();
+            b.call(&mut k, &mut app, f, 0).unwrap();
+            let c1 = k.m.cycles();
+            b.call(&mut k, &mut app, f, 0).unwrap();
+            let c2 = k.m.cycles();
+            assert_eq!(c1 - c0, c2 - c1, "{kind}: warm calls are deterministic");
+            let warm_call_cycles = c2 - c1;
+
+            // Dispatch cost on the checksum filter.
+            let sum = Assembler::assemble(SUM4_SRC).unwrap();
+            let h = b
+                .load(&mut k, &mut app, &sum, &DlopenOptions::new())
+                .expect("load sum4");
+            let f = b
+                .resolve(&mut k, &mut app, h, "sum4")
+                .expect("resolve sum4");
+            let shared = app.alloc_shared(&mut k, 1).expect("shared");
+            for (i, v) in [11u32, 22, 33, 44].iter().enumerate() {
+                assert!(k.m.host_write(shared + 4 * i as u32, &v.to_le_bytes()));
+            }
+            assert_eq!(b.call(&mut k, &mut app, f, shared).unwrap(), 110, "{kind}");
+            let c0 = k.m.cycles();
+            b.call(&mut k, &mut app, f, shared).unwrap();
+            let c1 = k.m.cycles();
+            b.call(&mut k, &mut app, f, shared).unwrap();
+            let c2 = k.m.cycles();
+            assert_eq!(c1 - c0, c2 - c1, "{kind}: warm dispatch is deterministic");
+            let dispatch_cycles = c2 - c1;
+
+            // Containment corpus, each adversary in a fresh world.
+            let corpus: [(&'static str, &str, &str); 3] = [
+                ("wild-write", "wild", WILD_SRC),
+                ("priv-insn", "bad", "bad:\n    hlt\n    ret\n"),
+                ("runaway", "spin", "spin:\n    jmp spin\n"),
+            ];
+            let containment = corpus
+                .iter()
+                .map(|&(scenario, entry_name, src)| {
+                    let mut k = Kernel::boot();
+                    k.extension_cycle_limit = 50_000;
+                    let mut app = ExtensibleApp::new(&mut k).expect("app");
+                    let obj = Assembler::assemble(src).unwrap();
+                    let h = match b.load(&mut k, &mut app, &obj, &DlopenOptions::new()) {
+                        Ok(h) => h,
+                        Err(_) => {
+                            return ContainmentOutcome {
+                                scenario,
+                                outcome: "load-rejected".into(),
+                                contained: true,
+                            }
+                        }
+                    };
+                    let entry = b
+                        .resolve(&mut k, &mut app, h, entry_name)
+                        .expect("resolve adversary");
+                    let victim = app.save_slot_addr();
+                    let (outcome, contained) = match b.call(&mut k, &mut app, entry, victim) {
+                        Ok(_) => {
+                            // The call survived: legal only if the wild
+                            // store was masked away from the victim.
+                            let masked = k.m.host_read_u32(victim) != victim;
+                            let tag = if masked { "masked" } else { "escaped" };
+                            (tag.to_string(), masked)
+                        }
+                        Err(e) => match b.attribute_fault(&e) {
+                            FaultAttribution::Contained { check } => (check.to_string(), true),
+                            FaultAttribution::Budget => ("budget".into(), true),
+                            FaultAttribution::Unattributed => ("unattributed".into(), false),
+                        },
+                    };
+                    ContainmentOutcome {
+                        scenario,
+                        outcome,
+                        contained,
+                    }
+                })
+                .collect();
+
+            BackendMatrixRow {
+                backend: kind.name(),
+                warm_call_cycles,
+                dispatch_cycles,
+                containment,
+            }
+        })
+        .collect()
+}

@@ -27,6 +27,7 @@ use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 
 use minikernel::Kernel;
+use palladium::backend::BackendKind;
 use palladium::kernel_ext::{ExtSegmentId, KernelExtensions, KextError, SegmentConfig};
 use palladium::supervisor::{RestartPolicy, SupervisedId, SupervisedState, Supervisor};
 use palladium::user_ext::{DlopenOptions, ExtCallError, ExtensibleApp, PalError};
@@ -70,6 +71,12 @@ pub struct CampaignConfig {
     /// byte-compare). Out-of-memory episodes always cold-boot — their
     /// bounded pool is part of the scenario.
     pub fork_boot: bool,
+    /// Isolation backend for the user-level extension loads. The
+    /// adversarial corpus is backend-agnostic (objects the backend's
+    /// loader refuses are structured `dlopen-*-err` outcomes, not
+    /// violations), and every violation is tagged with the active
+    /// backend so cross-backend audits attribute findings correctly.
+    pub backend: BackendKind,
 }
 
 impl Default for CampaignConfig {
@@ -83,6 +90,7 @@ impl Default for CampaignConfig {
             predecode: true,
             jobs: 1,
             fork_boot: true,
+            backend: BackendKind::SegPaging,
         }
     }
 }
@@ -150,6 +158,9 @@ struct Episode {
     sup_id: SupervisedId,
     seg: ExtSegmentId,
     oracle: StateOracle,
+    /// Load options for user-level extensions (carries the campaign's
+    /// isolation backend).
+    uopts: DlopenOptions,
     /// Prepared user extension entry points that loaded successfully.
     user_pool: Vec<u32>,
     /// The known-good extension (must keep returning 77).
@@ -184,8 +195,9 @@ impl Episode {
             .map_err(|e| format!("canary: {e}"))?;
         k.m.host_write_u32(canary, CANARY);
         let oracle = StateOracle::new(&k, canary, CANARY);
+        let uopts = DlopenOptions::new().backend(cfg.backend);
         let h = app
-            .dlopen(&mut k, &gen::benign_object(77), &DlopenOptions::new())
+            .dlopen(&mut k, &gen::benign_object(77), &uopts)
             .map_err(|e| format!("benign: {e}"))?;
         let benign_fn = app
             .seg_dlsym(&mut k, h, "entry")
@@ -198,6 +210,7 @@ impl Episode {
             sup_id,
             seg,
             oracle,
+            uopts,
             user_pool: Vec::new(),
             benign_fn,
             kext_loaded: false,
@@ -303,6 +316,7 @@ fn dl_outcome(e: &PalError) -> String {
         PalError::Kernel(..) => "dlopen-kernel-err".into(),
         PalError::Closed => "dlopen-closed".into(),
         PalError::Verify(_) => "dlopen-verify-err".into(),
+        PalError::Sfi(_) => "dlopen-sfi-err".into(),
     }
 }
 
@@ -312,7 +326,7 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
         // --- adversarial SPL 3 extension: load and run -------------------
         0..=2 => {
             let obj = gen::user_ext_object(r);
-            match ep.app.dlopen(&mut ep.k, &obj, &DlopenOptions::new()) {
+            match ep.app.dlopen(&mut ep.k, &obj, &ep.uopts) {
                 Ok(h) => match ep.app.seg_dlsym(&mut ep.k, h, "entry") {
                     Ok(f) => {
                         ep.user_pool.push(f);
@@ -349,7 +363,7 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
             let (kind, obj) = corrupt::corrupted_object(r);
             let action = format!("corrupt-{}", kind.tag());
             if r.gen_bool(0.5) {
-                match ep.app.dlopen(&mut ep.k, &obj, &DlopenOptions::new()) {
+                match ep.app.dlopen(&mut ep.k, &obj, &ep.uopts) {
                     Ok(h) => match ep.app.seg_dlsym(&mut ep.k, h, "entry") {
                         Ok(f) => {
                             let res = ep.app.call_extension(&mut ep.k, f, 0);
@@ -375,10 +389,7 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
                 // Lazily load a libc importer so there is a sealed GOT.
                 let got = ep.app.load_libc(&mut ep.k).ok().and_then(|_| {
                     let probe = asm86::Assembler::assemble("entry:\ncall strlen\nret\n").unwrap();
-                    let h = ep
-                        .app
-                        .dlopen(&mut ep.k, &probe, &DlopenOptions::new())
-                        .ok()?;
+                    let h = ep.app.dlopen(&mut ep.k, &probe, &ep.uopts).ok()?;
                     ep.app.got_page(h).ok().flatten()
                 });
                 if let Some(g) = got {
@@ -391,7 +402,7 @@ fn step(ep: &mut Episode, r: &mut SeedRng) -> (String, String) {
                 Some(g) => {
                     let target = g + r.gen_range(0, PAGE_SIZE) / 4 * 4;
                     let obj = gen::store_to_object(target);
-                    match ep.app.dlopen(&mut ep.k, &obj, &DlopenOptions::new()) {
+                    match ep.app.dlopen(&mut ep.k, &obj, &ep.uopts) {
                         Ok(h) => match ep.app.seg_dlsym(&mut ep.k, h, "entry") {
                             Ok(f) => {
                                 let res = ep.app.call_extension(&mut ep.k, f, 0);
@@ -579,13 +590,16 @@ fn run_episode(
                     outcome,
                 });
                 for v in violations {
-                    out.violations.push(format!("step {stepno}: {v}"));
+                    out.violations
+                        .push(format!("step {stepno} [{}]: {v}", cfg.backend));
                 }
             }
             Err(_) => {
                 out.host_panics += 1;
-                out.violations
-                    .push(format!("step {stepno}: host panic caught"));
+                out.violations.push(format!(
+                    "step {stepno} [{}]: host panic caught",
+                    cfg.backend
+                ));
                 out.events.push(Event {
                     step: stepno,
                     action: "step".into(),
@@ -607,11 +621,13 @@ fn run_episode(
                 oracle::probe_syscall_rejection,
             ] {
                 if let Err(v) = probe() {
-                    out.violations.push(format!("step {stepno}: {v}"));
+                    out.violations
+                        .push(format!("step {stepno} [{}]: {v}", cfg.backend));
                 }
             }
             if let Err(v) = oracle::probe_timer_abort(cfg.cycle_limit) {
-                out.violations.push(format!("step {stepno}: {v}"));
+                out.violations
+                    .push(format!("step {stepno} [{}]: {v}", cfg.backend));
             }
             // Durability probe on the episode's own world: its kernel
             // image must restore cleanly, and every checkpoint-corruption
@@ -622,7 +638,8 @@ fn run_episode(
                 let img = ep.k.save_image();
                 if Kernel::restore_image(&img).is_err() {
                     out.violations.push(format!(
-                        "step {stepno}: [checkpoint-restores] kernel image failed to round-trip"
+                        "step {stepno} [{}]: [checkpoint-restores] kernel image failed to round-trip",
+                        cfg.backend
                     ));
                 }
                 let mut cr = SeedRng::new(cfg.seed ^ 0xC4EC_4001 ^ u64::from(stepno));
@@ -632,7 +649,8 @@ fn run_episode(
                     1,
                     &mut cr,
                 ) {
-                    out.violations.push(format!("step {stepno}: {v}"));
+                    out.violations
+                        .push(format!("step {stepno} [{}]: {v}", cfg.backend));
                 }
             }
             out.probes_run += 1;

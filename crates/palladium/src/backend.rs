@@ -1,0 +1,442 @@
+//! Pluggable isolation backends: [`IsolationBackend`].
+//!
+//! The paper's mechanism — segmentation plus paging — is one *policy*
+//! for confining extensions, not the only one. This module makes the
+//! choice pluggable behind a single trait so the same workloads can be
+//! raced across mechanisms:
+//!
+//! * [`BackendKind::SegPaging`] — the paper, and the default: extensions
+//!   at SPL 3 / PPL 1, the application's private pages at PPL 0, wild
+//!   writes stopped by the page-level U/S check.
+//! * [`BackendKind::ProtKeys`] — an MPK/POE-style retrofit: the
+//!   application's private trampoline region carries a 4-bit protection
+//!   key ([`APP_KEY`]) and every generated `Transfer` routine opens with
+//!   a `wrpkru` that drops rights to that key before entering the
+//!   extension. The `wrpkru` site is registered as a *key gate*
+//!   (Garmr-style gate integrity): user-mode key writes from anywhere
+//!   else take a `#GP`, so an extension can never forge its rights back.
+//! * [`BackendKind::Sfi`] — the software-only comparator, wrapping
+//!   [`baselines::sfi`]: extension code is rewritten at load time so
+//!   every store is masked into a power-of-two sandbox; wild writes are
+//!   *redirected*, not faulted, and the code runs at the application's
+//!   own privilege level with no domain crossing.
+//!
+//! Backends are stateless unit structs — all per-extension state lives
+//! in the [`ExtensibleApp`]'s extension table (and serializes with it),
+//! which keeps `Session::fork` and checkpoint/restore backend-agnostic.
+//! Select a backend per extension with [`DlopenOptions::backend`] or per
+//! session with [`Session::with_backend`](crate::Session::with_backend).
+#![warn(clippy::pedantic)]
+
+use asm86::Object;
+use minikernel::Kernel;
+
+use crate::error::Error;
+use crate::user_ext::{DlopenOptions, ExtCallError, ExtensibleApp, ExtensionHandle};
+
+/// The protection key tagging application-private pages under the
+/// [`BackendKind::ProtKeys`] backend (key 0 is the "no key" default all
+/// other pages carry).
+pub const APP_KEY: u8 = 1;
+
+/// Which isolation mechanism guards an extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Segmentation + paging (the paper; default).
+    SegPaging,
+    /// Protection keys with gate-integrity-checked `wrpkru`.
+    ProtKeys,
+    /// Software fault isolation (load-time store masking).
+    Sfi,
+}
+
+impl BackendKind {
+    /// Every backend, default first.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::SegPaging,
+        BackendKind::ProtKeys,
+        BackendKind::Sfi,
+    ];
+
+    /// Stable display name (used in bench matrices and chaos reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::SegPaging => "seg-paging",
+            BackendKind::ProtKeys => "prot-keys",
+            BackendKind::Sfi => "sfi",
+        }
+    }
+
+    /// Stable one-byte identity for checkpoint images.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            BackendKind::SegPaging => 0,
+            BackendKind::ProtKeys => 1,
+            BackendKind::Sfi => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    #[must_use]
+    pub fn from_code(c: u8) -> Option<BackendKind> {
+        match c {
+            0 => Some(BackendKind::SegPaging),
+            1 => Some(BackendKind::ProtKeys),
+            2 => Some(BackendKind::Sfi),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a backend explains an aborted protected call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAttribution {
+    /// A hardware-level protection check contained the violation;
+    /// `check` is the fault dispatcher's tag for the check that fired
+    /// (e.g. `"page-protection"`, `"page-key"`, `"key-gate"`,
+    /// `"segment-limit"`).
+    Contained {
+        /// [`x86sim::fault::FaultCause::tag`] of the check that fired.
+        check: &'static str,
+    },
+    /// The CPU-time budget aborted a runaway call — a resource policy,
+    /// not a memory-protection check.
+    Budget,
+    /// The failure carries no structured cause this backend can
+    /// attribute (e.g. the task died with no handler installed).
+    Unattributed,
+}
+
+/// One isolation mechanism: how extensions are admitted, granted and
+/// revoked access, called, and how their failures are explained.
+///
+/// Implementations are stateless; all mutable state lives in the
+/// [`ExtensibleApp`] (serialized with it), so a `&'static dyn
+/// IsolationBackend` from [`backend_for`] is always safe to hold.
+pub trait IsolationBackend {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Admits an extension object under this backend's rules and maps it
+    /// with this backend's protections (grant).
+    ///
+    /// # Errors
+    ///
+    /// Rejection is backend-specific: verification failures for the
+    /// hardware backends ([`Error::Verify`]), [`Error::Sfi`] when the
+    /// rewriter cannot sandbox the code, resource exhaustion for all.
+    fn load(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        obj: &Object,
+        opts: &DlopenOptions,
+    ) -> Result<ExtensionHandle, Error>;
+
+    /// Resolves a function symbol to the entry point protected calls
+    /// must use (a generated `Prepare` routine for the hardware
+    /// backends, the rewritten function itself for SFI).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown symbol, a closed handle, or (hardware
+    /// backends) when no trampoline slot is left.
+    fn resolve(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        h: ExtensionHandle,
+        name: &str,
+    ) -> Result<u32, Error>;
+
+    /// Makes one protected call to an entry point from
+    /// [`resolve`](Self::resolve). The hosting application survives any
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// An aborted call surfaces as [`ExtCallError`]; feed it to
+    /// [`attribute_fault`](Self::attribute_fault) to learn which
+    /// protection check contained it.
+    fn call(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        entry: u32,
+        arg: u32,
+    ) -> Result<u32, ExtCallError>;
+
+    /// Revokes the extension (unload): later calls into it fault instead
+    /// of executing stale code.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown or already-closed handle.
+    fn close(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        h: ExtensionHandle,
+    ) -> Result<(), Error>;
+
+    /// Explains an aborted protected call in terms of this backend's
+    /// protection model.
+    fn attribute_fault(&self, e: &ExtCallError) -> FaultAttribution;
+
+    /// Audits for protection state leaked past an unload (stale key
+    /// gates, still-resolvable entry points); one human-readable finding
+    /// per leak, empty when clean.
+    fn leak_audit(&self, k: &Kernel, app: &ExtensibleApp) -> Vec<String>;
+}
+
+fn attribute(e: &ExtCallError) -> FaultAttribution {
+    match e {
+        ExtCallError::Fault { cause: Some(c), .. } => {
+            FaultAttribution::Contained { check: c.tag() }
+        }
+        ExtCallError::Fault { cause: None, .. } | ExtCallError::Killed(_) => {
+            FaultAttribution::Unattributed
+        }
+        ExtCallError::TimeLimit => FaultAttribution::Budget,
+    }
+}
+
+/// The paper's mechanism: segmentation + paging (U/S bit), the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SegPaging;
+
+/// MPK/POE-style protection keys with gate-integrity-checked `wrpkru`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProtKeys;
+
+/// Software fault isolation wrapping [`baselines::sfi`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sfi;
+
+impl IsolationBackend for SegPaging {
+    fn kind(&self) -> BackendKind {
+        BackendKind::SegPaging
+    }
+
+    fn load(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        obj: &Object,
+        opts: &DlopenOptions,
+    ) -> Result<ExtensionHandle, Error> {
+        Ok(app.dlopen(k, obj, &opts.clone().backend(BackendKind::SegPaging))?)
+    }
+
+    fn resolve(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        h: ExtensionHandle,
+        name: &str,
+    ) -> Result<u32, Error> {
+        Ok(app.seg_dlsym(k, h, name)?)
+    }
+
+    fn call(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        entry: u32,
+        arg: u32,
+    ) -> Result<u32, ExtCallError> {
+        app.call_extension(k, entry, arg)
+    }
+
+    fn close(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        h: ExtensionHandle,
+    ) -> Result<(), Error> {
+        Ok(app.seg_dlclose(k, h)?)
+    }
+
+    fn attribute_fault(&self, e: &ExtCallError) -> FaultAttribution {
+        attribute(e)
+    }
+
+    fn leak_audit(&self, _k: &Kernel, app: &ExtensibleApp) -> Vec<String> {
+        app.audit_closed_extensions()
+    }
+}
+
+impl IsolationBackend for ProtKeys {
+    fn kind(&self) -> BackendKind {
+        BackendKind::ProtKeys
+    }
+
+    fn load(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        obj: &Object,
+        opts: &DlopenOptions,
+    ) -> Result<ExtensionHandle, Error> {
+        Ok(app.dlopen(k, obj, &opts.clone().backend(BackendKind::ProtKeys))?)
+    }
+
+    fn resolve(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        h: ExtensionHandle,
+        name: &str,
+    ) -> Result<u32, Error> {
+        Ok(app.seg_dlsym(k, h, name)?)
+    }
+
+    fn call(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        entry: u32,
+        arg: u32,
+    ) -> Result<u32, ExtCallError> {
+        app.call_extension(k, entry, arg)
+    }
+
+    fn close(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        h: ExtensionHandle,
+    ) -> Result<(), Error> {
+        Ok(app.seg_dlclose(k, h)?)
+    }
+
+    fn attribute_fault(&self, e: &ExtCallError) -> FaultAttribution {
+        attribute(e)
+    }
+
+    fn leak_audit(&self, k: &Kernel, app: &ExtensibleApp) -> Vec<String> {
+        let mut findings = app.audit_closed_extensions();
+        // Gate-integrity hygiene: every registered wrpkru gate site must
+        // belong to an *open* ProtKeys extension's Transfer trampoline.
+        for site in k.m.key_gate_sites() {
+            if !app.owns_key_gate(site) {
+                findings.push(format!(
+                    "stale key gate at {site:#010x} (no open extension)"
+                ));
+            }
+        }
+        findings
+    }
+}
+
+impl IsolationBackend for Sfi {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sfi
+    }
+
+    fn load(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        obj: &Object,
+        opts: &DlopenOptions,
+    ) -> Result<ExtensionHandle, Error> {
+        Ok(app.dlopen(k, obj, &opts.clone().backend(BackendKind::Sfi))?)
+    }
+
+    fn resolve(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        h: ExtensionHandle,
+        name: &str,
+    ) -> Result<u32, Error> {
+        Ok(app.seg_dlsym(k, h, name)?)
+    }
+
+    fn call(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        entry: u32,
+        arg: u32,
+    ) -> Result<u32, ExtCallError> {
+        app.call_extension(k, entry, arg)
+    }
+
+    fn close(
+        &self,
+        k: &mut Kernel,
+        app: &mut ExtensibleApp,
+        h: ExtensionHandle,
+    ) -> Result<(), Error> {
+        Ok(app.seg_dlclose(k, h)?)
+    }
+
+    fn attribute_fault(&self, e: &ExtCallError) -> FaultAttribution {
+        attribute(e)
+    }
+
+    fn leak_audit(&self, _k: &Kernel, app: &ExtensibleApp) -> Vec<String> {
+        app.audit_closed_extensions()
+    }
+}
+
+/// The singleton implementation of each backend.
+#[must_use]
+pub fn backend_for(kind: BackendKind) -> &'static dyn IsolationBackend {
+    match kind {
+        BackendKind::SegPaging => &SegPaging,
+        BackendKind::ProtKeys => &ProtKeys,
+        BackendKind::Sfi => &Sfi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_names_are_distinct() {
+        let mut names = std::collections::BTreeSet::new();
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_code(kind.code()), Some(kind));
+            assert_eq!(backend_for(kind).kind(), kind);
+            names.insert(kind.name());
+        }
+        assert_eq!(names.len(), 3);
+        assert_eq!(BackendKind::from_code(7), None);
+    }
+
+    #[test]
+    fn attribution_classes() {
+        let b = backend_for(BackendKind::SegPaging);
+        assert_eq!(
+            b.attribute_fault(&ExtCallError::TimeLimit),
+            FaultAttribution::Budget
+        );
+        let e = ExtCallError::Fault {
+            sig: 11,
+            addr: 0x1000,
+            cause: Some(x86sim::fault::FaultCause::PrivilegedInstruction),
+        };
+        assert!(matches!(
+            b.attribute_fault(&e),
+            FaultAttribution::Contained { .. }
+        ));
+        let e = ExtCallError::Fault {
+            sig: 11,
+            addr: 0,
+            cause: None,
+        };
+        assert_eq!(b.attribute_fault(&e), FaultAttribution::Unattributed);
+    }
+}

@@ -19,17 +19,30 @@
 //! | [`VerifyError`] | [`Error::Verify`] | |
 //! | [`ExtCallError`] | [`Error::Call`] | an *aborted* protected call — the application survived |
 //! | [`ShmError`] | [`Error::Shm`] | |
+//! | [`SfiError`] | [`Error::Sfi`] | hoisted from `PalError::Sfi(e)` too: an image the SFI rewriter cannot sandbox |
+//! | [`BpfError`] | [`Error::Bpf`] | a packet-filter program rejected by the BPF validator (baseline comparisons) |
+//! | [`RestoreError`] | [`Error::Restore`] | a checkpoint image that failed structural/integrity checks |
 //!
 //! The hoisting rule means `matches!(e, Error::Verify(_))` is the
 //! complete "rejected by the static verifier" test, no matter whether
 //! the rejection came from `dlopen` (user level) or `insmod` (kernel
-//! level).
+//! level) — and likewise `Error::Sfi(_)` catches every SFI-rewriter
+//! rejection whether it was returned directly by `baselines::sfi` or
+//! wrapped by a `dlopen` under the SFI backend.
+//!
+//! [`Error::BackendMismatch`] has no source type: it is produced by
+//! [`Session::restore_as`](crate::Session::restore_as) when a checkpoint
+//! carries a different isolation backend than the caller demanded.
 
+use crate::backend::BackendKind;
 use crate::kernel_ext::KextError;
 use crate::shm::ShmError;
 use crate::supervisor::SupervisorError;
 use crate::user_ext::{ExtCallError, PalError};
+use baselines::bpf::BpfError;
+use baselines::sfi::SfiError;
 use verifier::VerifyError;
+use x86sim::image::RestoreError;
 
 /// Any error a Palladium API can return (see the module docs for the
 /// conversion mapping).
@@ -49,6 +62,23 @@ pub enum Error {
     Call(ExtCallError),
     /// Shared-memory area failure.
     Shm(ShmError),
+    /// An image the SFI rewriter cannot sandbox (under the `Sfi`
+    /// isolation backend), at either wrapping level.
+    Sfi(SfiError),
+    /// A packet-filter program rejected by the BPF validator.
+    Bpf(BpfError),
+    /// A checkpoint image that failed structural or integrity checks
+    /// during restore.
+    Restore(RestoreError),
+    /// A checkpoint was restored under a different isolation backend
+    /// than it was taken with (see
+    /// [`Session::restore_as`](crate::Session::restore_as)).
+    BackendMismatch {
+        /// The backend recorded in the checkpoint image.
+        found: BackendKind,
+        /// The backend the caller demanded.
+        expected: BackendKind,
+    },
 }
 
 impl core::fmt::Display for Error {
@@ -60,6 +90,14 @@ impl core::fmt::Display for Error {
             Error::Verify(e) => write!(f, "extension rejected by the verifier: {e}"),
             Error::Call(e) => write!(f, "{e}"),
             Error::Shm(e) => write!(f, "{e}"),
+            Error::Sfi(e) => write!(f, "extension rejected by the SFI rewriter: {e}"),
+            Error::Bpf(e) => write!(f, "filter rejected by the BPF validator: {e}"),
+            Error::Restore(e) => write!(f, "checkpoint restore failed: {e}"),
+            Error::BackendMismatch { found, expected } => write!(
+                f,
+                "checkpoint was taken under the {found} backend, \
+                 but the {expected} backend was demanded"
+            ),
         }
     }
 }
@@ -73,6 +111,10 @@ impl std::error::Error for Error {
             Error::Verify(e) => Some(e),
             Error::Call(_) => None,
             Error::Shm(e) => Some(e),
+            Error::Sfi(e) => Some(e),
+            Error::Bpf(e) => Some(e),
+            Error::Restore(e) => Some(e),
+            Error::BackendMismatch { .. } => None,
         }
     }
 }
@@ -81,8 +123,27 @@ impl From<PalError> for Error {
     fn from(e: PalError) -> Error {
         match e {
             PalError::Verify(v) => Error::Verify(v),
+            PalError::Sfi(s) => Error::Sfi(s),
             other => Error::Pal(other),
         }
+    }
+}
+
+impl From<SfiError> for Error {
+    fn from(e: SfiError) -> Error {
+        Error::Sfi(e)
+    }
+}
+
+impl From<BpfError> for Error {
+    fn from(e: BpfError) -> Error {
+        Error::Bpf(e)
+    }
+}
+
+impl From<RestoreError> for Error {
+    fn from(e: RestoreError) -> Error {
+        Error::Restore(e)
     }
 }
 
@@ -146,5 +207,28 @@ mod tests {
         let e: Error = ExtCallError::TimeLimit.into();
         assert!(matches!(e, Error::Call(ExtCallError::TimeLimit)));
         assert!(!format!("{e}").is_empty());
+    }
+
+    #[test]
+    fn baseline_errors_are_hoisted_at_the_backend_boundary() {
+        let s = SfiError::Unsupported("relative branch");
+        let from_pal: Error = PalError::Sfi(s).into();
+        let direct: Error = s.into();
+        for e in [from_pal, direct] {
+            assert!(matches!(e, Error::Sfi(_)), "{e}");
+        }
+        let e: Error = BpfError::NoReturn.into();
+        assert!(matches!(e, Error::Bpf(BpfError::NoReturn)));
+        assert!(!format!("{e}").is_empty());
+    }
+
+    #[test]
+    fn backend_mismatch_names_both_backends() {
+        let e = Error::BackendMismatch {
+            found: BackendKind::ProtKeys,
+            expected: BackendKind::Sfi,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("prot-keys") && msg.contains("sfi"), "{msg}");
     }
 }

@@ -451,6 +451,7 @@ impl KernelExtensions {
             ext_fn: 0,
             gate_sel: self.kret_gate.0,
             load_ds: Some(data_sel.0),
+            pkru: None,
         });
         // Replace the direct call with an indirect call through the
         // target slot (the direct form is used at user level where the

@@ -33,12 +33,19 @@
 //!   total): per-segment resource ledgers unwound transactionally on
 //!   fault/quarantine/`rmmod`/destroy, a kernel-side leak audit, and
 //!   restart policies with exponential backoff and permanent tombstones.
+//! * [`backend`] — pluggable isolation backends behind the
+//!   [`IsolationBackend`] trait: the paper's segmentation+paging default,
+//!   an MPK/POE-style protection-key model with gate-integrity-checked
+//!   `wrpkru`, and a software-fault-isolation comparator wrapping
+//!   [`baselines::sfi`].
 //! * [`session`] — the [`Session`] façade: a booted kernel plus its
 //!   promoted application behind one load/resolve/call/close API, with
-//!   verification, attestation and predecode as [`DlopenOptions`].
+//!   verification, attestation and predecode as [`DlopenOptions`] and the
+//!   isolation mechanism selectable per session or per load.
 //! * [`error`] — the unified [`Error`] enum every subsystem error
 //!   converts into (see its module docs for the mapping table).
 
+pub mod backend;
 mod checkpoint;
 pub mod dl;
 pub mod error;
@@ -54,6 +61,7 @@ pub mod supervisor;
 pub mod trampoline;
 pub mod user_ext;
 
+pub use backend::{backend_for, BackendKind, FaultAttribution, IsolationBackend, APP_KEY};
 pub use error::Error;
 pub use kernel_ext::{
     DispatchStats, ExtSegmentId, KernelExtensions, KextError, SegmentConfig, SegmentConfigBuilder,
@@ -66,7 +74,15 @@ pub use supervisor::{
     LedgerEntry, ModuleImage, ReclaimRecord, ResourceAudit, ResourceLedger, RestartPolicy,
     SupervisedId, SupervisedState, Supervisor, SupervisorError,
 };
-pub use user_ext::{DlopenOptions, ExtCallError, ExtensibleApp, ExtensionHandle, PalError};
+pub use user_ext::{DlopenOptions, ExtCallError, ExtensibleApp, ExtensionHandle};
+
+/// The user-level runtime's error enum, re-exported at the crate root
+/// for backward compatibility.
+#[deprecated(
+    note = "match on the unified `palladium::Error` (or name the subsystem enum \
+            explicitly as `palladium::user_ext::PalError`)"
+)]
+pub use user_ext::PalError;
 pub use verifier::{Attestation, VerifyError, VerifyPolicy};
 
 #[cfg(test)]

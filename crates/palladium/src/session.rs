@@ -33,6 +33,7 @@ use minikernel::Kernel;
 use verifier::Attestation;
 use x86sim::image::{kind, Enc, ImageBuilder, ImageView, RestoreError};
 
+use crate::backend::{backend_for, BackendKind};
 use crate::error::Error;
 use crate::user_ext::{DlopenOptions, ExtensibleApp, ExtensionHandle};
 
@@ -43,20 +44,41 @@ use crate::user_ext::{DlopenOptions, ExtensibleApp, ExtensionHandle};
 pub struct Session {
     k: Kernel,
     app: ExtensibleApp,
+    backend: BackendKind,
 }
 
 impl Session {
     /// Boots a fresh kernel and promotes an extensible application in it
     /// (`init_PL`: the app moves to SPL 2, its writable pages to PPL 0).
+    /// Extensions load under the default [`BackendKind::SegPaging`]
+    /// isolation backend.
     pub fn new() -> Result<Session, Error> {
         Session::with_kernel(Kernel::boot())
+    }
+
+    /// As [`new`](Self::new) but with every load routed through `kind`
+    /// unless a [`DlopenOptions::backend`] overrides it per extension.
+    pub fn with_backend(kind: BackendKind) -> Result<Session, Error> {
+        let mut s = Session::with_kernel(Kernel::boot())?;
+        s.backend = kind;
+        Ok(s)
     }
 
     /// As [`new`](Self::new) but over a caller-configured kernel (memory
     /// size, cycle limits, predecode mode already applied).
     pub fn with_kernel(mut k: Kernel) -> Result<Session, Error> {
         let app = ExtensibleApp::new(&mut k)?;
-        Ok(Session { k, app })
+        Ok(Session {
+            k,
+            app,
+            backend: BackendKind::SegPaging,
+        })
+    }
+
+    /// The session's default isolation backend (applied to loads whose
+    /// options carry no explicit backend).
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Forks the session: a new, fully independent world — kernel,
@@ -73,15 +95,21 @@ impl Session {
     }
 
     /// Loads an extension (the paper's `seg_dlopen`), with verification,
-    /// attestation and predecode governed by `opts`.
+    /// attestation and predecode governed by `opts`. The load is routed
+    /// through the [`IsolationBackend`](crate::IsolationBackend) named by
+    /// `opts`, falling back to the session default
+    /// ([`backend`](Self::backend)).
     pub fn dlopen(&mut self, obj: &Object, opts: &DlopenOptions) -> Result<ExtensionHandle, Error> {
-        Ok(self.app.dlopen(&mut self.k, obj, opts)?)
+        let kind = opts.backend_kind().unwrap_or(self.backend);
+        backend_for(kind).load(&mut self.k, &mut self.app, obj, opts)
     }
 
-    /// Resolves a *function* symbol to its generated `Prepare` routine —
-    /// the only entry point protected calls should use (`seg_dlsym`).
+    /// Resolves a *function* symbol to the entry point protected calls
+    /// must use — a generated `Prepare` routine for the hardware
+    /// backends, the rewritten function itself under SFI (`seg_dlsym`).
     pub fn dlsym(&mut self, h: ExtensionHandle, name: &str) -> Result<u32, Error> {
-        Ok(self.app.seg_dlsym(&mut self.k, h, name)?)
+        let kind = self.app.backend_of(h)?;
+        backend_for(kind).resolve(&mut self.k, &mut self.app, h, name)
     }
 
     /// Resolves a *data* symbol to its raw address (plain `dlsym`; §4.4.2:
@@ -95,13 +123,14 @@ impl Session {
     /// CPU-limit overruns abort the call ([`Error::Call`]) and the
     /// application survives.
     pub fn call(&mut self, prepare: u32, arg: u32) -> Result<u32, Error> {
-        Ok(self.app.call_extension(&mut self.k, prepare, arg)?)
+        Ok(backend_for(self.backend).call(&mut self.k, &mut self.app, prepare, arg)?)
     }
 
-    /// Closes an extension: its pages are revoked and any later call
-    /// into it faults (`seg_dlclose`).
+    /// Closes an extension: its protections are revoked and any later
+    /// call into it faults (`seg_dlclose`).
     pub fn dlclose(&mut self, h: ExtensionHandle) -> Result<(), Error> {
-        Ok(self.app.seg_dlclose(&mut self.k, h)?)
+        let kind = self.app.backend_of(h)?;
+        backend_for(kind).close(&mut self.k, &mut self.app, h)
     }
 
     /// The `Verified` attestation of an extension admitted through a
@@ -170,6 +199,9 @@ impl Session {
         let mut sec = Enc::new();
         self.app.save_into(&mut sec);
         b.section(2, sec);
+        let mut sec = Enc::new();
+        sec.u8(self.backend.code());
+        b.section(3, sec);
         b.finish()
     }
 
@@ -187,10 +219,32 @@ impl Session {
         let mut d = view.require(2, "session.app")?;
         let app = ExtensibleApp::restore_from(&mut d)?;
         d.finish()?;
+        let mut d = view.require(3, "session.backend")?;
+        let code = d.u8()?;
+        let backend = BackendKind::from_code(code).ok_or_else(|| d.fail("unknown backend code"))?;
+        d.finish()?;
         // Proof tokens are derived state (not in the image): rebuild
         // them from the restored attestations so the restored session
         // keeps the proof-elided dispatch fast path.
         app.reinstall_proof_tokens(&mut k);
-        Ok(Session { k, app })
+        Ok(Session { k, app, backend })
+    }
+
+    /// As [`restore`](Self::restore), but additionally demands that the
+    /// checkpoint was taken under the `expected` isolation backend.
+    ///
+    /// A ProtKeys checkpoint restored by a driver that assumes the
+    /// SegPaging backend would silently run with the wrong containment
+    /// model; this surfaces it as a typed
+    /// [`Error::BackendMismatch`] instead.
+    pub fn restore_as(bytes: &[u8], expected: BackendKind) -> Result<Session, Error> {
+        let s = Session::restore(bytes)?;
+        if s.backend != expected {
+            return Err(Error::BackendMismatch {
+                found: s.backend,
+                expected,
+            });
+        }
+        Ok(s)
     }
 }

@@ -1294,3 +1294,162 @@ mod checkpoint {
         }
     }
 }
+
+// ---------- isolation backends ---------------------------------------------
+
+mod backends {
+    use super::obj;
+    use crate::backend::{backend_for, BackendKind, FaultAttribution};
+    use crate::error::Error;
+    use crate::session::Session;
+    use crate::user_ext::DlopenOptions;
+
+    /// An extension that stores its argument through itself as a pointer
+    /// — the canonical wild write when called with an app-private address.
+    const WILD: &str = "wild:\nmov eax, [esp+4]\nmov [eax], eax\nret\n";
+
+    #[test]
+    fn every_backend_runs_a_plain_extension() {
+        for kind in BackendKind::ALL {
+            let mut s = Session::with_backend(kind).unwrap();
+            let h = s
+                .dlopen(
+                    &obj("double:\nmov eax, [esp+4]\nadd eax, eax\nret\n"),
+                    &DlopenOptions::new(),
+                )
+                .unwrap();
+            assert_eq!(s.app().backend_of(h).unwrap(), kind);
+            let f = s.dlsym(h, "double").unwrap();
+            assert_eq!(s.call(f, 21).unwrap(), 42, "{kind}");
+            assert!(
+                backend_for(kind).leak_audit(s.kernel(), s.app()).is_empty(),
+                "{kind}: leak audit on a live extension"
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_backends_fault_the_wild_write_with_their_own_check() {
+        for (kind, tag) in [
+            (BackendKind::SegPaging, "page-protection"),
+            (BackendKind::ProtKeys, "page-key"),
+        ] {
+            let mut s = Session::with_backend(kind).unwrap();
+            let h = s.dlopen(&obj(WILD), &DlopenOptions::new()).unwrap();
+            let f = s.dlsym(h, "wild").unwrap();
+            let victim = s.app().save_slot_addr();
+            let e = match s.call(f, victim) {
+                Err(Error::Call(e)) => e,
+                other => panic!("{kind}: wild write must abort the call, got {other:?}"),
+            };
+            assert_eq!(
+                backend_for(kind).attribute_fault(&e),
+                FaultAttribution::Contained { check: tag },
+                "{kind}: {e:?}"
+            );
+            // The slot is legitimately rewritten by Prepare on every call,
+            // but the extension's poison value must never have landed.
+            assert_ne!(
+                s.kernel().m.host_read_u32(victim),
+                victim,
+                "{kind}: poison landed"
+            );
+        }
+    }
+
+    #[test]
+    fn sfi_masks_the_wild_write_into_the_sandbox() {
+        let mut s = Session::with_backend(BackendKind::Sfi).unwrap();
+        let h = s.dlopen(&obj(WILD), &DlopenOptions::new()).unwrap();
+        let f = s.dlsym(h, "wild").unwrap();
+        let victim = s.app().save_slot_addr();
+        let before = s.kernel().m.host_read_u32(victim);
+        // SFI redirects rather than faults: the call completes...
+        s.call(f, victim).unwrap();
+        // ...the victim is untouched...
+        assert_eq!(s.kernel().m.host_read_u32(victim), before);
+        // ...and the store landed inside the sandbox at the masked offset.
+        let (base, size) = s.app().sandbox_of(h).unwrap().unwrap();
+        let landed = base + (victim & (size - 1));
+        assert_eq!(s.kernel().m.host_read_u32(landed), victim);
+    }
+
+    #[test]
+    fn prot_keys_key_gates_survive_close() {
+        let mut s = Session::with_backend(BackendKind::ProtKeys).unwrap();
+        let h = s.dlopen(&obj("f:\nret\n"), &DlopenOptions::new()).unwrap();
+        let f = s.dlsym(h, "f").unwrap();
+        s.call(f, 0).unwrap();
+        assert!(s.kernel().m.key_gate_sites().next().is_some());
+        s.dlclose(h).unwrap();
+        // Close unregisters the gate; the audit stays clean.
+        assert_eq!(s.kernel().m.key_gate_sites().count(), 0);
+        assert!(backend_for(BackendKind::ProtKeys)
+            .leak_audit(s.kernel(), s.app())
+            .is_empty());
+    }
+
+    #[test]
+    fn checkpoints_carry_backend_identity() {
+        let mut s = Session::with_backend(BackendKind::ProtKeys).unwrap();
+        let h = s
+            .dlopen(&obj("f:\nmov eax, 7\nret\n"), &DlopenOptions::new())
+            .unwrap();
+        let f = s.dlsym(h, "f").unwrap();
+        let image = s.checkpoint();
+
+        // Plain restore keeps the backend; restore_as demands it.
+        let mut r = Session::restore(&image).unwrap();
+        assert_eq!(r.backend(), BackendKind::ProtKeys);
+        assert_eq!(r.call(f, 0).unwrap(), 7);
+        assert!(Session::restore_as(&image, BackendKind::ProtKeys).is_ok());
+        match Session::restore_as(&image, BackendKind::SegPaging) {
+            Err(Error::BackendMismatch { found, expected }) => {
+                assert_eq!(found, BackendKind::ProtKeys);
+                assert_eq!(expected, BackendKind::SegPaging);
+            }
+            other => panic!("wrong-backend restore must be a typed rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forks_inherit_the_backend() {
+        let mut s = Session::with_backend(BackendKind::Sfi).unwrap();
+        let h = s
+            .dlopen(&obj("f:\nmov eax, 9\nret\n"), &DlopenOptions::new())
+            .unwrap();
+        let f = s.dlsym(h, "f").unwrap();
+        let mut child = s.fork();
+        assert_eq!(child.backend(), BackendKind::Sfi);
+        assert_eq!(child.call(f, 0).unwrap(), 9);
+        assert_eq!(s.call(f, 0).unwrap(), 9);
+    }
+
+    #[test]
+    fn sfi_rejects_what_the_rewriter_cannot_sandbox() {
+        let mut s = Session::with_backend(BackendKind::Sfi).unwrap();
+        // A relative branch is fine for the hardware backends but outside
+        // the SFI rewriter's admitted subset.
+        let src = "f:\njmp out\nout:\nret\n";
+        match s.dlopen(&obj(src), &DlopenOptions::new()) {
+            Err(Error::Sfi(_)) => {}
+            other => panic!("expected an SFI rejection, got {other:?}"),
+        }
+        let mut seg = Session::new().unwrap();
+        seg.dlopen(&obj(src), &DlopenOptions::new()).unwrap();
+    }
+
+    #[test]
+    fn per_load_backend_overrides_the_session_default() {
+        let mut s = Session::new().unwrap();
+        let h = s
+            .dlopen(
+                &obj("f:\nmov eax, 5\nret\n"),
+                &DlopenOptions::new().backend(BackendKind::ProtKeys),
+            )
+            .unwrap();
+        assert_eq!(s.app().backend_of(h).unwrap(), BackendKind::ProtKeys);
+        let f = s.dlsym(h, "f").unwrap();
+        assert_eq!(s.call(f, 0).unwrap(), 5);
+    }
+}

@@ -87,18 +87,30 @@ pub struct TransferParams {
     /// kernel extensions, whose outward `lret` invalidated the privileged
     /// DS (and costing the 12-cycle segment load the paper reports).
     pub load_ds: Option<u16>,
+    /// If set, `Transfer` opens with `wrpkru imm` loading this PKRU value —
+    /// the protection-key backend's drop of application-key rights on
+    /// entry. The loader must register the `wrpkru`'s linear address as a
+    /// key gate or the very first extension call faults.
+    pub pkru: Option<u32>,
 }
 
 /// Byte length of the `mov ecx, imm` + `mov ds, ecx` prologue.
 const LOAD_DS_LEN: u32 = 7 + 3;
+
+/// Byte length of an encoded `wrpkru imm32` (opcode, imm tag, 4 bytes).
+pub const WRPKRU_LEN: u32 = 6;
 
 /// Byte length of an encoded near `call rel32`.
 const CALL_LEN: u32 = 5;
 
 /// Generates `Transfer` — Figure 6, right box.
 pub fn transfer(t: TransferParams) -> Vec<Insn> {
-    let mut code = Vec::with_capacity(4);
+    let mut code = Vec::with_capacity(5);
     let mut call_site = t.location;
+    if let Some(v) = t.pkru {
+        code.push(Insn::Wrpkru(Src::Imm(v as i32)));
+        call_site += WRPKRU_LEN;
+    }
     if let Some(sel) = t.load_ds {
         code.push(Insn::Mov(Reg::Ecx, Src::Imm(sel as i32)));
         code.push(Insn::MovToSeg(asm86::isa::SegReg::Ds, Reg::Ecx));
@@ -240,6 +252,7 @@ mod tests {
             ext_fn: 0x4100,
             gate_sel: 0x3B,
             load_ds: None,
+            pkru: None,
         });
         assert_eq!(code.len(), 2);
         // call at 0x4000, ends at 0x4005, target 0x4100 => rel 0xFB.
@@ -256,6 +269,7 @@ mod tests {
             ext_fn: 0x200,
             gate_sel: 0x43,
             load_ds: Some(0x51),
+            pkru: None,
         });
         assert_eq!(code.len(), 4);
         assert!(matches!(code[1], Insn::MovToSeg(asm86::isa::SegReg::Ds, _)));
@@ -266,6 +280,26 @@ mod tests {
             code[2],
             Insn::Call((0x200 - (0x100 + LOAD_DS_LEN + 5)) as i32)
         );
+    }
+
+    #[test]
+    fn pkru_transfer_accounts_for_the_wrpkru_prologue() {
+        let code = transfer(TransferParams {
+            location: 0x4000,
+            ext_fn: 0x4100,
+            gate_sel: 0x3B,
+            load_ds: None,
+            pkru: Some(0x30),
+        });
+        assert_eq!(code.len(), 3);
+        assert_eq!(code[0], Insn::Wrpkru(Src::Imm(0x30)));
+        // Verify the assumed wrpkru encoding length.
+        assert_eq!(encode_program(&code[..1]).len() as u32, WRPKRU_LEN);
+        assert_eq!(
+            code[1],
+            Insn::Call((0x4100 - (0x4000 + WRPKRU_LEN + 5)) as i32)
+        );
+        assert_eq!(code[2], Insn::Lcall(0x3B, 0));
     }
 
     #[test]
@@ -286,6 +320,7 @@ mod tests {
             ext_fn: 0x100,
             gate_sel: 8,
             load_ds: None,
+            pkru: None,
         });
         let g = app_callgate(params().slots);
 

@@ -19,16 +19,18 @@
 
 use std::collections::BTreeMap;
 
-use asm86::encode::encode_program;
+use asm86::encode::{decode, encode_program};
 use asm86::isa::Reg;
 use asm86::{Assembler, Object};
+use baselines::sfi::{self, Sandbox, SfiError, SfiPolicy};
 use minikernel::layout::{UEXT_DONE_VECTOR, UEXT_FAULT_VECTOR};
 use minikernel::{AreaKind, Budget, Kernel, Outcome, SpawnError, Tid};
 use x86sim::fault::Fault;
 use x86sim::image::{Dec, Enc, RestoreError};
 use x86sim::mem::PAGE_SIZE;
-use x86sim::paging::pte;
+use x86sim::paging::{pkru, pte};
 
+use crate::backend::{BackendKind, APP_KEY};
 use crate::checkpoint as ckpt;
 use crate::dl::{build_got_plt, merge_objects, DlError};
 use crate::kernel_ext::install_proof_map;
@@ -58,6 +60,9 @@ pub enum PalError {
     /// The extension image failed load-time static verification
     /// (a [`DlopenOptions::verify`] load); it was unloaded.
     Verify(verifier::VerifyError),
+    /// The extension was rejected by the SFI rewriter
+    /// (a [`BackendKind::Sfi`] load).
+    Sfi(SfiError),
     /// The extension handle was already closed.
     Closed,
 }
@@ -71,6 +76,7 @@ impl core::fmt::Display for PalError {
             PalError::NoSymbol(s) => write!(f, "no such symbol `{s}`"),
             PalError::Kernel(what, e) => write!(f, "kernel {what} failed: {e}"),
             PalError::Verify(e) => write!(f, "extension rejected by the verifier: {e}"),
+            PalError::Sfi(e) => write!(f, "extension rejected by the SFI rewriter: {e}"),
             PalError::Closed => write!(f, "extension already closed"),
         }
     }
@@ -87,6 +93,12 @@ impl From<SpawnError> for PalError {
 impl From<DlError> for PalError {
     fn from(e: DlError) -> PalError {
         PalError::Dl(e)
+    }
+}
+
+impl From<SfiError> for PalError {
+    fn from(e: SfiError) -> PalError {
+        PalError::Sfi(e)
     }
 }
 
@@ -157,6 +169,7 @@ pub struct DlopenOptions {
     heap_pages: Option<u32>,
     verify_entries: Option<Vec<String>>,
     predecode_opt_out: bool,
+    backend: Option<BackendKind>,
 }
 
 impl DlopenOptions {
@@ -198,6 +211,24 @@ impl DlopenOptions {
     pub fn predecode(mut self, on: bool) -> DlopenOptions {
         self.predecode_opt_out = !on;
         self
+    }
+
+    /// Selects the isolation backend guarding this extension (default:
+    /// the caller's session backend, or [`BackendKind::SegPaging`] when
+    /// loading through [`ExtensibleApp::dlopen`] directly).
+    ///
+    /// [`BackendKind::Sfi`] loads take a different admission path: the
+    /// object must be self-contained, branch-free code (the rewriter's
+    /// contract) and [`verify`](Self::verify) is ignored — the rewrite
+    /// itself is the admission check.
+    pub fn backend(mut self, kind: BackendKind) -> DlopenOptions {
+        self.backend = Some(kind);
+        self
+    }
+
+    /// The backend requested via [`backend`](Self::backend), if any.
+    pub fn backend_kind(&self) -> Option<BackendKind> {
+        self.backend
     }
 
     /// The entry list requested via [`verify`](Self::verify), if any.
@@ -246,6 +277,10 @@ struct Ext {
     /// Whether the attestation may actually enable eager predecode
     /// ([`DlopenOptions::predecode`]; default yes).
     eager_predecode: bool,
+    /// Which isolation backend guards this extension.
+    backend: BackendKind,
+    /// SFI sandbox region `(base, size)` — [`BackendKind::Sfi`] only.
+    sandbox: Option<(u32, u32)>,
     closed: bool,
 }
 
@@ -409,6 +444,22 @@ impl ExtensibleApp {
         obj: &Object,
         opts: &DlopenOptions,
     ) -> Result<ExtensionHandle, PalError> {
+        match opts.backend_kind().unwrap_or(BackendKind::SegPaging) {
+            BackendKind::Sfi => self.dlopen_sfi(k, obj, opts),
+            kind => self.dlopen_paged(k, obj, opts, kind),
+        }
+    }
+
+    /// The hardware-protected load path shared by [`BackendKind::SegPaging`]
+    /// and [`BackendKind::ProtKeys`] (they map identically; ProtKeys
+    /// additionally key-tags the application-private trampoline region).
+    fn dlopen_paged(
+        &mut self,
+        k: &mut Kernel,
+        obj: &Object,
+        opts: &DlopenOptions,
+        kind: BackendKind,
+    ) -> Result<ExtensionHandle, PalError> {
         k.switch_to(self.tid);
         let stack_pages = opts.stack_pages_or_default();
         let heap_pages = opts.heap_pages_or_default();
@@ -520,9 +571,32 @@ impl ExtensibleApp {
             heap: (heap_base, heap_base + heap_pages * PAGE_SIZE),
             verified: None,
             eager_predecode: !opts.predecode_opt_out,
+            backend: kind,
+            sandbox: None,
             closed: false,
         });
         let h = ExtensionHandle(self.exts.len() - 1);
+
+        if kind == BackendKind::ProtKeys {
+            // Move the application-private trampoline region (save slots,
+            // invoke stub, Prepare routines) from U/S protection to key
+            // protection: its pages become user-reachable in the page
+            // tables but carry APP_KEY, and the thread's key-rights
+            // register denies that key from now on. Every ProtKeys
+            // Transfer re-asserts the denial on entry, so extension-mode
+            // accesses to the region fault on the key check instead of
+            // the U/S check. Ring-2 application code is unaffected —
+            // supervisor accesses ignore keys, exactly as on MPK.
+            let tramp_base = self.tramp_end - 2 * PAGE_SIZE;
+            k.host_set_page_flags(
+                self.tid,
+                tramp_base,
+                2,
+                pte::US | pte::key_flags(APP_KEY),
+                0,
+            );
+            k.m.cpu.pkru = pkru::deny_access(&[APP_KEY]);
+        }
 
         // Verification as an option, not a function variant: the policy
         // admits accesses to the extension's own image, stack and heap,
@@ -548,6 +622,96 @@ impl ExtensibleApp {
             }
         }
         Ok(h)
+    }
+
+    /// The [`BackendKind::Sfi`] load path: link, decode, and rewrite the
+    /// object through [`baselines::sfi`] so every store is masked into a
+    /// size-aligned power-of-two sandbox, then install the rewritten code
+    /// at the *application's* privilege level (PPL 0 — SFI needs no
+    /// hardware boundary, that is its point). The object must be
+    /// self-contained (no imports) branch-free code; the rewriter rejects
+    /// anything else with a typed [`PalError::Sfi`].
+    fn dlopen_sfi(
+        &mut self,
+        k: &mut Kernel,
+        obj: &Object,
+        opts: &DlopenOptions,
+    ) -> Result<ExtensionHandle, PalError> {
+        k.switch_to(self.tid);
+        if !obj.undefined_symbols().is_empty() {
+            return Err(PalError::Sfi(SfiError::Unsupported("imports")));
+        }
+        // Link at base 0: the admitted subset is position-independent
+        // (no relative branches, no inline data), so the image bytes are
+        // the same at any base and symbol offsets are object offsets.
+        let image = obj
+            .link(0, &BTreeMap::new())
+            .map_err(|e| PalError::Link(e.to_string()))?;
+
+        // Size the rewritten code with a probe rewrite — the output
+        // *shape* is independent of the sandbox's base/mask values (all
+        // immediates encode in 4 bytes).
+        let probe = Sandbox {
+            base: 0,
+            size: PAGE_SIZE,
+        };
+        let (probe_bytes, _) = sfi_rewrite_image(&image, &probe)?;
+        let stack_pages = opts.stack_pages_or_default();
+        let heap_pages = opts.heap_pages_or_default();
+        let code_pages = (probe_bytes.len() as u32).div_ceil(PAGE_SIZE).max(1);
+        let sandbox_pages = (code_pages + stack_pages + heap_pages).next_power_of_two();
+        let size = sandbox_pages * PAGE_SIZE;
+
+        // host_mmap only page-aligns; over-allocate and carve the
+        // size-aligned subrange the masking arithmetic requires.
+        let alloc_pages = sandbox_pages * 2;
+        let alloc = k.host_mmap(
+            self.tid,
+            alloc_pages,
+            true,
+            false,
+            AreaKind::ExtensionPrivate,
+        )?;
+        let base = alloc.next_multiple_of(size);
+        debug_assert!(base + size <= alloc + alloc_pages * PAGE_SIZE);
+        let sb = Sandbox { base, size };
+        let (code, map) = sfi_rewrite_image(&image, &sb)?;
+        assert!(k.m.host_write(base, &code));
+        k.m.charge(DLOPEN_BASE_CYCLES);
+
+        // Function symbols relocate through the rewrite's offset map;
+        // data symbols (not on an instruction boundary) are dropped —
+        // the admitted subset has none.
+        let symbols: BTreeMap<String, u32> = obj
+            .symbols
+            .iter()
+            .filter_map(|(s, off)| map.get(off).map(|&o| (s.clone(), base + o)))
+            .collect();
+
+        // Masked stray accesses land in the data area after the code.
+        let data_base = base + code_pages * PAGE_SIZE;
+        let heap_base = base + size - heap_pages * PAGE_SIZE;
+        std::sync::Arc::make_mut(&mut self.exts).push(Ext {
+            base: alloc,
+            pages: alloc_pages,
+            symbols,
+            arg_slot: 0,
+            esp_slot: 0,
+            tramp3_base: 0,
+            tramp3_next: 0,
+            preps: BTreeMap::new(),
+            got_page: None,
+            got_slots: None,
+            plt_range: None,
+            stack: (data_base, heap_base),
+            heap: (heap_base, base + size),
+            verified: None,
+            eager_predecode: false,
+            backend: BackendKind::Sfi,
+            sandbox: Some((base, size)),
+            closed: false,
+        });
+        Ok(ExtensionHandle(self.exts.len() - 1))
     }
 
     /// Runs the static verifier over an already-loaded extension image.
@@ -652,11 +816,24 @@ impl ExtensibleApp {
         name: &str,
     ) -> Result<u32, PalError> {
         k.switch_to(self.tid);
+        let backend = self.ext(h)?.backend;
         {
             let ext = self.ext(h)?;
             if let Some((p, _)) = ext.preps.get(name) {
                 return Ok(*p);
             }
+        }
+        if backend == BackendKind::Sfi {
+            // No trampolines: the rewritten function runs at the
+            // application's own privilege level and is called directly.
+            let addr = *self
+                .ext(h)?
+                .symbols
+                .get(name)
+                .ok_or_else(|| PalError::NoSymbol(name.to_string()))?;
+            let exts = std::sync::Arc::make_mut(&mut self.exts);
+            exts[h.0].preps.insert(name.to_string(), (addr, addr));
+            return Ok(addr);
         }
         let (fn_addr, arg_slot, esp_slot, tramp3_at) = {
             let ext = self.ext(h)?;
@@ -667,18 +844,28 @@ impl ExtensibleApp {
             (fn_addr, ext.arg_slot, ext.esp_slot, ext.tramp3_next)
         };
 
-        // Transfer at SPL 3 (same segments as the extension).
+        // Transfer at SPL 3 (same segments as the extension). Under
+        // ProtKeys it opens with `wrpkru` dropping rights to the
+        // application's key; that site must be a registered key gate or
+        // the gate-integrity check rejects the write.
         let transfer_code = trampoline::transfer(TransferParams {
             location: tramp3_at,
             ext_fn: fn_addr,
             gate_sel: self.gate_sel,
             load_ds: None,
+            pkru: (backend == BackendKind::ProtKeys).then(|| pkru::deny_access(&[APP_KEY])),
         });
         let tbytes = encode_program(&transfer_code);
         if tramp3_at + tbytes.len() as u32 > self.ext(h)?.tramp3_base + PAGE_SIZE {
             return Err(PalError::Spawn(SpawnError::OutOfMemory));
         }
         assert!(k.m.host_write(tramp3_at, &tbytes));
+        if backend == BackendKind::ProtKeys {
+            // The wrpkru is the Transfer's first instruction and the
+            // ring-3 code segment is flat, so the gate site is the
+            // trampoline address itself.
+            k.m.register_key_gate(tramp3_at);
+        }
 
         // Prepare at SPL 2 (PPL 0 trampoline region).
         let prep_code = trampoline::prepare(PrepareParams {
@@ -706,7 +893,7 @@ impl ExtensibleApp {
     /// their PTEs' user bit, making any further call fault.
     pub fn seg_dlclose(&mut self, k: &mut Kernel, h: ExtensionHandle) -> Result<(), PalError> {
         k.switch_to(self.tid);
-        let (base, pages) = {
+        let (base, pages, backend) = {
             let e = self.ext(h)?;
             // A verified extension's proof tokens die with the handle
             // (other extensions' tokens stay installed).
@@ -715,13 +902,65 @@ impl ExtensibleApp {
                     k.m.remove_proof_token(e.base + p.start);
                 }
             }
-            (e.base, e.pages)
+            (e.base, e.pages, e.backend)
         };
-        k.host_set_page_flags(self.tid, base, pages, 0, pte::US);
+        match backend {
+            // SFI code runs at the application's own level, so the U/S
+            // bit cannot revoke it — unmap outright: stale calls fault
+            // on page-not-present.
+            BackendKind::Sfi => k.host_set_page_flags(self.tid, base, pages, 0, pte::P),
+            _ => k.host_set_page_flags(self.tid, base, pages, 0, pte::US),
+        }
+        if backend == BackendKind::ProtKeys {
+            // Gate-integrity hygiene: the dead Transfers' wrpkru sites
+            // must not remain legal key-write locations.
+            let sites: Vec<u32> = self.ext(h)?.preps.values().map(|&(_, t)| t).collect();
+            for t in sites {
+                k.m.unregister_key_gate(t);
+            }
+        }
         let exts = std::sync::Arc::make_mut(&mut self.exts);
         exts[h.0].closed = true;
         exts[h.0].preps.clear();
         Ok(())
+    }
+
+    /// The backend guarding an extension.
+    pub fn backend_of(&self, h: ExtensionHandle) -> Result<BackendKind, PalError> {
+        Ok(self.ext(h)?.backend)
+    }
+
+    /// The SFI sandbox region of a [`BackendKind::Sfi`] extension.
+    pub fn sandbox_of(&self, h: ExtensionHandle) -> Result<Option<(u32, u32)>, PalError> {
+        Ok(self.ext(h)?.sandbox)
+    }
+
+    /// Address of the application's ESP save slot — application-private
+    /// state an extension must never reach, whatever the backend
+    /// (conformance suites use it as the canonical wild-write victim).
+    pub fn save_slot_addr(&self) -> u32 {
+        self.slots.sp_slot
+    }
+
+    /// True if `site` is a Transfer trampoline address of an *open*
+    /// ProtKeys extension — i.e. a key gate that is supposed to exist.
+    pub(crate) fn owns_key_gate(&self, site: u32) -> bool {
+        self.exts.iter().any(|e| {
+            !e.closed
+                && e.backend == BackendKind::ProtKeys
+                && e.preps.values().any(|&(_, t)| t == site)
+        })
+    }
+
+    /// Leak audit shared by every backend: a closed extension must not
+    /// keep resolvable entry points.
+    pub(crate) fn audit_closed_extensions(&self) -> Vec<String> {
+        self.exts
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.closed && !e.preps.is_empty())
+            .map(|(i, _)| format!("closed extension #{i} still has resolvable entry points"))
+            .collect()
     }
 
     /// Re-installs the simulator proof tokens of every open verified
@@ -1026,6 +1265,8 @@ fn put_ext(e: &mut Enc, x: &Ext) {
     e.u32(x.heap.1);
     ckpt::put_opt_attestation(e, x.verified.as_ref());
     e.bool(x.eager_predecode);
+    e.u8(x.backend.code());
+    ckpt::put_opt_pair(e, x.sandbox);
     e.bool(x.closed);
 }
 
@@ -1052,6 +1293,9 @@ fn get_ext(d: &mut Dec) -> Result<Ext, RestoreError> {
     let heap = (d.u32()?, d.u32()?);
     let verified = ckpt::get_opt_attestation(d)?;
     let eager_predecode = d.bool()?;
+    let code = d.u8()?;
+    let backend = BackendKind::from_code(code).ok_or_else(|| d.fail("unknown backend code"))?;
+    let sandbox = ckpt::get_opt_pair(d)?;
     let closed = d.bool()?;
     Ok(Ext {
         base,
@@ -1069,6 +1313,33 @@ fn get_ext(d: &mut Dec) -> Result<Ext, RestoreError> {
         heap,
         verified,
         eager_predecode,
+        backend,
+        sandbox,
         closed,
     })
+}
+
+/// Decodes `image`, rewrites it instruction-by-instruction through the
+/// SFI rewriter (whose transformation is per-instruction local), and
+/// re-encodes — returning the rewritten bytes plus the map from input
+/// byte offsets to output byte offsets that relocates function symbols.
+fn sfi_rewrite_image(
+    image: &[u8],
+    sb: &Sandbox,
+) -> Result<(Vec<u8>, BTreeMap<u32, u32>), PalError> {
+    let mut out = Vec::new();
+    let mut map = BTreeMap::new();
+    let mut in_off = 0usize;
+    let mut out_len = 0u32;
+    while in_off < image.len() {
+        let (insn, len) = decode(&image[in_off..])
+            .map_err(|_| PalError::Sfi(SfiError::Unsupported("undecodable bytes (inline data)")))?;
+        let (rewritten, _) = sfi::rewrite(&[insn], sb, SfiPolicy::WriteProtect)?;
+        map.insert(in_off as u32, out_len);
+        let bytes = encode_program(&rewritten);
+        out_len += bytes.len() as u32;
+        out.extend_from_slice(&bytes);
+        in_off += len;
+    }
+    Ok((out, map))
 }

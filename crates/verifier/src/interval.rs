@@ -121,7 +121,8 @@ pub(crate) fn transfer(insn: &Insn, s: &mut AbsState) {
         | Insn::MovFromSeg(r, _)
         | Insn::AluM(_, r, _)
         | Insn::Neg(r)
-        | Insn::Not(r) => s.set(r, None),
+        | Insn::Not(r)
+        | Insn::Rdpkru(r) => s.set(r, None),
         Insn::Pop(r) => {
             s.set(r, None);
             s.set(Reg::Esp, None);
@@ -271,6 +272,7 @@ pub(crate) fn mnemonic(insn: &Insn) -> &'static str {
         Insn::PopSeg(_) => "pop sreg",
         Insn::Iret => "iret",
         Insn::Lret | Insn::LretN(_) => "lret",
+        Insn::Wrpkru(..) => "wrpkru",
         _ => "?",
     }
 }

@@ -254,7 +254,11 @@ impl Analysis<'_> {
             | Insn::PopSeg(_)
             | Insn::Iret
             | Insn::Lret
-            | Insn::LretN(_) => {
+            | Insn::LretN(_)
+            // `wrpkru` is reserved to loader-planted gate sites: an
+            // extension carrying its own would grant itself key rights
+            // (it would fault at run time anyway — reject it up front).
+            | Insn::Wrpkru(..) => {
                 return Err(VerifyError::Privileged {
                     offset,
                     mnemonic: mnemonic(insn),
@@ -369,7 +373,7 @@ impl Analysis<'_> {
 /// Verifies a linked image against `policy`, starting from image-relative
 /// `entries` (the module's exported functions).
 ///
-/// On success returns the [`Attestation`] (with its [`ProofMap`]) the
+/// On success returns the [`Attestation`] (with its [`ProofMap`](crate::ProofMap)) the
 /// loader stores with the segment; on failure, the first violation found
 /// in address order.
 pub fn verify_image(

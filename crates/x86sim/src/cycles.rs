@@ -105,6 +105,10 @@ pub fn measured_cost(insn: &Insn) -> u64 {
         // privilege transition, which is only known at execution time).
         Insn::Lcall(..) | Insn::Lret | Insn::LretN(..) | Insn::Int(..) | Insn::Iret => 0,
         Insn::Rdtsc => 6,
+        // WRPKRU serializes the pipeline on real MPK hardware (~20-60
+        // cycles measured); RDPKRU is a cheap register read.
+        Insn::Wrpkru(..) => 23,
+        Insn::Rdpkru(..) => 1,
     }
 }
 
@@ -164,6 +168,8 @@ pub fn documented_cost(insn: &Insn) -> f64 {
         Insn::Ret | Insn::RetN(..) => 3.0,
         Insn::Lcall(..) | Insn::Lret | Insn::LretN(..) | Insn::Int(..) | Insn::Iret => 0.0,
         Insn::Rdtsc => 6.0,
+        Insn::Wrpkru(..) => 23.0,
+        Insn::Rdpkru(..) => 1.0,
     }
 }
 

@@ -340,6 +340,22 @@ impl Machine {
                 self.cpu.set_reg(Reg::Eax, c as u32);
                 self.cpu.set_reg(Reg::Edx, (c >> 32) as u32);
             }
+            Insn::Wrpkru(s) => {
+                // Gate integrity: user code may only write key rights
+                // from loader-registered gate sites; supervisor code can
+                // rewrite page tables anyway, so it writes from anywhere.
+                if self.cpu.cpl == 3 {
+                    let site = self.cpu.seg(SegReg::Cs).base.wrapping_add(self.cpu.eip);
+                    if !self.key_gate_registered(site) {
+                        return Err(Fault::gp(0, FaultCause::KeyGateViolation { site }));
+                    }
+                }
+                self.cpu.pkru = self.src_value(s);
+            }
+            Insn::Rdpkru(r) => {
+                let v = self.cpu.pkru;
+                self.cpu.set_reg(r, v);
+            }
         }
         self.cpu.eip = next;
         Ok(None)

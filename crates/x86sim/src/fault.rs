@@ -61,6 +61,9 @@ pub mod pf_err {
     pub const WRITE: u32 = 1 << 1;
     /// Set when the access originated at CPL 3.
     pub const USER: u32 = 1 << 2;
+    /// Set when a protection-key rights check denied the access (the
+    /// PKRU-style bit 5 real hardware pushes for MPK violations).
+    pub const PKEY: u32 = 1 << 5;
 }
 
 /// Why a fault was raised — a structured refinement of the error code,
@@ -100,6 +103,12 @@ pub enum FaultCause {
     },
     /// Executed a privileged instruction above CPL 0.
     PrivilegedInstruction,
+    /// A `wrpkru` executed at CPL 3 from an address that is not a
+    /// registered gate site (Garmr-style gate-integrity violation).
+    KeyGateViolation {
+        /// Linear address of the offending `wrpkru`.
+        site: u32,
+    },
     /// Undecodable instruction bytes.
     BadInstruction,
     /// Division by zero or overflow.
@@ -122,11 +131,14 @@ impl FaultCause {
             FaultCause::Page { code, .. } => {
                 if code & pf_err::PRESENT == 0 {
                     "page-not-present"
+                } else if code & pf_err::PKEY != 0 {
+                    "page-key"
                 } else {
                     "page-protection"
                 }
             }
             FaultCause::PrivilegedInstruction => "priv-insn",
+            FaultCause::KeyGateViolation { .. } => "key-gate",
             FaultCause::BadInstruction => "bad-insn",
             FaultCause::Arithmetic => "arith",
             FaultCause::BadTransfer => "transfer",

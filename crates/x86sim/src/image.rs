@@ -659,6 +659,7 @@ pub fn put_cpu(e: &mut Enc, c: &Cpu) {
         put_seg_cache(e, s);
     }
     e.u8(c.cpl);
+    e.u32(c.pkru);
 }
 
 /// Decodes a [`Cpu`] written by [`put_cpu`].
@@ -679,12 +680,14 @@ pub fn get_cpu(d: &mut Dec<'_>) -> Result<Cpu, RestoreError> {
         *s = get_seg_cache(d)?;
     }
     let cpl = d.u8()?;
+    let pkru = d.u32()?;
     Ok(Cpu {
         regs,
         eip,
         flags,
         segs,
         cpl,
+        pkru,
     })
 }
 
@@ -729,6 +732,10 @@ pub fn put_fault(e: &mut Enc, f: &Fault) {
         FaultCause::BadInstruction => e.u8(7),
         FaultCause::Arithmetic => e.u8(8),
         FaultCause::BadTransfer => e.u8(9),
+        FaultCause::KeyGateViolation { site } => {
+            e.u8(10);
+            e.u32(site);
+        }
     }
     e.u32(f.eip);
     e.u16(f.cs);
@@ -769,6 +776,7 @@ pub fn get_fault(d: &mut Dec<'_>) -> Result<Fault, RestoreError> {
         7 => FaultCause::BadInstruction,
         8 => FaultCause::Arithmetic,
         9 => FaultCause::BadTransfer,
+        10 => FaultCause::KeyGateViolation { site: d.u32()? },
         t => return Err(d.fail(format!("fault cause tag {t}"))),
     };
     Ok(Fault {
@@ -995,7 +1003,12 @@ mod tests {
                 linear: 0xC000_0000,
                 code: pf_err::PRESENT | pf_err::USER,
             },
+            FaultCause::Page {
+                linear: 0x0900_0000,
+                code: pf_err::PRESENT | pf_err::USER | pf_err::PKEY,
+            },
             FaultCause::PrivilegedInstruction,
+            FaultCause::KeyGateViolation { site: 0x0804_8010 },
             FaultCause::BadInstruction,
             FaultCause::Arithmetic,
             FaultCause::BadTransfer,

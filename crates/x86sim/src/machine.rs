@@ -139,6 +139,13 @@ pub struct Cpu {
     pub segs: [SegCache; 4],
     /// Current privilege level.
     pub cpl: u8,
+    /// Protection-key rights register (MPK-style PKRU): two bits per
+    /// 4-bit page key — AD at bit `2k`, WD at bit `2k+1`. Zero grants
+    /// every key full rights, which keeps worlds that never touch keys
+    /// byte-identical to the pre-key machine. Written by `wrpkru`, read
+    /// by `rdpkru`, consulted by user-mode data translation only (see
+    /// [`crate::paging::pkru`]).
+    pub pkru: u32,
 }
 
 impl Default for Cpu {
@@ -149,6 +156,7 @@ impl Default for Cpu {
             flags: Flags::default(),
             segs: [SegCache::invalid(); 4],
             cpl: 0,
+            pkru: 0,
         }
     }
 }
@@ -265,6 +273,14 @@ pub struct Machine {
     /// survives a restore).
     seg_gen: u64,
     proof_stats: ProofStats,
+    /// Registered `wrpkru` gate sites (linear addresses). A `wrpkru`
+    /// executed at CPL 3 from any other address raises #GP with
+    /// [`FaultCause::KeyGateViolation`] — the Garmr-style gate-integrity
+    /// rule that stops hostile extension code from granting itself key
+    /// rights. CPL 0-2 code may write PKRU from anywhere (it could edit
+    /// page tables instead, so gating it buys nothing). BTreeSet keeps
+    /// image serialization deterministic.
+    key_gates: std::collections::BTreeSet<u32>,
 }
 
 /// Sentinel slab slot for "frame not backed when the memo was filled".
@@ -301,6 +317,10 @@ struct PageMemo {
     phys_page: u32,
     slot: u32,
     user: bool,
+    /// PKRU value the translation was checked under. A `wrpkru` between
+    /// accesses must not be answered from the memo — key rights are
+    /// judged live on real hardware even for TLB-resident entries.
+    pkru: u32,
     epoch: u64,
 }
 
@@ -310,22 +330,24 @@ impl PageMemo {
         phys_page: 0,
         slot: NO_SLOT,
         user: false,
+        pkru: 0,
         epoch: 0,
     };
 
     #[inline]
-    fn lookup(&self, page: u32, user: bool, epoch: u64) -> Option<(u32, u32)> {
-        (self.lin_page == page && self.user == user && self.epoch == epoch)
+    fn lookup(&self, page: u32, user: bool, pkru: u32, epoch: u64) -> Option<(u32, u32)> {
+        (self.lin_page == page && self.user == user && self.pkru == pkru && self.epoch == epoch)
             .then_some((self.phys_page, self.slot))
     }
 
     #[inline]
-    fn fill(&mut self, page: u32, phys_page: u32, slot: u32, user: bool, epoch: u64) {
+    fn fill(&mut self, page: u32, phys_page: u32, slot: u32, user: bool, pkru: u32, epoch: u64) {
         *self = PageMemo {
             lin_page: page,
             phys_page,
             slot,
             user,
+            pkru,
             epoch,
         };
     }
@@ -384,7 +406,35 @@ impl Machine {
             ds_elide_now: false,
             seg_gen: 0,
             proof_stats: ProofStats::default(),
+            key_gates: std::collections::BTreeSet::new(),
         }
+    }
+
+    // ----- protection-key gate sites ----------------------------------------
+
+    /// Registers `linear` as a legal `wrpkru` gate site for CPL-3 code.
+    ///
+    /// The loader calls this for the `wrpkru` instructions it plants in
+    /// its call gates; any CPL-3 `wrpkru` fetched from an unregistered
+    /// address faults with [`FaultCause::KeyGateViolation`].
+    pub fn register_key_gate(&mut self, linear: u32) {
+        self.key_gates.insert(linear);
+    }
+
+    /// Removes a registered gate site (e.g. when an extension unloads).
+    pub fn unregister_key_gate(&mut self, linear: u32) {
+        self.key_gates.remove(&linear);
+    }
+
+    /// Whether `linear` is a registered `wrpkru` gate site.
+    pub fn key_gate_registered(&self, linear: u32) -> bool {
+        self.key_gates.contains(&linear)
+    }
+
+    /// All registered gate sites, in ascending linear-address order
+    /// (exposed so loaders can audit for stale gates after unloads).
+    pub fn key_gate_sites(&self) -> impl Iterator<Item = u32> + '_ {
+        self.key_gates.iter().copied()
     }
 
     /// Freezes the world into an immutable [`Snapshot`] usable as a
@@ -479,6 +529,13 @@ impl Machine {
         self.mem.save_into(&mut e);
         b.section(8, e);
 
+        let mut e = Enc::new();
+        e.u32(self.key_gates.len() as u32);
+        for &site in &self.key_gates {
+            e.u32(site);
+        }
+        b.section(9, e);
+
         b.finish()
     }
 
@@ -544,6 +601,19 @@ impl Machine {
 
         let mut d = v.require(8, "frames")?;
         m.mem = PhysMem::restore_from(&mut d)?;
+        d.finish()?;
+
+        let mut d = v.require(9, "key-gates")?;
+        let n = d.u32()?;
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let site = d.u32()?;
+            if prev.is_some_and(|p| p >= site) {
+                return Err(d.fail("gate sites not strictly ascending"));
+            }
+            prev = Some(site);
+            m.key_gates.insert(site);
+        }
         d.finish()?;
 
         Ok(m)
@@ -888,7 +958,9 @@ impl Machine {
     fn translate_data(&mut self, linear: u32, write: bool) -> Result<u32, FaultBuilder> {
         let access = if write { Access::Write } else { Access::Read };
         let user = self.cpu.cpl == 3;
-        let t = self.mmu.translate(&mut self.mem, linear, access, user)?;
+        let t = self
+            .mmu
+            .translate_keyed(&mut self.mem, linear, access, user, self.cpu.pkru)?;
         if t.tlb_miss {
             self.charge_event(Event::TlbMiss);
         }
@@ -911,6 +983,7 @@ impl Machine {
             return self.translate_data(linear, write).map(|p| (p, NO_SLOT));
         }
         let user = self.cpu.cpl == 3;
+        let pkru = self.cpu.pkru;
         let page = linear & !PAGE_MASK;
         let epoch = self.mmu.epoch();
         let memo = if write {
@@ -918,12 +991,14 @@ impl Machine {
         } else {
             &self.data_read_memo
         };
-        if let Some((pp, slot)) = memo.lookup(page, user, epoch) {
+        if let Some((pp, slot)) = memo.lookup(page, user, pkru, epoch) {
             self.mmu.count_memo_hit();
             return Ok((pp | (linear & PAGE_MASK), slot));
         }
         let access = if write { Access::Write } else { Access::Read };
-        let t = self.mmu.translate(&mut self.mem, linear, access, user)?;
+        let t = self
+            .mmu
+            .translate_keyed(&mut self.mem, linear, access, user, pkru)?;
         if t.tlb_miss {
             self.charge_event(Event::TlbMiss);
         }
@@ -939,9 +1014,9 @@ impl Machine {
             // A successful write-translate leaves the TLB entry dirty and
             // write rights imply read rights, so the page is also good
             // for reads.
-            self.data_write_memo.fill(page, pp, slot, user, epoch);
+            self.data_write_memo.fill(page, pp, slot, user, pkru, epoch);
         }
-        self.data_read_memo.fill(page, pp, slot, user, epoch);
+        self.data_read_memo.fill(page, pp, slot, user, pkru, epoch);
         Ok((t.phys, slot))
     }
 
@@ -1385,13 +1460,15 @@ impl Machine {
         let page = linear & !PAGE_MASK;
         let user = self.cpu.cpl == 3;
         let epoch = self.mmu.epoch();
-        if let Some((pp, _)) = self.fetch_memo.lookup(page, user, epoch) {
+        // Protection keys never gate instruction fetches (as on real
+        // MPK hardware), so the fetch memo keys on a constant PKRU.
+        if let Some((pp, _)) = self.fetch_memo.lookup(page, user, 0, epoch) {
             self.mmu.count_memo_hit();
             return Ok(pp | (linear & PAGE_MASK));
         }
         let phys = self.translate_fetch(linear)?;
         self.fetch_memo
-            .fill(page, phys & !PAGE_MASK, NO_SLOT, user, epoch);
+            .fill(page, phys & !PAGE_MASK, NO_SLOT, user, 0, epoch);
         Ok(phys)
     }
 

@@ -31,8 +31,63 @@ pub mod pte {
     /// Dirty (set by the walker on write; PTE only).
     pub const D: u32 = 1 << 6;
 
+    /// Low bit of the 4-bit protection key. Bits 8-11 of a PTE are
+    /// ignored by the i386 walker, so the key rides in the page tables
+    /// without disturbing the frame or flag bits (an MPK/POE-style
+    /// retrofit; real MPK stores its key in PTE bits 59-62).
+    pub const KEY_SHIFT: u32 = 8;
+    /// Mask of the protection-key bits.
+    pub const KEY_MASK: u32 = 0xF << KEY_SHIFT;
+
     /// Mask of the frame address bits.
     pub const FRAME: u32 = 0xFFFF_F000;
+
+    /// PTE flag bits encoding protection key `k` (0-15).
+    #[inline]
+    pub fn key_flags(k: u8) -> u32 {
+        (u32::from(k) & 0xF) << KEY_SHIFT
+    }
+
+    /// The protection key stored in a PTE.
+    #[inline]
+    pub fn key_of(pte_val: u32) -> u8 {
+        ((pte_val & KEY_MASK) >> KEY_SHIFT) as u8
+    }
+}
+
+/// Helpers over the PKRU-style per-thread key-rights register.
+///
+/// Two bits per key, exactly as in Intel's PKRU layout: bit `2k` is
+/// *access disable* (AD — no read or write), bit `2k+1` is *write
+/// disable* (WD). Key 0 occupies bits 0-1, so a PKRU of zero grants
+/// every key full rights — which is why worlds that never touch keys
+/// behave identically to the pre-key simulator.
+pub mod pkru {
+    /// True if `pkru` denies all access to pages tagged `key`.
+    #[inline]
+    pub fn access_disabled(pkru: u32, key: u8) -> bool {
+        pkru >> (2 * u32::from(key & 0xF)) & 1 != 0
+    }
+
+    /// True if `pkru` denies writes to pages tagged `key`.
+    #[inline]
+    pub fn write_disabled(pkru: u32, key: u8) -> bool {
+        pkru >> (2 * u32::from(key & 0xF) + 1) & 1 != 0
+    }
+
+    /// A PKRU value with *access disable* set for every key in `keys`
+    /// and full rights everywhere else.
+    pub fn deny_access(keys: &[u8]) -> u32 {
+        keys.iter()
+            .fold(0, |acc, &k| acc | 1 << (2 * u32::from(k & 0xF)))
+    }
+
+    /// A PKRU value with *write disable* set for every key in `keys`
+    /// and full rights everywhere else.
+    pub fn deny_write(keys: &[u8]) -> u32 {
+        keys.iter()
+            .fold(0, |acc, &k| acc | 1 << (2 * u32::from(k & 0xF) + 1))
+    }
 }
 
 /// The kind of memory access being translated.
@@ -56,6 +111,10 @@ struct TlbEntry {
     dirty: bool,
     /// Physical address of the PTE (to set D lazily).
     pte_addr: u32,
+    /// The page's 4-bit protection key (PTE bits 8-11). Cached like the
+    /// permission bits; rights are judged live against the accessor's
+    /// PKRU, so a PKRU write needs no TLB shootdown — as on real MPK.
+    key: u8,
 }
 
 /// Translation statistics, used by the cycle model and tests.
@@ -172,6 +231,7 @@ impl Mmu {
             e.bool(t.writable);
             e.bool(t.dirty);
             e.u32(t.pte_addr);
+            e.u8(t.key);
         }
     }
 
@@ -200,6 +260,7 @@ impl Mmu {
                 writable: d.bool()?,
                 dirty: d.bool()?,
                 pte_addr: d.u32()?,
+                key: d.u8()?,
             };
             tlb.insert(vpn, entry);
         }
@@ -221,16 +282,9 @@ impl Mmu {
         v
     }
 
-    /// Translates a linear address, enforcing page-level protection.
-    ///
-    /// `user` is true when the access originates at CPL 3; supervisor
-    /// accesses (CPL 0-2) bypass `R/W` and `U/S` checks per CR0.WP = 0.
-    ///
-    /// This is split into an inlined fast path for the common cases —
-    /// paging off, or a TLB hit that needs no dirty-bit update — and an
-    /// outlined `Mmu::translate_slow` for the rest. The split is a host
-    /// optimisation only: the order of stats updates, permission checks
-    /// and PTE side effects is exactly that of the straight-line version.
+    /// Translates a linear address, enforcing page-level protection with
+    /// full key rights (PKRU 0) — the pre-key behaviour. See
+    /// [`Mmu::translate_keyed`].
     #[inline]
     pub fn translate(
         &mut self,
@@ -238,6 +292,32 @@ impl Mmu {
         linear: u32,
         access: Access,
         user: bool,
+    ) -> Result<Translation, FaultBuilder> {
+        self.translate_keyed(mem, linear, access, user, 0)
+    }
+
+    /// Translates a linear address, enforcing page-level protection and
+    /// the protection-key rights in `pkru`.
+    ///
+    /// `user` is true when the access originates at CPL 3; supervisor
+    /// accesses (CPL 0-2) bypass `R/W`, `U/S` and key checks per
+    /// CR0.WP = 0. A PKRU of zero grants every key, so callers that never
+    /// program keys get exactly the historical behaviour, fault for
+    /// fault and stat for stat.
+    ///
+    /// This is split into an inlined fast path for the common cases —
+    /// paging off, or a TLB hit that needs no dirty-bit update — and an
+    /// outlined `Mmu::translate_slow` for the rest. The split is a host
+    /// optimisation only: the order of stats updates, permission checks
+    /// and PTE side effects is exactly that of the straight-line version.
+    #[inline]
+    pub fn translate_keyed(
+        &mut self,
+        mem: &mut PhysMem,
+        linear: u32,
+        access: Access,
+        user: bool,
+        pkru: u32,
     ) -> Result<Translation, FaultBuilder> {
         if !self.enabled {
             return Ok(Translation {
@@ -252,14 +332,14 @@ impl Mmu {
             if !is_write || entry.dirty {
                 let entry = *entry;
                 self.stats.hits += 1;
-                self.check_perms(entry.user, entry.writable, linear, is_write, user)?;
+                self.check_perms(&entry, linear, is_write, user, pkru)?;
                 return Ok(Translation {
                     phys: entry.frame | (linear & PAGE_MASK),
                     tlb_miss: false,
                 });
             }
         }
-        self.translate_slow(mem, linear, is_write, user)
+        self.translate_slow(mem, linear, is_write, user, pkru)
     }
 
     /// TLB hit needing a dirty-bit update, or a full page walk.
@@ -269,11 +349,12 @@ impl Mmu {
         linear: u32,
         is_write: bool,
         user: bool,
+        pkru: u32,
     ) -> Result<Translation, FaultBuilder> {
         let vpn = linear >> 12;
         if let Some(entry) = self.tlb.get(&vpn).copied() {
             self.stats.hits += 1;
-            self.check_perms(entry.user, entry.writable, linear, is_write, user)?;
+            self.check_perms(&entry, linear, is_write, user, pkru)?;
             if is_write && !entry.dirty {
                 let pte_val = mem.read_u32(entry.pte_addr);
                 mem.write_u32(entry.pte_addr, pte_val | pte::D);
@@ -289,7 +370,7 @@ impl Mmu {
 
         self.stats.misses += 1;
         let entry = self.walk(mem, linear, is_write, user)?;
-        self.check_perms(entry.user, entry.writable, linear, is_write, user)?;
+        self.check_perms(&entry, linear, is_write, user, pkru)?;
         self.tlb.insert(vpn, entry);
         Ok(Translation {
             phys: entry.frame | (linear & PAGE_MASK),
@@ -300,11 +381,11 @@ impl Mmu {
     #[inline]
     fn check_perms(
         &self,
-        page_user: bool,
-        page_writable: bool,
+        entry: &TlbEntry,
         linear: u32,
         is_write: bool,
         user: bool,
+        pkru: u32,
     ) -> Result<(), FaultBuilder> {
         if !user {
             return Ok(());
@@ -313,11 +394,19 @@ impl Mmu {
         if is_write {
             code |= pf_err::WRITE;
         }
-        if !page_user {
+        if !entry.user {
             return Err(Fault::pf(linear, code));
         }
-        if is_write && !page_writable {
+        if is_write && !entry.writable {
             return Err(Fault::pf(linear, code));
+        }
+        // Key rights, checked after the classic bits as on real MPK
+        // (keys restrict user pages only; the error code gains bit 5).
+        if pkru != 0
+            && (pkru::access_disabled(pkru, entry.key)
+                || (is_write && pkru::write_disabled(pkru, entry.key)))
+        {
+            return Err(Fault::pf(linear, code | pf_err::PKEY));
         }
         Ok(())
     }
@@ -365,6 +454,7 @@ impl Mmu {
             writable: (pde & pte::RW != 0) && (pte_val & pte::RW != 0),
             dirty: new_pte & pte::D != 0,
             pte_addr,
+            key: pte::key_of(pte_val),
         })
     }
 }
@@ -673,6 +763,108 @@ mod tests {
         let cr3 = mmu.cr3;
         mmu.set_cr3(cr3);
         assert_eq!(mmu.tlb_entries(), 0);
+    }
+
+    #[test]
+    fn protection_key_rides_the_pte_and_pkru_denies_access() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let frame = fa.alloc().unwrap();
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            mmu.cr3,
+            0x0900_0000,
+            frame,
+            pte::RW | pte::US | pte::key_flags(5)
+        ));
+        assert_eq!(pte::key_of(get_pte(&mem, mmu.cr3, 0x0900_0000).unwrap()), 5);
+
+        // Full rights (pkru 0): access as before.
+        assert!(mmu
+            .translate(&mut mem, 0x0900_0000, Access::Write, true)
+            .is_ok());
+
+        // Access-disable key 5: both reads and writes fault with the
+        // PKEY bit set, no TLB shootdown needed.
+        let deny = pkru::deny_access(&[5]);
+        for access in [Access::Read, Access::Write] {
+            let err = mmu
+                .translate_keyed(&mut mem, 0x0900_0000, access, true, deny)
+                .unwrap_err();
+            match err.cause {
+                FaultCause::Page { code, .. } => {
+                    assert_ne!(code & pf_err::PKEY, 0);
+                    assert_ne!(code & pf_err::PRESENT, 0);
+                }
+                other => panic!("wrong cause {other:?}"),
+            }
+            assert_eq!(err.at(0, 0, 3).cause.tag(), "page-key");
+        }
+
+        // Write-disable: reads pass, writes fault.
+        let wd = pkru::deny_write(&[5]);
+        assert!(mmu
+            .translate_keyed(&mut mem, 0x0900_0000, Access::Read, true, wd)
+            .is_ok());
+        assert!(mmu
+            .translate_keyed(&mut mem, 0x0900_0000, Access::Write, true, wd)
+            .is_err());
+
+        // A different key is unaffected.
+        let other = pkru::deny_access(&[3]);
+        assert!(mmu
+            .translate_keyed(&mut mem, 0x0900_0000, Access::Write, true, other)
+            .is_ok());
+
+        // Supervisor accesses bypass key checks entirely (CR0.WP = 0).
+        assert!(mmu
+            .translate_keyed(&mut mem, 0x0900_0000, Access::Write, false, deny)
+            .is_ok());
+    }
+
+    #[test]
+    fn key_survives_tlb_serialization() {
+        let (mut mem, mut fa, mut mmu) = setup();
+        let frame = fa.alloc().unwrap();
+        assert!(map_page(
+            &mut mem,
+            &mut fa,
+            mmu.cr3,
+            0x0A00_0000,
+            frame,
+            pte::RW | pte::US | pte::key_flags(9)
+        ));
+        mmu.translate(&mut mem, 0x0A00_0000, Access::Read, true)
+            .unwrap();
+
+        let mut e = Enc::new();
+        mmu.save_into(&mut e);
+        let bytes = e.into_vec();
+        let mut d = Dec::new(&bytes, "mmu");
+        let mut back = Mmu::restore_from(&mut d).unwrap();
+        assert_eq!(back.stats, mmu.stats);
+
+        // The restored TLB entry still carries key 9: the cached
+        // translation denies under a PKRU that revokes that key (a TLB
+        // hit — rights are judged live, the key rides the entry).
+        let deny = pkru::deny_access(&[9]);
+        assert!(back
+            .translate_keyed(&mut mem, 0x0A00_0000, Access::Read, true, deny)
+            .is_err());
+        assert_eq!(back.stats.misses, mmu.stats.misses);
+        assert_eq!(back.stats.hits, mmu.stats.hits + 1);
+    }
+
+    #[test]
+    fn pkru_helper_bit_layout_matches_intel() {
+        // AD for key k is bit 2k, WD is bit 2k+1.
+        assert_eq!(pkru::deny_access(&[0]), 0b01);
+        assert_eq!(pkru::deny_write(&[0]), 0b10);
+        assert_eq!(pkru::deny_access(&[1]), 0b0100);
+        assert_eq!(pkru::deny_write(&[15]), 1 << 31);
+        assert!(pkru::access_disabled(pkru::deny_access(&[7]), 7));
+        assert!(!pkru::access_disabled(pkru::deny_access(&[7]), 6));
+        assert!(pkru::write_disabled(pkru::deny_write(&[2, 4]), 4));
     }
 
     #[test]

@@ -1767,3 +1767,146 @@ mod proof_tokens {
         assert_eq!(m.proof_token_count(), 1, "template keeps its token");
     }
 }
+
+// --- protection keys ------------------------------------------------------
+
+mod protection_keys {
+    use super::*;
+    use crate::fault::pf_err;
+
+    /// A ring-3 machine with flat segments running `src` at 0x1000,
+    /// paging off.
+    fn ring3_machine(src: &str) -> Machine {
+        let mut m = Machine::new();
+        let code3 = m.gdt.push(Descriptor::flat_code(3));
+        let data3 = m.gdt.push(Descriptor::flat_data(3));
+        let obj = Assembler::assemble(src).expect("asm");
+        m.mem
+            .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+        m.force_seg_from_table(SegReg::Cs, Selector::new(code3, false, 3));
+        m.force_seg_from_table(SegReg::Ss, Selector::new(data3, false, 3));
+        m.force_seg_from_table(SegReg::Ds, Selector::new(data3, false, 3));
+        m.cpu.set_reg(Reg::Esp, 0x8000);
+        m.cpu.eip = 0x1000;
+        m
+    }
+
+    #[test]
+    fn wrpkru_at_cpl3_requires_registered_gate() {
+        let src = "wrpkru 0xC\nrdpkru eax\nint 0x30\n";
+        // Unregistered site: Garmr-style gate-integrity #GP.
+        let mut m = ring3_machine(src);
+        m.idt[0x30] = Some(crate::machine::IdtGate { dpl: 3 });
+        match m.run(10) {
+            Exit::Fault(f) => {
+                assert_eq!(f.vector, Vector::GeneralProtection);
+                assert_eq!(f.cause, FaultCause::KeyGateViolation { site: 0x1000 });
+                assert_eq!(f.cause.tag(), "key-gate");
+            }
+            other => panic!("expected #GP, got {other:?}"),
+        }
+        assert_eq!(m.cpu.pkru, 0, "PKRU untouched by the rejected write");
+
+        // Registered site: the write lands and rdpkru reads it back.
+        let mut m = ring3_machine(src);
+        m.idt[0x30] = Some(crate::machine::IdtGate { dpl: 3 });
+        m.register_key_gate(0x1000);
+        match m.run(10) {
+            Exit::IntHook(0x30) => {}
+            other => panic!("expected IntHook, got {other:?}"),
+        }
+        assert_eq!(m.cpu.pkru, 0xC);
+        assert_eq!(m.cpu.reg(Reg::Eax), 0xC);
+    }
+
+    #[test]
+    fn supervisor_wrpkru_needs_no_gate() {
+        let mut m = flat_machine("wrpkru 0x3\nhlt\n");
+        run_to_hlt(&mut m);
+        assert_eq!(m.cpu.pkru, 0x3);
+    }
+
+    #[test]
+    fn revoked_key_denies_user_access_despite_warm_memo() {
+        // Ring 3, paging on: the data page carries key 5. The first load
+        // succeeds (and warms the TLB, the memo and the predecode cache);
+        // a gated wrpkru then revokes key 5, and the very next load of
+        // the *same* page must #PF with the PKEY error bit — the cached
+        // translation may not bypass the live rights check.
+        let mut m = Machine::new();
+        let code3 = m.gdt.push(Descriptor::flat_code(3));
+        let data3 = m.gdt.push(Descriptor::flat_data(3));
+        let mut fa = crate::mem::FrameAlloc::new(0x10_0000, 0x20_0000);
+        let cr3 = fa.alloc().unwrap();
+        map_page(&mut m.mem, &mut fa, cr3, 0x1000, 0x1000, pte::RW | pte::US);
+        map_page(&mut m.mem, &mut fa, cr3, 0x7000, 0x7000, pte::RW | pte::US);
+        map_page(
+            &mut m.mem,
+            &mut fa,
+            cr3,
+            0x2000,
+            0x2000,
+            pte::RW | pte::US | pte::key_flags(5),
+        );
+        m.mmu.set_cr3(cr3);
+        m.mmu.enabled = true;
+
+        // AD for key 5 is bit 10.
+        let src = "mov eax, [0x2000]\n\
+                   mov eax, [0x2000]\n\
+                   wrpkru 0x400\n\
+                   mov ebx, [0x2000]\n\
+                   int 0x30\n";
+        let obj = Assembler::assemble(src).unwrap();
+        m.mem
+            .write_bytes(0x1000, &obj.link(0x1000, &BTreeMap::new()).unwrap());
+        m.idt[0x30] = Some(crate::machine::IdtGate { dpl: 3 });
+        m.force_seg_from_table(SegReg::Cs, Selector::new(code3, false, 3));
+        m.force_seg_from_table(SegReg::Ss, Selector::new(data3, false, 3));
+        m.force_seg_from_table(SegReg::Ds, Selector::new(data3, false, 3));
+        m.cpu.set_reg(Reg::Esp, 0x8000);
+        m.cpu.eip = 0x1000;
+
+        // The wrpkru sits after the two loads.
+        let load_len = enc("mov eax, [0x2000]\n").len() as u32;
+        m.register_key_gate(0x1000 + 2 * load_len);
+
+        m.mem.write_u32(0x2000, 0xFEED);
+        match m.run(20) {
+            Exit::Fault(f) => {
+                assert_eq!(f.vector, Vector::PageFault);
+                assert_eq!(f.cr2, Some(0x2000));
+                assert_ne!(f.error_code & pf_err::PKEY, 0, "PKEY bit set");
+                assert_ne!(f.error_code & pf_err::PRESENT, 0);
+                assert_eq!(f.cause.tag(), "page-key");
+            }
+            other => panic!("expected #PF, got {other:?}"),
+        }
+        assert_eq!(m.cpu.reg(Reg::Eax), 0xFEED, "pre-revocation loads ran");
+        assert_eq!(m.cpu.reg(Reg::Ebx), 0, "post-revocation load blocked");
+    }
+
+    #[test]
+    fn image_roundtrip_carries_pkru_and_gate_sites() {
+        let mut m = ring3_machine("wrpkru 0xC\nint 0x30\n");
+        m.idt[0x30] = Some(crate::machine::IdtGate { dpl: 3 });
+        m.cpu.pkru = 0x30;
+        m.register_key_gate(0x1000);
+        m.register_key_gate(0x4CAFE);
+
+        let img = m.save_image();
+        let mut back = Machine::restore_image(&img).unwrap();
+        assert_eq!(back.cpu.pkru, 0x30);
+        assert!(back.key_gate_registered(0x1000));
+        assert!(back.key_gate_registered(0x4CAFE));
+        assert!(!back.key_gate_registered(0x2000));
+        assert_eq!(back.save_image(), img, "deterministic re-save");
+
+        // The restored gate registration is live: the wrpkru executes.
+        match back.run(10) {
+            Exit::IntHook(0x30) => {}
+            other => panic!("expected IntHook, got {other:?}"),
+        }
+        assert_eq!(back.cpu.pkru, 0xC);
+    }
+}
